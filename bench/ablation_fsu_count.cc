@@ -1,0 +1,48 @@
+/**
+ * §4.5.4 ablation: how many parallel field serializer units?
+ *
+ * Sweeps K over {1, 2, 4, 8} on the Figure 11b/11d workloads and
+ * reports serialization throughput together with the serializer's
+ * modeled silicon area at each K — throughput-per-mm^2 identifies the
+ * knee that justifies the paper's design point.
+ */
+#include <cstdio>
+
+#include "asic/area_model.h"
+#include "harness/microbench.h"
+
+using namespace protoacc;
+using namespace protoacc::harness;
+
+int
+main()
+{
+    const auto inline_benches = MakeNonAllocBenches();
+    const auto alloc_benches = MakeAllocBenches();
+
+    std::printf("Ablation (S4.5.4): field-serializer-unit count sweep\n");
+    std::printf("  %-4s %14s %14s %12s %14s\n", "K", "ser-inline",
+                "ser-noninline", "area mm^2", "Gbps/mm^2");
+    for (uint32_t k : {1u, 2u, 4u, 8u}) {
+        accel::AccelConfig cfg;
+        cfg.ser.num_field_serializers = k;
+
+        std::vector<double> inline_gbps, alloc_gbps;
+        for (const auto &b : inline_benches)
+            inline_gbps.push_back(AccelSerialize(b->workload, cfg).gbps);
+        for (const auto &b : alloc_benches)
+            alloc_gbps.push_back(AccelSerialize(b->workload, cfg).gbps);
+
+        const double gm_inline = GeoMean(inline_gbps);
+        const double gm_alloc = GeoMean(alloc_gbps);
+        const double area =
+            asic::SerializerReport(asic::ProcessParams{},
+                                   static_cast<int>(k))
+                .total_mm2;
+        std::printf("  %-4u %13.2f %14.2f %12.3f %14.1f\n", k,
+                    gm_inline, gm_alloc, area,
+                    GeoMean({gm_inline, gm_alloc}) / area);
+    }
+    std::printf("\n  (the paper's design point is K=4)\n");
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * §4.2 ablation: the sparse-hasbits co-design trade-off.
+ *
+ * The paper's modified library re-packs hasbits so the accelerator can
+ * index them by field number; the cost is extra per-object memory
+ * (one bit per field number in the defined range instead of one per
+ * defined field). This bench quantifies that trade across the synthetic
+ * fleet's schemas: per-object size growth, and the anchor that the wire
+ * format is completely unaffected.
+ */
+#include <cstdio>
+
+#include "profile/fleet_model.h"
+#include "proto/schema_random.h"
+#include "proto/serializer.h"
+
+using namespace protoacc;
+using namespace protoacc::profile;
+
+namespace {
+
+/// Total object bytes across all types of a service compiled in @p mode.
+struct LayoutFootprint
+{
+    uint64_t object_bytes = 0;
+    uint64_t hasbits_words = 0;
+    uint64_t types = 0;
+};
+
+LayoutFootprint
+MeasureFootprint(proto::HasbitsMode mode, uint64_t seed)
+{
+    FleetParams params;
+    // Re-generate the same service under the requested layout mode by
+    // constructing a fresh fleet (schemas are seed-deterministic).
+    Fleet fleet(params, seed);
+    LayoutFootprint fp;
+    for (size_t s = 0; s < fleet.service_count(); ++s) {
+        const auto &pool = fleet.service(s).pool();
+        (void)mode;  // fleet always compiles sparse; see below
+        for (size_t m = 0; m < pool.message_count(); ++m) {
+            const auto &desc = pool.message(static_cast<int>(m));
+            fp.object_bytes += desc.layout().object_size;
+            fp.hasbits_words += desc.layout().hasbits_words;
+            ++fp.types;
+        }
+    }
+    return fp;
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("Ablation (S4.2): dense vs sparse hasbits layout\n\n");
+
+    // Per-schema comparison on random schemas: same fields, two
+    // layout modes, identical wire bytes.
+    Rng rng(99);
+    uint64_t dense_bytes = 0, sparse_bytes = 0;
+    uint64_t dense_words = 0, sparse_words = 0;
+    int schemas = 0;
+    for (int i = 0; i < 200; ++i) {
+        proto::SchemaGenOptions opts;
+        opts.max_field_number_gap = 8;  // sparser than default
+        const uint64_t seed = rng.Next();
+
+        uint64_t obj[2] = {0, 0}, words[2] = {0, 0};
+        std::vector<uint8_t> wires[2];
+        for (int mode = 0; mode < 2; ++mode) {
+            Rng schema_rng(seed);
+            proto::DescriptorPool pool;
+            const int root = proto::GenerateRandomSchema(
+                &pool, &schema_rng, opts);
+            pool.Compile(mode == 0 ? proto::HasbitsMode::kDense
+                                   : proto::HasbitsMode::kSparse);
+            for (size_t m = 0; m < pool.message_count(); ++m) {
+                obj[mode] +=
+                    pool.message(static_cast<int>(m)).layout()
+                        .object_size;
+                words[mode] += pool.message(static_cast<int>(m))
+                                   .layout()
+                                   .hasbits_words;
+            }
+            proto::Arena arena;
+            proto::Message msg =
+                proto::Message::Create(&arena, pool, root);
+            PopulateRandomMessage(msg, &schema_rng,
+                                  proto::MessageGenOptions{});
+            wires[mode] = proto::Serialize(msg);
+        }
+        PA_CHECK(wires[0] == wires[1]);  // layout never leaks on-wire
+        dense_bytes += obj[0];
+        sparse_bytes += obj[1];
+        dense_words += words[0];
+        sparse_words += words[1];
+        ++schemas;
+    }
+
+    std::printf("  %d random schemas (field-number gaps up to 8):\n",
+                schemas);
+    std::printf("  %-28s %14s %14s\n", "", "dense", "sparse");
+    std::printf("  %-28s %14llu %14llu\n", "total object bytes",
+                static_cast<unsigned long long>(dense_bytes),
+                static_cast<unsigned long long>(sparse_bytes));
+    std::printf("  %-28s %14llu %14llu\n", "total hasbits words",
+                static_cast<unsigned long long>(dense_words),
+                static_cast<unsigned long long>(sparse_words));
+    std::printf("  object-size overhead of sparse: %.1f%%\n",
+                100.0 * (static_cast<double>(sparse_bytes) -
+                         static_cast<double>(dense_bytes)) /
+                    static_cast<double>(dense_bytes));
+    std::printf("  wire format identical under both layouts: verified\n");
+
+    const LayoutFootprint fleet_fp =
+        MeasureFootprint(proto::HasbitsMode::kSparse, 2021);
+    std::printf(
+        "\n  fleet schemas (sparse, as the accelerator requires): %llu "
+        "types, %llu object bytes, %llu hasbits words\n",
+        static_cast<unsigned long long>(fleet_fp.types),
+        static_cast<unsigned long long>(fleet_fp.object_bytes),
+        static_cast<unsigned long long>(fleet_fp.hasbits_words));
+    std::printf(
+        "\n  the %% overhead is the memory price of letting hardware "
+        "index presence bits by field number (S4.2); S3.7's density "
+        "data shows the compute win dwarfs it for 92%%+ of messages\n");
+    return 0;
+}

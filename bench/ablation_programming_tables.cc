@@ -1,0 +1,79 @@
+/**
+ * §3.7 ablation: accelerator programming-interface overhead.
+ *
+ * Prior work (Optimus-Prime-style) builds per-message-INSTANCE tables:
+ * every populated field costs a ~64-bit schema-entry write on the CPU's
+ * critical path (inside setters/clear). Our design builds one ADT per
+ * TYPE at load time and instead reads one presence bit per field number
+ * in the defined range (sparse hasbits). A message therefore favors the
+ * ADT design whenever its field-number usage density exceeds 1/64.
+ *
+ * This bench (1) sweeps density analytically to locate the crossover,
+ * (2) samples the synthetic fleet to measure the fraction of real
+ * messages favoring each design, and (3) reports total programming
+ * state for both schemes.
+ */
+#include <cstdio>
+
+#include "accel/adt.h"
+#include "profile/samplers.h"
+
+using namespace protoacc;
+using namespace protoacc::profile;
+
+int
+main()
+{
+    std::printf("Ablation (S3.7): per-type ADTs + sparse hasbits vs "
+                "per-instance programming tables\n\n");
+
+    // (1) Analytic crossover: prior work writes 64 bits per present
+    // field; ours reads (present / density) bits of hasbits.
+    std::printf("  %-10s %18s %18s %8s\n", "density",
+                "prior bits/field", "ours bits/field", "winner");
+    for (double density :
+         {0.005, 1.0 / 64.0, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0}) {
+        const double prior_bits = 64.0;
+        const double ours_bits = 1.0 / density;
+        std::printf("  %-10.4f %18.1f %18.1f %8s\n", density,
+                    prior_bits, ours_bits,
+                    ours_bits < prior_bits ? "ADT" : "per-inst");
+    }
+    std::printf("  crossover at density = 1/64 = %.4f\n\n", 1.0 / 64);
+
+    // (2) Fleet measurement.
+    Fleet fleet{FleetParams{}};
+    ProtobufzSampler sampler(&fleet, /*seed=*/23);
+    const ShapeAggregate agg = sampler.Collect(/*messages=*/10000);
+    std::printf(
+        "  fleet messages favoring the ADT design: %.1f%% "
+        "(paper: >= 92%%)\n\n",
+        100.0 * agg.density_over_1_64 / agg.density_samples);
+
+    // (3) Programming-state footprint: one ADT per type, forever,
+    // vs fresh tables per serialized message instance.
+    proto::Arena arena;
+    size_t adt_bytes = 0;
+    size_t types = 0;
+    for (size_t s = 0; s < fleet.service_count(); ++s) {
+        accel::AdtBuilder adts(fleet.service(s).pool(), &arena);
+        adt_bytes += adts.total_bytes();
+        types += fleet.service(s).pool().message_count();
+    }
+    // Per-instance scheme: ~8 B per present field, rebuilt per message.
+    double per_instance_bytes_per_msg = 0;
+    double fields = 0;
+    for (const auto &[key, stats] : agg.by_type)
+        fields += static_cast<double>(stats.count);
+    per_instance_bytes_per_msg =
+        8.0 * fields / static_cast<double>(agg.messages_sampled);
+    std::printf(
+        "  ADT state: %zu bytes across %zu types, written once at "
+        "program load\n",
+        adt_bytes, types);
+    std::printf(
+        "  per-instance tables: ~%.0f bytes per top-level message, "
+        "written on every serialization\n",
+        per_instance_bytes_per_msg);
+    return 0;
+}

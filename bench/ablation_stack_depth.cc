@@ -1,0 +1,93 @@
+/**
+ * §3.8 ablation: sizing the on-chip sub-message metadata stack.
+ *
+ * The fleet study found 99.9% of protobuf bytes at depth <= 12 and
+ * 99.999% at depth <= 25, so the paper provisions 25 on-chip entries
+ * and spills to DRAM beyond. This bench deserializes messages of
+ * varying nesting depth under several on-chip depths and reports the
+ * spill count and cycle cost, showing 25 entries keep realistic
+ * workloads spill-free while deep outliers degrade gracefully.
+ */
+#include <cstdio>
+
+#include "accel/accelerator.h"
+#include "proto/serializer.h"
+
+using namespace protoacc;
+using namespace protoacc::accel;
+
+namespace {
+
+/// Build a chain message of the given nesting depth.
+std::vector<uint8_t>
+BuildChainWire(proto::DescriptorPool *pool, proto::Arena *arena,
+               int depth, int *node_out)
+{
+    const int node = pool->AddMessage("Node" + std::to_string(depth));
+    pool->AddMessageField(node, "next", 1, node);
+    pool->AddField(node, "v", 2, proto::FieldType::kInt64);
+    pool->AddField(node, "s", 3, proto::FieldType::kString);
+    pool->Compile(proto::HasbitsMode::kSparse);
+    *node_out = node;
+
+    proto::Message root = proto::Message::Create(arena, *pool, node);
+    proto::Message cur = root;
+    const auto &next = *pool->message(node).FindFieldByName("next");
+    const auto &v = *pool->message(node).FindFieldByName("v");
+    const auto &s = *pool->message(node).FindFieldByName("s");
+    for (int i = 0; i < depth; ++i) {
+        cur.SetInt64(v, i);
+        cur.SetString(s, "payload");
+        cur = cur.MutableMessage(next);
+    }
+    cur.SetInt64(v, depth);
+    return proto::Serialize(root);
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("Ablation (S3.8): on-chip metadata stack depth\n");
+    std::printf("  %-12s %-12s %10s %10s %12s\n", "msg depth",
+                "on-chip", "cycles", "spills", "cyc/byte");
+    for (int depth : {4, 12, 25, 40, 96}) {
+        for (uint32_t on_chip : {12u, 25u, 128u}) {
+            proto::DescriptorPool pool;
+            proto::Arena arena;
+            int node = -1;
+            const auto wire =
+                BuildChainWire(&pool, &arena, depth, &node);
+
+            sim::MemorySystem memory{sim::MemorySystemConfig{}};
+            AccelConfig cfg;
+            cfg.deser.on_chip_stack_depth = on_chip;
+            ProtoAccelerator accel(&memory, cfg);
+            proto::Arena adt_arena, accel_arena, dest_arena;
+            AdtBuilder adts(pool, &adt_arena);
+            accel.DeserAssignArena(&accel_arena);
+
+            proto::Message dest =
+                proto::Message::Create(&dest_arena, pool, node);
+            accel.EnqueueDeser(MakeDeserJob(adts, node, pool,
+                                            dest.raw(), wire.data(),
+                                            wire.size()));
+            uint64_t cycles = 0;
+            const AccelStatus st =
+                accel.BlockForDeserCompletion(&cycles);
+            PA_CHECK(st == AccelStatus::kOk);
+            std::printf("  %-12d %-12u %10llu %10llu %12.2f\n", depth,
+                        on_chip,
+                        static_cast<unsigned long long>(cycles),
+                        static_cast<unsigned long long>(
+                            accel.deserializer().stats().stack_spills),
+                        static_cast<double>(cycles) /
+                            static_cast<double>(wire.size()));
+        }
+    }
+    std::printf(
+        "\n  (fleet: 99.9%% of bytes at depth <= 12, 99.999%% at <= 25;"
+        " 25 on-chip entries cover all but outliers)\n");
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * Wall-clock microbenchmarks of the software codec itself (google-
+ * benchmark). These measure this library's real host performance —
+ * complementary to the modeled riscv-boom/Xeon/accelerator numbers in
+ * the figure benches — and guard against performance regressions in
+ * the wire-format primitives and codec.
+ */
+#include <benchmark/benchmark.h>
+
+#include "harness/microbench.h"
+#include "proto/parser.h"
+#include "proto/schema_random.h"
+#include "proto/serializer.h"
+
+using namespace protoacc;
+using namespace protoacc::proto;
+
+namespace {
+
+void
+BM_VarintEncode(benchmark::State &state)
+{
+    const uint64_t value = 1ull << (7 * (state.range(0) - 1) - 1);
+    uint8_t buf[kMaxVarintBytes];
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(EncodeVarint(value, buf));
+        benchmark::ClobberMemory();
+    }
+    state.SetBytesProcessed(state.iterations() * VarintSize(value));
+}
+BENCHMARK(BM_VarintEncode)->DenseRange(1, 10);
+
+void
+BM_VarintDecode(benchmark::State &state)
+{
+    const uint64_t value = 1ull << (7 * (state.range(0) - 1) - 1);
+    uint8_t buf[kMaxVarintBytes];
+    const int n = EncodeVarint(value, buf);
+    for (auto _ : state) {
+        uint64_t out;
+        benchmark::DoNotOptimize(DecodeVarint(buf, buf + n, &out));
+    }
+    state.SetBytesProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_VarintDecode)->DenseRange(1, 10);
+
+void
+BM_SerializeMicrobench(benchmark::State &state)
+{
+    const auto bench =
+        harness::MakeVarintBench(static_cast<int>(state.range(0)),
+                                 /*repeated=*/false);
+    std::vector<uint8_t> buf(1 << 16);
+    for (auto _ : state) {
+        for (const auto &m : bench->workload.messages) {
+            benchmark::DoNotOptimize(
+                SerializeToBuffer(m, buf.data(), buf.size()));
+        }
+    }
+    state.SetBytesProcessed(
+        state.iterations() *
+        static_cast<int64_t>(bench->workload.total_wire_bytes));
+}
+BENCHMARK(BM_SerializeMicrobench)->Arg(1)->Arg(5)->Arg(10);
+
+void
+BM_ParseMicrobench(benchmark::State &state)
+{
+    const auto bench =
+        harness::MakeVarintBench(static_cast<int>(state.range(0)),
+                                 /*repeated=*/false);
+    for (auto _ : state) {
+        Arena arena;
+        for (const auto &wire : bench->workload.wires) {
+            Message dest = Message::Create(&arena, *bench->workload.pool,
+                                           bench->workload.msg_index);
+            benchmark::DoNotOptimize(
+                ParseFromBuffer(wire.data(), wire.size(), &dest));
+        }
+    }
+    state.SetBytesProcessed(
+        state.iterations() *
+        static_cast<int64_t>(bench->workload.total_wire_bytes));
+}
+BENCHMARK(BM_ParseMicrobench)->Arg(1)->Arg(5)->Arg(10);
+
+void
+BM_ParseRandomSchema(benchmark::State &state)
+{
+    Rng rng(state.range(0));
+    DescriptorPool pool;
+    const int root = GenerateRandomSchema(&pool, &rng,
+                                          SchemaGenOptions{});
+    pool.Compile();
+    Arena build_arena;
+    Message msg = Message::Create(&build_arena, pool, root);
+    PopulateRandomMessage(msg, &rng, MessageGenOptions{});
+    const auto wire = Serialize(msg);
+
+    for (auto _ : state) {
+        Arena arena;
+        Message dest = Message::Create(&arena, pool, root);
+        benchmark::DoNotOptimize(
+            ParseFromBuffer(wire.data(), wire.size(), &dest));
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<int64_t>(wire.size()));
+}
+BENCHMARK(BM_ParseRandomSchema)->Arg(3)->Arg(17);
+
+void
+BM_StringFieldCopy(benchmark::State &state)
+{
+    const auto bench = harness::MakeStringBench(
+        "s", static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        Arena arena;
+        for (const auto &wire : bench->workload.wires) {
+            Message dest = Message::Create(&arena, *bench->workload.pool,
+                                           bench->workload.msg_index);
+            benchmark::DoNotOptimize(
+                ParseFromBuffer(wire.data(), wire.size(), &dest));
+        }
+    }
+    state.SetBytesProcessed(
+        state.iterations() *
+        static_cast<int64_t>(bench->workload.total_wire_bytes));
+}
+BENCHMARK(BM_StringFieldCopy)->Arg(8)->Arg(512)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

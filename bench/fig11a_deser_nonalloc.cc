@@ -1,0 +1,33 @@
+/**
+ * Figure 11a: deserialization microbenchmarks for field types that do
+ * not require in-accelerator memory allocation (varint-0..varint-10,
+ * double, float), on riscv-boom, Xeon, and riscv-boom-accel.
+ */
+#include "harness/microbench.h"
+
+using namespace protoacc;
+using namespace protoacc::harness;
+
+int
+main()
+{
+    const auto benches = MakeNonAllocBenches();
+    const cpu::CpuParams boom = cpu::BoomParams();
+    const cpu::CpuParams xeon = cpu::XeonParams();
+    const accel::AccelConfig accel_cfg;
+
+    std::vector<FigureRow> rows;
+    for (const auto &b : benches) {
+        FigureRow row;
+        row.name = b->name;
+        row.boom = CpuDeserialize(boom, b->workload).gbps;
+        row.xeon = CpuDeserialize(xeon, b->workload).gbps;
+        row.accel = AccelDeserialize(b->workload, accel_cfg).gbps;
+        rows.push_back(row);
+    }
+    PrintFigure(
+        "Figure 11a: deser., field types that do not require in-accel. "
+        "memory allocation",
+        rows);
+    return 0;
+}

@@ -1,0 +1,32 @@
+/**
+ * Figure 11b: serialization microbenchmarks for field types "inline" in
+ * top-level C++ message objects (varint-0..varint-10, double, float).
+ */
+#include "harness/microbench.h"
+
+using namespace protoacc;
+using namespace protoacc::harness;
+
+int
+main()
+{
+    const auto benches = MakeNonAllocBenches();
+    const cpu::CpuParams boom = cpu::BoomParams();
+    const cpu::CpuParams xeon = cpu::XeonParams();
+    const accel::AccelConfig accel_cfg;
+
+    std::vector<FigureRow> rows;
+    for (const auto &b : benches) {
+        FigureRow row;
+        row.name = b->name;
+        row.boom = CpuSerialize(boom, b->workload).gbps;
+        row.xeon = CpuSerialize(xeon, b->workload).gbps;
+        row.accel = AccelSerialize(b->workload, accel_cfg).gbps;
+        rows.push_back(row);
+    }
+    PrintFigure(
+        "Figure 11b: ser., field types \"inline\" in top-level C++ "
+        "message objects",
+        rows);
+    return 0;
+}

@@ -1,0 +1,33 @@
+/**
+ * Figure 11c: deserialization microbenchmarks for field types that
+ * require in-accelerator memory allocation (repeated fields, strings of
+ * four sizes, and sub-message benchmarks).
+ */
+#include "harness/microbench.h"
+
+using namespace protoacc;
+using namespace protoacc::harness;
+
+int
+main()
+{
+    const auto benches = MakeAllocBenches();
+    const cpu::CpuParams boom = cpu::BoomParams();
+    const cpu::CpuParams xeon = cpu::XeonParams();
+    const accel::AccelConfig accel_cfg;
+
+    std::vector<FigureRow> rows;
+    for (const auto &b : benches) {
+        FigureRow row;
+        row.name = b->name;
+        row.boom = CpuDeserialize(boom, b->workload).gbps;
+        row.xeon = CpuDeserialize(xeon, b->workload).gbps;
+        row.accel = AccelDeserialize(b->workload, accel_cfg).gbps;
+        rows.push_back(row);
+    }
+    PrintFigure(
+        "Figure 11c: deser., field types that require in-accel. memory "
+        "allocation",
+        rows);
+    return 0;
+}

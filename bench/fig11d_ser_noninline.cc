@@ -1,0 +1,33 @@
+/**
+ * Figure 11d: serialization microbenchmarks for field types not
+ * "inline" in the top-level C++ message object (repeated fields,
+ * strings, sub-messages).
+ */
+#include "harness/microbench.h"
+
+using namespace protoacc;
+using namespace protoacc::harness;
+
+int
+main()
+{
+    const auto benches = MakeAllocBenches();
+    const cpu::CpuParams boom = cpu::BoomParams();
+    const cpu::CpuParams xeon = cpu::XeonParams();
+    const accel::AccelConfig accel_cfg;
+
+    std::vector<FigureRow> rows;
+    for (const auto &b : benches) {
+        FigureRow row;
+        row.name = b->name;
+        row.boom = CpuSerialize(boom, b->workload).gbps;
+        row.xeon = CpuSerialize(xeon, b->workload).gbps;
+        row.accel = AccelSerialize(b->workload, accel_cfg).gbps;
+        rows.push_back(row);
+    }
+    PrintFigure(
+        "Figure 11d: ser., field types not \"inline\" in top-level C++ "
+        "message objects",
+        rows);
+    return 0;
+}

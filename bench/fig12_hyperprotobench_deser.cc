@@ -1,0 +1,33 @@
+/**
+ * Figure 12: HyperProtoBench deserialization results — six synthetic
+ * services generated from fitted fleet shapes (§5.2), run on
+ * riscv-boom, Xeon, and riscv-boom-accel.
+ */
+#include "hpb/generator.h"
+
+using namespace protoacc;
+using namespace protoacc::harness;
+
+int
+main()
+{
+    profile::Fleet fleet{profile::FleetParams{}};
+    const auto benches = hpb::BuildHyperProtoBench(fleet);
+    const cpu::CpuParams boom = cpu::BoomParams();
+    const cpu::CpuParams xeon = cpu::XeonParams();
+    const accel::AccelConfig accel_cfg;
+
+    std::vector<FigureRow> rows;
+    for (const auto &b : benches) {
+        FigureRow row;
+        row.name = b.name;
+        row.boom = CpuDeserialize(boom, b.workload, /*repeats=*/4).gbps;
+        row.xeon = CpuDeserialize(xeon, b.workload, /*repeats=*/4).gbps;
+        row.accel =
+            AccelDeserialize(b.workload, accel_cfg, /*repeats=*/4).gbps;
+        rows.push_back(row);
+    }
+    PrintFigure("Figure 12: HyperProtoBench deserialization results",
+                rows);
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * Figure 6: estimated fleet-wide serialization time by field type —
+ * the §3.6.4 24-slice model, serialization direction.
+ */
+#include <cstdio>
+
+#include "profile/cycle_estimator.h"
+
+using namespace protoacc;
+using namespace protoacc::profile;
+
+int
+main()
+{
+    Fleet fleet{FleetParams{}};
+    ProtobufzSampler sampler(&fleet, /*seed=*/13);
+    const ShapeAggregate agg = sampler.Collect(/*messages=*/6000);
+    const cpu::CpuParams params = cpu::XeonParams();
+    const auto slices = EstimateCycleShares(agg, params);
+
+    std::printf(
+        "Figure 6: estimated serialization time by field type "
+        "(machine: %s)\n",
+        params.name.c_str());
+    std::printf("  %-16s %10s %12s %12s\n", "slice", "bytes%",
+                "cyc/byte", "time%");
+    double total_bytes = 0;
+    for (const auto &s : slices)
+        total_bytes += s.bytes;
+    for (const auto &s : slices) {
+        std::printf("  %-16s %9.2f%% %12.2f %11.2f%%\n", s.name.c_str(),
+                    100.0 * s.bytes / total_bytes, s.ser_cyc_per_b,
+                    s.ser_time_pct);
+    }
+    return 0;
+}

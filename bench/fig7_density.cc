@@ -1,0 +1,54 @@
+/**
+ * Figure 7: field-number usage density distribution (present fields /
+ * defined field-number range), weighted by observed messages — the
+ * protobufz x protodb join that motivates the ADT + sparse-hasbits
+ * programming interface (§3.7).
+ */
+#include <cstdio>
+
+#include "profile/samplers.h"
+
+using namespace protoacc;
+using namespace protoacc::profile;
+
+int
+main()
+{
+    Fleet fleet{FleetParams{}};
+    ProtobufzSampler sampler(&fleet, /*seed=*/17);
+    const ShapeAggregate agg = sampler.Collect(/*messages=*/20000);
+
+    std::printf(
+        "Figure 7: field-number usage density (weighted by observed "
+        "messages)\n");
+    std::printf("  %-12s %12s %8s\n", "density", "messages", "pct");
+    uint64_t total = 0;
+    for (uint64_t c : agg.density_deciles)
+        total += c;
+    for (size_t d = 0; d < agg.density_deciles.size(); ++d) {
+        std::printf("  [%.1f-%.1f%s %12llu %7.2f%%\n", d / 10.0,
+                    (d + 1) / 10.0, d == 9 ? "]" : ")",
+                    static_cast<unsigned long long>(
+                        agg.density_deciles[d]),
+                    100.0 * agg.density_deciles[d] / total);
+    }
+    std::printf(
+        "\n  messages with density > 1/64: %.1f%% (paper: >= 92%% — "
+        "favors per-type ADTs + sparse hasbits over per-instance "
+        "tables)\n",
+        100.0 * agg.density_over_1_64 / agg.density_samples);
+
+    // §3.3 join with protodb: proto2 share of sampled bytes.
+    std::printf(
+        "  proto2 share of sampled bytes: %.1f%% (paper: 96%%)\n",
+        100.0 * agg.proto2_bytes / agg.total_bytes);
+
+    const SchemaStats schema = CollectSchemaStats(fleet);
+    std::printf(
+        "  protodb: %llu message types, %llu fields, max field-number "
+        "range %llu\n",
+        static_cast<unsigned long long>(schema.message_types),
+        static_cast<unsigned long long>(schema.fields),
+        static_cast<unsigned long long>(schema.max_field_number_range));
+    return 0;
+}

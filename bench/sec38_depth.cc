@@ -1,0 +1,40 @@
+/**
+ * §3.8: how deep do sub-messages nest? Prints the bytes-by-depth
+ * distribution measured from protobufz-analog samples — the data that
+ * sizes the accelerator's on-chip metadata stacks at 25 entries.
+ */
+#include <cstdio>
+
+#include "profile/samplers.h"
+
+using namespace protoacc;
+using namespace protoacc::profile;
+
+int
+main()
+{
+    Fleet fleet{FleetParams{}};
+    ProtobufzSampler sampler(&fleet, /*seed=*/31);
+    const ShapeAggregate agg = sampler.Collect(/*messages=*/30000);
+
+    double total = 0;
+    for (const auto &[depth, bytes] : agg.bytes_by_depth)
+        total += bytes;
+
+    std::printf("Section 3.8: protobuf bytes by sub-message depth\n");
+    std::printf("  %-8s %14s %10s %12s\n", "depth", "bytes", "pct",
+                "cumulative");
+    double cum = 0;
+    for (const auto &[depth, bytes] : agg.bytes_by_depth) {
+        cum += bytes;
+        std::printf("  %-8d %14.0f %9.3f%% %11.4f%%\n", depth, bytes,
+                    100.0 * bytes / total, 100.0 * cum / total);
+    }
+    std::printf("\n  max observed depth: %d (paper: < 100)\n",
+                agg.max_depth);
+    std::printf(
+        "  paper anchors: 99.9%% of bytes at depth <= 12, 99.999%% at "
+        "depth <= 25 -> 25 on-chip stack entries with DRAM spill for "
+        "outliers\n");
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * §5.3: ASIC critical path and area — the analytic synthesis model's
+ * block inventory, total area and achievable frequency for both units,
+ * printed next to the paper's numbers (deserializer 0.133 mm^2 @
+ * 1.95 GHz; serializer 0.278 mm^2 @ 1.84 GHz).
+ */
+#include <cstdio>
+
+#include "asic/area_model.h"
+
+using namespace protoacc::asic;
+
+int
+main()
+{
+    const ProcessParams process;
+    const UnitReport deser = DeserializerReport(process);
+    const UnitReport ser = SerializerReport(process);
+
+    std::printf("Section 5.3: ASIC critical path and area (%s)\n\n",
+                process.name.c_str());
+    std::printf("%s\n", ToTable(deser).c_str());
+    std::printf("%s\n", ToTable(ser).c_str());
+    std::printf("  paper: deserializer 0.133 mm^2 @ 1.95 GHz; "
+                "serializer 0.278 mm^2 @ 1.84 GHz\n");
+    std::printf("  model: deserializer %.3f mm^2 @ %.2f GHz; "
+                "serializer %.3f mm^2 @ %.2f GHz\n",
+                deser.total_mm2, deser.freq_ghz, ser.total_mm2,
+                ser.freq_ghz);
+    std::printf(
+        "  serializer/deserializer area ratio: %.2fx (paper: 2.09x)\n",
+        ser.total_mm2 / deser.total_mm2);
+
+    // Area scaling with the FSU count (feeds the FSU ablation).
+    std::printf("\n  serializer area vs field-serializer count:\n");
+    for (int k : {1, 2, 4, 8}) {
+        const UnitReport r = SerializerReport(process, k);
+        std::printf("    K=%d: %.3f mm^2\n", k, r.total_mm2);
+    }
+    return 0;
+}

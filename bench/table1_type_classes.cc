@@ -1,0 +1,55 @@
+/**
+ * Table 1: classification of protobuf field types into
+ * performance-similar classes, validated against the wire-format
+ * implementation and printed in the paper's layout.
+ */
+#include <cstdio>
+#include <initializer_list>
+
+#include "common/check.h"
+#include "proto/wire_format.h"
+
+using namespace protoacc::proto;
+
+int
+main()
+{
+    std::printf("Table 1: classification of protobuf field types\n");
+    std::printf("  %-14s %-44s %s\n", "class", "protobuf types",
+                "sizes (bytes)");
+    std::printf("  %-14s %-44s %s\n", "bytes-like", "bytes, string",
+                "see Fig. 4c buckets");
+    std::printf("  %-14s %-44s %s\n", "varint-like",
+                "{s,u}int{64,32}, int{64,32}, enum, bool", "1-10, by 1");
+    std::printf("  %-14s %-44s %s\n", "float-like", "float", "4");
+    std::printf("  %-14s %-44s %s\n", "double-like", "double", "8");
+    std::printf("  %-14s %-44s %s\n", "fixed32-like", "fixed32, sfixed32",
+                "4");
+    std::printf("  %-14s %-44s %s\n", "fixed64-like", "fixed64, sfixed64",
+                "8");
+
+    // Validate the classification against the implementation.
+    for (FieldType t : {FieldType::kSint64, FieldType::kSint32,
+                        FieldType::kUint64, FieldType::kUint32,
+                        FieldType::kInt64, FieldType::kInt32,
+                        FieldType::kEnum, FieldType::kBool}) {
+        PA_CHECK(IsVarintType(t));
+    }
+    PA_CHECK(IsBytesLike(FieldType::kBytes));
+    PA_CHECK(IsBytesLike(FieldType::kString));
+    for (FieldType t : {FieldType::kFloat, FieldType::kFixed32,
+                        FieldType::kSfixed32}) {
+        PA_CHECK(WireTypeForField(t) == WireType::kFixed32);
+    }
+    for (FieldType t : {FieldType::kDouble, FieldType::kFixed64,
+                        FieldType::kSfixed64}) {
+        PA_CHECK(WireTypeForField(t) == WireType::kFixed64);
+    }
+    // Varint sizes really span 1..10 by 1.
+    for (int n = 1; n <= 10; ++n) {
+        const uint64_t v = n == 1 ? 0 : 1ull << (7 * (n - 1));
+        PA_CHECK_EQ(VarintSize(v), n);
+    }
+    std::printf("\n  classification validated against wire_format.h\n");
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * Fleet study walk-through: runs a miniature version of the paper's §3
+ * profiling pipeline — GWP, protobufz and protodb analogs over the
+ * synthetic fleet — and prints the §3.9 design-insight checklist with
+ * the measured values that justify each accelerator design decision.
+ *
+ *   ./build/examples/fleet_study
+ */
+#include <cstdio>
+
+#include "profile/samplers.h"
+
+using namespace protoacc;
+using namespace protoacc::profile;
+
+int
+main()
+{
+    Fleet fleet{FleetParams{}};
+    GwpSampler gwp(&fleet, 1);
+    ProtobufzSampler protobufz(&fleet, 2);
+
+    const CycleProfile cycles = gwp.Collect(5000);
+    const ShapeAggregate shapes = protobufz.Collect(8000);
+    const SchemaStats schema = CollectSchemaStats(fleet);
+
+    std::printf("== Key insights for accelerator design (S3.9) ==\n\n");
+
+    const double offloadable =
+        (cycles.pct("deserialize") + cycles.pct("serialize") +
+         cycles.pct("byte_size")) /
+        100.0 * kProtobufShareOfFleetCycles * kCppShareOfProtobufCycles *
+        100.0;
+    std::printf(
+        "1. Opportunity: ser+deser+bytesize = %.2f%% of fleet cycles "
+        "(paper: 3.45%%)\n",
+        offloadable);
+
+    std::printf(
+        "2. Stability: %.1f%% of sampled bytes are proto2 (paper: 96%%) "
+        "-> formats are stable, acceleration is viable\n",
+        100.0 * shapes.proto2_bytes / shapes.total_bytes);
+
+    std::printf(
+        "3. Placement: RPC drives only %.0f%%/%.0f%% of deser/ser "
+        "cycles (paper facts) -> near-core, not on-NIC\n",
+        kDeserRpcShare * 100, kSerRpcShare * 100);
+
+    double cum = 0;
+    for (size_t i = 0; i < 3; ++i)
+        cum += shapes.msg_sizes.count_pct(i);
+    std::printf(
+        "4. Granularity: %.0f%% of messages are <= 32 B -> offload "
+        "overhead must be tiny (batching + RoCC, not PCIe)\n",
+        cum);
+
+    double varint_fields = 0, total_fields = 0;
+    for (const auto &[key, stats] : shapes.by_type) {
+        total_fields += static_cast<double>(stats.count);
+        if (proto::IsVarintType(static_cast<proto::FieldType>(key.first)))
+            varint_fields += static_cast<double>(stats.count);
+    }
+    std::printf(
+        "5. Field mix: %.0f%% of fields are varint-like -> single-cycle "
+        "varint units, not just fast memcpy\n",
+        100.0 * varint_fields / total_fields);
+
+    std::printf(
+        "6. Programming interface: %.0f%% of messages have density > "
+        "1/64 -> per-type ADTs + sparse hasbits beat per-instance "
+        "tables\n",
+        100.0 * shapes.density_over_1_64 / shapes.density_samples);
+
+    double depth_bytes_12 = 0, depth_bytes_total = 0;
+    for (const auto &[depth, bytes] : shapes.bytes_by_depth) {
+        depth_bytes_total += bytes;
+        if (depth <= kDepth999)
+            depth_bytes_12 += bytes;
+    }
+    std::printf(
+        "7. Sub-messages: %.2f%% of bytes at depth <= %d (max observed "
+        "%d) -> 25 on-chip context-stack entries suffice\n",
+        100.0 * depth_bytes_12 / depth_bytes_total, kDepth999,
+        shapes.max_depth);
+
+    std::printf(
+        "\nprotodb: %llu types, %llu fields, %llu/%llu repeated scalar "
+        "fields packed\n",
+        static_cast<unsigned long long>(schema.message_types),
+        static_cast<unsigned long long>(schema.fields),
+        static_cast<unsigned long long>(schema.packed_repeated_fields),
+        static_cast<unsigned long long>(schema.repeated_scalar_fields));
+    return 0;
+}

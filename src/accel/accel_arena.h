@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Accelerator arenas (§4.3, §4.5.1).
+ *
+ * The application pre-allocates memory regions and hands them to the
+ * accelerator via the {ser,deser}_assign_arena instructions, removing
+ * the CPU from the allocation critical path.
+ *
+ *  - For deserialization the accelerator bump-allocates sub-message
+ *    objects, strings and repeated-field storage from the assigned
+ *    region (we back it with a proto::Arena so software can read the
+ *    resulting objects uniformly).
+ *  - For serialization the arena holds two regions: an output-data
+ *    buffer populated from HIGH to LOW addresses (§4.5.1 — the reverse
+ *    field-order trick that makes sub-message lengths cheap) and a
+ *    buffer of pointers to the start of each completed serialized
+ *    message.
+ */
+#ifndef PROTOACC_ACCEL_ACCEL_ARENA_H
+#define PROTOACC_ACCEL_ACCEL_ARENA_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "proto/arena.h"
+
+namespace protoacc::accel {
+
+/**
+ * Serialization output arena: region (1) output data, written high→low;
+ * region (2) pointers to the front of each serialized output.
+ */
+class SerArena
+{
+  public:
+    explicit SerArena(size_t capacity = 16 * 1024 * 1024)
+        : buffer_(capacity), head_(capacity)
+    {}
+
+    /// One completed serialization's location and size.
+    struct Output
+    {
+        const uint8_t *data;
+        size_t size;
+    };
+
+    uint8_t *buffer_base() { return buffer_.data(); }
+    size_t capacity() const { return buffer_.size(); }
+
+    /// Current write cursor (descending); exposed for the serializer.
+    size_t head() const { return head_; }
+    void set_head(size_t h) { head_ = h; }
+
+    uint8_t *at(size_t pos) { return buffer_.data() + pos; }
+
+    /// Record a completed top-level output starting at @p pos.
+    void
+    PushOutputPointer(size_t pos, size_t size)
+    {
+        outputs_.push_back(Output{buffer_.data() + pos, size});
+    }
+
+    /// §4.5.2: "the user program can call a function to get a pointer to
+    /// the Nth serialized output (and its length) from the arena."
+    const Output &
+    output(size_t i) const
+    {
+        PA_CHECK_LT(i, outputs_.size());
+        return outputs_[i];
+    }
+    size_t output_count() const { return outputs_.size(); }
+
+    /// Reuse the arena for a new batch.
+    void
+    Reset()
+    {
+        head_ = buffer_.size();
+        outputs_.clear();
+    }
+
+    size_t bytes_used() const { return buffer_.size() - head_; }
+
+  private:
+    std::vector<uint8_t> buffer_;
+    size_t head_;  ///< descending cursor into buffer_
+    std::vector<Output> outputs_;
+};
+
+}  // namespace protoacc::accel
+
+#endif  // PROTOACC_ACCEL_ACCEL_ARENA_H

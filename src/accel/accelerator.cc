@@ -1,0 +1,127 @@
+#include "accel/accelerator.h"
+
+namespace protoacc::accel {
+
+ProtoAccelerator::ProtoAccelerator(sim::MemorySystem *memory,
+                                   const AccelConfig &config)
+    : config_(config),
+      deser_(std::make_unique<DeserializerUnit>(memory, config.deser)),
+      ser_(std::make_unique<SerializerUnit>(memory, config.ser)),
+      ops_(std::make_unique<OpsUnit>(memory, config.ops))
+{}
+
+void
+ProtoAccelerator::DeserAssignArena(proto::Arena *arena)
+{
+    deser_->AssignArena(arena);
+    // §7: the ops unit shares the deserialization arena (it constructs
+    // the same kinds of objects).
+    ops_->AssignArena(arena);
+}
+
+void
+ProtoAccelerator::SerAssignArena(SerArena *arena)
+{
+    ser_->AssignArena(arena);
+}
+
+void
+ProtoAccelerator::EnqueueDeser(const DeserJob &job)
+{
+    deser_queue_.push_back(job);
+}
+
+AccelStatus
+ProtoAccelerator::BlockForDeserCompletion(uint64_t *cycles)
+{
+    uint64_t total = kFenceCycles;
+    AccelStatus status = AccelStatus::kOk;
+    for (const DeserJob &job : deser_queue_) {
+        uint64_t job_cycles = 0;
+        const AccelStatus st = deser_->Run(job, &job_cycles);
+        total += job_cycles;
+        if (st != AccelStatus::kOk && status == AccelStatus::kOk)
+            status = st;
+    }
+    deser_queue_.clear();
+    *cycles = total;
+    return status;
+}
+
+void
+ProtoAccelerator::EnqueueSer(const SerJob &job)
+{
+    ser_queue_.push_back(job);
+}
+
+AccelStatus
+ProtoAccelerator::BlockForSerCompletion(uint64_t *cycles)
+{
+    uint64_t total = kFenceCycles;
+    AccelStatus status = AccelStatus::kOk;
+    for (const SerJob &job : ser_queue_) {
+        uint64_t job_cycles = 0;
+        const AccelStatus st = ser_->Run(job, &job_cycles);
+        total += job_cycles;
+        if (st != AccelStatus::kOk && status == AccelStatus::kOk)
+            status = st;
+    }
+    ser_queue_.clear();
+    ser_->ResetPipeline();  // the fence drains the pipeline
+    *cycles = total;
+    return status;
+}
+
+void
+ProtoAccelerator::EnqueueOp(const OpsJob &job)
+{
+    ops_queue_.push_back(job);
+}
+
+AccelStatus
+ProtoAccelerator::BlockForOpsCompletion(uint64_t *cycles)
+{
+    uint64_t total = kFenceCycles;
+    AccelStatus status = AccelStatus::kOk;
+    for (const OpsJob &job : ops_queue_) {
+        uint64_t job_cycles = 0;
+        const AccelStatus st = ops_->Run(job, &job_cycles);
+        total += job_cycles;
+        if (st != AccelStatus::kOk && status == AccelStatus::kOk)
+            status = st;
+    }
+    ops_queue_.clear();
+    *cycles = total;
+    return status;
+}
+
+SerJob
+MakeSerJob(const AdtBuilder &adts, int msg_index,
+           const proto::DescriptorPool &pool, const void *obj)
+{
+    const auto &desc = pool.message(msg_index);
+    SerJob job;
+    job.adt = adts.adt(msg_index);
+    job.src_obj = obj;
+    job.hasbits_offset = desc.layout().hasbits_offset;
+    job.min_field = desc.min_field_number();
+    job.max_field = desc.max_field_number();
+    return job;
+}
+
+DeserJob
+MakeDeserJob(const AdtBuilder &adts, int msg_index,
+             const proto::DescriptorPool &pool, void *dest_obj,
+             const uint8_t *src, size_t len)
+{
+    const auto &desc = pool.message(msg_index);
+    DeserJob job;
+    job.adt = adts.adt(msg_index);
+    job.dest_obj = dest_obj;
+    job.src = src;
+    job.src_len = len;
+    job.min_field = desc.min_field_number();
+    return job;
+}
+
+}  // namespace protoacc::accel

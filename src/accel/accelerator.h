@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Top-level protobuf accelerator (Figure 8): the deserializer and
+ * serializer units behind the RoCC command router, sharing the SoC's
+ * L2/LLC with the application core.
+ *
+ * Mirrors the software-visible contract of §4.4.1/§4.5.2: the CPU
+ * enqueues any number of {deser_info, do_proto_deser} or
+ * {ser_info, do_proto_ser} pairs, then issues a single
+ * block_for_*_completion, which returns once all in-flight operations
+ * retire — the batching middle ground that amortizes offload cost for
+ * tiny messages (§3.5).
+ */
+#ifndef PROTOACC_ACCEL_ACCELERATOR_H
+#define PROTOACC_ACCEL_ACCELERATOR_H
+
+#include <memory>
+#include <vector>
+
+#include "accel/deserializer.h"
+#include "accel/ops_unit.h"
+#include "accel/serializer.h"
+
+namespace protoacc::accel {
+
+/// Accelerator-wide configuration.
+struct AccelConfig
+{
+    /// Clock of the accelerator and SoC (§5: modeled at 2 GHz, supported
+    /// by the §5.3 synthesis results of 1.95/1.84 GHz).
+    double freq_ghz = 2.0;
+    DeserTiming deser;
+    SerTiming ser;
+    OpsTiming ops;
+};
+
+/**
+ * The accelerator device model. Owns both units; jobs within a batch
+ * execute back-to-back on their unit (one FSM each), and the blocking
+ * fence returns the batch's total latency.
+ */
+class ProtoAccelerator
+{
+  public:
+    ProtoAccelerator(sim::MemorySystem *memory, const AccelConfig &config);
+
+    const AccelConfig &config() const { return config_; }
+
+    // ---- §4.3 arena assignment instructions ----
+    void DeserAssignArena(proto::Arena *arena);
+    void SerAssignArena(SerArena *arena);
+
+    // ---- deserialization (§4.4.1) ----
+    /// deser_info + do_proto_deser: queue one deserialization.
+    void EnqueueDeser(const DeserJob &job);
+    /**
+     * block_for_deser_completion: run all queued jobs back-to-back.
+     *
+     * @param[out] cycles total batch latency (including the fence).
+     * @return the first non-OK status, if any.
+     */
+    AccelStatus BlockForDeserCompletion(uint64_t *cycles);
+
+    // ---- serialization (§4.5.2) ----
+    void EnqueueSer(const SerJob &job);
+    AccelStatus BlockForSerCompletion(uint64_t *cycles);
+
+    // ---- §7 message operations (merge/copy/clear) ----
+    void EnqueueOp(const OpsJob &job);
+    AccelStatus BlockForOpsCompletion(uint64_t *cycles);
+
+    DeserializerUnit &deserializer() { return *deser_; }
+    SerializerUnit &serializer() { return *ser_; }
+    OpsUnit &ops() { return *ops_; }
+    const DeserializerUnit &deserializer() const { return *deser_; }
+    const SerializerUnit &serializer() const { return *ser_; }
+    const OpsUnit &ops() const { return *ops_; }
+
+    /// Convert a cycle count to seconds at the modeled clock.
+    double
+    Seconds(uint64_t cycles) const
+    {
+        return static_cast<double>(cycles) / (config_.freq_ghz * 1e9);
+    }
+
+  private:
+    AccelConfig config_;
+    std::unique_ptr<DeserializerUnit> deser_;
+    std::unique_ptr<SerializerUnit> ser_;
+    std::unique_ptr<OpsUnit> ops_;
+    std::vector<DeserJob> deser_queue_;
+    std::vector<SerJob> ser_queue_;
+    std::vector<OpsJob> ops_queue_;
+};
+
+/**
+ * Convenience builder for SerJob from a compiled message type (the code
+ * the modified protobuf library generates around do_proto_ser).
+ */
+SerJob MakeSerJob(const AdtBuilder &adts, int msg_index,
+                  const proto::DescriptorPool &pool, const void *obj);
+
+/// Likewise for DeserJob.
+DeserJob MakeDeserJob(const AdtBuilder &adts, int msg_index,
+                      const proto::DescriptorPool &pool, void *dest_obj,
+                      const uint8_t *src, size_t len);
+
+}  // namespace protoacc::accel
+
+#endif  // PROTOACC_ACCEL_ACCELERATOR_H

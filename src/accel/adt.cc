@@ -1,0 +1,182 @@
+#include "accel/adt.h"
+
+#include <cstring>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace protoacc::accel {
+
+namespace {
+
+// Header field offsets within the 64 B header region.
+constexpr uint32_t kHdrDefaultInstance = 0;
+constexpr uint32_t kHdrObjectSize = 8;
+constexpr uint32_t kHdrHasbitsOffset = 12;
+constexpr uint32_t kHdrHasbitsWords = 16;
+constexpr uint32_t kHdrMinField = 20;
+constexpr uint32_t kHdrMaxField = 24;
+
+// Entry field offsets within a 16 B entry.
+constexpr uint32_t kEntType = 0;
+constexpr uint32_t kEntFlags = 1;
+constexpr uint32_t kEntOffset = 4;
+constexpr uint32_t kEntSubAdt = 8;
+
+template <typename T>
+void
+StoreAt(uint8_t *base, uint32_t offset, T value)
+{
+    std::memcpy(base + offset, &value, sizeof(T));
+}
+
+template <typename T>
+T
+LoadAt(const uint8_t *base, uint32_t offset)
+{
+    T value;
+    std::memcpy(&value, base + offset, sizeof(T));
+    return value;
+}
+
+uint32_t
+FieldRange(const proto::MessageDescriptor &desc)
+{
+    return desc.field_number_range();
+}
+
+}  // namespace
+
+AdtHeader
+AdtView::ReadHeader() const
+{
+    AdtHeader h;
+    h.default_instance_addr = LoadAt<uint64_t>(base_, kHdrDefaultInstance);
+    h.object_size = LoadAt<uint32_t>(base_, kHdrObjectSize);
+    h.hasbits_offset = LoadAt<uint32_t>(base_, kHdrHasbitsOffset);
+    h.hasbits_words = LoadAt<uint32_t>(base_, kHdrHasbitsWords);
+    h.min_field = LoadAt<uint32_t>(base_, kHdrMinField);
+    h.max_field = LoadAt<uint32_t>(base_, kHdrMaxField);
+    return h;
+}
+
+const uint8_t *
+AdtView::EntryAddr(uint32_t field_number, const AdtHeader &header) const
+{
+    PA_CHECK_GE(field_number, header.min_field);
+    PA_CHECK_LE(field_number, header.max_field);
+    const uint32_t index = field_number - header.min_field;
+    return base_ + kAdtHeaderBytes +
+           static_cast<size_t>(index) * kAdtEntryBytes;
+}
+
+AdtFieldEntry
+AdtView::ReadEntry(uint32_t field_number, const AdtHeader &header) const
+{
+    const uint8_t *e = EntryAddr(field_number, header);
+    AdtFieldEntry entry;
+    entry.type = static_cast<proto::FieldType>(LoadAt<uint8_t>(e, kEntType));
+    entry.flags = LoadAt<uint8_t>(e, kEntFlags);
+    entry.offset = LoadAt<uint32_t>(e, kEntOffset);
+    entry.sub_adt_addr = LoadAt<uint64_t>(e, kEntSubAdt);
+    return entry;
+}
+
+const uint8_t *
+AdtView::SubmessageBitfieldAddr(const AdtHeader &header) const
+{
+    const uint32_t range =
+        header.max_field >= header.min_field && header.max_field != 0
+            ? header.max_field - header.min_field + 1
+            : 0;
+    return base_ + kAdtHeaderBytes +
+           static_cast<size_t>(range) * kAdtEntryBytes;
+}
+
+uint32_t
+AdtView::SubmessageBitfieldBytes(const AdtHeader &header) const
+{
+    const uint32_t range =
+        header.max_field >= header.min_field && header.max_field != 0
+            ? header.max_field - header.min_field + 1
+            : 0;
+    return static_cast<uint32_t>(CeilDiv(range, 8));
+}
+
+bool
+AdtView::IsSubmessage(uint32_t field_number, const AdtHeader &header) const
+{
+    const uint32_t index = field_number - header.min_field;
+    const uint8_t *bits = SubmessageBitfieldAddr(header);
+    return (bits[index / 8] >> (index % 8)) & 1;
+}
+
+AdtBuilder::AdtBuilder(const proto::DescriptorPool &pool,
+                       proto::Arena *arena)
+{
+    PA_CHECK(pool.compiled());
+    const size_t n = pool.message_count();
+    adts_.resize(n);
+
+    // Pass 1: allocate all images so sub-ADT pointers can be linked
+    // (types may be mutually or self-recursive).
+    std::vector<size_t> sizes(n);
+    for (size_t i = 0; i < n; ++i) {
+        const auto &desc = pool.message(static_cast<int>(i));
+        const uint32_t range = FieldRange(desc);
+        sizes[i] = kAdtHeaderBytes +
+                   static_cast<size_t>(range) * kAdtEntryBytes +
+                   CeilDiv(range, 8);
+        adts_[i] = static_cast<uint8_t *>(arena->Allocate(sizes[i], 16));
+        total_bytes_ += sizes[i];
+    }
+
+    // Pass 2: populate headers, entries and is_submessage bitfields.
+    for (size_t i = 0; i < n; ++i) {
+        const auto &desc = pool.message(static_cast<int>(i));
+        const auto &layout = desc.layout();
+        PA_CHECK_EQ(static_cast<int>(layout.hasbits_mode),
+                    static_cast<int>(proto::HasbitsMode::kSparse));
+        uint8_t *base = adts_[i];
+
+        StoreAt<uint64_t>(base, kHdrDefaultInstance,
+                          reinterpret_cast<uint64_t>(
+                              desc.default_instance()));
+        StoreAt<uint32_t>(base, kHdrObjectSize, layout.object_size);
+        StoreAt<uint32_t>(base, kHdrHasbitsOffset, layout.hasbits_offset);
+        StoreAt<uint32_t>(base, kHdrHasbitsWords, layout.hasbits_words);
+        StoreAt<uint32_t>(base, kHdrMinField, desc.min_field_number());
+        StoreAt<uint32_t>(base, kHdrMaxField, desc.max_field_number());
+
+        const uint32_t range = FieldRange(desc);
+        uint8_t *entries = base + kAdtHeaderBytes;
+        uint8_t *subbits =
+            entries + static_cast<size_t>(range) * kAdtEntryBytes;
+        for (const auto &f : desc.fields()) {
+            const uint32_t index = f.number - desc.min_field_number();
+            uint8_t *e =
+                entries + static_cast<size_t>(index) * kAdtEntryBytes;
+            StoreAt<uint8_t>(e, kEntType, static_cast<uint8_t>(f.type));
+            uint8_t flags = kAdtFieldDefined;
+            if (f.repeated())
+                flags |= kAdtFieldRepeated;
+            if (f.packed)
+                flags |= kAdtFieldPacked;
+            if (f.type == proto::FieldType::kString &&
+                desc.syntax() == proto::Syntax::kProto3) {
+                flags |= kAdtFieldValidateUtf8;
+            }
+            StoreAt<uint8_t>(e, kEntFlags, flags);
+            StoreAt<uint32_t>(e, kEntOffset, f.offset);
+            if (f.type == proto::FieldType::kMessage) {
+                StoreAt<uint64_t>(e, kEntSubAdt,
+                                  reinterpret_cast<uint64_t>(
+                                      adts_[f.message_type]));
+                subbits[index / 8] |=
+                    static_cast<uint8_t>(1u << (index % 8));
+            }
+        }
+    }
+}
+
+}  // namespace protoacc::accel

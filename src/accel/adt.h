@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Accelerator Descriptor Tables (§4.2).
+ *
+ * One ADT per message *type* (not per instance), generated at
+ * "program-load time" from the compiled layout — our analog of the
+ * paper's modified protoc. Each ADT is a real byte array in
+ * accelerator-visible memory with three regions:
+ *
+ *   1. a 64 B header: default-instance pointer, C++ object size, hasbits
+ *      offset, min/max defined field number;
+ *   2. 128-bit field entries indexed by (field_number - min), each with
+ *      the field's C++ type, repeated/packed flags, slot offset, and for
+ *      sub-message fields a pointer to the sub-type's ADT;
+ *   3. the is_submessage bit field, letting the serializer frontend
+ *      context-switch without waiting for a full entry read.
+ *
+ * The accelerator units read these tables through their memory ports —
+ * never through DescriptorPool — so the hardware model's only contract
+ * with software is the ADT byte format plus the object layout, exactly
+ * as in the paper.
+ */
+#ifndef PROTOACC_ACCEL_ADT_H
+#define PROTOACC_ACCEL_ADT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/arena.h"
+#include "proto/descriptor.h"
+
+namespace protoacc::accel {
+
+/// Byte size of the ADT header region.
+inline constexpr uint32_t kAdtHeaderBytes = 64;
+/// Byte size of one ADT field entry (128 bits, §4.2).
+inline constexpr uint32_t kAdtEntryBytes = 16;
+
+/// Field-entry flag bits.
+enum AdtFieldFlags : uint8_t {
+    kAdtFieldDefined = 1 << 0,   ///< a field with this number exists
+    kAdtFieldRepeated = 1 << 1,
+    kAdtFieldPacked = 1 << 2,
+    /// §7 proto3 support: string field whose payload the deserializer
+    /// must pass through the combinational UTF-8 checker.
+    kAdtFieldValidateUtf8 = 1 << 3,
+};
+
+/// Decoded view of one 128-bit ADT field entry.
+struct AdtFieldEntry
+{
+    proto::FieldType type = proto::FieldType::kInt32;
+    uint8_t flags = 0;
+    uint32_t offset = 0;        ///< field slot offset in the C++ object
+    uint64_t sub_adt_addr = 0;  ///< ADT of the sub-message type, or 0
+
+    bool defined() const { return flags & kAdtFieldDefined; }
+    bool repeated() const { return flags & kAdtFieldRepeated; }
+    bool packed() const { return flags & kAdtFieldPacked; }
+    bool validate_utf8() const { return flags & kAdtFieldValidateUtf8; }
+};
+
+/// Decoded view of the 64 B ADT header.
+struct AdtHeader
+{
+    uint64_t default_instance_addr = 0;
+    uint32_t object_size = 0;
+    uint32_t hasbits_offset = 0;
+    uint32_t hasbits_words = 0;
+    uint32_t min_field = 0;
+    uint32_t max_field = 0;
+};
+
+/**
+ * Reader over a raw ADT byte image. The accelerator units use this to
+ * decode header/entry/bitfield bytes they load through their ports.
+ */
+class AdtView
+{
+  public:
+    explicit AdtView(const uint8_t *base) : base_(base) {}
+
+    const uint8_t *base() const { return base_; }
+
+    AdtHeader ReadHeader() const;
+
+    /// Entry for @p field_number; entry addresses are indexed by
+    /// (field_number - min_field).
+    AdtFieldEntry ReadEntry(uint32_t field_number,
+                            const AdtHeader &header) const;
+
+    /// Address of the entry (for memory-port pricing).
+    const uint8_t *EntryAddr(uint32_t field_number,
+                             const AdtHeader &header) const;
+
+    /// True if @p field_number is a sub-message field, from region 3.
+    bool IsSubmessage(uint32_t field_number,
+                      const AdtHeader &header) const;
+
+    /// Address of the is_submessage bitfield region.
+    const uint8_t *SubmessageBitfieldAddr(const AdtHeader &header) const;
+    uint32_t SubmessageBitfieldBytes(const AdtHeader &header) const;
+
+  private:
+    const uint8_t *base_;
+};
+
+/**
+ * Generates ADT byte images for every message type of a compiled pool
+ * into an arena (the paper's load-time population, §4.2).
+ */
+class AdtBuilder
+{
+  public:
+    /**
+     * Build ADTs for all types in @p pool. The images live in @p arena
+     * for the lifetime of the builder's user.
+     */
+    AdtBuilder(const proto::DescriptorPool &pool, proto::Arena *arena);
+
+    /// ADT image base address for message type @p msg_index.
+    const uint8_t *adt(int msg_index) const { return adts_[msg_index]; }
+
+    /// Convenience view.
+    AdtView view(int msg_index) const { return AdtView(adts_[msg_index]); }
+
+    /// Total bytes of ADT state generated (programming-table footprint,
+    /// compared against per-instance schemes in the §3.7 ablation).
+    size_t total_bytes() const { return total_bytes_; }
+
+  private:
+    std::vector<uint8_t *> adts_;
+    size_t total_bytes_ = 0;
+};
+
+}  // namespace protoacc::accel
+
+#endif  // PROTOACC_ACCEL_ADT_H

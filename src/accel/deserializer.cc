@@ -1,0 +1,566 @@
+#include "accel/deserializer.h"
+
+#include <cstring>
+#include <vector>
+
+#include "accel/varint_unit.h"
+#include "proto/utf8.h"
+#include "common/bits.h"
+#include "proto/arena_string.h"
+#include "proto/repeated.h"
+
+namespace protoacc::accel {
+
+using proto::ArenaString;
+using proto::FieldType;
+using proto::RepeatedField;
+using proto::RepeatedPtrField;
+using proto::WireType;
+
+const char *
+AccelStatusName(AccelStatus status)
+{
+    switch (status) {
+      case AccelStatus::kOk: return "ok";
+      case AccelStatus::kMalformedInput: return "malformed input";
+      case AccelStatus::kTruncated: return "truncated";
+      case AccelStatus::kUnsupportedWireType: return "unsupported wire type";
+      case AccelStatus::kOutputOverflow: return "output overflow";
+      case AccelStatus::kInvalidUtf8: return "invalid utf-8";
+    }
+    return "?";
+}
+
+DeserializerUnit::DeserializerUnit(sim::MemorySystem *memory,
+                                   const DeserTiming &timing)
+    : memory_(memory),
+      timing_(timing),
+      memloader_port_("deser.memloader", memory, sim::TlbConfig{}),
+      adt_port_("deser.adt", memory, sim::TlbConfig{}),
+      writer_port_("deser.writer", memory, sim::TlbConfig{}),
+      adt_buffer_(timing.adt_buffer_entries, timing.adt_buffer_hit_cycles)
+{}
+
+void
+DeserializerUnit::ResetStats()
+{
+    stats_ = DeserStats{};
+    memloader_port_.ResetStats();
+    adt_port_.ResetStats();
+    writer_port_.ResetStats();
+}
+
+/**
+ * Per-job execution state: memloader stream tracking, the cycle
+ * counter, and the message-level metadata stack.
+ */
+struct DeserializerUnit::Context
+{
+    DeserializerUnit *unit;
+    const DeserJob *job;
+
+    uint64_t cycle = 0;          ///< FSM cycle counter for this job
+    uint64_t consumed = 0;       ///< input bytes consumed so far
+    uint64_t stream_base = 0;    ///< cycle when the first beat arrived
+    uint64_t fetched_lines = 0;  ///< 64 B input lines charged so far
+
+    /// §4.4.9 message-level metadata (one entry per nesting level).
+    struct Frame
+    {
+        AdtView adt{nullptr};
+        AdtHeader header;
+        uint8_t *obj = nullptr;
+        uint64_t end_offset = 0;  ///< input offset where payload ends
+    };
+    std::vector<Frame> stack;
+
+    const uint8_t *in() const { return job->src + consumed; }
+    const uint8_t *in_end(const Frame &f) const
+    {
+        return job->src + f.end_offset;
+    }
+    uint64_t
+    remaining(const Frame &f) const
+    {
+        return f.end_offset - consumed;
+    }
+
+    void Tick(uint64_t n) { cycle += n; }
+
+    /**
+     * Account input-stream consumption: charge memory traffic for newly
+     * touched 64 B lines (the memloader prefetches linearly behind the
+     * first access) and enforce the 16 B/cycle consumer bound.
+     */
+    void
+    Consume(uint64_t n)
+    {
+        consumed += n;
+        const uint64_t need_lines = CeilDiv(consumed, 64);
+        while (fetched_lines < need_lines) {
+            unit->memloader_port_.Read(job->src + fetched_lines * 64, 64);
+            ++fetched_lines;
+        }
+        const uint64_t bound =
+            stream_base +
+            CeilDiv(consumed, unit->timing_.stream_bytes_per_cycle);
+        if (bound > cycle) {
+            unit->stats_.stream_stall_cycles += bound - cycle;
+            cycle = bound;
+        }
+    }
+
+    /// typeInfo state: block on the 128-bit ADT entry load (§4.4.5),
+    /// short-circuited by the ADT loader's response buffer when the
+    /// entry was returned recently (batches of one type re-touch the
+    /// same per-type entries on every message).
+    AdtFieldEntry
+    LoadEntry(const Frame &f, uint32_t number)
+    {
+        const uint8_t *addr = f.adt.EntryAddr(number, f.header);
+        const uint64_t lat = unit->adt_buffer_.Access(addr)
+                                 ? unit->adt_buffer_.hit_cycles()
+                                 : unit->adt_port_.Read(addr,
+                                                        kAdtEntryBytes);
+        unit->stats_.adt_stall_cycles += lat;
+        Tick(lat);
+        return f.adt.ReadEntry(number, f.header);
+    }
+
+    /// ADT header load with the same response buffering.
+    uint64_t
+    LoadHeaderLatency(const uint8_t *adt_base)
+    {
+        return unit->adt_buffer_.Access(adt_base)
+                   ? unit->adt_buffer_.hit_cycles()
+                   : unit->adt_port_.Read(adt_base, kAdtHeaderBytes);
+    }
+
+    /// Hasbits writer (§4.4.4): posted read-modify-write, off the
+    /// critical path — traffic is charged, the FSM does not stall.
+    void
+    WriteHasbit(const Frame &f, uint32_t number)
+    {
+        const uint32_t index = number - f.header.min_field;
+        uint32_t *word = reinterpret_cast<uint32_t *>(
+            f.obj + f.header.hasbits_offset + (index / 32) * 4);
+        *word |= 1u << (index % 32);
+        unit->writer_port_.Write(word, 4);
+    }
+
+    /// Posted store of @p n bytes at @p dst (copies real data).
+    void
+    Store(void *dst, const void *src, uint64_t n)
+    {
+        std::memcpy(dst, src, n);
+        unit->writer_port_.Write(dst, n);
+    }
+};
+
+namespace {
+
+/// In-memory bit pattern for a decoded varint wire value (mirrors the
+/// RTL's combinational zig-zag / truncation muxes, §4.4.6).
+uint64_t
+VarintToMemory(FieldType type, uint64_t wire)
+{
+    switch (type) {
+      case FieldType::kInt32:
+      case FieldType::kEnum:
+      case FieldType::kUint32:
+        return static_cast<uint32_t>(wire);
+      case FieldType::kSint32:
+        return static_cast<uint32_t>(
+            proto::ZigZagDecode32(static_cast<uint32_t>(wire)));
+      case FieldType::kSint64:
+        return static_cast<uint64_t>(CombinationalZigZagDecode(wire));
+      case FieldType::kBool:
+        return wire != 0 ? 1 : 0;
+      default:
+        return wire;
+    }
+}
+
+uint64_t
+WireValueSize(WireType wt)
+{
+    return wt == WireType::kFixed32 ? 4 : 8;
+}
+
+}  // namespace
+
+AccelStatus
+DeserializerUnit::Run(const DeserJob &job, uint64_t *cycles)
+{
+    PA_CHECK(arena_ != nullptr);
+    Context ctx;
+    ctx.unit = this;
+    ctx.job = &job;
+
+    ++stats_.jobs;
+    stats_.wire_bytes += job.src_len;
+
+    // RoCC dispatch (deser_info + do_proto_deser) and first memloader
+    // fill: the stream becomes available after the initial access
+    // latency; afterwards consumption is bandwidth-bound.
+    ctx.Tick(2 * kRoccDispatchCycles);
+    const uint64_t first_lat = memloader_port_.Read(
+        job.src, job.src_len < 64 ? job.src_len : 64);
+    ctx.fetched_lines = 1;
+    ctx.Tick(first_lat);
+    ctx.stream_base = ctx.cycle;
+
+    // Top-level frame: ADT pointer and destination object arrive via
+    // the RoCC instruction operands; the header for the top-level type
+    // is fetched once.
+    Context::Frame top;
+    top.adt = AdtView(job.adt);
+    ctx.Tick(ctx.LoadHeaderLatency(job.adt));
+    top.header = top.adt.ReadHeader();
+    top.obj = static_cast<uint8_t *>(job.dest_obj);
+    top.end_offset = job.src_len;
+    ctx.stack.push_back(top);
+
+    AccelStatus status = AccelStatus::kOk;
+
+    while (!ctx.stack.empty()) {
+        Context::Frame &frame = ctx.stack.back();
+        if (ctx.consumed > frame.end_offset) {
+            status = AccelStatus::kMalformedInput;
+            break;
+        }
+        if (ctx.consumed == frame.end_offset) {
+            // End of (sub-)message: pop the metadata stack (§4.4.9).
+            ctx.Tick(timing_.stack_pop_cycles);
+            if (ctx.stack.size() > timing_.on_chip_stack_depth) {
+                // Refill a spilled entry from memory.
+                ctx.Tick(timing_.stack_spill_cycles);
+                writer_port_.Read(&frame, sizeof(frame));
+            }
+            ctx.stack.pop_back();
+            continue;
+        }
+
+        // ---- parseKey state (§4.4.4) ----
+        ctx.Tick(timing_.parse_key_cycles);
+        const VarintDecodeResult key =
+            CombinationalVarintDecode(ctx.in(), ctx.in_end(frame));
+        if (key.length == 0) {
+            status = AccelStatus::kMalformedInput;
+            break;
+        }
+        const uint32_t number = proto::TagFieldNumber(key.value);
+        const WireType wt = proto::TagWireType(key.value);
+        ctx.Consume(key.length);
+        ++stats_.fields;
+
+        if (wt == WireType::kStartGroup || wt == WireType::kEndGroup) {
+            status = AccelStatus::kUnsupportedWireType;
+            break;
+        }
+        if (number == 0) {
+            // Field number zero is reserved by the spec; the frontend
+            // uses it internally as the end-of-message sentinel, so a
+            // zero key on the wire is malformed input (§4.5.3).
+            status = AccelStatus::kMalformedInput;
+            break;
+        }
+
+        // Fields outside the defined range (schema evolution) are
+        // skipped by wire type without an ADT request.
+        const bool known = number >= frame.header.min_field &&
+                           number <= frame.header.max_field &&
+                           number != 0;
+        AdtFieldEntry entry;
+        if (known) {
+            entry = ctx.LoadEntry(frame, number);  // typeInfo state
+        }
+        if (!known || !entry.defined()) {
+            ++stats_.unknown_fields;
+            ctx.Tick(timing_.unknown_skip_cycles);
+            uint64_t skip = 0;
+            switch (wt) {
+              case WireType::kVarint: {
+                const VarintDecodeResult v = CombinationalVarintDecode(
+                    ctx.in(), ctx.in_end(frame));
+                if (v.length == 0) {
+                    status = AccelStatus::kMalformedInput;
+                    break;
+                }
+                skip = v.length;
+                break;
+              }
+              case WireType::kFixed32:
+              case WireType::kFixed64:
+                skip = WireValueSize(wt);
+                break;
+              case WireType::kLengthDelimited: {
+                const VarintDecodeResult v = CombinationalVarintDecode(
+                    ctx.in(), ctx.in_end(frame));
+                if (v.length == 0) {
+                    status = AccelStatus::kMalformedInput;
+                    break;
+                }
+                skip = v.length + v.value;
+                break;
+              }
+              default:
+                status = AccelStatus::kUnsupportedWireType;
+                break;
+            }
+            if (status != AccelStatus::kOk)
+                break;
+            if (skip > ctx.remaining(frame)) {
+                status = AccelStatus::kTruncated;
+                break;
+            }
+            ctx.Consume(skip);
+            continue;
+        }
+
+        // Hasbits writer runs in parallel with value handling.
+        ctx.WriteHasbit(frame, number);
+
+        // ---- value states, dispatched on detailed type info ----
+        const FieldType type = entry.type;
+        const WireType expect = proto::WireTypeForField(type);
+        uint8_t *slot = frame.obj + entry.offset;
+
+        if (type == FieldType::kMessage) {
+            if (wt != WireType::kLengthDelimited) {
+                status = AccelStatus::kUnsupportedWireType;
+                break;
+            }
+            // §4.4.9 sub-message states: decode length, fetch the
+            // sub-type's ADT header, allocate+initialize the object,
+            // link the parent pointer, push the metadata stack.
+            const VarintDecodeResult len =
+                CombinationalVarintDecode(ctx.in(), ctx.in_end(frame));
+            if (len.length == 0) {
+                status = AccelStatus::kMalformedInput;
+                break;
+            }
+            ctx.Consume(len.length);
+            if (len.value > ctx.remaining(frame)) {
+                status = AccelStatus::kTruncated;
+                break;
+            }
+            ++stats_.submessages;
+            ctx.Tick(timing_.submsg_setup_cycles);
+
+            Context::Frame sub;
+            sub.adt = AdtView(reinterpret_cast<const uint8_t *>(
+                entry.sub_adt_addr));
+            ctx.Tick(ctx.LoadHeaderLatency(sub.adt.base()));
+            sub.header = sub.adt.ReadHeader();
+
+            uint8_t *sub_obj = static_cast<uint8_t *>(
+                arena_->Allocate(sub.header.object_size, 8));
+            ++stats_.allocations;
+            stats_.alloc_bytes += sub.header.object_size;
+            // Initialize from the default instance (streaming copy).
+            const void *default_inst = reinterpret_cast<const void *>(
+                sub.header.default_instance_addr);
+            ctx.Tick(CeilDiv(sub.header.object_size,
+                             timing_.stream_bytes_per_cycle));
+            adt_port_.Read(default_inst, sub.header.object_size);
+            ctx.Store(sub_obj, default_inst, sub.header.object_size);
+            sub.obj = sub_obj;
+            sub.end_offset = ctx.consumed + len.value;
+
+            // Link into the parent: repeated sub-messages append to the
+            // RepeatedPtrField, singular ones set the slot pointer.
+            if (entry.repeated()) {
+                RepeatedPtrField *r;
+                std::memcpy(&r, slot, sizeof(r));
+                if (r == nullptr) {
+                    r = RepeatedPtrField::Create(arena_);
+                    ++stats_.allocations;
+                    ctx.Store(slot, &r, sizeof(r));
+                }
+                r->Append(arena_, sub_obj);
+                writer_port_.Write(r, sizeof(*r));
+            } else {
+                ctx.Store(slot, &sub_obj, sizeof(sub_obj));
+            }
+
+            if (ctx.stack.size() >= timing_.on_chip_stack_depth) {
+                // Spill the parent's metadata to memory (§3.8/§4.4.9).
+                ++stats_.stack_spills;
+                ctx.Tick(timing_.stack_spill_cycles);
+                writer_port_.Write(&frame, sizeof(frame));
+            }
+            ctx.stack.push_back(sub);
+            if (ctx.stack.size() > stats_.max_depth)
+                stats_.max_depth = ctx.stack.size();
+            continue;
+        }
+
+        if (proto::IsBytesLike(type)) {
+            if (wt != WireType::kLengthDelimited) {
+                status = AccelStatus::kUnsupportedWireType;
+                break;
+            }
+            // §4.4.7 string allocation and copy states.
+            const VarintDecodeResult len =
+                CombinationalVarintDecode(ctx.in(), ctx.in_end(frame));
+            if (len.length == 0) {
+                status = AccelStatus::kMalformedInput;
+                break;
+            }
+            ctx.Consume(len.length);
+            if (len.value > ctx.remaining(frame)) {
+                status = AccelStatus::kTruncated;
+                break;
+            }
+            ++stats_.string_fields;
+            ctx.Tick(timing_.string_alloc_cycles);
+            ArenaString *s = ArenaString::Create(arena_);
+            ++stats_.allocations;
+            stats_.alloc_bytes += sizeof(ArenaString);
+            const std::string_view payload(
+                reinterpret_cast<const char *>(ctx.in()), len.value);
+            // §7 proto3 support: the UTF-8 checker sits beside the
+            // copy path at stream width (no added cycles).
+            if (entry.validate_utf8() &&
+                !proto::IsValidUtf8(payload.data(), payload.size())) {
+                status = AccelStatus::kInvalidUtf8;
+                break;
+            }
+            // The copy consumes from the memloader at stream width and
+            // issues posted stores in the same cycles; Consume()'s
+            // bandwidth bound is the copy's cycle cost.
+            s->Assign(arena_, payload);
+            if (!s->is_inline())
+                stats_.alloc_bytes += len.value;
+            ctx.Consume(len.value);
+            writer_port_.Write(s->data_ptr, len.value);
+            writer_port_.Write(s, sizeof(*s));
+
+            if (entry.repeated()) {
+                RepeatedPtrField *r;
+                std::memcpy(&r, slot, sizeof(r));
+                if (r == nullptr) {
+                    r = RepeatedPtrField::Create(arena_);
+                    ++stats_.allocations;
+                    ctx.Store(slot, &r, sizeof(r));
+                }
+                r->Append(arena_, s);
+                writer_port_.Write(r, sizeof(*r));
+            } else {
+                ctx.Store(slot, &s, sizeof(s));
+            }
+            continue;
+        }
+
+        // Scalar types. Accept packed encodings for repeated scalars.
+        if (entry.repeated() && wt == WireType::kLengthDelimited) {
+            const VarintDecodeResult len =
+                CombinationalVarintDecode(ctx.in(), ctx.in_end(frame));
+            if (len.length == 0) {
+                status = AccelStatus::kMalformedInput;
+                break;
+            }
+            ctx.Consume(len.length);
+            if (len.value > ctx.remaining(frame)) {
+                status = AccelStatus::kTruncated;
+                break;
+            }
+            ++stats_.packed_fields;
+            RepeatedField *r;
+            std::memcpy(&r, slot, sizeof(r));
+            if (r == nullptr) {
+                r = RepeatedField::Create(arena_);
+                ++stats_.allocations;
+                ctx.Store(slot, &r, sizeof(r));
+            }
+            const uint32_t width = proto::InMemorySize(type);
+            const uint64_t end = ctx.consumed + len.value;
+            uint64_t elems = 0;
+            while (ctx.consumed < end) {
+                uint64_t bits;
+                if (expect == WireType::kVarint) {
+                    // One varint per cycle through the combinational
+                    // decoder (§4.4.6).
+                    const VarintDecodeResult v = CombinationalVarintDecode(
+                        ctx.in(), job.src + end);
+                    if (v.length == 0) {
+                        status = AccelStatus::kMalformedInput;
+                        break;
+                    }
+                    bits = VarintToMemory(type, v.value);
+                    ctx.Consume(v.length);
+                    ctx.Tick(1);
+                } else {
+                    const uint64_t vsz = WireValueSize(expect);
+                    if (end - ctx.consumed < vsz) {
+                        status = AccelStatus::kMalformedInput;
+                        break;
+                    }
+                    bits = vsz == 4 ? proto::LoadFixed32(ctx.in())
+                                    : proto::LoadFixed64(ctx.in());
+                    ctx.Consume(vsz);
+                    // Fixed elements stream at full memloader width.
+                }
+                r->Append(arena_, &bits, width);
+                ++elems;
+            }
+            if (status != AccelStatus::kOk)
+                break;
+            stats_.repeated_elements += elems;
+            writer_port_.Write(r->data, elems * width);
+            writer_port_.Write(r, sizeof(*r));
+            continue;
+        }
+
+        // Singular scalar (or one element of an unpacked repeated).
+        uint64_t bits;
+        if (wt == WireType::kVarint) {
+            const VarintDecodeResult v =
+                CombinationalVarintDecode(ctx.in(), ctx.in_end(frame));
+            if (v.length == 0) {
+                status = AccelStatus::kMalformedInput;
+                break;
+            }
+            bits = VarintToMemory(type, v.value);
+            ctx.Consume(v.length);
+            ++stats_.varint_fields;
+        } else if (wt == WireType::kFixed32 || wt == WireType::kFixed64) {
+            const uint64_t vsz = WireValueSize(wt);
+            if (ctx.remaining(frame) < vsz) {
+                status = AccelStatus::kTruncated;
+                break;
+            }
+            bits = vsz == 4 ? proto::LoadFixed32(ctx.in())
+                            : proto::LoadFixed64(ctx.in());
+            ctx.Consume(vsz);
+            ++stats_.fixed_fields;
+        } else {
+            status = AccelStatus::kUnsupportedWireType;
+            break;
+        }
+        ctx.Tick(timing_.scalar_write_cycles);
+        const uint32_t width = proto::InMemorySize(type);
+        if (entry.repeated()) {
+            // §4.4.8: unpacked repeated — tagged open-allocation region.
+            RepeatedField *r;
+            std::memcpy(&r, slot, sizeof(r));
+            if (r == nullptr) {
+                r = RepeatedField::Create(arena_);
+                ++stats_.allocations;
+                ctx.Store(slot, &r, sizeof(r));
+            }
+            r->Append(arena_, &bits, width);
+            ++stats_.repeated_elements;
+            writer_port_.Write(r, sizeof(*r));
+        } else {
+            ctx.Store(slot, &bits, width);
+        }
+    }
+
+    stats_.cycles += ctx.cycle;
+    *cycles = ctx.cycle;
+    return status;
+}
+
+}  // namespace protoacc::accel

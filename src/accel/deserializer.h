@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The deserializer unit (§4.4, Figure 9).
+ *
+ * Functional + cycle-level model of the hardware pipeline:
+ *
+ *   - memloader (§4.4.2): streams the serialized buffer at up to
+ *     16 B/cycle behind an initial memory latency;
+ *   - field-handler FSM (§4.4.3-4.4.9): parseKey (single-cycle
+ *     combinational varint decode of the up-to-10-byte key) → typeInfo
+ *     (blocks on the 128-bit ADT entry load) → per-type value states
+ *     (scalar write, string allocate+copy, packed/unpacked repeated,
+ *     sub-message setup);
+ *   - hasbits writer: posted read-modify-write of the sparse presence
+ *     bit, off the critical path;
+ *   - message-level metadata stack (§4.4.9): on-chip up to a configured
+ *     depth (the paper sizes it at 25 from the fleet study, §3.8), with
+ *     DRAM spill/fill beyond.
+ *
+ * The model performs the real data transformation — it builds the same
+ * C++ objects the software parser would, driven only by ADT bytes — so
+ * equivalence is checked by tests, not assumed.
+ */
+#ifndef PROTOACC_ACCEL_DESERIALIZER_H
+#define PROTOACC_ACCEL_DESERIALIZER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/adt.h"
+#include "accel/rocc.h"
+#include "proto/arena.h"
+#include "sim/port.h"
+
+namespace protoacc::accel {
+
+/// Outcome of an accelerator operation.
+enum class AccelStatus {
+    kOk,
+    kMalformedInput,
+    kTruncated,
+    kUnsupportedWireType,
+    kOutputOverflow,
+    /// proto3 string field containing malformed UTF-8 (§7).
+    kInvalidUtf8,
+};
+
+const char *AccelStatusName(AccelStatus status);
+
+/// Timing parameters of the deserializer FSM (cycles per state).
+struct DeserTiming
+{
+    uint32_t stream_bytes_per_cycle = 16;  ///< memloader width (§4.4.2)
+    uint32_t parse_key_cycles = 1;         ///< combinational key decode
+    uint32_t scalar_write_cycles = 1;
+    uint32_t string_alloc_cycles = 2;  ///< arena pointer bump + header
+    uint32_t submsg_setup_cycles = 4;  ///< §4.4.9 stack + alloc states
+    uint32_t stack_pop_cycles = 1;
+    uint32_t stack_spill_cycles = 4;   ///< per spill/fill beyond on-chip
+    uint32_t unknown_skip_cycles = 1;
+    /// On-chip metadata stack depth (§3.8: 25 covers 99.999% of bytes).
+    uint32_t on_chip_stack_depth = 25;
+    /// Entries in the ADT loader's small response buffer (registers
+    /// holding recently returned header/entry beats; batches reuse the
+    /// same per-type ADT entries on every message). 0 disables it.
+    uint32_t adt_buffer_entries = 16;
+    /// Latency of an ADT response-buffer hit.
+    uint32_t adt_buffer_hit_cycles = 2;
+};
+
+/**
+ * Small direct-mapped response buffer in front of an ADT loader:
+ * per-type ADT lines recur on every message of a batch, so the loader
+ * keeps its most recent responses in registers instead of re-requesting
+ * them from the L2.
+ */
+class AdtResponseBuffer
+{
+  public:
+    AdtResponseBuffer(uint32_t entries, uint32_t hit_cycles)
+        : tags_(entries, 0), hit_cycles_(hit_cycles)
+    {}
+
+    /// True (and returns hit latency via result) when @p addr was
+    /// buffered; inserts it otherwise.
+    bool
+    Access(const void *addr)
+    {
+        if (tags_.empty())
+            return false;
+        const uint64_t a = reinterpret_cast<uint64_t>(addr);
+        const size_t slot = (a / kAdtEntryBytes) % tags_.size();
+        if (tags_[slot] == a)
+            return true;
+        tags_[slot] = a;
+        return false;
+    }
+
+    uint32_t hit_cycles() const { return hit_cycles_; }
+
+  private:
+    std::vector<uint64_t> tags_;
+    uint32_t hit_cycles_;
+};
+
+/// Counters exposed by the unit.
+struct DeserStats
+{
+    uint64_t jobs = 0;
+    uint64_t cycles = 0;
+    uint64_t wire_bytes = 0;
+    uint64_t fields = 0;
+    uint64_t varint_fields = 0;
+    uint64_t fixed_fields = 0;
+    uint64_t string_fields = 0;
+    uint64_t submessages = 0;
+    uint64_t packed_fields = 0;
+    uint64_t repeated_elements = 0;
+    uint64_t unknown_fields = 0;
+    uint64_t allocations = 0;
+    uint64_t alloc_bytes = 0;
+    uint64_t stack_spills = 0;
+    uint64_t max_depth = 0;
+    uint64_t adt_stall_cycles = 0;
+    uint64_t stream_stall_cycles = 0;
+};
+
+/**
+ * The deserializer unit. One instance models one hardware unit; jobs
+ * queued between fences execute back-to-back on it.
+ */
+class DeserializerUnit
+{
+  public:
+    DeserializerUnit(sim::MemorySystem *memory, const DeserTiming &timing);
+
+    /// §4.3: deser_assign_arena — allocation target for sub-messages,
+    /// strings and repeated-field storage.
+    void AssignArena(proto::Arena *arena) { arena_ = arena; }
+
+    /**
+     * Execute one deserialization job.
+     *
+     * @param[out] cycles the job's latency in accelerator cycles.
+     */
+    AccelStatus Run(const DeserJob &job, uint64_t *cycles);
+
+    const DeserStats &stats() const { return stats_; }
+    void ResetStats();
+    const sim::Port &memloader_port() const { return memloader_port_; }
+
+  private:
+    struct Context;  // implementation detail in .cc
+
+    sim::MemorySystem *memory_;
+    DeserTiming timing_;
+    proto::Arena *arena_ = nullptr;
+    sim::Port memloader_port_;
+    sim::Port adt_port_;
+    sim::Port writer_port_;
+    AdtResponseBuffer adt_buffer_;
+    DeserStats stats_;
+};
+
+}  // namespace protoacc::accel
+
+#endif  // PROTOACC_ACCEL_DESERIALIZER_H

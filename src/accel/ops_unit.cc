@@ -1,0 +1,323 @@
+#include "accel/ops_unit.h"
+
+#include <cstring>
+
+#include "common/bits.h"
+#include "proto/arena_string.h"
+#include "proto/repeated.h"
+
+namespace protoacc::accel {
+
+using proto::ArenaString;
+using proto::FieldType;
+using proto::RepeatedField;
+using proto::RepeatedPtrField;
+
+const char *
+MessageOpName(MessageOp op)
+{
+    switch (op) {
+      case MessageOp::kClear: return "clear";
+      case MessageOp::kMerge: return "merge";
+      case MessageOp::kCopy: return "copy";
+    }
+    return "?";
+}
+
+OpsUnit::OpsUnit(sim::MemorySystem *memory, const OpsTiming &timing)
+    : memory_(memory),
+      timing_(timing),
+      port_("ops", memory, sim::TlbConfig{}),
+      adt_buffer_(timing.adt_buffer_entries, timing.adt_buffer_hit_cycles)
+{}
+
+void
+OpsUnit::ResetStats()
+{
+    stats_ = OpsStats{};
+    port_.ResetStats();
+}
+
+/// Per-job walk state: cycle counter, context depth, unit back-pointer.
+struct OpsUnit::Walk
+{
+    OpsUnit *unit;
+    uint64_t cycle = 0;
+    uint32_t depth = 0;
+
+    void Tick(uint64_t n) { cycle += n; }
+
+    uint64_t
+    AdtLoad(const uint8_t *addr, uint64_t size)
+    {
+        return unit->adt_buffer_.Access(addr)
+                   ? unit->adt_buffer_.hit_cycles()
+                   : unit->port_.Read(addr, size);
+    }
+
+    /// Stream-copy @p n bytes (read + posted write at copy width).
+    void
+    Copy(void *dst, const void *src, uint64_t n)
+    {
+        std::memcpy(dst, src, n);
+        unit->port_.Read(src, n);
+        unit->port_.Write(dst, n);
+        Tick(CeilDiv(n, unit->timing_.copy_bytes_per_cycle));
+        unit->stats_.bytes_copied += n;
+    }
+
+    void
+    EnterSubmessage()
+    {
+        Tick(unit->timing_.submsg_context_switch_cycles);
+        ++depth;
+        if (depth > unit->timing_.on_chip_stack_depth) {
+            ++unit->stats_.stack_spills;
+            Tick(unit->timing_.stack_spill_cycles);
+        }
+    }
+    void ExitSubmessage() { --depth; }
+
+    AccelStatus ClearObject(AdtView adt, uint8_t *obj);
+    AccelStatus MergeObject(AdtView adt, uint8_t *dst,
+                            const uint8_t *src);
+    ArenaString *CopyString(const ArenaString *src, ArenaString *dst);
+    uint8_t *AllocObject(const AdtHeader &header);
+};
+
+AccelStatus
+OpsUnit::Walk::ClearObject(AdtView adt, uint8_t *obj)
+{
+    // Clear re-uses the deserializer's default-instance copy datapath:
+    // stream the type's default instance over the object, which resets
+    // hasbits, scalar defaults and pointer slots in one pass. (The
+    // software Clear keeps repeated containers allocated; the results
+    // are indistinguishable through the message API.)
+    Tick(AdtLoad(adt.base(), kAdtHeaderBytes));
+    const AdtHeader header = adt.ReadHeader();
+    const void *default_inst =
+        reinterpret_cast<const void *>(header.default_instance_addr);
+    Copy(obj, default_inst, header.object_size);
+    return AccelStatus::kOk;
+}
+
+ArenaString *
+OpsUnit::Walk::CopyString(const ArenaString *src, ArenaString *dst)
+{
+    const std::string_view payload =
+        src == nullptr ? std::string_view() : src->view();
+    if (dst == nullptr) {
+        dst = ArenaString::Create(unit->arena_);
+        ++unit->stats_.allocations;
+        Tick(unit->timing_.alloc_cycles);
+    }
+    dst->Assign(unit->arena_, payload);
+    unit->port_.Read(src, sizeof(*src));
+    unit->port_.Write(dst, sizeof(*dst));
+    if (!payload.empty())
+        Copy(dst->data_ptr, payload.data(), payload.size());
+    return dst;
+}
+
+uint8_t *
+OpsUnit::Walk::AllocObject(const AdtHeader &header)
+{
+    auto *obj = static_cast<uint8_t *>(
+        unit->arena_->Allocate(header.object_size, 8));
+    ++unit->stats_.allocations;
+    Tick(unit->timing_.alloc_cycles);
+    Copy(obj,
+         reinterpret_cast<const void *>(header.default_instance_addr),
+         header.object_size);
+    return obj;
+}
+
+AccelStatus
+OpsUnit::Walk::MergeObject(AdtView adt, uint8_t *dst, const uint8_t *src)
+{
+    Tick(AdtLoad(adt.base(), kAdtHeaderBytes));
+    const AdtHeader header = adt.ReadHeader();
+    if (header.max_field == 0)
+        return AccelStatus::kOk;
+
+    const uint32_t range = header.max_field - header.min_field + 1;
+    unit->port_.Read(src + header.hasbits_offset,
+                     header.hasbits_words * 4);
+    Tick(CeilDiv(range, unit->timing_.scan_bits_per_cycle));
+
+    const uint32_t *src_bits = reinterpret_cast<const uint32_t *>(
+        src + header.hasbits_offset);
+    uint32_t *dst_bits =
+        reinterpret_cast<uint32_t *>(dst + header.hasbits_offset);
+
+    for (uint32_t number = header.min_field;
+         number <= header.max_field; ++number) {
+        const uint32_t index = number - header.min_field;
+        if (((src_bits[index / 32] >> (index % 32)) & 1) == 0)
+            continue;
+        Tick(AdtLoad(adt.EntryAddr(number, header), kAdtEntryBytes));
+        const AdtFieldEntry entry = adt.ReadEntry(number, header);
+        if (!entry.defined())
+            continue;
+        ++unit->stats_.fields;
+        Tick(unit->timing_.per_present_field_cycles);
+
+        const uint8_t *src_slot = src + entry.offset;
+        uint8_t *dst_slot = dst + entry.offset;
+        const FieldType type = entry.type;
+        const uint32_t width =
+            type == FieldType::kMessage ? 8 : proto::InMemorySize(type);
+
+        if (entry.repeated()) {
+            if (type == FieldType::kMessage) {
+                ++unit->stats_.submessages;
+                const AdtView sub_adt(reinterpret_cast<const uint8_t *>(
+                    entry.sub_adt_addr));
+                const RepeatedPtrField *src_r;
+                std::memcpy(&src_r, src_slot, sizeof(src_r));
+                if (src_r == nullptr || src_r->size == 0)
+                    continue;
+                RepeatedPtrField *dst_r;
+                std::memcpy(&dst_r, dst_slot, sizeof(dst_r));
+                if (dst_r == nullptr) {
+                    dst_r = RepeatedPtrField::Create(unit->arena_);
+                    ++unit->stats_.allocations;
+                    std::memcpy(dst_slot, &dst_r, sizeof(dst_r));
+                    unit->port_.Write(dst_slot, sizeof(dst_r));
+                }
+                Tick(AdtLoad(sub_adt.base(), kAdtHeaderBytes));
+                const AdtHeader sub_header = sub_adt.ReadHeader();
+                for (uint32_t i = 0; i < src_r->size; ++i) {
+                    EnterSubmessage();
+                    uint8_t *elem = AllocObject(sub_header);
+                    const AccelStatus st = MergeObject(
+                        sub_adt, elem,
+                        static_cast<const uint8_t *>(src_r->data[i]));
+                    ExitSubmessage();
+                    if (st != AccelStatus::kOk)
+                        return st;
+                    dst_r->Append(unit->arena_, elem);
+                }
+                unit->port_.Write(dst_r, sizeof(*dst_r));
+            } else if (proto::IsBytesLike(type)) {
+                const RepeatedPtrField *src_r;
+                std::memcpy(&src_r, src_slot, sizeof(src_r));
+                if (src_r == nullptr || src_r->size == 0)
+                    continue;
+                RepeatedPtrField *dst_r;
+                std::memcpy(&dst_r, dst_slot, sizeof(dst_r));
+                if (dst_r == nullptr) {
+                    dst_r = RepeatedPtrField::Create(unit->arena_);
+                    ++unit->stats_.allocations;
+                    std::memcpy(dst_slot, &dst_r, sizeof(dst_r));
+                    unit->port_.Write(dst_slot, sizeof(dst_r));
+                }
+                for (uint32_t i = 0; i < src_r->size; ++i) {
+                    dst_r->Append(
+                        unit->arena_,
+                        CopyString(static_cast<const ArenaString *>(
+                                       src_r->data[i]),
+                                   nullptr));
+                }
+                unit->port_.Write(dst_r, sizeof(*dst_r));
+            } else {
+                const RepeatedField *src_r;
+                std::memcpy(&src_r, src_slot, sizeof(src_r));
+                if (src_r == nullptr || src_r->size == 0)
+                    continue;
+                RepeatedField *dst_r;
+                std::memcpy(&dst_r, dst_slot, sizeof(dst_r));
+                if (dst_r == nullptr) {
+                    dst_r = RepeatedField::Create(unit->arena_);
+                    ++unit->stats_.allocations;
+                    std::memcpy(dst_slot, &dst_r, sizeof(dst_r));
+                    unit->port_.Write(dst_slot, sizeof(dst_r));
+                }
+                // Bulk append: one streaming copy of the elements.
+                const uint32_t ewidth = proto::InMemorySize(type);
+                dst_r->Reserve(unit->arena_, dst_r->size + src_r->size,
+                               ewidth);
+                Copy(static_cast<char *>(dst_r->data) +
+                         static_cast<size_t>(dst_r->size) * ewidth,
+                     src_r->data,
+                     static_cast<uint64_t>(src_r->size) * ewidth);
+                dst_r->size += src_r->size;
+                unit->port_.Write(dst_r, sizeof(*dst_r));
+            }
+        } else if (type == FieldType::kMessage) {
+            ++unit->stats_.submessages;
+            const AdtView sub_adt(
+                reinterpret_cast<const uint8_t *>(entry.sub_adt_addr));
+            const uint8_t *src_sub;
+            std::memcpy(&src_sub, src_slot, sizeof(src_sub));
+            if (src_sub == nullptr)
+                continue;
+            uint8_t *dst_sub;
+            std::memcpy(&dst_sub, dst_slot, sizeof(dst_sub));
+            Tick(AdtLoad(sub_adt.base(), kAdtHeaderBytes));
+            if (dst_sub == nullptr) {
+                dst_sub = AllocObject(sub_adt.ReadHeader());
+                std::memcpy(dst_slot, &dst_sub, sizeof(dst_sub));
+                unit->port_.Write(dst_slot, sizeof(dst_sub));
+            }
+            EnterSubmessage();
+            const AccelStatus st = MergeObject(sub_adt, dst_sub, src_sub);
+            ExitSubmessage();
+            if (st != AccelStatus::kOk)
+                return st;
+        } else if (proto::IsBytesLike(type)) {
+            const ArenaString *src_s;
+            std::memcpy(&src_s, src_slot, sizeof(src_s));
+            ArenaString *dst_s;
+            std::memcpy(&dst_s, dst_slot, sizeof(dst_s));
+            ArenaString *result = CopyString(src_s, dst_s);
+            if (result != dst_s) {
+                std::memcpy(dst_slot, &result, sizeof(result));
+                unit->port_.Write(dst_slot, sizeof(result));
+            }
+        } else {
+            unit->port_.Read(src_slot, width);
+            std::memcpy(dst_slot, src_slot, width);
+            unit->port_.Write(dst_slot, width);
+        }
+        // Hasbits writer: posted RMW of the destination presence bit.
+        dst_bits[index / 32] |= 1u << (index % 32);
+        unit->port_.Write(&dst_bits[index / 32], 4);
+    }
+    return AccelStatus::kOk;
+}
+
+AccelStatus
+OpsUnit::Run(const OpsJob &job, uint64_t *cycles)
+{
+    PA_CHECK(job.adt != nullptr && job.dst_obj != nullptr);
+    ++stats_.jobs;
+    Walk walk;
+    walk.unit = this;
+    walk.Tick(2 * kRoccDispatchCycles);
+
+    const AdtView adt(job.adt);
+    AccelStatus status = AccelStatus::kOk;
+    auto *dst = static_cast<uint8_t *>(job.dst_obj);
+    const auto *src = static_cast<const uint8_t *>(job.src_obj);
+    switch (job.op) {
+      case MessageOp::kClear:
+        status = walk.ClearObject(adt, dst);
+        break;
+      case MessageOp::kMerge:
+        PA_CHECK(arena_ != nullptr && src != nullptr);
+        status = walk.MergeObject(adt, dst, src);
+        break;
+      case MessageOp::kCopy:
+        PA_CHECK(arena_ != nullptr && src != nullptr);
+        status = walk.ClearObject(adt, dst);
+        if (status == AccelStatus::kOk)
+            status = walk.MergeObject(adt, dst, src);
+        break;
+    }
+    stats_.cycles += walk.cycle;
+    *cycles = walk.cycle;
+    return status;
+}
+
+}  // namespace protoacc::accel

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The RoCC command interface (§4.1, §4.4.1, §4.5.2).
+ *
+ * The BOOM core dispatches custom RISC-V instructions to the accelerator
+ * through the RoCC interface; each instruction carries two 64-bit
+ * register operands. We model the instruction set as typed job
+ * descriptors assembled from instruction pairs:
+ *
+ *   deser_assign_arena / ser_assign_arena   — §4.3 arena setup
+ *   deser_info   rs1=ADT ptr, rs2=dest object ptr
+ *   do_proto_deser rs1=serialized buffer ptr, rs2=(min_field, length)
+ *   ser_info     rs1=hasbits offset, rs2=(max_field, min_field)
+ *   do_proto_ser rs1=ADT ptr, rs2=C++ object ptr
+ *   block_for_deser_completion / block_for_ser_completion
+ *
+ * Issuing instructions costs ones-of-cycles; batches of jobs can be in
+ * flight before a single blocking fence, which is how the paper
+ * amortizes offload overhead for tiny messages (§3.5).
+ */
+#ifndef PROTOACC_ACCEL_ROCC_H
+#define PROTOACC_ACCEL_ROCC_H
+
+#include <cstdint>
+
+namespace protoacc::accel {
+
+/// One queued deserialization (a deser_info + do_proto_deser pair).
+struct DeserJob
+{
+    const uint8_t *adt = nullptr;   ///< ADT of the top-level type
+    void *dest_obj = nullptr;       ///< user-allocated destination object
+    const uint8_t *src = nullptr;   ///< serialized input buffer
+    uint64_t src_len = 0;
+    uint32_t min_field = 0;         ///< smallest defined field number
+};
+
+/// One queued serialization (a ser_info + do_proto_ser pair).
+struct SerJob
+{
+    const uint8_t *adt = nullptr;  ///< ADT of the top-level type
+    const void *src_obj = nullptr; ///< C++ object to serialize
+    uint32_t hasbits_offset = 0;
+    uint32_t min_field = 0;
+    uint32_t max_field = 0;
+};
+
+/// Cycle cost of issuing one RoCC instruction pair ("ones-of-cycles",
+/// §4.1).
+inline constexpr uint32_t kRoccDispatchCycles = 2;
+
+/// Cycle cost of the fence between CPU protobuf use and accelerator use
+/// (§4.1: "only a fence instruction is required").
+inline constexpr uint32_t kFenceCycles = 12;
+
+}  // namespace protoacc::accel
+
+#endif  // PROTOACC_ACCEL_ROCC_H

@@ -1,0 +1,519 @@
+#include "accel/serializer.h"
+
+#include <cstring>
+
+#include "accel/varint_unit.h"
+#include "common/bits.h"
+#include "proto/arena_string.h"
+#include "proto/repeated.h"
+#include "proto/serializer.h"
+
+namespace protoacc::accel {
+
+using proto::ArenaString;
+using proto::FieldType;
+using proto::RepeatedField;
+using proto::RepeatedPtrField;
+using proto::WireType;
+
+SerializerUnit::SerializerUnit(sim::MemorySystem *memory,
+                               const SerTiming &timing)
+    : memory_(memory),
+      timing_(timing),
+      frontend_port_("ser.frontend", memory, sim::TlbConfig{}),
+      fsu_port_("ser.fsu", memory, sim::TlbConfig{}),
+      memwriter_port_("ser.memwriter", memory, sim::TlbConfig{}),
+      adt_buffer_(timing.adt_buffer_entries, timing.adt_buffer_hit_cycles)
+{
+    PA_CHECK_GE(timing_.num_field_serializers, 1u);
+}
+
+SerializerUnit::~SerializerUnit() = default;
+
+void
+SerializerUnit::ResetPipeline()
+{
+    pipe_.reset();
+    batch_completion_ = 0;
+}
+
+void
+SerializerUnit::ResetStats()
+{
+    stats_ = SerStats{};
+    frontend_port_.ResetStats();
+    fsu_port_.ResetStats();
+    memwriter_port_.ResetStats();
+}
+
+/**
+ * Per-job pipeline state: the frontend cycle, per-FSU busy-until
+ * timeline, the in-order memwriter cycle, and the descending output
+ * cursor into the SerArena.
+ */
+struct SerializerUnit::Pipe
+{
+    SerializerUnit *unit;
+    uint64_t frontend = 0;
+    std::vector<uint64_t> fsu_free;
+    uint64_t memwriter = 0;
+    uint32_t rr = 0;
+    uint32_t depth = 0;
+    size_t pos = 0;  ///< descending write cursor
+    bool overflow = false;
+
+    const SerTiming &timing() const { return unit->timing_; }
+
+    /// Frontend advance for one pipelined ADT/bit-field load.
+    void
+    FrontendLoad(uint64_t latency)
+    {
+        frontend += CeilDiv(latency, timing().adt_outstanding);
+    }
+
+    /**
+     * Schedule one handle-field-op: round-robin FSU dispatch, FSU
+     * occupancy (data load + encode), then in-order memwriter drain.
+     */
+    void
+    FieldOp(uint64_t load_latency, uint64_t encode_cycles,
+            uint64_t out_bytes)
+    {
+        frontend += timing().per_present_field_cycles;
+        const uint32_t k = rr++ % timing().num_field_serializers;
+        const uint64_t start =
+            frontend > fsu_free[k] ? frontend : fsu_free[k];
+        fsu_free[k] = start + load_latency + encode_cycles;
+        // §4.5.4: FSUs expose serialized data "in chunks", so the
+        // memwriter drains while the unit is still producing — it
+        // starts one cycle after the first chunk exists, and its drain
+        // time (out/width) covers the overlapped production.
+        const uint64_t first_chunk = start + load_latency + 1;
+        const uint64_t ready =
+            first_chunk > memwriter ? first_chunk : memwriter;
+        const uint64_t drain =
+            ready + CeilDiv(out_bytes, timing().out_bytes_per_cycle);
+        // The stream cannot finish before its producer does.
+        memwriter = drain > fsu_free[k] ? drain : fsu_free[k];
+    }
+
+    /// Memwriter-side emission with no FSU involvement (key/length
+    /// injection at end-of-message, §4.5.5).
+    void
+    WriterOp(uint64_t out_bytes)
+    {
+        memwriter += timing().end_of_message_cycles +
+                     CeilDiv(out_bytes, timing().out_bytes_per_cycle);
+    }
+
+    // ---- functional high-to-low output helpers ----
+    bool
+    WriteRaw(const void *data, size_t n)
+    {
+        if (overflow || pos < n) {
+            overflow = true;
+            return false;
+        }
+        pos -= n;
+        std::memcpy(unit->arena_->at(pos), data, n);
+        unit->memwriter_port_.Write(unit->arena_->at(pos), n);
+        return true;
+    }
+
+    bool
+    WriteVarint(uint64_t v)
+    {
+        uint8_t tmp[proto::kMaxVarintBytes];
+        const int n = CombinationalVarintEncode(v, tmp);
+        return WriteRaw(tmp, n);
+    }
+
+    bool
+    WriteKey(uint32_t number, WireType wt)
+    {
+        return WriteVarint(proto::MakeTag(number, wt));
+    }
+};
+
+namespace {
+
+/// Load a scalar slot's raw bits.
+uint64_t
+LoadSlotBits(const uint8_t *slot, uint32_t width)
+{
+    uint64_t bits = 0;
+    std::memcpy(&bits, slot, width);
+    return bits;
+}
+
+template <typename T>
+T
+LoadPtr(const uint8_t *slot)
+{
+    T p;
+    std::memcpy(&p, slot, sizeof(p));
+    return p;
+}
+
+}  // namespace
+
+namespace {
+
+/// Encoded size of a scalar value on the wire (value only, no key).
+uint64_t
+ScalarWireBytes(FieldType type, uint64_t bits)
+{
+    switch (proto::WireTypeForField(type)) {
+      case WireType::kVarint:
+        return proto::VarintValueSize(type, bits);
+      case WireType::kFixed32:
+        return 4;
+      case WireType::kFixed64:
+        return 8;
+      default:
+        PA_CHECK(false);
+    }
+}
+
+}  // namespace
+
+/**
+ * Serialize one (sub-)message payload in reverse field order into the
+ * arena. The recursion depth is the hardware's context-stack depth.
+ */
+struct SerializerImpl
+{
+    SerializerUnit::Pipe &pipe;
+    SerializerUnit *unit;
+    const SerTiming &timing;
+    SerStats &stats;
+
+    AccelStatus
+    SerializeMessage(AdtView adt, const uint8_t *obj)
+    {
+        const AdtHeader header = adt.ReadHeader();
+        if (header.max_field == 0)
+            return AccelStatus::kOk;  // empty message type
+
+        // §4.5.3: the frontend loads the is_submessage and hasbits bit
+        // fields in parallel, then scans field numbers (reverse order).
+        const uint32_t range = header.max_field - header.min_field + 1;
+        const uint64_t bits_lat = unit->frontend_port_.Read(
+            obj + header.hasbits_offset, header.hasbits_words * 4);
+        unit->frontend_port_.Read(adt.SubmessageBitfieldAddr(header),
+                                  adt.SubmessageBitfieldBytes(header));
+        pipe.FrontendLoad(bits_lat);
+        const uint64_t scan =
+            CeilDiv(range, timing.scan_bits_per_cycle);
+        pipe.frontend += scan;
+        stats.scan_cycles += scan;
+
+        const uint32_t *hasbits = reinterpret_cast<const uint32_t *>(
+            obj + header.hasbits_offset);
+
+        for (uint32_t number = header.max_field;
+             number >= header.min_field && number > 0; --number) {
+            const uint32_t index = number - header.min_field;
+            if (((hasbits[index / 32] >> (index % 32)) & 1) == 0)
+                continue;
+
+            // typeInfo: pipelined ADT entry load for the present
+            // field, short-circuited by the ADT response buffer.
+            const uint8_t *entry_addr = adt.EntryAddr(number, header);
+            const uint64_t entry_lat =
+                unit->adt_buffer_.Access(entry_addr)
+                    ? unit->adt_buffer_.hit_cycles()
+                    : unit->frontend_port_.Read(entry_addr,
+                                                kAdtEntryBytes);
+            pipe.FrontendLoad(entry_lat);
+            const AdtFieldEntry entry = adt.ReadEntry(number, header);
+            if (!entry.defined())
+                continue;
+            ++stats.fields;
+
+            const uint8_t *slot = obj + entry.offset;
+            const AccelStatus st = SerializeField(adt, entry, number,
+                                                  slot);
+            if (st != AccelStatus::kOk)
+                return st;
+        }
+        return AccelStatus::kOk;
+    }
+
+    AccelStatus
+    SerializeField(AdtView adt, const AdtFieldEntry &entry,
+                   uint32_t number, const uint8_t *slot)
+    {
+        (void)adt;
+        const FieldType type = entry.type;
+        const WireType wt = proto::WireTypeForField(type);
+
+        if (type == FieldType::kMessage)
+            return SerializeSubmessageField(entry, number, slot);
+
+        if (proto::IsBytesLike(type)) {
+            if (entry.repeated()) {
+                const auto *r = LoadPtr<const RepeatedPtrField *>(slot);
+                const uint64_t container_lat =
+                    unit->fsu_port_.Read(slot, 8) +
+                    (r != nullptr ? unit->fsu_port_.Read(r, sizeof(*r))
+                                  : 0);
+                if (r == nullptr || r->size == 0)
+                    return AccelStatus::kOk;
+                // Elements written in reverse so the wire order is
+                // element 0 first.
+                for (uint32_t i = r->size; i-- > 0;) {
+                    const auto *s =
+                        static_cast<const ArenaString *>(r->data[i]);
+                    if (!EmitString(number, s,
+                                    i == r->size - 1 ? container_lat
+                                                     : 0))
+                        return AccelStatus::kOutputOverflow;
+                    ++stats.repeated_elements;
+                }
+                return AccelStatus::kOk;
+            }
+            const auto *s = LoadPtr<const ArenaString *>(slot);
+            const uint64_t lat = unit->fsu_port_.Read(slot, 8);
+            if (!EmitString(number, s, lat))
+                return AccelStatus::kOutputOverflow;
+            return AccelStatus::kOk;
+        }
+
+        const uint32_t width = proto::InMemorySize(type);
+        if (!entry.repeated()) {
+            const uint64_t load_lat = unit->fsu_port_.Read(slot, width);
+            const uint64_t bits = LoadSlotBits(slot, width);
+            const uint64_t value_bytes = ScalarWireBytes(type, bits);
+            const uint64_t key_bytes =
+                proto::VarintSize(proto::MakeTag(number, wt));
+            pipe.FieldOp(load_lat, 1, value_bytes + key_bytes);
+            if (!WriteScalarValue(type, bits))
+                return AccelStatus::kOutputOverflow;
+            if (!pipe.WriteKey(number, wt))
+                return AccelStatus::kOutputOverflow;
+            return AccelStatus::kOk;
+        }
+
+        // Repeated scalar field (packed or unpacked).
+        const auto *r = LoadPtr<const RepeatedField *>(slot);
+        uint64_t load_lat = unit->fsu_port_.Read(slot, 8);
+        if (r == nullptr || r->size == 0)
+            return AccelStatus::kOk;
+        load_lat += unit->fsu_port_.Read(r, sizeof(*r));
+        load_lat += unit->fsu_port_.Read(
+            r->data, static_cast<uint64_t>(r->size) * width);
+        stats.repeated_elements += r->size;
+
+        if (entry.packed()) {
+            const size_t block_end = pipe.pos;
+            for (uint32_t i = r->size; i-- > 0;) {
+                const uint64_t bits = LoadSlotBits(
+                    static_cast<const uint8_t *>(r->data) +
+                        static_cast<size_t>(i) * width,
+                    width);
+                if (!WriteScalarValue(type, bits))
+                    return AccelStatus::kOutputOverflow;
+            }
+            const uint64_t payload = block_end - pipe.pos;
+            if (!pipe.WriteVarint(payload))
+                return AccelStatus::kOutputOverflow;
+            if (!pipe.WriteKey(number, WireType::kLengthDelimited))
+                return AccelStatus::kOutputOverflow;
+            const uint64_t key_len_bytes =
+                proto::VarintSize(payload) +
+                proto::VarintSize(proto::MakeTag(
+                    number, WireType::kLengthDelimited));
+            // One varint encoded per cycle; fixed values at bus width.
+            const uint64_t encode =
+                wt == WireType::kVarint
+                    ? r->size
+                    : CeilDiv(payload, timing.out_bytes_per_cycle);
+            pipe.FieldOp(load_lat, encode, payload + key_len_bytes);
+            return AccelStatus::kOk;
+        }
+
+        uint64_t out_bytes = 0;
+        const uint64_t key_bytes =
+            proto::VarintSize(proto::MakeTag(number, wt));
+        for (uint32_t i = r->size; i-- > 0;) {
+            const uint64_t bits = LoadSlotBits(
+                static_cast<const uint8_t *>(r->data) +
+                    static_cast<size_t>(i) * width,
+                width);
+            out_bytes += ScalarWireBytes(type, bits) + key_bytes;
+            if (!WriteScalarValue(type, bits))
+                return AccelStatus::kOutputOverflow;
+            if (!pipe.WriteKey(number, wt))
+                return AccelStatus::kOutputOverflow;
+        }
+        pipe.FieldOp(load_lat, r->size, out_bytes);
+        return AccelStatus::kOk;
+    }
+
+    AccelStatus
+    SerializeSubmessageField(const AdtFieldEntry &entry, uint32_t number,
+                             const uint8_t *slot)
+    {
+        const AdtView sub_adt(
+            reinterpret_cast<const uint8_t *>(entry.sub_adt_addr));
+        if (entry.repeated()) {
+            const auto *r = LoadPtr<const RepeatedPtrField *>(slot);
+            unit->fsu_port_.Read(slot, 8);
+            if (r == nullptr || r->size == 0)
+                return AccelStatus::kOk;
+            unit->fsu_port_.Read(r, sizeof(*r));
+            for (uint32_t i = r->size; i-- > 0;) {
+                const AccelStatus st = EmitSubmessage(
+                    sub_adt, number,
+                    static_cast<const uint8_t *>(r->data[i]));
+                if (st != AccelStatus::kOk)
+                    return st;
+            }
+            return AccelStatus::kOk;
+        }
+        const auto *sub_obj = LoadPtr<const uint8_t *>(slot);
+        unit->fsu_port_.Read(slot, 8);
+        return EmitSubmessage(sub_adt, number, sub_obj);
+    }
+
+    AccelStatus
+    EmitSubmessage(AdtView sub_adt, uint32_t number,
+                   const uint8_t *sub_obj)
+    {
+        ++stats.submessages;
+        // §4.5.3: context-switch into the sub-message — update the
+        // parent's context, load the sub ADT header + object pointer,
+        // push the context stacks.
+        pipe.FrontendLoad(unit->adt_buffer_.Access(sub_adt.base())
+                              ? unit->adt_buffer_.hit_cycles()
+                              : unit->frontend_port_.Read(
+                                    sub_adt.base(), kAdtHeaderBytes));
+        pipe.frontend += timing.submsg_context_switch_cycles;
+        ++pipe.depth;
+        if (pipe.depth > stats.max_depth)
+            stats.max_depth = pipe.depth;
+        if (pipe.depth > timing.on_chip_stack_depth) {
+            ++stats.stack_spills;
+            pipe.frontend += timing.stack_spill_cycles;
+            unit->memwriter_port_.Write(&pipe, 32);
+        }
+
+        const size_t start = pipe.pos;
+        AccelStatus st = AccelStatus::kOk;
+        if (sub_obj != nullptr)
+            st = SerializeMessage(sub_adt, sub_obj);
+        if (st != AccelStatus::kOk)
+            return st;
+        --pipe.depth;
+
+        // §4.5.5: the memwriter injects the sub-message's key and
+        // now-known length on the end-of-message (field-zero) op.
+        const uint64_t payload = start - pipe.pos;
+        if (!pipe.WriteVarint(payload))
+            return AccelStatus::kOutputOverflow;
+        if (!pipe.WriteKey(number, WireType::kLengthDelimited))
+            return AccelStatus::kOutputOverflow;
+        pipe.WriterOp(proto::VarintSize(payload) +
+                      proto::VarintSize(proto::MakeTag(
+                          number, WireType::kLengthDelimited)));
+        return AccelStatus::kOk;
+    }
+
+    bool
+    WriteScalarValue(FieldType type, uint64_t bits)
+    {
+        switch (proto::WireTypeForField(type)) {
+          case WireType::kVarint: {
+            uint8_t tmp[proto::kMaxVarintBytes];
+            const int n = proto::EncodeVarintValue(type, bits, tmp);
+            return pipe.WriteRaw(tmp, n);
+          }
+          case WireType::kFixed32: {
+            uint8_t tmp[4];
+            proto::StoreFixed32(static_cast<uint32_t>(bits), tmp);
+            return pipe.WriteRaw(tmp, 4);
+          }
+          case WireType::kFixed64: {
+            uint8_t tmp[8];
+            proto::StoreFixed64(bits, tmp);
+            return pipe.WriteRaw(tmp, 8);
+          }
+          default:
+            PA_CHECK(false);
+        }
+    }
+
+    bool
+    EmitString(uint32_t number, const ArenaString *s,
+               uint64_t container_lat)
+    {
+        const std::string_view payload =
+            s == nullptr ? std::string_view() : s->view();
+        uint64_t load_lat = container_lat;
+        if (s != nullptr) {
+            load_lat += unit->fsu_port_.Read(s, sizeof(*s));
+            if (!payload.empty())
+                unit->fsu_port_.Read(payload.data(), payload.size());
+        }
+        const uint64_t key_len_bytes =
+            proto::VarintSize(payload.size()) +
+            proto::VarintSize(
+                proto::MakeTag(number, WireType::kLengthDelimited));
+        pipe.FieldOp(load_lat,
+                     CeilDiv(payload.size(), timing.out_bytes_per_cycle),
+                     payload.size() + key_len_bytes);
+        if (!pipe.WriteRaw(payload.data(), payload.size()))
+            return false;
+        if (!pipe.WriteVarint(payload.size()))
+            return false;
+        return pipe.WriteKey(number, WireType::kLengthDelimited);
+    }
+};
+
+AccelStatus
+SerializerUnit::Run(const SerJob &job, uint64_t *cycles)
+{
+    PA_CHECK(arena_ != nullptr);
+    ++stats_.jobs;
+
+    // Batch pipelining: the frontend begins this message while the
+    // FSUs/memwriter drain the previous one, so pipeline state persists
+    // across jobs until the fence (ResetPipeline).
+    if (pipe_ == nullptr) {
+        pipe_ = std::make_unique<Pipe>();
+        pipe_->unit = this;
+        pipe_->fsu_free.assign(timing_.num_field_serializers, 0);
+    }
+    Pipe &pipe = *pipe_;
+    pipe.pos = arena_->head();
+    pipe.overflow = false;
+    pipe.frontend += 2 * kRoccDispatchCycles;  // ser_info + do_proto_ser
+
+    SerializerImpl ms{pipe, this, timing_, stats_};
+    const size_t start = pipe.pos;
+    AccelStatus st = ms.SerializeMessage(
+        AdtView(job.adt), static_cast<const uint8_t *>(job.src_obj));
+    if (st == AccelStatus::kOk && pipe.overflow)
+        st = AccelStatus::kOutputOverflow;
+    if (st != AccelStatus::kOk)
+        return st;
+
+    const size_t out_size = start - pipe.pos;
+    stats_.out_bytes += out_size;
+    arena_->set_head(pipe.pos);
+    // §4.5.5: on top-level end-of-message, write the output pointer
+    // into the next slot of the pointer buffer.
+    arena_->PushOutputPointer(pipe.pos, out_size);
+    memwriter_port_.Write(arena_->at(pipe.pos), 8);
+
+    const uint64_t done =
+        pipe.memwriter > pipe.frontend ? pipe.memwriter : pipe.frontend;
+    const uint64_t marginal = done - batch_completion_;
+    batch_completion_ = done;
+    stats_.cycles += marginal;
+    *cycles = marginal;
+    return st;
+}
+
+}  // namespace protoacc::accel

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The serializer unit (§4.5, Figure 10).
+ *
+ * Functional + cycle-level model of the hardware pipeline:
+ *
+ *   - frontend (§4.5.3): loads the is_submessage and hasbits bit fields,
+ *     walks defined field numbers in REVERSE order, issues an ADT load
+ *     per present field (pipelined, several outstanding) and a
+ *     handle-field-op into the pipeline; maintains context stacks for
+ *     sub-message nesting; emits a field-number-zero op at each
+ *     (sub-)message boundary;
+ *   - K parallel field serializer units (§4.5.4): load field data from
+ *     the C++ object, encode (single-cycle varint encode), and expose
+ *     serialized chunks — modeled with busy-until scheduling;
+ *   - round-robin output sequencer + memwriter (§4.5.5): merges FSU
+ *     output in dispatch order and writes it to the arena from HIGH to
+ *     LOW addresses at bus width; at end-of-message it injects the
+ *     sub-message key with the now-known length (§4.5.1).
+ *
+ * The output bytes are written for real and must equal the software
+ * serializer's output byte-for-byte — asserted by tests.
+ */
+#ifndef PROTOACC_ACCEL_SERIALIZER_H
+#define PROTOACC_ACCEL_SERIALIZER_H
+
+#include <cstdint>
+#include <memory>
+
+#include "accel/accel_arena.h"
+#include "accel/adt.h"
+#include "accel/deserializer.h"  // AccelStatus
+#include "accel/rocc.h"
+#include "sim/port.h"
+
+namespace protoacc::accel {
+
+/// Timing parameters of the serializer pipeline.
+struct SerTiming
+{
+    /// Parallel field serializer units (Figure 10 shows several;
+    /// swept in the FSU-count ablation bench).
+    uint32_t num_field_serializers = 4;
+    /// Outstanding ADT entry loads the frontend sustains.
+    uint32_t adt_outstanding = 4;
+    /// Hasbits/is_submessage scan throughput (bits of field-number
+    /// range examined per cycle; a priority encoder skips zero words).
+    uint32_t scan_bits_per_cycle = 64;
+    uint32_t per_present_field_cycles = 1;
+    uint32_t submsg_context_switch_cycles = 3;
+    uint32_t stack_spill_cycles = 4;
+    uint32_t end_of_message_cycles = 1;  ///< memwriter key injection
+    uint32_t out_bytes_per_cycle = 16;   ///< memwriter width
+    uint32_t on_chip_stack_depth = 25;
+    /// ADT response-buffer entries/hit latency (see AdtResponseBuffer).
+    uint32_t adt_buffer_entries = 16;
+    uint32_t adt_buffer_hit_cycles = 1;
+};
+
+/// Counters exposed by the unit.
+struct SerStats
+{
+    uint64_t jobs = 0;
+    uint64_t cycles = 0;
+    uint64_t out_bytes = 0;
+    uint64_t fields = 0;
+    uint64_t submessages = 0;
+    uint64_t repeated_elements = 0;
+    uint64_t scan_cycles = 0;
+    uint64_t stack_spills = 0;
+    uint64_t max_depth = 0;
+};
+
+/**
+ * The serializer unit. Jobs queued between fences execute back-to-back.
+ */
+class SerializerUnit
+{
+  public:
+    SerializerUnit(sim::MemorySystem *memory, const SerTiming &timing);
+    ~SerializerUnit();  // out-of-line: Pipe is incomplete here
+
+    /// §4.3/§4.5.1: ser_assign_arena — output data + pointer regions.
+    void AssignArena(SerArena *arena) { arena_ = arena; }
+
+    /**
+     * Execute one serialization job; on success the output is recorded
+     * in the assigned SerArena's pointer region.
+     *
+     * Within one batch (between fences) jobs overlap in the pipeline:
+     * the frontend starts the next message while the FSUs and memwriter
+     * drain the previous one. @p cycles receives this job's marginal
+     * latency; the batch total is the sum of the marginals.
+     */
+    AccelStatus Run(const SerJob &job, uint64_t *cycles);
+
+    /// Drain the pipeline at a block_for_ser_completion fence.
+    void ResetPipeline();
+
+    const SerStats &stats() const { return stats_; }
+    void ResetStats();
+
+  private:
+    struct Pipe;            // per-job pipeline state, in .cc
+    friend struct SerializerImpl;  // recursive walk, in .cc
+
+    sim::MemorySystem *memory_;
+    SerTiming timing_;
+    SerArena *arena_ = nullptr;
+    sim::Port frontend_port_;  ///< bit-field + ADT loads
+    sim::Port fsu_port_;       ///< field serializer data loads
+    sim::Port memwriter_port_;
+    AdtResponseBuffer adt_buffer_;
+    std::unique_ptr<Pipe> pipe_;       ///< live batch pipeline state
+    uint64_t batch_completion_ = 0;    ///< last job's completion cycle
+    SerStats stats_;
+};
+
+}  // namespace protoacc::accel
+
+#endif  // PROTOACC_ACCEL_SERIALIZER_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The combinational varint unit (§2.1.2, §4.4.4, §4.4.6).
+ *
+ * "Varint handling is a prime candidate for acceleration — fixed-
+ * function hardware can easily handle varint encoding/decoding in a
+ * single cycle." The unit peeks at up to 10 bytes from the memloader
+ * and produces the decoded 64-bit value plus the consumed length in one
+ * cycle; the encoder is the mirror image. Functionally these delegate
+ * to the shared wire-format primitives, which is precisely what makes
+ * the accelerator wire-compatible with standard protobufs.
+ */
+#ifndef PROTOACC_ACCEL_VARINT_UNIT_H
+#define PROTOACC_ACCEL_VARINT_UNIT_H
+
+#include <cstdint>
+
+#include "proto/wire_format.h"
+
+namespace protoacc::accel {
+
+/// Result of a combinational varint decode.
+struct VarintDecodeResult
+{
+    uint64_t value = 0;
+    /// Encoded length in bytes (0 = malformed/insufficient input).
+    int length = 0;
+};
+
+/// Single-cycle combinational decode of up to 10 bytes at @p p.
+inline VarintDecodeResult
+CombinationalVarintDecode(const uint8_t *p, const uint8_t *end)
+{
+    VarintDecodeResult r;
+    r.length = proto::DecodeVarint(p, end, &r.value);
+    return r;
+}
+
+/// Single-cycle combinational encode; returns the byte length (1..10).
+inline int
+CombinationalVarintEncode(uint64_t value, uint8_t *out)
+{
+    return proto::EncodeVarint(value, out);
+}
+
+/// Combinational zig-zag stages (§4.4.6: "an additional combinational
+/// zig-zag decoding unit").
+inline int64_t
+CombinationalZigZagDecode(uint64_t v)
+{
+    return proto::ZigZagDecode64(v);
+}
+
+inline uint64_t
+CombinationalZigZagEncode(int64_t v)
+{
+    return proto::ZigZagEncode64(v);
+}
+
+}  // namespace protoacc::accel
+
+#endif  // PROTOACC_ACCEL_VARINT_UNIT_H

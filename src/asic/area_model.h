@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Analytic ASIC area and critical-path model (§5.3).
+ *
+ * We cannot run commercial synthesis; instead each unit is decomposed
+ * into a gate-level block inventory (datapath registers, combinational
+ * varint units, SRAM-based context stacks, TLBs, interface queues) and
+ * costed with per-kGE area and per-bit SRAM area figures representative
+ * of a commercial 22 nm FinFET standard-cell library. Frequency comes
+ * from the deepest combinational path expressed in FO4 delays.
+ *
+ * The model is calibrated to reproduce the paper's §5.3 results —
+ * deserializer 0.133 mm² @ 1.95 GHz, serializer 0.278 mm² @ 1.84 GHz —
+ * and, more importantly, their *structure*: the serializer is ~2x the
+ * deserializer because it instantiates multiple parallel field
+ * serializer units, and both units close timing at ~2 GHz because the
+ * single-cycle 10-byte varint units dominate the critical path.
+ */
+#ifndef PROTOACC_ASIC_AREA_MODEL_H
+#define PROTOACC_ASIC_AREA_MODEL_H
+
+#include <string>
+#include <vector>
+
+namespace protoacc::asic {
+
+/// Technology constants for the modeled 22 nm FinFET process.
+struct ProcessParams
+{
+    std::string name = "commercial 22nm FinFET";
+    /// Logic density: mm^2 per 1000 gate-equivalents (post-PnR, with
+    /// typical utilization).
+    double mm2_per_kge = 0.00032;
+    /// SRAM density: mm^2 per kilobit (small macros, single-port).
+    double mm2_per_kbit_sram = 0.0011;
+    /// FO4 inverter delay in picoseconds (slow corner).
+    double fo4_ps = 13.0;
+    /// Sequential overhead per cycle (setup + clk-q + margin), in FO4.
+    double seq_overhead_fo4 = 3.5;
+};
+
+/// One block of a unit's inventory.
+struct Block
+{
+    std::string name;
+    double kge = 0;        ///< logic gate-equivalents (thousands)
+    double sram_kbit = 0;  ///< SRAM bits (kilobits)
+    double area_mm2 = 0;   ///< filled in by the model
+};
+
+/// Synthesis-style report for one unit.
+struct UnitReport
+{
+    std::string unit;
+    std::vector<Block> blocks;
+    double total_mm2 = 0;
+    double critical_path_fo4 = 0;
+    double freq_ghz = 0;
+};
+
+/// Deserializer unit inventory and report (Figure 9's blocks).
+UnitReport DeserializerReport(const ProcessParams &process = {});
+
+/**
+ * Serializer unit inventory and report (Figure 10's blocks).
+ *
+ * @param num_field_serializers K parallel FSUs; the paper's design
+ *        point is 4, and this knob feeds the FSU-count ablation.
+ */
+UnitReport SerializerReport(const ProcessParams &process = {},
+                            int num_field_serializers = 4);
+
+/// Render a report as an aligned table.
+std::string ToTable(const UnitReport &report);
+
+}  // namespace protoacc::asic
+
+#endif  // PROTOACC_ASIC_AREA_MODEL_H

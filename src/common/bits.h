@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared by the wire format and the
+ * accelerator model.
+ */
+#ifndef PROTOACC_COMMON_BITS_H
+#define PROTOACC_COMMON_BITS_H
+
+#include <bit>
+#include <cstdint>
+
+namespace protoacc {
+
+/// Number of significant (non-leading-zero) bits in @p v; 0 for v == 0.
+inline int
+SignificantBits(uint64_t v)
+{
+    return 64 - std::countl_zero(v);
+}
+
+/// Ceiling division for non-negative integers.
+inline uint64_t
+CeilDiv(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/// Round @p v up to the next multiple of @p align (align must be a power
+/// of two).
+inline uint64_t
+AlignUp(uint64_t v, uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/// True if @p v is a power of two (and non-zero).
+inline bool
+IsPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// floor(log2(v)); v must be non-zero.
+inline int
+Log2Floor(uint64_t v)
+{
+    return 63 - std::countl_zero(v);
+}
+
+}  // namespace protoacc
+
+#endif  // PROTOACC_COMMON_BITS_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Assertion and logging macros used throughout the library.
+ *
+ * Following the Core Guidelines / Google style, the library does not use
+ * exceptions. Internal invariant violations abort via PA_CHECK (the
+ * analog of gem5's panic(): a bug in this library, never the user's
+ * fault). User-facing recoverable failures are reported through status
+ * enums or bool returns instead.
+ */
+#ifndef PROTOACC_COMMON_CHECK_H
+#define PROTOACC_COMMON_CHECK_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace protoacc {
+
+[[noreturn]] inline void
+CheckFailed(const char *file, int line, const char *expr)
+{
+    std::fprintf(stderr, "PA_CHECK failed at %s:%d: %s\n", file, line, expr);
+    std::abort();
+}
+
+}  // namespace protoacc
+
+/// Abort if @p expr is false. Enabled in all build types: the simulator's
+/// correctness claims depend on these invariants holding.
+#define PA_CHECK(expr)                                                     \
+    do {                                                                   \
+        if (!(expr)) {                                                     \
+            ::protoacc::CheckFailed(__FILE__, __LINE__, #expr);            \
+        }                                                                  \
+    } while (0)
+
+#define PA_CHECK_EQ(a, b) PA_CHECK((a) == (b))
+#define PA_CHECK_NE(a, b) PA_CHECK((a) != (b))
+#define PA_CHECK_LT(a, b) PA_CHECK((a) < (b))
+#define PA_CHECK_LE(a, b) PA_CHECK((a) <= (b))
+#define PA_CHECK_GT(a, b) PA_CHECK((a) > (b))
+#define PA_CHECK_GE(a, b) PA_CHECK((a) >= (b))
+
+#endif  // PROTOACC_COMMON_CHECK_H

@@ -1,0 +1,121 @@
+#include "common/histogram.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace protoacc {
+
+const std::vector<SizeBucket> &
+PaperSizeBuckets()
+{
+    static const std::vector<SizeBucket> kBuckets = {
+        {0, 8, "0-8"},
+        {9, 16, "9-16"},
+        {17, 32, "17-32"},
+        {33, 64, "33-64"},
+        {65, 128, "65-128"},
+        {129, 256, "129-256"},
+        {257, 512, "257-512"},
+        {513, 4096, "513-4096"},
+        {4097, 32768, "4097-32768"},
+        {32769, UINT64_MAX, "32769-inf"},
+    };
+    return kBuckets;
+}
+
+size_t
+PaperSizeBucketIndex(uint64_t size)
+{
+    const auto &buckets = PaperSizeBuckets();
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        if (size <= buckets[i].hi)
+            return i;
+    }
+    return buckets.size() - 1;
+}
+
+Histogram::Histogram(std::vector<std::string> labels)
+    : labels_(std::move(labels)),
+      counts_(labels_.size(), 0),
+      weights_(labels_.size(), 0.0)
+{
+    PA_CHECK(!labels_.empty());
+}
+
+Histogram
+Histogram::ForPaperSizeBuckets()
+{
+    std::vector<std::string> labels;
+    for (const auto &b : PaperSizeBuckets())
+        labels.emplace_back(b.label);
+    return Histogram(std::move(labels));
+}
+
+void
+Histogram::Add(size_t bucket, double weight)
+{
+    PA_CHECK_LT(bucket, labels_.size());
+    counts_[bucket] += 1;
+    weights_[bucket] += weight;
+}
+
+void
+Histogram::AddSized(uint64_t size, double weight)
+{
+    Add(PaperSizeBucketIndex(size), weight);
+}
+
+uint64_t
+Histogram::total_count() const
+{
+    uint64_t total = 0;
+    for (uint64_t c : counts_)
+        total += c;
+    return total;
+}
+
+double
+Histogram::total_weight() const
+{
+    double total = 0;
+    for (double w : weights_)
+        total += w;
+    return total;
+}
+
+double
+Histogram::count_pct(size_t i) const
+{
+    const uint64_t total = total_count();
+    return total == 0 ? 0.0 : 100.0 * static_cast<double>(counts_[i]) /
+                                  static_cast<double>(total);
+}
+
+double
+Histogram::weight_pct(size_t i) const
+{
+    const double total = total_weight();
+    return total == 0 ? 0.0 : 100.0 * weights_[i] / total;
+}
+
+std::string
+Histogram::ToTable(const std::string &title) const
+{
+    std::string out = title + "\n";
+    char line[256];
+    std::snprintf(line, sizeof(line), "  %-14s %12s %8s %8s\n", "bucket",
+                  "count", "count%", "bytes%");
+    out += line;
+    for (size_t i = 0; i < labels_.size(); ++i) {
+        std::snprintf(line, sizeof(line),
+                      "  %-14s %12" PRIu64 " %7.2f%% %7.2f%%\n",
+                      labels_[i].c_str(), counts_[i], count_pct(i),
+                      weight_pct(i));
+        out += line;
+    }
+    return out;
+}
+
+}  // namespace protoacc

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Bucketed histograms used by the fleet-profiling study.
+ *
+ * The paper's profiling figures use a fixed set of 10 byte-size buckets
+ * (Figures 3 and 4c). SizeBucket reproduces those bounds exactly;
+ * Histogram is a generic labeled-bucket accumulator used by every
+ * figure-reproduction binary.
+ */
+#ifndef PROTOACC_COMMON_HISTOGRAM_H
+#define PROTOACC_COMMON_HISTOGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace protoacc {
+
+/// The paper's 10 size buckets, inclusive bounds (Figures 3 / 4c).
+struct SizeBucket
+{
+    uint64_t lo;
+    uint64_t hi;  ///< inclusive; UINT64_MAX for the open top bucket
+    const char *label;
+};
+
+/// Bounds shared by Figure 3 (message sizes) and Figure 4c (bytes-field
+/// sizes): 0-8, 9-16, 17-32, 33-64, 65-128, 129-256, 257-512, 513-4096,
+/// 4097-32768, 32769-inf.
+const std::vector<SizeBucket> &PaperSizeBuckets();
+
+/// Index of the paper bucket containing @p size.
+size_t PaperSizeBucketIndex(uint64_t size);
+
+/**
+ * A labeled-bucket accumulator tracking both a count and a weight (e.g.
+ * bytes) per bucket.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<std::string> labels);
+
+    /// Construct with the paper's 10 size-bucket labels.
+    static Histogram ForPaperSizeBuckets();
+
+    void Add(size_t bucket, double weight = 1.0);
+    void AddSized(uint64_t size, double weight = 1.0);
+
+    size_t num_buckets() const { return labels_.size(); }
+    const std::string &label(size_t i) const { return labels_[i]; }
+    uint64_t count(size_t i) const { return counts_[i]; }
+    double weight(size_t i) const { return weights_[i]; }
+    uint64_t total_count() const;
+    double total_weight() const;
+
+    /// Percentage of total count in bucket @p i (0 when empty).
+    double count_pct(size_t i) const;
+    /// Percentage of total weight in bucket @p i (0 when empty).
+    double weight_pct(size_t i) const;
+
+    /// Render as an aligned text table (label, count, count%, weight%).
+    std::string ToTable(const std::string &title) const;
+
+  private:
+    std::vector<std::string> labels_;
+    std::vector<uint64_t> counts_;
+    std::vector<double> weights_;
+};
+
+}  // namespace protoacc
+
+#endif  // PROTOACC_COMMON_HISTOGRAM_H

@@ -1,0 +1,118 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace protoacc {
+namespace {
+
+uint64_t
+SplitMix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+Rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void
+Rng::Seed(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : s_)
+        s = SplitMix64(sm);
+}
+
+uint64_t
+Rng::Next()
+{
+    const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::NextBounded(uint64_t bound)
+{
+    PA_CHECK(bound != 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+        const uint64_t r = Next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::NextRange(int64_t lo, int64_t hi)
+{
+    PA_CHECK_LE(lo, hi);
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0)  // full 64-bit range
+        return static_cast<int64_t>(Next());
+    return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double
+Rng::NextDouble()
+{
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::NextBool(double p)
+{
+    return NextDouble() < p;
+}
+
+size_t
+Rng::NextWeighted(const std::vector<double> &weights)
+{
+    PA_CHECK(!weights.empty());
+    double total = 0;
+    for (double w : weights)
+        total += w;
+    PA_CHECK_GT(total, 0);
+    double x = NextDouble() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        x -= weights[i];
+        if (x < 0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+uint64_t
+Rng::NextLogUniform(uint64_t lo, uint64_t hi)
+{
+    PA_CHECK_LE(lo, hi);
+    PA_CHECK_GE(lo, 1u);
+    const double llo = std::log2(static_cast<double>(lo));
+    const double lhi = std::log2(static_cast<double>(hi) + 1.0);
+    const double draw = llo + NextDouble() * (lhi - llo);
+    uint64_t v = static_cast<uint64_t>(std::floor(std::exp2(draw)));
+    if (v < lo)
+        v = lo;
+    if (v > hi)
+        v = hi;
+    return v;
+}
+
+}  // namespace protoacc

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic components of the reproduction (fleet model, schema
+ * generator, benchmark generator) draw from this generator so that every
+ * figure is exactly reproducible from a seed. The implementation is
+ * xoshiro256++ (public domain, Blackman & Vigna).
+ */
+#ifndef PROTOACC_COMMON_RNG_H
+#define PROTOACC_COMMON_RNG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace protoacc {
+
+/**
+ * Deterministic 64-bit PRNG with convenience distributions.
+ *
+ * Not thread-safe; each component owns its own instance.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { Seed(seed); }
+
+    /// Re-seed the generator via splitmix64 expansion of @p seed.
+    void Seed(uint64_t seed);
+
+    /// Next raw 64-bit value.
+    uint64_t Next();
+
+    /// Uniform integer in [0, bound); bound must be non-zero.
+    uint64_t NextBounded(uint64_t bound);
+
+    /// Uniform integer in [lo, hi] inclusive.
+    int64_t NextRange(int64_t lo, int64_t hi);
+
+    /// Uniform double in [0, 1).
+    double NextDouble();
+
+    /// Bernoulli draw with probability @p p of returning true.
+    bool NextBool(double p = 0.5);
+
+    /**
+     * Draw an index from a discrete distribution given by non-negative
+     * weights. Weights need not be normalized.
+     */
+    size_t NextWeighted(const std::vector<double> &weights);
+
+    /// Geometric-ish integer: uniform in [lo, hi] on a log2 scale.
+    uint64_t NextLogUniform(uint64_t lo, uint64_t hi);
+
+  private:
+    uint64_t s_[4];
+};
+
+}  // namespace protoacc
+
+#endif  // PROTOACC_COMMON_RNG_H

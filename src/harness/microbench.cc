@@ -1,0 +1,222 @@
+#include "harness/microbench.h"
+
+namespace protoacc::harness {
+
+using proto::DescriptorPool;
+using proto::FieldType;
+using proto::Label;
+using proto::Message;
+
+namespace {
+
+/// A uint64 value whose varint encoding is exactly max(n,1) bytes.
+uint64_t
+VarintValueOfSize(int n)
+{
+    if (n <= 0)
+        return 0;  // varint-0: the value zero (1 byte on the wire)
+    if (n >= 10)
+        return UINT64_MAX;  // 10 bytes
+    // Smallest value needing n bytes: 2^(7*(n-1)).
+    return 1ull << (7 * (n - 1));
+}
+
+std::unique_ptr<Microbench>
+NewBench(const std::string &name)
+{
+    auto b = std::make_unique<Microbench>();
+    b->name = name;
+    b->pool = std::make_unique<DescriptorPool>();
+    b->arena = std::make_unique<proto::Arena>();
+    return b;
+}
+
+void
+Finish(Microbench *b, int msg_index)
+{
+    b->workload.pool = b->pool.get();
+    b->workload.msg_index = msg_index;
+    FillWires(&b->workload);
+}
+
+}  // namespace
+
+std::unique_ptr<Microbench>
+MakeVarintBench(int n, bool repeated, int elems_per_field)
+{
+    auto b = NewBench(repeated ? "varint-" + std::to_string(n) + "-R"
+                               : "varint-" + std::to_string(n));
+    const int msg = b->pool->AddMessage("M");
+    const Label label = repeated ? Label::kRepeated : Label::kOptional;
+    for (uint32_t f = 1; f <= 5; ++f) {
+        b->pool->AddField(msg, "v" + std::to_string(f), f,
+                          FieldType::kUint64, label,
+                          /*packed=*/repeated);
+    }
+    b->pool->Compile(proto::HasbitsMode::kSparse);
+
+    const uint64_t value = VarintValueOfSize(n);
+    for (int i = 0; i < kMicrobenchBatch; ++i) {
+        Message m = Message::Create(b->arena.get(), *b->pool, msg);
+        for (const auto &f : b->pool->message(msg).fields()) {
+            if (repeated) {
+                for (int e = 0; e < elems_per_field; ++e)
+                    m.AddRepeatedBits(f, value);
+            } else {
+                m.SetUint64(f, value);
+            }
+        }
+        b->workload.messages.push_back(m);
+    }
+    Finish(b.get(), msg);
+    return b;
+}
+
+namespace {
+
+std::unique_ptr<Microbench>
+MakeFixedBench(const std::string &base_name, FieldType type,
+               bool repeated, int elems_per_field)
+{
+    auto b = NewBench(repeated ? base_name + "-R" : base_name);
+    const int msg = b->pool->AddMessage("M");
+    const Label label = repeated ? Label::kRepeated : Label::kOptional;
+    for (uint32_t f = 1; f <= 5; ++f) {
+        b->pool->AddField(msg, "v" + std::to_string(f), f, type, label,
+                          /*packed=*/repeated);
+    }
+    b->pool->Compile(proto::HasbitsMode::kSparse);
+
+    for (int i = 0; i < kMicrobenchBatch; ++i) {
+        Message m = Message::Create(b->arena.get(), *b->pool, msg);
+        for (const auto &f : b->pool->message(msg).fields()) {
+            if (repeated) {
+                for (int e = 0; e < elems_per_field; ++e) {
+                    if (type == FieldType::kDouble) {
+                        uint64_t bits;
+                        const double v = 1.5 * (e + 1);
+                        memcpy(&bits, &v, 8);
+                        m.AddRepeatedBits(f, bits);
+                    } else {
+                        uint32_t bits;
+                        const float v = 2.5f * (e + 1);
+                        memcpy(&bits, &v, 4);
+                        m.AddRepeatedBits(f, bits);
+                    }
+                }
+            } else if (type == FieldType::kDouble) {
+                m.SetDouble(f, 3.25 * (i + 1));
+            } else {
+                m.SetFloat(f, 1.25f * (i + 1));
+            }
+        }
+        b->workload.messages.push_back(m);
+    }
+    Finish(b.get(), msg);
+    return b;
+}
+
+}  // namespace
+
+std::unique_ptr<Microbench>
+MakeDoubleBench(bool repeated, int elems_per_field)
+{
+    return MakeFixedBench("double", FieldType::kDouble, repeated,
+                          elems_per_field);
+}
+
+std::unique_ptr<Microbench>
+MakeFloatBench(bool repeated, int elems_per_field)
+{
+    return MakeFixedBench("float", FieldType::kFloat, repeated,
+                          elems_per_field);
+}
+
+std::unique_ptr<Microbench>
+MakeStringBench(const std::string &name, size_t payload_len)
+{
+    auto b = NewBench(name);
+    const int msg = b->pool->AddMessage("M");
+    b->pool->AddField(msg, "s", 1, FieldType::kString);
+    b->pool->Compile(proto::HasbitsMode::kSparse);
+    const auto &f = b->pool->message(msg).field(0);
+    for (int i = 0; i < kMicrobenchBatch; ++i) {
+        Message m = Message::Create(b->arena.get(), *b->pool, msg);
+        m.SetString(f, std::string(payload_len,
+                                   static_cast<char>('a' + i % 26)));
+        b->workload.messages.push_back(m);
+    }
+    Finish(b.get(), msg);
+    return b;
+}
+
+std::unique_ptr<Microbench>
+MakeSubmessageBench(const std::string &name, FieldType type)
+{
+    auto b = NewBench(name);
+    const int inner = b->pool->AddMessage("Inner");
+    const int nfields = proto::IsBytesLike(type) ? 1 : 5;
+    for (int f = 1; f <= nfields; ++f) {
+        b->pool->AddField(inner, "v" + std::to_string(f),
+                          static_cast<uint32_t>(f), type);
+    }
+    const int msg = b->pool->AddMessage("M");
+    b->pool->AddMessageField(msg, "sub", 1, inner);
+    b->pool->Compile(proto::HasbitsMode::kSparse);
+
+    const auto &subf = b->pool->message(msg).field(0);
+    for (int i = 0; i < kMicrobenchBatch; ++i) {
+        Message m = Message::Create(b->arena.get(), *b->pool, msg);
+        Message sub = m.MutableMessage(subf);
+        for (const auto &f : b->pool->message(inner).fields()) {
+            switch (type) {
+              case FieldType::kBool:
+                sub.SetBool(f, (i + f.number) % 2 == 0);
+                break;
+              case FieldType::kDouble:
+                sub.SetDouble(f, 0.5 * (i + f.number));
+                break;
+              default:
+                sub.SetString(f, std::string(24, 'q'));
+                break;
+            }
+        }
+        b->workload.messages.push_back(m);
+    }
+    Finish(b.get(), msg);
+    return b;
+}
+
+std::vector<std::unique_ptr<Microbench>>
+MakeNonAllocBenches()
+{
+    std::vector<std::unique_ptr<Microbench>> benches;
+    for (int n = 0; n <= 10; ++n)
+        benches.push_back(MakeVarintBench(n, /*repeated=*/false));
+    benches.push_back(MakeDoubleBench(false));
+    benches.push_back(MakeFloatBench(false));
+    return benches;
+}
+
+std::vector<std::unique_ptr<Microbench>>
+MakeAllocBenches()
+{
+    std::vector<std::unique_ptr<Microbench>> benches;
+    for (int n = 0; n <= 10; ++n)
+        benches.push_back(MakeVarintBench(n, /*repeated=*/true));
+    benches.push_back(MakeStringBench("string", 8));
+    benches.push_back(MakeStringBench("string_15", 15));
+    benches.push_back(MakeStringBench("string_long", 512));
+    benches.push_back(MakeStringBench("string_very_long", 64 * 1024));
+    benches.push_back(MakeDoubleBench(true));
+    benches.push_back(MakeFloatBench(true));
+    benches.push_back(
+        MakeSubmessageBench("bool-SUB", FieldType::kBool));
+    benches.push_back(
+        MakeSubmessageBench("double-SUB", FieldType::kDouble));
+    benches.push_back(
+        MakeSubmessageBench("string-SUB", FieldType::kString));
+    return benches;
+}
+
+}  // namespace protoacc::harness

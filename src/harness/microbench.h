@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The §5.1 microbenchmark suite: workload builders for every benchmark
+ * named in Figures 11a-11d.
+ *
+ * Following the paper: varint/double/float benchmarks (and their
+ * repeated equivalents) use five fields per message "so that the
+ * middle-sized non-repeated varint's µbenchmark message falls roughly
+ * at the median of message sizes shown in Figure 3"; all other
+ * benchmarks use one field per message. Each benchmark operates on a
+ * pre-populated batch of messages.
+ */
+#ifndef PROTOACC_HARNESS_MICROBENCH_H
+#define PROTOACC_HARNESS_MICROBENCH_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/bench_common.h"
+
+namespace protoacc::harness {
+
+/// A named microbenchmark: owns its pool, arena and workload.
+struct Microbench
+{
+    std::string name;
+    std::unique_ptr<proto::DescriptorPool> pool;
+    std::unique_ptr<proto::Arena> arena;
+    Workload workload;
+};
+
+/// Number of messages per pre-populated batch.
+inline constexpr int kMicrobenchBatch = 64;
+
+/**
+ * varint-N (N in 0..10): five uint64 fields whose values encode to
+ * max(N,1) varint bytes (varint-0 holds the value zero).
+ */
+std::unique_ptr<Microbench> MakeVarintBench(int n, bool repeated,
+                                            int elems_per_field = 8);
+
+/// double / float: five fixed-width fields (optionally repeated).
+std::unique_ptr<Microbench> MakeDoubleBench(bool repeated,
+                                            int elems_per_field = 8);
+std::unique_ptr<Microbench> MakeFloatBench(bool repeated,
+                                           int elems_per_field = 8);
+
+/**
+ * string / string_15 / string_long / string_very_long: one string
+ * field of the given payload size (8 B, 15 B = the SSO boundary,
+ * 512 B, 64 KiB).
+ */
+std::unique_ptr<Microbench> MakeStringBench(const std::string &name,
+                                            size_t payload_len);
+
+/**
+ * bool-SUB / double-SUB / string-SUB: one sub-message field whose
+ * sub-message holds five fields of the named type (one for string).
+ */
+std::unique_ptr<Microbench> MakeSubmessageBench(const std::string &name,
+                                                proto::FieldType type);
+
+/// The Figure 11a/11b field set: varint-0..varint-10, double, float.
+std::vector<std::unique_ptr<Microbench>> MakeNonAllocBenches();
+
+/// The Figure 11c/11d field set: varint-0-R..varint-10-R, string x4,
+/// double-R, float-R, bool-SUB, double-SUB, string-SUB.
+std::vector<std::unique_ptr<Microbench>> MakeAllocBenches();
+
+}  // namespace protoacc::harness
+
+#endif  // PROTOACC_HARNESS_MICROBENCH_H

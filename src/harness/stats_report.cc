@@ -1,0 +1,101 @@
+#include "harness/stats_report.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace protoacc::harness {
+
+namespace {
+
+void
+Line(std::string &out, const char *name, uint64_t value)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%-44s %16" PRIu64 "\n", name, value);
+    out += buf;
+}
+
+void
+LineF(std::string &out, const char *name, double value)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%-44s %16.4f\n", name, value);
+    out += buf;
+}
+
+}  // namespace
+
+std::string
+AccelStatsReport(const accel::ProtoAccelerator &device)
+{
+    std::string out = "---------- accelerator stats ----------\n";
+    const accel::DeserStats &d = device.deserializer().stats();
+    Line(out, "deser.jobs", d.jobs);
+    Line(out, "deser.cycles", d.cycles);
+    Line(out, "deser.wire_bytes", d.wire_bytes);
+    Line(out, "deser.fields", d.fields);
+    Line(out, "deser.varint_fields", d.varint_fields);
+    Line(out, "deser.fixed_fields", d.fixed_fields);
+    Line(out, "deser.string_fields", d.string_fields);
+    Line(out, "deser.submessages", d.submessages);
+    Line(out, "deser.packed_fields", d.packed_fields);
+    Line(out, "deser.repeated_elements", d.repeated_elements);
+    Line(out, "deser.unknown_fields", d.unknown_fields);
+    Line(out, "deser.allocations", d.allocations);
+    Line(out, "deser.alloc_bytes", d.alloc_bytes);
+    Line(out, "deser.stack_spills", d.stack_spills);
+    Line(out, "deser.max_depth", d.max_depth);
+    Line(out, "deser.adt_stall_cycles", d.adt_stall_cycles);
+    Line(out, "deser.stream_stall_cycles", d.stream_stall_cycles);
+    if (d.cycles > 0) {
+        LineF(out, "deser.bytes_per_cycle",
+              static_cast<double>(d.wire_bytes) /
+                  static_cast<double>(d.cycles));
+    }
+
+    const accel::SerStats &s = device.serializer().stats();
+    Line(out, "ser.jobs", s.jobs);
+    Line(out, "ser.cycles", s.cycles);
+    Line(out, "ser.out_bytes", s.out_bytes);
+    Line(out, "ser.fields", s.fields);
+    Line(out, "ser.submessages", s.submessages);
+    Line(out, "ser.repeated_elements", s.repeated_elements);
+    Line(out, "ser.scan_cycles", s.scan_cycles);
+    Line(out, "ser.stack_spills", s.stack_spills);
+    if (s.cycles > 0) {
+        LineF(out, "ser.bytes_per_cycle",
+              static_cast<double>(s.out_bytes) /
+                  static_cast<double>(s.cycles));
+    }
+
+    const accel::OpsStats &o = device.ops().stats();
+    if (o.jobs > 0) {
+        Line(out, "ops.jobs", o.jobs);
+        Line(out, "ops.cycles", o.cycles);
+        Line(out, "ops.fields", o.fields);
+        Line(out, "ops.submessages", o.submessages);
+        Line(out, "ops.bytes_copied", o.bytes_copied);
+        Line(out, "ops.allocations", o.allocations);
+    }
+    return out;
+}
+
+std::string
+MemoryStatsReport(const sim::MemorySystem &memory)
+{
+    std::string out = "---------- memory system stats ----------\n";
+    Line(out, "mem.reads", memory.stats().reads);
+    Line(out, "mem.read_bytes", memory.stats().read_bytes);
+    Line(out, "mem.writes", memory.stats().writes);
+    Line(out, "mem.write_bytes", memory.stats().write_bytes);
+    Line(out, "l2.hits", memory.l2().stats().hits);
+    Line(out, "l2.misses", memory.l2().stats().misses);
+    LineF(out, "l2.hit_rate", memory.l2().stats().hit_rate());
+    Line(out, "llc.hits", memory.llc().stats().hits);
+    Line(out, "llc.misses", memory.llc().stats().misses);
+    LineF(out, "llc.hit_rate", memory.llc().stats().hit_rate());
+    Line(out, "l2.writebacks", memory.l2().stats().writebacks);
+    return out;
+}
+
+}  // namespace protoacc::harness

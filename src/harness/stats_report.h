@@ -1,0 +1,28 @@
+/**
+ * @file
+ * gem5-style statistics reporting for the modeled system.
+ *
+ * Collects the counters every unit already maintains — deserializer and
+ * serializer pipelines, the ops unit, memory-system caches, per-port
+ * TLBs and traffic — into one aligned text block, the way a simulator
+ * dumps stats at the end of a run. Used by examples and available to
+ * any bench that wants per-unit visibility.
+ */
+#ifndef PROTOACC_HARNESS_STATS_REPORT_H
+#define PROTOACC_HARNESS_STATS_REPORT_H
+
+#include <string>
+
+#include "accel/accelerator.h"
+
+namespace protoacc::harness {
+
+/// Render all accelerator-unit counters as an aligned stats block.
+std::string AccelStatsReport(const accel::ProtoAccelerator &device);
+
+/// Render memory-system counters (cache hit rates, traffic).
+std::string MemoryStatsReport(const sim::MemorySystem &memory);
+
+}  // namespace protoacc::harness
+
+#endif  // PROTOACC_HARNESS_STATS_REPORT_H

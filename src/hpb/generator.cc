@@ -1,0 +1,74 @@
+#include "hpb/generator.h"
+
+#include <algorithm>
+
+namespace protoacc::hpb {
+
+using profile::Fleet;
+using profile::FleetParams;
+using profile::ProtobufzSampler;
+using profile::ShapeAggregate;
+using profile::SyntheticService;
+
+std::vector<HpbBenchmark>
+BuildHyperProtoBench(const Fleet &fleet, const HpbParams &params)
+{
+    // Step 1: rank services by cycle weight and take the heaviest
+    // (§5.2: "we use fleet-wide profiling data to determine the five
+    // heaviest users").
+    std::vector<size_t> order(fleet.service_count());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&fleet](size_t a, size_t b) {
+        return fleet.service(a).weight() > fleet.service(b).weight();
+    });
+    const int n = std::min<int>(params.num_benchmarks,
+                                static_cast<int>(order.size()));
+
+    std::vector<HpbBenchmark> benches;
+    Rng rng(params.seed);
+    ProtobufzSampler sampler(&fleet, params.seed ^ 0xbeef);
+    for (int b = 0; b < n; ++b) {
+        // Step 2: per-service live shape collection.
+        const ShapeAggregate agg = sampler.CollectService(
+            order[b], params.shape_samples_per_service);
+
+        // Step 3: fit the generation profile.
+        FleetParams gen_params;
+        gen_params.profile = FitShapeProfile(agg);
+
+        // Step 4: generate the synthetic benchmark service and its
+        // pre-populated message batch.
+        HpbBenchmark bench;
+        bench.name = "bench" + std::to_string(b);
+        bench.service = std::make_unique<SyntheticService>(
+            bench.name, rng.Next(), gen_params);
+        bench.arena = std::make_unique<proto::Arena>();
+
+        Rng msg_rng(rng.Next());
+        bench.workload.pool = &bench.service->pool();
+        const int type = bench.service->top_level_types().front();
+        bench.workload.msg_index = type;
+        for (int m = 0; m < params.messages_per_bench; ++m) {
+            bench.workload.messages.push_back(bench.service->BuildMessage(
+                bench.service->SampleTopLevelType(&msg_rng),
+                bench.arena.get(), &msg_rng));
+        }
+        // The workload runner needs one msg_index for destination
+        // allocation; restrict the batch to that type.
+        std::erase_if(bench.workload.messages,
+                      [&](const proto::Message &m) {
+                          return m.descriptor().pool_index() != type;
+                      });
+        while (bench.workload.messages.size() <
+               static_cast<size_t>(params.messages_per_bench)) {
+            bench.workload.messages.push_back(bench.service->BuildMessage(
+                type, bench.arena.get(), &msg_rng));
+        }
+        harness::FillWires(&bench.workload);
+        benches.push_back(std::move(bench));
+    }
+    return benches;
+}
+
+}  // namespace protoacc::hpb

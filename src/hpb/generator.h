@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The HyperProtoBench generator (§5.2).
+ *
+ * End-to-end pipeline, mirroring the paper's: (1) pick the heaviest
+ * serialization-framework user services by GWP cycle weight, (2) sample
+ * their live message shapes with the protobufz analog, (3) fit a
+ * distribution to each (shape.h), (4) generate a synthetic service —
+ * message definitions plus a driver that constructs and
+ * serializes/deserializes representative messages — one benchmark per
+ * service (bench0..bench5).
+ */
+#ifndef PROTOACC_HPB_GENERATOR_H
+#define PROTOACC_HPB_GENERATOR_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/bench_common.h"
+#include "hpb/shape.h"
+
+namespace protoacc::hpb {
+
+/// One generated HyperProtoBench benchmark.
+struct HpbBenchmark
+{
+    std::string name;
+    /// The synthetic service generated from the fitted profile (owns
+    /// the schemas).
+    std::unique_ptr<profile::SyntheticService> service;
+    /// A pre-populated batch of representative messages.
+    std::unique_ptr<proto::Arena> arena;
+    harness::Workload workload;
+};
+
+/// Generation knobs.
+struct HpbParams
+{
+    int num_benchmarks = 6;   ///< bench0..bench5 (Figures 12/13)
+    int messages_per_bench = 48;
+    int shape_samples_per_service = 1500;
+    uint64_t seed = 5 * 2021;
+};
+
+/**
+ * Build the full HyperProtoBench suite from a fleet: selects the
+ * heaviest services, fits their shapes, generates benchmarks.
+ */
+std::vector<HpbBenchmark> BuildHyperProtoBench(
+    const profile::Fleet &fleet, const HpbParams &params = HpbParams{});
+
+}  // namespace protoacc::hpb
+
+#endif  // PROTOACC_HPB_GENERATOR_H

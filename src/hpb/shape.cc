@@ -1,0 +1,68 @@
+#include "hpb/shape.h"
+
+#include <algorithm>
+
+namespace protoacc::hpb {
+
+using profile::ShapeAggregate;
+using profile::ShapeProfile;
+
+ShapeProfile
+FitShapeProfile(const ShapeAggregate &agg)
+{
+    ShapeProfile profile;
+
+    // Field-type mix: empirical counts and bytes per (type, repeated).
+    double total_fields = 0;
+    double total_bytes = 0;
+    for (const auto &[key, stats] : agg.by_type) {
+        total_fields += static_cast<double>(stats.count);
+        total_bytes += stats.wire_bytes;
+    }
+    if (total_fields > 0) {
+        profile.type_shares.clear();
+        for (const auto &[key, stats] : agg.by_type) {
+            profile::FieldTypeShare share;
+            share.type = static_cast<proto::FieldType>(key.first);
+            share.repeated = key.second;
+            share.field_pct = 100.0 * stats.count / total_fields;
+            share.bytes_pct =
+                total_bytes > 0
+                    ? 100.0 * stats.wire_bytes / total_bytes
+                    : 0;
+            profile.type_shares.push_back(share);
+        }
+    }
+
+    // Size-bucket distributions: empirical counts.
+    const uint64_t msgs = agg.msg_sizes.total_count();
+    if (msgs > 0) {
+        for (size_t i = 0; i < 10; ++i)
+            profile.msg_size_pct[i] = agg.msg_sizes.count_pct(i);
+    }
+    const uint64_t bytes_fields = agg.bytes_field_sizes.total_count();
+    if (bytes_fields > 0) {
+        for (size_t i = 0; i < 10; ++i) {
+            profile.bytes_field_size_pct[i] =
+                agg.bytes_field_sizes.count_pct(i);
+        }
+    }
+
+    // Density deciles and mean presence.
+    if (agg.density_samples > 0) {
+        double mean_density = 0;
+        for (size_t d = 0; d < 10; ++d) {
+            profile.density_pct[d] =
+                100.0 * agg.density_deciles[d] / agg.density_samples;
+            mean_density += (d / 10.0 + 0.05) * profile.density_pct[d] /
+                            100.0;
+        }
+        // Presence tracks density: a fitted profile regenerates the
+        // same sparsity it observed.
+        profile.mean_presence =
+            std::clamp(mean_density * 1.2, 0.05, 0.95);
+    }
+    return profile;
+}
+
+}  // namespace protoacc::hpb

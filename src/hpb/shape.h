@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Distribution fitting for HyperProtoBench (§5.2).
+ *
+ * The paper's internal generator "fits a distribution to the input data
+ * and then samples from it to produce a benchmark that is representative
+ * of a selected production service". FitShapeProfile is that fitting
+ * step: it turns a per-service protobufz shape aggregate back into a
+ * ShapeProfile — field-type mix, message-size and bytes-field-size
+ * bucket distributions, density deciles and mean presence — from which
+ * the generator (generator.h) samples fresh schemas and messages.
+ */
+#ifndef PROTOACC_HPB_SHAPE_H
+#define PROTOACC_HPB_SHAPE_H
+
+#include "profile/samplers.h"
+
+namespace protoacc::hpb {
+
+/// Fit a generation profile to observed shape data.
+profile::ShapeProfile FitShapeProfile(const profile::ShapeAggregate &agg);
+
+}  // namespace protoacc::hpb
+
+#endif  // PROTOACC_HPB_SHAPE_H

@@ -1,0 +1,137 @@
+#include "profile/cycle_estimator.h"
+
+#include "harness/microbench.h"
+
+namespace protoacc::profile {
+
+namespace {
+
+using harness::Microbench;
+
+/// Per-byte deser/ser costs of one microbenchmark on @p params.
+void
+MeasureSlice(const Microbench &bench, const cpu::CpuParams &params,
+             double *deser_cyc_per_b, double *ser_cyc_per_b)
+{
+    const harness::Throughput d =
+        harness::CpuDeserialize(params, bench.workload, /*repeats=*/2);
+    const harness::Throughput s =
+        harness::CpuSerialize(params, bench.workload, /*repeats=*/2);
+    *deser_cyc_per_b = d.cycles / d.wire_bytes;
+    *ser_cyc_per_b = s.cycles / s.wire_bytes;
+}
+
+double
+TypeBytes(const ShapeAggregate &agg, proto::FieldType type)
+{
+    double bytes = 0;
+    for (bool repeated : {false, true}) {
+        auto it = agg.by_type.find({static_cast<int>(type), repeated});
+        if (it != agg.by_type.end())
+            bytes += it->second.wire_bytes;
+    }
+    return bytes;
+}
+
+}  // namespace
+
+std::vector<Slice>
+EstimateCycleShares(const ShapeAggregate &agg,
+                    const cpu::CpuParams &params)
+{
+    std::vector<Slice> slices;
+
+    // 10 varint-size slices (the protobufz histogram labels varint
+    // sizes exactly, §3.6.4).
+    for (int n = 1; n <= 10; ++n) {
+        Slice s;
+        s.name = "varint-" + std::to_string(n);
+        s.bytes = agg.varint_bytes_by_size[n];
+        const auto bench =
+            harness::MakeVarintBench(n, /*repeated=*/false);
+        MeasureSlice(*bench, params, &s.deser_cyc_per_b,
+                     &s.ser_cyc_per_b);
+        slices.push_back(s);
+    }
+
+    // 10 bytes-like size-bucket slices, benchmarked at the bucket
+    // midpoint (§3.6.4's interpolation rule).
+    const auto &buckets = PaperSizeBuckets();
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        Slice s;
+        s.name = std::string("bytes-") + buckets[i].label;
+        s.bytes = agg.bytes_field_sizes.weight(i);
+        const uint64_t hi =
+            buckets[i].hi == UINT64_MAX ? 128 * 1024 : buckets[i].hi;
+        const size_t midpoint = (buckets[i].lo + hi) / 2;
+        const auto bench = harness::MakeStringBench(s.name, midpoint);
+        MeasureSlice(*bench, params, &s.deser_cyc_per_b,
+                     &s.ser_cyc_per_b);
+        slices.push_back(s);
+    }
+
+    // float-like, double-like, fixed32-like, fixed64-like (Table 1).
+    struct FixedClass
+    {
+        const char *name;
+        std::vector<proto::FieldType> types;
+    };
+    const std::vector<FixedClass> fixed_classes = {
+        {"float", {proto::FieldType::kFloat}},
+        {"double", {proto::FieldType::kDouble}},
+        {"fixed32", {proto::FieldType::kFixed32,
+                     proto::FieldType::kSfixed32}},
+        {"fixed64", {proto::FieldType::kFixed64,
+                     proto::FieldType::kSfixed64}},
+    };
+    for (const auto &cls : fixed_classes) {
+        Slice s;
+        s.name = cls.name;
+        for (proto::FieldType t : cls.types)
+            s.bytes += TypeBytes(agg, t);
+        const auto bench = cls.types[0] == proto::FieldType::kFloat ||
+                                   cls.types[0] ==
+                                       proto::FieldType::kFixed32
+                               ? harness::MakeFloatBench(false)
+                               : harness::MakeDoubleBench(false);
+        MeasureSlice(*bench, params, &s.deser_cyc_per_b,
+                     &s.ser_cyc_per_b);
+        slices.push_back(s);
+    }
+    PA_CHECK_EQ(slices.size(), 24u);  // the paper's 24 slices
+
+    // time share = bytes x cycles/byte, normalized.
+    double deser_total = 0, ser_total = 0;
+    for (const auto &s : slices) {
+        deser_total += s.bytes * s.deser_cyc_per_b;
+        ser_total += s.bytes * s.ser_cyc_per_b;
+    }
+    for (auto &s : slices) {
+        s.deser_time_pct =
+            deser_total == 0
+                ? 0
+                : 100.0 * s.bytes * s.deser_cyc_per_b / deser_total;
+        s.ser_time_pct =
+            ser_total == 0
+                ? 0
+                : 100.0 * s.bytes * s.ser_cyc_per_b / ser_total;
+    }
+    return slices;
+}
+
+double
+DeserTimeShareAboveGbps(const std::vector<Slice> &slices,
+                        const cpu::CpuParams &params, double gb_per_s)
+{
+    // A slice runs at freq / (cycles-per-byte) bytes per second.
+    double share = 0;
+    for (const auto &s : slices) {
+        const double bytes_per_s =
+            params.freq_ghz * 1e9 / s.deser_cyc_per_b;
+        if (bytes_per_s > gb_per_s * 1e9)
+            share += s.deser_time_pct;
+    }
+    return share;
+}
+
+}  // namespace protoacc::profile

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The §3.6.4 cycle-estimation model (Figures 5 and 6).
+ *
+ * The paper cannot attribute fleet cycles to field types directly, so
+ * it (1) groups field types into performance-similar classes (Table 1),
+ * (2) splits fleet protobuf bytes into 24 [class, size] slices —
+ * bytes-like x 10 size buckets, varint-like x 10 encoded sizes, float,
+ * double, fixed32, fixed64 — and (3) multiplies each slice's byte share
+ * by a per-byte cost measured with a purpose-built microbenchmark.
+ *
+ * We reproduce the model exactly: the byte shares come from a
+ * protobufz-analog collection (samplers.h) and the per-byte costs are
+ * measured by running single-slice microbenchmarks on the CPU cost
+ * model of the machine under study.
+ */
+#ifndef PROTOACC_PROFILE_CYCLE_ESTIMATOR_H
+#define PROTOACC_PROFILE_CYCLE_ESTIMATOR_H
+
+#include <string>
+#include <vector>
+
+#include "cpu/cpu_model.h"
+#include "profile/samplers.h"
+
+namespace protoacc::profile {
+
+/// One of the 24 [field-type-like, size] slices.
+struct Slice
+{
+    std::string name;
+    double bytes = 0;          ///< fleet bytes attributed to the slice
+    double deser_cyc_per_b = 0;
+    double ser_cyc_per_b = 0;
+    double deser_time_pct = 0;  ///< Figure 5 value
+    double ser_time_pct = 0;    ///< Figure 6 value
+};
+
+/**
+ * Build the 24 slices from a protobufz shape aggregate and measure
+ * per-byte costs on @p params.
+ */
+std::vector<Slice> EstimateCycleShares(const ShapeAggregate &agg,
+                                       const cpu::CpuParams &params);
+
+/// Fraction of deserialization time spent on data processed faster
+/// than @p gbps on @p params (the paper: "only 14% of time is spent
+/// deserializing protobuf data at higher than 1 GB/s").
+double DeserTimeShareAboveGbps(const std::vector<Slice> &slices,
+                               const cpu::CpuParams &params,
+                               double gb_per_s);
+
+}  // namespace protoacc::profile
+
+#endif  // PROTOACC_PROFILE_CYCLE_ESTIMATOR_H

@@ -1,0 +1,84 @@
+#include "profile/distributions.h"
+
+namespace protoacc::profile {
+
+const std::vector<OpShare> &
+PaperCyclesByOp()
+{
+    // Percent of fleet-wide C++ protobuf cycles (Figure 2). Deser:
+    // 2.2% of fleet cycles / (9.6% * 88% C++) = 26.0%. Ser 8.8% and
+    // ByteSize 6.0% per footnote 4. Merge+copy+clear together 17.1%
+    // (§7); constructors 6.4% and destructors 13.9% (§7).
+    static const std::vector<OpShare> kShares = {
+        {"deserialize", 26.0}, {"serialize", 8.8}, {"byte_size", 6.0},
+        {"merge", 7.5},        {"copy", 5.2},      {"clear", 4.4},
+        {"constructors", 6.4}, {"destructors", 13.9}, {"other", 21.8},
+    };
+    return kShares;
+}
+
+const std::array<double, 10> &
+PaperMsgSizePct()
+{
+    // Buckets: 0-8, 9-16, 17-32, 33-64, 65-128, 129-256, 257-512,
+    // 513-4096, 4097-32768, 32769-inf. Satisfies: 24% <= 8 B,
+    // cumulative 56% <= 32 B, 93% <= 512 B, 0.08% in the top bucket.
+    static const std::array<double, 10> kPct = {
+        24.0, 14.0, 18.0, 12.0, 10.0, 8.0, 7.0, 5.5, 1.42, 0.08};
+    return kPct;
+}
+
+const std::vector<FieldTypeShare> &
+PaperFieldTypeShares()
+{
+    using proto::FieldType;
+    // (type, repeated, % of fields [Fig 4a], % of bytes [Fig 4b]).
+    // Varint-like types hold >56% of fields; bytes/string (incl.
+    // repeated) hold >92% of bytes.
+    static const std::vector<FieldTypeShare> kShares = {
+        {FieldType::kInt32, false, 18.0, 1.2},
+        {FieldType::kInt64, false, 14.0, 1.3},
+        {FieldType::kEnum, false, 10.0, 0.5},
+        {FieldType::kBool, false, 6.0, 0.2},
+        {FieldType::kUint64, false, 5.0, 0.5},
+        {FieldType::kUint32, false, 2.0, 0.2},
+        {FieldType::kSint64, false, 1.0, 0.1},
+        {FieldType::kInt32, true, 2.0, 0.4},
+        {FieldType::kInt64, true, 1.5, 0.4},
+        {FieldType::kString, false, 18.0, 44.8},
+        {FieldType::kBytes, false, 5.0, 28.0},
+        {FieldType::kString, true, 3.0, 12.0},
+        {FieldType::kBytes, true, 1.0, 7.5},
+        {FieldType::kDouble, false, 5.0, 1.1},
+        {FieldType::kFloat, false, 3.5, 0.5},
+        {FieldType::kDouble, true, 1.0, 0.6},
+        {FieldType::kFixed64, false, 1.5, 0.3},
+        {FieldType::kFixed32, false, 1.0, 0.1},
+        {FieldType::kSfixed64, false, 0.5, 0.1},
+        {FieldType::kFloat, true, 1.0, 0.2},
+    };
+    return kShares;
+}
+
+const std::array<double, 10> &
+PaperBytesFieldSizePct()
+{
+    // Same bucket bounds as Figure 3. Anchors: 1.3% in 4097-32768 and
+    // 0.06% in 32769-inf (§3.6.3); small fields dominate by count.
+    static const std::array<double, 10> kPct = {
+        36.0, 19.0, 14.0, 10.0, 7.0, 5.0, 4.0, 3.64, 1.3, 0.06};
+    return kPct;
+}
+
+const std::array<double, 10> &
+PaperDensityPct()
+{
+    // Deciles of field-number usage density, weighted by observed
+    // messages (Figure 7). Mass concentrates above 0.3; only the first
+    // decile contains the sub-1/64 population ("0.00 bucket").
+    static const std::array<double, 10> kPct = {
+        8.0, 6.0, 7.0, 9.0, 10.0, 11.0, 12.0, 12.0, 10.0, 15.0};
+    return kPct;
+}
+
+}  // namespace protoacc::profile

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The paper's published fleet-wide aggregates (§3), used to seed the
+ * synthetic fleet model.
+ *
+ * We do not have Google's GWP/protobufz/protodb data; what the paper
+ * publishes are the *marginal* distributions in Figures 2-4 and 7 plus
+ * scalar facts (§3.2-§3.8). The synthetic fleet is parameterized by
+ * these marginals, and the figure-reproduction benches then re-derive
+ * each figure through the same sampling pipeline, closing the loop.
+ */
+#ifndef PROTOACC_PROFILE_DISTRIBUTIONS_H
+#define PROTOACC_PROFILE_DISTRIBUTIONS_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "proto/wire_format.h"
+
+namespace protoacc::profile {
+
+/// One operation class of Figure 2 with its share of fleet-wide C++
+/// protobuf cycles.
+struct OpShare
+{
+    std::string op;
+    double pct;
+};
+
+/**
+ * Figure 2: fleet-wide C++ protobuf cycles by operation. Derived from
+ * the paper: deserialization is 2.2% of fleet cycles (26.0% of the
+ * 8.45% of fleet cycles spent in C++ protobufs), serialization 8.8% and
+ * ByteSize 6.0% of protobuf cycles (footnote 4), merge+copy+clear
+ * 17.1% (§7), constructors 6.4%, destructors 13.9% (§7), remainder
+ * "other".
+ */
+const std::vector<OpShare> &PaperCyclesByOp();
+
+/// Fraction of fleet protobuf cycles spent in C++ (§3.2).
+inline constexpr double kCppShareOfProtobufCycles = 0.88;
+/// Protobuf share of all fleet cycles (§3.2).
+inline constexpr double kProtobufShareOfFleetCycles = 0.096;
+/// Fraction of serialized/deserialized bytes defined as proto2 (§3.3).
+inline constexpr double kProto2ByteShare = 0.96;
+/// Fractions of deser/ser cycles attributable to the RPC stack (§3.4).
+inline constexpr double kDeserRpcShare = 0.163;
+inline constexpr double kSerRpcShare = 0.352;
+
+/**
+ * Figure 3: top-level message encoded-size distribution over the 10
+ * paper buckets (percent of messages). Chosen to satisfy the published
+ * facts: 24% <= 8 B, 56% <= 32 B, 93% <= 512 B, 0.08% in the top
+ * bucket, and the top bucket holding >= 13.7x the bytes of the bottom.
+ */
+const std::array<double, 10> &PaperMsgSizePct();
+
+/// Figure 4a: share of observed fields by primitive type (percent).
+struct FieldTypeShare
+{
+    proto::FieldType type;
+    bool repeated;
+    double field_pct;  ///< Figure 4a: share of field count
+    double bytes_pct;  ///< Figure 4b: share of message bytes
+};
+const std::vector<FieldTypeShare> &PaperFieldTypeShares();
+
+/**
+ * Figure 4c: bytes-like field size distribution over the 10 buckets
+ * (percent of bytes fields). Published anchors: 4097-32768 is 1.3%,
+ * 32769-inf is 0.06%, and the top bucket holds >= 7.2x the bytes of
+ * the bottom.
+ */
+const std::array<double, 10> &PaperBytesFieldSizePct();
+
+/**
+ * Figure 7: field-number usage density (= present fields / defined
+ * field-number range), bucketed in tenths [0.0-0.1), ... [0.9-1.0].
+ * At least 92% of observed messages have density > 1/64 (§3.7).
+ */
+const std::array<double, 10> &PaperDensityPct();
+
+/// §3.8 sub-message depth facts: 99.9% of bytes at depth <= 12,
+/// 99.999% at depth <= 25, max < 100.
+inline constexpr int kDepth999 = 12;
+inline constexpr int kDepth99999 = 25;
+inline constexpr int kMaxDepth = 100;
+
+/// §3.9: >90% of messages populate <52% of their defined fields.
+inline constexpr double kMeanFieldPresence = 0.45;
+
+/**
+ * A complete message-shape profile: everything schema/message
+ * generation needs. Defaults to the paper's fleet-wide marginals; the
+ * HyperProtoBench generator (src/hpb) substitutes per-service *fitted*
+ * profiles, mirroring the paper's §5.2 pipeline.
+ */
+struct ShapeProfile
+{
+    std::vector<FieldTypeShare> type_shares = PaperFieldTypeShares();
+    std::array<double, 10> msg_size_pct = PaperMsgSizePct();
+    std::array<double, 10> bytes_field_size_pct =
+        PaperBytesFieldSizePct();
+    std::array<double, 10> density_pct = PaperDensityPct();
+    double mean_presence = kMeanFieldPresence;
+};
+
+}  // namespace protoacc::profile
+
+#endif  // PROTOACC_PROFILE_DISTRIBUTIONS_H

@@ -1,0 +1,318 @@
+#include "profile/fleet_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/histogram.h"
+#include "proto/schema_random.h"
+#include "proto/serializer.h"
+
+namespace protoacc::profile {
+
+using proto::FieldType;
+using proto::Label;
+using proto::Message;
+
+namespace {
+
+/// Draw a byte size from one of the paper's 10 buckets (log-uniform
+/// within the bucket; the open top bucket is capped at 256 KiB).
+uint64_t
+DrawBucketedSize(Rng *rng, const std::array<double, 10> &bucket_pct)
+{
+    const std::vector<double> weights(bucket_pct.begin(),
+                                      bucket_pct.end());
+    const size_t bucket = rng->NextWeighted(weights);
+    const auto &b = PaperSizeBuckets()[bucket];
+    const uint64_t lo = b.lo == 0 ? 1 : b.lo;
+    const uint64_t hi = b.hi == UINT64_MAX ? 256 * 1024 : b.hi;
+    return rng->NextLogUniform(lo, hi);
+}
+
+/// Field-count weights from the profile's Figure 4a analog.
+std::vector<double>
+FieldCountWeights(const ShapeProfile &profile)
+{
+    std::vector<double> w;
+    for (const auto &share : profile.type_shares)
+        w.push_back(share.field_pct);
+    return w;
+}
+
+/// A density target from the profile's Figure 7 deciles.
+double
+DrawDensity(Rng *rng, const ShapeProfile &profile)
+{
+    const std::vector<double> weights(profile.density_pct.begin(),
+                                      profile.density_pct.end());
+    const size_t decile = rng->NextWeighted(weights);
+    const double lo = decile / 10.0;
+    return std::max(0.02, lo + rng->NextDouble() * 0.1);
+}
+
+}  // namespace
+
+SyntheticService::SyntheticService(std::string name, uint64_t seed,
+                                   const FleetParams &params)
+    : name_(std::move(name)), params_(params)
+{
+    Rng rng(seed);
+    int counter = 0;
+    for (int t = 0; t < params.top_level_types_per_service; ++t) {
+        top_level_types_.push_back(GenerateType(&rng, 0, &counter));
+        type_weights_.push_back(0.25 + rng.NextDouble());
+    }
+    proto2_.resize(pool_.message_count());
+    for (size_t i = 0; i < proto2_.size(); ++i)
+        proto2_[i] = rng.NextBool(params.proto2_share);
+    pool_.Compile(proto::HasbitsMode::kSparse);
+}
+
+int
+SyntheticService::GenerateType(Rng *rng, int depth, int *counter)
+{
+    const std::string type_name =
+        name_ + "_T" + std::to_string((*counter)++);
+    const int msg = pool_.AddMessage(type_name);
+
+    const int num_fields = static_cast<int>(
+        rng->NextRange(params_.min_fields, params_.max_fields));
+    // Field-number layout realizes a Figure 7 density target: with
+    // presence averaging kMeanFieldPresence, a range of
+    // F * presence / density keeps (present / range) near the target.
+    const double density = DrawDensity(rng, params_.profile);
+    const int range = std::max(
+        num_fields,
+        static_cast<int>(num_fields * params_.profile.mean_presence /
+                         density));
+    const double gap_factor =
+        num_fields > 1
+            ? static_cast<double>(range - num_fields) / (num_fields - 1)
+            : 0.0;
+
+    const std::vector<double> type_weights =
+        FieldCountWeights(params_.profile);
+    const auto &shares = params_.profile.type_shares;
+
+    double next_number = 1 + rng->NextBounded(4);
+    for (int i = 0; i < num_fields; ++i) {
+        const uint32_t number = static_cast<uint32_t>(next_number);
+        next_number += 1 + gap_factor * 2.0 * rng->NextDouble();
+
+        const bool make_sub =
+            depth < params_.depth_limit &&
+            rng->NextBool(params_.submessage_field_prob *
+                          std::pow(0.55, depth));
+        if (make_sub) {
+            const int child = GenerateType(rng, depth + 1, counter);
+            pool_.AddMessageField(msg, "f" + std::to_string(number),
+                                  number, child,
+                                  rng->NextBool(0.3) ? Label::kRepeated
+                                                     : Label::kOptional);
+            continue;
+        }
+        const auto &share = shares[rng->NextWeighted(type_weights)];
+        const Label label =
+            share.repeated ? Label::kRepeated : Label::kOptional;
+        const bool packed = share.repeated &&
+                            !proto::IsBytesLike(share.type) &&
+                            rng->NextBool(params_.packed_prob);
+        pool_.AddField(msg, "f" + std::to_string(number), number,
+                       share.type, label, packed);
+    }
+    // Some real-world types are recursive (Figure 1); a self-edge is
+    // what lets deep messages (§3.8 tail) exist at all.
+    if (depth == 0 && rng->NextBool(0.35)) {
+        pool_.AddMessageField(
+            msg, "self",
+            static_cast<uint32_t>(next_number) + 1, msg);
+    }
+    return msg;
+}
+
+int
+SyntheticService::SampleTopLevelType(Rng *rng) const
+{
+    return top_level_types_[rng->NextWeighted(type_weights_)];
+}
+
+bool
+SyntheticService::is_proto2(int msg_index) const
+{
+    return proto2_[msg_index];
+}
+
+void
+SyntheticService::PopulateMessage(Message msg, Rng *rng,
+                                  uint64_t size_budget,
+                                  int depth_budget) const
+{
+    const auto &desc = msg.descriptor();
+    // Per-message presence rate jittered around the fleet mean (§3.9).
+    const double presence = std::clamp(
+        params_.profile.mean_presence + (rng->NextDouble() - 0.5) * 0.5,
+        0.05, 0.95);
+    uint64_t used = 0;
+    const proto::FieldDescriptor *last_bytes_field = nullptr;
+
+    const auto remaining_budget = [&]() -> uint64_t {
+        return used >= size_budget ? 0 : size_budget - used;
+    };
+
+    // Tiny messages (the dominant Figure 3 population) hold a single
+    // small field sized to the budget.
+    if (size_budget <= 8) {
+        for (const auto &f : desc.fields()) {
+            if (f.repeated() || f.type == FieldType::kMessage)
+                continue;
+            if (proto::IsBytesLike(f.type)) {
+                msg.SetString(
+                    f, std::string(
+                           size_budget > 2 ? size_budget - 2 : 0, 't'));
+                return;
+            }
+            if (proto::InMemorySize(f.type) + 1 <= size_budget) {
+                msg.SetScalarBits(
+                    f, f.type == FieldType::kBool
+                           ? rng->NextBounded(2)
+                           : rng->NextBounded(100));
+                return;
+            }
+        }
+        return;  // nothing small enough: empty message (0 bytes)
+    }
+
+    for (const auto &f : desc.fields()) {
+        // Deep-tail messages may overrun the byte budget to realize
+        // their drawn nesting depth (depth dominates size for them).
+        if (used >= size_budget && used > 0 && depth_budget <= 4)
+            break;
+        if (used >= size_budget && used > 0 &&
+            f.type != FieldType::kMessage)
+            continue;
+        // A message drawn with a deep depth budget (the §3.8 tail)
+        // actually realizes it: sub-message fields are near-certain to
+        // be present until the budget is spent.
+        const double field_presence =
+            f.type == FieldType::kMessage && depth_budget > 4
+                ? 0.95
+                : presence;
+        if (!rng->NextBool(field_presence))
+            continue;
+
+        if (f.type == FieldType::kMessage) {
+            if (depth_budget <= 0)
+                continue;
+            const int elems =
+                f.repeated()
+                    ? 1 + static_cast<int>(rng->NextBounded(3))
+                    : 1;
+            for (int e = 0; e < elems; ++e) {
+                // Sub-messages get a share of the remaining budget;
+                // deep-tail messages keep a floor so the chain can
+                // actually reach its drawn depth (§3.8).
+                uint64_t share =
+                    1 + static_cast<uint64_t>(
+                            remaining_budget() *
+                            (0.2 + 0.5 * rng->NextDouble()));
+                if (depth_budget > 4 && share < 12)
+                    share = 12;
+                Message sub = f.repeated()
+                                  ? msg.AddRepeatedMessage(f)
+                                  : msg.MutableMessage(f);
+                PopulateMessage(sub, rng, share, depth_budget - 1);
+                used += 2 + share / 2;  // rough: key + len + payload
+            }
+            continue;
+        }
+        if (proto::IsBytesLike(f.type)) {
+            last_bytes_field = &f;
+            const int elems =
+                f.repeated()
+                    ? 1 + static_cast<int>(rng->NextBounded(3))
+                    : 1;
+            for (int e = 0; e < elems; ++e) {
+                uint64_t len = DrawBucketedSize(
+                    rng, params_.profile.bytes_field_size_pct);
+                if (len > remaining_budget())
+                    len = std::max<uint64_t>(1, remaining_budget());
+                std::string payload(len, 'p');
+                // Cheap content variation without O(n) RNG calls.
+                if (len > 0)
+                    payload[rng->NextBounded(len)] = 'q';
+                if (f.repeated())
+                    msg.AddRepeatedString(f, payload);
+                else
+                    msg.SetString(f, payload);
+                used += 2 + len;
+            }
+            continue;
+        }
+        // Scalar field.
+        const int elems = f.repeated()
+                              ? 1 + static_cast<int>(rng->NextBounded(5))
+                              : 1;
+        for (int e = 0; e < elems; ++e) {
+            const uint64_t bits = proto::RandomScalarBits(
+                f.type, rng, /*small_varint_prob=*/0.6);
+            if (f.repeated())
+                msg.AddRepeatedBits(f, bits);
+            else
+                msg.SetScalarBits(f, bits);
+            used += 1 + proto::InMemorySize(f.type);
+        }
+    }
+
+    // Large budgets are filled by growing a bytes-like field — this is
+    // what makes large messages bytes-dominated (Figure 4b).
+    if (last_bytes_field != nullptr && size_budget > 64 &&
+        used < size_budget * 7 / 10) {
+        const uint64_t fill = size_budget - used;
+        std::string payload(fill, 'f');
+        if (last_bytes_field->repeated())
+            msg.AddRepeatedString(*last_bytes_field, payload);
+        else
+            msg.SetString(*last_bytes_field, payload);
+    }
+}
+
+Message
+SyntheticService::BuildMessage(int msg_index, proto::Arena *arena,
+                               Rng *rng) const
+{
+    Message msg = Message::Create(arena, pool_, msg_index);
+    const uint64_t budget =
+        DrawBucketedSize(rng, params_.profile.msg_size_pct);
+    // Depth budget: mostly shallow, occasionally deep (§3.8).
+    int depth_budget = 2;
+    const double draw = rng->NextDouble();
+    if (draw < 0.001) {
+        depth_budget = kDepth999 +
+                       static_cast<int>(rng->NextBounded(
+                           kDepth99999 - kDepth999 + 1));
+    } else if (draw < 0.05) {
+        depth_budget = 4 + static_cast<int>(rng->NextBounded(8));
+    }
+    PopulateMessage(msg, rng, budget, depth_budget);
+    return msg;
+}
+
+Fleet::Fleet(const FleetParams &params, uint64_t seed)
+{
+    Rng rng(seed);
+    for (int s = 0; s < params.num_services; ++s) {
+        services_.push_back(std::make_unique<SyntheticService>(
+            "svc" + std::to_string(s), rng.Next(), params));
+        // Zipf-ish cycle shares: a few services dominate (§5.2).
+        weights_.push_back(1.0 / (1 + s));
+        services_.back()->set_weight(weights_.back());
+    }
+}
+
+size_t
+Fleet::SampleService(Rng *rng) const
+{
+    return rng->NextWeighted(weights_);
+}
+
+}  // namespace protoacc::profile

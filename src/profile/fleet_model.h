@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The synthetic fleet: our stand-in for Google's production services.
+ *
+ * A Fleet is a weighted population of SyntheticServices. Each service
+ * owns real schemas (DescriptorPools) generated against the paper's
+ * marginals (src/profile/distributions.h) and can build real, populated
+ * message objects. The samplers (samplers.h) observe the fleet exactly
+ * the way GWP/protobufz/protodb observe production: by sampling
+ * machines/messages and recording what they see — sizes and field stats
+ * are *measured* from real serialized messages, not echoed from the
+ * generator's inputs.
+ */
+#ifndef PROTOACC_PROFILE_FLEET_MODEL_H
+#define PROTOACC_PROFILE_FLEET_MODEL_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "profile/distributions.h"
+#include "proto/message.h"
+
+namespace protoacc::profile {
+
+/// Knobs for fleet construction.
+struct FleetParams
+{
+    int num_services = 8;
+    int top_level_types_per_service = 5;
+    /// Fields per synthetic message type (uniform range).
+    int min_fields = 3;
+    int max_fields = 24;
+    /// Probability a message type at depth d < depth_limit gets a
+    /// sub-message field.
+    double submessage_field_prob = 0.35;
+    int depth_limit = 30;
+    /// Fraction of repeated scalar fields using packed encoding.
+    double packed_prob = 0.85;
+    /// Fraction of types defined in proto2 (§3.3).
+    double proto2_share = kProto2ByteShare;
+    /// Shape distributions driving schema + message generation.
+    ShapeProfile profile;
+};
+
+/**
+ * One synthetic service: a pool of message types plus population
+ * parameters. Thread-compatible.
+ */
+class SyntheticService
+{
+  public:
+    SyntheticService(std::string name, uint64_t seed,
+                     const FleetParams &params);
+
+    const std::string &name() const { return name_; }
+    const proto::DescriptorPool &pool() const { return pool_; }
+
+    /// Relative share of fleet protobuf cycles in this service.
+    double weight() const { return weight_; }
+    void set_weight(double w) { weight_ = w; }
+
+    /// Pick a top-level message type (weighted).
+    int SampleTopLevelType(Rng *rng) const;
+    const std::vector<int> &top_level_types() const
+    {
+        return top_level_types_;
+    }
+
+    /**
+     * Build one populated top-level message. The encoded size is driven
+     * by a Figure 3 draw; bytes-like field sizes follow Figure 4c;
+     * field presence follows the §3.9 sparsity facts.
+     */
+    proto::Message BuildMessage(int msg_index, proto::Arena *arena,
+                                Rng *rng) const;
+
+    /// True when this service's schemas are proto2 (vs proto3), §3.3.
+    bool is_proto2(int msg_index) const;
+
+  private:
+    int GenerateType(Rng *rng, int depth, int *counter);
+    void PopulateMessage(proto::Message msg, Rng *rng,
+                         uint64_t size_budget, int depth_budget) const;
+
+    std::string name_;
+    FleetParams params_;
+    proto::DescriptorPool pool_;
+    std::vector<int> top_level_types_;
+    std::vector<double> type_weights_;
+    std::vector<bool> proto2_;
+    double weight_ = 1.0;
+};
+
+/**
+ * The fleet: services with a skewed (Zipf-ish) cycle-weight
+ * distribution, matching the observation that a handful of services
+ * dominate fleet-wide protobuf cycles (§5.2: the top five serializer
+ * users cover 18% of serialization cycles).
+ */
+class Fleet
+{
+  public:
+    explicit Fleet(const FleetParams &params, uint64_t seed = 2021);
+
+    size_t service_count() const { return services_.size(); }
+    const SyntheticService &service(size_t i) const
+    {
+        return *services_[i];
+    }
+
+    /// Pick a service index weighted by its cycle share (a GWP machine
+    /// visit lands on busy services more often).
+    size_t SampleService(Rng *rng) const;
+
+  private:
+    std::vector<std::unique_ptr<SyntheticService>> services_;
+    std::vector<double> weights_;
+};
+
+}  // namespace protoacc::profile
+
+#endif  // PROTOACC_PROFILE_FLEET_MODEL_H

@@ -1,0 +1,218 @@
+#include "profile/samplers.h"
+
+#include "proto/serializer.h"
+
+namespace protoacc::profile {
+
+using proto::FieldType;
+using proto::Message;
+
+GwpSampler::GwpSampler(const Fleet *fleet, uint64_t seed)
+    : fleet_(fleet), rng_(seed)
+{
+    // Each service has its own operation mix; services jitter around
+    // the fleet-wide mix so the aggregate is non-trivially re-derived.
+    service_jitter_.resize(fleet->service_count());
+    for (auto &jitter : service_jitter_) {
+        for (const auto &share : PaperCyclesByOp())
+            jitter[share.op] = 0.6 + 0.8 * rng_.NextDouble();
+    }
+}
+
+CycleProfile
+GwpSampler::Collect(int visits)
+{
+    CycleProfile profile;
+    for (int v = 0; v < visits; ++v) {
+        const size_t svc = fleet_->SampleService(&rng_);
+        for (const auto &share : PaperCyclesByOp()) {
+            // Sampled cycles: service weight x op share x jitter x
+            // visit-level sampling noise.
+            const double cycles = fleet_->service(svc).weight() *
+                                  share.pct *
+                                  service_jitter_[svc][share.op] *
+                                  (0.5 + rng_.NextDouble());
+            profile.cycles_by_op[share.op] += cycles;
+            profile.total += cycles;
+        }
+    }
+    return profile;
+}
+
+ProtobufzSampler::ProtobufzSampler(const Fleet *fleet, uint64_t seed)
+    : fleet_(fleet), rng_(seed)
+{}
+
+namespace {
+
+/// Encoded size of one scalar value (value only).
+double
+ScalarValueWireBytes(const proto::FieldDescriptor &f, uint64_t bits)
+{
+    switch (proto::WireTypeForField(f.type)) {
+      case proto::WireType::kVarint:
+        return proto::VarintValueSize(f.type, bits);
+      case proto::WireType::kFixed32:
+        return 4;
+      default:
+        return 8;
+    }
+}
+
+}  // namespace
+
+void
+ProtobufzSampler::WalkMessage(const Message &msg, int depth,
+                              ShapeAggregate *agg)
+{
+    const auto &desc = msg.descriptor();
+    uint64_t present = 0;
+    for (const auto &f : desc.fields()) {
+        const bool has =
+            f.repeated() ? msg.RepeatedSize(f) > 0 : msg.Has(f);
+        if (!has)
+            continue;
+        ++present;
+
+        if (f.type == FieldType::kMessage) {
+            // §3.6.1: sub-messages are accounted via the primitive
+            // fields they contain.
+            if (f.repeated()) {
+                for (uint32_t i = 0; i < msg.RepeatedSize(f); ++i)
+                    WalkMessage(msg.GetRepeatedMessage(f, i), depth + 1,
+                                agg);
+            } else {
+                WalkMessage(msg.GetMessage(f), depth + 1, agg);
+            }
+            continue;
+        }
+
+        auto &stats = agg->by_type[{static_cast<int>(f.type),
+                                    f.repeated()}];
+        const int tag_size =
+            proto::VarintSize(proto::MakeTag(f.number,
+                                             proto::WireType::kVarint));
+        if (proto::IsBytesLike(f.type)) {
+            const uint32_t n = f.repeated() ? msg.RepeatedSize(f) : 1;
+            for (uint32_t i = 0; i < n; ++i) {
+                const size_t len =
+                    f.repeated() ? msg.GetRepeatedString(f, i).size()
+                                 : msg.GetString(f).size();
+                ++stats.count;
+                const double bytes =
+                    tag_size + proto::VarintSize(len) + len;
+                stats.wire_bytes += bytes;
+                agg->bytes_field_sizes.AddSized(len, bytes);
+                agg->bytes_by_depth[depth] += bytes;
+            }
+            continue;
+        }
+
+        // Scalar (varint-like or fixed).
+        const uint32_t n = f.repeated() ? msg.RepeatedSize(f) : 1;
+        for (uint32_t i = 0; i < n; ++i) {
+            uint64_t bits;
+            if (f.repeated()) {
+                const uint32_t width = proto::InMemorySize(f.type);
+                bits = 0;
+                memcpy(&bits, msg.repeated_field(f)->at(i, width),
+                       width);
+            } else {
+                bits = msg.GetScalarBits(f);
+            }
+            ++stats.count;
+            const double vbytes = ScalarValueWireBytes(f, bits);
+            const double bytes = tag_size + vbytes;
+            stats.wire_bytes += bytes;
+            agg->bytes_by_depth[depth] += bytes;
+            if (proto::IsVarintType(f.type)) {
+                const int sz = static_cast<int>(vbytes);
+                agg->varint_bytes_by_size[sz] += bytes;
+            }
+        }
+    }
+
+    // Density observation for this (sub-)message instance, joined with
+    // the protodb-supplied field-number range (§3.7 / Figure 7).
+    const uint32_t range = desc.field_number_range();
+    if (range > 0) {
+        const double density =
+            static_cast<double>(present) / static_cast<double>(range);
+        size_t decile = static_cast<size_t>(density * 10.0);
+        if (decile > 9)
+            decile = 9;
+        ++agg->density_deciles[decile];
+        if (density > 1.0 / 64.0)
+            ++agg->density_over_1_64;
+        ++agg->density_samples;
+    }
+    if (depth > agg->max_depth)
+        agg->max_depth = depth;
+}
+
+void
+ProtobufzSampler::SampleMessage(const SyntheticService &svc,
+                                ShapeAggregate *agg)
+{
+    const int type = svc.SampleTopLevelType(&rng_);
+    proto::Arena arena;
+    const Message msg = svc.BuildMessage(type, &arena, &rng_);
+    const size_t encoded = proto::ByteSize(msg);
+    agg->msg_sizes.AddSized(encoded, static_cast<double>(encoded));
+    agg->total_bytes += static_cast<double>(encoded);
+    if (svc.is_proto2(type))
+        agg->proto2_bytes += static_cast<double>(encoded);
+    ++agg->messages_sampled;
+    WalkMessage(msg, 0, agg);
+}
+
+ShapeAggregate
+ProtobufzSampler::Collect(int top_level_messages)
+{
+    ShapeAggregate agg;
+    for (int i = 0; i < top_level_messages; ++i) {
+        const size_t svc_index = fleet_->SampleService(&rng_);
+        SampleMessage(fleet_->service(svc_index), &agg);
+    }
+    return agg;
+}
+
+ShapeAggregate
+ProtobufzSampler::CollectService(size_t service_index,
+                                 int top_level_messages)
+{
+    ShapeAggregate agg;
+    for (int i = 0; i < top_level_messages; ++i)
+        SampleMessage(fleet_->service(service_index), &agg);
+    return agg;
+}
+
+SchemaStats
+CollectSchemaStats(const Fleet &fleet)
+{
+    SchemaStats stats;
+    for (size_t s = 0; s < fleet.service_count(); ++s) {
+        const SyntheticService &svc = fleet.service(s);
+        const auto &pool = svc.pool();
+        for (size_t m = 0; m < pool.message_count(); ++m) {
+            const auto &desc = pool.message(static_cast<int>(m));
+            ++stats.message_types;
+            if (svc.is_proto2(static_cast<int>(m)))
+                ++stats.proto2_types;
+            stats.fields += desc.field_count();
+            for (const auto &f : desc.fields()) {
+                if (f.repeated() && !proto::IsBytesLike(f.type) &&
+                    f.type != FieldType::kMessage) {
+                    ++stats.repeated_scalar_fields;
+                    if (f.packed)
+                        ++stats.packed_repeated_fields;
+                }
+            }
+            if (desc.field_number_range() > stats.max_field_number_range)
+                stats.max_field_number_range = desc.field_number_range();
+        }
+    }
+    return stats;
+}
+
+}  // namespace protoacc::profile

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Fleet-observation tooling: analogs of the paper's three data sources
+ * (§3.1).
+ *
+ *  - GwpSampler    ~ Google-Wide Profiling CPU cycle profiles: visits
+ *    weighted services and records (service, operation, cycles)
+ *    samples; Figure 2 aggregates these.
+ *  - ProtobufzSampler ~ the protobufz message-shape sampler: visits a
+ *    service, samples top-level messages, and records complete shape
+ *    information — encoded size, per-field type/size stats, density,
+ *    depth — *measured from real serialized messages*.
+ *  - ProtodbRegistry ~ the protodb static schema database: per-type
+ *    language version, packedness and field-number ranges, joinable
+ *    with protobufz samples (Figure 7, §3.3).
+ */
+#ifndef PROTOACC_PROFILE_SAMPLERS_H
+#define PROTOACC_PROFILE_SAMPLERS_H
+
+#include <array>
+#include <map>
+
+#include "common/histogram.h"
+#include "profile/fleet_model.h"
+
+namespace protoacc::profile {
+
+/// Aggregated GWP cycle profile (Figure 2 input).
+struct CycleProfile
+{
+    /// op name -> sampled cycle count.
+    std::map<std::string, double> cycles_by_op;
+    double total = 0;
+
+    double
+    pct(const std::string &op) const
+    {
+        auto it = cycles_by_op.find(op);
+        return it == cycles_by_op.end() || total == 0
+                   ? 0
+                   : 100.0 * it->second / total;
+    }
+};
+
+/**
+ * GWP-analog sampler: each Visit() lands on a cycle-weighted service
+ * and records one batch of (op, cycles) samples with per-service jitter
+ * around the fleet op mix.
+ */
+class GwpSampler
+{
+  public:
+    explicit GwpSampler(const Fleet *fleet, uint64_t seed = 1);
+
+    /// Perform @p visits machine visits; returns the aggregate profile.
+    CycleProfile Collect(int visits);
+
+  private:
+    const Fleet *fleet_;
+    Rng rng_;
+    /// Per-service multiplicative jitter on each op's share.
+    std::vector<std::map<std::string, double>> service_jitter_;
+};
+
+/// Per-[type,repeated] field statistics from protobufz samples.
+struct FieldTypeStats
+{
+    uint64_t count = 0;       ///< Figure 4a numerator
+    double wire_bytes = 0;    ///< Figure 4b numerator
+};
+
+/// Everything the figure benches need from a protobufz collection run.
+struct ShapeAggregate
+{
+    /// Figure 3: encoded top-level message sizes.
+    Histogram msg_sizes = Histogram::ForPaperSizeBuckets();
+    /// Figure 4c: bytes-like field payload sizes.
+    Histogram bytes_field_sizes = Histogram::ForPaperSizeBuckets();
+    /// Figures 4a/4b, keyed by (FieldType, repeated).
+    std::map<std::pair<int, bool>, FieldTypeStats> by_type;
+    /// Figure 7: density deciles, weighted by observed messages.
+    std::array<uint64_t, 10> density_deciles{};
+    uint64_t density_over_1_64 = 0;  ///< §3.7 anchor
+    uint64_t density_samples = 0;
+    /// §3.8: bytes observed at each nesting depth.
+    std::map<int, double> bytes_by_depth;
+    int max_depth = 0;
+    /// Varint-like value bytes by encoded size 1..10 (Figure 5/6 input).
+    std::array<double, 11> varint_bytes_by_size{};
+    /// §3.3: bytes in proto2- vs proto3-defined top-level types.
+    double proto2_bytes = 0;
+    double total_bytes = 0;
+    uint64_t messages_sampled = 0;
+};
+
+/**
+ * protobufz-analog sampler: samples top-level messages from the fleet,
+ * serializes them, and measures their shape.
+ */
+class ProtobufzSampler
+{
+  public:
+    explicit ProtobufzSampler(const Fleet *fleet, uint64_t seed = 2);
+
+    /// Sample @p top_level_messages messages fleet-wide.
+    ShapeAggregate Collect(int top_level_messages);
+
+    /// Sample messages from a single service (the per-service shape
+    /// collection feeding the HyperProtoBench generator, §5.2).
+    ShapeAggregate CollectService(size_t service_index,
+                                  int top_level_messages);
+
+  private:
+    void WalkMessage(const proto::Message &msg, int depth,
+                     ShapeAggregate *agg);
+    void SampleMessage(const SyntheticService &svc, ShapeAggregate *agg);
+
+    const Fleet *fleet_;
+    Rng rng_;
+};
+
+/// Static schema facts (protodb analog).
+struct SchemaStats
+{
+    uint64_t message_types = 0;
+    uint64_t proto2_types = 0;
+    uint64_t fields = 0;
+    uint64_t packed_repeated_fields = 0;
+    uint64_t repeated_scalar_fields = 0;
+    /// Distribution of defined field-number ranges.
+    uint64_t max_field_number_range = 0;
+};
+
+/// Scan every schema in the fleet (protodb is a static database).
+SchemaStats CollectSchemaStats(const Fleet &fleet);
+
+}  // namespace protoacc::profile
+
+#endif  // PROTOACC_PROFILE_SAMPLERS_H

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The in-memory string object for string/bytes fields.
+ *
+ * The paper's accelerator constructs objects "compatible with modern
+ * versions of libstdc++" (§4.4.7) so that user code can read deserialized
+ * strings directly. We reproduce that contract with an ABI-stable string
+ * whose layout mirrors libstdc++'s std::string: {pointer, size,
+ * union{inline buffer[16], capacity}} with a 15-byte small-string
+ * optimization. The accelerator model (src/accel/deserializer.cc) builds
+ * these objects field-by-field with raw stores, exactly as the RTL does,
+ * and tests assert the result is indistinguishable from software-built
+ * strings.
+ */
+#ifndef PROTOACC_PROTO_ARENA_STRING_H
+#define PROTOACC_PROTO_ARENA_STRING_H
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#include "proto/arena.h"
+
+namespace protoacc::proto {
+
+/**
+ * Arena-backed SSO string with libstdc++-like layout. Trivially
+ * destructible (buffer memory is owned by the arena).
+ */
+struct ArenaString
+{
+    /// Maximum payload stored inline (libstdc++'s SSO capacity).
+    static constexpr size_t kInlineCapacity = 15;
+
+    char *data_ptr;
+    uint64_t size;
+    union {
+        char inline_buf[kInlineCapacity + 1];
+        uint64_t heap_capacity;
+    };
+
+    /// Construct an empty string in @p arena.
+    static ArenaString *
+    Create(Arena *arena)
+    {
+        auto *s = static_cast<ArenaString *>(
+            arena->Allocate(sizeof(ArenaString), alignof(ArenaString)));
+        s->data_ptr = s->inline_buf;
+        s->size = 0;
+        s->inline_buf[0] = '\0';
+        return s;
+    }
+
+    /// Construct a string holding a copy of @p value.
+    static ArenaString *
+    Create(Arena *arena, std::string_view value)
+    {
+        ArenaString *s = Create(arena);
+        s->Assign(arena, value);
+        return s;
+    }
+
+    /// Replace contents with a copy of @p value.
+    void
+    Assign(Arena *arena, std::string_view value)
+    {
+        if (value.size() <= kInlineCapacity) {
+            data_ptr = inline_buf;
+        } else {
+            // A grown string never shrinks back to inline storage; the
+            // existing heap buffer is reused if large enough.
+            const bool have_heap = data_ptr != inline_buf;
+            if (!have_heap || heap_capacity < value.size()) {
+                data_ptr = static_cast<char *>(
+                    arena->Allocate(value.size() + 1, 8));
+                heap_capacity = value.size();
+            }
+        }
+        std::memcpy(data_ptr, value.data(), value.size());
+        data_ptr[value.size()] = '\0';
+        size = value.size();
+    }
+
+    std::string_view view() const { return {data_ptr, size}; }
+    bool is_inline() const { return data_ptr == inline_buf; }
+};
+
+static_assert(sizeof(ArenaString) == 32,
+              "ArenaString must match the libstdc++ std::string footprint");
+
+}  // namespace protoacc::proto
+
+#endif  // PROTOACC_PROTO_ARENA_STRING_H

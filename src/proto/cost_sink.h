@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Cost-instrumentation hooks for the software codec.
+ *
+ * The software serializer and parser are functionally identical whether
+ * or not a sink is attached; when one is, they report every primitive
+ * operation they perform. src/cpu/cpu_model.h converts these events into
+ * cycles under a per-machine parameter set (BOOM vs Xeon), which is how
+ * the paper's "riscv-boom" and "Xeon" baselines are modeled without the
+ * authors' FPGA/server testbeds.
+ */
+#ifndef PROTOACC_PROTO_COST_SINK_H
+#define PROTOACC_PROTO_COST_SINK_H
+
+#include <cstddef>
+
+namespace protoacc::proto {
+
+/**
+ * Receiver for software-codec cost events. All hooks default to no-ops;
+ * the codec never pays for instrumentation when sink == nullptr.
+ */
+class CostSink
+{
+  public:
+    virtual ~CostSink() = default;
+
+    /// A field key (tag varint) was decoded; @p bytes is its encoded size.
+    virtual void OnTagDecode(int bytes) { (void)bytes; }
+    /// A field key was encoded.
+    virtual void OnTagEncode(int bytes) { (void)bytes; }
+    /// A value varint of @p bytes encoded size was decoded (byte-at-a-time
+    /// loop on a CPU).
+    virtual void OnVarintDecode(int bytes) { (void)bytes; }
+    /// A value varint was encoded.
+    virtual void OnVarintEncode(int bytes) { (void)bytes; }
+    /// A fixed-width value (float/double/fixed{32,64}) was copied.
+    virtual void OnFixedCopy(int bytes) { (void)bytes; }
+    /// Bulk data copy of @p bytes (string/bytes payloads, packed arrays).
+    virtual void OnMemcpy(size_t bytes) { (void)bytes; }
+    /// Memory allocation of @p bytes (string buffer, sub-message object,
+    /// repeated-field growth).
+    virtual void OnAlloc(size_t bytes) { (void)bytes; }
+    /// Per-field dispatch overhead (switch on wire type / field number:
+    /// the branch-heavy generated code the paper's §7 discusses).
+    virtual void OnFieldDispatch() {}
+    /// Begin/end of a (sub-)message: call overhead, stack management.
+    virtual void OnMessageBegin() {}
+    virtual void OnMessageEnd() {}
+    /// Per-field work in the ByteSize pass (serialization only).
+    virtual void OnByteSizeField() {}
+    /// Per-message overhead of the ByteSize pass (cheaper than the
+    /// write pass: size computation is typically inlined/fused).
+    virtual void OnByteSizeMessage() {}
+    /// Presence-bit test/set touching @p words 32-bit hasbits words.
+    virtual void OnHasbitsAccess(int words) { (void)words; }
+};
+
+}  // namespace protoacc::proto
+
+#endif  // PROTOACC_PROTO_COST_SINK_H

@@ -1,0 +1,237 @@
+#include "proto/descriptor.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace protoacc::proto {
+
+const FieldDescriptor *
+MessageDescriptor::FindFieldByNumber(uint32_t number) const
+{
+    auto it = field_by_number_.find(number);
+    return it == field_by_number_.end() ? nullptr : &fields_[it->second];
+}
+
+const FieldDescriptor *
+MessageDescriptor::FindFieldByName(const std::string &name) const
+{
+    for (const auto &f : fields_) {
+        if (f.name == name)
+            return &f;
+    }
+    return nullptr;
+}
+
+int
+DescriptorPool::AddMessage(const std::string &name, Syntax syntax)
+{
+    PA_CHECK(!compiled_);
+    PA_CHECK(by_name_.find(name) == by_name_.end());
+    const int index = static_cast<int>(messages_.size());
+    messages_.push_back(
+        std::make_unique<MessageDescriptor>(name, index, syntax));
+    by_name_[name] = index;
+    return index;
+}
+
+void
+DescriptorPool::AddField(int msg_index, const std::string &name,
+                         uint32_t number, FieldType type, Label label,
+                         bool packed)
+{
+    PA_CHECK(!compiled_);
+    PA_CHECK_NE(type, FieldType::kMessage);
+    PA_CHECK_GE(number, 1u);
+    PA_CHECK_LE(number, kMaxFieldNumber);
+    // Packed encoding only applies to repeated scalar fields.
+    PA_CHECK(!packed || (label == Label::kRepeated && !IsBytesLike(type)));
+
+    MessageDescriptor &msg = mutable_message(msg_index);
+    PA_CHECK(msg.field_by_number_.find(number) ==
+             msg.field_by_number_.end());
+    FieldDescriptor field;
+    field.name = name;
+    field.number = number;
+    field.type = type;
+    field.label = label;
+    field.packed = packed;
+    msg.fields_.push_back(std::move(field));
+}
+
+void
+DescriptorPool::AddMessageField(int msg_index, const std::string &name,
+                                uint32_t number, int sub_msg_index,
+                                Label label)
+{
+    PA_CHECK(!compiled_);
+    PA_CHECK_GE(number, 1u);
+    PA_CHECK_GE(sub_msg_index, 0);
+    PA_CHECK_LT(static_cast<size_t>(sub_msg_index), messages_.size());
+    PA_CHECK_NE(label, Label::kRequired);  // keep sub-messages optional
+
+    MessageDescriptor &msg = mutable_message(msg_index);
+    PA_CHECK(msg.field_by_number_.find(number) ==
+             msg.field_by_number_.end());
+    FieldDescriptor field;
+    field.name = name;
+    field.number = number;
+    field.type = FieldType::kMessage;
+    field.label = label;
+    field.message_type = sub_msg_index;
+    msg.fields_.push_back(std::move(field));
+}
+
+void
+DescriptorPool::SetScalarDefault(int msg_index, uint32_t number,
+                                 uint64_t bits)
+{
+    PA_CHECK(!compiled_);
+    MessageDescriptor &msg = mutable_message(msg_index);
+    for (auto &f : msg.fields_) {
+        if (f.number == number) {
+            PA_CHECK(!IsBytesLike(f.type) && f.type != FieldType::kMessage);
+            PA_CHECK(f.label != Label::kRepeated);
+            f.default_value = bits;
+            return;
+        }
+    }
+    PA_CHECK(false);
+}
+
+void
+DescriptorPool::SetStringDefault(int msg_index, uint32_t number,
+                                 std::string value)
+{
+    PA_CHECK(!compiled_);
+    MessageDescriptor &msg = mutable_message(msg_index);
+    for (auto &f : msg.fields_) {
+        if (f.number == number) {
+            PA_CHECK(IsBytesLike(f.type));
+            PA_CHECK(f.label != Label::kRepeated);
+            f.default_string = std::move(value);
+            return;
+        }
+    }
+    PA_CHECK(false);
+}
+
+void
+DescriptorPool::Compile(HasbitsMode mode)
+{
+    PA_CHECK(!compiled_);
+    for (auto &msg : messages_)
+        CompileMessage(*msg, mode);
+    for (auto &msg : messages_)
+        BuildDefaultInstance(*msg);
+    compiled_ = true;
+}
+
+void
+DescriptorPool::CompileMessage(MessageDescriptor &msg, HasbitsMode mode)
+{
+    // Keep fields sorted by field number: the wire format, the ADT and
+    // the serializer's reverse-order walk all index by number.
+    std::sort(msg.fields_.begin(), msg.fields_.end(),
+              [](const FieldDescriptor &a, const FieldDescriptor &b) {
+                  return a.number < b.number;
+              });
+    msg.field_by_number_.clear();
+    for (size_t i = 0; i < msg.fields_.size(); ++i) {
+        msg.fields_[i].index = static_cast<int>(i);
+        msg.field_by_number_[msg.fields_[i].number] = static_cast<int>(i);
+    }
+    if (!msg.fields_.empty()) {
+        msg.min_field_number_ = msg.fields_.front().number;
+        msg.max_field_number_ = msg.fields_.back().number;
+    }
+
+    MessageLayout &layout = msg.layout_;
+    layout.hasbits_mode = mode;
+
+    // Number of presence bits: dense mode packs one bit per defined
+    // field; sparse mode (the paper's modified library, §4.2) reserves
+    // one bit per field number in [min, max] so hardware can index it
+    // directly by (number - min).
+    uint32_t hasbits = 0;
+    if (!msg.fields_.empty()) {
+        hasbits = mode == HasbitsMode::kDense
+                      ? static_cast<uint32_t>(msg.fields_.size())
+                      : msg.field_number_range();
+    }
+    layout.hasbits_words = static_cast<uint32_t>(CeilDiv(hasbits, 32));
+
+    // Object layout: [cached_size u32][hasbits words][field slots].
+    uint32_t offset = 0;
+    layout.cached_size_offset = offset;
+    offset += 4;
+    layout.hasbits_offset = offset;
+    offset += layout.hasbits_words * 4;
+
+    // Place 8-byte slots first, then 4, then 1, to minimize padding
+    // (protoc performs the same kind of slot packing).
+    for (uint32_t want : {8u, 4u, 1u}) {
+        for (auto &f : msg.fields_) {
+            const uint32_t size =
+                f.repeated() ? 8u : InMemorySize(f.type);
+            if (size != want)
+                continue;
+            offset = static_cast<uint32_t>(AlignUp(offset, size));
+            f.offset = offset;
+            offset += size;
+        }
+    }
+    layout.object_size = static_cast<uint32_t>(AlignUp(offset, 8));
+    if (layout.object_size == 0)
+        layout.object_size = 8;  // empty message still needs an identity
+
+    for (auto &f : msg.fields_) {
+        f.hasbit_index = mode == HasbitsMode::kDense
+                             ? static_cast<uint32_t>(f.index)
+                             : f.number - msg.min_field_number_;
+    }
+}
+
+void
+DescriptorPool::BuildDefaultInstance(MessageDescriptor &msg)
+{
+    const uint32_t size = msg.layout_.object_size;
+    msg.default_instance_ = std::make_unique<char[]>(size);
+    std::memset(msg.default_instance_.get(), 0, size);
+    for (const auto &f : msg.fields_) {
+        if (f.repeated() || IsBytesLike(f.type) ||
+            f.type == FieldType::kMessage || f.default_value == 0) {
+            continue;
+        }
+        const uint32_t width = InMemorySize(f.type);
+        std::memcpy(msg.default_instance_.get() + f.offset,
+                    &f.default_value, width);
+    }
+}
+
+const MessageDescriptor &
+DescriptorPool::message(int index) const
+{
+    PA_CHECK_GE(index, 0);
+    PA_CHECK_LT(static_cast<size_t>(index), messages_.size());
+    return *messages_[index];
+}
+
+MessageDescriptor &
+DescriptorPool::mutable_message(int index)
+{
+    PA_CHECK_GE(index, 0);
+    PA_CHECK_LT(static_cast<size_t>(index), messages_.size());
+    return *messages_[index];
+}
+
+int
+DescriptorPool::FindMessage(const std::string &name) const
+{
+    auto it = by_name_.find(name);
+    return it == by_name_.end() ? -1 : it->second;
+}
+
+}  // namespace protoacc::proto

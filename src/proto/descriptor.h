@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Schema description: the analog of protoc's parsed .proto model.
+ *
+ * A DescriptorPool is built programmatically (our stand-in for the .proto
+ * language frontend), then compiled: compilation assigns every message
+ * type a fixed in-memory object layout (see layout.h) exactly as protoc's
+ * generated C++ classes would have, and builds the per-type default
+ * instances. The Accelerator Descriptor Tables of §4.2 are generated from
+ * the same compiled layout (src/accel/adt.h), mirroring the paper's
+ * modified protoc.
+ */
+#ifndef PROTOACC_PROTO_DESCRIPTOR_H
+#define PROTOACC_PROTO_DESCRIPTOR_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "proto/wire_format.h"
+
+namespace protoacc::proto {
+
+class DescriptorPool;
+
+/// Field cardinality qualifiers of proto2.
+enum class Label : uint8_t {
+    kOptional,
+    kRequired,
+    kRepeated,
+};
+
+/// Protobuf language version a message type is defined against (§3.3;
+/// §7: proto3 adds UTF-8 validation of string fields on parse).
+enum class Syntax : uint8_t {
+    kProto2,
+    kProto3,
+};
+
+/**
+ * One field of a message type. Layout-derived members (offset,
+ * hasbit_index) are filled in by DescriptorPool::Compile().
+ */
+struct FieldDescriptor
+{
+    std::string name;
+    uint32_t number = 0;
+    FieldType type = FieldType::kInt32;
+    Label label = Label::kOptional;
+    /// Packed encoding for repeated scalar fields ([packed = true]).
+    bool packed = false;
+    /// Pool index of the sub-message type (kMessage fields only).
+    int message_type = -1;
+    /// Default value bit pattern for scalar fields.
+    uint64_t default_value = 0;
+    /// Default value for string/bytes fields.
+    std::string default_string;
+
+    // ---- Filled in by layout compilation ----
+    /// Byte offset of this field's slot within the C++ object.
+    uint32_t offset = 0;
+    /// Bit index within the hasbits array (dense or sparse; see layout.h).
+    uint32_t hasbit_index = 0;
+    /// Dense declaration-order index within the message.
+    int index = -1;
+
+    bool repeated() const { return label == Label::kRepeated; }
+    /// True when the encoded form is length-delimited (strings, bytes,
+    /// sub-messages, packed repeated scalars).
+    bool
+    length_delimited() const
+    {
+        return IsBytesLike(type) || type == FieldType::kMessage ||
+               (repeated() && packed);
+    }
+};
+
+/// Layout mode for the presence-tracking hasbits array (§3.7 / §4.2).
+enum class HasbitsMode : uint8_t {
+    /// Upstream protoc packing: bit index == dense field index.
+    kDense,
+    /// Accelerator-friendly packing: bit index == field number minus the
+    /// smallest defined field number, directly indexable by the hardware.
+    kSparse,
+};
+
+/**
+ * Compiled per-type object layout (the information protoc bakes into
+ * generated classes, and the source from which ADTs are built).
+ */
+struct MessageLayout
+{
+    /// Total size in bytes of one in-memory object of this type.
+    uint32_t object_size = 0;
+    /// Offset of the hasbits array of 32-bit words.
+    uint32_t hasbits_offset = 0;
+    /// Number of 32-bit hasbits words.
+    uint32_t hasbits_words = 0;
+    /// Offset of the cached serialized-size slot (used by ByteSize).
+    uint32_t cached_size_offset = 0;
+    HasbitsMode hasbits_mode = HasbitsMode::kSparse;
+};
+
+/**
+ * One message type: an ordered collection of fields plus its compiled
+ * layout and default instance.
+ */
+class MessageDescriptor
+{
+  public:
+    MessageDescriptor(std::string name, int pool_index,
+                      Syntax syntax = Syntax::kProto2)
+        : name_(std::move(name)), pool_index_(pool_index),
+          syntax_(syntax)
+    {}
+
+    const std::string &name() const { return name_; }
+    int pool_index() const { return pool_index_; }
+    Syntax syntax() const { return syntax_; }
+
+    /// Fields in increasing field-number order.
+    const std::vector<FieldDescriptor> &fields() const { return fields_; }
+    size_t field_count() const { return fields_.size(); }
+    const FieldDescriptor &field(size_t i) const { return fields_[i]; }
+
+    /// Find a field by field number; nullptr if not defined.
+    const FieldDescriptor *FindFieldByNumber(uint32_t number) const;
+    /// Find a field by name; nullptr if not defined.
+    const FieldDescriptor *FindFieldByName(const std::string &name) const;
+
+    /// Smallest / largest defined field number (0/0 for empty messages).
+    uint32_t min_field_number() const { return min_field_number_; }
+    uint32_t max_field_number() const { return max_field_number_; }
+
+    const MessageLayout &layout() const { return layout_; }
+
+    /// Pointer to the zero-initialized-with-defaults prototype object.
+    const void *default_instance() const { return default_instance_.get(); }
+
+    /// Field-number usage density denominator (§3.7): the range of
+    /// defined field numbers.
+    uint32_t
+    field_number_range() const
+    {
+        return fields_.empty() ? 0
+                               : max_field_number_ - min_field_number_ + 1;
+    }
+
+  private:
+    friend class DescriptorPool;
+
+    std::string name_;
+    int pool_index_;
+    Syntax syntax_;
+    std::vector<FieldDescriptor> fields_;
+    std::unordered_map<uint32_t, int> field_by_number_;
+    uint32_t min_field_number_ = 0;
+    uint32_t max_field_number_ = 0;
+    MessageLayout layout_;
+    std::unique_ptr<char[]> default_instance_;
+};
+
+/**
+ * Owns a set of message types and compiles their layouts.
+ *
+ * Usage:
+ * @code
+ *   DescriptorPool pool;
+ *   int point = pool.AddMessage("Point");
+ *   pool.AddField(point, "x", 1, FieldType::kDouble);
+ *   pool.AddField(point, "y", 2, FieldType::kDouble);
+ *   pool.Compile();
+ * @endcode
+ */
+class DescriptorPool
+{
+  public:
+    DescriptorPool() = default;
+    DescriptorPool(const DescriptorPool &) = delete;
+    DescriptorPool &operator=(const DescriptorPool &) = delete;
+    DescriptorPool(DescriptorPool &&) = default;
+    DescriptorPool &operator=(DescriptorPool &&) = default;
+
+    /// Declare a new message type; returns its pool index.
+    int AddMessage(const std::string &name,
+                   Syntax syntax = Syntax::kProto2);
+
+    /// Add a scalar/string field to message @p msg_index.
+    void AddField(int msg_index, const std::string &name, uint32_t number,
+                  FieldType type, Label label = Label::kOptional,
+                  bool packed = false);
+
+    /// Add a sub-message-typed field.
+    void AddMessageField(int msg_index, const std::string &name,
+                         uint32_t number, int sub_msg_index,
+                         Label label = Label::kOptional);
+
+    /// Set a scalar default (bit pattern) on the last-added field.
+    void SetScalarDefault(int msg_index, uint32_t number, uint64_t bits);
+    /// Set a string default on field @p number of @p msg_index.
+    void SetStringDefault(int msg_index, uint32_t number, std::string value);
+
+    /**
+     * Compute object layouts and default instances for every message.
+     * Must be called exactly once, after which the pool is immutable.
+     *
+     * @param mode hasbits packing; kSparse matches the paper's modified
+     *        library (§4.2), kDense matches upstream protoc.
+     */
+    void Compile(HasbitsMode mode = HasbitsMode::kSparse);
+
+    bool compiled() const { return compiled_; }
+
+    size_t message_count() const { return messages_.size(); }
+    const MessageDescriptor &message(int index) const;
+    MessageDescriptor &mutable_message(int index);
+
+    /// Find a message type by name; -1 if absent.
+    int FindMessage(const std::string &name) const;
+
+  private:
+    void CompileMessage(MessageDescriptor &msg, HasbitsMode mode);
+    void BuildDefaultInstance(MessageDescriptor &msg);
+
+    std::vector<std::unique_ptr<MessageDescriptor>> messages_;
+    std::unordered_map<std::string, int> by_name_;
+    bool compiled_ = false;
+};
+
+}  // namespace protoacc::proto
+
+#endif  // PROTOACC_PROTO_DESCRIPTOR_H

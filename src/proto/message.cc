@@ -1,0 +1,312 @@
+#include "proto/message.h"
+
+#include <cstring>
+
+namespace protoacc::proto {
+
+Message
+Message::Create(Arena *arena, const DescriptorPool &pool, int msg_index)
+{
+    PA_CHECK(pool.compiled());
+    const MessageDescriptor &desc = pool.message(msg_index);
+    void *obj = arena->Allocate(desc.layout().object_size, 8);
+    std::memcpy(obj, desc.default_instance(), desc.layout().object_size);
+    return Message(obj, &desc, &pool, arena);
+}
+
+bool
+Message::Has(const FieldDescriptor &f) const
+{
+    const uint32_t *words = hasbits();
+    return (words[f.hasbit_index / 32] >> (f.hasbit_index % 32)) & 1;
+}
+
+void
+Message::SetHas(const FieldDescriptor &f)
+{
+    hasbits()[f.hasbit_index / 32] |= 1u << (f.hasbit_index % 32);
+}
+
+void
+Message::ClearHas(const FieldDescriptor &f)
+{
+    hasbits()[f.hasbit_index / 32] &= ~(1u << (f.hasbit_index % 32));
+}
+
+void
+Message::Clear(const FieldDescriptor &f)
+{
+    ClearHas(f);
+    if (f.repeated()) {
+        // Keep the container allocation, drop the contents.
+        if (IsBytesLike(f.type) || f.type == FieldType::kMessage) {
+            if (auto *r = repeated_ptr_field(f))
+                r->size = 0;
+        } else if (auto *r = repeated_field(f)) {
+            r->size = 0;
+        }
+    } else if (IsBytesLike(f.type) || f.type == FieldType::kMessage) {
+        std::memset(field_ptr(f), 0, sizeof(void *));
+    } else {
+        const MessageDescriptor &desc = *descriptor_;
+        std::memcpy(field_ptr(f),
+                    static_cast<const char *>(desc.default_instance()) +
+                        f.offset,
+                    InMemorySize(f.type));
+    }
+}
+
+uint64_t
+Message::GetScalarBits(const FieldDescriptor &f) const
+{
+    PA_CHECK(!f.repeated());
+    PA_CHECK(!IsBytesLike(f.type) && f.type != FieldType::kMessage);
+    uint64_t bits = 0;
+    std::memcpy(&bits, field_ptr(f), InMemorySize(f.type));
+    return bits;
+}
+
+void
+Message::SetScalarBits(const FieldDescriptor &f, uint64_t bits)
+{
+    PA_CHECK(!f.repeated());
+    PA_CHECK(!IsBytesLike(f.type) && f.type != FieldType::kMessage);
+    std::memcpy(field_ptr(f), &bits, InMemorySize(f.type));
+    SetHas(f);
+}
+
+ArenaString *
+Message::GetStringObject(const FieldDescriptor &f) const
+{
+    PA_CHECK(IsBytesLike(f.type));
+    PA_CHECK(!f.repeated());
+    ArenaString *s;
+    std::memcpy(&s, field_ptr(f), sizeof(s));
+    return s;
+}
+
+std::string_view
+Message::GetString(const FieldDescriptor &f) const
+{
+    if (!Has(f))
+        return f.default_string;
+    const ArenaString *s = GetStringObject(f);
+    return s == nullptr ? std::string_view(f.default_string) : s->view();
+}
+
+void
+Message::SetString(const FieldDescriptor &f, std::string_view value)
+{
+    PA_CHECK(IsBytesLike(f.type));
+    PA_CHECK(!f.repeated());
+    ArenaString *s = GetStringObject(f);
+    if (s == nullptr) {
+        s = ArenaString::Create(arena_, value);
+        std::memcpy(field_ptr(f), &s, sizeof(s));
+    } else {
+        s->Assign(arena_, value);
+    }
+    SetHas(f);
+}
+
+const MessageDescriptor &
+Message::sub_descriptor(const FieldDescriptor &f) const
+{
+    PA_CHECK_EQ(f.type, FieldType::kMessage);
+    return pool_->message(f.message_type);
+}
+
+Message
+Message::GetMessage(const FieldDescriptor &f) const
+{
+    PA_CHECK(!f.repeated());
+    void *sub;
+    std::memcpy(&sub, field_ptr(f), sizeof(sub));
+    if (sub == nullptr)
+        return Message();
+    return Message(sub, &sub_descriptor(f), pool_, arena_);
+}
+
+Message
+Message::MutableMessage(const FieldDescriptor &f)
+{
+    PA_CHECK(!f.repeated());
+    void *sub;
+    std::memcpy(&sub, field_ptr(f), sizeof(sub));
+    if (sub == nullptr) {
+        Message created =
+            Message::Create(arena_, *pool_, f.message_type);
+        sub = created.raw();
+        std::memcpy(field_ptr(f), &sub, sizeof(sub));
+    }
+    SetHas(f);
+    return Message(sub, &sub_descriptor(f), pool_, arena_);
+}
+
+RepeatedField *
+Message::repeated_field(const FieldDescriptor &f) const
+{
+    PA_CHECK(f.repeated());
+    PA_CHECK(!IsBytesLike(f.type) && f.type != FieldType::kMessage);
+    RepeatedField *r;
+    std::memcpy(&r, field_ptr(f), sizeof(r));
+    return r;
+}
+
+RepeatedPtrField *
+Message::repeated_ptr_field(const FieldDescriptor &f) const
+{
+    PA_CHECK(f.repeated());
+    PA_CHECK(IsBytesLike(f.type) || f.type == FieldType::kMessage);
+    RepeatedPtrField *r;
+    std::memcpy(&r, field_ptr(f), sizeof(r));
+    return r;
+}
+
+uint32_t
+Message::RepeatedSize(const FieldDescriptor &f) const
+{
+    PA_CHECK(f.repeated());
+    if (IsBytesLike(f.type) || f.type == FieldType::kMessage) {
+        const RepeatedPtrField *r = repeated_ptr_field(f);
+        return r == nullptr ? 0 : r->size;
+    }
+    const RepeatedField *r = repeated_field(f);
+    return r == nullptr ? 0 : r->size;
+}
+
+void
+Message::AddRepeatedBits(const FieldDescriptor &f, uint64_t bits)
+{
+    RepeatedField *r = repeated_field(f);
+    if (r == nullptr) {
+        r = RepeatedField::Create(arena_);
+        std::memcpy(field_ptr(f), &r, sizeof(r));
+    }
+    r->Append(arena_, &bits, InMemorySize(f.type));
+    SetHas(f);
+}
+
+std::string_view
+Message::GetRepeatedString(const FieldDescriptor &f, uint32_t i) const
+{
+    PA_CHECK(IsBytesLike(f.type));
+    const RepeatedPtrField *r = repeated_ptr_field(f);
+    PA_CHECK(r != nullptr);
+    return static_cast<const ArenaString *>(r->at(i))->view();
+}
+
+void
+Message::AddRepeatedString(const FieldDescriptor &f, std::string_view v)
+{
+    PA_CHECK(IsBytesLike(f.type));
+    RepeatedPtrField *r = repeated_ptr_field(f);
+    if (r == nullptr) {
+        r = RepeatedPtrField::Create(arena_);
+        std::memcpy(field_ptr(f), &r, sizeof(r));
+    }
+    r->Append(arena_, ArenaString::Create(arena_, v));
+    SetHas(f);
+}
+
+Message
+Message::GetRepeatedMessage(const FieldDescriptor &f, uint32_t i) const
+{
+    const RepeatedPtrField *r = repeated_ptr_field(f);
+    PA_CHECK(r != nullptr);
+    return Message(r->at(i), &sub_descriptor(f), pool_, arena_);
+}
+
+Message
+Message::AddRepeatedMessage(const FieldDescriptor &f)
+{
+    RepeatedPtrField *r = repeated_ptr_field(f);
+    if (r == nullptr) {
+        r = RepeatedPtrField::Create(arena_);
+        std::memcpy(field_ptr(f), &r, sizeof(r));
+    }
+    Message sub = Message::Create(arena_, *pool_, f.message_type);
+    r->Append(arena_, sub.raw());
+    SetHas(f);
+    return sub;
+}
+
+int32_t
+Message::cached_size() const
+{
+    int32_t v;
+    std::memcpy(&v, bytes() + descriptor_->layout().cached_size_offset,
+                sizeof(v));
+    return v;
+}
+
+void
+Message::set_cached_size(int32_t v) const
+{
+    std::memcpy(bytes() + descriptor_->layout().cached_size_offset, &v,
+                sizeof(v));
+}
+
+namespace {
+
+bool
+ScalarEqual(const Message &a, const Message &b, const FieldDescriptor &f)
+{
+    return a.GetScalarBits(f) == b.GetScalarBits(f);
+}
+
+}  // namespace
+
+bool
+MessagesEqual(const Message &a, const Message &b)
+{
+    if (!a.valid() || !b.valid())
+        return a.valid() == b.valid();
+    const MessageDescriptor &desc = a.descriptor();
+    if (&desc != &b.descriptor() && desc.name() != b.descriptor().name())
+        return false;
+    for (const auto &f : desc.fields()) {
+        if (f.repeated()) {
+            const uint32_t n = a.RepeatedSize(f);
+            if (n != b.RepeatedSize(f))
+                return false;
+            for (uint32_t i = 0; i < n; ++i) {
+                if (f.type == FieldType::kMessage) {
+                    if (!MessagesEqual(a.GetRepeatedMessage(f, i),
+                                       b.GetRepeatedMessage(f, i)))
+                        return false;
+                } else if (IsBytesLike(f.type)) {
+                    if (a.GetRepeatedString(f, i) !=
+                        b.GetRepeatedString(f, i))
+                        return false;
+                } else {
+                    const uint32_t width = InMemorySize(f.type);
+                    uint64_t va = 0, vb = 0;
+                    std::memcpy(&va,
+                                a.repeated_field(f)->at(i, width), width);
+                    std::memcpy(&vb,
+                                b.repeated_field(f)->at(i, width), width);
+                    if (va != vb)
+                        return false;
+                }
+            }
+            continue;
+        }
+        if (a.Has(f) != b.Has(f))
+            return false;
+        if (!a.Has(f))
+            continue;
+        if (f.type == FieldType::kMessage) {
+            if (!MessagesEqual(a.GetMessage(f), b.GetMessage(f)))
+                return false;
+        } else if (IsBytesLike(f.type)) {
+            if (a.GetString(f) != b.GetString(f))
+                return false;
+        } else if (!ScalarEqual(a, b, f)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace protoacc::proto

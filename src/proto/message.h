@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Dynamic message objects: the stand-in for protoc-generated C++ classes.
+ *
+ * A message instance is a flat byte object laid out by the pool's layout
+ * compiler (cached size, hasbits words, field slots at fixed offsets —
+ * §2.1.3). Message is a cheap, copyable *handle* {object pointer,
+ * descriptor, arena} exposing the accessor surface generated code would
+ * have (setters, getters, repeated-field mutation, sub-message
+ * traversal). The software codec, the accelerator model, and user code
+ * in examples/ all operate on the same objects.
+ */
+#ifndef PROTOACC_PROTO_MESSAGE_H
+#define PROTOACC_PROTO_MESSAGE_H
+
+#include <cstdint>
+#include <string_view>
+
+#include "proto/arena_string.h"
+#include "proto/descriptor.h"
+#include "proto/repeated.h"
+
+namespace protoacc::proto {
+
+/**
+ * Handle to one in-memory message object. Copying the handle aliases the
+ * same object. A default-constructed handle is null.
+ */
+class Message
+{
+  public:
+    Message() = default;
+    Message(void *obj, const MessageDescriptor *descriptor,
+            const DescriptorPool *pool, Arena *arena)
+        : obj_(obj), descriptor_(descriptor), pool_(pool), arena_(arena)
+    {}
+
+    /// Allocate a fresh object of type @p msg_index in @p arena,
+    /// initialized from the type's default instance.
+    static Message Create(Arena *arena, const DescriptorPool &pool,
+                          int msg_index);
+
+    bool valid() const { return obj_ != nullptr; }
+    void *raw() const { return obj_; }
+    const MessageDescriptor &descriptor() const { return *descriptor_; }
+    const DescriptorPool &pool() const { return *pool_; }
+    Arena *arena() const { return arena_; }
+
+    // ---- Presence (hasbits) ----
+    bool Has(const FieldDescriptor &f) const;
+    void SetHas(const FieldDescriptor &f);
+    void ClearHas(const FieldDescriptor &f);
+    /// Clear a field: drop its presence bit and reset its slot.
+    void Clear(const FieldDescriptor &f);
+
+    /// Address of the hasbits word array.
+    uint32_t *
+    hasbits()
+    {
+        return reinterpret_cast<uint32_t *>(
+            bytes() + descriptor_->layout().hasbits_offset);
+    }
+    const uint32_t *
+    hasbits() const
+    {
+        return reinterpret_cast<const uint32_t *>(
+            bytes() + descriptor_->layout().hasbits_offset);
+    }
+
+    // ---- Singular scalars (bit-pattern interface + typed wrappers) ----
+    /// Raw slot bits, or the field default when the field is not set.
+    uint64_t GetScalarBits(const FieldDescriptor &f) const;
+    /// Store @p bits in the slot and set the presence bit.
+    void SetScalarBits(const FieldDescriptor &f, uint64_t bits);
+
+    int32_t
+    GetInt32(const FieldDescriptor &f) const
+    {
+        return static_cast<int32_t>(GetScalarBits(f));
+    }
+    int64_t
+    GetInt64(const FieldDescriptor &f) const
+    {
+        return static_cast<int64_t>(GetScalarBits(f));
+    }
+    uint32_t
+    GetUint32(const FieldDescriptor &f) const
+    {
+        return static_cast<uint32_t>(GetScalarBits(f));
+    }
+    uint64_t GetUint64(const FieldDescriptor &f) const
+    {
+        return GetScalarBits(f);
+    }
+    bool GetBool(const FieldDescriptor &f) const
+    {
+        return GetScalarBits(f) != 0;
+    }
+    float
+    GetFloat(const FieldDescriptor &f) const
+    {
+        const uint32_t bits = static_cast<uint32_t>(GetScalarBits(f));
+        float v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+    double
+    GetDouble(const FieldDescriptor &f) const
+    {
+        const uint64_t bits = GetScalarBits(f);
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    void SetInt32(const FieldDescriptor &f, int32_t v)
+    {
+        SetScalarBits(f, static_cast<uint32_t>(v));
+    }
+    void SetInt64(const FieldDescriptor &f, int64_t v)
+    {
+        SetScalarBits(f, static_cast<uint64_t>(v));
+    }
+    void SetUint32(const FieldDescriptor &f, uint32_t v)
+    {
+        SetScalarBits(f, v);
+    }
+    void SetUint64(const FieldDescriptor &f, uint64_t v)
+    {
+        SetScalarBits(f, v);
+    }
+    void SetBool(const FieldDescriptor &f, bool v)
+    {
+        SetScalarBits(f, v ? 1 : 0);
+    }
+    void
+    SetFloat(const FieldDescriptor &f, float v)
+    {
+        uint32_t bits;
+        std::memcpy(&bits, &v, sizeof(v));
+        SetScalarBits(f, bits);
+    }
+    void
+    SetDouble(const FieldDescriptor &f, double v)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(v));
+        SetScalarBits(f, bits);
+    }
+
+    // ---- Singular strings / bytes ----
+    /// Contents, or the field's default string when unset.
+    std::string_view GetString(const FieldDescriptor &f) const;
+    void SetString(const FieldDescriptor &f, std::string_view value);
+    /// The underlying string object (nullptr when never set).
+    ArenaString *GetStringObject(const FieldDescriptor &f) const;
+
+    // ---- Singular sub-messages ----
+    /// Read-only handle; invalid() when unset.
+    Message GetMessage(const FieldDescriptor &f) const;
+    /// Get-or-create mutable sub-message (allocates in the arena).
+    Message MutableMessage(const FieldDescriptor &f);
+
+    // ---- Repeated fields ----
+    uint32_t RepeatedSize(const FieldDescriptor &f) const;
+
+    template <typename T>
+    T
+    GetRepeated(const FieldDescriptor &f, uint32_t i) const
+    {
+        const RepeatedField *r = repeated_field(f);
+        PA_CHECK(r != nullptr);
+        return r->Get<T>(i);
+    }
+    /// Append one scalar element (bit pattern, low InMemorySize bytes).
+    void AddRepeatedBits(const FieldDescriptor &f, uint64_t bits);
+
+    std::string_view GetRepeatedString(const FieldDescriptor &f,
+                                       uint32_t i) const;
+    void AddRepeatedString(const FieldDescriptor &f, std::string_view v);
+
+    Message GetRepeatedMessage(const FieldDescriptor &f, uint32_t i) const;
+    /// Append and return a fresh sub-message element.
+    Message AddRepeatedMessage(const FieldDescriptor &f);
+
+    // ---- Raw access (codec and accelerator model) ----
+    char *field_ptr(const FieldDescriptor &f) { return bytes() + f.offset; }
+    const char *
+    field_ptr(const FieldDescriptor &f) const
+    {
+        return bytes() + f.offset;
+    }
+    RepeatedField *repeated_field(const FieldDescriptor &f) const;
+    RepeatedPtrField *repeated_ptr_field(const FieldDescriptor &f) const;
+
+    int32_t cached_size() const;
+    void set_cached_size(int32_t v) const;
+
+  private:
+    char *bytes() const { return static_cast<char *>(obj_); }
+    const MessageDescriptor &sub_descriptor(const FieldDescriptor &f) const;
+
+    void *obj_ = nullptr;
+    const MessageDescriptor *descriptor_ = nullptr;
+    const DescriptorPool *pool_ = nullptr;
+    Arena *arena_ = nullptr;
+};
+
+/**
+ * Deep structural equality: same set fields, same values, same repeated
+ * contents and sub-message trees. Used by tests to check that
+ * accelerator-built objects match software-built ones.
+ */
+bool MessagesEqual(const Message &a, const Message &b);
+
+}  // namespace protoacc::proto
+
+#endif  // PROTOACC_PROTO_MESSAGE_H

@@ -1,0 +1,137 @@
+#include "proto/message_ops.h"
+
+#include <cstring>
+
+namespace protoacc::proto {
+
+void
+ClearMessage(Message msg, CostSink *sink)
+{
+    if (sink != nullptr)
+        sink->OnMessageBegin();
+    const MessageDescriptor &desc = msg.descriptor();
+    for (const auto &f : desc.fields()) {
+        // Clear() drops the presence bit, resets scalar slots to their
+        // defaults and empties (but keeps) repeated containers.
+        msg.Clear(f);
+        if (sink != nullptr)
+            sink->OnFieldDispatch();
+    }
+    if (sink != nullptr) {
+        sink->OnHasbitsAccess(
+            static_cast<int>(desc.layout().hasbits_words));
+        sink->OnMessageEnd();
+    }
+}
+
+namespace {
+
+void
+MergeField(Message &dst, const Message &src, const FieldDescriptor &f,
+           CostSink *sink)
+{
+    if (sink != nullptr)
+        sink->OnFieldDispatch();
+
+    if (f.repeated()) {
+        const uint32_t n = src.RepeatedSize(f);
+        for (uint32_t i = 0; i < n; ++i) {
+            if (f.type == FieldType::kMessage) {
+                Message elem = dst.AddRepeatedMessage(f);
+                if (sink != nullptr)
+                    sink->OnAlloc(
+                        elem.descriptor().layout().object_size);
+                MergeFrom(elem, src.GetRepeatedMessage(f, i), sink);
+            } else if (IsBytesLike(f.type)) {
+                const std::string_view s = src.GetRepeatedString(f, i);
+                dst.AddRepeatedString(f, s);
+                if (sink != nullptr) {
+                    sink->OnAlloc(sizeof(ArenaString));
+                    sink->OnMemcpy(s.size());
+                }
+            } else {
+                const uint32_t width = InMemorySize(f.type);
+                uint64_t bits = 0;
+                std::memcpy(&bits, src.repeated_field(f)->at(i, width),
+                            width);
+                dst.AddRepeatedBits(f, bits);
+                if (sink != nullptr)
+                    sink->OnFixedCopy(static_cast<int>(width));
+            }
+        }
+        return;
+    }
+
+    if (f.type == FieldType::kMessage) {
+        // Present singular sub-messages merge recursively.
+        Message sub_dst = dst.MutableMessage(f);
+        if (sink != nullptr)
+            sink->OnAlloc(sub_dst.descriptor().layout().object_size);
+        MergeFrom(sub_dst, src.GetMessage(f), sink);
+        return;
+    }
+    if (IsBytesLike(f.type)) {
+        const std::string_view s = src.GetString(f);
+        dst.SetString(f, s);
+        if (sink != nullptr)
+            sink->OnMemcpy(s.size());
+        return;
+    }
+    dst.SetScalarBits(f, src.GetScalarBits(f));
+    if (sink != nullptr)
+        sink->OnFixedCopy(static_cast<int>(InMemorySize(f.type)));
+}
+
+}  // namespace
+
+void
+MergeFrom(Message dst, const Message &src, CostSink *sink)
+{
+    PA_CHECK(dst.valid() && src.valid());
+    PA_CHECK_EQ(dst.descriptor().pool_index(),
+                src.descriptor().pool_index());
+    if (sink != nullptr)
+        sink->OnMessageBegin();
+    for (const auto &f : src.descriptor().fields()) {
+        if (sink != nullptr)
+            sink->OnHasbitsAccess(1);
+        if (f.repeated()) {
+            if (src.RepeatedSize(f) > 0)
+                MergeField(dst, src, f, sink);
+        } else if (src.Has(f)) {
+            MergeField(dst, src, f, sink);
+        }
+    }
+    if (sink != nullptr)
+        sink->OnMessageEnd();
+}
+
+void
+CopyFrom(Message dst, const Message &src, CostSink *sink)
+{
+    ClearMessage(dst, sink);
+    MergeFrom(dst, src, sink);
+}
+
+bool
+IsInitialized(const Message &msg)
+{
+    for (const auto &f : msg.descriptor().fields()) {
+        if (f.label == Label::kRequired && !msg.Has(f))
+            return false;
+        if (f.type != FieldType::kMessage)
+            continue;
+        if (f.repeated()) {
+            for (uint32_t i = 0; i < msg.RepeatedSize(f); ++i) {
+                if (!IsInitialized(msg.GetRepeatedMessage(f, i)))
+                    return false;
+            }
+        } else if (msg.Has(f)) {
+            if (!IsInitialized(msg.GetMessage(f)))
+                return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace protoacc::proto

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Whole-message operations: Clear, MergeFrom, CopyFrom, IsInitialized.
+ *
+ * These are the "other protobuf operations" of Figure 2 — merge, copy
+ * and clear together consume 17.1% of fleet-wide C++ protobuf cycles,
+ * and §7 identifies them as the natural next acceleration targets
+ * ("re-using the hardware building blocks from serialization and
+ * deserialization"). The software implementations here are the
+ * functional reference for the accelerator's ops unit
+ * (src/accel/ops_unit.h) and carry the same cost-instrumentation hooks
+ * as the codec.
+ */
+#ifndef PROTOACC_PROTO_MESSAGE_OPS_H
+#define PROTOACC_PROTO_MESSAGE_OPS_H
+
+#include "proto/cost_sink.h"
+#include "proto/message.h"
+
+namespace protoacc::proto {
+
+/// Clear every field of @p msg (presence bits, slots, repeated sizes).
+void ClearMessage(Message msg, CostSink *sink = nullptr);
+
+/**
+ * proto2 merge semantics: singular scalars/strings from @p src
+ * overwrite, present sub-messages merge recursively, repeated fields
+ * append. @p src and @p dst must share a message type.
+ */
+void MergeFrom(Message dst, const Message &src, CostSink *sink = nullptr);
+
+/// Clear @p dst then merge @p src into it.
+void CopyFrom(Message dst, const Message &src, CostSink *sink = nullptr);
+
+/// True when every `required` field is present, recursively (the
+/// proto2 IsInitialized contract).
+bool IsInitialized(const Message &msg);
+
+}  // namespace protoacc::proto
+
+#endif  // PROTOACC_PROTO_MESSAGE_OPS_H

@@ -1,0 +1,317 @@
+#include "proto/parser.h"
+
+#include "proto/utf8.h"
+
+#include <cstring>
+
+namespace protoacc::proto {
+
+const char *
+ParseStatusName(ParseStatus status)
+{
+    switch (status) {
+      case ParseStatus::kOk: return "ok";
+      case ParseStatus::kMalformedVarint: return "malformed varint";
+      case ParseStatus::kTruncated: return "truncated";
+      case ParseStatus::kInvalidWireType: return "invalid wire type";
+      case ParseStatus::kDepthExceeded: return "depth exceeded";
+      case ParseStatus::kInvalidFieldNumber: return "invalid field number";
+      case ParseStatus::kInvalidUtf8: return "invalid utf-8";
+    }
+    return "?";
+}
+
+namespace {
+
+/// Cursor over the serialized input with cost instrumentation.
+class Reader
+{
+  public:
+    Reader(const uint8_t *p, const uint8_t *end, CostSink *sink)
+        : p_(p), end_(end), sink_(sink)
+    {}
+
+    bool at_end() const { return p_ >= end_; }
+    size_t remaining() const { return end_ - p_; }
+    const uint8_t *pos() const { return p_; }
+    CostSink *sink() const { return sink_; }
+
+    bool
+    ReadVarint(uint64_t *v, bool is_tag)
+    {
+        const int n = DecodeVarint(p_, end_, v);
+        if (n == 0)
+            return false;
+        p_ += n;
+        if (sink_ != nullptr) {
+            if (is_tag)
+                sink_->OnTagDecode(n);
+            else
+                sink_->OnVarintDecode(n);
+        }
+        return true;
+    }
+
+    bool
+    ReadFixed32(uint32_t *v)
+    {
+        if (remaining() < 4)
+            return false;
+        *v = LoadFixed32(p_);
+        p_ += 4;
+        if (sink_ != nullptr)
+            sink_->OnFixedCopy(4);
+        return true;
+    }
+
+    bool
+    ReadFixed64(uint64_t *v)
+    {
+        if (remaining() < 8)
+            return false;
+        *v = LoadFixed64(p_);
+        p_ += 8;
+        if (sink_ != nullptr)
+            sink_->OnFixedCopy(8);
+        return true;
+    }
+
+    bool
+    Skip(size_t n)
+    {
+        if (remaining() < n)
+            return false;
+        p_ += n;
+        return true;
+    }
+
+    /// Create a bounded sub-reader of @p n bytes and advance past them.
+    bool
+    Slice(size_t n, Reader *out)
+    {
+        if (remaining() < n)
+            return false;
+        *out = Reader(p_, p_ + n, sink_);
+        p_ += n;
+        return true;
+    }
+
+  private:
+    const uint8_t *p_;
+    const uint8_t *end_;
+    CostSink *sink_;
+};
+
+/// Decode a varint wire value into the in-memory bit pattern for @p type.
+uint64_t
+VarintMemoryValue(FieldType type, uint64_t wire)
+{
+    switch (type) {
+      case FieldType::kInt32:
+      case FieldType::kEnum:
+        return static_cast<uint32_t>(wire);
+      case FieldType::kUint32:
+        return static_cast<uint32_t>(wire);
+      case FieldType::kSint32:
+        return static_cast<uint32_t>(
+            ZigZagDecode32(static_cast<uint32_t>(wire)));
+      case FieldType::kSint64:
+        return static_cast<uint64_t>(ZigZagDecode64(wire));
+      case FieldType::kBool:
+        return wire != 0 ? 1 : 0;
+      default:
+        return wire;
+    }
+}
+
+ParseStatus ParsePayload(Reader &r, Message msg, int depth);
+
+ParseStatus
+SkipUnknown(Reader &r, WireType wt)
+{
+    switch (wt) {
+      case WireType::kVarint: {
+        uint64_t v;
+        return r.ReadVarint(&v, false) ? ParseStatus::kOk
+                                       : ParseStatus::kMalformedVarint;
+      }
+      case WireType::kFixed64:
+        return r.Skip(8) ? ParseStatus::kOk : ParseStatus::kTruncated;
+      case WireType::kFixed32:
+        return r.Skip(4) ? ParseStatus::kOk : ParseStatus::kTruncated;
+      case WireType::kLengthDelimited: {
+        uint64_t len;
+        if (!r.ReadVarint(&len, false))
+            return ParseStatus::kMalformedVarint;
+        return r.Skip(len) ? ParseStatus::kOk : ParseStatus::kTruncated;
+      }
+      case WireType::kStartGroup:
+      case WireType::kEndGroup:
+        // Groups are deprecated and unsupported (as in the paper).
+        return ParseStatus::kInvalidWireType;
+    }
+    return ParseStatus::kInvalidWireType;
+}
+
+ParseStatus
+ParseScalar(Reader &r, Message &msg, const FieldDescriptor &f, WireType wt)
+{
+    uint64_t bits;
+    switch (wt) {
+      case WireType::kVarint: {
+        uint64_t wire;
+        if (!r.ReadVarint(&wire, false))
+            return ParseStatus::kMalformedVarint;
+        bits = VarintMemoryValue(f.type, wire);
+        break;
+      }
+      case WireType::kFixed32: {
+        uint32_t v;
+        if (!r.ReadFixed32(&v))
+            return ParseStatus::kTruncated;
+        bits = v;
+        break;
+      }
+      case WireType::kFixed64: {
+        if (!r.ReadFixed64(&bits))
+            return ParseStatus::kTruncated;
+        break;
+      }
+      default:
+        return ParseStatus::kInvalidWireType;
+    }
+    if (f.repeated())
+        msg.AddRepeatedBits(f, bits);
+    else
+        msg.SetScalarBits(f, bits);
+    return ParseStatus::kOk;
+}
+
+ParseStatus
+ParsePackedRepeated(Reader &r, Message &msg, const FieldDescriptor &f)
+{
+    uint64_t len;
+    if (!r.ReadVarint(&len, false))
+        return ParseStatus::kMalformedVarint;
+    Reader body(nullptr, nullptr, nullptr);
+    if (!r.Slice(len, &body))
+        return ParseStatus::kTruncated;
+    const WireType elem_wt = WireTypeForField(f.type);
+    while (!body.at_end()) {
+        const ParseStatus st = ParseScalar(body, msg, f, elem_wt);
+        if (st != ParseStatus::kOk)
+            return st;
+    }
+    return ParseStatus::kOk;
+}
+
+ParseStatus
+ParseField(Reader &r, Message &msg, const FieldDescriptor &f, WireType wt,
+           int depth)
+{
+    if (r.sink() != nullptr)
+        r.sink()->OnFieldDispatch();
+
+    switch (f.type) {
+      case FieldType::kString:
+      case FieldType::kBytes: {
+        if (wt != WireType::kLengthDelimited)
+            return ParseStatus::kInvalidWireType;
+        uint64_t len;
+        if (!r.ReadVarint(&len, false))
+            return ParseStatus::kMalformedVarint;
+        if (r.remaining() < len)
+            return ParseStatus::kTruncated;
+        const std::string_view s(
+            reinterpret_cast<const char *>(r.pos()), len);
+        // §7: proto3 validates string (not bytes) fields as UTF-8.
+        if (f.type == FieldType::kString &&
+            msg.descriptor().syntax() == Syntax::kProto3 &&
+            !IsValidUtf8(s.data(), s.size())) {
+            return ParseStatus::kInvalidUtf8;
+        }
+        if (r.sink() != nullptr) {
+            // String construction: allocation plus payload copy.
+            r.sink()->OnAlloc(len > ArenaString::kInlineCapacity
+                                  ? len + sizeof(ArenaString)
+                                  : sizeof(ArenaString));
+            r.sink()->OnMemcpy(len);
+        }
+        if (f.repeated())
+            msg.AddRepeatedString(f, s);
+        else
+            msg.SetString(f, s);
+        r.Skip(len);
+        return ParseStatus::kOk;
+      }
+      case FieldType::kMessage: {
+        if (wt != WireType::kLengthDelimited)
+            return ParseStatus::kInvalidWireType;
+        uint64_t len;
+        if (!r.ReadVarint(&len, false))
+            return ParseStatus::kMalformedVarint;
+        Reader body(nullptr, nullptr, nullptr);
+        if (!r.Slice(len, &body))
+            return ParseStatus::kTruncated;
+        Message sub = f.repeated() ? msg.AddRepeatedMessage(f)
+                                   : msg.MutableMessage(f);
+        if (r.sink() != nullptr)
+            r.sink()->OnAlloc(sub.descriptor().layout().object_size);
+        return ParsePayload(body, sub, depth + 1);
+      }
+      default:
+        break;
+    }
+
+    // Scalar types: accept both packed and unpacked encodings regardless
+    // of the schema's packed option, as proto2 parsers must.
+    if (f.repeated() && wt == WireType::kLengthDelimited &&
+        WireTypeForField(f.type) != WireType::kLengthDelimited) {
+        return ParsePackedRepeated(r, msg, f);
+    }
+    return ParseScalar(r, msg, f, wt);
+}
+
+ParseStatus
+ParsePayload(Reader &r, Message msg, int depth)
+{
+    if (depth > kMaxParseDepth)
+        return ParseStatus::kDepthExceeded;
+    if (r.sink() != nullptr)
+        r.sink()->OnMessageBegin();
+    while (!r.at_end()) {
+        uint64_t tag;
+        if (!r.ReadVarint(&tag, true))
+            return ParseStatus::kMalformedVarint;
+        const uint32_t number = TagFieldNumber(tag);
+        const WireType wt = TagWireType(tag);
+        if (number == 0)
+            return ParseStatus::kInvalidFieldNumber;
+        const FieldDescriptor *f =
+            msg.descriptor().FindFieldByNumber(number);
+        ParseStatus st;
+        if (f == nullptr) {
+            st = SkipUnknown(r, wt);
+        } else {
+            st = ParseField(r, msg, *f, wt, depth);
+        }
+        if (st != ParseStatus::kOk)
+            return st;
+    }
+    if (r.sink() != nullptr)
+        r.sink()->OnMessageEnd();
+    return ParseStatus::kOk;
+}
+
+}  // namespace
+
+ParseStatus
+ParseFromBuffer(const uint8_t *data, size_t len, Message *msg,
+                CostSink *sink)
+{
+    PA_CHECK(msg != nullptr && msg->valid());
+    Reader r(data, data + len, sink);
+    return ParsePayload(r, *msg, 0);
+}
+
+}  // namespace protoacc::proto

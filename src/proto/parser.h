@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Software deserialization (§2.2): the inherently serial wire parser.
+ *
+ * Parsing walks the single input byte stream field-by-field: decode a key
+ * varint, look up the field's schema entry, decode the value, write it
+ * into the in-memory object — allocating strings, repeated-field storage
+ * and sub-message objects on the way (the work the paper highlights as
+ * making deserialization the harder direction). Unknown fields are
+ * skipped by wire type, preserving proto2's schema-evolution behaviour.
+ */
+#ifndef PROTOACC_PROTO_PARSER_H
+#define PROTOACC_PROTO_PARSER_H
+
+#include <cstdint>
+
+#include "proto/cost_sink.h"
+#include "proto/message.h"
+
+namespace protoacc::proto {
+
+/// Outcome of a parse.
+enum class ParseStatus {
+    kOk,
+    kMalformedVarint,
+    kTruncated,
+    kInvalidWireType,
+    kDepthExceeded,
+    kInvalidFieldNumber,
+    /// proto3 string field containing malformed UTF-8 (§7).
+    kInvalidUtf8,
+};
+
+const char *ParseStatusName(ParseStatus status);
+
+/// Maximum sub-message nesting accepted by the software parser (upstream
+/// protobuf's default recursion limit).
+inline constexpr int kMaxParseDepth = 100;
+
+/**
+ * Parse the wire-format bytes [data, data+len) into @p msg, merging into
+ * any already-set fields (proto2 merge semantics). Allocations go to the
+ * message's arena.
+ */
+ParseStatus ParseFromBuffer(const uint8_t *data, size_t len, Message *msg,
+                            CostSink *sink = nullptr);
+
+}  // namespace protoacc::proto
+
+#endif  // PROTOACC_PROTO_PARSER_H

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Storage for repeated fields (§2.1.3: "repeated fields are stored
+ * similar to vectors").
+ *
+ * RepeatedField stores scalar elements contiguously; RepeatedPtrField
+ * stores pointers (to ArenaString or sub-message objects). Both have a
+ * fixed, table-describable header layout so the accelerator can construct
+ * and grow them with raw stores, and both are trivially destructible
+ * (element memory lives in the arena).
+ *
+ * The deserializer's unpacked-repeated handling (§4.4.8: "tagged
+ * open-allocation region") maps onto Append() growth here; the close-out
+ * write of the final element count is the final store of `size`.
+ */
+#ifndef PROTOACC_PROTO_REPEATED_H
+#define PROTOACC_PROTO_REPEATED_H
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/check.h"
+#include "proto/arena.h"
+
+namespace protoacc::proto {
+
+/**
+ * Vector-like container of fixed-width scalar elements. The element
+ * width is a property of the owning field (from its descriptor / ADT
+ * entry), not stored per-instance.
+ */
+struct RepeatedField
+{
+    void *data;
+    uint32_t size;      ///< element count
+    uint32_t capacity;  ///< element capacity
+
+    static RepeatedField *
+    Create(Arena *arena)
+    {
+        auto *r = static_cast<RepeatedField *>(
+            arena->Allocate(sizeof(RepeatedField), alignof(RepeatedField)));
+        r->data = nullptr;
+        r->size = 0;
+        r->capacity = 0;
+        return r;
+    }
+
+    /// Ensure capacity for at least @p needed elements of @p elem_size.
+    void
+    Reserve(Arena *arena, uint32_t needed, uint32_t elem_size)
+    {
+        if (needed <= capacity)
+            return;
+        uint32_t new_cap = capacity == 0 ? 8 : capacity * 2;
+        if (new_cap < needed)
+            new_cap = needed;
+        void *new_data = arena->Allocate(
+            static_cast<size_t>(new_cap) * elem_size, 8);
+        if (size > 0)
+            std::memcpy(new_data, data,
+                        static_cast<size_t>(size) * elem_size);
+        data = new_data;
+        capacity = new_cap;
+    }
+
+    /// Append one element, growing geometrically in the arena.
+    void
+    Append(Arena *arena, const void *elem, uint32_t elem_size)
+    {
+        Reserve(arena, size + 1, elem_size);
+        std::memcpy(static_cast<char *>(data) +
+                        static_cast<size_t>(size) * elem_size,
+                    elem, elem_size);
+        ++size;
+    }
+
+    /// Pointer to element @p i of width @p elem_size.
+    const void *
+    at(uint32_t i, uint32_t elem_size) const
+    {
+        PA_CHECK_LT(i, size);
+        return static_cast<const char *>(data) +
+               static_cast<size_t>(i) * elem_size;
+    }
+
+    /// Typed element read.
+    template <typename T>
+    T
+    Get(uint32_t i) const
+    {
+        T v;
+        std::memcpy(&v, at(i, sizeof(T)), sizeof(T));
+        return v;
+    }
+};
+
+/**
+ * Vector-like container of pointers (strings or sub-message objects).
+ */
+struct RepeatedPtrField
+{
+    void **data;
+    uint32_t size;
+    uint32_t capacity;
+
+    static RepeatedPtrField *
+    Create(Arena *arena)
+    {
+        auto *r = static_cast<RepeatedPtrField *>(arena->Allocate(
+            sizeof(RepeatedPtrField), alignof(RepeatedPtrField)));
+        r->data = nullptr;
+        r->size = 0;
+        r->capacity = 0;
+        return r;
+    }
+
+    void
+    Append(Arena *arena, void *ptr)
+    {
+        if (size == capacity) {
+            const uint32_t new_cap = capacity == 0 ? 8 : capacity * 2;
+            void **new_data = static_cast<void **>(
+                arena->Allocate(sizeof(void *) * new_cap, 8));
+            if (size > 0)
+                std::memcpy(new_data, data, sizeof(void *) * size);
+            data = new_data;
+            capacity = new_cap;
+        }
+        data[size++] = ptr;
+    }
+
+    void *
+    at(uint32_t i) const
+    {
+        PA_CHECK_LT(i, size);
+        return data[i];
+    }
+};
+
+}  // namespace protoacc::proto
+
+#endif  // PROTOACC_PROTO_REPEATED_H

@@ -1,0 +1,677 @@
+#include "proto/schema_parser.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace protoacc::proto {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------
+
+enum class TokKind {
+    kEnd,
+    kIdent,   ///< identifiers and dotted type names
+    kNumber,  ///< integer or float literal text
+    kString,  ///< quoted string (unescaped contents)
+    kSymbol,  ///< single-character punctuation
+};
+
+struct Token
+{
+    TokKind kind = TokKind::kEnd;
+    std::string text;
+    int line = 1;
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(std::string_view text) : text_(text) {}
+
+    Token
+    Next()
+    {
+        SkipWhitespaceAndComments();
+        Token tok;
+        tok.line = line_;
+        if (pos_ >= text_.size())
+            return tok;  // kEnd
+        const char c = text_[pos_];
+        if (IsIdentStart(c)) {
+            tok.kind = TokKind::kIdent;
+            while (pos_ < text_.size() &&
+                   (IsIdentChar(text_[pos_]) || text_[pos_] == '.')) {
+                tok.text += text_[pos_++];
+            }
+            return tok;
+        }
+        if (IsDigit(c) || c == '-' || c == '+' ||
+            (c == '.' && pos_ + 1 < text_.size() &&
+             IsDigit(text_[pos_ + 1]))) {
+            tok.kind = TokKind::kNumber;
+            while (pos_ < text_.size() &&
+                   (IsDigit(text_[pos_]) || IsIdentChar(text_[pos_]) ||
+                    text_[pos_] == '.' || text_[pos_] == '-' ||
+                    text_[pos_] == '+')) {
+                tok.text += text_[pos_++];
+            }
+            return tok;
+        }
+        if (c == '"' || c == '\'') {
+            tok.kind = TokKind::kString;
+            const char quote = c;
+            ++pos_;
+            while (pos_ < text_.size() && text_[pos_] != quote) {
+                char ch = text_[pos_++];
+                if (ch == '\\' && pos_ < text_.size()) {
+                    const char esc = text_[pos_++];
+                    switch (esc) {
+                      case 'n': ch = '\n'; break;
+                      case 't': ch = '\t'; break;
+                      case 'r': ch = '\r'; break;
+                      case '0': ch = '\0'; break;
+                      default: ch = esc; break;
+                    }
+                }
+                tok.text += ch;
+            }
+            if (pos_ < text_.size())
+                ++pos_;  // closing quote
+            return tok;
+        }
+        tok.kind = TokKind::kSymbol;
+        tok.text = std::string(1, c);
+        ++pos_;
+        return tok;
+    }
+
+  private:
+    static bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+    static bool
+    IsIdentStart(char c)
+    {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+               c == '_' || c == '.';
+    }
+    static bool
+    IsIdentChar(char c)
+    {
+        return IsIdentStart(c) || IsDigit(c);
+    }
+
+    void
+    SkipWhitespaceAndComments()
+    {
+        for (;;) {
+            while (pos_ < text_.size() &&
+                   (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                    text_[pos_] == '\r' || text_[pos_] == '\n')) {
+                if (text_[pos_] == '\n')
+                    ++line_;
+                ++pos_;
+            }
+            if (pos_ + 1 < text_.size() && text_[pos_] == '/' &&
+                text_[pos_ + 1] == '/') {
+                while (pos_ < text_.size() && text_[pos_] != '\n')
+                    ++pos_;
+                continue;
+            }
+            if (pos_ + 1 < text_.size() && text_[pos_] == '/' &&
+                text_[pos_ + 1] == '*') {
+                pos_ += 2;
+                while (pos_ + 1 < text_.size() &&
+                       !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+                    if (text_[pos_] == '\n')
+                        ++line_;
+                    ++pos_;
+                }
+                pos_ += 2;
+                continue;
+            }
+            return;
+        }
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+    int line_ = 1;
+};
+
+// ---------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------
+
+struct FieldDecl
+{
+    Label label = Label::kOptional;
+    std::string type_name;
+    std::string name;
+    uint32_t number = 0;
+    std::optional<bool> packed;
+    std::optional<std::string> default_literal;
+    TokKind default_kind = TokKind::kEnd;
+    int line = 0;
+};
+
+struct MessageDecl
+{
+    std::string fq_name;  ///< dotted path, e.g. "Outer.Inner"
+    std::vector<std::string> scope;  ///< enclosing message names
+    std::vector<FieldDecl> fields;
+    int pool_index = -1;
+};
+
+/// Builtin scalar type keywords.
+const std::map<std::string, FieldType> &
+ScalarTypes()
+{
+    static const std::map<std::string, FieldType> kTypes = {
+        {"double", FieldType::kDouble},
+        {"float", FieldType::kFloat},
+        {"int32", FieldType::kInt32},
+        {"int64", FieldType::kInt64},
+        {"uint32", FieldType::kUint32},
+        {"uint64", FieldType::kUint64},
+        {"sint32", FieldType::kSint32},
+        {"sint64", FieldType::kSint64},
+        {"fixed32", FieldType::kFixed32},
+        {"fixed64", FieldType::kFixed64},
+        {"sfixed32", FieldType::kSfixed32},
+        {"sfixed64", FieldType::kSfixed64},
+        {"bool", FieldType::kBool},
+        {"string", FieldType::kString},
+        {"bytes", FieldType::kBytes},
+    };
+    return kTypes;
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+class Parser
+{
+  public:
+    Parser(std::string_view text, DescriptorPool *pool)
+        : lexer_(text), pool_(pool)
+    {
+        Advance();
+    }
+
+    SchemaParseResult
+    Run()
+    {
+        if (!ParseFile())
+            return result_;
+        if (!Resolve())
+            return result_;
+        result_.ok = true;
+        return result_;
+    }
+
+  private:
+    // ---- error handling ----
+    bool
+    Fail(const std::string &message)
+    {
+        if (result_.error.empty()) {
+            result_.error = message;
+            result_.line = tok_.line;
+        }
+        return false;
+    }
+
+    void Advance() { tok_ = lexer_.Next(); }
+
+    bool
+    Expect(TokKind kind, const char *what)
+    {
+        if (tok_.kind != kind)
+            return Fail(std::string("expected ") + what + ", got '" +
+                        tok_.text + "'");
+        return true;
+    }
+
+    bool
+    ConsumeSymbol(const char *sym)
+    {
+        if (tok_.kind != TokKind::kSymbol || tok_.text != sym)
+            return Fail(std::string("expected '") + sym + "', got '" +
+                        tok_.text + "'");
+        Advance();
+        return true;
+    }
+
+    bool
+    TrySymbol(const char *sym)
+    {
+        if (tok_.kind == TokKind::kSymbol && tok_.text == sym) {
+            Advance();
+            return true;
+        }
+        return false;
+    }
+
+    // ---- grammar ----
+    bool
+    ParseFile()
+    {
+        while (tok_.kind != TokKind::kEnd) {
+            if (tok_.kind == TokKind::kIdent && tok_.text == "syntax") {
+                if (!ParseSyntax())
+                    return false;
+            } else if (tok_.kind == TokKind::kIdent &&
+                       tok_.text == "message") {
+                if (!ParseMessage({}))
+                    return false;
+            } else if (tok_.kind == TokKind::kIdent &&
+                       tok_.text == "enum") {
+                if (!ParseEnum({}))
+                    return false;
+            } else if (tok_.kind == TokKind::kIdent &&
+                       tok_.text == "package") {
+                // Accepted and ignored: types stay unqualified.
+                Advance();
+                if (!Expect(TokKind::kIdent, "package name"))
+                    return false;
+                Advance();
+                if (!ConsumeSymbol(";"))
+                    return false;
+            } else {
+                return Fail("expected 'message', 'enum', 'syntax' or "
+                            "'package', got '" + tok_.text + "'");
+            }
+        }
+        return true;
+    }
+
+    bool
+    ParseSyntax()
+    {
+        Advance();  // 'syntax'
+        if (!ConsumeSymbol("="))
+            return false;
+        if (!Expect(TokKind::kString, "\"proto2\" or \"proto3\""))
+            return false;
+        if (tok_.text == "proto2") {
+            syntax_ = Syntax::kProto2;
+        } else if (tok_.text == "proto3") {
+            syntax_ = Syntax::kProto3;
+        } else {
+            return Fail("unknown syntax '" + tok_.text + "'");
+        }
+        Advance();
+        return ConsumeSymbol(";");
+    }
+
+    bool
+    ParseEnum(const std::vector<std::string> &scope)
+    {
+        Advance();  // 'enum'
+        if (!Expect(TokKind::kIdent, "enum name"))
+            return false;
+        const std::string fq = Qualify(scope, tok_.text);
+        Advance();
+        if (!ConsumeSymbol("{"))
+            return false;
+        std::map<std::string, int32_t> &values = enums_[fq];
+        while (!TrySymbol("}")) {
+            if (tok_.kind == TokKind::kIdent && tok_.text == "option") {
+                if (!SkipStatement())
+                    return false;
+                continue;
+            }
+            if (!Expect(TokKind::kIdent, "enum value name"))
+                return false;
+            const std::string value_name = tok_.text;
+            Advance();
+            if (!ConsumeSymbol("="))
+                return false;
+            if (!Expect(TokKind::kNumber, "enum value number"))
+                return false;
+            values[value_name] =
+                static_cast<int32_t>(std::strtol(tok_.text.c_str(),
+                                                 nullptr, 0));
+            Advance();
+            if (!ConsumeSymbol(";"))
+                return false;
+        }
+        return true;
+    }
+
+    bool
+    ParseMessage(std::vector<std::string> scope)
+    {
+        Advance();  // 'message'
+        if (!Expect(TokKind::kIdent, "message name"))
+            return false;
+        const std::string name = tok_.text;
+        Advance();
+        const std::string fq = Qualify(scope, name);
+
+        MessageDecl decl;
+        decl.fq_name = fq;
+        decl.pool_index = pool_->AddMessage(fq, syntax_);
+
+        scope.push_back(name);
+        // Field type names resolve starting from inside the message
+        // itself (so `Node` inside `Tree` finds `Tree.Node`).
+        decl.scope = scope;
+        if (!ConsumeSymbol("{"))
+            return false;
+        while (!TrySymbol("}")) {
+            if (tok_.kind == TokKind::kEnd)
+                return Fail("unexpected end of input in message '" +
+                            fq + "'");
+            if (tok_.kind == TokKind::kIdent && tok_.text == "message") {
+                if (!ParseMessage(scope))
+                    return false;
+                continue;
+            }
+            if (tok_.kind == TokKind::kIdent && tok_.text == "enum") {
+                if (!ParseEnum(scope))
+                    return false;
+                continue;
+            }
+            if (tok_.kind == TokKind::kIdent &&
+                (tok_.text == "reserved" || tok_.text == "option" ||
+                 tok_.text == "extensions")) {
+                if (!SkipStatement())
+                    return false;
+                continue;
+            }
+            FieldDecl field;
+            if (!ParseField(&field))
+                return false;
+            decl.fields.push_back(std::move(field));
+        }
+        messages_.push_back(std::move(decl));
+        return true;
+    }
+
+    /// Skip a statement up to and including its ';'.
+    bool
+    SkipStatement()
+    {
+        while (tok_.kind != TokKind::kEnd &&
+               !(tok_.kind == TokKind::kSymbol && tok_.text == ";")) {
+            Advance();
+        }
+        if (tok_.kind == TokKind::kEnd)
+            return Fail("unexpected end of input in statement");
+        Advance();  // ';'
+        return true;
+    }
+
+    bool
+    ParseField(FieldDecl *field)
+    {
+        field->line = tok_.line;
+        // Optional label (mandatory in proto2, absent/optional in
+        // proto3).
+        if (tok_.kind == TokKind::kIdent) {
+            if (tok_.text == "optional") {
+                field->label = Label::kOptional;
+                Advance();
+            } else if (tok_.text == "required") {
+                if (syntax_ == Syntax::kProto3)
+                    return Fail("'required' is not allowed in proto3");
+                field->label = Label::kRequired;
+                Advance();
+            } else if (tok_.text == "repeated") {
+                field->label = Label::kRepeated;
+                Advance();
+            } else if (syntax_ == Syntax::kProto2) {
+                return Fail("proto2 field needs an explicit "
+                            "optional/required/repeated label");
+            }
+        }
+        if (!Expect(TokKind::kIdent, "field type"))
+            return false;
+        field->type_name = tok_.text;
+        Advance();
+        if (!Expect(TokKind::kIdent, "field name"))
+            return false;
+        field->name = tok_.text;
+        Advance();
+        if (!ConsumeSymbol("="))
+            return false;
+        if (!Expect(TokKind::kNumber, "field number"))
+            return false;
+        const long number = std::strtol(tok_.text.c_str(), nullptr, 0);
+        if (number < 1 ||
+            number > static_cast<long>(kMaxFieldNumber)) {
+            return Fail("field number out of range: " + tok_.text);
+        }
+        field->number = static_cast<uint32_t>(number);
+        Advance();
+
+        // Options: [packed = true, default = lit].
+        if (TrySymbol("[")) {
+            do {
+                if (!Expect(TokKind::kIdent, "option name"))
+                    return false;
+                const std::string opt = tok_.text;
+                Advance();
+                if (!ConsumeSymbol("="))
+                    return false;
+                if (opt == "packed") {
+                    if (tok_.text != "true" && tok_.text != "false")
+                        return Fail("packed must be true or false");
+                    field->packed = tok_.text == "true";
+                } else if (opt == "default") {
+                    if (syntax_ == Syntax::kProto3)
+                        return Fail(
+                            "field defaults are not allowed in proto3");
+                    field->default_literal = tok_.text;
+                    field->default_kind = tok_.kind;
+                } else {
+                    // Unknown option: accepted and ignored.
+                }
+                Advance();
+            } while (TrySymbol(","));
+            if (!ConsumeSymbol("]"))
+                return false;
+        }
+        return ConsumeSymbol(";");
+    }
+
+    // ---- name resolution ----
+    static std::string
+    Qualify(const std::vector<std::string> &scope,
+            const std::string &name)
+    {
+        std::string fq;
+        for (const auto &s : scope)
+            fq += s + ".";
+        return fq + name;
+    }
+
+    /// Resolve @p name from @p scope, innermost first (protoc rules).
+    /// Returns the fully qualified name found in @p names, or "".
+    template <typename Map>
+    std::string
+    ResolveName(const Map &names, std::vector<std::string> scope,
+                std::string name) const
+    {
+        if (!name.empty() && name.front() == '.') {
+            name.erase(0, 1);  // fully qualified reference
+            return names.count(name) ? name : std::string();
+        }
+        for (;;) {
+            const std::string candidate = Qualify(scope, name);
+            if (names.count(candidate))
+                return candidate;
+            if (scope.empty())
+                return std::string();
+            scope.pop_back();
+        }
+    }
+
+    bool
+    Resolve()
+    {
+        std::map<std::string, int> message_index;
+        for (const auto &decl : messages_)
+            message_index[decl.fq_name] = decl.pool_index;
+
+        for (const auto &decl : messages_) {
+            for (const auto &field : decl.fields) {
+                tok_.line = field.line;  // error attribution
+                auto scalar = ScalarTypes().find(field.type_name);
+                if (scalar != ScalarTypes().end()) {
+                    if (!AddScalarField(decl, field, scalar->second))
+                        return false;
+                    continue;
+                }
+                // Message type?
+                const std::string msg_name = ResolveName(
+                    message_index, decl.scope, field.type_name);
+                if (!msg_name.empty()) {
+                    if (field.label == Label::kRequired)
+                        return Fail("required message fields are not "
+                                    "supported");
+                    pool_->AddMessageField(decl.pool_index, field.name,
+                                           field.number,
+                                           message_index[msg_name],
+                                           field.label);
+                    continue;
+                }
+                // Enum type?
+                const std::string enum_name = ResolveName(
+                    enums_, decl.scope, field.type_name);
+                if (!enum_name.empty()) {
+                    if (!AddEnumField(decl, field, enum_name))
+                        return false;
+                    continue;
+                }
+                return Fail("unknown type '" + field.type_name +
+                            "' for field '" + field.name + "'");
+            }
+        }
+        return true;
+    }
+
+    bool
+    AddScalarField(const MessageDecl &decl, const FieldDecl &field,
+                   FieldType type)
+    {
+        const bool packed = field.packed.value_or(
+            // proto3 packs repeated scalars by default.
+            syntax_ == Syntax::kProto3 &&
+            field.label == Label::kRepeated && !IsBytesLike(type));
+        if (packed &&
+            (field.label != Label::kRepeated || IsBytesLike(type))) {
+            return Fail("[packed] only applies to repeated scalar "
+                        "fields");
+        }
+        pool_->AddField(decl.pool_index, field.name, field.number, type,
+                        field.label, packed);
+        if (field.default_literal.has_value()) {
+            if (field.label == Label::kRepeated)
+                return Fail("repeated fields cannot have defaults");
+            if (IsBytesLike(type)) {
+                if (field.default_kind != TokKind::kString)
+                    return Fail("string default must be quoted");
+                pool_->SetStringDefault(decl.pool_index, field.number,
+                                        *field.default_literal);
+                return true;
+            }
+            uint64_t bits = 0;
+            if (!ScalarDefaultBits(type, *field.default_literal, &bits))
+                return Fail("bad default '" + *field.default_literal +
+                            "' for field '" + field.name + "'");
+            pool_->SetScalarDefault(decl.pool_index, field.number, bits);
+        }
+        return true;
+    }
+
+    bool
+    AddEnumField(const MessageDecl &decl, const FieldDecl &field,
+                 const std::string &enum_name)
+    {
+        pool_->AddField(decl.pool_index, field.name, field.number,
+                        FieldType::kEnum, field.label,
+                        field.packed.value_or(
+                            syntax_ == Syntax::kProto3 &&
+                            field.label == Label::kRepeated));
+        if (field.default_literal.has_value()) {
+            const auto &values = enums_.at(enum_name);
+            auto it = values.find(*field.default_literal);
+            if (it == values.end())
+                return Fail("unknown enum value '" +
+                            *field.default_literal + "'");
+            pool_->SetScalarDefault(
+                decl.pool_index, field.number,
+                static_cast<uint32_t>(it->second));
+        }
+        return true;
+    }
+
+    static bool
+    ScalarDefaultBits(FieldType type, const std::string &lit,
+                      uint64_t *bits)
+    {
+        switch (type) {
+          case FieldType::kBool:
+            if (lit == "true") {
+                *bits = 1;
+                return true;
+            }
+            if (lit == "false") {
+                *bits = 0;
+                return true;
+            }
+            return false;
+          case FieldType::kFloat: {
+            const float v =
+                static_cast<float>(std::strtod(lit.c_str(), nullptr));
+            uint32_t b;
+            std::memcpy(&b, &v, sizeof(v));
+            *bits = b;
+            return true;
+          }
+          case FieldType::kDouble: {
+            const double v = std::strtod(lit.c_str(), nullptr);
+            std::memcpy(bits, &v, sizeof(v));
+            return true;
+          }
+          default: {
+            // Integer types: signed parse covers negatives; the bit
+            // pattern is truncated to the slot width at instance build.
+            const long long v =
+                std::strtoll(lit.c_str(), nullptr, 0);
+            *bits = static_cast<uint64_t>(v);
+            if (InMemorySize(type) == 4)
+                *bits = static_cast<uint32_t>(*bits);
+            return true;
+          }
+        }
+    }
+
+    Lexer lexer_;
+    Token tok_;
+    DescriptorPool *pool_;
+    Syntax syntax_ = Syntax::kProto2;
+    std::vector<MessageDecl> messages_;
+    std::map<std::string, std::map<std::string, int32_t>> enums_;
+    SchemaParseResult result_;
+};
+
+}  // namespace
+
+SchemaParseResult
+ParseSchema(std::string_view text, DescriptorPool *pool)
+{
+    PA_CHECK(pool != nullptr);
+    PA_CHECK(!pool->compiled());
+    return Parser(text, pool).Run();
+}
+
+}  // namespace protoacc::proto

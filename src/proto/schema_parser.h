@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A .proto schema-language frontend (§2.1.1).
+ *
+ * "A protobuf user defines the contents of a message in a .proto file
+ * written in the protobuf language, either proto2 or proto3. The
+ * protobuf compiler (protoc) ingests .proto files and generates
+ * language-specific code." ParseSchema is this repository's protoc
+ * frontend: it parses proto2/proto3 message definitions into a
+ * DescriptorPool, whose Compile() step then plays the code-generator
+ * role (object layouts, default instances) and feeds ADT generation.
+ *
+ * Supported subset (everything the rest of the system supports):
+ *   - `syntax = "proto2";` / `syntax = "proto3";`
+ *   - message definitions, arbitrarily nested and mutually recursive
+ *   - all scalar field types of Table 1, string/bytes, message fields
+ *   - optional / required / repeated labels
+ *   - enum definitions (fields typed by an enum resolve to kEnum)
+ *   - field options: [packed = true|false], [default = <literal>]
+ *   - line and block comments, `reserved` statements (ignored)
+ *
+ * Nested type names resolve innermost-scope-first, as in protoc.
+ * Parsing is two-pass (declarations, then field type resolution) so
+ * forward and recursive references work.
+ */
+#ifndef PROTOACC_PROTO_SCHEMA_PARSER_H
+#define PROTOACC_PROTO_SCHEMA_PARSER_H
+
+#include <string>
+#include <string_view>
+
+#include "proto/descriptor.h"
+
+namespace protoacc::proto {
+
+/// Outcome of ParseSchema.
+struct SchemaParseResult
+{
+    bool ok = false;
+    std::string error;  ///< human-readable message when !ok
+    int line = 0;       ///< 1-based line of the error
+
+    explicit operator bool() const { return ok; }
+};
+
+/**
+ * Parse .proto text into @p pool. On success the pool holds one
+ * message type per definition, named by its fully qualified dotted
+ * path (e.g. "Outer.Inner"). The caller compiles the pool afterwards.
+ *
+ * @p pool must not already be compiled; on failure it may hold
+ * partially added types and should be discarded.
+ */
+SchemaParseResult ParseSchema(std::string_view text,
+                              DescriptorPool *pool);
+
+}  // namespace protoacc::proto
+
+#endif  // PROTOACC_PROTO_SCHEMA_PARSER_H

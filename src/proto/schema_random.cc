@@ -1,0 +1,163 @@
+#include "proto/schema_random.h"
+
+#include <string>
+
+namespace protoacc::proto {
+
+namespace {
+
+const FieldType kScalarTypes[] = {
+    FieldType::kDouble,  FieldType::kFloat,    FieldType::kInt32,
+    FieldType::kInt64,   FieldType::kUint32,   FieldType::kUint64,
+    FieldType::kSint32,  FieldType::kSint64,   FieldType::kFixed32,
+    FieldType::kFixed64, FieldType::kSfixed32, FieldType::kSfixed64,
+    FieldType::kBool,    FieldType::kEnum,     FieldType::kString,
+    FieldType::kBytes,
+};
+
+int
+GenerateType(DescriptorPool *pool, Rng *rng, const SchemaGenOptions &opts,
+             const std::string &prefix, int depth, int *counter)
+{
+    const std::string name = prefix + "_" + std::to_string((*counter)++);
+    const int msg = pool->AddMessage(name);
+
+    const int num_fields = static_cast<int>(
+        rng->NextRange(opts.min_fields, opts.max_fields));
+    uint32_t number =
+        static_cast<uint32_t>(rng->NextRange(1, opts.max_start_number));
+    for (int i = 0; i < num_fields; ++i) {
+        const bool repeated = rng->NextBool(opts.repeated_prob);
+        const Label label = repeated ? Label::kRepeated : Label::kOptional;
+        // Sub-message probability decays with depth so trees terminate.
+        const double sub_p =
+            depth >= opts.max_depth ? 0.0 : opts.submessage_prob;
+        if (rng->NextBool(sub_p)) {
+            const int sub = GenerateType(pool, rng, opts, prefix,
+                                         depth + 1, counter);
+            pool->AddMessageField(msg, "f" + std::to_string(number),
+                                  number, sub, label);
+        } else {
+            const FieldType type = kScalarTypes[rng->NextBounded(
+                sizeof(kScalarTypes) / sizeof(kScalarTypes[0]))];
+            const bool packed = repeated && !IsBytesLike(type) &&
+                                rng->NextBool(opts.packed_prob);
+            pool->AddField(msg, "f" + std::to_string(number), number, type,
+                           label, packed);
+        }
+        number += static_cast<uint32_t>(
+            rng->NextRange(1, opts.max_field_number_gap));
+    }
+    return msg;
+}
+
+}  // namespace
+
+int
+GenerateRandomSchema(DescriptorPool *pool, Rng *rng,
+                     const SchemaGenOptions &opts,
+                     const std::string &name_prefix)
+{
+    int counter = 0;
+    // Unique prefix per call so one pool can hold many random schemas.
+    const std::string prefix =
+        name_prefix + std::to_string(pool->message_count());
+    return GenerateType(pool, rng, opts, prefix, 0, &counter);
+}
+
+uint64_t
+RandomScalarBits(FieldType type, Rng *rng, double small_varint_prob)
+{
+    switch (type) {
+      case FieldType::kBool:
+        return rng->NextBool() ? 1 : 0;
+      case FieldType::kFloat: {
+        const float v =
+            static_cast<float>(rng->NextDouble() * 2000.0 - 1000.0);
+        uint32_t bits;
+        std::memcpy(&bits, &v, sizeof(v));
+        return bits;
+      }
+      case FieldType::kDouble: {
+        const double v = rng->NextDouble() * 2e6 - 1e6;
+        uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(v));
+        return bits;
+      }
+      default:
+        break;
+    }
+    // Integer-ish types: draw magnitudes across the full varint size
+    // range, biased small like fleet data (§3.6.4: most varints short).
+    uint64_t v;
+    if (rng->NextBool(small_varint_prob)) {
+        v = rng->NextBounded(1 << 14);
+    } else {
+        v = rng->NextLogUniform(1, UINT64_MAX / 2);
+    }
+    const uint32_t width = InMemorySize(type);
+    if (width == 4)
+        v = static_cast<uint32_t>(v);
+    // Occasionally negative for signed types.
+    if ((type == FieldType::kInt32 || type == FieldType::kSint32 ||
+         type == FieldType::kSfixed32 || type == FieldType::kEnum) &&
+        rng->NextBool(0.25)) {
+        v = static_cast<uint32_t>(-static_cast<int32_t>(v));
+    } else if ((type == FieldType::kInt64 || type == FieldType::kSint64 ||
+                type == FieldType::kSfixed64) &&
+               rng->NextBool(0.25)) {
+        v = static_cast<uint64_t>(-static_cast<int64_t>(v));
+    }
+    return v;
+}
+
+namespace {
+
+std::string
+RandomStringValue(Rng *rng, uint32_t max_len)
+{
+    const uint64_t len = rng->NextBounded(max_len + 1);
+    std::string s(len, '\0');
+    for (auto &c : s)
+        c = static_cast<char>('a' + rng->NextBounded(26));
+    return s;
+}
+
+}  // namespace
+
+void
+PopulateRandomMessage(Message msg, Rng *rng, const MessageGenOptions &opts)
+{
+    for (const auto &f : msg.descriptor().fields()) {
+        if (!rng->NextBool(opts.field_present_prob))
+            continue;
+        if (f.repeated()) {
+            const uint64_t n =
+                1 + rng->NextBounded(opts.max_repeated_elems);
+            for (uint64_t i = 0; i < n; ++i) {
+                if (f.type == FieldType::kMessage) {
+                    PopulateRandomMessage(msg.AddRepeatedMessage(f), rng,
+                                          opts);
+                } else if (IsBytesLike(f.type)) {
+                    msg.AddRepeatedString(
+                        f, RandomStringValue(rng, opts.max_string_len));
+                } else {
+                    msg.AddRepeatedBits(
+                        f, RandomScalarBits(f.type, rng,
+                                            opts.small_varint_prob));
+                }
+            }
+            continue;
+        }
+        if (f.type == FieldType::kMessage) {
+            PopulateRandomMessage(msg.MutableMessage(f), rng, opts);
+        } else if (IsBytesLike(f.type)) {
+            msg.SetString(f, RandomStringValue(rng, opts.max_string_len));
+        } else {
+            msg.SetScalarBits(
+                f, RandomScalarBits(f.type, rng, opts.small_varint_prob));
+        }
+    }
+}
+
+}  // namespace protoacc::proto

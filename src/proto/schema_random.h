@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Random schema and message generation.
+ *
+ * Drives the property-based tests (round-trip, wire-compatibility,
+ * accelerator-vs-software equivalence over thousands of random schemas)
+ * and seeds the synthetic fleet model. All draws come from the
+ * deterministic Rng so failures reproduce from a seed.
+ */
+#ifndef PROTOACC_PROTO_SCHEMA_RANDOM_H
+#define PROTOACC_PROTO_SCHEMA_RANDOM_H
+
+#include "common/rng.h"
+#include "proto/message.h"
+
+namespace protoacc::proto {
+
+/// Knobs for random schema generation.
+struct SchemaGenOptions
+{
+    int min_fields = 1;
+    int max_fields = 12;
+    /// Maximum sub-message nesting below the root type.
+    int max_depth = 4;
+    /// Probability that a field is a sub-message (decays with depth).
+    double submessage_prob = 0.25;
+    double repeated_prob = 0.2;
+    /// Probability a repeated scalar field uses packed encoding.
+    double packed_prob = 0.5;
+    /// Maximum gap between consecutive field numbers (1 = contiguous).
+    uint32_t max_field_number_gap = 4;
+    /// Field numbers start in [1, max_start_number].
+    uint32_t max_start_number = 8;
+};
+
+/**
+ * Generate a random message type (with random sub-message types) into
+ * @p pool. The caller compiles the pool afterwards.
+ *
+ * @return the pool index of the generated root type.
+ */
+int GenerateRandomSchema(DescriptorPool *pool, Rng *rng,
+                         const SchemaGenOptions &opts,
+                         const std::string &name_prefix = "M");
+
+/// Knobs for random message population.
+struct MessageGenOptions
+{
+    double field_present_prob = 0.7;
+    uint32_t max_repeated_elems = 8;
+    uint32_t max_string_len = 64;
+    /// Probability a varint value is small (fits in 1-2 bytes).
+    double small_varint_prob = 0.6;
+};
+
+/// Populate @p msg (and sub-messages) with random values.
+void PopulateRandomMessage(Message msg, Rng *rng,
+                           const MessageGenOptions &opts);
+
+/// Random in-memory value (bit pattern) for a scalar field of @p type.
+uint64_t RandomScalarBits(FieldType type, Rng *rng,
+                          double small_varint_prob = 0.6);
+
+}  // namespace protoacc::proto
+
+#endif  // PROTOACC_PROTO_SCHEMA_RANDOM_H

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Software serialization (§2.2): the baseline the accelerator is compared
+ * against, and the wire-format oracle the accelerator model must match
+ * byte-for-byte.
+ *
+ * Serialization follows upstream protobuf's two-pass structure: a
+ * ByteSize pass computes and caches every (sub-)message's encoded size
+ * (the paper notes "virtually all calls to Byte Size occur during
+ * serialization"), then a forward pass writes tags and values
+ * low-to-high. Cost hooks report work to an optional CostSink so CPU
+ * models can price the same functional execution.
+ */
+#ifndef PROTOACC_PROTO_SERIALIZER_H
+#define PROTOACC_PROTO_SERIALIZER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/cost_sink.h"
+#include "proto/message.h"
+
+namespace protoacc::proto {
+
+/**
+ * Compute the encoded size of @p msg, caching sub-message sizes in each
+ * object's cached-size slot (required before SerializeToBuffer).
+ */
+size_t ByteSize(const Message &msg, CostSink *sink = nullptr);
+
+/**
+ * Serialize @p msg into @p buf (capacity @p cap). ByteSize() is run
+ * internally.
+ *
+ * @return bytes written, or 0 when @p cap is insufficient.
+ */
+size_t SerializeToBuffer(const Message &msg, uint8_t *buf, size_t cap,
+                         CostSink *sink = nullptr);
+
+/// Convenience wrapper returning a fresh buffer.
+std::vector<uint8_t> Serialize(const Message &msg,
+                               CostSink *sink = nullptr);
+
+/// Encoded size of one varint-typed scalar value of field type @p type
+/// holding @p bits (handles sign extension of int32/enum and zig-zag of
+/// sint{32,64} exactly as proto2 does).
+int VarintValueSize(FieldType type, uint64_t bits);
+
+/// Wire encoding of one varint-typed value; returns bytes written.
+int EncodeVarintValue(FieldType type, uint64_t bits, uint8_t *out);
+
+}  // namespace protoacc::proto
+
+#endif  // PROTOACC_PROTO_SERIALIZER_H

@@ -1,0 +1,394 @@
+#include "proto/text_format.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+namespace protoacc::proto {
+
+namespace {
+
+void
+AppendScalar(std::string &out, FieldType type, uint64_t bits)
+{
+    char buf[64];
+    switch (type) {
+      case FieldType::kDouble: {
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        std::snprintf(buf, sizeof(buf), "%g", v);
+        break;
+      }
+      case FieldType::kFloat: {
+        const uint32_t b32 = static_cast<uint32_t>(bits);
+        float v;
+        std::memcpy(&v, &b32, sizeof(v));
+        std::snprintf(buf, sizeof(buf), "%g", v);
+        break;
+      }
+      case FieldType::kInt32:
+      case FieldType::kSint32:
+      case FieldType::kSfixed32:
+      case FieldType::kEnum:
+        std::snprintf(buf, sizeof(buf), "%d",
+                      static_cast<int32_t>(bits));
+        break;
+      case FieldType::kInt64:
+      case FieldType::kSint64:
+      case FieldType::kSfixed64:
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(bits));
+        break;
+      case FieldType::kBool:
+        std::snprintf(buf, sizeof(buf), "%s",
+                      bits != 0 ? "true" : "false");
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(bits));
+        break;
+    }
+    out += buf;
+}
+
+void
+AppendString(std::string &out, std::string_view s)
+{
+    out += '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (c >= 0x20 && c < 0x7f) {
+            out += c;
+        } else {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\x%02x",
+                          static_cast<unsigned char>(c));
+            out += buf;
+        }
+    }
+    out += '"';
+}
+
+void
+AppendMessage(std::string &out, const Message &msg, int indent)
+{
+    const std::string pad(indent * 2, ' ');
+    for (const auto &f : msg.descriptor().fields()) {
+        if (f.repeated()) {
+            const uint32_t n = msg.RepeatedSize(f);
+            for (uint32_t i = 0; i < n; ++i) {
+                out += pad + f.name;
+                if (f.type == FieldType::kMessage) {
+                    out += " {\n";
+                    AppendMessage(out, msg.GetRepeatedMessage(f, i),
+                                  indent + 1);
+                    out += pad + "}\n";
+                } else if (IsBytesLike(f.type)) {
+                    out += ": ";
+                    AppendString(out, msg.GetRepeatedString(f, i));
+                    out += '\n';
+                } else {
+                    const uint32_t width = InMemorySize(f.type);
+                    uint64_t bits = 0;
+                    std::memcpy(&bits,
+                                msg.repeated_field(f)->at(i, width),
+                                width);
+                    out += ": ";
+                    AppendScalar(out, f.type, bits);
+                    out += '\n';
+                }
+            }
+            continue;
+        }
+        if (!msg.Has(f))
+            continue;
+        out += pad + f.name;
+        if (f.type == FieldType::kMessage) {
+            out += " {\n";
+            AppendMessage(out, msg.GetMessage(f), indent + 1);
+            out += pad + "}\n";
+        } else if (IsBytesLike(f.type)) {
+            out += ": ";
+            AppendString(out, msg.GetString(f));
+            out += '\n';
+        } else {
+            out += ": ";
+            AppendScalar(out, f.type, msg.GetScalarBits(f));
+            out += '\n';
+        }
+    }
+}
+
+}  // namespace
+
+std::string
+DebugString(const Message &msg)
+{
+    std::string out;
+    if (!msg.valid())
+        return out;
+    AppendMessage(out, msg, 0);
+    return out;
+}
+
+
+namespace {
+
+/// Minimal textproto cursor.
+class TextCursor
+{
+  public:
+    explicit TextCursor(std::string_view text) : text_(text) {}
+
+    void
+    SkipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '#') {  // textproto comments
+                while (pos_ < text_.size() && text_[pos_] != '\n')
+                    ++pos_;
+                continue;
+            }
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                return;
+            ++pos_;
+        }
+    }
+
+    bool at_end()
+    {
+        SkipWs();
+        return pos_ >= text_.size();
+    }
+
+    char
+    Peek()
+    {
+        SkipWs();
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    bool
+    Consume(char c)
+    {
+        if (Peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    std::string
+    Ident()
+    {
+        SkipWs();
+        std::string out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '_') {
+                out += c;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        return out;
+    }
+
+    /// Scalar literal token (number, true/false, enum name).
+    std::string
+    Scalar()
+    {
+        SkipWs();
+        std::string out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r' ||
+                c == '}' || c == '{' || c == '#') {
+                break;
+            }
+            out += c;
+            ++pos_;
+        }
+        return out;
+    }
+
+    bool
+    QuotedString(std::string *out)
+    {
+        if (!Consume('"'))
+            return false;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\' && pos_ < text_.size()) {
+                const char esc = text_[pos_++];
+                switch (esc) {
+                  case 'n': c = '\n'; break;
+                  case 't': c = '\t'; break;
+                  case 'r': c = '\r'; break;
+                  case 'x': {
+                    if (pos_ + 1 >= text_.size())
+                        return false;
+                    const char hex[3] = {text_[pos_], text_[pos_ + 1],
+                                         0};
+                    c = static_cast<char>(
+                        std::strtol(hex, nullptr, 16));
+                    pos_ += 2;
+                    break;
+                  }
+                  default: c = esc; break;
+                }
+            }
+            *out += c;
+        }
+        return pos_ < text_.size() && text_[pos_++] == '"';
+    }
+
+  private:
+    std::string_view text_;
+    size_t pos_ = 0;
+};
+
+bool
+TextFail(std::string *error, const std::string &message)
+{
+    if (error != nullptr && error->empty())
+        *error = message;
+    return false;
+}
+
+bool
+ScalarBitsFromText(FieldType type, const std::string &lit,
+                   uint64_t *bits)
+{
+    if (lit.empty())
+        return false;
+    switch (type) {
+      case FieldType::kBool:
+        if (lit == "true")
+            *bits = 1;
+        else if (lit == "false")
+            *bits = 0;
+        else
+            return false;
+        return true;
+      case FieldType::kFloat: {
+        char *end = nullptr;
+        const float v =
+            static_cast<float>(std::strtod(lit.c_str(), &end));
+        if (end == nullptr || *end != '\0')
+            return false;
+        uint32_t b;
+        std::memcpy(&b, &v, sizeof(v));
+        *bits = b;
+        return true;
+      }
+      case FieldType::kDouble: {
+        char *end = nullptr;
+        const double v = std::strtod(lit.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            return false;
+        std::memcpy(bits, &v, sizeof(v));
+        return true;
+      }
+      case FieldType::kUint32:
+      case FieldType::kUint64:
+      case FieldType::kFixed32:
+      case FieldType::kFixed64: {
+        char *end = nullptr;
+        *bits = std::strtoull(lit.c_str(), &end, 0);
+        if (end == nullptr || *end != '\0')
+            return false;  // trailing garbage
+        if (InMemorySize(type) == 4)
+            *bits = static_cast<uint32_t>(*bits);
+        return true;
+      }
+      default: {
+        char *end = nullptr;
+        const long long v = std::strtoll(lit.c_str(), &end, 0);
+        if (end == nullptr || *end != '\0')
+            return false;
+        *bits = static_cast<uint64_t>(v);
+        if (InMemorySize(type) == 4)
+            *bits = static_cast<uint32_t>(*bits);
+        return true;
+      }
+    }
+}
+
+bool ParseTextMessage(TextCursor &cur, Message msg, std::string *error,
+                      bool toplevel);
+
+bool
+ParseTextField(TextCursor &cur, Message &msg, const FieldDescriptor &f,
+               std::string *error)
+{
+    if (f.type == FieldType::kMessage) {
+        cur.Consume(':');  // optional before '{'
+        if (!cur.Consume('{'))
+            return TextFail(error, "expected '{' for field " + f.name);
+        Message sub = f.repeated() ? msg.AddRepeatedMessage(f)
+                                   : msg.MutableMessage(f);
+        return ParseTextMessage(cur, sub, error, /*toplevel=*/false);
+    }
+    if (!cur.Consume(':'))
+        return TextFail(error, "expected ':' after field " + f.name);
+    if (IsBytesLike(f.type)) {
+        std::string value;
+        if (!cur.QuotedString(&value))
+            return TextFail(error,
+                            "expected quoted string for " + f.name);
+        if (f.repeated())
+            msg.AddRepeatedString(f, value);
+        else
+            msg.SetString(f, value);
+        return true;
+    }
+    uint64_t bits = 0;
+    if (!ScalarBitsFromText(f.type, cur.Scalar(), &bits))
+        return TextFail(error, "bad scalar value for " + f.name);
+    if (f.repeated())
+        msg.AddRepeatedBits(f, bits);
+    else
+        msg.SetScalarBits(f, bits);
+    return true;
+}
+
+bool
+ParseTextMessage(TextCursor &cur, Message msg, std::string *error,
+                 bool toplevel)
+{
+    for (;;) {
+        if (toplevel ? cur.at_end() : cur.Consume('}'))
+            return true;
+        if (!toplevel && cur.at_end())
+            return TextFail(error, "unexpected end of input, missing '}'");
+        const std::string name = cur.Ident();
+        if (name.empty())
+            return TextFail(error, "expected a field name");
+        const FieldDescriptor *f =
+            msg.descriptor().FindFieldByName(name);
+        if (f == nullptr)
+            return TextFail(error, "unknown field '" + name + "'");
+        if (!ParseTextField(cur, msg, *f, error))
+            return false;
+    }
+}
+
+}  // namespace
+
+bool
+ParseTextFormat(std::string_view text, Message *msg, std::string *error)
+{
+    PA_CHECK(msg != nullptr && msg->valid());
+    if (error != nullptr)
+        error->clear();
+    TextCursor cur(text);
+    return ParseTextMessage(cur, *msg, error, /*toplevel=*/true);
+}
+
+}  // namespace protoacc::proto

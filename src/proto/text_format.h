@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Debug text rendering of messages (protobuf's DebugString analog).
+ */
+#ifndef PROTOACC_PROTO_TEXT_FORMAT_H
+#define PROTOACC_PROTO_TEXT_FORMAT_H
+
+#include <string>
+
+#include "proto/message.h"
+
+namespace protoacc::proto {
+
+/// Render @p msg as indented `name: value` text (set fields only).
+std::string DebugString(const Message &msg);
+
+/**
+ * Parse DebugString-style text (the textproto subset this library
+ * emits: `name: value` lines, `name { ... }` sub-messages, repeated
+ * fields as repeated entries, quoted strings with \xNN escapes) into
+ * @p msg, merging into already-set fields.
+ *
+ * @param[out] error human-readable message on failure (may be null).
+ * @return true on success.
+ */
+bool ParseTextFormat(std::string_view text, Message *msg,
+                     std::string *error = nullptr);
+
+}  // namespace protoacc::proto
+
+#endif  // PROTOACC_PROTO_TEXT_FORMAT_H

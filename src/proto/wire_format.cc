@@ -1,0 +1,113 @@
+#include "proto/wire_format.h"
+
+namespace protoacc::proto {
+
+const char *
+FieldTypeName(FieldType type)
+{
+    switch (type) {
+      case FieldType::kDouble: return "double";
+      case FieldType::kFloat: return "float";
+      case FieldType::kInt32: return "int32";
+      case FieldType::kInt64: return "int64";
+      case FieldType::kUint32: return "uint32";
+      case FieldType::kUint64: return "uint64";
+      case FieldType::kSint32: return "sint32";
+      case FieldType::kSint64: return "sint64";
+      case FieldType::kFixed32: return "fixed32";
+      case FieldType::kFixed64: return "fixed64";
+      case FieldType::kSfixed32: return "sfixed32";
+      case FieldType::kSfixed64: return "sfixed64";
+      case FieldType::kBool: return "bool";
+      case FieldType::kEnum: return "enum";
+      case FieldType::kString: return "string";
+      case FieldType::kBytes: return "bytes";
+      case FieldType::kMessage: return "message";
+    }
+    return "?";
+}
+
+WireType
+WireTypeForField(FieldType type)
+{
+    switch (type) {
+      case FieldType::kInt32:
+      case FieldType::kInt64:
+      case FieldType::kUint32:
+      case FieldType::kUint64:
+      case FieldType::kSint32:
+      case FieldType::kSint64:
+      case FieldType::kBool:
+      case FieldType::kEnum:
+        return WireType::kVarint;
+      case FieldType::kDouble:
+      case FieldType::kFixed64:
+      case FieldType::kSfixed64:
+        return WireType::kFixed64;
+      case FieldType::kFloat:
+      case FieldType::kFixed32:
+      case FieldType::kSfixed32:
+        return WireType::kFixed32;
+      case FieldType::kString:
+      case FieldType::kBytes:
+      case FieldType::kMessage:
+        return WireType::kLengthDelimited;
+    }
+    PA_CHECK(false);
+}
+
+bool
+IsVarintType(FieldType type)
+{
+    return WireTypeForField(type) == WireType::kVarint;
+}
+
+bool
+IsBytesLike(FieldType type)
+{
+    return type == FieldType::kString || type == FieldType::kBytes;
+}
+
+bool
+IsFixedType(FieldType type)
+{
+    const WireType wt = WireTypeForField(type);
+    return wt == WireType::kFixed32 || wt == WireType::kFixed64;
+}
+
+bool
+IsZigZagType(FieldType type)
+{
+    return type == FieldType::kSint32 || type == FieldType::kSint64;
+}
+
+uint32_t
+InMemorySize(FieldType type)
+{
+    switch (type) {
+      case FieldType::kBool:
+        return 1;
+      case FieldType::kInt32:
+      case FieldType::kUint32:
+      case FieldType::kSint32:
+      case FieldType::kFixed32:
+      case FieldType::kSfixed32:
+      case FieldType::kFloat:
+      case FieldType::kEnum:
+        return 4;
+      case FieldType::kInt64:
+      case FieldType::kUint64:
+      case FieldType::kSint64:
+      case FieldType::kFixed64:
+      case FieldType::kSfixed64:
+      case FieldType::kDouble:
+        return 8;
+      case FieldType::kString:
+      case FieldType::kBytes:
+      case FieldType::kMessage:
+        return sizeof(void *);
+    }
+    PA_CHECK(false);
+}
+
+}  // namespace protoacc::proto

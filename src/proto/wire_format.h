@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Proto2 wire-format primitives (§2.1.2 of the paper).
+ *
+ * Implements varint encode/decode, zig-zag transforms, field tags
+ * (key = field_number << 3 | wire_type) and little-endian fixed-width
+ * copies. These free functions are shared by the software codec
+ * (src/proto/serializer.cc, parser.cc) and the accelerator model's
+ * combinational varint unit (src/accel/varint_unit.h), guaranteeing both
+ * paths agree on the byte-level format.
+ */
+#ifndef PROTOACC_PROTO_WIRE_FORMAT_H
+#define PROTOACC_PROTO_WIRE_FORMAT_H
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace protoacc::proto {
+
+/// Scalar and composite field types of the proto2 language (Table 1).
+enum class FieldType : uint8_t {
+    kDouble,
+    kFloat,
+    kInt32,
+    kInt64,
+    kUint32,
+    kUint64,
+    kSint32,
+    kSint64,
+    kFixed32,
+    kFixed64,
+    kSfixed32,
+    kSfixed64,
+    kBool,
+    kEnum,
+    kString,
+    kBytes,
+    kMessage,
+};
+
+/// Number of distinct FieldType values.
+inline constexpr int kNumFieldTypes = 17;
+
+/// Human-readable name of a field type (matches .proto spelling).
+const char *FieldTypeName(FieldType type);
+
+/// The three-bit wire types of the proto2 encoding. Groups are
+/// deprecated upstream and unsupported here (as in the paper).
+enum class WireType : uint8_t {
+    kVarint = 0,
+    kFixed64 = 1,
+    kLengthDelimited = 2,
+    kStartGroup = 3,
+    kEndGroup = 4,
+    kFixed32 = 5,
+};
+
+/// Maximum encoded size of a 64-bit varint.
+inline constexpr int kMaxVarintBytes = 10;
+
+/// Largest field number permitted by the proto2 spec (2^29 - 1).
+inline constexpr uint32_t kMaxFieldNumber = (1u << 29) - 1;
+
+/// Wire type used for a non-packed field of @p type.
+WireType WireTypeForField(FieldType type);
+
+/// True for the varint-encoded scalar types ({s,u}int{32,64}, int{32,64},
+/// enum, bool) -- the "varint-like" class of Table 1.
+bool IsVarintType(FieldType type);
+
+/// True for string/bytes (the "bytes-like" class of Table 1).
+bool IsBytesLike(FieldType type);
+
+/// True for types encoded as fixed 32- or 64-bit little-endian values.
+bool IsFixedType(FieldType type);
+
+/// True for the zig-zag-transformed types sint32/sint64.
+bool IsZigZagType(FieldType type);
+
+/// Width in bytes of the in-memory C++ scalar for @p type (pointer-sized
+/// for string/bytes/message).
+uint32_t InMemorySize(FieldType type);
+
+/// Build a wire-format tag from field number and wire type.
+inline uint32_t
+MakeTag(uint32_t field_number, WireType wire_type)
+{
+    return (field_number << 3) | static_cast<uint32_t>(wire_type);
+}
+
+inline uint32_t
+TagFieldNumber(uint64_t tag)
+{
+    return static_cast<uint32_t>(tag >> 3);
+}
+
+inline WireType
+TagWireType(uint64_t tag)
+{
+    return static_cast<WireType>(tag & 0x7);
+}
+
+/// Encoded size in bytes of @p value as a varint (1..10).
+inline int
+VarintSize(uint64_t value)
+{
+    // Each output byte carries 7 payload bits.
+    return value == 0 ? 1 : static_cast<int>(CeilDiv(SignificantBits(value), 7));
+}
+
+/**
+ * Encode @p value as a varint into @p out (which must have room for
+ * kMaxVarintBytes).
+ *
+ * @return the number of bytes written.
+ */
+inline int
+EncodeVarint(uint64_t value, uint8_t *out)
+{
+    int n = 0;
+    while (value >= 0x80) {
+        out[n++] = static_cast<uint8_t>(value) | 0x80;
+        value >>= 7;
+    }
+    out[n++] = static_cast<uint8_t>(value);
+    return n;
+}
+
+/**
+ * Decode a varint from [@p p, @p end).
+ *
+ * @param[out] value the decoded 64-bit value.
+ * @return the number of bytes consumed, or 0 on malformed/truncated input.
+ */
+inline int
+DecodeVarint(const uint8_t *p, const uint8_t *end, uint64_t *value)
+{
+    uint64_t result = 0;
+    int shift = 0;
+    for (int i = 0; i < kMaxVarintBytes && p + i < end; ++i) {
+        const uint8_t byte = p[i];
+        result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0) {
+            *value = result;
+            return i + 1;
+        }
+        shift += 7;
+    }
+    return 0;
+}
+
+/// Zig-zag encode a signed 32-bit value (sint32).
+inline uint32_t
+ZigZagEncode32(int32_t v)
+{
+    return (static_cast<uint32_t>(v) << 1) ^ static_cast<uint32_t>(v >> 31);
+}
+
+inline int32_t
+ZigZagDecode32(uint32_t v)
+{
+    return static_cast<int32_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// Zig-zag encode a signed 64-bit value (sint64).
+inline uint64_t
+ZigZagEncode64(int64_t v)
+{
+    return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t
+ZigZagDecode64(uint64_t v)
+{
+    return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// Little-endian fixed-width stores/loads (proto2 fixed fields).
+inline void
+StoreFixed32(uint32_t v, uint8_t *out)
+{
+    std::memcpy(out, &v, sizeof(v));
+}
+
+inline void
+StoreFixed64(uint64_t v, uint8_t *out)
+{
+    std::memcpy(out, &v, sizeof(v));
+}
+
+inline uint32_t
+LoadFixed32(const uint8_t *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+inline uint64_t
+LoadFixed64(const uint8_t *p)
+{
+    uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+}  // namespace protoacc::proto
+
+#endif  // PROTOACC_PROTO_WIRE_FORMAT_H

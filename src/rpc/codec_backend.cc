@@ -1,0 +1,50 @@
+#include "rpc/codec_backend.h"
+
+namespace protoacc::rpc {
+
+AcceleratedBackend::AcceleratedBackend(const proto::DescriptorPool &pool,
+                                       const accel::AccelConfig &config)
+    : pool_(pool),
+      config_(config),
+      memory_(sim::MemorySystemConfig{}),
+      device_(&memory_, config),
+      adts_(pool, &adt_arena_),
+      ser_arena_(16 << 20)
+{
+    device_.DeserAssignArena(&deser_arena_);
+    device_.SerAssignArena(&ser_arena_);
+}
+
+std::vector<uint8_t>
+AcceleratedBackend::Serialize(const proto::Message &msg)
+{
+    if (ser_arena_.bytes_used() > ser_arena_.capacity() / 2) {
+        // Applications recycle ser arenas between batches (§4.3); the
+        // backend does so when the region fills.
+        ser_arena_.Reset();
+    }
+    device_.EnqueueSer(accel::MakeSerJob(
+        adts_, msg.descriptor().pool_index(), pool_, msg.raw()));
+    uint64_t cycles = 0;
+    PA_CHECK(device_.BlockForSerCompletion(&cycles) ==
+             accel::AccelStatus::kOk);
+    cycles_ += cycles;
+    const auto &out = ser_arena_.output(ser_arena_.output_count() - 1);
+    return std::vector<uint8_t>(out.data, out.data + out.size);
+}
+
+bool
+AcceleratedBackend::Deserialize(const uint8_t *data, size_t size,
+                                proto::Message *msg)
+{
+    device_.EnqueueDeser(accel::MakeDeserJob(
+        adts_, msg->descriptor().pool_index(), pool_, msg->raw(), data,
+        size));
+    uint64_t cycles = 0;
+    const accel::AccelStatus st =
+        device_.BlockForDeserCompletion(&cycles);
+    cycles_ += cycles;
+    return st == accel::AccelStatus::kOk;
+}
+
+}  // namespace protoacc::rpc

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Pluggable serialization backends for the RPC substrate.
+ *
+ * A CodecBackend turns Message objects into wire bytes and back while
+ * accounting modeled time — either on a CPU cost model (the software
+ * protobuf library on riscv-boom / Xeon) or on the protobuf
+ * accelerator. Swapping the backend is the experiment of the paper:
+ * same application, same RPC framing, different serialization engine.
+ */
+#ifndef PROTOACC_RPC_CODEC_BACKEND_H
+#define PROTOACC_RPC_CODEC_BACKEND_H
+
+#include <memory>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "cpu/cpu_model.h"
+#include "proto/parser.h"
+#include "proto/serializer.h"
+
+namespace protoacc::rpc {
+
+/**
+ * Abstract serialization engine with cycle accounting.
+ */
+class CodecBackend
+{
+  public:
+    virtual ~CodecBackend() = default;
+
+    /// Serialize @p msg; returns the wire bytes.
+    virtual std::vector<uint8_t> Serialize(const proto::Message &msg) = 0;
+
+    /// Parse @p size bytes at @p data into @p msg; false on error.
+    virtual bool Deserialize(const uint8_t *data, size_t size,
+                             proto::Message *msg) = 0;
+
+    /// Modeled cycles spent in serialization/deserialization so far.
+    virtual double codec_cycles() const = 0;
+
+    /// Clock for converting cycles to time.
+    virtual double freq_ghz() const = 0;
+
+    virtual const char *name() const = 0;
+};
+
+/// Software codec on a CPU cost model.
+class SoftwareBackend : public CodecBackend
+{
+  public:
+    explicit SoftwareBackend(const cpu::CpuParams &params)
+        : model_(params)
+    {}
+
+    std::vector<uint8_t>
+    Serialize(const proto::Message &msg) override
+    {
+        return proto::Serialize(msg, &model_);
+    }
+
+    bool
+    Deserialize(const uint8_t *data, size_t size,
+                proto::Message *msg) override
+    {
+        return proto::ParseFromBuffer(data, size, msg, &model_) ==
+               proto::ParseStatus::kOk;
+    }
+
+    double codec_cycles() const override { return model_.cycles(); }
+    double freq_ghz() const override
+    {
+        return model_.params().freq_ghz;
+    }
+    const char *name() const override
+    {
+        return model_.params().name.c_str();
+    }
+
+  private:
+    cpu::CpuCostModel model_;
+};
+
+/// The accelerator as a codec engine (one device per endpoint).
+class AcceleratedBackend : public CodecBackend
+{
+  public:
+    AcceleratedBackend(const proto::DescriptorPool &pool,
+                       const accel::AccelConfig &config = {});
+
+    std::vector<uint8_t> Serialize(const proto::Message &msg) override;
+    bool Deserialize(const uint8_t *data, size_t size,
+                     proto::Message *msg) override;
+
+    double codec_cycles() const override
+    {
+        return static_cast<double>(cycles_);
+    }
+    double freq_ghz() const override { return config_.freq_ghz; }
+    const char *name() const override { return "riscv-boom-accel"; }
+
+  private:
+    const proto::DescriptorPool &pool_;
+    accel::AccelConfig config_;
+    sim::MemorySystem memory_;
+    accel::ProtoAccelerator device_;
+    proto::Arena adt_arena_;
+    accel::AdtBuilder adts_;
+    proto::Arena deser_arena_;
+    accel::SerArena ser_arena_;
+    uint64_t cycles_ = 0;
+};
+
+}  // namespace protoacc::rpc
+
+#endif  // PROTOACC_RPC_CODEC_BACKEND_H

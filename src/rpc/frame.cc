@@ -1,0 +1,44 @@
+#include "rpc/frame.h"
+
+#include <cstring>
+
+namespace protoacc::rpc {
+
+size_t
+FrameBuffer::Append(const FrameHeader &header, const uint8_t *payload)
+{
+    const size_t start = bytes_.size();
+    bytes_.resize(start + FrameHeader::kWireBytes +
+                  header.payload_bytes);
+    uint8_t *p = bytes_.data() + start;
+    std::memcpy(p, &header.payload_bytes, 4);
+    std::memcpy(p + 4, &header.call_id, 4);
+    std::memcpy(p + 8, &header.method_id, 2);
+    p[10] = static_cast<uint8_t>(header.kind);
+    if (header.payload_bytes > 0)
+        std::memcpy(p + FrameHeader::kWireBytes, payload,
+                    header.payload_bytes);
+    return FrameHeader::kWireBytes + header.payload_bytes;
+}
+
+std::optional<Frame>
+FrameBuffer::Next(size_t *offset) const
+{
+    if (*offset + FrameHeader::kWireBytes > bytes_.size())
+        return std::nullopt;
+    Frame frame;
+    const uint8_t *p = bytes_.data() + *offset;
+    std::memcpy(&frame.header.payload_bytes, p, 4);
+    std::memcpy(&frame.header.call_id, p + 4, 4);
+    std::memcpy(&frame.header.method_id, p + 8, 2);
+    frame.header.kind = static_cast<FrameKind>(p[10]);
+    if (*offset + FrameHeader::kWireBytes + frame.header.payload_bytes >
+        bytes_.size()) {
+        return std::nullopt;  // truncated
+    }
+    frame.payload = p + FrameHeader::kWireBytes;
+    *offset += FrameHeader::kWireBytes + frame.header.payload_bytes;
+    return frame;
+}
+
+}  // namespace protoacc::rpc

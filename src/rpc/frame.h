@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Wire framing for the RPC substrate.
+ *
+ * The paper's introduction motivates serialization through RPC: "the
+ * remote callee cannot directly access the caller's memory space...
+ * exchanged data must undergo conversion to and from a shared
+ * interchange format". This module provides the byte-stream layer under
+ * the protobuf payloads: length-prefixed frames with a small fixed
+ * header (call id, method id, frame kind), written into and scanned out
+ * of transport buffers.
+ */
+#ifndef PROTOACC_RPC_FRAME_H
+#define PROTOACC_RPC_FRAME_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace protoacc::rpc {
+
+/// Frame kinds carried on a channel.
+enum class FrameKind : uint8_t {
+    kRequest = 0,
+    kResponse = 1,
+    kError = 2,
+};
+
+/// Fixed-size frame header preceding each protobuf payload.
+struct FrameHeader
+{
+    uint32_t payload_bytes = 0;
+    uint32_t call_id = 0;
+    uint16_t method_id = 0;
+    FrameKind kind = FrameKind::kRequest;
+
+    static constexpr size_t kWireBytes = 4 + 4 + 2 + 1;
+};
+
+/// One decoded frame: header plus a view into the transport buffer.
+struct Frame
+{
+    FrameHeader header;
+    const uint8_t *payload = nullptr;
+};
+
+/**
+ * Append-only frame buffer (one direction of a connection).
+ */
+class FrameBuffer
+{
+  public:
+    /// Append a frame; returns the total bytes added to the stream.
+    size_t Append(const FrameHeader &header, const uint8_t *payload);
+
+    /// Scan the next frame starting at @p offset; nullopt when the
+    /// stream is exhausted or the remainder is malformed/truncated.
+    std::optional<Frame> Next(size_t *offset) const;
+
+    size_t bytes() const { return bytes_.size(); }
+    const uint8_t *data() const { return bytes_.data(); }
+    void clear() { bytes_.clear(); }
+
+  private:
+    std::vector<uint8_t> bytes_;
+};
+
+}  // namespace protoacc::rpc
+
+#endif  // PROTOACC_RPC_FRAME_H

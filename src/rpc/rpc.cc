@@ -1,0 +1,105 @@
+#include "rpc/rpc.h"
+
+namespace protoacc::rpc {
+
+namespace {
+
+double
+CyclesToNs(double cycles, double freq_ghz)
+{
+    return cycles / freq_ghz;
+}
+
+}  // namespace
+
+bool
+RpcServer::HandleFrame(const Frame &frame, FrameBuffer *reply)
+{
+    auto it = methods_.find(frame.header.method_id);
+    FrameHeader out_header;
+    out_header.call_id = frame.header.call_id;
+    out_header.method_id = frame.header.method_id;
+    if (it == methods_.end()) {
+        out_header.kind = FrameKind::kError;
+        out_header.payload_bytes = 0;
+        reply->Append(out_header, nullptr);
+        return false;
+    }
+    const Method &method = it->second;
+
+    proto::Message request =
+        proto::Message::Create(&arena_, *pool_, method.request_type);
+    if (!backend_->Deserialize(frame.payload,
+                               frame.header.payload_bytes, &request)) {
+        out_header.kind = FrameKind::kError;
+        out_header.payload_bytes = 0;
+        reply->Append(out_header, nullptr);
+        return false;
+    }
+
+    proto::Message response =
+        proto::Message::Create(&arena_, *pool_, method.response_type);
+    method.handler(request, response);
+
+    const std::vector<uint8_t> payload = backend_->Serialize(response);
+    out_header.kind = FrameKind::kResponse;
+    out_header.payload_bytes = static_cast<uint32_t>(payload.size());
+    reply->Append(out_header, payload.data());
+    return true;
+}
+
+bool
+RpcSession::Call(uint16_t method_id, const proto::Message &request,
+                 proto::Message *response)
+{
+    ++breakdown_.calls;
+
+    // Client serializes the request.
+    const double client_before = backend_->codec_cycles();
+    const std::vector<uint8_t> payload = backend_->Serialize(request);
+    breakdown_.client_codec_ns +=
+        CyclesToNs(backend_->codec_cycles() - client_before,
+                   backend_->freq_ghz());
+
+    FrameBuffer to_server;
+    FrameHeader header;
+    header.call_id = next_call_id_++;
+    header.method_id = method_id;
+    header.kind = FrameKind::kRequest;
+    header.payload_bytes = static_cast<uint32_t>(payload.size());
+    to_server.Append(header, payload.data());
+    breakdown_.network_ns += channel_.TransferNs(to_server.bytes());
+
+    // Server handles the frame.
+    size_t offset = 0;
+    const std::optional<Frame> frame = to_server.Next(&offset);
+    PA_CHECK(frame.has_value());
+    FrameBuffer to_client;
+    const double server_before = server_->backend().codec_cycles();
+    const bool handled = server_->HandleFrame(*frame, &to_client);
+    breakdown_.server_codec_ns +=
+        CyclesToNs(server_->backend().codec_cycles() - server_before,
+                   server_->backend().freq_ghz());
+    breakdown_.network_ns += channel_.TransferNs(to_client.bytes());
+    if (!handled) {
+        ++breakdown_.failures;
+        return false;
+    }
+
+    // Client deserializes the response.
+    size_t reply_offset = 0;
+    const std::optional<Frame> reply = to_client.Next(&reply_offset);
+    PA_CHECK(reply.has_value());
+    PA_CHECK_EQ(reply->header.call_id, header.call_id);
+    const double deser_before = backend_->codec_cycles();
+    const bool ok = backend_->Deserialize(
+        reply->payload, reply->header.payload_bytes, response);
+    breakdown_.client_codec_ns +=
+        CyclesToNs(backend_->codec_cycles() - deser_before,
+                   backend_->freq_ghz());
+    if (!ok)
+        ++breakdown_.failures;
+    return ok;
+}
+
+}  // namespace protoacc::rpc

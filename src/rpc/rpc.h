@@ -1,0 +1,149 @@
+/**
+ * @file
+ * A minimal protobuf-RPC substrate: method registry, client/server
+ * endpoints with pluggable codec backends, and a simulated network
+ * channel — enough to measure, end to end, how much of an RPC's time
+ * is serialization (the "datacenter tax" the paper attacks) and what
+ * accelerating it buys.
+ */
+#ifndef PROTOACC_RPC_RPC_H
+#define PROTOACC_RPC_RPC_H
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "rpc/codec_backend.h"
+#include "rpc/frame.h"
+
+namespace protoacc::rpc {
+
+/**
+ * Simulated network: fixed one-way latency plus bandwidth-limited
+ * transfer. Times are nanoseconds so endpoints at different clocks
+ * compose.
+ */
+struct SimulatedChannel
+{
+    double latency_ns = 10'000;      ///< ~10 µs datacenter RTT/2
+    double bytes_per_ns = 12.5;      ///< ~100 Gbit/s
+
+    double
+    TransferNs(size_t bytes) const
+    {
+        return latency_ns + static_cast<double>(bytes) / bytes_per_ns;
+    }
+};
+
+/// A method's application logic.
+using Handler =
+    std::function<void(const proto::Message &request,
+                       proto::Message response)>;
+
+/**
+ * Server endpoint: methods keyed by id, each with request/response
+ * message types and a handler. Owns its codec backend.
+ */
+class RpcServer
+{
+  public:
+    RpcServer(const proto::DescriptorPool *pool,
+              std::unique_ptr<CodecBackend> backend)
+        : pool_(pool), backend_(std::move(backend))
+    {}
+
+    void
+    RegisterMethod(uint16_t method_id, int request_type,
+                   int response_type, Handler handler)
+    {
+        methods_[method_id] =
+            Method{request_type, response_type, std::move(handler)};
+    }
+
+    /**
+     * Handle one request frame: deserialize, run the handler,
+     * serialize the response into @p reply.
+     *
+     * @return false on decode error or unknown method (an error frame
+     *         is appended instead).
+     */
+    bool HandleFrame(const Frame &frame, FrameBuffer *reply);
+
+    const CodecBackend &backend() const { return *backend_; }
+
+  private:
+    struct Method
+    {
+        int request_type;
+        int response_type;
+        Handler handler;
+    };
+
+    const proto::DescriptorPool *pool_;
+    std::unique_ptr<CodecBackend> backend_;
+    std::map<uint16_t, Method> methods_;
+    proto::Arena arena_;
+};
+
+/// Per-session modeled time breakdown.
+struct RpcTimeBreakdown
+{
+    double client_codec_ns = 0;
+    double server_codec_ns = 0;
+    double network_ns = 0;
+    uint64_t calls = 0;
+    uint64_t failures = 0;
+
+    double
+    total_ns() const
+    {
+        return client_codec_ns + server_codec_ns + network_ns;
+    }
+    double
+    codec_share() const
+    {
+        const double total = total_ns();
+        return total == 0
+                   ? 0
+                   : (client_codec_ns + server_codec_ns) / total;
+    }
+};
+
+/**
+ * A client session bound to one server over one channel. Call()
+ * performs the full round trip and accumulates the time breakdown.
+ */
+class RpcSession
+{
+  public:
+    RpcSession(const proto::DescriptorPool *pool,
+               std::unique_ptr<CodecBackend> client_backend,
+               RpcServer *server, SimulatedChannel channel)
+        : pool_(pool),
+          backend_(std::move(client_backend)),
+          server_(server),
+          channel_(channel)
+    {}
+
+    /**
+     * Issue one call: serialize @p request, ship it, let the server
+     * handle it, ship the response back, deserialize into @p response.
+     */
+    bool Call(uint16_t method_id, const proto::Message &request,
+              proto::Message *response);
+
+    const RpcTimeBreakdown &breakdown() const { return breakdown_; }
+    const CodecBackend &backend() const { return *backend_; }
+
+  private:
+    const proto::DescriptorPool *pool_;
+    std::unique_ptr<CodecBackend> backend_;
+    RpcServer *server_;
+    SimulatedChannel channel_;
+    RpcTimeBreakdown breakdown_;
+    uint32_t next_call_id_ = 1;
+};
+
+}  // namespace protoacc::rpc
+
+#endif  // PROTOACC_RPC_RPC_H

@@ -1,0 +1,74 @@
+#include "sim/cache.h"
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace protoacc::sim {
+
+Cache::Cache(const CacheConfig &config) : config_(config)
+{
+    PA_CHECK(IsPow2(config.line_bytes));
+    PA_CHECK_GE(config.ways, 1u);
+    const uint64_t lines = config.size_bytes / config.line_bytes;
+    PA_CHECK_GE(lines, config.ways);
+    num_sets_ = static_cast<uint32_t>(lines / config.ways);
+    PA_CHECK(IsPow2(num_sets_));
+    lines_.resize(num_sets_ * config.ways);
+}
+
+bool
+Cache::Access(uint64_t addr, bool is_write)
+{
+    ++tick_;
+    const uint64_t line = line_addr(addr);
+    const uint32_t set = static_cast<uint32_t>(line % num_sets_);
+    const uint64_t tag = line / num_sets_;
+    Line *begin = &lines_[static_cast<size_t>(set) * config_.ways];
+
+    Line *victim = begin;
+    for (uint32_t w = 0; w < config_.ways; ++w) {
+        Line &entry = begin[w];
+        if (entry.valid && entry.tag == tag) {
+            entry.lru = tick_;
+            entry.dirty |= is_write;
+            ++stats_.hits;
+            return true;
+        }
+        if (!entry.valid) {
+            victim = &entry;
+        } else if (victim->valid && entry.lru < victim->lru) {
+            victim = &entry;
+        }
+    }
+    ++stats_.misses;
+    if (victim->valid && victim->dirty)
+        ++stats_.writebacks;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = is_write;
+    victim->lru = tick_;
+    return false;
+}
+
+bool
+Cache::Contains(uint64_t addr) const
+{
+    const uint64_t line = line_addr(addr);
+    const uint32_t set = static_cast<uint32_t>(line % num_sets_);
+    const uint64_t tag = line / num_sets_;
+    const Line *begin = &lines_[static_cast<size_t>(set) * config_.ways];
+    for (uint32_t w = 0; w < config_.ways; ++w) {
+        if (begin[w].valid && begin[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::Flush()
+{
+    for (auto &line : lines_)
+        line = Line{};
+}
+
+}  // namespace protoacc::sim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Memory-interface wrapper used by accelerator units (§4.1, Figures 9
+ * and 10: "Mem Interface Wrappers").
+ *
+ * A Port owns a TLB, charges translation latency, forwards to the
+ * shared MemorySystem, and tracks per-unit traffic statistics. Host
+ * pointers stand in for virtual addresses — the functional data path
+ * reads and writes real memory while the Port prices the traffic.
+ */
+#ifndef PROTOACC_SIM_PORT_H
+#define PROTOACC_SIM_PORT_H
+
+#include <cstdint>
+#include <string>
+
+#include "sim/memory_system.h"
+
+namespace protoacc::sim {
+
+/// Per-port traffic counters.
+struct PortStats
+{
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t read_bytes = 0;
+    uint64_t write_bytes = 0;
+    uint64_t total_latency = 0;
+};
+
+/**
+ * One memory-interface wrapper. Multiple ports share one MemorySystem
+ * (the accelerator units all sit behind the same L2, Figure 8).
+ */
+class Port
+{
+  public:
+    Port(std::string name, MemorySystem *memory, const TlbConfig &tlb_cfg)
+        : name_(std::move(name)), memory_(memory), tlb_(tlb_cfg)
+    {}
+
+    /// Latency in cycles to read @p size bytes at host address @p p.
+    uint64_t
+    Read(const void *p, uint64_t size)
+    {
+        const uint64_t addr = reinterpret_cast<uint64_t>(p);
+        const uint64_t lat =
+            tlb_.Access(addr) + memory_->ReadLatency(addr, size);
+        ++stats_.reads;
+        stats_.read_bytes += size;
+        stats_.total_latency += lat;
+        return lat;
+    }
+
+    /// Latency in cycles to write @p size bytes at host address @p p.
+    uint64_t
+    Write(const void *p, uint64_t size)
+    {
+        const uint64_t addr = reinterpret_cast<uint64_t>(p);
+        const uint64_t lat =
+            tlb_.Access(addr) + memory_->WriteLatency(addr, size);
+        ++stats_.writes;
+        stats_.write_bytes += size;
+        stats_.total_latency += lat;
+        return lat;
+    }
+
+    const std::string &name() const { return name_; }
+    const PortStats &stats() const { return stats_; }
+    const Tlb &tlb() const { return tlb_; }
+    void
+    ResetStats()
+    {
+        stats_ = PortStats{};
+        tlb_.ResetStats();
+    }
+
+  private:
+    std::string name_;
+    MemorySystem *memory_;
+    Tlb tlb_;
+    PortStats stats_;
+};
+
+}  // namespace protoacc::sim
+
+#endif  // PROTOACC_SIM_PORT_H

@@ -1,0 +1,45 @@
+#include "sim/tlb.h"
+
+#include "common/check.h"
+
+namespace protoacc::sim {
+
+Tlb::Tlb(const TlbConfig &config) : config_(config)
+{
+    PA_CHECK_GE(config.entries, 1u);
+    entries_.resize(config.entries);
+}
+
+uint32_t
+Tlb::Access(uint64_t addr)
+{
+    ++tick_;
+    const uint64_t vpn = addr / config_.page_bytes;
+    Entry *victim = &entries_[0];
+    for (auto &entry : entries_) {
+        if (entry.valid && entry.vpn == vpn) {
+            entry.lru = tick_;
+            ++stats_.hits;
+            return 0;
+        }
+        if (!entry.valid) {
+            victim = &entry;
+        } else if (victim->valid && entry.lru < victim->lru) {
+            victim = &entry;
+        }
+    }
+    ++stats_.misses;
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->lru = tick_;
+    return config_.walk_latency;
+}
+
+void
+Tlb::Flush()
+{
+    for (auto &entry : entries_)
+        entry = Entry{};
+}
+
+}  // namespace protoacc::sim

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "accel/accel_arena.h"
+
+namespace protoacc::accel {
+namespace {
+
+TEST(SerArena, HeadStartsAtCapacityAndDescends)
+{
+    SerArena arena(1024);
+    EXPECT_EQ(arena.capacity(), 1024u);
+    EXPECT_EQ(arena.head(), 1024u);
+    EXPECT_EQ(arena.bytes_used(), 0u);
+    arena.set_head(1000);
+    EXPECT_EQ(arena.bytes_used(), 24u);
+}
+
+TEST(SerArena, OutputPointersRecordInOrder)
+{
+    SerArena arena(256);
+    // Simulate two serializations written high->low (§4.5.1).
+    arena.set_head(200);
+    arena.PushOutputPointer(200, 56);
+    arena.set_head(150);
+    arena.PushOutputPointer(150, 50);
+
+    ASSERT_EQ(arena.output_count(), 2u);
+    EXPECT_EQ(arena.output(0).size, 56u);
+    EXPECT_EQ(arena.output(1).size, 50u);
+    // Later outputs live at lower addresses.
+    EXPECT_GT(arena.output(0).data, arena.output(1).data);
+    EXPECT_EQ(arena.output(0).data, arena.buffer_base() + 200);
+}
+
+TEST(SerArena, ResetReclaimsEverything)
+{
+    SerArena arena(128);
+    arena.set_head(64);
+    arena.PushOutputPointer(64, 64);
+    arena.Reset();
+    EXPECT_EQ(arena.head(), 128u);
+    EXPECT_EQ(arena.output_count(), 0u);
+    EXPECT_EQ(arena.bytes_used(), 0u);
+}
+
+TEST(SerArena, AtGivesStableAddresses)
+{
+    SerArena arena(64);
+    uint8_t *p = arena.at(10);
+    *p = 0xab;
+    EXPECT_EQ(*(arena.buffer_base() + 10), 0xab);
+}
+
+}  // namespace
+}  // namespace protoacc::accel

@@ -1,0 +1,129 @@
+/**
+ * Robustness tests for the accelerator model: arbitrary garbage and
+ * truncated inputs must be rejected gracefully (a hardware unit cannot
+ * crash the machine on bad input — it raises an error status), and the
+ * accelerator's accept/reject decision must agree with the software
+ * parser's.
+ */
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.h"
+#include "proto/parser.h"
+#include "proto/schema_random.h"
+#include "proto/serializer.h"
+
+namespace protoacc::accel {
+namespace {
+
+using proto::Arena;
+using proto::DescriptorPool;
+using proto::Message;
+
+struct FuzzRig
+{
+    explicit FuzzRig(uint64_t seed)
+        : memory(sim::MemorySystemConfig{}), accel(&memory, AccelConfig{})
+    {
+        protoacc::Rng rng(seed);
+        proto::SchemaGenOptions opts;
+        opts.max_depth = 2;
+        root = proto::GenerateRandomSchema(&pool, &rng, opts);
+        pool.Compile(proto::HasbitsMode::kSparse);
+        adts = std::make_unique<AdtBuilder>(pool, &adt_arena);
+        accel.DeserAssignArena(&accel_arena);
+    }
+
+    AccelStatus
+    Deser(const uint8_t *data, size_t size)
+    {
+        Arena dest_arena;
+        Message dest = Message::Create(&dest_arena, pool, root);
+        accel.EnqueueDeser(MakeDeserJob(*adts, root, pool, dest.raw(),
+                                        data, size));
+        uint64_t cycles = 0;
+        return accel.BlockForDeserCompletion(&cycles);
+    }
+
+    DescriptorPool pool;
+    int root = -1;
+    Arena adt_arena;
+    Arena accel_arena;
+    sim::MemorySystem memory;
+    ProtoAccelerator accel;
+    std::unique_ptr<AdtBuilder> adts;
+};
+
+TEST(AccelFuzz, RandomBytesNeverCrashTheDeserializer)
+{
+    FuzzRig rig(4242);
+    protoacc::Rng rng(1);
+    for (int trial = 0; trial < 400; ++trial) {
+        const size_t len = rng.NextBounded(160);
+        std::vector<uint8_t> junk(len);
+        for (auto &b : junk)
+            b = static_cast<uint8_t>(rng.Next());
+        (void)rig.Deser(junk.data(), junk.size());  // must not abort
+    }
+}
+
+TEST(AccelFuzz, TruncationsNeverCrashAndMostlyReject)
+{
+    FuzzRig rig(777);
+    protoacc::Rng rng(2);
+    Arena arena;
+    Message msg = Message::Create(&arena, rig.pool, rig.root);
+    PopulateRandomMessage(msg, &rng, proto::MessageGenOptions{});
+    const auto wire = proto::Serialize(msg);
+    for (size_t cut = 0; cut <= wire.size() && cut < 250; ++cut)
+        (void)rig.Deser(wire.data(), cut);
+}
+
+TEST(AccelFuzz, AcceptRejectAgreesWithSoftwareParser)
+{
+    // Accept/reject agreement on random garbage: whatever the software
+    // parser accepts the accelerator must accept, and vice versa.
+    // (Specific error codes may differ; the decision may not.)
+    FuzzRig rig(31337);
+    protoacc::Rng rng(3);
+    int accepted = 0;
+    for (int trial = 0; trial < 300; ++trial) {
+        const size_t len = rng.NextBounded(48);
+        std::vector<uint8_t> junk(len);
+        for (auto &b : junk) {
+            // Bias toward plausible tag bytes so some inputs parse.
+            b = rng.NextBool(0.5)
+                    ? static_cast<uint8_t>(rng.NextBounded(0x20))
+                    : static_cast<uint8_t>(rng.Next());
+        }
+        Arena sw_arena;
+        Message sw = Message::Create(&sw_arena, rig.pool, rig.root);
+        const bool sw_ok =
+            proto::ParseFromBuffer(junk.data(), junk.size(), &sw) ==
+            proto::ParseStatus::kOk;
+        const bool accel_ok =
+            rig.Deser(junk.data(), junk.size()) == AccelStatus::kOk;
+        EXPECT_EQ(sw_ok, accel_ok) << "trial " << trial;
+        accepted += accel_ok;
+    }
+    // The bias must have produced both accepted and rejected inputs,
+    // otherwise this test proves nothing.
+    EXPECT_GT(accepted, 0);
+    EXPECT_LT(accepted, 300);
+}
+
+TEST(AccelFuzz, ValidWiresAlwaysAccepted)
+{
+    for (uint64_t seed = 50; seed < 70; ++seed) {
+        FuzzRig rig(seed);
+        protoacc::Rng rng(seed);
+        Arena arena;
+        Message msg = Message::Create(&arena, rig.pool, rig.root);
+        PopulateRandomMessage(msg, &rng, proto::MessageGenOptions{});
+        const auto wire = proto::Serialize(msg);
+        EXPECT_EQ(rig.Deser(wire.data(), wire.size()), AccelStatus::kOk)
+            << "seed " << seed;
+    }
+}
+
+}  // namespace
+}  // namespace protoacc::accel

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "accel/adt.h"
+
+namespace protoacc::accel {
+namespace {
+
+using proto::DescriptorPool;
+using proto::FieldType;
+using proto::Label;
+
+class AdtTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        inner_ = pool_.AddMessage("Inner");
+        pool_.AddField(inner_, "x", 2, FieldType::kDouble);
+
+        msg_ = pool_.AddMessage("Outer");
+        pool_.AddField(msg_, "a", 3, FieldType::kInt64);
+        pool_.AddField(msg_, "s", 5, FieldType::kString);
+        pool_.AddMessageField(msg_, "sub", 7, inner_);
+        pool_.AddField(msg_, "r", 9, FieldType::kInt32, Label::kRepeated,
+                       /*packed=*/true);
+        pool_.Compile(proto::HasbitsMode::kSparse);
+        builder_ = std::make_unique<AdtBuilder>(pool_, &arena_);
+    }
+
+    DescriptorPool pool_;
+    proto::Arena arena_;
+    int inner_ = -1;
+    int msg_ = -1;
+    std::unique_ptr<AdtBuilder> builder_;
+};
+
+TEST_F(AdtTest, HeaderMatchesLayout)
+{
+    const AdtView view = builder_->view(msg_);
+    const AdtHeader h = view.ReadHeader();
+    const auto &desc = pool_.message(msg_);
+    EXPECT_EQ(h.object_size, desc.layout().object_size);
+    EXPECT_EQ(h.hasbits_offset, desc.layout().hasbits_offset);
+    EXPECT_EQ(h.hasbits_words, desc.layout().hasbits_words);
+    EXPECT_EQ(h.min_field, 3u);
+    EXPECT_EQ(h.max_field, 9u);
+    EXPECT_EQ(h.default_instance_addr,
+              reinterpret_cast<uint64_t>(desc.default_instance()));
+}
+
+TEST_F(AdtTest, EntriesIndexedByFieldNumber)
+{
+    const AdtView view = builder_->view(msg_);
+    const AdtHeader h = view.ReadHeader();
+    const auto &desc = pool_.message(msg_);
+
+    const AdtFieldEntry a = view.ReadEntry(3, h);
+    EXPECT_TRUE(a.defined());
+    EXPECT_EQ(a.type, FieldType::kInt64);
+    EXPECT_FALSE(a.repeated());
+    EXPECT_EQ(a.offset, desc.FindFieldByNumber(3)->offset);
+
+    const AdtFieldEntry r = view.ReadEntry(9, h);
+    EXPECT_TRUE(r.defined());
+    EXPECT_TRUE(r.repeated());
+    EXPECT_TRUE(r.packed());
+
+    // Gap numbers exist as entries but are not defined.
+    EXPECT_FALSE(view.ReadEntry(4, h).defined());
+    EXPECT_FALSE(view.ReadEntry(6, h).defined());
+    EXPECT_FALSE(view.ReadEntry(8, h).defined());
+}
+
+TEST_F(AdtTest, SubMessageEntryLinksSubAdt)
+{
+    const AdtView view = builder_->view(msg_);
+    const AdtHeader h = view.ReadHeader();
+    const AdtFieldEntry sub = view.ReadEntry(7, h);
+    EXPECT_EQ(sub.type, FieldType::kMessage);
+    EXPECT_EQ(sub.sub_adt_addr,
+              reinterpret_cast<uint64_t>(builder_->adt(inner_)));
+}
+
+TEST_F(AdtTest, IsSubmessageBitfield)
+{
+    const AdtView view = builder_->view(msg_);
+    const AdtHeader h = view.ReadHeader();
+    EXPECT_FALSE(view.IsSubmessage(3, h));
+    EXPECT_FALSE(view.IsSubmessage(5, h));
+    EXPECT_TRUE(view.IsSubmessage(7, h));
+    EXPECT_FALSE(view.IsSubmessage(9, h));
+    EXPECT_EQ(view.SubmessageBitfieldBytes(h), 1u);  // range 7 -> 1 byte
+}
+
+TEST_F(AdtTest, TotalBytesAccountsAllRegions)
+{
+    // Outer: 64 header + 7 entries * 16 + 1 subbit byte = 177.
+    // Inner: 64 + 1 * 16 + 1 = 81.
+    EXPECT_EQ(builder_->total_bytes(), 177u + 81u);
+}
+
+TEST_F(AdtTest, PerTypeNotPerInstance)
+{
+    // §4.2: one ADT per message type — building again for another
+    // instance is unnecessary; the table addresses are stable.
+    const uint8_t *before = builder_->adt(msg_);
+    const AdtView view(before);
+    const AdtHeader h = view.ReadHeader();
+    EXPECT_EQ(view.ReadEntry(3, h).offset,
+              pool_.message(msg_).FindFieldByNumber(3)->offset);
+}
+
+TEST(AdtRecursive, SelfReferentialTypeLinksItself)
+{
+    DescriptorPool pool;
+    const int node = pool.AddMessage("Node");
+    pool.AddMessageField(node, "next", 1, node);
+    pool.Compile(proto::HasbitsMode::kSparse);
+    proto::Arena arena;
+    AdtBuilder adts(pool, &arena);
+    const AdtView view = adts.view(node);
+    const AdtHeader h = view.ReadHeader();
+    EXPECT_EQ(view.ReadEntry(1, h).sub_adt_addr,
+              reinterpret_cast<uint64_t>(adts.adt(node)));
+    EXPECT_TRUE(view.IsSubmessage(1, h));
+}
+
+}  // namespace
+}  // namespace protoacc::accel

@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.h"
+#include "proto/parser.h"
+#include "proto/serializer.h"
+
+namespace protoacc::accel {
+namespace {
+
+using proto::Arena;
+using proto::DescriptorPool;
+using proto::FieldType;
+using proto::Label;
+using proto::Message;
+
+/// Harness owning the SoC memory system, accelerator, and ADTs for one
+/// pool.
+struct Soc
+{
+    explicit Soc(const DescriptorPool &pool)
+        : memory(sim::MemorySystemConfig{}),
+          accel(&memory, AccelConfig{}),
+          adts(pool, &adt_arena)
+    {
+        accel.DeserAssignArena(&deser_arena);
+        accel.SerAssignArena(&ser_arena);
+    }
+
+    /// Deserialize wire bytes into a fresh object via the accelerator.
+    Message
+    Deser(const DescriptorPool &pool, int msg_index,
+          const std::vector<uint8_t> &wire, uint64_t *cycles,
+          AccelStatus *status = nullptr)
+    {
+        Message dest = Message::Create(&user_arena, pool, msg_index);
+        accel.EnqueueDeser(MakeDeserJob(adts, msg_index, pool, dest.raw(),
+                                        wire.data(), wire.size()));
+        const AccelStatus st = accel.BlockForDeserCompletion(cycles);
+        if (status != nullptr)
+            *status = st;
+        else
+            EXPECT_EQ(st, AccelStatus::kOk);
+        return dest;
+    }
+
+    sim::MemorySystem memory;
+    ProtoAccelerator accel;
+    Arena adt_arena;
+    Arena user_arena;
+    Arena deser_arena;
+    SerArena ser_arena;
+    AdtBuilder adts;
+};
+
+class AccelDeserTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        inner_ = pool_.AddMessage("Inner");
+        pool_.AddField(inner_, "v", 1, FieldType::kInt32);
+        pool_.AddField(inner_, "name", 3, FieldType::kString);
+
+        msg_ = pool_.AddMessage("M");
+        pool_.AddField(msg_, "a", 1, FieldType::kInt64);
+        pool_.AddField(msg_, "s", 2, FieldType::kString);
+        pool_.AddField(msg_, "d", 3, FieldType::kDouble);
+        pool_.AddField(msg_, "z", 4, FieldType::kSint64);
+        pool_.AddMessageField(msg_, "sub", 5, inner_);
+        pool_.AddField(msg_, "rp", 6, FieldType::kInt32,
+                       Label::kRepeated, /*packed=*/true);
+        pool_.AddField(msg_, "ru", 7, FieldType::kUint64,
+                       Label::kRepeated);
+        pool_.AddField(msg_, "rs", 8, FieldType::kString,
+                       Label::kRepeated);
+        pool_.AddMessageField(msg_, "rm", 9, inner_, Label::kRepeated);
+        pool_.AddField(msg_, "fl", 10, FieldType::kFloat);
+        pool_.Compile(proto::HasbitsMode::kSparse);
+    }
+
+    const proto::FieldDescriptor &
+    F(const char *name)
+    {
+        return *pool_.message(msg_).FindFieldByName(name);
+    }
+
+    /// Build a populated reference message.
+    Message
+    BuildReference(Arena *arena)
+    {
+        Message m = Message::Create(arena, pool_, msg_);
+        m.SetInt64(F("a"), -5'000'000'000LL);
+        m.SetString(F("s"), "a string longer than the SSO buffer");
+        m.SetDouble(F("d"), 2.75);
+        m.SetInt64(F("z"), -99);
+        Message sub = m.MutableMessage(F("sub"));
+        sub.SetInt32(*sub.descriptor().FindFieldByName("v"), 1234);
+        sub.SetString(*sub.descriptor().FindFieldByName("name"), "in");
+        for (int i = 0; i < 7; ++i)
+            m.AddRepeatedBits(F("rp"), static_cast<uint32_t>(i * 100));
+        m.AddRepeatedBits(F("ru"), 1ull << 40);
+        m.AddRepeatedBits(F("ru"), 7);
+        m.AddRepeatedString(F("rs"), "first");
+        m.AddRepeatedString(F("rs"), std::string(100, 'k'));
+        for (int i = 0; i < 3; ++i) {
+            Message e = m.AddRepeatedMessage(F("rm"));
+            e.SetInt32(*e.descriptor().FindFieldByName("v"), i);
+        }
+        m.SetFloat(F("fl"), 0.5f);
+        return m;
+    }
+
+    DescriptorPool pool_;
+    int inner_ = -1;
+    int msg_ = -1;
+};
+
+TEST_F(AccelDeserTest, MatchesSoftwareParserOnFullMessage)
+{
+    Arena ref_arena;
+    Message ref = BuildReference(&ref_arena);
+    const auto wire = proto::Serialize(ref);
+
+    Soc soc(pool_);
+    uint64_t cycles = 0;
+    Message got = soc.Deser(pool_, msg_, wire, &cycles);
+    EXPECT_TRUE(MessagesEqual(ref, got));
+    EXPECT_GT(cycles, 0u);
+}
+
+TEST_F(AccelDeserTest, AccelObjectsReadableThroughNormalAccessors)
+{
+    // §4.4.7: user code operates on accelerator-deserialized objects
+    // exactly as on software-deserialized ones.
+    Arena ref_arena;
+    Message ref = BuildReference(&ref_arena);
+    const auto wire = proto::Serialize(ref);
+
+    Soc soc(pool_);
+    uint64_t cycles = 0;
+    Message got = soc.Deser(pool_, msg_, wire, &cycles);
+    EXPECT_EQ(got.GetInt64(F("a")), -5'000'000'000LL);
+    EXPECT_EQ(got.GetString(F("s")),
+              "a string longer than the SSO buffer");
+    EXPECT_EQ(got.GetRepeatedString(F("rs"), 1), std::string(100, 'k'));
+    EXPECT_EQ(got.RepeatedSize(F("rm")), 3u);
+    EXPECT_EQ(got.GetMessage(F("sub"))
+                  .GetString(*pool_.message(inner_).FindFieldByName(
+                      "name")),
+              "in");
+}
+
+TEST_F(AccelDeserTest, SmallStringUsesInlineStorage)
+{
+    Arena ref_arena;
+    Message ref = Message::Create(&ref_arena, pool_, msg_);
+    ref.SetString(F("s"), "short");
+    const auto wire = proto::Serialize(ref);
+
+    Soc soc(pool_);
+    uint64_t cycles = 0;
+    Message got = soc.Deser(pool_, msg_, wire, &cycles);
+    const proto::ArenaString *s = got.GetStringObject(F("s"));
+    ASSERT_NE(s, nullptr);
+    EXPECT_TRUE(s->is_inline());  // §4.4.7 small string optimization
+    EXPECT_EQ(s->view(), "short");
+}
+
+TEST_F(AccelDeserTest, AllocationsGoToAcceleratorArena)
+{
+    Arena ref_arena;
+    Message ref = BuildReference(&ref_arena);
+    const auto wire = proto::Serialize(ref);
+
+    Soc soc(pool_);
+    uint64_t cycles = 0;
+    soc.Deser(pool_, msg_, wire, &cycles);
+    EXPECT_GT(soc.deser_arena.allocation_count(), 0u);
+    EXPECT_GT(soc.accel.deserializer().stats().allocations, 0u);
+}
+
+TEST_F(AccelDeserTest, UnknownFieldsSkipped)
+{
+    // Wire with an unknown field 20 (varint) before field 1.
+    std::vector<uint8_t> wire = {0xa0, 0x01, 0x07, 0x08, 0x2a};
+    Soc soc(pool_);
+    uint64_t cycles = 0;
+    Message got = soc.Deser(pool_, msg_, wire, &cycles);
+    EXPECT_EQ(got.GetInt64(F("a")), 42);
+    EXPECT_EQ(soc.accel.deserializer().stats().unknown_fields, 1u);
+}
+
+TEST_F(AccelDeserTest, TruncatedInputReported)
+{
+    Arena ref_arena;
+    Message ref = Message::Create(&ref_arena, pool_, msg_);
+    ref.SetString(F("s"), "hello world, truncate me");
+    auto wire = proto::Serialize(ref);
+    wire.resize(wire.size() - 5);
+
+    Soc soc(pool_);
+    uint64_t cycles = 0;
+    AccelStatus status;
+    soc.Deser(pool_, msg_, wire, &cycles, &status);
+    EXPECT_NE(status, AccelStatus::kOk);
+}
+
+TEST_F(AccelDeserTest, GroupWireTypeRejected)
+{
+    std::vector<uint8_t> wire = {0x0b};  // field 1, start-group
+    Soc soc(pool_);
+    uint64_t cycles = 0;
+    AccelStatus status;
+    soc.Deser(pool_, msg_, wire, &cycles, &status);
+    EXPECT_EQ(status, AccelStatus::kUnsupportedWireType);
+}
+
+TEST_F(AccelDeserTest, BatchingAmortizesOverFence)
+{
+    Arena ref_arena;
+    Message ref = Message::Create(&ref_arena, pool_, msg_);
+    ref.SetInt64(F("a"), 5);
+    const auto wire = proto::Serialize(ref);
+
+    // One fence for a batch of 8 must be cheaper than 8 fenced singles.
+    Soc soc_batch(pool_);
+    std::vector<Message> dests;
+    for (int i = 0; i < 8; ++i) {
+        Message d =
+            Message::Create(&soc_batch.user_arena, pool_, msg_);
+        soc_batch.accel.EnqueueDeser(MakeDeserJob(
+            soc_batch.adts, msg_, pool_, d.raw(), wire.data(),
+            wire.size()));
+        dests.push_back(d);
+    }
+    uint64_t batch_cycles = 0;
+    ASSERT_EQ(soc_batch.accel.BlockForDeserCompletion(&batch_cycles),
+              AccelStatus::kOk);
+
+    Soc soc_single(pool_);
+    uint64_t single_total = 0;
+    for (int i = 0; i < 8; ++i) {
+        uint64_t c = 0;
+        soc_single.Deser(pool_, msg_, wire, &c);
+        single_total += c + kFenceCycles;
+    }
+    EXPECT_LT(batch_cycles, single_total);
+}
+
+TEST_F(AccelDeserTest, DeepNestingSpillsMetadataStack)
+{
+    DescriptorPool pool;
+    const int node = pool.AddMessage("Node");
+    pool.AddMessageField(node, "next", 1, node);
+    pool.AddField(node, "v", 2, FieldType::kInt32);
+    pool.Compile(proto::HasbitsMode::kSparse);
+
+    Arena arena;
+    Message root = Message::Create(&arena, pool, node);
+    Message cur = root;
+    const auto &next = *pool.message(node).FindFieldByName("next");
+    const auto &v = *pool.message(node).FindFieldByName("v");
+    // Deeper than the on-chip stack (25): forces spills (§3.8).
+    for (int i = 0; i < 40; ++i) {
+        cur.SetInt32(v, i);
+        cur = cur.MutableMessage(next);
+    }
+    const auto wire = proto::Serialize(root);
+
+    Soc soc(pool);
+    uint64_t cycles = 0;
+    Message got = soc.Deser(pool, node, wire, &cycles);
+    EXPECT_TRUE(MessagesEqual(root, got));
+    const DeserStats &stats = soc.accel.deserializer().stats();
+    EXPECT_GT(stats.stack_spills, 0u);
+    EXPECT_GE(stats.max_depth, 40u);
+}
+
+TEST_F(AccelDeserTest, ShallowNestingDoesNotSpill)
+{
+    Arena ref_arena;
+    Message ref = BuildReference(&ref_arena);
+    const auto wire = proto::Serialize(ref);
+    Soc soc(pool_);
+    uint64_t cycles = 0;
+    soc.Deser(pool_, msg_, wire, &cycles);
+    EXPECT_EQ(soc.accel.deserializer().stats().stack_spills, 0u);
+}
+
+TEST_F(AccelDeserTest, LargeStringApproachesStreamBandwidth)
+{
+    // §3.6.3/§5.1.1: long-string deserialization essentially becomes a
+    // memcpy, which the accelerator handles at stream width.
+    Arena ref_arena;
+    Message ref = Message::Create(&ref_arena, pool_, msg_);
+    const size_t len = 64 * 1024;
+    ref.SetString(F("s"), std::string(len, 'x'));
+    const auto wire = proto::Serialize(ref);
+
+    Soc soc(pool_);
+    uint64_t cycles = 0;
+    soc.Deser(pool_, msg_, wire, &cycles);
+    const double bytes_per_cycle =
+        static_cast<double>(wire.size()) / static_cast<double>(cycles);
+    EXPECT_GT(bytes_per_cycle, 8.0);   // more than half of peak
+    EXPECT_LE(bytes_per_cycle, 16.0);  // bounded by memloader width
+}
+
+TEST_F(AccelDeserTest, StatsCountFieldClasses)
+{
+    Arena ref_arena;
+    Message ref = BuildReference(&ref_arena);
+    const auto wire = proto::Serialize(ref);
+    Soc soc(pool_);
+    uint64_t cycles = 0;
+    soc.Deser(pool_, msg_, wire, &cycles);
+    const DeserStats &stats = soc.accel.deserializer().stats();
+    EXPECT_EQ(stats.jobs, 1u);
+    EXPECT_GT(stats.varint_fields, 0u);
+    EXPECT_GT(stats.fixed_fields, 0u);
+    EXPECT_GT(stats.string_fields, 0u);
+    EXPECT_EQ(stats.submessages, 4u);  // sub + 3 rm elements
+    EXPECT_EQ(stats.packed_fields, 1u);
+    EXPECT_EQ(stats.wire_bytes, wire.size());
+}
+
+}  // namespace
+}  // namespace protoacc::accel

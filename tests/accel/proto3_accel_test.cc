@@ -1,0 +1,117 @@
+/**
+ * §7 proto3 support in the accelerator: the deserializer's UTF-8
+ * checker must reject exactly what the software parser rejects, driven
+ * purely by the ADT's validate_utf8 entry flag.
+ */
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.h"
+#include "proto/parser.h"
+#include "proto/serializer.h"
+
+namespace protoacc::accel {
+namespace {
+
+using proto::Arena;
+using proto::DescriptorPool;
+using proto::FieldType;
+using proto::Message;
+using proto::Syntax;
+
+class AccelProto3Test : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        p3_ = pool_.AddMessage("P3", Syntax::kProto3);
+        pool_.AddField(p3_, "s", 1, FieldType::kString);
+        pool_.AddField(p3_, "b", 2, FieldType::kBytes);
+        p2_ = pool_.AddMessage("P2", Syntax::kProto2);
+        pool_.AddField(p2_, "s", 1, FieldType::kString);
+        pool_.Compile(proto::HasbitsMode::kSparse);
+
+        memory_ = std::make_unique<sim::MemorySystem>(
+            sim::MemorySystemConfig{});
+        accel_ = std::make_unique<ProtoAccelerator>(memory_.get(),
+                                                    AccelConfig{});
+        adts_ = std::make_unique<AdtBuilder>(pool_, &adt_arena_);
+        accel_->DeserAssignArena(&accel_arena_);
+    }
+
+    AccelStatus
+    Deser(int msg_index, const std::vector<uint8_t> &wire)
+    {
+        Message dest = Message::Create(&arena_, pool_, msg_index);
+        accel_->EnqueueDeser(MakeDeserJob(*adts_, msg_index, pool_,
+                                          dest.raw(), wire.data(),
+                                          wire.size()));
+        uint64_t cycles = 0;
+        return accel_->BlockForDeserCompletion(&cycles);
+    }
+
+    std::vector<uint8_t>
+    Wire(uint32_t field, const std::string &payload)
+    {
+        std::vector<uint8_t> out = {static_cast<uint8_t>(field << 3 | 2),
+                                    static_cast<uint8_t>(payload.size())};
+        out.insert(out.end(), payload.begin(), payload.end());
+        return out;
+    }
+
+    DescriptorPool pool_;
+    Arena arena_, adt_arena_, accel_arena_;
+    std::unique_ptr<sim::MemorySystem> memory_;
+    std::unique_ptr<ProtoAccelerator> accel_;
+    std::unique_ptr<AdtBuilder> adts_;
+    int p3_ = -1;
+    int p2_ = -1;
+};
+
+TEST_F(AccelProto3Test, AdtCarriesValidateUtf8Flag)
+{
+    const AdtView view = adts_->view(p3_);
+    const AdtHeader h = view.ReadHeader();
+    EXPECT_TRUE(view.ReadEntry(1, h).validate_utf8());   // string
+    EXPECT_FALSE(view.ReadEntry(2, h).validate_utf8());  // bytes
+    const AdtView p2_view = adts_->view(p2_);
+    const AdtHeader h2 = p2_view.ReadHeader();
+    EXPECT_FALSE(p2_view.ReadEntry(1, h2).validate_utf8());
+}
+
+TEST_F(AccelProto3Test, RejectsInvalidUtf8InProto3Strings)
+{
+    EXPECT_EQ(Deser(p3_, Wire(1, "bad\xc0\x80")),
+              AccelStatus::kInvalidUtf8);
+    EXPECT_EQ(Deser(p3_, Wire(1, "\xed\xa0\x80")),  // surrogate
+              AccelStatus::kInvalidUtf8);
+}
+
+TEST_F(AccelProto3Test, AcceptsValidUtf8AndBytes)
+{
+    EXPECT_EQ(Deser(p3_, Wire(1, "caf\xc3\xa9 \xf0\x9f\x98\x80")),
+              AccelStatus::kOk);
+    EXPECT_EQ(Deser(p3_, Wire(2, "\xff\xfe\xc0\x80")),  // bytes field
+              AccelStatus::kOk);
+    EXPECT_EQ(Deser(p2_, Wire(1, "\xc0\x80")),  // proto2 string
+              AccelStatus::kOk);
+}
+
+TEST_F(AccelProto3Test, AgreesWithSoftwareParserOnMixedBatch)
+{
+    const std::vector<std::string> payloads = {
+        "ascii", "caf\xc3\xa9", "bad\x80", "\xf4\x8f\xbf\xbf",
+        "\xf5\x80\x80\x80"};
+    for (const auto &payload : payloads) {
+        const auto wire = Wire(1, payload);
+        Message sw = Message::Create(&arena_, pool_, p3_);
+        const bool sw_ok =
+            proto::ParseFromBuffer(wire.data(), wire.size(), &sw) ==
+            proto::ParseStatus::kOk;
+        const bool accel_ok = Deser(p3_, wire) == AccelStatus::kOk;
+        EXPECT_EQ(sw_ok, accel_ok) << payload;
+    }
+}
+
+}  // namespace
+}  // namespace protoacc::accel

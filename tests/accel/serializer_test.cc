@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.h"
+#include "proto/serializer.h"
+
+namespace protoacc::accel {
+namespace {
+
+using proto::Arena;
+using proto::DescriptorPool;
+using proto::FieldType;
+using proto::Label;
+using proto::Message;
+
+class AccelSerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        inner_ = pool_.AddMessage("Inner");
+        pool_.AddField(inner_, "v", 1, FieldType::kInt32);
+        pool_.AddField(inner_, "name", 2, FieldType::kString);
+
+        msg_ = pool_.AddMessage("M");
+        pool_.AddField(msg_, "a", 1, FieldType::kInt64);
+        pool_.AddField(msg_, "s", 2, FieldType::kString);
+        pool_.AddField(msg_, "d", 3, FieldType::kDouble);
+        pool_.AddField(msg_, "z", 4, FieldType::kSint32);
+        pool_.AddMessageField(msg_, "sub", 5, inner_);
+        pool_.AddField(msg_, "rp", 6, FieldType::kInt32,
+                       Label::kRepeated, /*packed=*/true);
+        pool_.AddField(msg_, "ru", 7, FieldType::kUint64,
+                       Label::kRepeated);
+        pool_.AddField(msg_, "rs", 8, FieldType::kString,
+                       Label::kRepeated);
+        pool_.AddMessageField(msg_, "rm", 9, inner_, Label::kRepeated);
+        pool_.AddField(msg_, "fl", 20, FieldType::kFloat);  // gap
+        pool_.Compile(proto::HasbitsMode::kSparse);
+
+        memory_ = std::make_unique<sim::MemorySystem>(
+            sim::MemorySystemConfig{});
+        accel_ =
+            std::make_unique<ProtoAccelerator>(memory_.get(),
+                                               AccelConfig{});
+        adts_ = std::make_unique<AdtBuilder>(pool_, &adt_arena_);
+        accel_->SerAssignArena(&ser_arena_);
+    }
+
+    const proto::FieldDescriptor &
+    F(const char *name)
+    {
+        return *pool_.message(msg_).FindFieldByName(name);
+    }
+
+    /// Run one accelerator serialization; returns the output bytes.
+    std::vector<uint8_t>
+    AccelSerialize(const Message &m, uint64_t *cycles,
+                   AccelStatus *status = nullptr)
+    {
+        accel_->EnqueueSer(MakeSerJob(*adts_, m.descriptor().pool_index(),
+                                      pool_, m.raw()));
+        const AccelStatus st = accel_->BlockForSerCompletion(cycles);
+        if (status != nullptr) {
+            *status = st;
+            if (st != AccelStatus::kOk)
+                return {};
+        } else {
+            EXPECT_EQ(st, AccelStatus::kOk);
+        }
+        const SerArena::Output &out =
+            ser_arena_.output(ser_arena_.output_count() - 1);
+        return std::vector<uint8_t>(out.data, out.data + out.size);
+    }
+
+    DescriptorPool pool_;
+    Arena adt_arena_;
+    Arena arena_;
+    SerArena ser_arena_;
+    std::unique_ptr<sim::MemorySystem> memory_;
+    std::unique_ptr<ProtoAccelerator> accel_;
+    std::unique_ptr<AdtBuilder> adts_;
+    int inner_ = -1;
+    int msg_ = -1;
+};
+
+TEST_F(AccelSerTest, ScalarFieldsByteIdenticalToSoftware)
+{
+    Message m = Message::Create(&arena_, pool_, msg_);
+    m.SetInt64(F("a"), 150);
+    m.SetDouble(F("d"), 1.25);
+    m.SetInt32(F("z"), -3);
+    m.SetFloat(F("fl"), 9.0f);
+    uint64_t cycles = 0;
+    EXPECT_EQ(AccelSerialize(m, &cycles), proto::Serialize(m));
+}
+
+TEST_F(AccelSerTest, StringsAndSubmessagesByteIdentical)
+{
+    Message m = Message::Create(&arena_, pool_, msg_);
+    m.SetString(F("s"), "wire-compatible with standard protobufs");
+    Message sub = m.MutableMessage(F("sub"));
+    sub.SetInt32(*sub.descriptor().FindFieldByName("v"), 77);
+    sub.SetString(*sub.descriptor().FindFieldByName("name"), "nested");
+    uint64_t cycles = 0;
+    EXPECT_EQ(AccelSerialize(m, &cycles), proto::Serialize(m));
+}
+
+TEST_F(AccelSerTest, RepeatedFieldsByteIdentical)
+{
+    Message m = Message::Create(&arena_, pool_, msg_);
+    for (int i = 0; i < 9; ++i)
+        m.AddRepeatedBits(F("rp"), static_cast<uint32_t>(i * 37));
+    m.AddRepeatedBits(F("ru"), 1);
+    m.AddRepeatedBits(F("ru"), 1ull << 50);
+    m.AddRepeatedString(F("rs"), "x");
+    m.AddRepeatedString(F("rs"), std::string(40, 'y'));
+    for (int i = 0; i < 4; ++i) {
+        Message e = m.AddRepeatedMessage(F("rm"));
+        e.SetInt32(*e.descriptor().FindFieldByName("v"), -i);
+    }
+    uint64_t cycles = 0;
+    EXPECT_EQ(AccelSerialize(m, &cycles), proto::Serialize(m));
+}
+
+TEST_F(AccelSerTest, EmptyMessageProducesEmptyOutput)
+{
+    Message m = Message::Create(&arena_, pool_, msg_);
+    uint64_t cycles = 0;
+    EXPECT_TRUE(AccelSerialize(m, &cycles).empty());
+}
+
+TEST_F(AccelSerTest, EmptySubMessageTakesTwoBytes)
+{
+    // Figure 1: empty messages take no payload bytes; the field costs
+    // its key and a zero length.
+    Message m = Message::Create(&arena_, pool_, msg_);
+    m.MutableMessage(F("sub"));
+    uint64_t cycles = 0;
+    const auto wire = AccelSerialize(m, &cycles);
+    EXPECT_EQ(wire, proto::Serialize(m));
+    EXPECT_EQ(wire.size(), 2u);
+}
+
+TEST_F(AccelSerTest, OutputWrittenHighToLow)
+{
+    // §4.5.1: consecutive outputs stack downward in the arena.
+    Message m1 = Message::Create(&arena_, pool_, msg_);
+    m1.SetInt64(F("a"), 1);
+    Message m2 = Message::Create(&arena_, pool_, msg_);
+    m2.SetInt64(F("a"), 2);
+
+    uint64_t cycles = 0;
+    AccelSerialize(m1, &cycles);
+    AccelSerialize(m2, &cycles);
+    ASSERT_EQ(ser_arena_.output_count(), 2u);
+    EXPECT_GT(ser_arena_.output(0).data, ser_arena_.output(1).data);
+}
+
+TEST_F(AccelSerTest, BatchedOutputsRetrievableByIndex)
+{
+    std::vector<std::vector<uint8_t>> expected;
+    for (int i = 0; i < 5; ++i) {
+        Message m = Message::Create(&arena_, pool_, msg_);
+        m.SetInt64(F("a"), i * 1000);
+        m.SetString(F("s"), std::string(i * 3, 'a'));
+        expected.push_back(proto::Serialize(m));
+        accel_->EnqueueSer(MakeSerJob(*adts_, msg_, pool_, m.raw()));
+    }
+    uint64_t cycles = 0;
+    ASSERT_EQ(accel_->BlockForSerCompletion(&cycles), AccelStatus::kOk);
+    ASSERT_EQ(ser_arena_.output_count(), 5u);
+    for (int i = 0; i < 5; ++i) {
+        const auto &out = ser_arena_.output(i);
+        EXPECT_EQ(std::vector<uint8_t>(out.data, out.data + out.size),
+                  expected[i])
+            << i;
+    }
+}
+
+TEST_F(AccelSerTest, ArenaOverflowReported)
+{
+    SerArena tiny(16);
+    accel_->SerAssignArena(&tiny);
+    Message m = Message::Create(&arena_, pool_, msg_);
+    m.SetString(F("s"), std::string(100, 'x'));
+    uint64_t cycles = 0;
+    AccelStatus status;
+    AccelSerialize(m, &cycles, &status);
+    EXPECT_EQ(status, AccelStatus::kOutputOverflow);
+}
+
+TEST_F(AccelSerTest, SparseHasbitsScanCostScalesWithRange)
+{
+    // §3.7: our design reads a bit per defined-field-number; a message
+    // type with a huge field-number range pays more scan cycles.
+    DescriptorPool pool;
+    const int wide = pool.AddMessage("Wide");
+    pool.AddField(wide, "lo", 1, FieldType::kInt32);
+    pool.AddField(wide, "hi", 5000, FieldType::kInt32);
+    const int narrow = pool.AddMessage("Narrow");
+    pool.AddField(narrow, "lo", 1, FieldType::kInt32);
+    pool.AddField(narrow, "hi", 2, FieldType::kInt32);
+    pool.Compile(proto::HasbitsMode::kSparse);
+
+    sim::MemorySystem memory{sim::MemorySystemConfig{}};
+    ProtoAccelerator accel(&memory, AccelConfig{});
+    Arena adt_arena;
+    AdtBuilder adts(pool, &adt_arena);
+    SerArena out;
+    accel.SerAssignArena(&out);
+
+    Arena arena;
+    uint64_t wide_cycles = 0, narrow_cycles = 0;
+    for (int round = 0; round < 2; ++round) {
+        // Round 0 warms caches; round 1 measures.
+        Message mw = Message::Create(&arena, pool, wide);
+        mw.SetInt32(*pool.message(wide).FindFieldByName("lo"), 1);
+        mw.SetInt32(*pool.message(wide).FindFieldByName("hi"), 2);
+        accel.EnqueueSer(MakeSerJob(adts, wide, pool, mw.raw()));
+        accel.BlockForSerCompletion(&wide_cycles);
+
+        Message mn = Message::Create(&arena, pool, narrow);
+        mn.SetInt32(*pool.message(narrow).FindFieldByName("lo"), 1);
+        mn.SetInt32(*pool.message(narrow).FindFieldByName("hi"), 2);
+        accel.EnqueueSer(MakeSerJob(adts, narrow, pool, mn.raw()));
+        accel.BlockForSerCompletion(&narrow_cycles);
+    }
+    EXPECT_GT(wide_cycles, narrow_cycles + 50);
+}
+
+TEST_F(AccelSerTest, StatsTrackFieldsAndBytes)
+{
+    Message m = Message::Create(&arena_, pool_, msg_);
+    m.SetInt64(F("a"), 1);
+    m.SetString(F("s"), "abc");
+    m.MutableMessage(F("sub")).SetInt32(
+        *pool_.message(inner_).FindFieldByName("v"), 5);
+    uint64_t cycles = 0;
+    const auto wire = AccelSerialize(m, &cycles);
+    const SerStats &stats = accel_->serializer().stats();
+    EXPECT_EQ(stats.jobs, 1u);
+    EXPECT_EQ(stats.out_bytes, wire.size());
+    EXPECT_EQ(stats.submessages, 1u);
+    EXPECT_GE(stats.fields, 3u);
+}
+
+}  // namespace
+}  // namespace protoacc::accel

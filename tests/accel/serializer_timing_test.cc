@@ -1,0 +1,176 @@
+/**
+ * Timing-model property tests for the serializer pipeline: the knobs
+ * the paper's design motivates (parallel FSUs, batch pipelining,
+ * memwriter bandwidth) must move cycle counts in the right direction
+ * without ever changing the output bytes.
+ */
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.h"
+#include "proto/serializer.h"
+
+namespace protoacc::accel {
+namespace {
+
+using proto::Arena;
+using proto::DescriptorPool;
+using proto::FieldType;
+using proto::Message;
+
+/// Pool with a wide message (many independent fields -> FSU headroom).
+class SerTimingTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        msg_ = pool_.AddMessage("Wide");
+        for (uint32_t f = 1; f <= 16; ++f) {
+            pool_.AddField(msg_, "v" + std::to_string(f), f,
+                           FieldType::kUint64);
+        }
+        pool_.AddField(msg_, "s", 17, FieldType::kString);
+        pool_.Compile(proto::HasbitsMode::kSparse);
+    }
+
+    Message
+    BuildWide()
+    {
+        Message m = Message::Create(&arena_, pool_, msg_);
+        const auto &desc = pool_.message(msg_);
+        for (uint32_t f = 1; f <= 16; ++f) {
+            m.SetUint64(*desc.FindFieldByName("v" + std::to_string(f)),
+                        1ull << (3 * f % 60));
+        }
+        m.SetString(*desc.FindFieldByName("s"), std::string(100, 'x'));
+        return m;
+    }
+
+    /// Serialize a batch with the given FSU count; returns
+    /// {batch cycles, first output bytes}.
+    std::pair<uint64_t, std::vector<uint8_t>>
+    RunBatch(uint32_t num_fsus, int batch, bool single_fences = false)
+    {
+        sim::MemorySystem memory{sim::MemorySystemConfig{}};
+        AccelConfig cfg;
+        cfg.ser.num_field_serializers = num_fsus;
+        ProtoAccelerator device(&memory, cfg);
+        Arena adt_arena;
+        AdtBuilder adts(pool_, &adt_arena);
+        SerArena out(1 << 20);
+        device.SerAssignArena(&out);
+
+        Message m = BuildWide();
+        uint64_t total = 0;
+        if (single_fences) {
+            for (int i = 0; i < batch; ++i) {
+                device.EnqueueSer(
+                    MakeSerJob(adts, msg_, pool_, m.raw()));
+                uint64_t c = 0;
+                EXPECT_EQ(device.BlockForSerCompletion(&c),
+                          AccelStatus::kOk);
+                total += c;
+            }
+        } else {
+            for (int i = 0; i < batch; ++i)
+                device.EnqueueSer(
+                    MakeSerJob(adts, msg_, pool_, m.raw()));
+            EXPECT_EQ(device.BlockForSerCompletion(&total),
+                      AccelStatus::kOk);
+        }
+        const auto &o = out.output(0);
+        return {total, std::vector<uint8_t>(o.data, o.data + o.size)};
+    }
+
+    DescriptorPool pool_;
+    Arena arena_;
+    int msg_ = -1;
+};
+
+TEST_F(SerTimingTest, FsuCountChangesCyclesNeverBytes)
+{
+    const auto [c1, bytes1] = RunBatch(1, 16);
+    const auto [c4, bytes4] = RunBatch(4, 16);
+    const auto [c8, bytes8] = RunBatch(8, 16);
+    EXPECT_EQ(bytes1, bytes4);
+    EXPECT_EQ(bytes4, bytes8);
+    // More FSUs -> faster (strictly, on a 16-field message).
+    EXPECT_LT(c4, c1);
+    EXPECT_LE(c8, c4);
+    // And the bytes match the software serializer.
+    Message m = BuildWide();
+    EXPECT_EQ(bytes1, proto::Serialize(m));
+}
+
+TEST_F(SerTimingTest, BatchPipeliningBeatsPerMessageFences)
+{
+    const auto [batched, b1] = RunBatch(4, 32, /*single_fences=*/false);
+    const auto [fenced, b2] = RunBatch(4, 32, /*single_fences=*/true);
+    EXPECT_EQ(b1, b2);
+    EXPECT_LT(batched, fenced);
+}
+
+TEST_F(SerTimingTest, ThroughputBoundedByMemwriterWidth)
+{
+    // A long-string message cannot exceed 16 B/cycle at the memwriter.
+    DescriptorPool pool;
+    const int big = pool.AddMessage("Big");
+    pool.AddField(big, "s", 1, FieldType::kString);
+    pool.Compile(proto::HasbitsMode::kSparse);
+    Arena arena;
+    Message m = Message::Create(&arena, pool, big);
+    m.SetString(pool.message(big).field(0), std::string(1 << 20, 'q'));
+
+    sim::MemorySystem memory{sim::MemorySystemConfig{}};
+    ProtoAccelerator device(&memory, AccelConfig{});
+    Arena adt_arena;
+    AdtBuilder adts(pool, &adt_arena);
+    SerArena out((1 << 21) + 4096);
+    device.SerAssignArena(&out);
+    device.EnqueueSer(MakeSerJob(adts, big, pool, m.raw()));
+    uint64_t cycles = 0;
+    ASSERT_EQ(device.BlockForSerCompletion(&cycles), AccelStatus::kOk);
+    const double bytes_per_cycle =
+        static_cast<double>(out.output(0).size) /
+        static_cast<double>(cycles);
+    EXPECT_LE(bytes_per_cycle, 16.0);
+    EXPECT_GT(bytes_per_cycle, 8.0);  // and reasonably close to peak
+}
+
+TEST_F(SerTimingTest, WiderScanBitsReduceSparseOverhead)
+{
+    // A sparse type (2 fields, huge range) serializes faster when the
+    // frontend can scan more presence bits per cycle.
+    DescriptorPool pool;
+    const int sparse = pool.AddMessage("Sparse");
+    pool.AddField(sparse, "lo", 1, FieldType::kInt32);
+    pool.AddField(sparse, "hi", 4000, FieldType::kInt32);
+    pool.Compile(proto::HasbitsMode::kSparse);
+    Arena arena;
+    Message m = Message::Create(&arena, pool, sparse);
+    m.SetInt32(pool.message(sparse).field(0), 1);
+    m.SetInt32(pool.message(sparse).field(1), 2);
+
+    auto run = [&](uint32_t scan_bits) {
+        sim::MemorySystem memory{sim::MemorySystemConfig{}};
+        AccelConfig cfg;
+        cfg.ser.scan_bits_per_cycle = scan_bits;
+        ProtoAccelerator device(&memory, cfg);
+        Arena adt_arena;
+        AdtBuilder adts(pool, &adt_arena);
+        SerArena out;
+        device.SerAssignArena(&out);
+        // Warm-up job, then measure.
+        uint64_t c = 0;
+        for (int i = 0; i < 2; ++i) {
+            device.EnqueueSer(MakeSerJob(adts, sparse, pool, m.raw()));
+            EXPECT_EQ(device.BlockForSerCompletion(&c),
+                      AccelStatus::kOk);
+        }
+        return c;
+    };
+    EXPECT_LT(run(256), run(16));
+}
+
+}  // namespace
+}  // namespace protoacc::accel

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "asic/area_model.h"
+
+namespace protoacc::asic {
+namespace {
+
+TEST(AreaModel, DeserializerMatchesPaper)
+{
+    const UnitReport report = DeserializerReport();
+    EXPECT_NEAR(report.total_mm2, 0.133, 0.133 * 0.03);
+    EXPECT_NEAR(report.freq_ghz, 1.95, 0.05);
+}
+
+TEST(AreaModel, SerializerMatchesPaper)
+{
+    const UnitReport report = SerializerReport();
+    EXPECT_NEAR(report.total_mm2, 0.278, 0.278 * 0.03);
+    EXPECT_NEAR(report.freq_ghz, 1.84, 0.05);
+}
+
+TEST(AreaModel, SerializerIsAboutTwiceTheDeserializer)
+{
+    const double ratio = SerializerReport().total_mm2 /
+                         DeserializerReport().total_mm2;
+    EXPECT_NEAR(ratio, 2.09, 0.1);
+}
+
+TEST(AreaModel, AreaMonotonicInFsuCount)
+{
+    double prev = 0;
+    for (int k : {1, 2, 4, 8, 16}) {
+        const double area = SerializerReport(ProcessParams{}, k).total_mm2;
+        EXPECT_GT(area, prev);
+        prev = area;
+    }
+}
+
+TEST(AreaModel, FsuAreaScalesLinearly)
+{
+    const double a1 = SerializerReport(ProcessParams{}, 1).total_mm2;
+    const double a2 = SerializerReport(ProcessParams{}, 2).total_mm2;
+    const double a4 = SerializerReport(ProcessParams{}, 4).total_mm2;
+    EXPECT_NEAR(a4 - a2, 2 * (a2 - a1), 1e-9);
+}
+
+TEST(AreaModel, BlocksSumToTotal)
+{
+    const UnitReport report = DeserializerReport();
+    double sum = 0;
+    for (const auto &block : report.blocks)
+        sum += block.area_mm2;
+    EXPECT_NEAR(sum, report.total_mm2, 1e-12);
+}
+
+TEST(AreaModel, FasterProcessRaisesFrequency)
+{
+    ProcessParams fast;
+    fast.fo4_ps = 10.0;
+    EXPECT_GT(DeserializerReport(fast).freq_ghz,
+              DeserializerReport().freq_ghz);
+}
+
+TEST(AreaModel, TableRendersAllBlocks)
+{
+    const UnitReport report = SerializerReport();
+    const std::string table = ToTable(report);
+    for (const auto &block : report.blocks)
+        EXPECT_NE(table.find(block.name), std::string::npos);
+    EXPECT_NE(table.find("GHz"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace protoacc::asic

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bits.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+
+namespace protoacc {
+namespace {
+
+TEST(Bits, SignificantBits)
+{
+    EXPECT_EQ(SignificantBits(0), 0);
+    EXPECT_EQ(SignificantBits(1), 1);
+    EXPECT_EQ(SignificantBits(0x7f), 7);
+    EXPECT_EQ(SignificantBits(0x80), 8);
+    EXPECT_EQ(SignificantBits(UINT64_MAX), 64);
+}
+
+TEST(Bits, CeilDiv)
+{
+    EXPECT_EQ(CeilDiv(0, 7), 0u);
+    EXPECT_EQ(CeilDiv(7, 7), 1u);
+    EXPECT_EQ(CeilDiv(8, 7), 2u);
+    EXPECT_EQ(CeilDiv(70, 7), 10u);
+}
+
+TEST(Bits, AlignUp)
+{
+    EXPECT_EQ(AlignUp(0, 8), 0u);
+    EXPECT_EQ(AlignUp(1, 8), 8u);
+    EXPECT_EQ(AlignUp(8, 8), 8u);
+    EXPECT_EQ(AlignUp(9, 4), 12u);
+}
+
+TEST(Bits, IsPow2AndLog2)
+{
+    EXPECT_TRUE(IsPow2(1));
+    EXPECT_TRUE(IsPow2(4096));
+    EXPECT_FALSE(IsPow2(0));
+    EXPECT_FALSE(IsPow2(6));
+    EXPECT_EQ(Log2Floor(1), 0);
+    EXPECT_EQ(Log2Floor(4096), 12);
+    EXPECT_EQ(Log2Floor(4097), 12);
+}
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.Next() == b.Next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BoundedStaysInBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.NextBounded(13), 13u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(7);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t v = rng.NextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, WeightedRespectsZeroWeights)
+{
+    Rng rng(9);
+    const std::vector<double> weights = {0.0, 1.0, 0.0};
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(rng.NextWeighted(weights), 1u);
+}
+
+TEST(Rng, LogUniformBounds)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const uint64_t v = rng.NextLogUniform(4, 4096);
+        EXPECT_GE(v, 4u);
+        EXPECT_LE(v, 4096u);
+    }
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.NextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Histogram, PaperBucketsCoverAllSizes)
+{
+    EXPECT_EQ(PaperSizeBuckets().size(), 10u);
+    EXPECT_EQ(PaperSizeBucketIndex(0), 0u);
+    EXPECT_EQ(PaperSizeBucketIndex(8), 0u);
+    EXPECT_EQ(PaperSizeBucketIndex(9), 1u);
+    EXPECT_EQ(PaperSizeBucketIndex(32), 2u);
+    EXPECT_EQ(PaperSizeBucketIndex(512), 6u);
+    EXPECT_EQ(PaperSizeBucketIndex(513), 7u);
+    EXPECT_EQ(PaperSizeBucketIndex(32768), 8u);
+    EXPECT_EQ(PaperSizeBucketIndex(32769), 9u);
+    EXPECT_EQ(PaperSizeBucketIndex(UINT64_MAX), 9u);
+}
+
+TEST(Histogram, CountsAndWeights)
+{
+    Histogram h = Histogram::ForPaperSizeBuckets();
+    h.AddSized(4, 4);
+    h.AddSized(5, 5);
+    h.AddSized(100000, 100000);
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(9), 1u);
+    EXPECT_EQ(h.total_count(), 3u);
+    EXPECT_DOUBLE_EQ(h.weight(0), 9.0);
+    EXPECT_NEAR(h.count_pct(0), 66.67, 0.01);
+    EXPECT_NEAR(h.weight_pct(9), 100.0 * 100000 / 100009, 0.01);
+}
+
+TEST(Histogram, TableRendering)
+{
+    Histogram h = Histogram::ForPaperSizeBuckets();
+    h.AddSized(10);
+    const std::string table = h.ToTable("title");
+    EXPECT_NE(table.find("title"), std::string::npos);
+    EXPECT_NE(table.find("9-16"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace protoacc

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "harness/microbench.h"
+#include "harness/stats_report.h"
+
+namespace protoacc::harness {
+namespace {
+
+TEST(StatsReport, ReportsAllUnitsAfterActivity)
+{
+    // Drive all three units, then check the report carries the work.
+    const auto bench = MakeVarintBench(3, false);
+    const Workload &workload = bench->workload;
+
+    sim::MemorySystem memory{sim::MemorySystemConfig{}};
+    accel::ProtoAccelerator device(&memory, accel::AccelConfig{});
+    proto::Arena adt_arena, accel_arena, dest_arena;
+    accel::AdtBuilder adts(*workload.pool, &adt_arena);
+    device.DeserAssignArena(&accel_arena);
+    accel::SerArena ser_arena;
+    device.SerAssignArena(&ser_arena);
+
+    uint64_t cycles = 0;
+    device.EnqueueSer(accel::MakeSerJob(adts, workload.msg_index,
+                                        *workload.pool,
+                                        workload.messages[0].raw()));
+    ASSERT_EQ(device.BlockForSerCompletion(&cycles),
+              accel::AccelStatus::kOk);
+    proto::Message dest = proto::Message::Create(
+        &dest_arena, *workload.pool, workload.msg_index);
+    device.EnqueueDeser(accel::MakeDeserJob(
+        adts, workload.msg_index, *workload.pool, dest.raw(),
+        workload.wires[0].data(), workload.wires[0].size()));
+    ASSERT_EQ(device.BlockForDeserCompletion(&cycles),
+              accel::AccelStatus::kOk);
+    accel::OpsJob clear;
+    clear.op = accel::MessageOp::kClear;
+    clear.adt = adts.adt(workload.msg_index);
+    clear.dst_obj = dest.raw();
+    device.EnqueueOp(clear);
+    ASSERT_EQ(device.BlockForOpsCompletion(&cycles),
+              accel::AccelStatus::kOk);
+
+    const std::string report = AccelStatsReport(device);
+    for (const char *key :
+         {"deser.jobs", "deser.varint_fields", "deser.bytes_per_cycle",
+          "ser.jobs", "ser.out_bytes", "ops.jobs", "ops.bytes_copied"}) {
+        EXPECT_NE(report.find(key), std::string::npos) << key;
+    }
+    // Non-zero job counts rendered.
+    EXPECT_EQ(report.find("deser.jobs                                "
+                          "                0"),
+              std::string::npos);
+
+    const std::string mem_report = MemoryStatsReport(memory);
+    for (const char *key : {"l2.hits", "llc.hit_rate", "mem.reads"})
+        EXPECT_NE(mem_report.find(key), std::string::npos) << key;
+}
+
+TEST(StatsReport, OpsSectionOmittedWhenIdle)
+{
+    sim::MemorySystem memory{sim::MemorySystemConfig{}};
+    accel::ProtoAccelerator device(&memory, accel::AccelConfig{});
+    const std::string report = AccelStatsReport(device);
+    EXPECT_EQ(report.find("ops.jobs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace protoacc::harness

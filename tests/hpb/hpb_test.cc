@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "hpb/generator.h"
+#include "proto/parser.h"
+
+namespace protoacc::hpb {
+namespace {
+
+using profile::Fleet;
+using profile::FleetParams;
+using profile::ProtobufzSampler;
+using profile::ShapeAggregate;
+using profile::ShapeProfile;
+
+TEST(FitShapeProfile, EmptyAggregateKeepsDefaults)
+{
+    const ShapeAggregate empty;
+    const ShapeProfile profile = FitShapeProfile(empty);
+    EXPECT_EQ(profile.type_shares.size(),
+              profile::PaperFieldTypeShares().size());
+}
+
+TEST(FitShapeProfile, FittedPercentagesNormalize)
+{
+    Fleet fleet{FleetParams{}, 11};
+    ProtobufzSampler sampler(&fleet, 4);
+    const ShapeAggregate agg = sampler.Collect(1500);
+    const ShapeProfile profile = FitShapeProfile(agg);
+
+    double fields = 0;
+    for (const auto &share : profile.type_shares)
+        fields += share.field_pct;
+    EXPECT_NEAR(fields, 100.0, 0.5);
+
+    double msg_sizes = 0;
+    for (double p : profile.msg_size_pct)
+        msg_sizes += p;
+    EXPECT_NEAR(msg_sizes, 100.0, 0.5);
+
+    double density = 0;
+    for (double p : profile.density_pct)
+        density += p;
+    EXPECT_NEAR(density, 100.0, 0.5);
+    EXPECT_GT(profile.mean_presence, 0.0);
+    EXPECT_LT(profile.mean_presence, 1.0);
+}
+
+TEST(FitShapeProfile, FittedMixReflectsObservations)
+{
+    // A service whose shapes were observed should be regenerated with
+    // a similar varint/bytes mix.
+    Fleet fleet{FleetParams{}, 11};
+    ProtobufzSampler sampler(&fleet, 4);
+    const ShapeAggregate agg = sampler.CollectService(0, 2000);
+    const ShapeProfile profile = FitShapeProfile(agg);
+
+    double observed_varint = 0, fitted_varint = 0, observed_total = 0;
+    for (const auto &[key, stats] : agg.by_type) {
+        observed_total += static_cast<double>(stats.count);
+        if (proto::IsVarintType(static_cast<proto::FieldType>(key.first)))
+            observed_varint += static_cast<double>(stats.count);
+    }
+    for (const auto &share : profile.type_shares) {
+        if (proto::IsVarintType(share.type))
+            fitted_varint += share.field_pct;
+    }
+    EXPECT_NEAR(fitted_varint, 100.0 * observed_varint / observed_total,
+                1e-6);
+}
+
+class HpbSuiteTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        fleet_ = new Fleet{FleetParams{}, 2021};
+        HpbParams params;
+        params.shape_samples_per_service = 400;
+        params.messages_per_bench = 16;
+        benches_ = new std::vector<HpbBenchmark>(
+            BuildHyperProtoBench(*fleet_, params));
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete benches_;
+        delete fleet_;
+        benches_ = nullptr;
+        fleet_ = nullptr;
+    }
+
+    static Fleet *fleet_;
+    static std::vector<HpbBenchmark> *benches_;
+};
+
+Fleet *HpbSuiteTest::fleet_ = nullptr;
+std::vector<HpbBenchmark> *HpbSuiteTest::benches_ = nullptr;
+
+TEST_F(HpbSuiteTest, ProducesSixNamedBenchmarks)
+{
+    ASSERT_EQ(benches_->size(), 6u);
+    for (size_t i = 0; i < benches_->size(); ++i) {
+        EXPECT_EQ((*benches_)[i].name, "bench" + std::to_string(i));
+        EXPECT_EQ((*benches_)[i].workload.messages.size(), 16u);
+        EXPECT_GT((*benches_)[i].workload.total_wire_bytes, 0);
+    }
+}
+
+TEST_F(HpbSuiteTest, GeneratedWiresParseBack)
+{
+    for (const auto &bench : *benches_) {
+        proto::Arena arena;
+        for (size_t i = 0; i < bench.workload.wires.size(); ++i) {
+            proto::Message dest = proto::Message::Create(
+                &arena, *bench.workload.pool, bench.workload.msg_index);
+            EXPECT_EQ(proto::ParseFromBuffer(
+                          bench.workload.wires[i].data(),
+                          bench.workload.wires[i].size(), &dest),
+                      proto::ParseStatus::kOk)
+                << bench.name << " message " << i;
+            EXPECT_TRUE(
+                MessagesEqual(bench.workload.messages[i], dest));
+        }
+    }
+}
+
+TEST_F(HpbSuiteTest, BenchmarksAreRunnableOnAllThreeSystems)
+{
+    const auto &bench = benches_->front();
+    const harness::Throughput boom =
+        harness::CpuDeserialize(cpu::BoomParams(), bench.workload, 1);
+    const harness::Throughput accel =
+        harness::AccelDeserialize(bench.workload,
+                                  accel::AccelConfig{}, 1);
+    EXPECT_GT(boom.gbps, 0);
+    EXPECT_GT(accel.gbps, boom.gbps);
+}
+
+TEST_F(HpbSuiteTest, DeterministicFromSeed)
+{
+    HpbParams params;
+    params.shape_samples_per_service = 100;
+    params.messages_per_bench = 4;
+    const auto a = BuildHyperProtoBench(*fleet_, params);
+    const auto b = BuildHyperProtoBench(*fleet_, params);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].workload.wires, b[i].workload.wires);
+}
+
+}  // namespace
+}  // namespace protoacc::hpb

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "profile/cycle_estimator.h"
+#include "profile/samplers.h"
+
+namespace protoacc::profile {
+namespace {
+
+/// Shared fleet + samples for the statistical tests (fixed seeds keep
+/// every assertion deterministic).
+class ProfileTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        fleet_ = new Fleet{FleetParams{}, /*seed=*/2021};
+        ProtobufzSampler sampler(fleet_, /*seed=*/99);
+        agg_ = new ShapeAggregate(sampler.Collect(6000));
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete agg_;
+        delete fleet_;
+        agg_ = nullptr;
+        fleet_ = nullptr;
+    }
+
+    static Fleet *fleet_;
+    static ShapeAggregate *agg_;
+};
+
+Fleet *ProfileTest::fleet_ = nullptr;
+ShapeAggregate *ProfileTest::agg_ = nullptr;
+
+TEST_F(ProfileTest, PaperDistributionsAreNormalized)
+{
+    double op_total = 0;
+    for (const auto &share : PaperCyclesByOp())
+        op_total += share.pct;
+    EXPECT_NEAR(op_total, 100.0, 0.5);
+
+    double msg_total = 0;
+    for (double p : PaperMsgSizePct())
+        msg_total += p;
+    EXPECT_NEAR(msg_total, 100.0, 0.5);
+
+    double field_total = 0, bytes_total = 0;
+    for (const auto &share : PaperFieldTypeShares()) {
+        field_total += share.field_pct;
+        bytes_total += share.bytes_pct;
+    }
+    EXPECT_NEAR(field_total, 100.0, 0.5);
+    EXPECT_NEAR(bytes_total, 100.0, 0.5);
+}
+
+TEST_F(ProfileTest, MessageSizeAnchorsHold)
+{
+    // §3.5 published cumulative anchors, with generation tolerance.
+    double cum = 0;
+    for (size_t i = 0; i < 3; ++i)
+        cum += agg_->msg_sizes.count_pct(i);
+    EXPECT_NEAR(cum, 56.0, 8.0);  // <= 32 B
+    for (size_t i = 3; i < 7; ++i)
+        cum += agg_->msg_sizes.count_pct(i);
+    EXPECT_NEAR(cum, 93.0, 5.0);  // <= 512 B
+    // Large messages dominate data volume.
+    EXPECT_GT(agg_->msg_sizes.weight(9),
+              13.7 * agg_->msg_sizes.weight(0));
+}
+
+TEST_F(ProfileTest, FieldMixAnchorsHold)
+{
+    double varint_fields = 0, total_fields = 0, byteslike_bytes = 0,
+           total_bytes = 0;
+    for (const auto &[key, stats] : agg_->by_type) {
+        const auto type = static_cast<proto::FieldType>(key.first);
+        total_fields += static_cast<double>(stats.count);
+        total_bytes += stats.wire_bytes;
+        if (proto::IsVarintType(type))
+            varint_fields += static_cast<double>(stats.count);
+        if (proto::IsBytesLike(type))
+            byteslike_bytes += stats.wire_bytes;
+    }
+    EXPECT_GT(100.0 * varint_fields / total_fields, 50.0);   // >56% ideal
+    EXPECT_GT(100.0 * byteslike_bytes / total_bytes, 85.0);  // >92% ideal
+}
+
+TEST_F(ProfileTest, DensityAnchorHolds)
+{
+    EXPECT_GT(100.0 * agg_->density_over_1_64 / agg_->density_samples,
+              88.0);  // paper: >= 92%
+}
+
+TEST_F(ProfileTest, Proto2ShareNearPaper)
+{
+    const double share =
+        100.0 * agg_->proto2_bytes / agg_->total_bytes;
+    EXPECT_GT(share, 90.0);
+    EXPECT_LE(share, 100.0);
+}
+
+TEST_F(ProfileTest, GwpProfileMatchesOpShares)
+{
+    GwpSampler gwp(fleet_, /*seed=*/5);
+    const CycleProfile profile = gwp.Collect(20000);
+    for (const auto &share : PaperCyclesByOp()) {
+        EXPECT_NEAR(profile.pct(share.op), share.pct,
+                    share.pct * 0.45 + 2.0)
+            << share.op;
+    }
+}
+
+TEST_F(ProfileTest, SchemaStatsConsistent)
+{
+    const SchemaStats stats = CollectSchemaStats(*fleet_);
+    EXPECT_GT(stats.message_types, 0u);
+    EXPECT_GT(stats.fields, stats.message_types);
+    EXPECT_GE(stats.repeated_scalar_fields,
+              stats.packed_repeated_fields);
+    // §3.3-ish: most types proto2.
+    EXPECT_GT(static_cast<double>(stats.proto2_types) /
+                  stats.message_types,
+              0.9);
+}
+
+TEST_F(ProfileTest, PerServiceCollectionOnlySamplesThatService)
+{
+    ProtobufzSampler sampler(fleet_, /*seed=*/12);
+    const ShapeAggregate svc = sampler.CollectService(0, 200);
+    EXPECT_EQ(svc.messages_sampled, 200u);
+    EXPECT_GT(svc.total_bytes, 0);
+}
+
+TEST_F(ProfileTest, CycleEstimatorBuilds24NormalizedSlices)
+{
+    const auto slices = EstimateCycleShares(*agg_, cpu::XeonParams());
+    ASSERT_EQ(slices.size(), 24u);
+    double deser_total = 0, ser_total = 0;
+    for (const auto &s : slices) {
+        deser_total += s.deser_time_pct;
+        ser_total += s.ser_time_pct;
+        EXPECT_GE(s.deser_cyc_per_b, 0);
+        EXPECT_GE(s.ser_cyc_per_b, 0);
+    }
+    EXPECT_NEAR(deser_total, 100.0, 0.1);
+    EXPECT_NEAR(ser_total, 100.0, 0.1);
+}
+
+TEST_F(ProfileTest, EstimatorShowsNoSilverBullet)
+{
+    // §3.6.4: no single slice dominates deserialization time.
+    const auto slices = EstimateCycleShares(*agg_, cpu::XeonParams());
+    for (const auto &s : slices)
+        EXPECT_LT(s.deser_time_pct, 60.0) << s.name;
+    // Large bytes-like slices are cheap per byte: the 32769-inf slice
+    // must be far cheaper per byte than 1-byte varints.
+    const auto &big_bytes = slices[19];  // bytes-32769-inf
+    const auto &small_varint = slices[0];
+    EXPECT_LT(big_bytes.deser_cyc_per_b * 20,
+              small_varint.deser_cyc_per_b);
+}
+
+TEST_F(ProfileTest, FleetIsDeterministicFromSeed)
+{
+    Fleet a{FleetParams{}, 7};
+    Fleet b{FleetParams{}, 7};
+    ProtobufzSampler sa(&a, 3), sb(&b, 3);
+    const ShapeAggregate ra = sa.Collect(300);
+    const ShapeAggregate rb = sb.Collect(300);
+    EXPECT_EQ(ra.total_bytes, rb.total_bytes);
+    EXPECT_EQ(ra.messages_sampled, rb.messages_sampled);
+    EXPECT_EQ(ra.max_depth, rb.max_depth);
+}
+
+TEST_F(ProfileTest, DeepMessagesExistWithEnoughSamples)
+{
+    // The recursive types plus the depth tail let some samples nest.
+    EXPECT_GE(agg_->max_depth, 2);
+}
+
+}  // namespace
+}  // namespace protoacc::profile

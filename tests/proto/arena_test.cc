@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "proto/arena.h"
+#include "proto/arena_string.h"
+#include "proto/repeated.h"
+
+namespace protoacc::proto {
+namespace {
+
+TEST(Arena, AllocationsAreZeroedAndAligned)
+{
+    Arena arena;
+    for (size_t align : {1u, 2u, 4u, 8u, 16u}) {
+        char *p = static_cast<char *>(arena.Allocate(33, align));
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u);
+        for (int i = 0; i < 33; ++i)
+            EXPECT_EQ(p[i], 0);
+    }
+}
+
+TEST(Arena, GrowsAcrossBlocks)
+{
+    Arena arena(/*block_size=*/4096);
+    void *first = arena.Allocate(3000);
+    void *second = arena.Allocate(3000);  // forces a second block
+    EXPECT_NE(first, second);
+    EXPECT_GE(arena.bytes_reserved(), 8000u);
+    EXPECT_EQ(arena.allocation_count(), 2u);
+}
+
+TEST(Arena, OversizedAllocationGetsOwnBlock)
+{
+    Arena arena(/*block_size=*/4096);
+    char *big = static_cast<char *>(arena.Allocate(1 << 20));
+    big[0] = 1;
+    big[(1 << 20) - 1] = 1;  // touch both ends
+    EXPECT_GE(arena.bytes_reserved(), 1u << 20);
+}
+
+TEST(Arena, ResetReclaims)
+{
+    Arena arena;
+    arena.Allocate(1000);
+    arena.Allocate(1000);
+    arena.Reset();
+    EXPECT_EQ(arena.bytes_used(), 0u);
+    EXPECT_EQ(arena.allocation_count(), 0u);
+    void *p = arena.Allocate(16);
+    EXPECT_NE(p, nullptr);
+}
+
+TEST(Arena, BumpAllocationIsSequentialWithinBlock)
+{
+    // §2.3: allocation is a pointer increment.
+    Arena arena;
+    char *a = static_cast<char *>(arena.Allocate(8));
+    char *b = static_cast<char *>(arena.Allocate(8));
+    EXPECT_EQ(b, a + 8);
+}
+
+TEST(ArenaString, LayoutMatchesLibstdcxxFootprint)
+{
+    EXPECT_EQ(sizeof(ArenaString), 32u);
+    EXPECT_EQ(offsetof(ArenaString, data_ptr), 0u);
+    EXPECT_EQ(offsetof(ArenaString, size), 8u);
+    EXPECT_EQ(offsetof(ArenaString, inline_buf), 16u);
+}
+
+TEST(ArenaString, SmallStringsStoredInline)
+{
+    Arena arena;
+    ArenaString *s = ArenaString::Create(&arena, "hello");
+    EXPECT_TRUE(s->is_inline());
+    EXPECT_EQ(s->view(), "hello");
+    EXPECT_EQ(s->data_ptr[5], '\0');
+
+    // Exactly at the SSO boundary.
+    const std::string fifteen(15, 'x');
+    s->Assign(&arena, fifteen);
+    EXPECT_TRUE(s->is_inline());
+    EXPECT_EQ(s->view(), fifteen);
+}
+
+TEST(ArenaString, LargeStringsSpillToArena)
+{
+    Arena arena;
+    const std::string big(16, 'y');
+    ArenaString *s = ArenaString::Create(&arena, big);
+    EXPECT_FALSE(s->is_inline());
+    EXPECT_EQ(s->view(), big);
+    EXPECT_GE(s->heap_capacity, 16u);
+}
+
+TEST(ArenaString, ReassignReusesHeapBuffer)
+{
+    Arena arena;
+    ArenaString *s = ArenaString::Create(&arena, std::string(100, 'a'));
+    const char *buf = s->data_ptr;
+    s->Assign(&arena, std::string(50, 'b'));
+    EXPECT_EQ(s->data_ptr, buf);  // shrunk in place
+    EXPECT_EQ(s->size, 50u);
+}
+
+TEST(ArenaString, EmptyString)
+{
+    Arena arena;
+    ArenaString *s = ArenaString::Create(&arena, "");
+    EXPECT_EQ(s->size, 0u);
+    EXPECT_TRUE(s->is_inline());
+    EXPECT_EQ(s->view(), "");
+}
+
+TEST(RepeatedField, AppendAndGet)
+{
+    Arena arena;
+    RepeatedField *r = RepeatedField::Create(&arena);
+    for (int32_t i = 0; i < 100; ++i)
+        r->Append(&arena, &i, sizeof(i));
+    ASSERT_EQ(r->size, 100u);
+    for (int32_t i = 0; i < 100; ++i)
+        EXPECT_EQ(r->Get<int32_t>(i), i);
+}
+
+TEST(RepeatedField, GrowthPreservesContents)
+{
+    Arena arena;
+    RepeatedField *r = RepeatedField::Create(&arena);
+    const double first = 3.25;
+    r->Append(&arena, &first, sizeof(first));
+    // Force several doublings.
+    for (int i = 0; i < 1000; ++i) {
+        const double v = i;
+        r->Append(&arena, &v, sizeof(v));
+    }
+    EXPECT_DOUBLE_EQ(r->Get<double>(0), 3.25);
+    EXPECT_DOUBLE_EQ(r->Get<double>(1000), 999.0);
+}
+
+TEST(RepeatedField, ReserveIsIdempotent)
+{
+    Arena arena;
+    RepeatedField *r = RepeatedField::Create(&arena);
+    r->Reserve(&arena, 64, 4);
+    void *data = r->data;
+    r->Reserve(&arena, 32, 4);
+    EXPECT_EQ(r->data, data);
+    EXPECT_GE(r->capacity, 64u);
+}
+
+TEST(RepeatedPtrField, AppendAndGrowth)
+{
+    Arena arena;
+    RepeatedPtrField *r = RepeatedPtrField::Create(&arena);
+    std::vector<ArenaString *> strings;
+    for (int i = 0; i < 50; ++i) {
+        auto *s =
+            ArenaString::Create(&arena, "s" + std::to_string(i));
+        strings.push_back(s);
+        r->Append(&arena, s);
+    }
+    ASSERT_EQ(r->size, 50u);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(r->at(i), strings[i]);
+}
+
+}  // namespace
+}  // namespace protoacc::proto

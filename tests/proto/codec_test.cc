@@ -1,0 +1,345 @@
+#include <gtest/gtest.h>
+
+#include "proto/parser.h"
+#include "proto/serializer.h"
+
+namespace protoacc::proto {
+namespace {
+
+std::vector<uint8_t>
+Bytes(std::initializer_list<int> xs)
+{
+    std::vector<uint8_t> out;
+    for (int x : xs)
+        out.push_back(static_cast<uint8_t>(x));
+    return out;
+}
+
+class CodecTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        inner_ = pool_.AddMessage("Inner");
+        pool_.AddField(inner_, "v", 1, FieldType::kInt32);
+        pool_.AddField(inner_, "name", 2, FieldType::kString);
+
+        msg_ = pool_.AddMessage("Test");
+        pool_.AddField(msg_, "a", 1, FieldType::kInt32);
+        pool_.AddField(msg_, "s", 2, FieldType::kString);
+        pool_.AddField(msg_, "d", 3, FieldType::kDouble);
+        pool_.AddField(msg_, "z", 4, FieldType::kSint32);
+        pool_.AddMessageField(msg_, "sub", 5, inner_);
+        pool_.AddField(msg_, "rp", 6, FieldType::kInt32, Label::kRepeated,
+                       /*packed=*/true);
+        pool_.AddField(msg_, "ru", 7, FieldType::kInt32, Label::kRepeated,
+                       /*packed=*/false);
+        pool_.AddField(msg_, "fl", 8, FieldType::kFloat);
+        pool_.AddField(msg_, "fx64", 9, FieldType::kFixed64);
+        pool_.AddField(msg_, "bl", 10, FieldType::kBool);
+        pool_.Compile();
+    }
+
+    const FieldDescriptor &
+    F(const char *name) const
+    {
+        return *pool_.message(msg_).FindFieldByName(name);
+    }
+
+    Message
+    NewMsg()
+    {
+        return Message::Create(&arena_, pool_, msg_);
+    }
+
+    Message
+    ParseOk(const std::vector<uint8_t> &wire)
+    {
+        Message m = NewMsg();
+        EXPECT_EQ(ParseFromBuffer(wire.data(), wire.size(), &m),
+                  ParseStatus::kOk);
+        return m;
+    }
+
+    DescriptorPool pool_;
+    Arena arena_;
+    int inner_ = -1;
+    int msg_ = -1;
+};
+
+TEST_F(CodecTest, GoldenVarintField)
+{
+    // The canonical protobuf docs example: field 1 (varint) = 150
+    // encodes as 08 96 01.
+    Message m = NewMsg();
+    m.SetInt32(F("a"), 150);
+    EXPECT_EQ(Serialize(m), Bytes({0x08, 0x96, 0x01}));
+}
+
+TEST_F(CodecTest, GoldenStringField)
+{
+    // Docs example: field 2 (string) = "testing" -> 12 07 74..67.
+    Message m = NewMsg();
+    m.SetString(F("s"), "testing");
+    EXPECT_EQ(Serialize(m), Bytes({0x12, 0x07, 0x74, 0x65, 0x73, 0x74,
+                                   0x69, 0x6e, 0x67}));
+}
+
+TEST_F(CodecTest, NegativeInt32SignExtendsToTenBytes)
+{
+    // proto2: int32 -1 is serialized as the 10-byte varint for 2^64-1.
+    Message m = NewMsg();
+    m.SetInt32(F("a"), -1);
+    const auto wire = Serialize(m);
+    ASSERT_EQ(wire.size(), 11u);  // 1 tag + 10 value bytes
+    EXPECT_EQ(wire[0], 0x08);
+    for (int i = 1; i <= 9; ++i)
+        EXPECT_EQ(wire[i], 0xff);
+    EXPECT_EQ(wire[10], 0x01);
+
+    Message back = ParseOk(wire);
+    EXPECT_EQ(back.GetInt32(F("a")), -1);
+}
+
+TEST_F(CodecTest, SintUsesZigZag)
+{
+    Message m = NewMsg();
+    m.SetInt32(F("z"), -1);  // zigzag(-1) = 1 -> single byte
+    const auto wire = Serialize(m);
+    EXPECT_EQ(wire, Bytes({0x20, 0x01}));
+    Message back = ParseOk(wire);
+    EXPECT_EQ(back.GetInt32(F("z")), -1);
+}
+
+TEST_F(CodecTest, DoubleAndFloatAndFixed)
+{
+    Message m = NewMsg();
+    m.SetDouble(F("d"), 1.0);
+    m.SetFloat(F("fl"), -2.5f);
+    m.SetUint64(F("fx64"), 0x1122334455667788ull);
+    const auto wire = Serialize(m);
+    Message back = ParseOk(wire);
+    EXPECT_DOUBLE_EQ(back.GetDouble(F("d")), 1.0);
+    EXPECT_FLOAT_EQ(back.GetFloat(F("fl")), -2.5f);
+    EXPECT_EQ(back.GetUint64(F("fx64")), 0x1122334455667788ull);
+}
+
+TEST_F(CodecTest, BoolEncodesAsOneByte)
+{
+    Message m = NewMsg();
+    m.SetBool(F("bl"), true);
+    EXPECT_EQ(Serialize(m), Bytes({0x50, 0x01}));
+}
+
+TEST_F(CodecTest, EmptyMessageSerializesToNothing)
+{
+    // Figure 1: empty messages take no bytes in encoded form.
+    Message m = NewMsg();
+    EXPECT_TRUE(Serialize(m).empty());
+    EXPECT_EQ(ByteSize(m), 0u);
+}
+
+TEST_F(CodecTest, SubMessageRoundTrip)
+{
+    Message m = NewMsg();
+    Message sub = m.MutableMessage(F("sub"));
+    sub.SetInt32(*sub.descriptor().FindFieldByName("v"), 600613);
+    sub.SetString(*sub.descriptor().FindFieldByName("name"), "inner");
+    const auto wire = Serialize(m);
+    Message back = ParseOk(wire);
+    EXPECT_TRUE(MessagesEqual(m, back));
+}
+
+TEST_F(CodecTest, EmptySubMessageOccupiesTagAndZeroLength)
+{
+    Message m = NewMsg();
+    m.MutableMessage(F("sub"));
+    // tag(5, len-delim) = 0x2a, length 0.
+    EXPECT_EQ(Serialize(m), Bytes({0x2a, 0x00}));
+}
+
+TEST_F(CodecTest, PackedRepeatedEncoding)
+{
+    Message m = NewMsg();
+    for (int v : {3, 270, 86942})
+        m.AddRepeatedBits(F("rp"), static_cast<uint32_t>(v));
+    // The protobuf docs packed example: 32 06 03 8e 02 9e a7 05.
+    EXPECT_EQ(Serialize(m),
+              Bytes({0x32, 0x06, 0x03, 0x8e, 0x02, 0x9e, 0xa7, 0x05}));
+    Message back = ParseOk(Serialize(m));
+    ASSERT_EQ(back.RepeatedSize(F("rp")), 3u);
+    EXPECT_EQ(back.GetRepeated<int32_t>(F("rp"), 2), 86942);
+}
+
+TEST_F(CodecTest, UnpackedRepeatedEncoding)
+{
+    Message m = NewMsg();
+    m.AddRepeatedBits(F("ru"), 1);
+    m.AddRepeatedBits(F("ru"), 2);
+    // Two (key, value) pairs with the same key (§2.1.2).
+    EXPECT_EQ(Serialize(m), Bytes({0x38, 0x01, 0x38, 0x02}));
+}
+
+TEST_F(CodecTest, ParserAcceptsPackedForUnpackedFieldAndViceVersa)
+{
+    // proto2 parsers must accept both encodings for repeated scalars.
+    Message a = ParseOk(Bytes({0x3a, 0x02, 0x05, 0x06}));  // field 7 packed
+    ASSERT_EQ(a.RepeatedSize(F("ru")), 2u);
+    EXPECT_EQ(a.GetRepeated<int32_t>(F("ru"), 0), 5);
+
+    Message b = ParseOk(Bytes({0x30, 0x09, 0x30, 0x0a}));  // field 6 unpacked
+    ASSERT_EQ(b.RepeatedSize(F("rp")), 2u);
+    EXPECT_EQ(b.GetRepeated<int32_t>(F("rp"), 1), 10);
+}
+
+TEST_F(CodecTest, UnknownFieldsAreSkipped)
+{
+    // Field 99 (varint), field 100 (length-delimited), field 101
+    // (fixed32), field 102 (fixed64) are not in the schema: the parser
+    // must skip them and still decode field 1 (schema evolution, §2.1.1).
+    std::vector<uint8_t> wire;
+    auto append = [&wire](std::initializer_list<int> xs) {
+        for (int x : xs)
+            wire.push_back(static_cast<uint8_t>(x));
+    };
+    append({0x98, 0x06, 0x07});                    // 99 varint 7
+    append({0xa2, 0x06, 0x03, 'a', 'b', 'c'});     // 100 len-delim "abc"
+    append({0xad, 0x06, 1, 2, 3, 4});              // 101 fixed32
+    append({0xb1, 0x06, 1, 2, 3, 4, 5, 6, 7, 8});  // 102 fixed64
+    append({0x08, 0x2a});                          // a = 42
+    Message m = ParseOk(wire);
+    EXPECT_EQ(m.GetInt32(F("a")), 42);
+}
+
+TEST_F(CodecTest, TruncatedInputsFail)
+{
+    Message m = NewMsg();
+    m.SetString(F("s"), "hello world");
+    m.SetDouble(F("d"), 3.5);
+    const auto wire = Serialize(m);
+    ASSERT_EQ(wire.size(), 22u);  // 13-byte string field + 9-byte double
+    for (size_t cut = 1; cut < wire.size(); ++cut) {
+        if (cut == 13)
+            continue;  // a complete-field prefix is a valid message
+        Message target = NewMsg();
+        EXPECT_NE(ParseFromBuffer(wire.data(), cut, &target),
+                  ParseStatus::kOk)
+            << "cut=" << cut;
+    }
+}
+
+TEST_F(CodecTest, MalformedVarintFails)
+{
+    const auto wire = Bytes({0x08, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+                             0xff, 0xff, 0xff, 0xff, 0xff});
+    Message m = NewMsg();
+    EXPECT_EQ(ParseFromBuffer(wire.data(), wire.size(), &m),
+              ParseStatus::kMalformedVarint);
+}
+
+TEST_F(CodecTest, FieldNumberZeroRejected)
+{
+    const auto wire = Bytes({0x00, 0x01});
+    Message m = NewMsg();
+    EXPECT_EQ(ParseFromBuffer(wire.data(), wire.size(), &m),
+              ParseStatus::kInvalidFieldNumber);
+}
+
+TEST_F(CodecTest, GroupWireTypesRejected)
+{
+    const auto wire = Bytes({0x0b});  // field 1, start-group
+    Message m = NewMsg();
+    EXPECT_EQ(ParseFromBuffer(wire.data(), wire.size(), &m),
+              ParseStatus::kInvalidWireType);
+}
+
+TEST_F(CodecTest, ByteSizeMatchesSerializedLength)
+{
+    Message m = NewMsg();
+    m.SetInt32(F("a"), 1 << 20);
+    m.SetString(F("s"), std::string(300, 'x'));
+    Message sub = m.MutableMessage(F("sub"));
+    sub.SetString(*sub.descriptor().FindFieldByName("name"),
+                  std::string(40, 'y'));
+    for (int i = 0; i < 10; ++i)
+        m.AddRepeatedBits(F("rp"), static_cast<uint32_t>(i * 1000));
+    EXPECT_EQ(ByteSize(m), Serialize(m).size());
+}
+
+TEST_F(CodecTest, SerializeToBufferRejectsSmallBuffer)
+{
+    Message m = NewMsg();
+    m.SetString(F("s"), "0123456789");
+    std::vector<uint8_t> small(4);
+    EXPECT_EQ(SerializeToBuffer(m, small.data(), small.size()), 0u);
+    std::vector<uint8_t> big(64);
+    EXPECT_EQ(SerializeToBuffer(m, big.data(), big.size()),
+              ByteSize(m));
+}
+
+TEST_F(CodecTest, ParseMergesIntoExistingMessage)
+{
+    Message m = NewMsg();
+    m.SetInt32(F("a"), 1);
+    m.AddRepeatedBits(F("ru"), 100);
+    // Wire contains a=2 and one more ru element: repeated appends,
+    // scalar last-wins (proto2 merge semantics).
+    const auto wire = Bytes({0x08, 0x02, 0x38, 0x65});
+    EXPECT_EQ(ParseFromBuffer(wire.data(), wire.size(), &m),
+              ParseStatus::kOk);
+    EXPECT_EQ(m.GetInt32(F("a")), 2);
+    ASSERT_EQ(m.RepeatedSize(F("ru")), 2u);
+    EXPECT_EQ(m.GetRepeated<int32_t>(F("ru"), 0), 100);
+    EXPECT_EQ(m.GetRepeated<int32_t>(F("ru"), 1), 101);
+}
+
+TEST_F(CodecTest, DeeplyNestedMessagesHitDepthLimit)
+{
+    DescriptorPool pool;
+    const int node = pool.AddMessage("Node");
+    pool.AddMessageField(node, "next", 1, node);
+    pool.AddField(node, "v", 2, FieldType::kInt32);
+    pool.Compile();
+
+    Arena arena;
+    Message root = Message::Create(&arena, pool, node);
+    Message cur = root;
+    const FieldDescriptor &next = *pool.message(node).FindFieldByName(
+        "next");
+    for (int i = 0; i < kMaxParseDepth + 5; ++i)
+        cur = cur.MutableMessage(next);
+    const auto wire = Serialize(root);
+
+    Message target = Message::Create(&arena, pool, node);
+    EXPECT_EQ(ParseFromBuffer(wire.data(), wire.size(), &target),
+              ParseStatus::kDepthExceeded);
+}
+
+TEST_F(CodecTest, ModerateNestingRoundTrips)
+{
+    DescriptorPool pool;
+    const int node = pool.AddMessage("Node");
+    pool.AddMessageField(node, "next", 1, node);
+    pool.AddField(node, "v", 2, FieldType::kInt32);
+    pool.Compile();
+
+    Arena arena;
+    Message root = Message::Create(&arena, pool, node);
+    Message cur = root;
+    const auto &next = *pool.message(node).FindFieldByName("next");
+    const auto &v = *pool.message(node).FindFieldByName("v");
+    // §3.8: 99.999% of fleet bytes are at depth <= 25.
+    for (int i = 0; i < 25; ++i) {
+        cur.SetInt32(v, i);
+        cur = cur.MutableMessage(next);
+    }
+    const auto wire = Serialize(root);
+    Message target = Message::Create(&arena, pool, node);
+    ASSERT_EQ(ParseFromBuffer(wire.data(), wire.size(), &target),
+              ParseStatus::kOk);
+    EXPECT_TRUE(MessagesEqual(root, target));
+}
+
+}  // namespace
+}  // namespace protoacc::proto

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "proto/descriptor.h"
+
+namespace protoacc::proto {
+namespace {
+
+DescriptorPool
+MakePoolWithGaps(HasbitsMode mode)
+{
+    DescriptorPool pool;
+    const int msg = pool.AddMessage("Gappy");
+    pool.AddField(msg, "a", 3, FieldType::kInt64);
+    pool.AddField(msg, "b", 7, FieldType::kBool);
+    pool.AddField(msg, "c", 10, FieldType::kString);
+    pool.AddField(msg, "d", 40, FieldType::kFloat);
+    pool.Compile(mode);
+    return pool;
+}
+
+TEST(Descriptor, FieldsSortedByNumberAndIndexed)
+{
+    DescriptorPool pool;
+    const int msg = pool.AddMessage("M");
+    pool.AddField(msg, "z", 9, FieldType::kInt32);
+    pool.AddField(msg, "a", 1, FieldType::kInt32);
+    pool.AddField(msg, "m", 4, FieldType::kInt32);
+    pool.Compile();
+    const MessageDescriptor &desc = pool.message(msg);
+    ASSERT_EQ(desc.field_count(), 3u);
+    EXPECT_EQ(desc.field(0).number, 1u);
+    EXPECT_EQ(desc.field(1).number, 4u);
+    EXPECT_EQ(desc.field(2).number, 9u);
+    EXPECT_EQ(desc.field(0).index, 0);
+    EXPECT_EQ(desc.field(2).index, 2);
+    EXPECT_EQ(desc.min_field_number(), 1u);
+    EXPECT_EQ(desc.max_field_number(), 9u);
+    EXPECT_EQ(desc.field_number_range(), 9u);
+}
+
+TEST(Descriptor, FindByNumberAndName)
+{
+    DescriptorPool pool = MakePoolWithGaps(HasbitsMode::kSparse);
+    const MessageDescriptor &desc = pool.message(0);
+    ASSERT_NE(desc.FindFieldByNumber(7), nullptr);
+    EXPECT_EQ(desc.FindFieldByNumber(7)->name, "b");
+    EXPECT_EQ(desc.FindFieldByNumber(8), nullptr);
+    ASSERT_NE(desc.FindFieldByName("d"), nullptr);
+    EXPECT_EQ(desc.FindFieldByName("d")->number, 40u);
+    EXPECT_EQ(desc.FindFieldByName("nope"), nullptr);
+}
+
+TEST(Descriptor, SparseHasbitsIndexedByFieldNumber)
+{
+    // §4.2: sparse hasbits are indexed by (number - min_number) so the
+    // accelerator can address them directly.
+    DescriptorPool pool = MakePoolWithGaps(HasbitsMode::kSparse);
+    const MessageDescriptor &desc = pool.message(0);
+    EXPECT_EQ(desc.field(0).hasbit_index, 0u);   // number 3
+    EXPECT_EQ(desc.field(1).hasbit_index, 4u);   // number 7
+    EXPECT_EQ(desc.field(2).hasbit_index, 7u);   // number 10
+    EXPECT_EQ(desc.field(3).hasbit_index, 37u);  // number 40
+    // Range is 38 bits -> two 32-bit words.
+    EXPECT_EQ(desc.layout().hasbits_words, 2u);
+}
+
+TEST(Descriptor, DenseHasbitsPackedByIndex)
+{
+    DescriptorPool pool = MakePoolWithGaps(HasbitsMode::kDense);
+    const MessageDescriptor &desc = pool.message(0);
+    EXPECT_EQ(desc.field(0).hasbit_index, 0u);
+    EXPECT_EQ(desc.field(3).hasbit_index, 3u);
+    EXPECT_EQ(desc.layout().hasbits_words, 1u);
+}
+
+TEST(Descriptor, LayoutAlignmentAndNoOverlap)
+{
+    DescriptorPool pool;
+    const int msg = pool.AddMessage("M");
+    pool.AddField(msg, "b1", 1, FieldType::kBool);
+    pool.AddField(msg, "d", 2, FieldType::kDouble);
+    pool.AddField(msg, "b2", 3, FieldType::kBool);
+    pool.AddField(msg, "f", 4, FieldType::kFloat);
+    pool.AddField(msg, "s", 5, FieldType::kString);
+    pool.Compile();
+    const MessageDescriptor &desc = pool.message(msg);
+
+    for (const auto &f : desc.fields()) {
+        const uint32_t size = InMemorySize(f.type);
+        EXPECT_EQ(f.offset % size, 0u) << f.name;  // natural alignment
+        EXPECT_LE(f.offset + size, desc.layout().object_size) << f.name;
+    }
+    // No two slots overlap.
+    for (const auto &a : desc.fields()) {
+        for (const auto &b : desc.fields()) {
+            if (a.number == b.number)
+                continue;
+            const uint32_t a_end = a.offset + InMemorySize(a.type);
+            const uint32_t b_end = b.offset + InMemorySize(b.type);
+            EXPECT_TRUE(a_end <= b.offset || b_end <= a.offset)
+                << a.name << " vs " << b.name;
+        }
+    }
+    EXPECT_EQ(desc.layout().object_size % 8, 0u);
+}
+
+TEST(Descriptor, RepeatedFieldsArePointerSlots)
+{
+    DescriptorPool pool;
+    const int msg = pool.AddMessage("M");
+    pool.AddField(msg, "r", 1, FieldType::kInt32, Label::kRepeated,
+                  /*packed=*/true);
+    pool.Compile();
+    const FieldDescriptor &f = pool.message(msg).field(0);
+    EXPECT_TRUE(f.repeated());
+    EXPECT_TRUE(f.packed);
+    EXPECT_EQ(f.offset % 8, 0u);
+}
+
+TEST(Descriptor, DefaultInstanceHoldsScalarDefaults)
+{
+    DescriptorPool pool;
+    const int msg = pool.AddMessage("M");
+    pool.AddField(msg, "x", 1, FieldType::kInt32);
+    pool.AddField(msg, "y", 2, FieldType::kDouble);
+    pool.SetScalarDefault(msg, 1, static_cast<uint32_t>(-5));
+    double dv = 2.5;
+    uint64_t dbits;
+    memcpy(&dbits, &dv, sizeof(dv));
+    pool.SetScalarDefault(msg, 2, dbits);
+    pool.Compile();
+
+    const MessageDescriptor &desc = pool.message(msg);
+    const char *inst = static_cast<const char *>(desc.default_instance());
+    int32_t x;
+    memcpy(&x, inst + desc.field(0).offset, sizeof(x));
+    EXPECT_EQ(x, -5);
+    double y;
+    memcpy(&y, inst + desc.field(1).offset, sizeof(y));
+    EXPECT_DOUBLE_EQ(y, 2.5);
+}
+
+TEST(Descriptor, EmptyMessageHasNonZeroSize)
+{
+    DescriptorPool pool;
+    const int msg = pool.AddMessage("Empty");
+    pool.Compile();
+    EXPECT_GT(pool.message(msg).layout().object_size, 0u);
+    EXPECT_EQ(pool.message(msg).field_number_range(), 0u);
+}
+
+TEST(Descriptor, SubMessageFieldLinksType)
+{
+    DescriptorPool pool;
+    const int inner = pool.AddMessage("Inner");
+    pool.AddField(inner, "v", 1, FieldType::kInt32);
+    const int outer = pool.AddMessage("Outer");
+    pool.AddMessageField(outer, "sub", 2, inner);
+    pool.Compile();
+    const FieldDescriptor &f = pool.message(outer).field(0);
+    EXPECT_EQ(f.type, FieldType::kMessage);
+    EXPECT_EQ(f.message_type, inner);
+    EXPECT_EQ(pool.FindMessage("Inner"), inner);
+    EXPECT_EQ(pool.FindMessage("Outer"), outer);
+    EXPECT_EQ(pool.FindMessage("Nope"), -1);
+}
+
+TEST(Descriptor, RecursiveTypeCompiles)
+{
+    // Figure 1 shows recursively structured messages; a self-referential
+    // type must lay out (the sub-message slot is just a pointer).
+    DescriptorPool pool;
+    const int node = pool.AddMessage("Node");
+    pool.AddField(node, "value", 1, FieldType::kInt64);
+    pool.AddMessageField(node, "next", 2, node);
+    pool.Compile();
+    EXPECT_GE(pool.message(node).layout().object_size, 12u);
+}
+
+}  // namespace
+}  // namespace protoacc::proto

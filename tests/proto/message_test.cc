@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "proto/message.h"
+#include "proto/text_format.h"
+
+namespace protoacc::proto {
+namespace {
+
+/// Schema covering every field-type class, used across message tests.
+class MessageTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        inner_ = pool_.AddMessage("Inner");
+        pool_.AddField(inner_, "tag", 1, FieldType::kInt32);
+        pool_.AddField(inner_, "label", 2, FieldType::kString);
+
+        msg_ = pool_.AddMessage("Everything");
+        pool_.AddField(msg_, "i32", 1, FieldType::kInt32);
+        pool_.AddField(msg_, "i64", 2, FieldType::kInt64);
+        pool_.AddField(msg_, "u32", 3, FieldType::kUint32);
+        pool_.AddField(msg_, "u64", 4, FieldType::kUint64);
+        pool_.AddField(msg_, "s32", 5, FieldType::kSint32);
+        pool_.AddField(msg_, "s64", 6, FieldType::kSint64);
+        pool_.AddField(msg_, "b", 7, FieldType::kBool);
+        pool_.AddField(msg_, "e", 8, FieldType::kEnum);
+        pool_.AddField(msg_, "f32", 9, FieldType::kFixed32);
+        pool_.AddField(msg_, "f64", 10, FieldType::kFixed64);
+        pool_.AddField(msg_, "fl", 11, FieldType::kFloat);
+        pool_.AddField(msg_, "db", 12, FieldType::kDouble);
+        pool_.AddField(msg_, "str", 13, FieldType::kString);
+        pool_.AddField(msg_, "byt", 14, FieldType::kBytes);
+        pool_.AddMessageField(msg_, "sub", 15, inner_);
+        pool_.AddField(msg_, "ri", 16, FieldType::kInt64,
+                       Label::kRepeated, /*packed=*/true);
+        pool_.AddField(msg_, "rs", 17, FieldType::kString,
+                       Label::kRepeated);
+        pool_.AddMessageField(msg_, "rm", 18, inner_, Label::kRepeated);
+        pool_.SetScalarDefault(msg_, 1, static_cast<uint32_t>(41));
+        pool_.SetStringDefault(msg_, 13, "default-str");
+        pool_.Compile();
+    }
+
+    const FieldDescriptor &
+    F(const char *name) const
+    {
+        const FieldDescriptor *f =
+            pool_.message(msg_).FindFieldByName(name);
+        {
+            EXPECT_NE(f, nullptr);
+        }
+        return *f;
+    }
+
+    DescriptorPool pool_;
+    Arena arena_;
+    int inner_ = -1;
+    int msg_ = -1;
+};
+
+TEST_F(MessageTest, FreshMessageHasNothingSet)
+{
+    Message m = Message::Create(&arena_, pool_, msg_);
+    for (const auto &f : m.descriptor().fields()) {
+        EXPECT_FALSE(m.Has(f)) << f.name;
+        if (f.repeated()) {
+            EXPECT_EQ(m.RepeatedSize(f), 0u) << f.name;
+        }
+    }
+}
+
+TEST_F(MessageTest, UnsetScalarReturnsDefault)
+{
+    Message m = Message::Create(&arena_, pool_, msg_);
+    EXPECT_EQ(m.GetInt32(F("i32")), 41);
+    EXPECT_EQ(m.GetString(F("str")), "default-str");
+    EXPECT_EQ(m.GetString(F("byt")), "");
+}
+
+TEST_F(MessageTest, SetGetAllScalarKinds)
+{
+    Message m = Message::Create(&arena_, pool_, msg_);
+    m.SetInt32(F("i32"), -123);
+    m.SetInt64(F("i64"), -5'000'000'000LL);
+    m.SetUint32(F("u32"), 4'000'000'000u);
+    m.SetUint64(F("u64"), 18'000'000'000'000'000'000ull);
+    m.SetInt32(F("s32"), -77);
+    m.SetInt64(F("s64"), -88);
+    m.SetBool(F("b"), true);
+    m.SetInt32(F("e"), 3);
+    m.SetUint32(F("f32"), 0xdeadbeef);
+    m.SetUint64(F("f64"), 0xfeedfacecafebeefull);
+    m.SetFloat(F("fl"), 1.5f);
+    m.SetDouble(F("db"), -2.25);
+
+    EXPECT_EQ(m.GetInt32(F("i32")), -123);
+    EXPECT_EQ(m.GetInt64(F("i64")), -5'000'000'000LL);
+    EXPECT_EQ(m.GetUint32(F("u32")), 4'000'000'000u);
+    EXPECT_EQ(m.GetUint64(F("u64")), 18'000'000'000'000'000'000ull);
+    EXPECT_EQ(m.GetInt32(F("s32")), -77);
+    EXPECT_EQ(m.GetInt64(F("s64")), -88);
+    EXPECT_TRUE(m.GetBool(F("b")));
+    EXPECT_EQ(m.GetInt32(F("e")), 3);
+    EXPECT_EQ(m.GetUint32(F("f32")), 0xdeadbeefu);
+    EXPECT_EQ(m.GetUint64(F("f64")), 0xfeedfacecafebeefull);
+    EXPECT_FLOAT_EQ(m.GetFloat(F("fl")), 1.5f);
+    EXPECT_DOUBLE_EQ(m.GetDouble(F("db")), -2.25);
+    for (const char *n : {"i32", "i64", "u32", "u64", "s32", "s64", "b",
+                          "e", "f32", "f64", "fl", "db"}) {
+        EXPECT_TRUE(m.Has(F(n))) << n;
+    }
+}
+
+TEST_F(MessageTest, ClearRestoresDefault)
+{
+    Message m = Message::Create(&arena_, pool_, msg_);
+    m.SetInt32(F("i32"), 7);
+    m.Clear(F("i32"));
+    EXPECT_FALSE(m.Has(F("i32")));
+    EXPECT_EQ(m.GetInt32(F("i32")), 41);  // default restored
+
+    m.SetString(F("str"), "zzz");
+    m.Clear(F("str"));
+    EXPECT_FALSE(m.Has(F("str")));
+    EXPECT_EQ(m.GetString(F("str")), "default-str");
+}
+
+TEST_F(MessageTest, StringsRoundTripIncludingEmbeddedNul)
+{
+    Message m = Message::Create(&arena_, pool_, msg_);
+    const std::string with_nul = std::string("ab\0cd", 5);
+    m.SetString(F("byt"), with_nul);
+    EXPECT_EQ(m.GetString(F("byt")), std::string_view(with_nul));
+    m.SetString(F("str"), std::string(1000, 'q'));
+    EXPECT_EQ(m.GetString(F("str")).size(), 1000u);
+}
+
+TEST_F(MessageTest, MutableMessageCreatesOnce)
+{
+    Message m = Message::Create(&arena_, pool_, msg_);
+    EXPECT_FALSE(m.GetMessage(F("sub")).valid());
+    Message sub = m.MutableMessage(F("sub"));
+    ASSERT_TRUE(sub.valid());
+    const FieldDescriptor &tag = *sub.descriptor().FindFieldByName("tag");
+    sub.SetInt32(tag, 99);
+    // Second MutableMessage returns the same object.
+    EXPECT_EQ(m.MutableMessage(F("sub")).raw(), sub.raw());
+    EXPECT_EQ(m.GetMessage(F("sub")).GetInt32(tag), 99);
+    EXPECT_TRUE(m.Has(F("sub")));
+}
+
+TEST_F(MessageTest, RepeatedScalarAppend)
+{
+    Message m = Message::Create(&arena_, pool_, msg_);
+    for (int64_t v : {1LL, -2LL, 3'000'000'000LL})
+        m.AddRepeatedBits(F("ri"), static_cast<uint64_t>(v));
+    ASSERT_EQ(m.RepeatedSize(F("ri")), 3u);
+    EXPECT_EQ(m.GetRepeated<int64_t>(F("ri"), 0), 1);
+    EXPECT_EQ(m.GetRepeated<int64_t>(F("ri"), 1), -2);
+    EXPECT_EQ(m.GetRepeated<int64_t>(F("ri"), 2), 3'000'000'000LL);
+}
+
+TEST_F(MessageTest, RepeatedStringsAndMessages)
+{
+    Message m = Message::Create(&arena_, pool_, msg_);
+    m.AddRepeatedString(F("rs"), "one");
+    m.AddRepeatedString(F("rs"), "two");
+    ASSERT_EQ(m.RepeatedSize(F("rs")), 2u);
+    EXPECT_EQ(m.GetRepeatedString(F("rs"), 1), "two");
+
+    Message e0 = m.AddRepeatedMessage(F("rm"));
+    Message e1 = m.AddRepeatedMessage(F("rm"));
+    const FieldDescriptor &tag = *e0.descriptor().FindFieldByName("tag");
+    e0.SetInt32(tag, 10);
+    e1.SetInt32(tag, 20);
+    ASSERT_EQ(m.RepeatedSize(F("rm")), 2u);
+    EXPECT_EQ(m.GetRepeatedMessage(F("rm"), 0).GetInt32(tag), 10);
+    EXPECT_EQ(m.GetRepeatedMessage(F("rm"), 1).GetInt32(tag), 20);
+}
+
+TEST_F(MessageTest, MessagesEqualDeepComparison)
+{
+    Message a = Message::Create(&arena_, pool_, msg_);
+    Message b = Message::Create(&arena_, pool_, msg_);
+    EXPECT_TRUE(MessagesEqual(a, b));
+
+    a.SetInt32(F("i32"), 5);
+    EXPECT_FALSE(MessagesEqual(a, b));
+    b.SetInt32(F("i32"), 5);
+    EXPECT_TRUE(MessagesEqual(a, b));
+
+    a.MutableMessage(F("sub")).SetInt32(
+        *pool_.message(inner_).FindFieldByName("tag"), 1);
+    EXPECT_FALSE(MessagesEqual(a, b));
+    b.MutableMessage(F("sub")).SetInt32(
+        *pool_.message(inner_).FindFieldByName("tag"), 1);
+    EXPECT_TRUE(MessagesEqual(a, b));
+
+    a.AddRepeatedString(F("rs"), "x");
+    EXPECT_FALSE(MessagesEqual(a, b));
+    b.AddRepeatedString(F("rs"), "y");
+    EXPECT_FALSE(MessagesEqual(a, b));
+}
+
+TEST_F(MessageTest, ExplicitlySetDefaultValueIsPresent)
+{
+    // proto2 distinguishes "unset" from "set to the default value".
+    Message m = Message::Create(&arena_, pool_, msg_);
+    m.SetInt32(F("i32"), 41);
+    EXPECT_TRUE(m.Has(F("i32")));
+}
+
+TEST_F(MessageTest, DebugStringRendersSetFields)
+{
+    Message m = Message::Create(&arena_, pool_, msg_);
+    m.SetInt32(F("i32"), 7);
+    m.SetString(F("str"), "hi");
+    m.MutableMessage(F("sub"));
+    const std::string text = DebugString(m);
+    EXPECT_NE(text.find("i32: 7"), std::string::npos);
+    EXPECT_NE(text.find("str: \"hi\""), std::string::npos);
+    EXPECT_NE(text.find("sub {"), std::string::npos);
+}
+
+TEST_F(MessageTest, CachedSizeSlot)
+{
+    Message m = Message::Create(&arena_, pool_, msg_);
+    m.set_cached_size(1234);
+    EXPECT_EQ(m.cached_size(), 1234);
+}
+
+}  // namespace
+}  // namespace protoacc::proto

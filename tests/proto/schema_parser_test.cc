@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include "proto/message_ops.h"
+#include "proto/parser.h"
+#include "proto/schema_parser.h"
+#include "proto/serializer.h"
+
+namespace protoacc::proto {
+namespace {
+
+DescriptorPool
+MustParse(const char *text)
+{
+    DescriptorPool pool;
+    const SchemaParseResult result = ParseSchema(text, &pool);
+    EXPECT_TRUE(result.ok) << result.error << " at line " << result.line;
+    pool.Compile();
+    return pool;
+}
+
+TEST(SchemaParser, BasicMessage)
+{
+    DescriptorPool pool = MustParse(R"(
+        syntax = "proto2";
+        message Point {
+            required double x = 1;
+            required double y = 2;
+            optional string label = 3;
+        }
+    )");
+    const int idx = pool.FindMessage("Point");
+    ASSERT_GE(idx, 0);
+    const auto &desc = pool.message(idx);
+    ASSERT_EQ(desc.field_count(), 3u);
+    EXPECT_EQ(desc.field(0).type, FieldType::kDouble);
+    EXPECT_EQ(desc.field(0).label, Label::kRequired);
+    EXPECT_EQ(desc.field(2).type, FieldType::kString);
+    EXPECT_EQ(desc.field(2).name, "label");
+    EXPECT_EQ(desc.syntax(), Syntax::kProto2);
+}
+
+TEST(SchemaParser, AllScalarTypes)
+{
+    DescriptorPool pool = MustParse(R"(
+        message AllTypes {
+            optional double   f1  = 1;
+            optional float    f2  = 2;
+            optional int32    f3  = 3;
+            optional int64    f4  = 4;
+            optional uint32   f5  = 5;
+            optional uint64   f6  = 6;
+            optional sint32   f7  = 7;
+            optional sint64   f8  = 8;
+            optional fixed32  f9  = 9;
+            optional fixed64  f10 = 10;
+            optional sfixed32 f11 = 11;
+            optional sfixed64 f12 = 12;
+            optional bool     f13 = 13;
+            optional string   f14 = 14;
+            optional bytes    f15 = 15;
+        }
+    )");
+    const auto &desc = pool.message(pool.FindMessage("AllTypes"));
+    EXPECT_EQ(desc.field_count(), 15u);
+    EXPECT_EQ(desc.FindFieldByName("f11")->type, FieldType::kSfixed32);
+}
+
+TEST(SchemaParser, NestedAndRecursiveMessages)
+{
+    DescriptorPool pool = MustParse(R"(
+        message Tree {
+            message Node {
+                optional int32 value = 1;
+                repeated Node children = 2;  // recursive
+            }
+            optional Node root = 1;
+        }
+    )");
+    const int node = pool.FindMessage("Tree.Node");
+    ASSERT_GE(node, 0);
+    const auto &tree = pool.message(pool.FindMessage("Tree"));
+    EXPECT_EQ(tree.field(0).message_type, node);
+    const auto &node_desc = pool.message(node);
+    EXPECT_EQ(node_desc.FindFieldByName("children")->message_type, node);
+}
+
+TEST(SchemaParser, NameResolutionInnermostFirst)
+{
+    DescriptorPool pool = MustParse(R"(
+        message A { optional int32 marker_outer = 1; }
+        message Outer {
+            message A { optional int32 marker_inner = 1; }
+            optional A pick_inner = 1;    // resolves to Outer.A
+            optional .A pick_global = 2;  // fully qualified
+        }
+    )");
+    const auto &outer = pool.message(pool.FindMessage("Outer"));
+    EXPECT_EQ(outer.field(0).message_type, pool.FindMessage("Outer.A"));
+    EXPECT_EQ(outer.field(1).message_type, pool.FindMessage("A"));
+}
+
+TEST(SchemaParser, ForwardReferences)
+{
+    DescriptorPool pool = MustParse(R"(
+        message Uses { optional Defined later = 1; }
+        message Defined { optional int32 v = 1; }
+    )");
+    EXPECT_EQ(pool.message(pool.FindMessage("Uses")).field(0)
+                  .message_type,
+              pool.FindMessage("Defined"));
+}
+
+TEST(SchemaParser, PackedAndDefaults)
+{
+    DescriptorPool pool = MustParse(R"(
+        message M {
+            repeated int32 nums = 1 [packed = true];
+            repeated int32 loose = 2 [packed = false];
+            optional int32 answer = 3 [default = 42];
+            optional int32 neg = 4 [default = -7];
+            optional double pi = 5 [default = 3.5];
+            optional bool flag = 6 [default = true];
+            optional string greeting = 7 [default = "hello"];
+        }
+    )");
+    const auto &desc = pool.message(pool.FindMessage("M"));
+    EXPECT_TRUE(desc.FindFieldByName("nums")->packed);
+    EXPECT_FALSE(desc.FindFieldByName("loose")->packed);
+
+    Arena arena;
+    Message m = Message::Create(&arena, pool, desc.pool_index());
+    EXPECT_EQ(m.GetInt32(*desc.FindFieldByName("answer")), 42);
+    EXPECT_EQ(m.GetInt32(*desc.FindFieldByName("neg")), -7);
+    EXPECT_DOUBLE_EQ(m.GetDouble(*desc.FindFieldByName("pi")), 3.5);
+    EXPECT_TRUE(m.GetBool(*desc.FindFieldByName("flag")));
+    EXPECT_EQ(m.GetString(*desc.FindFieldByName("greeting")), "hello");
+}
+
+TEST(SchemaParser, EnumsResolveWithDefaults)
+{
+    DescriptorPool pool = MustParse(R"(
+        message M {
+            enum Color {
+                RED = 0;
+                GREEN = 5;
+                BLUE = 9;
+            }
+            optional Color color = 1 [default = GREEN];
+            repeated Color colors = 2;
+        }
+    )");
+    const auto &desc = pool.message(pool.FindMessage("M"));
+    EXPECT_EQ(desc.field(0).type, FieldType::kEnum);
+    Arena arena;
+    Message m = Message::Create(&arena, pool, desc.pool_index());
+    EXPECT_EQ(m.GetInt32(desc.field(0)), 5);
+}
+
+TEST(SchemaParser, CommentsAndReservedIgnored)
+{
+    DescriptorPool pool = MustParse(R"(
+        // a line comment
+        message M {
+            /* a block
+               comment */
+            reserved 4, 5, 6;
+            reserved "old_name";
+            option deprecated = true;
+            optional int32 a = 1;  // trailing comment
+        }
+    )");
+    EXPECT_EQ(pool.message(pool.FindMessage("M")).field_count(), 1u);
+}
+
+TEST(SchemaParser, Proto3Rules)
+{
+    DescriptorPool pool = MustParse(R"(
+        syntax = "proto3";
+        message M {
+            string name = 1;        // no label needed
+            repeated int32 xs = 2;  // packed by default
+        }
+    )");
+    const auto &desc = pool.message(pool.FindMessage("M"));
+    EXPECT_EQ(desc.syntax(), Syntax::kProto3);
+    EXPECT_TRUE(desc.FindFieldByName("xs")->packed);
+
+    DescriptorPool bad;
+    const auto r1 = ParseSchema(
+        "syntax = \"proto3\"; message M { required int32 a = 1; }",
+        &bad);
+    EXPECT_FALSE(r1.ok);
+    DescriptorPool bad2;
+    const auto r2 = ParseSchema(
+        "syntax = \"proto3\"; message M { int32 a = 1 [default = 3]; }",
+        &bad2);
+    EXPECT_FALSE(r2.ok);
+}
+
+TEST(SchemaParser, ErrorsCarryLineNumbers)
+{
+    struct Case
+    {
+        const char *text;
+        const char *fragment;
+    };
+    const Case cases[] = {
+        {"message M { optional int32 a }", "expected '='"},
+        {"message M { optional Wat a = 1; }", "unknown type"},
+        {"message M { optional int32 a = 0; }", "out of range"},
+        {"message { }", "message name"},
+        {"message M { optional int32 a = 1 [packed = maybe]; }",
+         "packed"},
+        {"banana", "expected 'message'"},
+        {"message M { optional int32 a = 1; ", "unexpected end"},
+    };
+    for (const auto &c : cases) {
+        DescriptorPool pool;
+        const SchemaParseResult r = ParseSchema(c.text, &pool);
+        EXPECT_FALSE(r.ok) << c.text;
+        EXPECT_NE(r.error.find(c.fragment), std::string::npos)
+            << "error was: " << r.error;
+        EXPECT_GE(r.line, 1);
+    }
+}
+
+TEST(SchemaParser, ParsedSchemaRoundTripsOnTheWire)
+{
+    DescriptorPool pool = MustParse(R"(
+        syntax = "proto2";
+        message Person {
+            required string name = 1;
+            optional int64 id = 2;
+            message Phone {
+                optional string number = 1;
+                optional bool mobile = 2;
+            }
+            repeated Phone phones = 3;
+            repeated int32 lucky = 4 [packed = true];
+        }
+    )");
+    const int person = pool.FindMessage("Person");
+    const auto &desc = pool.message(person);
+    Arena arena;
+    Message m = Message::Create(&arena, pool, person);
+    m.SetString(*desc.FindFieldByName("name"), "Grace");
+    m.SetInt64(*desc.FindFieldByName("id"), 1906);
+    Message phone = m.AddRepeatedMessage(*desc.FindFieldByName("phones"));
+    phone.SetString(*phone.descriptor().FindFieldByName("number"),
+                    "555-0100");
+    phone.SetBool(*phone.descriptor().FindFieldByName("mobile"), true);
+    m.AddRepeatedBits(*desc.FindFieldByName("lucky"), 13);
+
+    const auto wire = Serialize(m);
+    Message back = Message::Create(&arena, pool, person);
+    ASSERT_EQ(ParseFromBuffer(wire.data(), wire.size(), &back),
+              ParseStatus::kOk);
+    EXPECT_TRUE(MessagesEqual(m, back));
+    EXPECT_TRUE(IsInitialized(back));
+}
+
+}  // namespace
+}  // namespace protoacc::proto

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "proto/schema_parser.h"
+#include "proto/schema_random.h"
+#include "proto/text_format.h"
+
+namespace protoacc::proto {
+namespace {
+
+class TextFormatTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto r = ParseSchema(R"(
+            message T {
+                optional int32 i = 1;
+                optional double d = 2;
+                optional string s = 3;
+                optional bool b = 4;
+                optional uint64 u = 5;
+                message Sub { optional int32 v = 1; }
+                optional Sub sub = 6;
+                repeated int32 r = 7 [packed = true];
+                repeated string rs = 8;
+                repeated Sub rm = 9;
+                optional bytes raw = 10;
+            }
+        )",
+                                   &pool_);
+        ASSERT_TRUE(r.ok) << r.error;
+        pool_.Compile();
+        msg_ = pool_.FindMessage("T");
+    }
+
+    const FieldDescriptor &
+    F(const char *name)
+    {
+        return *pool_.message(msg_).FindFieldByName(name);
+    }
+
+    DescriptorPool pool_;
+    Arena arena_;
+    int msg_ = -1;
+};
+
+TEST_F(TextFormatTest, ParseBasicFields)
+{
+    Message m = Message::Create(&arena_, pool_, msg_);
+    std::string error;
+    ASSERT_TRUE(ParseTextFormat(R"(
+        i: -42
+        d: 2.5
+        s: "hello"
+        b: true
+        u: 18446744073709551615
+    )",
+                                &m, &error))
+        << error;
+    EXPECT_EQ(m.GetInt32(F("i")), -42);
+    EXPECT_DOUBLE_EQ(m.GetDouble(F("d")), 2.5);
+    EXPECT_EQ(m.GetString(F("s")), "hello");
+    EXPECT_TRUE(m.GetBool(F("b")));
+    EXPECT_EQ(m.GetUint64(F("u")), UINT64_MAX);
+}
+
+TEST_F(TextFormatTest, ParseNestedAndRepeated)
+{
+    Message m = Message::Create(&arena_, pool_, msg_);
+    std::string error;
+    ASSERT_TRUE(ParseTextFormat(R"(
+        sub { v: 7 }
+        r: 1
+        r: 2
+        r: 3
+        rs: "a"
+        rs: "b"
+        rm { v: 10 }
+        rm { v: 20 }
+    )",
+                                &m, &error))
+        << error;
+    EXPECT_EQ(m.GetMessage(F("sub")).GetInt32(
+                  pool_.message(F("sub").message_type).field(0)),
+              7);
+    ASSERT_EQ(m.RepeatedSize(F("r")), 3u);
+    EXPECT_EQ(m.GetRepeated<int32_t>(F("r"), 2), 3);
+    ASSERT_EQ(m.RepeatedSize(F("rs")), 2u);
+    EXPECT_EQ(m.GetRepeatedString(F("rs"), 1), "b");
+    ASSERT_EQ(m.RepeatedSize(F("rm")), 2u);
+    EXPECT_EQ(m.GetRepeatedMessage(F("rm"), 1)
+                  .GetInt32(pool_.message(F("rm").message_type).field(0)),
+              20);
+}
+
+TEST_F(TextFormatTest, EscapesRoundTrip)
+{
+    Message m = Message::Create(&arena_, pool_, msg_);
+    m.SetString(F("raw"), std::string("\x01\x02\"quote\"\n\\", 12));
+    const std::string text = DebugString(m);
+
+    Message back = Message::Create(&arena_, pool_, msg_);
+    std::string error;
+    ASSERT_TRUE(ParseTextFormat(text, &back, &error)) << error;
+    EXPECT_EQ(back.GetString(F("raw")), m.GetString(F("raw")));
+}
+
+TEST_F(TextFormatTest, DebugStringParsesBackForRandomMessages)
+{
+    // Property: DebugString -> ParseTextFormat is the identity.
+    for (uint64_t seed = 1; seed <= 20; ++seed) {
+        Rng rng(seed);
+        DescriptorPool pool;
+        const int root =
+            GenerateRandomSchema(&pool, &rng, SchemaGenOptions{});
+        pool.Compile();
+        Arena arena;
+        Message m = Message::Create(&arena, pool, root);
+        MessageGenOptions gen;
+        gen.max_string_len = 24;
+        PopulateRandomMessage(m, &rng, gen);
+
+        // Skip float/double fields: decimal text is lossy for them
+        // (matching upstream DebugString behavior); clear them first.
+        for (const auto &f : pool.message(root).fields()) {
+            if (f.type == FieldType::kFloat ||
+                f.type == FieldType::kDouble) {
+                m.Clear(f);
+            }
+        }
+
+        Message back = Message::Create(&arena, pool, root);
+        std::string error;
+        ASSERT_TRUE(ParseTextFormat(DebugString(m), &back, &error))
+            << "seed " << seed << ": " << error;
+        // Compare through re-rendering (repeated float members etc.
+        // were cleared only at the top level, so compare text).
+        EXPECT_EQ(DebugString(back), DebugString(m)) << "seed " << seed;
+    }
+}
+
+TEST_F(TextFormatTest, ErrorsAreReported)
+{
+    const char *bad_cases[] = {
+        "nope: 1",           // unknown field
+        "i 5",               // missing colon
+        "s: unquoted",       // string must be quoted
+        "sub { v: 1",        // missing brace
+        "i: notanumber",     // bad scalar
+        "b: maybe",          // bad bool
+    };
+    for (const char *text : bad_cases) {
+        Message m = Message::Create(&arena_, pool_, msg_);
+        std::string error;
+        EXPECT_FALSE(ParseTextFormat(text, &m, &error)) << text;
+        EXPECT_FALSE(error.empty()) << text;
+    }
+}
+
+TEST_F(TextFormatTest, CommentsAccepted)
+{
+    Message m = Message::Create(&arena_, pool_, msg_);
+    std::string error;
+    ASSERT_TRUE(ParseTextFormat("# leading comment\ni: 5 # trailing\n",
+                                &m, &error))
+        << error;
+    EXPECT_EQ(m.GetInt32(F("i")), 5);
+}
+
+}  // namespace
+}  // namespace protoacc::proto

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "proto/parser.h"
+#include "proto/serializer.h"
+#include "proto/utf8.h"
+
+namespace protoacc::proto {
+namespace {
+
+bool
+Valid(std::initializer_list<int> bytes)
+{
+    std::vector<uint8_t> v;
+    for (int b : bytes)
+        v.push_back(static_cast<uint8_t>(b));
+    return IsValidUtf8(v.data(), v.size());
+}
+
+TEST(Utf8, AsciiIsValid)
+{
+    const std::string s = "plain ASCII, tabs\tand\nnewlines";
+    EXPECT_TRUE(IsValidUtf8(s.data(), s.size()));
+    EXPECT_TRUE(IsValidUtf8("", size_t{0}));
+}
+
+TEST(Utf8, WellFormedMultibyteSequences)
+{
+    EXPECT_TRUE(Valid({0xc3, 0xa9}));              // é U+00E9
+    EXPECT_TRUE(Valid({0xd7, 0x90}));              // א U+05D0
+    EXPECT_TRUE(Valid({0xe2, 0x82, 0xac}));        // € U+20AC
+    EXPECT_TRUE(Valid({0xe0, 0xa4, 0xb9}));        // ह U+0939
+    EXPECT_TRUE(Valid({0xf0, 0x9f, 0x98, 0x80}));  // 😀 U+1F600
+    EXPECT_TRUE(Valid({0xf4, 0x8f, 0xbf, 0xbf}));  // U+10FFFF (max)
+    EXPECT_TRUE(Valid({0xed, 0x9f, 0xbf}));        // U+D7FF (< surrogates)
+    EXPECT_TRUE(Valid({0xee, 0x80, 0x80}));        // U+E000 (> surrogates)
+}
+
+TEST(Utf8, StrayContinuationBytesInvalid)
+{
+    EXPECT_FALSE(Valid({0x80}));
+    EXPECT_FALSE(Valid({0xbf}));
+    EXPECT_FALSE(Valid({'a', 0x85, 'b'}));
+}
+
+TEST(Utf8, OverlongEncodingsInvalid)
+{
+    EXPECT_FALSE(Valid({0xc0, 0x80}));              // overlong NUL
+    EXPECT_FALSE(Valid({0xc1, 0xbf}));              // overlong 2-byte
+    EXPECT_FALSE(Valid({0xe0, 0x80, 0x80}));        // overlong 3-byte
+    EXPECT_FALSE(Valid({0xf0, 0x80, 0x80, 0x80}));  // overlong 4-byte
+}
+
+TEST(Utf8, SurrogatesInvalid)
+{
+    EXPECT_FALSE(Valid({0xed, 0xa0, 0x80}));  // U+D800
+    EXPECT_FALSE(Valid({0xed, 0xbf, 0xbf}));  // U+DFFF
+}
+
+TEST(Utf8, AboveMaxCodePointInvalid)
+{
+    EXPECT_FALSE(Valid({0xf4, 0x90, 0x80, 0x80}));  // U+110000
+    EXPECT_FALSE(Valid({0xf5, 0x80, 0x80, 0x80}));  // lead 0xf5
+    EXPECT_FALSE(Valid({0xff}));
+}
+
+TEST(Utf8, TruncatedSequencesInvalid)
+{
+    EXPECT_FALSE(Valid({0xc3}));
+    EXPECT_FALSE(Valid({0xe2, 0x82}));
+    EXPECT_FALSE(Valid({0xf0, 0x9f, 0x98}));
+    EXPECT_FALSE(Valid({'o', 'k', 0xe2, 0x82}));
+}
+
+TEST(Utf8, BadContinuationInvalid)
+{
+    EXPECT_FALSE(Valid({0xc3, 0x29}));        // second byte not 10xxxxxx
+    EXPECT_FALSE(Valid({0xe2, 0x82, 0x2c}));
+    EXPECT_FALSE(Valid({0xf0, 0x9f, 0x40, 0x80}));
+}
+
+class Proto3ParseTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // A proto3 message and an identical proto2 one.
+        p3_ = pool_.AddMessage("P3", Syntax::kProto3);
+        pool_.AddField(p3_, "s", 1, FieldType::kString);
+        pool_.AddField(p3_, "b", 2, FieldType::kBytes);
+        p2_ = pool_.AddMessage("P2", Syntax::kProto2);
+        pool_.AddField(p2_, "s", 1, FieldType::kString);
+        pool_.AddField(p2_, "b", 2, FieldType::kBytes);
+        pool_.Compile();
+    }
+
+    /// Wire for field 1/2 with an arbitrary payload.
+    std::vector<uint8_t>
+    Wire(uint32_t field, const std::string &payload)
+    {
+        std::vector<uint8_t> out = {static_cast<uint8_t>(field << 3 | 2),
+                                    static_cast<uint8_t>(payload.size())};
+        out.insert(out.end(), payload.begin(), payload.end());
+        return out;
+    }
+
+    DescriptorPool pool_;
+    Arena arena_;
+    int p3_ = -1;
+    int p2_ = -1;
+};
+
+TEST_F(Proto3ParseTest, Proto3RejectsInvalidUtf8Strings)
+{
+    const std::string bad = "ab\xc0\x80";
+    const auto wire = Wire(1, bad);
+    Message m = Message::Create(&arena_, pool_, p3_);
+    EXPECT_EQ(ParseFromBuffer(wire.data(), wire.size(), &m),
+              ParseStatus::kInvalidUtf8);
+}
+
+TEST_F(Proto3ParseTest, Proto3AcceptsValidUtf8Strings)
+{
+    const std::string good = "caf\xc3\xa9";  // café
+    const auto wire = Wire(1, good);
+    Message m = Message::Create(&arena_, pool_, p3_);
+    EXPECT_EQ(ParseFromBuffer(wire.data(), wire.size(), &m),
+              ParseStatus::kOk);
+    EXPECT_EQ(m.GetString(pool_.message(p3_).field(0)), good);
+}
+
+TEST_F(Proto3ParseTest, Proto3BytesFieldsAreNotValidated)
+{
+    const std::string binary = "\xff\xfe\xc0\x80";
+    const auto wire = Wire(2, binary);
+    Message m = Message::Create(&arena_, pool_, p3_);
+    EXPECT_EQ(ParseFromBuffer(wire.data(), wire.size(), &m),
+              ParseStatus::kOk);
+}
+
+TEST_F(Proto3ParseTest, Proto2StringsAreNotValidated)
+{
+    const std::string bad = "\xc0\x80";
+    const auto wire = Wire(1, bad);
+    Message m = Message::Create(&arena_, pool_, p2_);
+    EXPECT_EQ(ParseFromBuffer(wire.data(), wire.size(), &m),
+              ParseStatus::kOk);
+}
+
+}  // namespace
+}  // namespace protoacc::proto

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "proto/wire_format.h"
+
+namespace protoacc::proto {
+namespace {
+
+TEST(Varint, EncodeKnownValues)
+{
+    uint8_t buf[kMaxVarintBytes];
+    // Canonical example from the protobuf encoding docs: 150 -> 96 01.
+    EXPECT_EQ(EncodeVarint(150, buf), 2);
+    EXPECT_EQ(buf[0], 0x96);
+    EXPECT_EQ(buf[1], 0x01);
+
+    EXPECT_EQ(EncodeVarint(0, buf), 1);
+    EXPECT_EQ(buf[0], 0x00);
+
+    EXPECT_EQ(EncodeVarint(1, buf), 1);
+    EXPECT_EQ(buf[0], 0x01);
+
+    EXPECT_EQ(EncodeVarint(UINT64_MAX, buf), 10);
+    for (int i = 0; i < 9; ++i)
+        EXPECT_EQ(buf[i], 0xff);
+    EXPECT_EQ(buf[9], 0x01);
+}
+
+TEST(Varint, SizeBoundaries)
+{
+    // Size increments at each 7-bit boundary.
+    for (int n = 1; n <= 9; ++n) {
+        const uint64_t below = (1ull << (7 * n)) - 1;
+        EXPECT_EQ(VarintSize(below), n) << below;
+        EXPECT_EQ(VarintSize(below + 1), n + 1) << below + 1;
+    }
+    EXPECT_EQ(VarintSize(0), 1);
+    EXPECT_EQ(VarintSize(UINT64_MAX), 10);
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(VarintRoundTrip, EncodeDecodeIdentity)
+{
+    const uint64_t v = GetParam();
+    uint8_t buf[kMaxVarintBytes];
+    const int n = EncodeVarint(v, buf);
+    EXPECT_EQ(n, VarintSize(v));
+    uint64_t decoded = 0;
+    EXPECT_EQ(DecodeVarint(buf, buf + n, &decoded), n);
+    EXPECT_EQ(decoded, v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, VarintRoundTrip,
+    ::testing::Values(0ull, 1ull, 127ull, 128ull, 300ull, 16383ull,
+                      16384ull, (1ull << 21) - 1, 1ull << 21,
+                      (1ull << 28) - 1, 1ull << 28, (1ull << 35),
+                      (1ull << 42), (1ull << 49), (1ull << 56),
+                      (1ull << 63), UINT64_MAX));
+
+TEST(Varint, DecodeTruncatedFails)
+{
+    uint8_t buf[kMaxVarintBytes];
+    const int n = EncodeVarint(1ull << 40, buf);
+    ASSERT_GT(n, 2);
+    uint64_t v;
+    for (int cut = 0; cut < n; ++cut)
+        EXPECT_EQ(DecodeVarint(buf, buf + cut, &v), 0) << cut;
+}
+
+TEST(Varint, DecodeOverlongFails)
+{
+    // 11 continuation bytes exceeds the 10-byte maximum.
+    std::vector<uint8_t> buf(12, 0x80);
+    uint64_t v;
+    EXPECT_EQ(DecodeVarint(buf.data(), buf.data() + buf.size(), &v), 0);
+}
+
+TEST(ZigZag, KnownValues32)
+{
+    // From the protobuf encoding documentation.
+    EXPECT_EQ(ZigZagEncode32(0), 0u);
+    EXPECT_EQ(ZigZagEncode32(-1), 1u);
+    EXPECT_EQ(ZigZagEncode32(1), 2u);
+    EXPECT_EQ(ZigZagEncode32(-2), 3u);
+    EXPECT_EQ(ZigZagEncode32(2147483647), 4294967294u);
+    EXPECT_EQ(ZigZagEncode32(INT32_MIN), 4294967295u);
+}
+
+TEST(ZigZag, RoundTrip64)
+{
+    for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1}, INT64_MIN,
+                      INT64_MAX, int64_t{-123456789}}) {
+        EXPECT_EQ(ZigZagDecode64(ZigZagEncode64(v)), v);
+    }
+}
+
+TEST(ZigZag, RoundTrip32)
+{
+    for (int32_t v :
+         {0, -1, 1, INT32_MIN, INT32_MAX, -65536, 65535}) {
+        EXPECT_EQ(ZigZagDecode32(ZigZagEncode32(v)), v);
+    }
+}
+
+TEST(Tag, PackUnpack)
+{
+    const uint32_t tag = MakeTag(5, WireType::kLengthDelimited);
+    EXPECT_EQ(tag, 0x2au);  // 5 << 3 | 2
+    EXPECT_EQ(TagFieldNumber(tag), 5u);
+    EXPECT_EQ(TagWireType(tag), WireType::kLengthDelimited);
+
+    const uint32_t big = MakeTag(kMaxFieldNumber, WireType::kVarint);
+    EXPECT_EQ(TagFieldNumber(big), kMaxFieldNumber);
+}
+
+TEST(WireTypes, Table1Classification)
+{
+    // Table 1 / §2.1.2: wire-type assignment per field type.
+    EXPECT_EQ(WireTypeForField(FieldType::kInt32), WireType::kVarint);
+    EXPECT_EQ(WireTypeForField(FieldType::kInt64), WireType::kVarint);
+    EXPECT_EQ(WireTypeForField(FieldType::kUint32), WireType::kVarint);
+    EXPECT_EQ(WireTypeForField(FieldType::kUint64), WireType::kVarint);
+    EXPECT_EQ(WireTypeForField(FieldType::kSint32), WireType::kVarint);
+    EXPECT_EQ(WireTypeForField(FieldType::kSint64), WireType::kVarint);
+    EXPECT_EQ(WireTypeForField(FieldType::kBool), WireType::kVarint);
+    EXPECT_EQ(WireTypeForField(FieldType::kEnum), WireType::kVarint);
+    EXPECT_EQ(WireTypeForField(FieldType::kDouble), WireType::kFixed64);
+    EXPECT_EQ(WireTypeForField(FieldType::kFixed64), WireType::kFixed64);
+    EXPECT_EQ(WireTypeForField(FieldType::kSfixed64), WireType::kFixed64);
+    EXPECT_EQ(WireTypeForField(FieldType::kFloat), WireType::kFixed32);
+    EXPECT_EQ(WireTypeForField(FieldType::kFixed32), WireType::kFixed32);
+    EXPECT_EQ(WireTypeForField(FieldType::kSfixed32), WireType::kFixed32);
+    EXPECT_EQ(WireTypeForField(FieldType::kString),
+              WireType::kLengthDelimited);
+    EXPECT_EQ(WireTypeForField(FieldType::kBytes),
+              WireType::kLengthDelimited);
+    EXPECT_EQ(WireTypeForField(FieldType::kMessage),
+              WireType::kLengthDelimited);
+}
+
+TEST(WireTypes, TypePredicates)
+{
+    EXPECT_TRUE(IsVarintType(FieldType::kBool));
+    EXPECT_FALSE(IsVarintType(FieldType::kFloat));
+    EXPECT_TRUE(IsBytesLike(FieldType::kBytes));
+    EXPECT_TRUE(IsBytesLike(FieldType::kString));
+    EXPECT_FALSE(IsBytesLike(FieldType::kMessage));
+    EXPECT_TRUE(IsFixedType(FieldType::kDouble));
+    EXPECT_TRUE(IsFixedType(FieldType::kSfixed32));
+    EXPECT_FALSE(IsFixedType(FieldType::kInt64));
+    EXPECT_TRUE(IsZigZagType(FieldType::kSint32));
+    EXPECT_FALSE(IsZigZagType(FieldType::kInt32));
+}
+
+TEST(WireTypes, InMemorySizes)
+{
+    EXPECT_EQ(InMemorySize(FieldType::kBool), 1u);
+    EXPECT_EQ(InMemorySize(FieldType::kInt32), 4u);
+    EXPECT_EQ(InMemorySize(FieldType::kFloat), 4u);
+    EXPECT_EQ(InMemorySize(FieldType::kDouble), 8u);
+    EXPECT_EQ(InMemorySize(FieldType::kInt64), 8u);
+    EXPECT_EQ(InMemorySize(FieldType::kString), 8u);
+    EXPECT_EQ(InMemorySize(FieldType::kMessage), 8u);
+}
+
+TEST(Fixed, LittleEndianLayout)
+{
+    uint8_t buf[8];
+    StoreFixed32(0x01020304u, buf);
+    EXPECT_EQ(buf[0], 0x04);
+    EXPECT_EQ(buf[3], 0x01);
+    EXPECT_EQ(LoadFixed32(buf), 0x01020304u);
+
+    StoreFixed64(0x0102030405060708ull, buf);
+    EXPECT_EQ(buf[0], 0x08);
+    EXPECT_EQ(buf[7], 0x01);
+    EXPECT_EQ(LoadFixed64(buf), 0x0102030405060708ull);
+}
+
+}  // namespace
+}  // namespace protoacc::proto

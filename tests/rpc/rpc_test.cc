@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "proto/schema_parser.h"
+#include "rpc/rpc.h"
+
+namespace protoacc::rpc {
+namespace {
+
+using proto::DescriptorPool;
+using proto::Message;
+
+TEST(FrameBuffer, AppendAndScan)
+{
+    FrameBuffer buf;
+    const uint8_t payload[] = {1, 2, 3, 4, 5};
+    FrameHeader h;
+    h.payload_bytes = 5;
+    h.call_id = 42;
+    h.method_id = 7;
+    h.kind = FrameKind::kRequest;
+    const size_t added = buf.Append(h, payload);
+    EXPECT_EQ(added, FrameHeader::kWireBytes + 5);
+
+    h.call_id = 43;
+    h.kind = FrameKind::kResponse;
+    h.payload_bytes = 0;
+    buf.Append(h, nullptr);
+
+    size_t offset = 0;
+    const auto f1 = buf.Next(&offset);
+    ASSERT_TRUE(f1.has_value());
+    EXPECT_EQ(f1->header.call_id, 42u);
+    EXPECT_EQ(f1->header.method_id, 7u);
+    EXPECT_EQ(f1->header.kind, FrameKind::kRequest);
+    EXPECT_EQ(f1->payload[4], 5);
+
+    const auto f2 = buf.Next(&offset);
+    ASSERT_TRUE(f2.has_value());
+    EXPECT_EQ(f2->header.call_id, 43u);
+    EXPECT_EQ(f2->header.kind, FrameKind::kResponse);
+
+    EXPECT_FALSE(buf.Next(&offset).has_value());  // exhausted
+}
+
+TEST(FrameBuffer, TruncatedFrameRejected)
+{
+    // Scan a buffer whose header claims more payload than exists.
+    const uint8_t payload[] = {9, 9, 9};
+    FrameBuffer lying;
+    FrameHeader small;
+    small.payload_bytes = 3;
+    lying.Append(small, payload);
+    // Corrupt the length field upward.
+    const_cast<uint8_t *>(lying.data())[0] = 0xff;
+    size_t offset = 0;
+    EXPECT_FALSE(lying.Next(&offset).has_value());
+}
+
+TEST(SimulatedChannel, LatencyPlusBandwidth)
+{
+    SimulatedChannel ch{.latency_ns = 1000, .bytes_per_ns = 10};
+    EXPECT_DOUBLE_EQ(ch.TransferNs(0), 1000.0);
+    EXPECT_DOUBLE_EQ(ch.TransferNs(10000), 2000.0);
+}
+
+class RpcEndToEndTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto parsed = ParseSchema(R"(
+            message EchoRequest {
+                optional string text = 1;
+                optional int32 repeat = 2 [default = 1];
+            }
+            message EchoResponse {
+                optional string text = 1;
+                optional uint32 length = 2;
+            }
+        )",
+                                        &pool_);
+        ASSERT_TRUE(parsed.ok) << parsed.error;
+        pool_.Compile(proto::HasbitsMode::kSparse);
+        req_ = pool_.FindMessage("EchoRequest");
+        rsp_ = pool_.FindMessage("EchoResponse");
+    }
+
+    /// Echo handler: repeat the text N times.
+    Handler
+    EchoHandler()
+    {
+        return [this](const Message &request, Message response) {
+            const auto &rd = pool_.message(req_);
+            const auto &sd = pool_.message(rsp_);
+            std::string out;
+            const int n =
+                request.GetInt32(*rd.FindFieldByName("repeat"));
+            for (int i = 0; i < n; ++i)
+                out += request.GetString(*rd.FindFieldByName("text"));
+            response.SetString(*sd.FindFieldByName("text"), out);
+            response.SetUint32(*sd.FindFieldByName("length"),
+                               static_cast<uint32_t>(out.size()));
+        };
+    }
+
+    /// Run a session with the given backends; returns the breakdown.
+    RpcTimeBreakdown
+    RunSession(std::unique_ptr<CodecBackend> client_backend,
+               std::unique_ptr<CodecBackend> server_backend,
+               int calls)
+    {
+        RpcServer server(&pool_, std::move(server_backend));
+        server.RegisterMethod(1, req_, rsp_, EchoHandler());
+        RpcSession session(&pool_, std::move(client_backend), &server,
+                           SimulatedChannel{});
+
+        proto::Arena arena;
+        for (int i = 0; i < calls; ++i) {
+            Message request = Message::Create(&arena, pool_, req_);
+            const auto &rd = pool_.message(req_);
+            request.SetString(*rd.FindFieldByName("text"),
+                              "ping-" + std::to_string(i));
+            request.SetInt32(*rd.FindFieldByName("repeat"), 3);
+            Message response = Message::Create(&arena, pool_, rsp_);
+            EXPECT_TRUE(session.Call(1, request, &response));
+            const auto &sd = pool_.message(rsp_);
+            EXPECT_EQ(response.GetUint32(*sd.FindFieldByName("length")),
+                      3 * (std::string("ping-") + std::to_string(i))
+                              .size());
+        }
+        return session.breakdown();
+    }
+
+    DescriptorPool pool_;
+    int req_ = -1;
+    int rsp_ = -1;
+};
+
+TEST_F(RpcEndToEndTest, SoftwareBackendsRoundTrip)
+{
+    const RpcTimeBreakdown b = RunSession(
+        std::make_unique<SoftwareBackend>(cpu::BoomParams()),
+        std::make_unique<SoftwareBackend>(cpu::BoomParams()), 20);
+    EXPECT_EQ(b.calls, 20u);
+    EXPECT_EQ(b.failures, 0u);
+    EXPECT_GT(b.client_codec_ns, 0);
+    EXPECT_GT(b.server_codec_ns, 0);
+    EXPECT_GT(b.network_ns, 0);
+}
+
+TEST_F(RpcEndToEndTest, AcceleratedBackendsRoundTrip)
+{
+    const RpcTimeBreakdown b = RunSession(
+        std::make_unique<AcceleratedBackend>(pool_),
+        std::make_unique<AcceleratedBackend>(pool_), 20);
+    EXPECT_EQ(b.calls, 20u);
+    EXPECT_EQ(b.failures, 0u);
+}
+
+TEST_F(RpcEndToEndTest, AcceleratorShrinksCodecShare)
+{
+    const RpcTimeBreakdown sw = RunSession(
+        std::make_unique<SoftwareBackend>(cpu::BoomParams()),
+        std::make_unique<SoftwareBackend>(cpu::BoomParams()), 30);
+    const RpcTimeBreakdown hw = RunSession(
+        std::make_unique<AcceleratedBackend>(pool_),
+        std::make_unique<AcceleratedBackend>(pool_), 30);
+    // Same application + network; the accelerator only removes codec
+    // time, so its codec share and total must both be lower.
+    EXPECT_LT(hw.codec_share(), sw.codec_share());
+    EXPECT_LT(hw.total_ns(), sw.total_ns());
+    EXPECT_NEAR(hw.network_ns, sw.network_ns, 1e-6);
+}
+
+TEST_F(RpcEndToEndTest, MixedBackendsInteroperate)
+{
+    // Software client, accelerated server: the wire format is the
+    // contract (§4: "wire-compatible with standard protobufs").
+    const RpcTimeBreakdown b = RunSession(
+        std::make_unique<SoftwareBackend>(cpu::XeonParams()),
+        std::make_unique<AcceleratedBackend>(pool_), 15);
+    EXPECT_EQ(b.failures, 0u);
+}
+
+TEST_F(RpcEndToEndTest, UnknownMethodYieldsErrorFrame)
+{
+    RpcServer server(&pool_,
+                     std::make_unique<SoftwareBackend>(
+                         cpu::BoomParams()));
+    server.RegisterMethod(1, req_, rsp_, EchoHandler());
+    RpcSession session(&pool_,
+                       std::make_unique<SoftwareBackend>(
+                           cpu::BoomParams()),
+                       &server, SimulatedChannel{});
+    proto::Arena arena;
+    Message request = Message::Create(&arena, pool_, req_);
+    Message response = Message::Create(&arena, pool_, rsp_);
+    EXPECT_FALSE(session.Call(99, request, &response));
+    EXPECT_EQ(session.breakdown().failures, 1u);
+}
+
+}  // namespace
+}  // namespace protoacc::rpc

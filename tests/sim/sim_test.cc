@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "sim/memory_system.h"
+#include "sim/port.h"
+
+namespace protoacc::sim {
+namespace {
+
+TEST(Cache, HitAfterFill)
+{
+    Cache cache(CacheConfig{.name = "t",
+                            .size_bytes = 4096,
+                            .ways = 2,
+                            .line_bytes = 64,
+                            .hit_latency = 10});
+    EXPECT_FALSE(cache.Access(0x1000, false));  // cold miss
+    EXPECT_TRUE(cache.Access(0x1000, false));   // hit
+    EXPECT_TRUE(cache.Access(0x103f, false));   // same line
+    EXPECT_FALSE(cache.Access(0x1040, false));  // next line
+    EXPECT_EQ(cache.stats().hits, 2u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way, line 64, 2 sets (256 B total).
+    Cache cache(CacheConfig{.name = "t",
+                            .size_bytes = 256,
+                            .ways = 2,
+                            .line_bytes = 64,
+                            .hit_latency = 1});
+    // Three lines mapping to the same set (stride = sets * line = 128).
+    cache.Access(0, false);
+    cache.Access(128, false);
+    cache.Access(0, false);    // touch 0 so 128 is LRU
+    cache.Access(256, false);  // evicts 128
+    EXPECT_TRUE(cache.Contains(0));
+    EXPECT_FALSE(cache.Contains(128));
+    EXPECT_TRUE(cache.Contains(256));
+}
+
+TEST(Cache, DirtyEvictionCountsWriteback)
+{
+    Cache cache(CacheConfig{.name = "t",
+                            .size_bytes = 128,
+                            .ways = 1,
+                            .line_bytes = 64,
+                            .hit_latency = 1});
+    cache.Access(0, true);    // dirty
+    cache.Access(128, false); // evicts dirty line 0
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, FlushInvalidates)
+{
+    Cache cache(CacheConfig{.name = "t",
+                            .size_bytes = 4096,
+                            .ways = 2,
+                            .line_bytes = 64,
+                            .hit_latency = 1});
+    cache.Access(0x40, false);
+    cache.Flush();
+    EXPECT_FALSE(cache.Contains(0x40));
+}
+
+TEST(Tlb, HitAfterWalkAndLru)
+{
+    Tlb tlb(TlbConfig{.entries = 2, .page_bytes = 4096,
+                      .walk_latency = 50});
+    EXPECT_EQ(tlb.Access(0x0000), 50u);   // walk
+    EXPECT_EQ(tlb.Access(0x0fff), 0u);    // same page
+    EXPECT_EQ(tlb.Access(0x1000), 50u);   // second page
+    EXPECT_EQ(tlb.Access(0x0000), 0u);    // still resident
+    EXPECT_EQ(tlb.Access(0x2000), 50u);   // evicts page 1 (LRU)
+    EXPECT_EQ(tlb.Access(0x1000), 50u);   // page 1 was evicted
+    EXPECT_EQ(tlb.stats().misses, 4u);
+}
+
+TEST(MemorySystem, LatencyOrdering)
+{
+    MemorySystemConfig cfg;
+    MemorySystem mem(cfg);
+    const uint64_t cold = mem.ReadLatency(1 << 20, 8);
+    const uint64_t warm = mem.ReadLatency(1 << 20, 8);
+    EXPECT_EQ(cold, cfg.dram_latency);
+    EXPECT_EQ(warm, cfg.l2.hit_latency);
+}
+
+TEST(MemorySystem, LlcHitAfterL2Eviction)
+{
+    MemorySystemConfig cfg;
+    cfg.l2.size_bytes = 4096;  // tiny L2 so we can evict easily
+    cfg.l2.ways = 1;
+    MemorySystem mem(cfg);
+    mem.ReadLatency(0, 8);
+    // Evict line 0 from the direct-mapped L2 (same set, different tag).
+    mem.ReadLatency(4096, 8);
+    const uint64_t lat = mem.ReadLatency(0, 8);
+    EXPECT_EQ(lat, cfg.llc.hit_latency);
+}
+
+TEST(MemorySystem, StreamingReadIsBandwidthBound)
+{
+    MemorySystemConfig cfg;
+    MemorySystem mem(cfg);
+    // 1 KiB streaming read: first-line latency plus one beat per 16 B.
+    const uint64_t lat = mem.ReadLatency(1 << 22, 1024);
+    EXPECT_EQ(lat, cfg.dram_latency + 1024 / 16 - 1);
+}
+
+TEST(MemorySystem, PostedWritesCostOccupancyOnly)
+{
+    MemorySystemConfig cfg;
+    MemorySystem mem(cfg);
+    EXPECT_EQ(mem.WriteLatency(1 << 23, 4), 1u);
+    EXPECT_EQ(mem.WriteLatency(1 << 23, 64), 4u);
+}
+
+TEST(Port, TranslationAddsWalkLatency)
+{
+    MemorySystemConfig cfg;
+    MemorySystem mem(cfg);
+    Port port("test", &mem, TlbConfig{.entries = 4,
+                                      .page_bytes = 4096,
+                                      .walk_latency = 60});
+    alignas(64) static char buf[256];
+    // Cold: page walk + DRAM fill. Warm: TLB hit + L2 hit.
+    const uint64_t first = port.Read(buf, 16);
+    const uint64_t second = port.Read(buf, 16);
+    EXPECT_EQ(first, 60u + cfg.dram_latency);
+    EXPECT_EQ(second, cfg.l2.hit_latency);
+    EXPECT_EQ(port.stats().reads, 2u);
+    EXPECT_EQ(port.stats().read_bytes, 32u);
+}
+
+TEST(MemorySystem, StatsAccumulate)
+{
+    MemorySystem mem(MemorySystemConfig{});
+    mem.ReadLatency(0, 100);
+    mem.WriteLatency(0, 50);
+    EXPECT_EQ(mem.stats().reads, 1u);
+    EXPECT_EQ(mem.stats().read_bytes, 100u);
+    EXPECT_EQ(mem.stats().writes, 1u);
+    EXPECT_EQ(mem.stats().write_bytes, 50u);
+    mem.ResetStats();
+    EXPECT_EQ(mem.stats().reads, 0u);
+}
+
+}  // namespace
+}  // namespace protoacc::sim
