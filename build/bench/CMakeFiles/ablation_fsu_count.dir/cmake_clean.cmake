@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fsu_count.dir/ablation_fsu_count.cc.o"
+  "CMakeFiles/ablation_fsu_count.dir/ablation_fsu_count.cc.o.d"
+  "ablation_fsu_count"
+  "ablation_fsu_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fsu_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hasbits.dir/ablation_hasbits.cc.o"
+  "CMakeFiles/ablation_hasbits.dir/ablation_hasbits.cc.o.d"
+  "ablation_hasbits"
+  "ablation_hasbits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hasbits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

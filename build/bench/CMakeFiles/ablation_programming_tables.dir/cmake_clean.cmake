@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_programming_tables.dir/ablation_programming_tables.cc.o"
+  "CMakeFiles/ablation_programming_tables.dir/ablation_programming_tables.cc.o.d"
+  "ablation_programming_tables"
+  "ablation_programming_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_programming_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stack_depth.dir/ablation_stack_depth.cc.o"
+  "CMakeFiles/ablation_stack_depth.dir/ablation_stack_depth.cc.o.d"
+  "ablation_stack_depth"
+  "ablation_stack_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stack_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_gbench.dir/codec_gbench.cc.o"
+  "CMakeFiles/codec_gbench.dir/codec_gbench.cc.o.d"
+  "codec_gbench"
+  "codec_gbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_gbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

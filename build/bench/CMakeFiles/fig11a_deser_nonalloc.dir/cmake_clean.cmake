@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_deser_nonalloc.dir/fig11a_deser_nonalloc.cc.o"
+  "CMakeFiles/fig11a_deser_nonalloc.dir/fig11a_deser_nonalloc.cc.o.d"
+  "fig11a_deser_nonalloc"
+  "fig11a_deser_nonalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_deser_nonalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

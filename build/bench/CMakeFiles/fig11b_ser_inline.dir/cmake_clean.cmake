@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_ser_inline.dir/fig11b_ser_inline.cc.o"
+  "CMakeFiles/fig11b_ser_inline.dir/fig11b_ser_inline.cc.o.d"
+  "fig11b_ser_inline"
+  "fig11b_ser_inline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_ser_inline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

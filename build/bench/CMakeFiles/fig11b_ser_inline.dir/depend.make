@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11b_ser_inline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11c_deser_alloc.dir/fig11c_deser_alloc.cc.o"
+  "CMakeFiles/fig11c_deser_alloc.dir/fig11c_deser_alloc.cc.o.d"
+  "fig11c_deser_alloc"
+  "fig11c_deser_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11c_deser_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

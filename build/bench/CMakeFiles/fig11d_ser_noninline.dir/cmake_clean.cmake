@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11d_ser_noninline.dir/fig11d_ser_noninline.cc.o"
+  "CMakeFiles/fig11d_ser_noninline.dir/fig11d_ser_noninline.cc.o.d"
+  "fig11d_ser_noninline"
+  "fig11d_ser_noninline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11d_ser_noninline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

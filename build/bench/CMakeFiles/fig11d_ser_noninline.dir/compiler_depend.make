@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11d_ser_noninline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_hyperprotobench_deser.dir/fig12_hyperprotobench_deser.cc.o"
+  "CMakeFiles/fig12_hyperprotobench_deser.dir/fig12_hyperprotobench_deser.cc.o.d"
+  "fig12_hyperprotobench_deser"
+  "fig12_hyperprotobench_deser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_hyperprotobench_deser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

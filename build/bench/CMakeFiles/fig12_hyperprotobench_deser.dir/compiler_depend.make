@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig12_hyperprotobench_deser.
+# This may be replaced when dependencies are built.

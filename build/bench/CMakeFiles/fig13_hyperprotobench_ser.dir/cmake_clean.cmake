@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_hyperprotobench_ser.dir/fig13_hyperprotobench_ser.cc.o"
+  "CMakeFiles/fig13_hyperprotobench_ser.dir/fig13_hyperprotobench_ser.cc.o.d"
+  "fig13_hyperprotobench_ser"
+  "fig13_hyperprotobench_ser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_hyperprotobench_ser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

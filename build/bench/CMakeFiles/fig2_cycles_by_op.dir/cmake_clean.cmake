@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_cycles_by_op.dir/fig2_cycles_by_op.cc.o"
+  "CMakeFiles/fig2_cycles_by_op.dir/fig2_cycles_by_op.cc.o.d"
+  "fig2_cycles_by_op"
+  "fig2_cycles_by_op.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_cycles_by_op.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

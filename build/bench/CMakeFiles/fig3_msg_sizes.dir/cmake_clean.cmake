@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_msg_sizes.dir/fig3_msg_sizes.cc.o"
+  "CMakeFiles/fig3_msg_sizes.dir/fig3_msg_sizes.cc.o.d"
+  "fig3_msg_sizes"
+  "fig3_msg_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_msg_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

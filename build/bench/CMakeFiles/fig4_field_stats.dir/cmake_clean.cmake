@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_field_stats.dir/fig4_field_stats.cc.o"
+  "CMakeFiles/fig4_field_stats.dir/fig4_field_stats.cc.o.d"
+  "fig4_field_stats"
+  "fig4_field_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_field_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

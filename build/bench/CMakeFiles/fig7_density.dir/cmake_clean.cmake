@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_density.dir/fig7_density.cc.o"
+  "CMakeFiles/fig7_density.dir/fig7_density.cc.o.d"
+  "fig7_density"
+  "fig7_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_end_to_end.dir/rpc_end_to_end.cc.o"
+  "CMakeFiles/rpc_end_to_end.dir/rpc_end_to_end.cc.o.d"
+  "rpc_end_to_end"
+  "rpc_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec38_depth.dir/sec38_depth.cc.o"
+  "CMakeFiles/sec38_depth.dir/sec38_depth.cc.o.d"
+  "sec38_depth"
+  "sec38_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec38_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec53_asic_area.dir/sec53_asic_area.cc.o"
+  "CMakeFiles/sec53_asic_area.dir/sec53_asic_area.cc.o.d"
+  "sec53_asic_area"
+  "sec53_asic_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec53_asic_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_other_ops.dir/sec7_other_ops.cc.o"
+  "CMakeFiles/sec7_other_ops.dir/sec7_other_ops.cc.o.d"
+  "sec7_other_ops"
+  "sec7_other_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_other_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_type_classes.dir/table1_type_classes.cc.o"
+  "CMakeFiles/table1_type_classes.dir/table1_type_classes.cc.o.d"
+  "table1_type_classes"
+  "table1_type_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_type_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

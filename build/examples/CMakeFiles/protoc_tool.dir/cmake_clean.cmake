@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protoc_tool.dir/protoc_tool.cpp.o"
+  "CMakeFiles/protoc_tool.dir/protoc_tool.cpp.o.d"
+  "protoc_tool"
+  "protoc_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protoc_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_service.dir/rpc_service.cpp.o"
+  "CMakeFiles/rpc_service.dir/rpc_service.cpp.o.d"
+  "rpc_service"
+  "rpc_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

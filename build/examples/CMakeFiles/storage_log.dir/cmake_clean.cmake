@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_log.dir/storage_log.cpp.o"
+  "CMakeFiles/storage_log.dir/storage_log.cpp.o.d"
+  "storage_log"
+  "storage_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/accelerator.cc" "src/accel/CMakeFiles/pa_accel.dir/accelerator.cc.o" "gcc" "src/accel/CMakeFiles/pa_accel.dir/accelerator.cc.o.d"
+  "/root/repo/src/accel/adt.cc" "src/accel/CMakeFiles/pa_accel.dir/adt.cc.o" "gcc" "src/accel/CMakeFiles/pa_accel.dir/adt.cc.o.d"
+  "/root/repo/src/accel/deserializer.cc" "src/accel/CMakeFiles/pa_accel.dir/deserializer.cc.o" "gcc" "src/accel/CMakeFiles/pa_accel.dir/deserializer.cc.o.d"
+  "/root/repo/src/accel/ops_unit.cc" "src/accel/CMakeFiles/pa_accel.dir/ops_unit.cc.o" "gcc" "src/accel/CMakeFiles/pa_accel.dir/ops_unit.cc.o.d"
+  "/root/repo/src/accel/serializer.cc" "src/accel/CMakeFiles/pa_accel.dir/serializer.cc.o" "gcc" "src/accel/CMakeFiles/pa_accel.dir/serializer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/pa_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

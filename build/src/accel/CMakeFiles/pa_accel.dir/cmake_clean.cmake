@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_accel.dir/accelerator.cc.o"
+  "CMakeFiles/pa_accel.dir/accelerator.cc.o.d"
+  "CMakeFiles/pa_accel.dir/adt.cc.o"
+  "CMakeFiles/pa_accel.dir/adt.cc.o.d"
+  "CMakeFiles/pa_accel.dir/deserializer.cc.o"
+  "CMakeFiles/pa_accel.dir/deserializer.cc.o.d"
+  "CMakeFiles/pa_accel.dir/ops_unit.cc.o"
+  "CMakeFiles/pa_accel.dir/ops_unit.cc.o.d"
+  "CMakeFiles/pa_accel.dir/serializer.cc.o"
+  "CMakeFiles/pa_accel.dir/serializer.cc.o.d"
+  "libpa_accel.a"
+  "libpa_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_asic.dir/area_model.cc.o"
+  "CMakeFiles/pa_asic.dir/area_model.cc.o.d"
+  "libpa_asic.a"
+  "libpa_asic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_asic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_common.dir/histogram.cc.o"
+  "CMakeFiles/pa_common.dir/histogram.cc.o.d"
+  "CMakeFiles/pa_common.dir/rng.cc.o"
+  "CMakeFiles/pa_common.dir/rng.cc.o.d"
+  "libpa_common.a"
+  "libpa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_cpu.dir/cpu_model.cc.o"
+  "CMakeFiles/pa_cpu.dir/cpu_model.cc.o.d"
+  "libpa_cpu.a"
+  "libpa_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

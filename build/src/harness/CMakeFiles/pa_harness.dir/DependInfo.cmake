@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/bench_common.cc" "src/harness/CMakeFiles/pa_harness.dir/bench_common.cc.o" "gcc" "src/harness/CMakeFiles/pa_harness.dir/bench_common.cc.o.d"
+  "/root/repo/src/harness/microbench.cc" "src/harness/CMakeFiles/pa_harness.dir/microbench.cc.o" "gcc" "src/harness/CMakeFiles/pa_harness.dir/microbench.cc.o.d"
+  "/root/repo/src/harness/stats_report.cc" "src/harness/CMakeFiles/pa_harness.dir/stats_report.cc.o" "gcc" "src/harness/CMakeFiles/pa_harness.dir/stats_report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/accel/CMakeFiles/pa_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/pa_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/pa_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_harness.dir/bench_common.cc.o"
+  "CMakeFiles/pa_harness.dir/bench_common.cc.o.d"
+  "CMakeFiles/pa_harness.dir/microbench.cc.o"
+  "CMakeFiles/pa_harness.dir/microbench.cc.o.d"
+  "CMakeFiles/pa_harness.dir/stats_report.cc.o"
+  "CMakeFiles/pa_harness.dir/stats_report.cc.o.d"
+  "libpa_harness.a"
+  "libpa_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_hpb.dir/generator.cc.o"
+  "CMakeFiles/pa_hpb.dir/generator.cc.o.d"
+  "CMakeFiles/pa_hpb.dir/shape.cc.o"
+  "CMakeFiles/pa_hpb.dir/shape.cc.o.d"
+  "libpa_hpb.a"
+  "libpa_hpb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_hpb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/cycle_estimator.cc" "src/profile/CMakeFiles/pa_profile.dir/cycle_estimator.cc.o" "gcc" "src/profile/CMakeFiles/pa_profile.dir/cycle_estimator.cc.o.d"
+  "/root/repo/src/profile/distributions.cc" "src/profile/CMakeFiles/pa_profile.dir/distributions.cc.o" "gcc" "src/profile/CMakeFiles/pa_profile.dir/distributions.cc.o.d"
+  "/root/repo/src/profile/fleet_model.cc" "src/profile/CMakeFiles/pa_profile.dir/fleet_model.cc.o" "gcc" "src/profile/CMakeFiles/pa_profile.dir/fleet_model.cc.o.d"
+  "/root/repo/src/profile/samplers.cc" "src/profile/CMakeFiles/pa_profile.dir/samplers.cc.o" "gcc" "src/profile/CMakeFiles/pa_profile.dir/samplers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/pa_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/pa_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/pa_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/pa_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

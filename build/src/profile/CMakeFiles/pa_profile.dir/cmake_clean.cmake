@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_profile.dir/cycle_estimator.cc.o"
+  "CMakeFiles/pa_profile.dir/cycle_estimator.cc.o.d"
+  "CMakeFiles/pa_profile.dir/distributions.cc.o"
+  "CMakeFiles/pa_profile.dir/distributions.cc.o.d"
+  "CMakeFiles/pa_profile.dir/fleet_model.cc.o"
+  "CMakeFiles/pa_profile.dir/fleet_model.cc.o.d"
+  "CMakeFiles/pa_profile.dir/samplers.cc.o"
+  "CMakeFiles/pa_profile.dir/samplers.cc.o.d"
+  "libpa_profile.a"
+  "libpa_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/arena.cc" "src/proto/CMakeFiles/pa_proto.dir/arena.cc.o" "gcc" "src/proto/CMakeFiles/pa_proto.dir/arena.cc.o.d"
+  "/root/repo/src/proto/descriptor.cc" "src/proto/CMakeFiles/pa_proto.dir/descriptor.cc.o" "gcc" "src/proto/CMakeFiles/pa_proto.dir/descriptor.cc.o.d"
+  "/root/repo/src/proto/message.cc" "src/proto/CMakeFiles/pa_proto.dir/message.cc.o" "gcc" "src/proto/CMakeFiles/pa_proto.dir/message.cc.o.d"
+  "/root/repo/src/proto/message_ops.cc" "src/proto/CMakeFiles/pa_proto.dir/message_ops.cc.o" "gcc" "src/proto/CMakeFiles/pa_proto.dir/message_ops.cc.o.d"
+  "/root/repo/src/proto/parser.cc" "src/proto/CMakeFiles/pa_proto.dir/parser.cc.o" "gcc" "src/proto/CMakeFiles/pa_proto.dir/parser.cc.o.d"
+  "/root/repo/src/proto/schema_parser.cc" "src/proto/CMakeFiles/pa_proto.dir/schema_parser.cc.o" "gcc" "src/proto/CMakeFiles/pa_proto.dir/schema_parser.cc.o.d"
+  "/root/repo/src/proto/schema_random.cc" "src/proto/CMakeFiles/pa_proto.dir/schema_random.cc.o" "gcc" "src/proto/CMakeFiles/pa_proto.dir/schema_random.cc.o.d"
+  "/root/repo/src/proto/serializer.cc" "src/proto/CMakeFiles/pa_proto.dir/serializer.cc.o" "gcc" "src/proto/CMakeFiles/pa_proto.dir/serializer.cc.o.d"
+  "/root/repo/src/proto/text_format.cc" "src/proto/CMakeFiles/pa_proto.dir/text_format.cc.o" "gcc" "src/proto/CMakeFiles/pa_proto.dir/text_format.cc.o.d"
+  "/root/repo/src/proto/wire_format.cc" "src/proto/CMakeFiles/pa_proto.dir/wire_format.cc.o" "gcc" "src/proto/CMakeFiles/pa_proto.dir/wire_format.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

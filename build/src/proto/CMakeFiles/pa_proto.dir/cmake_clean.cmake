@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_proto.dir/arena.cc.o"
+  "CMakeFiles/pa_proto.dir/arena.cc.o.d"
+  "CMakeFiles/pa_proto.dir/descriptor.cc.o"
+  "CMakeFiles/pa_proto.dir/descriptor.cc.o.d"
+  "CMakeFiles/pa_proto.dir/message.cc.o"
+  "CMakeFiles/pa_proto.dir/message.cc.o.d"
+  "CMakeFiles/pa_proto.dir/message_ops.cc.o"
+  "CMakeFiles/pa_proto.dir/message_ops.cc.o.d"
+  "CMakeFiles/pa_proto.dir/parser.cc.o"
+  "CMakeFiles/pa_proto.dir/parser.cc.o.d"
+  "CMakeFiles/pa_proto.dir/schema_parser.cc.o"
+  "CMakeFiles/pa_proto.dir/schema_parser.cc.o.d"
+  "CMakeFiles/pa_proto.dir/schema_random.cc.o"
+  "CMakeFiles/pa_proto.dir/schema_random.cc.o.d"
+  "CMakeFiles/pa_proto.dir/serializer.cc.o"
+  "CMakeFiles/pa_proto.dir/serializer.cc.o.d"
+  "CMakeFiles/pa_proto.dir/text_format.cc.o"
+  "CMakeFiles/pa_proto.dir/text_format.cc.o.d"
+  "CMakeFiles/pa_proto.dir/wire_format.cc.o"
+  "CMakeFiles/pa_proto.dir/wire_format.cc.o.d"
+  "libpa_proto.a"
+  "libpa_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pa_proto.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_rpc.dir/codec_backend.cc.o"
+  "CMakeFiles/pa_rpc.dir/codec_backend.cc.o.d"
+  "CMakeFiles/pa_rpc.dir/frame.cc.o"
+  "CMakeFiles/pa_rpc.dir/frame.cc.o.d"
+  "CMakeFiles/pa_rpc.dir/rpc.cc.o"
+  "CMakeFiles/pa_rpc.dir/rpc.cc.o.d"
+  "libpa_rpc.a"
+  "libpa_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_sim.dir/cache.cc.o"
+  "CMakeFiles/pa_sim.dir/cache.cc.o.d"
+  "CMakeFiles/pa_sim.dir/memory_system.cc.o"
+  "CMakeFiles/pa_sim.dir/memory_system.cc.o.d"
+  "CMakeFiles/pa_sim.dir/tlb.cc.o"
+  "CMakeFiles/pa_sim.dir/tlb.cc.o.d"
+  "libpa_sim.a"
+  "libpa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

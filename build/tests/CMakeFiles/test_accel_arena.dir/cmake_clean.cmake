@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accel_arena.dir/accel/accel_arena_test.cc.o"
+  "CMakeFiles/test_accel_arena.dir/accel/accel_arena_test.cc.o.d"
+  "test_accel_arena"
+  "test_accel_arena.pdb"
+  "test_accel_arena[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accel_arena.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accel_deser.dir/accel/deserializer_test.cc.o"
+  "CMakeFiles/test_accel_deser.dir/accel/deserializer_test.cc.o.d"
+  "test_accel_deser"
+  "test_accel_deser.pdb"
+  "test_accel_deser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accel_deser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accel_fuzz.dir/accel/accel_fuzz_test.cc.o"
+  "CMakeFiles/test_accel_fuzz.dir/accel/accel_fuzz_test.cc.o.d"
+  "test_accel_fuzz"
+  "test_accel_fuzz.pdb"
+  "test_accel_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accel_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accel_ops.dir/accel/ops_unit_test.cc.o"
+  "CMakeFiles/test_accel_ops.dir/accel/ops_unit_test.cc.o.d"
+  "test_accel_ops"
+  "test_accel_ops.pdb"
+  "test_accel_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accel_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

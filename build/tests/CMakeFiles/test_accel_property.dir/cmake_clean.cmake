@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accel_property.dir/accel/accel_property_test.cc.o"
+  "CMakeFiles/test_accel_property.dir/accel/accel_property_test.cc.o.d"
+  "test_accel_property"
+  "test_accel_property.pdb"
+  "test_accel_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accel_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

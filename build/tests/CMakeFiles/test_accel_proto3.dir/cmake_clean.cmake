@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accel_proto3.dir/accel/proto3_accel_test.cc.o"
+  "CMakeFiles/test_accel_proto3.dir/accel/proto3_accel_test.cc.o.d"
+  "test_accel_proto3"
+  "test_accel_proto3.pdb"
+  "test_accel_proto3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accel_proto3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

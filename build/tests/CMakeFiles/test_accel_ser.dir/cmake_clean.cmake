@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accel_ser.dir/accel/serializer_test.cc.o"
+  "CMakeFiles/test_accel_ser.dir/accel/serializer_test.cc.o.d"
+  "test_accel_ser"
+  "test_accel_ser.pdb"
+  "test_accel_ser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accel_ser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

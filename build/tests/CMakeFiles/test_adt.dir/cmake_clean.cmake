@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adt.dir/accel/adt_test.cc.o"
+  "CMakeFiles/test_adt.dir/accel/adt_test.cc.o.d"
+  "test_adt"
+  "test_adt.pdb"
+  "test_adt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpb.dir/hpb/hpb_test.cc.o"
+  "CMakeFiles/test_hpb.dir/hpb/hpb_test.cc.o.d"
+  "test_hpb"
+  "test_hpb.pdb"
+  "test_hpb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_message_ops.dir/proto/message_ops_test.cc.o"
+  "CMakeFiles/test_message_ops.dir/proto/message_ops_test.cc.o.d"
+  "test_message_ops"
+  "test_message_ops.pdb"
+  "test_message_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_message_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schema_parser.dir/proto/schema_parser_test.cc.o"
+  "CMakeFiles/test_schema_parser.dir/proto/schema_parser_test.cc.o.d"
+  "test_schema_parser"
+  "test_schema_parser.pdb"
+  "test_schema_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schema_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

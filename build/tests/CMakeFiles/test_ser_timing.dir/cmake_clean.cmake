@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ser_timing.dir/accel/serializer_timing_test.cc.o"
+  "CMakeFiles/test_ser_timing.dir/accel/serializer_timing_test.cc.o.d"
+  "test_ser_timing"
+  "test_ser_timing.pdb"
+  "test_ser_timing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ser_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
