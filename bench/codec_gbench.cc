@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "harness/microbench.h"
+#include "proto/codec_reference.h"
 #include "proto/parser.h"
 #include "proto/schema_random.h"
 #include "proto/serializer.h"
@@ -17,10 +18,19 @@ using namespace protoacc::proto;
 
 namespace {
 
+/// Smallest value whose varint encoding takes exactly @p n bytes.
+/// (An earlier version computed 1ull << (7*(n-1)-1), which shifted by -1
+/// for n == 1 and measured an (n-1)-byte varint for every other n.)
+uint64_t
+VarintValueOfLength(int64_t n)
+{
+    return n <= 1 ? 1ull : 1ull << (7 * (n - 1));
+}
+
 void
 BM_VarintEncode(benchmark::State &state)
 {
-    const uint64_t value = 1ull << (7 * (state.range(0) - 1) - 1);
+    const uint64_t value = VarintValueOfLength(state.range(0));
     uint8_t buf[kMaxVarintBytes];
     for (auto _ : state) {
         benchmark::DoNotOptimize(EncodeVarint(value, buf));
@@ -33,12 +43,15 @@ BENCHMARK(BM_VarintEncode)->DenseRange(1, 10);
 void
 BM_VarintDecode(benchmark::State &state)
 {
-    const uint64_t value = 1ull << (7 * (state.range(0) - 1) - 1);
-    uint8_t buf[kMaxVarintBytes];
+    const uint64_t value = VarintValueOfLength(state.range(0));
+    // Decode mid-stream: leave slack after the varint, as a real parse
+    // position would have, so the word-at-a-time path is representative.
+    uint8_t buf[kMaxVarintBytes + 8] = {};
     const int n = EncodeVarint(value, buf);
     for (auto _ : state) {
         uint64_t out;
-        benchmark::DoNotOptimize(DecodeVarint(buf, buf + n, &out));
+        benchmark::DoNotOptimize(
+            DecodeVarint(buf, buf + sizeof(buf), &out));
     }
     state.SetBytesProcessed(state.iterations() * n);
 }
@@ -83,6 +96,51 @@ BM_ParseMicrobench(benchmark::State &state)
         static_cast<int64_t>(bench->workload.total_wire_bytes));
 }
 BENCHMARK(BM_ParseMicrobench)->Arg(1)->Arg(5)->Arg(10);
+
+// Reference-interpreter equivalents of the two microbenches above: the
+// retained seed codec (codec_reference.h), measured so the table-driven
+// fast path's gain is visible inside one binary.
+
+void
+BM_SerializeReference(benchmark::State &state)
+{
+    const auto bench =
+        harness::MakeVarintBench(static_cast<int>(state.range(0)),
+                                 /*repeated=*/false);
+    std::vector<uint8_t> buf(1 << 16);
+    for (auto _ : state) {
+        for (const auto &m : bench->workload.messages) {
+            benchmark::DoNotOptimize(
+                ReferenceSerializeToBuffer(m, buf.data(), buf.size()));
+        }
+    }
+    state.SetBytesProcessed(
+        state.iterations() *
+        static_cast<int64_t>(bench->workload.total_wire_bytes));
+}
+BENCHMARK(BM_SerializeReference)->Arg(1)->Arg(5)->Arg(10);
+
+void
+BM_ParseReference(benchmark::State &state)
+{
+    const auto bench =
+        harness::MakeVarintBench(static_cast<int>(state.range(0)),
+                                 /*repeated=*/false);
+    for (auto _ : state) {
+        Arena arena;
+        for (const auto &wire : bench->workload.wires) {
+            Message dest = Message::Create(&arena, *bench->workload.pool,
+                                           bench->workload.msg_index);
+            benchmark::DoNotOptimize(
+                ReferenceParseFromBuffer(wire.data(), wire.size(),
+                                         &dest));
+        }
+    }
+    state.SetBytesProcessed(
+        state.iterations() *
+        static_cast<int64_t>(bench->workload.total_wire_bytes));
+}
+BENCHMARK(BM_ParseReference)->Arg(1)->Arg(5)->Arg(10);
 
 void
 BM_ParseRandomSchema(benchmark::State &state)

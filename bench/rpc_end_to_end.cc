@@ -29,9 +29,11 @@ Run(const DescriptorPool &pool, int req, int rsp, size_t payload_len,
 {
     auto make_backend = [&]() -> std::unique_ptr<CodecBackend> {
         if (std::string(system) == "riscv-boom")
-            return std::make_unique<SoftwareBackend>(cpu::BoomParams());
+            return std::make_unique<SoftwareBackend>(cpu::BoomParams(),
+                                                     pool);
         if (std::string(system) == "Xeon")
-            return std::make_unique<SoftwareBackend>(cpu::XeonParams());
+            return std::make_unique<SoftwareBackend>(cpu::XeonParams(),
+                                                     pool);
         return std::make_unique<AcceleratedBackend>(pool);
     };
 

@@ -40,7 +40,11 @@ Arena::AddBlock(size_t min_size)
 {
     const size_t size = min_size > block_size_ ? min_size : block_size_;
     Block block;
-    block.data = std::make_unique<char[]>(size);
+    // for_overwrite: Allocate() zeroes each handed-out region itself, so
+    // value-initializing the whole block here would memset block_size_
+    // bytes up front -- dominant in parse benches that use a fresh arena
+    // per message batch.
+    block.data = std::make_unique_for_overwrite<char[]>(size);
     block.size = size;
     head_ = block.data.get();
     limit_ = head_ + size;

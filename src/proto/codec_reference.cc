@@ -1,0 +1,688 @@
+#include "proto/codec_reference.h"
+
+#include <cstring>
+
+#include "proto/utf8.h"
+
+// The bodies below are the seed codec, unchanged: a per-field interpreter
+// over FieldDescriptors using the checked Message accessor surface. Keep
+// it semantically frozen — codec_differential_test.cc asserts the
+// table-driven fast path matches it on wire bytes, parsed objects and
+// cost-sink tallies.
+
+namespace protoacc::proto {
+
+namespace {
+
+/// Cursor over the serialized input with cost instrumentation.
+class Reader
+{
+  public:
+    Reader(const uint8_t *p, const uint8_t *end, CostSink *sink)
+        : p_(p), end_(end), sink_(sink)
+    {}
+
+    bool at_end() const { return p_ >= end_; }
+    size_t remaining() const { return end_ - p_; }
+    const uint8_t *pos() const { return p_; }
+    CostSink *sink() const { return sink_; }
+
+    bool
+    ReadVarint(uint64_t *v, bool is_tag)
+    {
+        const int n = DecodeVarint(p_, end_, v);
+        if (n == 0)
+            return false;
+        p_ += n;
+        if (sink_ != nullptr) {
+            if (is_tag)
+                sink_->OnTagDecode(n);
+            else
+                sink_->OnVarintDecode(n);
+        }
+        return true;
+    }
+
+    bool
+    ReadFixed32(uint32_t *v)
+    {
+        if (remaining() < 4)
+            return false;
+        *v = LoadFixed32(p_);
+        p_ += 4;
+        if (sink_ != nullptr)
+            sink_->OnFixedCopy(4);
+        return true;
+    }
+
+    bool
+    ReadFixed64(uint64_t *v)
+    {
+        if (remaining() < 8)
+            return false;
+        *v = LoadFixed64(p_);
+        p_ += 8;
+        if (sink_ != nullptr)
+            sink_->OnFixedCopy(8);
+        return true;
+    }
+
+    bool
+    Skip(size_t n)
+    {
+        if (remaining() < n)
+            return false;
+        p_ += n;
+        return true;
+    }
+
+    /// Create a bounded sub-reader of @p n bytes and advance past them.
+    bool
+    Slice(size_t n, Reader *out)
+    {
+        if (remaining() < n)
+            return false;
+        *out = Reader(p_, p_ + n, sink_);
+        p_ += n;
+        return true;
+    }
+
+  private:
+    const uint8_t *p_;
+    const uint8_t *end_;
+    CostSink *sink_;
+};
+
+/// Decode a varint wire value into the in-memory bit pattern for @p type.
+uint64_t
+VarintMemoryValue(FieldType type, uint64_t wire)
+{
+    switch (type) {
+      case FieldType::kInt32:
+      case FieldType::kEnum:
+        return static_cast<uint32_t>(wire);
+      case FieldType::kUint32:
+        return static_cast<uint32_t>(wire);
+      case FieldType::kSint32:
+        return static_cast<uint32_t>(
+            ZigZagDecode32(static_cast<uint32_t>(wire)));
+      case FieldType::kSint64:
+        return static_cast<uint64_t>(ZigZagDecode64(wire));
+      case FieldType::kBool:
+        return wire != 0 ? 1 : 0;
+      default:
+        return wire;
+    }
+}
+
+ParseStatus ParsePayload(Reader &r, Message msg, int depth);
+
+ParseStatus
+SkipUnknown(Reader &r, WireType wt)
+{
+    switch (wt) {
+      case WireType::kVarint: {
+        uint64_t v;
+        return r.ReadVarint(&v, false) ? ParseStatus::kOk
+                                       : ParseStatus::kMalformedVarint;
+      }
+      case WireType::kFixed64:
+        return r.Skip(8) ? ParseStatus::kOk : ParseStatus::kTruncated;
+      case WireType::kFixed32:
+        return r.Skip(4) ? ParseStatus::kOk : ParseStatus::kTruncated;
+      case WireType::kLengthDelimited: {
+        uint64_t len;
+        if (!r.ReadVarint(&len, false))
+            return ParseStatus::kMalformedVarint;
+        return r.Skip(len) ? ParseStatus::kOk : ParseStatus::kTruncated;
+      }
+      case WireType::kStartGroup:
+      case WireType::kEndGroup:
+        // Groups are deprecated and unsupported (as in the paper).
+        return ParseStatus::kInvalidWireType;
+    }
+    return ParseStatus::kInvalidWireType;
+}
+
+ParseStatus
+ParseScalar(Reader &r, Message &msg, const FieldDescriptor &f, WireType wt)
+{
+    uint64_t bits;
+    switch (wt) {
+      case WireType::kVarint: {
+        uint64_t wire;
+        if (!r.ReadVarint(&wire, false))
+            return ParseStatus::kMalformedVarint;
+        bits = VarintMemoryValue(f.type, wire);
+        break;
+      }
+      case WireType::kFixed32: {
+        uint32_t v;
+        if (!r.ReadFixed32(&v))
+            return ParseStatus::kTruncated;
+        bits = v;
+        break;
+      }
+      case WireType::kFixed64: {
+        if (!r.ReadFixed64(&bits))
+            return ParseStatus::kTruncated;
+        break;
+      }
+      default:
+        return ParseStatus::kInvalidWireType;
+    }
+    if (f.repeated())
+        msg.AddRepeatedBits(f, bits);
+    else
+        msg.SetScalarBits(f, bits);
+    return ParseStatus::kOk;
+}
+
+ParseStatus
+ParsePackedRepeated(Reader &r, Message &msg, const FieldDescriptor &f)
+{
+    uint64_t len;
+    if (!r.ReadVarint(&len, false))
+        return ParseStatus::kMalformedVarint;
+    Reader body(nullptr, nullptr, nullptr);
+    if (!r.Slice(len, &body))
+        return ParseStatus::kTruncated;
+    const WireType elem_wt = WireTypeForField(f.type);
+    while (!body.at_end()) {
+        const ParseStatus st = ParseScalar(body, msg, f, elem_wt);
+        if (st != ParseStatus::kOk)
+            return st;
+    }
+    return ParseStatus::kOk;
+}
+
+ParseStatus
+ParseField(Reader &r, Message &msg, const FieldDescriptor &f, WireType wt,
+           int depth)
+{
+    if (r.sink() != nullptr)
+        r.sink()->OnFieldDispatch();
+
+    switch (f.type) {
+      case FieldType::kString:
+      case FieldType::kBytes: {
+        if (wt != WireType::kLengthDelimited)
+            return ParseStatus::kInvalidWireType;
+        uint64_t len;
+        if (!r.ReadVarint(&len, false))
+            return ParseStatus::kMalformedVarint;
+        if (r.remaining() < len)
+            return ParseStatus::kTruncated;
+        const std::string_view s(
+            reinterpret_cast<const char *>(r.pos()), len);
+        // §7: proto3 validates string (not bytes) fields as UTF-8.
+        if (f.type == FieldType::kString &&
+            msg.descriptor().syntax() == Syntax::kProto3 &&
+            !IsValidUtf8(s.data(), s.size())) {
+            return ParseStatus::kInvalidUtf8;
+        }
+        if (r.sink() != nullptr) {
+            // String construction: allocation plus payload copy.
+            r.sink()->OnAlloc(len > ArenaString::kInlineCapacity
+                                  ? len + sizeof(ArenaString)
+                                  : sizeof(ArenaString));
+            r.sink()->OnMemcpy(len);
+        }
+        if (f.repeated())
+            msg.AddRepeatedString(f, s);
+        else
+            msg.SetString(f, s);
+        r.Skip(len);
+        return ParseStatus::kOk;
+      }
+      case FieldType::kMessage: {
+        if (wt != WireType::kLengthDelimited)
+            return ParseStatus::kInvalidWireType;
+        uint64_t len;
+        if (!r.ReadVarint(&len, false))
+            return ParseStatus::kMalformedVarint;
+        Reader body(nullptr, nullptr, nullptr);
+        if (!r.Slice(len, &body))
+            return ParseStatus::kTruncated;
+        Message sub = f.repeated() ? msg.AddRepeatedMessage(f)
+                                   : msg.MutableMessage(f);
+        if (r.sink() != nullptr)
+            r.sink()->OnAlloc(sub.descriptor().layout().object_size);
+        return ParsePayload(body, sub, depth + 1);
+      }
+      default:
+        break;
+    }
+
+    // Scalar types: accept both packed and unpacked encodings regardless
+    // of the schema's packed option, as proto2 parsers must.
+    if (f.repeated() && wt == WireType::kLengthDelimited &&
+        WireTypeForField(f.type) != WireType::kLengthDelimited) {
+        return ParsePackedRepeated(r, msg, f);
+    }
+    return ParseScalar(r, msg, f, wt);
+}
+
+ParseStatus
+ParsePayload(Reader &r, Message msg, int depth)
+{
+    if (depth > kMaxParseDepth)
+        return ParseStatus::kDepthExceeded;
+    if (r.sink() != nullptr)
+        r.sink()->OnMessageBegin();
+    while (!r.at_end()) {
+        uint64_t tag;
+        if (!r.ReadVarint(&tag, true))
+            return ParseStatus::kMalformedVarint;
+        const uint32_t number = TagFieldNumber(tag);
+        const WireType wt = TagWireType(tag);
+        if (number == 0)
+            return ParseStatus::kInvalidFieldNumber;
+        const FieldDescriptor *f =
+            msg.descriptor().FindFieldByNumber(number);
+        ParseStatus st;
+        if (f == nullptr) {
+            st = SkipUnknown(r, wt);
+        } else {
+            st = ParseField(r, msg, *f, wt, depth);
+        }
+        if (st != ParseStatus::kOk)
+            return st;
+    }
+    if (r.sink() != nullptr)
+        r.sink()->OnMessageEnd();
+    return ParseStatus::kOk;
+}
+
+// ---- Serializer ----
+
+/// 64-bit value to put on the wire for a varint-typed field slot.
+uint64_t
+VarintWireValue(FieldType type, uint64_t bits)
+{
+    switch (type) {
+      case FieldType::kInt32:
+      case FieldType::kEnum:
+        // proto2 sign-extends negative int32/enum to 10-byte varints.
+        return static_cast<uint64_t>(
+            static_cast<int64_t>(static_cast<int32_t>(bits)));
+      case FieldType::kSint32:
+        return ZigZagEncode32(static_cast<int32_t>(bits));
+      case FieldType::kSint64:
+        return ZigZagEncode64(static_cast<int64_t>(bits));
+      case FieldType::kBool:
+        return bits != 0 ? 1 : 0;
+      default:
+        return bits;
+    }
+}
+
+int
+TagSize(uint32_t number)
+{
+    return VarintSize(MakeTag(number, WireType::kVarint));
+}
+
+/// Scalar value read out of a repeated-field element.
+uint64_t
+RepeatedElementBits(const Message &msg, const FieldDescriptor &f,
+                    uint32_t i)
+{
+    const uint32_t width = InMemorySize(f.type);
+    uint64_t bits = 0;
+    std::memcpy(&bits, msg.repeated_field(f)->at(i, width), width);
+    return bits;
+}
+
+size_t
+ScalarValueSize(FieldType type, uint64_t bits, CostSink *sink)
+{
+    switch (WireTypeForField(type)) {
+      case WireType::kVarint:
+        return VarintSize(VarintWireValue(type, bits));
+      case WireType::kFixed32:
+        return 4;
+      case WireType::kFixed64:
+        return 8;
+      default:
+        PA_CHECK(false);
+    }
+    (void)sink;
+}
+
+size_t FieldByteSize(const Message &msg, const FieldDescriptor &f,
+                     CostSink *sink);
+
+size_t
+MessagePayloadSize(const Message &msg, CostSink *sink)
+{
+    if (sink != nullptr)
+        sink->OnByteSizeMessage();
+    size_t total = 0;
+    const MessageDescriptor &desc = msg.descriptor();
+    for (const auto &f : desc.fields()) {
+        if (f.repeated()) {
+            if (msg.RepeatedSize(f) > 0)
+                total += FieldByteSize(msg, f, sink);
+        } else if (msg.Has(f)) {
+            total += FieldByteSize(msg, f, sink);
+        }
+        if (sink != nullptr)
+            sink->OnHasbitsAccess(1);
+    }
+    msg.set_cached_size(static_cast<int32_t>(total));
+    return total;
+}
+
+size_t
+FieldByteSize(const Message &msg, const FieldDescriptor &f, CostSink *sink)
+{
+    if (sink != nullptr)
+        sink->OnByteSizeField();
+    const int tag_size = TagSize(f.number);
+
+    if (!f.repeated()) {
+        switch (f.type) {
+          case FieldType::kString:
+          case FieldType::kBytes: {
+            const size_t len = msg.GetString(f).size();
+            return tag_size + VarintSize(len) + len;
+          }
+          case FieldType::kMessage: {
+            const Message sub = msg.GetMessage(f);
+            const size_t len =
+                sub.valid() ? MessagePayloadSize(sub, sink) : 0;
+            return tag_size + VarintSize(len) + len;
+          }
+          default:
+            return tag_size +
+                   ScalarValueSize(f.type, msg.GetScalarBits(f), sink);
+        }
+    }
+
+    const uint32_t n = msg.RepeatedSize(f);
+    size_t total = 0;
+    switch (f.type) {
+      case FieldType::kString:
+      case FieldType::kBytes:
+        for (uint32_t i = 0; i < n; ++i) {
+            const size_t len = msg.GetRepeatedString(f, i).size();
+            total += tag_size + VarintSize(len) + len;
+        }
+        return total;
+      case FieldType::kMessage:
+        for (uint32_t i = 0; i < n; ++i) {
+            const size_t len =
+                MessagePayloadSize(msg.GetRepeatedMessage(f, i), sink);
+            total += tag_size + VarintSize(len) + len;
+        }
+        return total;
+      default:
+        break;
+    }
+    size_t payload = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+        payload +=
+            ScalarValueSize(f.type, RepeatedElementBits(msg, f, i), sink);
+    }
+    if (f.packed)
+        return tag_size + VarintSize(payload) + payload;
+    return payload + static_cast<size_t>(n) * tag_size;
+}
+
+/**
+ * Forward-order writer with cost instrumentation. The cursor only moves
+ * forward; capacity was established by ByteSize.
+ */
+class Writer
+{
+  public:
+    Writer(uint8_t *buf, size_t cap, CostSink *sink)
+        : p_(buf), end_(buf + cap), sink_(sink)
+    {}
+
+    bool ok() const { return ok_; }
+    size_t written(const uint8_t *start) const { return p_ - start; }
+
+    void
+    WriteTag(uint32_t number, WireType wt)
+    {
+        const int n = WriteVarintRaw(MakeTag(number, wt));
+        if (sink_ != nullptr)
+            sink_->OnTagEncode(n);
+    }
+
+    void
+    WriteVarint(uint64_t v)
+    {
+        const int n = WriteVarintRaw(v);
+        if (sink_ != nullptr)
+            sink_->OnVarintEncode(n);
+    }
+
+    void
+    WriteFixed32(uint32_t v)
+    {
+        if (!Ensure(4))
+            return;
+        StoreFixed32(v, p_);
+        p_ += 4;
+        if (sink_ != nullptr)
+            sink_->OnFixedCopy(4);
+    }
+
+    void
+    WriteFixed64(uint64_t v)
+    {
+        if (!Ensure(8))
+            return;
+        StoreFixed64(v, p_);
+        p_ += 8;
+        if (sink_ != nullptr)
+            sink_->OnFixedCopy(8);
+    }
+
+    void
+    WriteBytes(const void *data, size_t n)
+    {
+        if (!Ensure(n))
+            return;
+        std::memcpy(p_, data, n);
+        p_ += n;
+        if (sink_ != nullptr)
+            sink_->OnMemcpy(n);
+    }
+
+    CostSink *sink() const { return sink_; }
+
+  private:
+    int
+    WriteVarintRaw(uint64_t v)
+    {
+        uint8_t tmp[kMaxVarintBytes];
+        const int n = EncodeVarint(v, tmp);
+        if (!Ensure(n))
+            return 0;
+        std::memcpy(p_, tmp, n);
+        p_ += n;
+        return n;
+    }
+
+    bool
+    Ensure(size_t n)
+    {
+        if (p_ + n > end_) {
+            ok_ = false;
+            return false;
+        }
+        return ok_;
+    }
+
+    uint8_t *p_;
+    uint8_t *end_;
+    CostSink *sink_;
+    bool ok_ = true;
+};
+
+void SerializeField(const Message &msg, const FieldDescriptor &f,
+                    Writer &w);
+
+void
+SerializePayload(const Message &msg, Writer &w)
+{
+    if (w.sink() != nullptr)
+        w.sink()->OnMessageBegin();
+    for (const auto &f : msg.descriptor().fields()) {
+        if (w.sink() != nullptr)
+            w.sink()->OnHasbitsAccess(1);
+        if (f.repeated()) {
+            if (msg.RepeatedSize(f) > 0)
+                SerializeField(msg, f, w);
+        } else if (msg.Has(f)) {
+            SerializeField(msg, f, w);
+        }
+    }
+    if (w.sink() != nullptr)
+        w.sink()->OnMessageEnd();
+}
+
+void
+SerializeScalarValue(FieldType type, uint64_t bits, Writer &w)
+{
+    switch (WireTypeForField(type)) {
+      case WireType::kVarint:
+        w.WriteVarint(VarintWireValue(type, bits));
+        break;
+      case WireType::kFixed32:
+        w.WriteFixed32(static_cast<uint32_t>(bits));
+        break;
+      case WireType::kFixed64:
+        w.WriteFixed64(bits);
+        break;
+      default:
+        PA_CHECK(false);
+    }
+}
+
+void
+SerializeField(const Message &msg, const FieldDescriptor &f, Writer &w)
+{
+    if (w.sink() != nullptr)
+        w.sink()->OnFieldDispatch();
+    const WireType wt = WireTypeForField(f.type);
+
+    if (!f.repeated()) {
+        switch (f.type) {
+          case FieldType::kString:
+          case FieldType::kBytes: {
+            const std::string_view s = msg.GetString(f);
+            w.WriteTag(f.number, WireType::kLengthDelimited);
+            w.WriteVarint(s.size());
+            w.WriteBytes(s.data(), s.size());
+            return;
+          }
+          case FieldType::kMessage: {
+            const Message sub = msg.GetMessage(f);
+            w.WriteTag(f.number, WireType::kLengthDelimited);
+            w.WriteVarint(sub.valid()
+                              ? static_cast<uint64_t>(sub.cached_size())
+                              : 0);
+            if (sub.valid())
+                SerializePayload(sub, w);
+            return;
+          }
+          default:
+            w.WriteTag(f.number, wt);
+            SerializeScalarValue(f.type, msg.GetScalarBits(f), w);
+            return;
+        }
+    }
+
+    const uint32_t n = msg.RepeatedSize(f);
+    switch (f.type) {
+      case FieldType::kString:
+      case FieldType::kBytes:
+        for (uint32_t i = 0; i < n; ++i) {
+            const std::string_view s = msg.GetRepeatedString(f, i);
+            w.WriteTag(f.number, WireType::kLengthDelimited);
+            w.WriteVarint(s.size());
+            w.WriteBytes(s.data(), s.size());
+        }
+        return;
+      case FieldType::kMessage:
+        for (uint32_t i = 0; i < n; ++i) {
+            const Message sub = msg.GetRepeatedMessage(f, i);
+            w.WriteTag(f.number, WireType::kLengthDelimited);
+            w.WriteVarint(static_cast<uint64_t>(sub.cached_size()));
+            SerializePayload(sub, w);
+        }
+        return;
+      default:
+        break;
+    }
+    if (f.packed) {
+        size_t payload = 0;
+        for (uint32_t i = 0; i < n; ++i) {
+            payload += ScalarValueSize(
+                f.type, RepeatedElementBits(msg, f, i), nullptr);
+        }
+        w.WriteTag(f.number, WireType::kLengthDelimited);
+        w.WriteVarint(payload);
+        for (uint32_t i = 0; i < n; ++i)
+            SerializeScalarValue(f.type, RepeatedElementBits(msg, f, i), w);
+        return;
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+        w.WriteTag(f.number, wt);
+        SerializeScalarValue(f.type, RepeatedElementBits(msg, f, i), w);
+    }
+}
+
+}  // namespace
+
+size_t
+ReferenceByteSize(const Message &msg, CostSink *sink)
+{
+    PA_CHECK(msg.valid());
+    return MessagePayloadSize(msg, sink);
+}
+
+size_t
+ReferenceSerializeToBuffer(const Message &msg, uint8_t *buf, size_t cap,
+                           CostSink *sink)
+{
+    const size_t size = ReferenceByteSize(msg, sink);
+    if (size > cap)
+        return 0;
+    Writer w(buf, cap, sink);
+    SerializePayload(msg, w);
+    PA_CHECK(w.ok());
+    const size_t written = w.written(buf);
+    PA_CHECK_EQ(written, size);
+    return written;
+}
+
+std::vector<uint8_t>
+ReferenceSerialize(const Message &msg, CostSink *sink)
+{
+    const size_t size = ReferenceByteSize(msg, sink);
+    std::vector<uint8_t> out(size);
+    if (size == 0)
+        return out;
+    Writer w(out.data(), out.size(), sink);
+    SerializePayload(msg, w);
+    PA_CHECK(w.ok());
+    PA_CHECK_EQ(w.written(out.data()), size);
+    return out;
+}
+
+ParseStatus
+ReferenceParseFromBuffer(const uint8_t *data, size_t len, Message *msg,
+                         CostSink *sink)
+{
+    PA_CHECK(msg != nullptr && msg->valid());
+    Reader r(data, data + len, sink);
+    return ParsePayload(r, *msg, 0);
+}
+
+}  // namespace protoacc::proto

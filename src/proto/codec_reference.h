@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The retained tree-walking reference codec.
+ *
+ * This is the seed interpreter the table-driven fast path (codec_table.h,
+ * parser.cc, serializer.cc) replaced on the hot entry points: it walks
+ * FieldDescriptors through the checked Message accessors, looks fields up
+ * per tag, and re-sizes nested messages with a full recursive ByteSize.
+ * It is kept as the differential-testing oracle — the fast path must
+ * produce byte-identical wire output, an equal parsed object, and equal
+ * cost-sink tallies (tests/proto/codec_differential_test.cc) — and as
+ * the baseline codec_gbench measures the fast path against.
+ */
+#ifndef PROTOACC_PROTO_CODEC_REFERENCE_H
+#define PROTOACC_PROTO_CODEC_REFERENCE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/parser.h"
+#include "proto/serializer.h"
+
+namespace protoacc::proto {
+
+/// Reference ByteSize: recursive sizing pass caching sub-message sizes.
+size_t ReferenceByteSize(const Message &msg, CostSink *sink = nullptr);
+
+/// Reference serializer (ByteSize pass included), into @p buf.
+size_t ReferenceSerializeToBuffer(const Message &msg, uint8_t *buf,
+                                  size_t cap, CostSink *sink = nullptr);
+
+/// Reference serializer returning a fresh buffer.
+std::vector<uint8_t> ReferenceSerialize(const Message &msg,
+                                        CostSink *sink = nullptr);
+
+/// Reference parser: per-tag descriptor lookup, accessor-based stores.
+ParseStatus ReferenceParseFromBuffer(const uint8_t *data, size_t len,
+                                     Message *msg,
+                                     CostSink *sink = nullptr);
+
+}  // namespace protoacc::proto
+
+#endif  // PROTOACC_PROTO_CODEC_REFERENCE_H

@@ -1,0 +1,108 @@
+#include "proto/codec_table.h"
+
+#include <cstring>
+#include <memory>
+
+namespace protoacc::proto {
+
+namespace {
+
+FieldOp
+OpForType(FieldType type)
+{
+    switch (type) {
+      case FieldType::kFloat:
+      case FieldType::kFixed32:
+      case FieldType::kSfixed32:
+        return FieldOp::kFixed32;
+      case FieldType::kDouble:
+      case FieldType::kFixed64:
+      case FieldType::kSfixed64:
+        return FieldOp::kFixed64;
+      case FieldType::kInt32:
+      case FieldType::kEnum:
+        return FieldOp::kInt32;
+      case FieldType::kUint32:
+        return FieldOp::kUint32;
+      case FieldType::kInt64:
+      case FieldType::kUint64:
+        return FieldOp::kVarint64;
+      case FieldType::kSint32:
+        return FieldOp::kSint32;
+      case FieldType::kSint64:
+        return FieldOp::kSint64;
+      case FieldType::kBool:
+        return FieldOp::kBool;
+      case FieldType::kString:
+        return FieldOp::kString;
+      case FieldType::kBytes:
+        return FieldOp::kBytes;
+      case FieldType::kMessage:
+        return FieldOp::kMessage;
+    }
+    PA_CHECK(false);
+}
+
+CodecEntry
+CompileEntry(const MessageDescriptor &msg, const FieldDescriptor &f)
+{
+    CodecEntry e;
+    e.op = OpForType(f.type);
+    e.number = f.number;
+    e.offset = f.offset;
+    e.hasbit_index = f.hasbit_index;
+    e.mem_width = static_cast<uint8_t>(InMemorySize(f.type));
+    e.wire_type = WireTypeForField(f.type);
+    e.sub_table = f.type == FieldType::kMessage ? f.message_type : -1;
+    e.field = &f;
+
+    if (f.repeated())
+        e.flags |= CodecEntry::kFlagRepeated;
+    if (f.repeated() && f.packed)
+        e.flags |= CodecEntry::kFlagPacked;
+    if (f.type == FieldType::kString && msg.syntax() == Syntax::kProto3)
+        e.flags |= CodecEntry::kFlagUtf8;
+
+    const WireType tag_wt =
+        f.length_delimited() ? WireType::kLengthDelimited : e.wire_type;
+    std::memset(e.tag_bytes, 0, sizeof(e.tag_bytes));
+    uint8_t buf[kMaxVarintBytes];
+    const int n = EncodeVarint(MakeTag(f.number, tag_wt), buf);
+    PA_CHECK_LE(n, static_cast<int>(sizeof(e.tag_bytes)));
+    std::memcpy(e.tag_bytes, buf, n);
+    e.tag_len = static_cast<uint8_t>(n);
+    return e;
+}
+
+}  // namespace
+
+CodecTableSet::CodecTableSet(const DescriptorPool &pool) : pool_(&pool)
+{
+    PA_CHECK(pool.compiled());
+    tables_.resize(pool.message_count());
+    for (size_t i = 0; i < pool.message_count(); ++i) {
+        const MessageDescriptor &msg = pool.message(static_cast<int>(i));
+        CodecTable &t = tables_[i];
+        t.desc = &msg;
+        t.hasbits_offset = msg.layout().hasbits_offset;
+        t.cached_size_offset = msg.layout().cached_size_offset;
+        t.object_size = msg.layout().object_size;
+        t.entries.reserve(msg.field_count());
+        for (const auto &f : msg.fields())
+            t.entries.push_back(CompileEntry(msg, f));
+    }
+}
+
+const CodecTableSet &
+GetCodecTables(const DescriptorPool &pool)
+{
+    const CodecTableSet *cached = pool.codec_tables_cache();
+    if (cached == nullptr) {
+        pool.set_codec_tables_cache(
+            std::make_shared<const CodecTableSet>(pool));
+        cached = pool.codec_tables_cache();
+    }
+    return *cached;
+}
+
+}  // namespace protoacc::proto

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Table-driven codec programs: the software analog of the accelerator's
+ * descriptor tables.
+ *
+ * The paper's hardware gets its speed by *compiling* each message type
+ * once — into the Accelerator Descriptor Tables of §4.2 and the
+ * field-handling tables of §4.4 — and then executing a flat,
+ * table-described program per message instead of interpreting the schema
+ * per field. This header brings the same idea to the software codec
+ * (upb-style): DescriptorPool lowers into one CodecTable per message
+ * type, each a flat array of CodecEntry "instructions" holding
+ * pre-encoded tag bytes, a fused field-handling opcode, the in-memory
+ * offset/hasbit location from MessageLayout, and a link to the
+ * sub-message's table. The hot loops in parser.cc and serializer.cc run
+ * entirely off these tables; tag dispatch goes through the same dense
+ * field-number array (MessageDescriptor::field_index_for_number) that
+ * backs FindFieldByNumber, so the fast and slow paths cannot disagree.
+ *
+ * Tables are compiled lazily, once per DescriptorPool, and cached on the
+ * pool (DescriptorPool::codec_tables_cache), so SoftwareBackend, the
+ * figure benches and codec_gbench all share one program set.
+ */
+#ifndef PROTOACC_PROTO_CODEC_TABLE_H
+#define PROTOACC_PROTO_CODEC_TABLE_H
+
+#include <vector>
+
+#include "proto/descriptor.h"
+
+namespace protoacc::proto {
+
+/**
+ * Fused field-handling opcode: field type and wire strategy folded into
+ * one dense enum so the codec switches exactly once per field.
+ */
+enum class FieldOp : uint8_t {
+    kFixed32,   ///< float / fixed32 / sfixed32
+    kFixed64,   ///< double / fixed64 / sfixed64
+    kInt32,     ///< int32 / enum: 4-byte slot, sign-extended on the wire
+    kUint32,    ///< uint32: 4-byte slot, zero-extended
+    kVarint64,  ///< int64 / uint64: 8-byte slot, identity
+    kSint32,    ///< sint32: zig-zag, 4-byte slot
+    kSint64,    ///< sint64: zig-zag, 8-byte slot
+    kBool,      ///< bool: 1-byte slot, normalized to 0/1
+    kString,    ///< string (UTF-8 validated when proto3)
+    kBytes,     ///< bytes
+    kMessage,   ///< sub-message
+};
+
+/**
+ * One compiled field-handling instruction. Everything the hot loops
+ * need is precomputed here; FieldDescriptor is only consulted on the
+ * cold paths (default strings, sub-message construction).
+ */
+struct CodecEntry
+{
+    static constexpr uint8_t kFlagRepeated = 1u << 0;
+    static constexpr uint8_t kFlagPacked = 1u << 1;
+    /// proto3 string field: validate UTF-8 on parse (§7).
+    static constexpr uint8_t kFlagUtf8 = 1u << 2;
+
+    /// Wire tag as the serializer emits it (length-delimited for
+    /// strings/bytes/messages/packed fields), pre-encoded as varint
+    /// bytes. kMaxFieldNumber tags need at most 5 bytes.
+    uint8_t tag_bytes[5];
+    uint8_t tag_len = 0;
+    FieldOp op = FieldOp::kFixed32;
+    uint8_t flags = 0;
+    /// In-memory slot width of one (element) value.
+    uint8_t mem_width = 0;
+    /// Wire type of one *element* value (unpacked encoding); differs
+    /// from the tag's wire type for packed fields.
+    WireType wire_type = WireType::kVarint;
+    uint32_t number = 0;
+    /// Byte offset of the field slot within the object (MessageLayout).
+    uint32_t offset = 0;
+    uint32_t hasbit_index = 0;
+    /// Pool index of the sub-message type (kMessage only), else -1.
+    int32_t sub_table = -1;
+    /// Source descriptor entry (cold paths: defaults, Message API).
+    const FieldDescriptor *field = nullptr;
+
+    bool repeated() const { return flags & kFlagRepeated; }
+    bool packed() const { return flags & kFlagPacked; }
+    bool validate_utf8() const { return flags & kFlagUtf8; }
+};
+
+/**
+ * The compiled program for one message type: its entries in
+ * field-number order plus the layout facts the codec needs per message.
+ */
+struct CodecTable
+{
+    const MessageDescriptor *desc = nullptr;
+    uint32_t hasbits_offset = 0;
+    uint32_t cached_size_offset = 0;
+    uint32_t object_size = 0;
+    std::vector<CodecEntry> entries;
+
+    /// Dispatch an incoming field number to its entry (nullptr for
+    /// unknown fields). Shares MessageDescriptor's dense dispatch array.
+    const CodecEntry *
+    Find(uint32_t number) const
+    {
+        const int i = desc->field_index_for_number(number);
+        return i < 0 ? nullptr : &entries[i];
+    }
+};
+
+/// The compiled program set of a whole DescriptorPool.
+class CodecTableSet
+{
+  public:
+    explicit CodecTableSet(const DescriptorPool &pool);
+
+    const CodecTable &
+    table(int msg_index) const
+    {
+        return tables_[msg_index];
+    }
+    size_t table_count() const { return tables_.size(); }
+    const DescriptorPool &pool() const { return *pool_; }
+
+  private:
+    const DescriptorPool *pool_;
+    std::vector<CodecTable> tables_;
+};
+
+/**
+ * Compile (once, lazily) and return the codec tables for @p pool. The
+ * pool must be Compile()d. Not safe to race the first call from
+ * multiple threads; invoke once up front when sharing a pool.
+ */
+const CodecTableSet &GetCodecTables(const DescriptorPool &pool);
+
+}  // namespace protoacc::proto
+
+#endif  // PROTOACC_PROTO_CODEC_TABLE_H

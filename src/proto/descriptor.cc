@@ -8,15 +8,33 @@
 
 namespace protoacc::proto {
 
-const FieldDescriptor *
-MessageDescriptor::FindFieldByNumber(uint32_t number) const
+int
+MessageDescriptor::FieldIndexSlow(uint32_t number) const
 {
-    auto it = field_by_number_.find(number);
-    return it == field_by_number_.end() ? nullptr : &fields_[it->second];
+    if (number_sorted_) {
+        // Sparse numbering: binary search the number-sorted field list.
+        int lo = 0, hi = static_cast<int>(fields_.size()) - 1;
+        while (lo <= hi) {
+            const int mid = (lo + hi) / 2;
+            if (fields_[mid].number == number)
+                return mid;
+            if (fields_[mid].number < number)
+                lo = mid + 1;
+            else
+                hi = mid - 1;
+        }
+        return -1;
+    }
+    // Pre-Compile: fields are in declaration order, scan linearly.
+    for (size_t i = 0; i < fields_.size(); ++i) {
+        if (fields_[i].number == number)
+            return static_cast<int>(i);
+    }
+    return -1;
 }
 
 const FieldDescriptor *
-MessageDescriptor::FindFieldByName(const std::string &name) const
+MessageDescriptor::FindFieldByName(std::string_view name) const
 {
     for (const auto &f : fields_) {
         if (f.name == name)
@@ -50,8 +68,7 @@ DescriptorPool::AddField(int msg_index, const std::string &name,
     PA_CHECK(!packed || (label == Label::kRepeated && !IsBytesLike(type)));
 
     MessageDescriptor &msg = mutable_message(msg_index);
-    PA_CHECK(msg.field_by_number_.find(number) ==
-             msg.field_by_number_.end());
+    PA_CHECK(msg.field_index_for_number(number) < 0);
     FieldDescriptor field;
     field.name = name;
     field.number = number;
@@ -73,8 +90,7 @@ DescriptorPool::AddMessageField(int msg_index, const std::string &name,
     PA_CHECK_NE(label, Label::kRequired);  // keep sub-messages optional
 
     MessageDescriptor &msg = mutable_message(msg_index);
-    PA_CHECK(msg.field_by_number_.find(number) ==
-             msg.field_by_number_.end());
+    PA_CHECK(msg.field_index_for_number(number) < 0);
     FieldDescriptor field;
     field.name = name;
     field.number = number;
@@ -138,14 +154,27 @@ DescriptorPool::CompileMessage(MessageDescriptor &msg, HasbitsMode mode)
               [](const FieldDescriptor &a, const FieldDescriptor &b) {
                   return a.number < b.number;
               });
-    msg.field_by_number_.clear();
-    for (size_t i = 0; i < msg.fields_.size(); ++i) {
+    for (size_t i = 0; i < msg.fields_.size(); ++i)
         msg.fields_[i].index = static_cast<int>(i);
-        msg.field_by_number_[msg.fields_[i].number] = static_cast<int>(i);
-    }
     if (!msg.fields_.empty()) {
         msg.min_field_number_ = msg.fields_.front().number;
         msg.max_field_number_ = msg.fields_.back().number;
+    }
+    msg.number_sorted_ = true;
+
+    // Field-number dispatch: direct-indexed array over [min, max] unless
+    // the numbering is so sparse the table would be mostly gaps (then
+    // FieldIndexSlow's binary search serves both lookup paths).
+    msg.dense_lookup_.clear();
+    const uint64_t range = msg.field_number_range();
+    if (range > 0 &&
+        (range <= 64 || range <= 8 * msg.fields_.size())) {
+        msg.dense_lookup_.assign(range, -1);
+        for (size_t i = 0; i < msg.fields_.size(); ++i) {
+            msg.dense_lookup_[msg.fields_[i].number -
+                              msg.min_field_number_] =
+                static_cast<int32_t>(i);
+        }
     }
 
     MessageLayout &layout = msg.layout_;

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -24,6 +25,7 @@
 namespace protoacc::proto {
 
 class DescriptorPool;
+class CodecTableSet;
 
 /// Field cardinality qualifiers of proto2.
 enum class Label : uint8_t {
@@ -125,10 +127,39 @@ class MessageDescriptor
     size_t field_count() const { return fields_.size(); }
     const FieldDescriptor &field(size_t i) const { return fields_[i]; }
 
-    /// Find a field by field number; nullptr if not defined.
-    const FieldDescriptor *FindFieldByNumber(uint32_t number) const;
+    /// Find a field by field number; nullptr if not defined. Delegates
+    /// to field_index_for_number() so it cannot disagree with the codec
+    /// fast path.
+    const FieldDescriptor *
+    FindFieldByNumber(uint32_t number) const
+    {
+        const int i = field_index_for_number(number);
+        return i < 0 ? nullptr : &fields_[i];
+    }
     /// Find a field by name; nullptr if not defined.
-    const FieldDescriptor *FindFieldByName(const std::string &name) const;
+    const FieldDescriptor *FindFieldByName(std::string_view name) const;
+
+    /**
+     * Dense index of the field with @p number, or -1 if not defined.
+     *
+     * After Compile() this is the single field-number dispatch structure
+     * of the type: a direct-indexed array over [min, max] when the
+     * defined numbers are dense enough (the common case per §3.7's
+     * density findings), falling back to binary search over the
+     * number-sorted field list for sparse numberings. The codec tables
+     * (codec_table.h) dispatch through this same structure.
+     */
+    int
+    field_index_for_number(uint32_t number) const
+    {
+        if (!dense_lookup_.empty()) {
+            // Unsigned wrap makes numbers below min fail the bound test.
+            const uint32_t delta = number - min_field_number_;
+            return delta < dense_lookup_.size() ? dense_lookup_[delta]
+                                                : -1;
+        }
+        return FieldIndexSlow(number);
+    }
 
     /// Smallest / largest defined field number (0/0 for empty messages).
     uint32_t min_field_number() const { return min_field_number_; }
@@ -151,11 +182,18 @@ class MessageDescriptor
   private:
     friend class DescriptorPool;
 
+    int FieldIndexSlow(uint32_t number) const;
+
     std::string name_;
     int pool_index_;
     Syntax syntax_;
     std::vector<FieldDescriptor> fields_;
-    std::unordered_map<uint32_t, int> field_by_number_;
+    /// number - min -> field index (-1 for gaps); empty when the
+    /// numbering is too sparse (binary search instead) or pre-Compile.
+    std::vector<int32_t> dense_lookup_;
+    /// Set by Compile(): fields_ is number-sorted, enabling the
+    /// binary-search fallback.
+    bool number_sorted_ = false;
     uint32_t min_field_number_ = 0;
     uint32_t max_field_number_ = 0;
     MessageLayout layout_;
@@ -220,12 +258,32 @@ class DescriptorPool
     /// Find a message type by name; -1 if absent.
     int FindMessage(const std::string &name) const;
 
+    /**
+     * Cache slot for the lazily-compiled codec tables (codec_table.h).
+     * Owned by the pool so the software backend, the figure benches and
+     * codec_gbench all share one compiled program set per pool. Managed
+     * exclusively by GetCodecTables(); not thread-safe to initialize
+     * concurrently (call GetCodecTables() once before sharing the pool
+     * across threads).
+     */
+    const CodecTableSet *codec_tables_cache() const
+    {
+        return codec_tables_.get();
+    }
+    void set_codec_tables_cache(
+        std::shared_ptr<const CodecTableSet> tables) const
+    {
+        codec_tables_ = std::move(tables);
+    }
+
   private:
     void CompileMessage(MessageDescriptor &msg, HasbitsMode mode);
     void BuildDefaultInstance(MessageDescriptor &msg);
 
     std::vector<std::unique_ptr<MessageDescriptor>> messages_;
     std::unordered_map<std::string, int> by_name_;
+    /// shared_ptr so the (header-incomplete) type destructs correctly.
+    mutable std::shared_ptr<const CodecTableSet> codec_tables_;
     bool compiled_ = false;
 };
 

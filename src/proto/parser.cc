@@ -1,8 +1,20 @@
 #include "proto/parser.h"
 
+#include "proto/codec_table.h"
 #include "proto/utf8.h"
 
 #include <cstring>
+
+// Table-driven parse loop (see codec_table.h): the per-message CodecTable
+// is the flat program; each incoming tag dispatches through the dense
+// field-number array to a CodecEntry that carries the fused field op, the
+// slot offset/hasbit and the sub-message table link, so the hot loop never
+// touches FieldDescriptor. Scalar stores go straight to the object slot.
+//
+// Semantics (merge behaviour, unknown-field skipping, wire-type leniency
+// for scalars, proto3 UTF-8 validation) and the CostSink event stream are
+// kept exactly identical to the reference interpreter
+// (codec_reference.cc); codec_differential_test.cc checks both.
 
 namespace protoacc::proto {
 
@@ -102,29 +114,53 @@ class Reader
     CostSink *sink_;
 };
 
-/// Decode a varint wire value into the in-memory bit pattern for @p type.
+/// Decode a varint wire value into the in-memory bit pattern for the
+/// entry's field op (codec-table form of the reference interpreter's
+/// FieldType switch).
 uint64_t
-VarintMemoryValue(FieldType type, uint64_t wire)
+VarintMemoryValue(FieldOp op, uint64_t wire)
 {
-    switch (type) {
-      case FieldType::kInt32:
-      case FieldType::kEnum:
+    switch (op) {
+      case FieldOp::kInt32:
+      case FieldOp::kUint32:
         return static_cast<uint32_t>(wire);
-      case FieldType::kUint32:
-        return static_cast<uint32_t>(wire);
-      case FieldType::kSint32:
+      case FieldOp::kSint32:
         return static_cast<uint32_t>(
             ZigZagDecode32(static_cast<uint32_t>(wire)));
-      case FieldType::kSint64:
+      case FieldOp::kSint64:
         return static_cast<uint64_t>(ZigZagDecode64(wire));
-      case FieldType::kBool:
+      case FieldOp::kBool:
         return wire != 0 ? 1 : 0;
       default:
         return wire;
     }
 }
 
-ParseStatus ParsePayload(Reader &r, Message msg, int depth);
+/// Store a singular scalar straight into the object slot and set the
+/// presence bit (the unchecked form of Message::SetScalarBits; PA_CHECK
+/// layout validation already ran when the table was compiled).
+inline void
+StoreScalarRaw(const Message &msg, const CodecTable &t,
+               const CodecEntry &e, uint64_t bits)
+{
+    char *obj = static_cast<char *>(msg.raw());
+    switch (e.mem_width) {
+      case 1:
+        std::memcpy(obj + e.offset, &bits, 1);
+        break;
+      case 4:
+        std::memcpy(obj + e.offset, &bits, 4);
+        break;
+      default:
+        std::memcpy(obj + e.offset, &bits, 8);
+        break;
+    }
+    uint32_t *words = reinterpret_cast<uint32_t *>(obj + t.hasbits_offset);
+    words[e.hasbit_index >> 5] |= 1u << (e.hasbit_index & 31);
+}
+
+ParseStatus ParsePayload(Reader &r, const CodecTableSet &set,
+                         const CodecTable &t, Message msg, int depth);
 
 ParseStatus
 SkipUnknown(Reader &r, WireType wt)
@@ -154,7 +190,8 @@ SkipUnknown(Reader &r, WireType wt)
 }
 
 ParseStatus
-ParseScalar(Reader &r, Message &msg, const FieldDescriptor &f, WireType wt)
+ParseScalar(Reader &r, const CodecTable &t, const CodecEntry &e,
+            Message &msg, WireType wt)
 {
     uint64_t bits;
     switch (wt) {
@@ -162,7 +199,7 @@ ParseScalar(Reader &r, Message &msg, const FieldDescriptor &f, WireType wt)
         uint64_t wire;
         if (!r.ReadVarint(&wire, false))
             return ParseStatus::kMalformedVarint;
-        bits = VarintMemoryValue(f.type, wire);
+        bits = VarintMemoryValue(e.op, wire);
         break;
       }
       case WireType::kFixed32: {
@@ -180,15 +217,16 @@ ParseScalar(Reader &r, Message &msg, const FieldDescriptor &f, WireType wt)
       default:
         return ParseStatus::kInvalidWireType;
     }
-    if (f.repeated())
-        msg.AddRepeatedBits(f, bits);
+    if (e.repeated())
+        msg.AddRepeatedBits(*e.field, bits);
     else
-        msg.SetScalarBits(f, bits);
+        StoreScalarRaw(msg, t, e, bits);
     return ParseStatus::kOk;
 }
 
 ParseStatus
-ParsePackedRepeated(Reader &r, Message &msg, const FieldDescriptor &f)
+ParsePackedRepeated(Reader &r, const CodecTable &t, const CodecEntry &e,
+                    Message &msg)
 {
     uint64_t len;
     if (!r.ReadVarint(&len, false))
@@ -196,9 +234,8 @@ ParsePackedRepeated(Reader &r, Message &msg, const FieldDescriptor &f)
     Reader body(nullptr, nullptr, nullptr);
     if (!r.Slice(len, &body))
         return ParseStatus::kTruncated;
-    const WireType elem_wt = WireTypeForField(f.type);
     while (!body.at_end()) {
-        const ParseStatus st = ParseScalar(body, msg, f, elem_wt);
+        const ParseStatus st = ParseScalar(body, t, e, msg, e.wire_type);
         if (st != ParseStatus::kOk)
             return st;
     }
@@ -206,15 +243,15 @@ ParsePackedRepeated(Reader &r, Message &msg, const FieldDescriptor &f)
 }
 
 ParseStatus
-ParseField(Reader &r, Message &msg, const FieldDescriptor &f, WireType wt,
-           int depth)
+ParseField(Reader &r, const CodecTableSet &set, const CodecTable &t,
+           const CodecEntry &e, Message &msg, WireType wt, int depth)
 {
     if (r.sink() != nullptr)
         r.sink()->OnFieldDispatch();
 
-    switch (f.type) {
-      case FieldType::kString:
-      case FieldType::kBytes: {
+    switch (e.op) {
+      case FieldOp::kString:
+      case FieldOp::kBytes: {
         if (wt != WireType::kLengthDelimited)
             return ParseStatus::kInvalidWireType;
         uint64_t len;
@@ -225,11 +262,8 @@ ParseField(Reader &r, Message &msg, const FieldDescriptor &f, WireType wt,
         const std::string_view s(
             reinterpret_cast<const char *>(r.pos()), len);
         // §7: proto3 validates string (not bytes) fields as UTF-8.
-        if (f.type == FieldType::kString &&
-            msg.descriptor().syntax() == Syntax::kProto3 &&
-            !IsValidUtf8(s.data(), s.size())) {
+        if (e.validate_utf8() && !IsValidUtf8(s.data(), s.size()))
             return ParseStatus::kInvalidUtf8;
-        }
         if (r.sink() != nullptr) {
             // String construction: allocation plus payload copy.
             r.sink()->OnAlloc(len > ArenaString::kInlineCapacity
@@ -237,14 +271,14 @@ ParseField(Reader &r, Message &msg, const FieldDescriptor &f, WireType wt,
                                   : sizeof(ArenaString));
             r.sink()->OnMemcpy(len);
         }
-        if (f.repeated())
-            msg.AddRepeatedString(f, s);
+        if (e.repeated())
+            msg.AddRepeatedString(*e.field, s);
         else
-            msg.SetString(f, s);
+            msg.SetString(*e.field, s);
         r.Skip(len);
         return ParseStatus::kOk;
       }
-      case FieldType::kMessage: {
+      case FieldOp::kMessage: {
         if (wt != WireType::kLengthDelimited)
             return ParseStatus::kInvalidWireType;
         uint64_t len;
@@ -253,11 +287,12 @@ ParseField(Reader &r, Message &msg, const FieldDescriptor &f, WireType wt,
         Reader body(nullptr, nullptr, nullptr);
         if (!r.Slice(len, &body))
             return ParseStatus::kTruncated;
-        Message sub = f.repeated() ? msg.AddRepeatedMessage(f)
-                                   : msg.MutableMessage(f);
+        Message sub = e.repeated() ? msg.AddRepeatedMessage(*e.field)
+                                   : msg.MutableMessage(*e.field);
+        const CodecTable &sub_t = set.table(e.sub_table);
         if (r.sink() != nullptr)
-            r.sink()->OnAlloc(sub.descriptor().layout().object_size);
-        return ParsePayload(body, sub, depth + 1);
+            r.sink()->OnAlloc(sub_t.object_size);
+        return ParsePayload(body, set, sub_t, sub, depth + 1);
       }
       default:
         break;
@@ -265,15 +300,16 @@ ParseField(Reader &r, Message &msg, const FieldDescriptor &f, WireType wt,
 
     // Scalar types: accept both packed and unpacked encodings regardless
     // of the schema's packed option, as proto2 parsers must.
-    if (f.repeated() && wt == WireType::kLengthDelimited &&
-        WireTypeForField(f.type) != WireType::kLengthDelimited) {
-        return ParsePackedRepeated(r, msg, f);
+    if (e.repeated() && wt == WireType::kLengthDelimited &&
+        e.wire_type != WireType::kLengthDelimited) {
+        return ParsePackedRepeated(r, t, e, msg);
     }
-    return ParseScalar(r, msg, f, wt);
+    return ParseScalar(r, t, e, msg, wt);
 }
 
 ParseStatus
-ParsePayload(Reader &r, Message msg, int depth)
+ParsePayload(Reader &r, const CodecTableSet &set, const CodecTable &t,
+             Message msg, int depth)
 {
     if (depth > kMaxParseDepth)
         return ParseStatus::kDepthExceeded;
@@ -287,13 +323,12 @@ ParsePayload(Reader &r, Message msg, int depth)
         const WireType wt = TagWireType(tag);
         if (number == 0)
             return ParseStatus::kInvalidFieldNumber;
-        const FieldDescriptor *f =
-            msg.descriptor().FindFieldByNumber(number);
+        const CodecEntry *e = t.Find(number);
         ParseStatus st;
-        if (f == nullptr) {
+        if (e == nullptr) {
             st = SkipUnknown(r, wt);
         } else {
-            st = ParseField(r, msg, *f, wt, depth);
+            st = ParseField(r, set, t, *e, msg, wt, depth);
         }
         if (st != ParseStatus::kOk)
             return st;
@@ -310,8 +345,10 @@ ParseFromBuffer(const uint8_t *data, size_t len, Message *msg,
                 CostSink *sink)
 {
     PA_CHECK(msg != nullptr && msg->valid());
+    const CodecTableSet &set = GetCodecTables(msg->pool());
+    const CodecTable &t = set.table(msg->descriptor().pool_index());
     Reader r(data, data + len, sink);
-    return ParsePayload(r, *msg, 0);
+    return ParsePayload(r, set, t, *msg, 0);
 }
 
 }  // namespace protoacc::proto

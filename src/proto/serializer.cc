@@ -2,54 +2,91 @@
 
 #include <cstring>
 
+#include "proto/codec_table.h"
+
+// Table-driven serializer (see codec_table.h). Both passes walk the
+// compiled CodecTable instead of FieldDescriptors: presence comes from a
+// raw hasbits read, singular scalars load straight from the object slot,
+// and tags are emitted from the entry's pre-encoded bytes. The sizing
+// pass additionally memoizes every nested size it computes — sub-message
+// payloads and packed payloads — in a scratch stack that the write pass
+// consumes in the same traversal order, so SerializeToBuffer never
+// re-walks a sub-message or re-sizes a packed run.
+//
+// The CostSink event stream is kept exactly identical to the reference
+// interpreter (codec_reference.cc); codec_differential_test.cc checks
+// both against each other.
+
 namespace protoacc::proto {
 
 namespace {
 
 /// 64-bit value to put on the wire for a varint-typed field slot.
 uint64_t
-VarintWireValue(FieldType type, uint64_t bits)
+VarintWireValue(FieldOp op, uint64_t bits)
 {
-    switch (type) {
-      case FieldType::kInt32:
-      case FieldType::kEnum:
+    switch (op) {
+      case FieldOp::kInt32:
         // proto2 sign-extends negative int32/enum to 10-byte varints.
         return static_cast<uint64_t>(
             static_cast<int64_t>(static_cast<int32_t>(bits)));
-      case FieldType::kSint32:
+      case FieldOp::kSint32:
         return ZigZagEncode32(static_cast<int32_t>(bits));
-      case FieldType::kSint64:
+      case FieldOp::kSint64:
         return ZigZagEncode64(static_cast<int64_t>(bits));
-      case FieldType::kBool:
+      case FieldOp::kBool:
         return bits != 0 ? 1 : 0;
       default:
         return bits;
     }
 }
 
-int
-TagSize(uint32_t number)
+/// Raw slot load of a singular scalar (presence already checked).
+inline uint64_t
+LoadScalarRaw(const Message &msg, const CodecEntry &e)
 {
-    return VarintSize(MakeTag(number, WireType::kVarint));
+    const char *obj = static_cast<const char *>(msg.raw());
+    uint64_t bits = 0;
+    switch (e.mem_width) {
+      case 1:
+        std::memcpy(&bits, obj + e.offset, 1);
+        break;
+      case 4:
+        std::memcpy(&bits, obj + e.offset, 4);
+        break;
+      default:
+        std::memcpy(&bits, obj + e.offset, 8);
+        break;
+    }
+    return bits;
 }
 
-/// Scalar value read out of a repeated-field element.
-uint64_t
-RepeatedElementBits(const Message &msg, const FieldDescriptor &f,
+/// Raw hasbit test (the unchecked form of Message::Has).
+inline bool
+HasRaw(const Message &msg, const CodecTable &t, const CodecEntry &e)
+{
+    const char *obj = static_cast<const char *>(msg.raw());
+    const uint32_t *words =
+        reinterpret_cast<const uint32_t *>(obj + t.hasbits_offset);
+    return (words[e.hasbit_index >> 5] >> (e.hasbit_index & 31)) & 1u;
+}
+
+/// Scalar element bits out of a repeated field's backing store.
+inline uint64_t
+RepeatedElementBits(const RepeatedField *r, const CodecEntry &e,
                     uint32_t i)
 {
-    const uint32_t width = InMemorySize(f.type);
     uint64_t bits = 0;
-    std::memcpy(&bits, msg.repeated_field(f)->at(i, width), width);
+    std::memcpy(&bits, r->at(i, e.mem_width), e.mem_width);
     return bits;
 }
 
 size_t
-ScalarValueSize(FieldType type, uint64_t bits, CostSink *sink)
+ScalarValueSize(const CodecEntry &e, uint64_t bits)
 {
-    switch (WireTypeForField(type)) {
+    switch (e.wire_type) {
       case WireType::kVarint:
-        return VarintSize(VarintWireValue(type, bits));
+        return VarintSize(VarintWireValue(e.op, bits));
       case WireType::kFixed32:
         return 4;
       case WireType::kFixed64:
@@ -57,25 +94,32 @@ ScalarValueSize(FieldType type, uint64_t bits, CostSink *sink)
       default:
         PA_CHECK(false);
     }
-    (void)sink;
 }
 
-size_t FieldByteSize(const Message &msg, const FieldDescriptor &f,
-                     CostSink *sink);
+size_t FieldByteSize(const Message &msg, const CodecTableSet &set,
+                     const CodecEntry &e, CostSink *sink,
+                     std::vector<size_t> &subs);
 
+/**
+ * Sizing pass. Walks the table, caches each message's payload size in
+ * its cached-size slot (as upstream ByteSize does), and appends every
+ * nested size computed along the way — sub-message payloads, packed-run
+ * payloads — to @p subs in traversal (pre-)order.
+ */
 size_t
-MessagePayloadSize(const Message &msg, CostSink *sink)
+MessagePayloadSize(const Message &msg, const CodecTableSet &set,
+                   const CodecTable &t, CostSink *sink,
+                   std::vector<size_t> &subs)
 {
     if (sink != nullptr)
         sink->OnByteSizeMessage();
     size_t total = 0;
-    const MessageDescriptor &desc = msg.descriptor();
-    for (const auto &f : desc.fields()) {
-        if (f.repeated()) {
-            if (msg.RepeatedSize(f) > 0)
-                total += FieldByteSize(msg, f, sink);
-        } else if (msg.Has(f)) {
-            total += FieldByteSize(msg, f, sink);
+    for (const CodecEntry &e : t.entries) {
+        if (e.repeated()) {
+            if (msg.RepeatedSize(*e.field) > 0)
+                total += FieldByteSize(msg, set, e, sink, subs);
+        } else if (HasRaw(msg, t, e)) {
+            total += FieldByteSize(msg, set, e, sink, subs);
         }
         if (sink != nullptr)
             sink->OnHasbitsAccess(1);
@@ -85,64 +129,84 @@ MessagePayloadSize(const Message &msg, CostSink *sink)
 }
 
 size_t
-FieldByteSize(const Message &msg, const FieldDescriptor &f, CostSink *sink)
+FieldByteSize(const Message &msg, const CodecTableSet &set,
+              const CodecEntry &e, CostSink *sink,
+              std::vector<size_t> &subs)
 {
     if (sink != nullptr)
         sink->OnByteSizeField();
-    const int tag_size = TagSize(f.number);
+    const size_t tag_size = e.tag_len;
 
-    if (!f.repeated()) {
-        switch (f.type) {
-          case FieldType::kString:
-          case FieldType::kBytes: {
-            const size_t len = msg.GetString(f).size();
+    if (!e.repeated()) {
+        switch (e.op) {
+          case FieldOp::kString:
+          case FieldOp::kBytes: {
+            const size_t len = msg.GetString(*e.field).size();
             return tag_size + VarintSize(len) + len;
           }
-          case FieldType::kMessage: {
-            const Message sub = msg.GetMessage(f);
-            const size_t len =
-                sub.valid() ? MessagePayloadSize(sub, sink) : 0;
+          case FieldOp::kMessage: {
+            const Message sub = msg.GetMessage(*e.field);
+            size_t len = 0;
+            if (sub.valid()) {
+                // Reserve the slot before recursing so the write pass
+                // (same pre-order traversal) finds it before the
+                // sub-message's own nested sizes.
+                const size_t slot = subs.size();
+                subs.push_back(0);
+                len = MessagePayloadSize(sub, set,
+                                         set.table(e.sub_table), sink,
+                                         subs);
+                subs[slot] = len;
+            }
             return tag_size + VarintSize(len) + len;
           }
           default:
-            return tag_size +
-                   ScalarValueSize(f.type, msg.GetScalarBits(f), sink);
+            return tag_size + ScalarValueSize(e, LoadScalarRaw(msg, e));
         }
     }
 
-    const uint32_t n = msg.RepeatedSize(f);
+    const uint32_t n = msg.RepeatedSize(*e.field);
     size_t total = 0;
-    switch (f.type) {
-      case FieldType::kString:
-      case FieldType::kBytes:
+    switch (e.op) {
+      case FieldOp::kString:
+      case FieldOp::kBytes:
         for (uint32_t i = 0; i < n; ++i) {
-            const size_t len = msg.GetRepeatedString(f, i).size();
+            const size_t len = msg.GetRepeatedString(*e.field, i).size();
             total += tag_size + VarintSize(len) + len;
         }
         return total;
-      case FieldType::kMessage:
+      case FieldOp::kMessage: {
+        const CodecTable &sub_t = set.table(e.sub_table);
         for (uint32_t i = 0; i < n; ++i) {
-            const size_t len =
-                MessagePayloadSize(msg.GetRepeatedMessage(f, i), sink);
+            const size_t slot = subs.size();
+            subs.push_back(0);
+            const size_t len = MessagePayloadSize(
+                msg.GetRepeatedMessage(*e.field, i), set, sub_t, sink,
+                subs);
+            subs[slot] = len;
             total += tag_size + VarintSize(len) + len;
         }
         return total;
+      }
       default:
         break;
     }
+    const RepeatedField *r = msg.repeated_field(*e.field);
     size_t payload = 0;
-    for (uint32_t i = 0; i < n; ++i) {
-        payload +=
-            ScalarValueSize(f.type, RepeatedElementBits(msg, f, i), sink);
-    }
-    if (f.packed)
+    for (uint32_t i = 0; i < n; ++i)
+        payload += ScalarValueSize(e, RepeatedElementBits(r, e, i));
+    if (e.packed()) {
+        subs.push_back(payload);
         return tag_size + VarintSize(payload) + payload;
+    }
     return payload + static_cast<size_t>(n) * tag_size;
 }
 
 /**
  * Forward-order writer with cost instrumentation. The cursor only moves
- * forward; capacity was established by ByteSize.
+ * forward; capacity was established by the sizing pass, so the fast
+ * paths (fixed-width tag copy, in-place varint encode) only fall back to
+ * bounded writes near the end of the buffer.
  */
 class Writer
 {
@@ -155,17 +219,39 @@ class Writer
     size_t written(const uint8_t *start) const { return p_ - start; }
 
     void
-    WriteTag(uint32_t number, WireType wt)
+    WriteTag(const CodecEntry &e)
     {
-        const int n = WriteVarintRaw(MakeTag(number, wt));
+        if (end_ - p_ >=
+            static_cast<ptrdiff_t>(sizeof(e.tag_bytes))) {
+            // Fixed-size copy the compiler lowers to one store; the
+            // cursor only advances by the real tag length.
+            std::memcpy(p_, e.tag_bytes, sizeof(e.tag_bytes));
+            p_ += e.tag_len;
+        } else if (Ensure(e.tag_len)) {
+            std::memcpy(p_, e.tag_bytes, e.tag_len);
+            p_ += e.tag_len;
+        } else {
+            return;
+        }
         if (sink_ != nullptr)
-            sink_->OnTagEncode(n);
+            sink_->OnTagEncode(e.tag_len);
     }
 
     void
     WriteVarint(uint64_t v)
     {
-        const int n = WriteVarintRaw(v);
+        int n;
+        if (end_ - p_ >= static_cast<ptrdiff_t>(kMaxVarintBytes)) {
+            n = EncodeVarint(v, p_);
+            p_ += n;
+        } else {
+            uint8_t tmp[kMaxVarintBytes];
+            n = EncodeVarint(v, tmp);
+            if (!Ensure(n))
+                return;
+            std::memcpy(p_, tmp, n);
+            p_ += n;
+        }
         if (sink_ != nullptr)
             sink_->OnVarintEncode(n);
     }
@@ -206,18 +292,6 @@ class Writer
     CostSink *sink() const { return sink_; }
 
   private:
-    int
-    WriteVarintRaw(uint64_t v)
-    {
-        uint8_t tmp[kMaxVarintBytes];
-        const int n = EncodeVarint(v, tmp);
-        if (!Ensure(n))
-            return 0;
-        std::memcpy(p_, tmp, n);
-        p_ += n;
-        return n;
-    }
-
     bool
     Ensure(size_t n)
     {
@@ -234,34 +308,12 @@ class Writer
     bool ok_ = true;
 };
 
-void SerializeField(const Message &msg, const FieldDescriptor &f,
-                    Writer &w);
-
 void
-SerializePayload(const Message &msg, Writer &w)
+WriteScalarValue(const CodecEntry &e, uint64_t bits, Writer &w)
 {
-    if (w.sink() != nullptr)
-        w.sink()->OnMessageBegin();
-    for (const auto &f : msg.descriptor().fields()) {
-        if (w.sink() != nullptr)
-            w.sink()->OnHasbitsAccess(1);
-        if (f.repeated()) {
-            if (msg.RepeatedSize(f) > 0)
-                SerializeField(msg, f, w);
-        } else if (msg.Has(f)) {
-            SerializeField(msg, f, w);
-        }
-    }
-    if (w.sink() != nullptr)
-        w.sink()->OnMessageEnd();
-}
-
-void
-SerializeScalarValue(FieldType type, uint64_t bits, Writer &w)
-{
-    switch (WireTypeForField(type)) {
+    switch (e.wire_type) {
       case WireType::kVarint:
-        w.WriteVarint(VarintWireValue(type, bits));
+        w.WriteVarint(VarintWireValue(e.op, bits));
         break;
       case WireType::kFixed32:
         w.WriteFixed32(static_cast<uint32_t>(bits));
@@ -274,78 +326,119 @@ SerializeScalarValue(FieldType type, uint64_t bits, Writer &w)
     }
 }
 
+void SerializeField(const Message &msg, const CodecTableSet &set,
+                    const CodecEntry &e, Writer &w,
+                    const std::vector<size_t> &subs, size_t &cursor);
+
+/**
+ * Write pass. Mirrors the sizing pass's traversal exactly; every nested
+ * size is popped off @p subs instead of being recomputed or chased
+ * through cached-size slots.
+ */
 void
-SerializeField(const Message &msg, const FieldDescriptor &f, Writer &w)
+SerializePayload(const Message &msg, const CodecTableSet &set,
+                 const CodecTable &t, Writer &w,
+                 const std::vector<size_t> &subs, size_t &cursor)
+{
+    if (w.sink() != nullptr)
+        w.sink()->OnMessageBegin();
+    for (const CodecEntry &e : t.entries) {
+        if (w.sink() != nullptr)
+            w.sink()->OnHasbitsAccess(1);
+        if (e.repeated()) {
+            if (msg.RepeatedSize(*e.field) > 0)
+                SerializeField(msg, set, e, w, subs, cursor);
+        } else if (HasRaw(msg, t, e)) {
+            SerializeField(msg, set, e, w, subs, cursor);
+        }
+    }
+    if (w.sink() != nullptr)
+        w.sink()->OnMessageEnd();
+}
+
+void
+SerializeField(const Message &msg, const CodecTableSet &set,
+               const CodecEntry &e, Writer &w,
+               const std::vector<size_t> &subs, size_t &cursor)
 {
     if (w.sink() != nullptr)
         w.sink()->OnFieldDispatch();
-    const WireType wt = WireTypeForField(f.type);
 
-    if (!f.repeated()) {
-        switch (f.type) {
-          case FieldType::kString:
-          case FieldType::kBytes: {
-            const std::string_view s = msg.GetString(f);
-            w.WriteTag(f.number, WireType::kLengthDelimited);
+    if (!e.repeated()) {
+        switch (e.op) {
+          case FieldOp::kString:
+          case FieldOp::kBytes: {
+            const std::string_view s = msg.GetString(*e.field);
+            w.WriteTag(e);
             w.WriteVarint(s.size());
             w.WriteBytes(s.data(), s.size());
             return;
           }
-          case FieldType::kMessage: {
-            const Message sub = msg.GetMessage(f);
-            w.WriteTag(f.number, WireType::kLengthDelimited);
-            w.WriteVarint(sub.valid()
-                              ? static_cast<uint64_t>(sub.cached_size())
-                              : 0);
-            if (sub.valid())
-                SerializePayload(sub, w);
+          case FieldOp::kMessage: {
+            const Message sub = msg.GetMessage(*e.field);
+            w.WriteTag(e);
+            if (!sub.valid()) {
+                w.WriteVarint(0);
+                return;
+            }
+            w.WriteVarint(subs[cursor++]);
+            SerializePayload(sub, set, set.table(e.sub_table), w, subs,
+                             cursor);
             return;
           }
           default:
-            w.WriteTag(f.number, wt);
-            SerializeScalarValue(f.type, msg.GetScalarBits(f), w);
+            w.WriteTag(e);
+            WriteScalarValue(e, LoadScalarRaw(msg, e), w);
             return;
         }
     }
 
-    const uint32_t n = msg.RepeatedSize(f);
-    switch (f.type) {
-      case FieldType::kString:
-      case FieldType::kBytes:
+    const uint32_t n = msg.RepeatedSize(*e.field);
+    switch (e.op) {
+      case FieldOp::kString:
+      case FieldOp::kBytes:
         for (uint32_t i = 0; i < n; ++i) {
-            const std::string_view s = msg.GetRepeatedString(f, i);
-            w.WriteTag(f.number, WireType::kLengthDelimited);
+            const std::string_view s = msg.GetRepeatedString(*e.field, i);
+            w.WriteTag(e);
             w.WriteVarint(s.size());
             w.WriteBytes(s.data(), s.size());
         }
         return;
-      case FieldType::kMessage:
+      case FieldOp::kMessage: {
+        const CodecTable &sub_t = set.table(e.sub_table);
         for (uint32_t i = 0; i < n; ++i) {
-            const Message sub = msg.GetRepeatedMessage(f, i);
-            w.WriteTag(f.number, WireType::kLengthDelimited);
-            w.WriteVarint(static_cast<uint64_t>(sub.cached_size()));
-            SerializePayload(sub, w);
+            const Message sub = msg.GetRepeatedMessage(*e.field, i);
+            w.WriteTag(e);
+            w.WriteVarint(subs[cursor++]);
+            SerializePayload(sub, set, sub_t, w, subs, cursor);
         }
         return;
+      }
       default:
         break;
     }
-    if (f.packed) {
-        size_t payload = 0;
-        for (uint32_t i = 0; i < n; ++i) {
-            payload += ScalarValueSize(
-                f.type, RepeatedElementBits(msg, f, i), nullptr);
-        }
-        w.WriteTag(f.number, WireType::kLengthDelimited);
-        w.WriteVarint(payload);
+    const RepeatedField *r = msg.repeated_field(*e.field);
+    if (e.packed()) {
+        w.WriteTag(e);
+        w.WriteVarint(subs[cursor++]);
         for (uint32_t i = 0; i < n; ++i)
-            SerializeScalarValue(f.type, RepeatedElementBits(msg, f, i), w);
+            WriteScalarValue(e, RepeatedElementBits(r, e, i), w);
         return;
     }
     for (uint32_t i = 0; i < n; ++i) {
-        w.WriteTag(f.number, wt);
-        SerializeScalarValue(f.type, RepeatedElementBits(msg, f, i), w);
+        w.WriteTag(e);
+        WriteScalarValue(e, RepeatedElementBits(r, e, i), w);
     }
+}
+
+/// Reusable scratch stack for the memoized nested sizes. The sizing and
+/// write passes of one serialization run back-to-back on one thread, so
+/// a thread-local survives between them without allocation churn.
+std::vector<size_t> &
+ScratchSizes()
+{
+    thread_local std::vector<size_t> sizes;
+    return sizes;
 }
 
 }  // namespace
@@ -354,19 +447,30 @@ size_t
 ByteSize(const Message &msg, CostSink *sink)
 {
     PA_CHECK(msg.valid());
-    return MessagePayloadSize(msg, sink);
+    const CodecTableSet &set = GetCodecTables(msg.pool());
+    const CodecTable &t = set.table(msg.descriptor().pool_index());
+    std::vector<size_t> &subs = ScratchSizes();
+    subs.clear();
+    return MessagePayloadSize(msg, set, t, sink, subs);
 }
 
 size_t
 SerializeToBuffer(const Message &msg, uint8_t *buf, size_t cap,
                   CostSink *sink)
 {
-    const size_t size = ByteSize(msg, sink);
+    PA_CHECK(msg.valid());
+    const CodecTableSet &set = GetCodecTables(msg.pool());
+    const CodecTable &t = set.table(msg.descriptor().pool_index());
+    std::vector<size_t> &subs = ScratchSizes();
+    subs.clear();
+    const size_t size = MessagePayloadSize(msg, set, t, sink, subs);
     if (size > cap)
         return 0;
     Writer w(buf, cap, sink);
-    SerializePayload(msg, w);
+    size_t cursor = 0;
+    SerializePayload(msg, set, t, w, subs, cursor);
     PA_CHECK(w.ok());
+    PA_CHECK_EQ(cursor, subs.size());
     const size_t written = w.written(buf);
     PA_CHECK_EQ(written, size);
     return written;
@@ -375,13 +479,20 @@ SerializeToBuffer(const Message &msg, uint8_t *buf, size_t cap,
 std::vector<uint8_t>
 Serialize(const Message &msg, CostSink *sink)
 {
-    const size_t size = ByteSize(msg, sink);
+    PA_CHECK(msg.valid());
+    const CodecTableSet &set = GetCodecTables(msg.pool());
+    const CodecTable &t = set.table(msg.descriptor().pool_index());
+    std::vector<size_t> &subs = ScratchSizes();
+    subs.clear();
+    const size_t size = MessagePayloadSize(msg, set, t, sink, subs);
     std::vector<uint8_t> out(size);
     if (size == 0)
         return out;
     Writer w(out.data(), out.size(), sink);
-    SerializePayload(msg, w);
+    size_t cursor = 0;
+    SerializePayload(msg, set, t, w, subs, cursor);
     PA_CHECK(w.ok());
+    PA_CHECK_EQ(cursor, subs.size());
     PA_CHECK_EQ(w.written(out.data()), size);
     return out;
 }
@@ -389,13 +500,44 @@ Serialize(const Message &msg, CostSink *sink)
 int
 VarintValueSize(FieldType type, uint64_t bits)
 {
-    return VarintSize(VarintWireValue(type, bits));
+    switch (type) {
+      case FieldType::kInt32:
+      case FieldType::kEnum:
+        return VarintSize(static_cast<uint64_t>(
+            static_cast<int64_t>(static_cast<int32_t>(bits))));
+      case FieldType::kSint32:
+        return VarintSize(ZigZagEncode32(static_cast<int32_t>(bits)));
+      case FieldType::kSint64:
+        return VarintSize(ZigZagEncode64(static_cast<int64_t>(bits)));
+      case FieldType::kBool:
+        return 1;
+      default:
+        return VarintSize(bits);
+    }
 }
 
 int
 EncodeVarintValue(FieldType type, uint64_t bits, uint8_t *out)
 {
-    return EncodeVarint(VarintWireValue(type, bits), out);
+    switch (type) {
+      case FieldType::kInt32:
+      case FieldType::kEnum:
+        return EncodeVarint(
+            static_cast<uint64_t>(
+                static_cast<int64_t>(static_cast<int32_t>(bits))),
+            out);
+      case FieldType::kSint32:
+        return EncodeVarint(ZigZagEncode32(static_cast<int32_t>(bits)),
+                            out);
+      case FieldType::kSint64:
+        return EncodeVarint(ZigZagEncode64(static_cast<int64_t>(bits)),
+                            out);
+      case FieldType::kBool:
+        out[0] = bits != 0 ? 1 : 0;
+        return 1;
+      default:
+        return EncodeVarint(bits, out);
+    }
 }
 
 }  // namespace protoacc::proto

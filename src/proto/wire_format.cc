@@ -1,6 +1,72 @@
 #include "proto/wire_format.h"
 
+#include <bit>
+
 namespace protoacc::proto {
+
+int
+DecodeVarintSlow(const uint8_t *p, const uint8_t *end, uint64_t *value)
+{
+    // Word-at-a-time path: load 8 bytes, fold the 7-bit payload groups
+    // together pairwise, then find the terminator (first byte with a
+    // clear continuation bit). The fold is linear in the groups, so a
+    // too-long fold is fixed up by masking to the real group count.
+    // 9/10-byte encodings continue from the folded 56-bit prefix; only
+    // reads near the end of the buffer fall through to the byte loop.
+    if (end - p >= 8) {
+        uint64_t chunk;
+        std::memcpy(&chunk, p, sizeof(chunk));
+        const uint64_t stops = ~chunk & 0x8080808080808080ull;
+        uint64_t b = chunk & 0x7f7f7f7f7f7f7f7full;
+        b = (b & 0x007f007f007f007full) |
+            ((b & 0x7f007f007f007f00ull) >> 1);
+        b = (b & 0x00003fff00003fffull) |
+            ((b & 0x3fff00003fff0000ull) >> 2);
+        b = (b & 0x000000000fffffffull) |
+            ((b & 0x0fffffff00000000ull) >> 4);
+        if (stops != 0) {
+            const int n = (std::countr_zero(stops) >> 3) + 1;
+            if (n < 8)
+                b &= (1ull << (7 * n)) - 1;
+            *value = b;
+            return n;
+        }
+        // All 8 loaded bytes had continuation bits: byte 9 carries bits
+        // 56..62 and byte 10 may only carry bit 63.
+        if (end - p >= 9) {
+            const uint8_t b8 = p[8];
+            const uint64_t prefix =
+                b | (static_cast<uint64_t>(b8 & 0x7f) << 56);
+            if ((b8 & 0x80) == 0) {
+                *value = prefix;
+                return 9;
+            }
+            if (end - p >= 10 && (p[9] & 0x80) == 0) {
+                if (p[9] > 1)
+                    return 0;  // payload bits beyond bit 63
+                *value = prefix | (static_cast<uint64_t>(p[9]) << 63);
+                return 10;
+            }
+        }
+        return 0;  // truncated, or longer than kMaxVarintBytes
+    }
+    uint64_t result = 0;
+    int shift = 0;
+    for (int i = 0; i < kMaxVarintBytes && p + i < end; ++i) {
+        const uint8_t byte = p[i];
+        // The 10th byte may only contribute bit 63: payload bits above
+        // that cannot be represented and mark the input malformed.
+        if (i == kMaxVarintBytes - 1 && (byte & 0x7f) > 1)
+            return 0;
+        result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0) {
+            *value = result;
+            return i + 1;
+        }
+        shift += 7;
+    }
+    return 0;
+}
 
 const char *
 FieldTypeName(FieldType type)

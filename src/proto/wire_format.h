@@ -107,30 +107,74 @@ TagWireType(uint64_t tag)
 inline int
 VarintSize(uint64_t value)
 {
-    // Each output byte carries 7 payload bits.
-    return value == 0 ? 1 : static_cast<int>(CeilDiv(SignificantBits(value), 7));
+    // Each output byte carries 7 payload bits; `| 1` folds the zero case
+    // into the general clz-based formula without a branch.
+    return static_cast<int>(CeilDiv(SignificantBits(value | 1), 7));
 }
 
 /**
  * Encode @p value as a varint into @p out (which must have room for
  * kMaxVarintBytes).
  *
+ * Longer values take a branchless spread -- the exact inverse of
+ * DecodeVarint's word-at-a-time fold -- and store a whole word; the
+ * kMaxVarintBytes contract makes the 8-byte store safe. Force-inlined:
+ * encoding is a handful of ALU ops either way, so a call would cost
+ * more than the body.
+ *
  * @return the number of bytes written.
  */
-inline int
+[[gnu::always_inline]] inline int
 EncodeVarint(uint64_t value, uint8_t *out)
 {
-    int n = 0;
-    while (value >= 0x80) {
-        out[n++] = static_cast<uint8_t>(value) | 0x80;
-        value >>= 7;
+    if (value < 0x80) [[likely]] {  // 1 byte: most tags and small values
+        out[0] = static_cast<uint8_t>(value);
+        return 1;
     }
-    out[n++] = static_cast<uint8_t>(value);
-    return n;
+    if (value < 0x4000) {  // 2 bytes
+        out[0] = static_cast<uint8_t>(value) | 0x80;
+        out[1] = static_cast<uint8_t>(value >> 7);
+        return 2;
+    }
+    // Deposit the low 56 bits into the low 7 bits of each output byte;
+    // little-endian byte order matches the decoder's word load.
+    const int n = VarintSize(value);
+    uint64_t x = value;
+    x = ((x & 0x00ffffff'f0000000ull) << 4) | (x & 0x0fffffffull);
+    x = ((x & 0x0fffc000'0fffc000ull) << 2) |
+        (x & 0x00003fff'00003fffull);
+    x = ((x & 0x3f803f80'3f803f80ull) << 1) |
+        (x & 0x007f007f'007f007full);
+    if (n <= 8) {
+        x |= ~(~0ull << (8 * (n - 1))) & 0x80808080'80808080ull;
+        std::memcpy(out, &x, sizeof(x));
+        return n;
+    }
+    // 9/10-byte tail: all eight spread bytes continue, the rest of the
+    // value (bits 56..63) goes byte-at-a-time.
+    x |= 0x80808080'80808080ull;
+    std::memcpy(out, &x, sizeof(x));
+    const uint64_t rest = value >> 56;
+    if (rest < 0x80) {
+        out[8] = static_cast<uint8_t>(rest);
+        return 9;
+    }
+    out[8] = static_cast<uint8_t>(rest) | 0x80;
+    out[9] = static_cast<uint8_t>(rest >> 7);
+    return 10;
 }
+
+/// Out-of-line tail of DecodeVarint for the >= 3-byte / near-end cases.
+int DecodeVarintSlow(const uint8_t *p, const uint8_t *end, uint64_t *value);
 
 /**
  * Decode a varint from [@p p, @p end).
+ *
+ * The 1- and 2-byte encodings (the overwhelmingly common case in fleet
+ * traffic, §3) decode branch-minimally inline; longer encodings take the
+ * out-of-line tail. 10-byte varints whose final byte carries payload
+ * bits above bit 63 are rejected as malformed (they cannot round-trip
+ * through a 64-bit value).
  *
  * @param[out] value the decoded 64-bit value.
  * @return the number of bytes consumed, or 0 on malformed/truncated input.
@@ -138,18 +182,15 @@ EncodeVarint(uint64_t value, uint8_t *out)
 inline int
 DecodeVarint(const uint8_t *p, const uint8_t *end, uint64_t *value)
 {
-    uint64_t result = 0;
-    int shift = 0;
-    for (int i = 0; i < kMaxVarintBytes && p + i < end; ++i) {
-        const uint8_t byte = p[i];
-        result |= static_cast<uint64_t>(byte & 0x7f) << shift;
-        if ((byte & 0x80) == 0) {
-            *value = result;
-            return i + 1;
-        }
-        shift += 7;
+    if (p < end && p[0] < 0x80) {
+        *value = p[0];
+        return 1;
     }
-    return 0;
+    if (end - p >= 2 && p[1] < 0x80) {
+        *value = (p[0] & 0x7fu) | (static_cast<uint64_t>(p[1]) << 7);
+        return 2;
+    }
+    return DecodeVarintSlow(p, end, value);
 }
 
 /// Zig-zag encode a signed 32-bit value (sint32).

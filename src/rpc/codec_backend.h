@@ -16,6 +16,7 @@
 
 #include "accel/accelerator.h"
 #include "cpu/cpu_model.h"
+#include "proto/codec_table.h"
 #include "proto/parser.h"
 #include "proto/serializer.h"
 
@@ -45,13 +46,30 @@ class CodecBackend
     virtual const char *name() const = 0;
 };
 
-/// Software codec on a CPU cost model.
+/**
+ * Software codec on a CPU cost model.
+ *
+ * Runs the table-driven fast path (proto/codec_table.h): the first
+ * Serialize/Deserialize against a pool compiles that pool's codec
+ * tables, which are cached on the pool and shared with every other user
+ * (figure benches, codec_gbench, other backends on the same pool). The
+ * pool-taking constructor pre-compiles them so the first RPC does not
+ * pay the one-time cost — use it when a pool is shared across threads,
+ * since lazy table construction is not thread-safe.
+ */
 class SoftwareBackend : public CodecBackend
 {
   public:
     explicit SoftwareBackend(const cpu::CpuParams &params)
         : model_(params)
     {}
+
+    SoftwareBackend(const cpu::CpuParams &params,
+                    const proto::DescriptorPool &pool)
+        : model_(params)
+    {
+        proto::GetCodecTables(pool);
+    }
 
     std::vector<uint8_t>
     Serialize(const proto::Message &msg) override

@@ -177,5 +177,69 @@ TEST(Descriptor, RecursiveTypeCompiles)
     EXPECT_GE(pool.message(node).layout().object_size, 12u);
 }
 
+TEST(Descriptor, DenseNumberLookupCoversFullRange)
+{
+    DescriptorPool pool;
+    const int m = pool.AddMessage("Dense");
+    pool.AddField(m, "a", 3, FieldType::kInt32);
+    pool.AddField(m, "b", 5, FieldType::kInt64);
+    pool.AddField(m, "c", 9, FieldType::kBool);
+    pool.Compile();
+    const MessageDescriptor &d = pool.message(m);
+
+    // Every number in and around [min, max], defined or not.
+    for (uint32_t number = 0; number <= 12; ++number) {
+        const FieldDescriptor *f = d.FindFieldByNumber(number);
+        const int idx = d.field_index_for_number(number);
+        if (number == 3 || number == 5 || number == 9) {
+            ASSERT_NE(f, nullptr) << number;
+            EXPECT_EQ(f->number, number);
+            EXPECT_EQ(idx, f->index) << number;
+        } else {
+            EXPECT_EQ(f, nullptr) << number;
+            EXPECT_EQ(idx, -1) << number;
+        }
+    }
+}
+
+TEST(Descriptor, SparseNumberLookupFallsBackToSearch)
+{
+    // A numbering too sparse for the direct-indexed table (range far
+    // beyond 8x the field count) must still resolve via binary search.
+    DescriptorPool pool;
+    const int m = pool.AddMessage("Sparse");
+    pool.AddField(m, "lo", 1, FieldType::kInt32);
+    pool.AddField(m, "mid", 1000, FieldType::kInt64);
+    pool.AddField(m, "hi", kMaxFieldNumber, FieldType::kBool);
+    pool.Compile();
+    const MessageDescriptor &d = pool.message(m);
+
+    EXPECT_EQ(d.FindFieldByNumber(1)->name, "lo");
+    EXPECT_EQ(d.FindFieldByNumber(1000)->name, "mid");
+    EXPECT_EQ(d.FindFieldByNumber(kMaxFieldNumber)->name, "hi");
+    EXPECT_EQ(d.FindFieldByNumber(2), nullptr);
+    EXPECT_EQ(d.FindFieldByNumber(999), nullptr);
+    EXPECT_EQ(d.FindFieldByNumber(1001), nullptr);
+    EXPECT_EQ(d.FindFieldByNumber(0), nullptr);
+    EXPECT_EQ(d.field_index_for_number(1000), 1);
+    EXPECT_EQ(d.field_index_for_number(999), -1);
+}
+
+TEST(Descriptor, FindFieldByNameTakesStringView)
+{
+    DescriptorPool pool;
+    const int m = pool.AddMessage("Named");
+    pool.AddField(m, "alpha", 1, FieldType::kInt32);
+    pool.AddField(m, "beta", 2, FieldType::kInt64);
+    pool.Compile();
+    const MessageDescriptor &d = pool.message(m);
+
+    const std::string_view haystack = "alphabet";
+    EXPECT_EQ(d.FindFieldByName(haystack.substr(0, 5))->number, 1u);
+    EXPECT_EQ(d.FindFieldByName("beta")->number, 2u);
+    EXPECT_EQ(d.FindFieldByName(haystack), nullptr);
+    EXPECT_EQ(d.FindFieldByName(""), nullptr);
+}
+
 }  // namespace
 }  // namespace protoacc::proto

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <vector>
 
 #include "proto/wire_format.h"
@@ -77,6 +78,84 @@ TEST(Varint, DecodeOverlongFails)
     std::vector<uint8_t> buf(12, 0x80);
     uint64_t v;
     EXPECT_EQ(DecodeVarint(buf.data(), buf.data() + buf.size(), &v), 0);
+}
+
+TEST(Varint, DecodeWithTrailingSlack)
+{
+    // Mid-stream decode: bytes after the varint must not affect the
+    // result (they are the next field's data). Covers the 8-byte
+    // word-at-a-time path, which only engages when slack is available.
+    for (uint64_t v : {0ull, 1ull, 127ull, 128ull, 16384ull,
+                       (1ull << 28) - 1, 1ull << 35, 1ull << 56,
+                       1ull << 63, ~0ull}) {
+        uint8_t buf[kMaxVarintBytes + 16];
+        std::memset(buf, 0xff, sizeof(buf));  // worst-case slack bytes
+        const int n = EncodeVarint(v, buf);
+        uint64_t decoded = 0;
+        EXPECT_EQ(DecodeVarint(buf, buf + sizeof(buf), &decoded), n) << v;
+        EXPECT_EQ(decoded, v) << v;
+    }
+}
+
+TEST(Varint, DecodeTenByteBoundaries)
+{
+    uint8_t buf[kMaxVarintBytes];
+    uint64_t v = 0;
+
+    // 2^63: the highest single-bit value, 10 wire bytes.
+    ASSERT_EQ(EncodeVarint(1ull << 63, buf), 10);
+    EXPECT_EQ(DecodeVarint(buf, buf + 10, &v), 10);
+    EXPECT_EQ(v, 1ull << 63);
+
+    // 2^64 - 1: all payload bits set, final byte 0x01.
+    ASSERT_EQ(EncodeVarint(UINT64_MAX, buf), 10);
+    EXPECT_EQ(DecodeVarint(buf, buf + 10, &v), 10);
+    EXPECT_EQ(v, UINT64_MAX);
+}
+
+TEST(Varint, DecodeOverlongZeroAccepted)
+{
+    // Zero padded out to the full 10 bytes: non-canonical but valid
+    // (encoders in the wild emit over-long varints; see also the
+    // serializer's sign-extended int32s).
+    uint8_t buf[10];
+    std::memset(buf, 0x80, 9);
+    buf[9] = 0x00;
+    uint64_t v = 42;
+    EXPECT_EQ(DecodeVarint(buf, buf + 10, &v), 10);
+    EXPECT_EQ(v, 0u);
+
+    // Same with slack after it (word-at-a-time path).
+    uint8_t padded[24];
+    std::memset(padded, 0xff, sizeof(padded));
+    std::memcpy(padded, buf, 10);
+    v = 42;
+    EXPECT_EQ(DecodeVarint(padded, padded + sizeof(padded), &v), 10);
+    EXPECT_EQ(v, 0u);
+}
+
+TEST(Varint, DecodeTenthByteOverflowFails)
+{
+    // A 10-byte varint's final byte contributes bits 63..69; only bit 63
+    // fits in a uint64. Any payload above 0x01 in byte 10 would silently
+    // drop bits, so the decoder must reject it.
+    uint8_t buf[10];
+    std::memset(buf, 0xff, 9);
+    uint64_t v;
+    for (const uint8_t last : {0x02, 0x03, 0x7f}) {
+        buf[9] = last;
+        EXPECT_EQ(DecodeVarint(buf, buf + 10, &v), 0) << int(last);
+    }
+    // With a valid final byte the same prefix decodes fine.
+    buf[9] = 0x01;
+    EXPECT_EQ(DecodeVarint(buf, buf + 10, &v), 10);
+    EXPECT_EQ(v, UINT64_MAX);
+
+    // Rejection must also hold on the slack-rich path.
+    uint8_t padded[24] = {};
+    std::memset(padded, 0xff, 9);
+    padded[9] = 0x02;
+    EXPECT_EQ(DecodeVarint(padded, padded + sizeof(padded), &v), 0);
 }
 
 TEST(ZigZag, KnownValues32)
