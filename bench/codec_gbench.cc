@@ -142,6 +142,56 @@ BM_ParseReference(benchmark::State &state)
 }
 BENCHMARK(BM_ParseReference)->Arg(1)->Arg(5)->Arg(10);
 
+// The serving runtime's steady-state pattern vs. the naive one: reuse
+// one arena with Reset() per message (bounded reservation, no backing
+// allocations after warm-up) against constructing a fresh Arena per
+// message (one backing allocation each time).
+
+void
+BM_ParseArenaResetReuse(benchmark::State &state)
+{
+    const auto bench =
+        harness::MakeVarintBench(static_cast<int>(state.range(0)),
+                                 /*repeated=*/false);
+    Arena arena;
+    for (auto _ : state) {
+        for (const auto &wire : bench->workload.wires) {
+            arena.Reset();
+            Message dest = Message::Create(&arena, *bench->workload.pool,
+                                           bench->workload.msg_index);
+            benchmark::DoNotOptimize(
+                ParseFromBuffer(wire.data(), wire.size(), &dest));
+        }
+    }
+    state.SetBytesProcessed(
+        state.iterations() *
+        static_cast<int64_t>(bench->workload.total_wire_bytes));
+    state.counters["arena_blocks"] =
+        static_cast<double>(arena.block_count());
+}
+BENCHMARK(BM_ParseArenaResetReuse)->Arg(1)->Arg(5)->Arg(10);
+
+void
+BM_ParseArenaFreshEachMessage(benchmark::State &state)
+{
+    const auto bench =
+        harness::MakeVarintBench(static_cast<int>(state.range(0)),
+                                 /*repeated=*/false);
+    for (auto _ : state) {
+        for (const auto &wire : bench->workload.wires) {
+            Arena arena;
+            Message dest = Message::Create(&arena, *bench->workload.pool,
+                                           bench->workload.msg_index);
+            benchmark::DoNotOptimize(
+                ParseFromBuffer(wire.data(), wire.size(), &dest));
+        }
+    }
+    state.SetBytesProcessed(
+        state.iterations() *
+        static_cast<int64_t>(bench->workload.total_wire_bytes));
+}
+BENCHMARK(BM_ParseArenaFreshEachMessage)->Arg(1)->Arg(5)->Arg(10);
+
 void
 BM_ParseRandomSchema(benchmark::State &state)
 {

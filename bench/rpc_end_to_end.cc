@@ -4,8 +4,14 @@
  * into client codec / server codec / network on the three systems, and
  * report the serialization share of the total — the "datacenter tax"
  * the accelerator removes.
+ *
+ * Flags: --latency-us=F (one-way channel latency, default 10) and
+ * --gbps=F (channel bandwidth, default 100) configure the simulated
+ * network, e.g. --latency-us=2 --gbps=400 for a tighter fabric.
  */
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "proto/schema_parser.h"
 #include "rpc/rpc.h"
@@ -25,7 +31,7 @@ struct Result
 
 Result
 Run(const DescriptorPool &pool, int req, int rsp, size_t payload_len,
-    const char *system)
+    const char *system, const SimulatedChannel &channel)
 {
     auto make_backend = [&]() -> std::unique_ptr<CodecBackend> {
         if (std::string(system) == "riscv-boom")
@@ -47,8 +53,7 @@ Run(const DescriptorPool &pool, int req, int rsp, size_t payload_len,
                 *sd.FindFieldByName("text"),
                 request.GetString(*rd.FindFieldByName("text")));
         });
-    RpcSession session(&pool, make_backend(), &server,
-                       SimulatedChannel{});
+    RpcSession session(&pool, make_backend(), &server, channel);
 
     constexpr int kCalls = 48;
     proto::Arena arena;
@@ -67,8 +72,28 @@ Run(const DescriptorPool &pool, int req, int rsp, size_t payload_len,
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    double latency_us = 10;
+    double gbps = 100;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--latency-us=", 13) == 0)
+            latency_us = std::strtod(arg + 13, nullptr);
+        else if (std::strncmp(arg, "--gbps=", 7) == 0)
+            gbps = std::strtod(arg + 7, nullptr);
+        else {
+            std::fprintf(stderr,
+                         "usage: rpc_end_to_end [--latency-us=F] "
+                         "[--gbps=F]\n");
+            return 1;
+        }
+    }
+    PA_CHECK_GT(gbps, 0.0);
+    SimulatedChannel channel;
+    channel.latency_ns = latency_us * 1000.0;
+    channel.bytes_per_ns = gbps / 8.0;
+
     DescriptorPool pool;
     const auto parsed = ParseSchema(R"(
         message EchoRequest {
@@ -85,8 +110,9 @@ main()
     const int req = pool.FindMessage("EchoRequest");
     const int rsp = pool.FindMessage("EchoResponse");
 
-    std::printf("RPC end-to-end: echo call over a 10us/100Gbit channel "
-                "(us/call, codec share of total)\n");
+    std::printf("RPC end-to-end: echo call over a %.4gus/%.4gGbit "
+                "channel (us/call, codec share of total)\n",
+                latency_us, gbps);
     std::printf("  %-10s", "payload");
     for (const char *s : {"riscv-boom", "Xeon", "riscv-boom-accel"})
         std::printf(" %24s", s);
@@ -94,7 +120,7 @@ main()
     for (size_t len : {16u, 256u, 4096u, 65536u}) {
         std::printf("  %-10zu", len);
         for (const char *s : {"riscv-boom", "Xeon", "riscv-boom-accel"}) {
-            const Result r = Run(pool, req, rsp, len, s);
+            const Result r = Run(pool, req, rsp, len, s, channel);
             std::printf("     %9.2f us (%4.1f%%)", r.us_per_call,
                         100.0 * r.codec_share);
         }

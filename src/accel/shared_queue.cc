@@ -1,0 +1,65 @@
+#include "accel/shared_queue.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace protoacc::accel {
+
+SharedAccelQueue::SharedAccelQueue(const SharedQueueConfig &config)
+    : config_(config)
+{
+    PA_CHECK_GE(config_.num_units, 1u);
+    unit_free_.assign(config_.num_units, 0);
+}
+
+SharedAccelQueue::Completion
+SharedAccelQueue::SubmitBatch(uint64_t arrival_cycle, uint32_t jobs,
+                              uint64_t service_cycles)
+{
+    PA_CHECK_GE(jobs, 1u);
+    std::lock_guard<std::mutex> lock(mu_);
+
+    // The requester's core issues the doorbell instruction pairs
+    // before any unit can start.
+    const uint64_t ready =
+        arrival_cycle +
+        static_cast<uint64_t>(config_.dispatch_cycles_per_job) * jobs;
+
+    auto unit = std::min_element(unit_free_.begin(), unit_free_.end());
+    const bool contended = *unit > ready;
+    const uint64_t start = contended ? *unit : ready;
+    const uint64_t done = start + service_cycles + config_.fence_cycles;
+    *unit = done;
+
+    Completion c;
+    c.start_cycle = start;
+    c.done_cycle = done;
+    c.wait_cycles = start - ready;
+
+    ++stats_.batches;
+    stats_.jobs += jobs;
+    stats_.total_wait_cycles += c.wait_cycles;
+    stats_.total_service_cycles += service_cycles;
+    if (contended)
+        ++stats_.contended_batches;
+    stats_.busy_until_cycle = std::max(stats_.busy_until_cycle, done);
+    return c;
+}
+
+SharedAccelQueue::Stats
+SharedAccelQueue::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+SharedAccelQueue::Reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    unit_free_.assign(config_.num_units, 0);
+    stats_ = Stats{};
+}
+
+}  // namespace protoacc::accel

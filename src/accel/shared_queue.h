@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Shared-accelerator queue model: the doorbell/completion contention
+ * layer in front of the (de)serializer units.
+ *
+ * The device model (accelerator.h) prices one requester's batch in
+ * isolation — service time only. In the serving scenario the paper
+ * motivates (§1, "datacenter tax"), K cores contend for one accelerator
+ * instance: each worker rings a doorbell with a batch of
+ * {deser_info, do_proto_deser} / {ser_info, do_proto_ser} pairs (§4.4.1,
+ * §4.5.2) and blocks on the completion fence, so modeled latency under
+ * load is queueing delay *plus* service, not service alone.
+ *
+ * This class arbitrates a shared virtual timeline: submissions carry an
+ * arrival cycle (the requester's own clock) and a service-cycle cost
+ * (measured on the requester's device model); the queue assigns each
+ * batch the earliest-free unit at or after its arrival and returns the
+ * completion cycle. Per-job doorbell issue cost and the per-batch fence
+ * come from the RoCC constants the rest of the model already uses, so a
+ * lone uncontended batch costs exactly its isolated-model latency plus
+ * those fixed overheads — the queue only ever *adds* wait under
+ * contention, leaving single-call figure benches untouched.
+ *
+ * Thread-safe: serving-runtime workers submit concurrently.
+ */
+#ifndef PROTOACC_ACCEL_SHARED_QUEUE_H
+#define PROTOACC_ACCEL_SHARED_QUEUE_H
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "accel/rocc.h"
+
+namespace protoacc::accel {
+
+/// Configuration of the shared queue.
+struct SharedQueueConfig
+{
+    /// Accelerator instances behind the doorbell (each one full
+    /// deserializer + serializer pair, Figure 8).
+    uint32_t num_units = 1;
+    /// Cycles to issue one job's RoCC instruction pair from the core
+    /// (deser_info + do_proto_deser, or ser_info + do_proto_ser).
+    uint32_t dispatch_cycles_per_job = 2 * kRoccDispatchCycles;
+    /// Cycles for the blocking block_for_*_completion fence, paid once
+    /// per batch (§3.5 batching amortizes it).
+    uint32_t fence_cycles = kFenceCycles;
+};
+
+/**
+ * Arbitrates batches of accelerator jobs from concurrent requesters
+ * onto num_units shared units along a virtual cycle timeline.
+ */
+class SharedAccelQueue
+{
+  public:
+    /// Outcome of one batch submission on the shared timeline.
+    struct Completion
+    {
+        uint64_t start_cycle = 0;  ///< when a unit began the batch
+        uint64_t done_cycle = 0;   ///< fence return (completion)
+        uint64_t wait_cycles = 0;  ///< queueing delay (start - ready)
+    };
+
+    /// Aggregate counters (monotonic until Reset).
+    struct Stats
+    {
+        uint64_t batches = 0;
+        uint64_t jobs = 0;
+        uint64_t total_wait_cycles = 0;
+        uint64_t total_service_cycles = 0;
+        /// Batches that found every unit busy on arrival.
+        uint64_t contended_batches = 0;
+        /// Latest completion on the shared timeline.
+        uint64_t busy_until_cycle = 0;
+    };
+
+    explicit SharedAccelQueue(const SharedQueueConfig &config = {});
+
+    /**
+     * Submit a batch of @p jobs jobs totalling @p service_cycles of
+     * unit time, arriving at @p arrival_cycle on the shared timeline.
+     * Jobs in a batch run back-to-back on one unit (the device model's
+     * batching contract) and complete together at the fence.
+     */
+    Completion SubmitBatch(uint64_t arrival_cycle, uint32_t jobs,
+                           uint64_t service_cycles);
+
+    /// Single-job convenience wrapper.
+    Completion
+    Submit(uint64_t arrival_cycle, uint64_t service_cycles)
+    {
+        return SubmitBatch(arrival_cycle, 1, service_cycles);
+    }
+
+    Stats stats() const;
+    const SharedQueueConfig &config() const { return config_; }
+
+    /// Clear the timeline and counters (units all free at cycle 0).
+    void Reset();
+
+  private:
+    SharedQueueConfig config_;
+    mutable std::mutex mu_;
+    /// Cycle at which each unit next becomes free.
+    std::vector<uint64_t> unit_free_;
+    Stats stats_;
+};
+
+}  // namespace protoacc::accel
+
+#endif  // PROTOACC_ACCEL_SHARED_QUEUE_H

@@ -1,5 +1,6 @@
 #include "harness/bench_common.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -175,6 +176,20 @@ PrintFigure(const std::string &title, const std::vector<FigureRow> &rows)
                 gm.name.c_str(), gm.boom, gm.xeon, gm.accel,
                 gm.accel / gm.boom, gm.accel / gm.xeon);
     return gm;
+}
+
+double
+Percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0;
+    std::sort(values.begin(), values.end());
+    const double rank =
+        p / 100.0 * static_cast<double>(values.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = lo + 1 < values.size() ? lo + 1 : lo;
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] + (values[hi] - values[lo]) * frac;
 }
 
 }  // namespace protoacc::harness

@@ -81,6 +81,12 @@ FigureRow PrintFigure(const std::string &title,
 /// Geometric mean helper (0 entries -> 0).
 double GeoMean(const std::vector<double> &values);
 
+/**
+ * Linear-interpolated percentile of @p values (p in [0,100]); 0 when
+ * empty. Sorts a copy: fine for per-run latency reporting.
+ */
+double Percentile(std::vector<double> values, double p);
+
 }  // namespace protoacc::harness
 
 #endif  // PROTOACC_HARNESS_BENCH_COMMON_H

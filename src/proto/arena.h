@@ -57,6 +57,10 @@ class Arena
     size_t bytes_reserved() const { return bytes_reserved_; }
     /// Number of Allocate calls since construction/Reset.
     uint64_t allocation_count() const { return allocation_count_; }
+    /// Number of backing blocks currently held. A steady-state
+    /// Reset()-reuse loop whose working set fits the first block stays
+    /// at 1 forever (guarded by regression tests).
+    size_t block_count() const { return blocks_.size(); }
 
     static constexpr size_t kDefaultBlockSize = 256 * 1024;
 

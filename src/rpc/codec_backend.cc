@@ -15,8 +15,8 @@ AcceleratedBackend::AcceleratedBackend(const proto::DescriptorPool &pool,
     device_.SerAssignArena(&ser_arena_);
 }
 
-std::vector<uint8_t>
-AcceleratedBackend::Serialize(const proto::Message &msg)
+const accel::SerArena::Output &
+AcceleratedBackend::RunSerialize(const proto::Message &msg)
 {
     if (ser_arena_.bytes_used() > ser_arena_.capacity() / 2) {
         // Applications recycle ser arenas between batches (§4.3); the
@@ -29,8 +29,28 @@ AcceleratedBackend::Serialize(const proto::Message &msg)
     PA_CHECK(device_.BlockForSerCompletion(&cycles) ==
              accel::AccelStatus::kOk);
     cycles_ += cycles;
-    const auto &out = ser_arena_.output(ser_arena_.output_count() - 1);
+    return ser_arena_.output(ser_arena_.output_count() - 1);
+}
+
+std::vector<uint8_t>
+AcceleratedBackend::Serialize(const proto::Message &msg)
+{
+    const auto &out = RunSerialize(msg);
     return std::vector<uint8_t>(out.data, out.data + out.size);
+}
+
+size_t
+AcceleratedBackend::SerializeTo(const proto::Message &msg, uint8_t *buf,
+                                size_t cap)
+{
+    // The device writes into its assigned ser arena (§4.3); the single
+    // copy out of it stands in for the transport's DMA read of the
+    // completed output region.
+    const auto &out = RunSerialize(msg);
+    if (out.size > cap)
+        return 0;
+    std::memcpy(buf, out.data, out.size);
+    return out.size;
 }
 
 bool

@@ -11,6 +11,7 @@
 #ifndef PROTOACC_RPC_CODEC_BACKEND_H
 #define PROTOACC_RPC_CODEC_BACKEND_H
 
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -32,6 +33,34 @@ class CodecBackend
 
     /// Serialize @p msg; returns the wire bytes.
     virtual std::vector<uint8_t> Serialize(const proto::Message &msg) = 0;
+
+    /**
+     * Encoded size of @p msg. Charges no modeled cycles: SerializeTo
+     * re-runs (and prices) the sizing pass itself, so a caller doing
+     * SerializedSize + SerializeTo is charged exactly what Serialize
+     * would have been.
+     */
+    virtual size_t
+    SerializedSize(const proto::Message &msg)
+    {
+        return proto::ByteSize(msg, nullptr);
+    }
+
+    /**
+     * Serialize @p msg directly into [buf, buf+cap) — the zero-copy
+     * response path. Returns bytes written, or 0 when @p cap is
+     * insufficient. The base implementation falls back to the copying
+     * Serialize().
+     */
+    virtual size_t
+    SerializeTo(const proto::Message &msg, uint8_t *buf, size_t cap)
+    {
+        const std::vector<uint8_t> out = Serialize(msg);
+        if (out.size() > cap)
+            return 0;
+        std::memcpy(buf, out.data(), out.size());
+        return out.size();
+    }
 
     /// Parse @p size bytes at @p data into @p msg; false on error.
     virtual bool Deserialize(const uint8_t *data, size_t size,
@@ -77,6 +106,13 @@ class SoftwareBackend : public CodecBackend
         return proto::Serialize(msg, &model_);
     }
 
+    size_t
+    SerializeTo(const proto::Message &msg, uint8_t *buf,
+                size_t cap) override
+    {
+        return proto::SerializeToBuffer(msg, buf, cap, &model_);
+    }
+
     bool
     Deserialize(const uint8_t *data, size_t size,
                 proto::Message *msg) override
@@ -107,6 +143,8 @@ class AcceleratedBackend : public CodecBackend
                        const accel::AccelConfig &config = {});
 
     std::vector<uint8_t> Serialize(const proto::Message &msg) override;
+    size_t SerializeTo(const proto::Message &msg, uint8_t *buf,
+                       size_t cap) override;
     bool Deserialize(const uint8_t *data, size_t size,
                      proto::Message *msg) override;
 
@@ -118,6 +156,9 @@ class AcceleratedBackend : public CodecBackend
     const char *name() const override { return "riscv-boom-accel"; }
 
   private:
+    /// Run one device serialization; output stays in the ser arena.
+    const accel::SerArena::Output &RunSerialize(const proto::Message &msg);
+
     const proto::DescriptorPool &pool_;
     accel::AccelConfig config_;
     sim::MemorySystem memory_;

@@ -2,23 +2,70 @@
 
 #include <cstring>
 
+#include "common/check.h"
+
 namespace protoacc::rpc {
 
-size_t
-FrameBuffer::Append(const FrameHeader &header, const uint8_t *payload)
+namespace {
+
+void
+WriteHeader(uint8_t *p, const FrameHeader &header)
 {
-    const size_t start = bytes_.size();
-    bytes_.resize(start + FrameHeader::kWireBytes +
-                  header.payload_bytes);
-    uint8_t *p = bytes_.data() + start;
     std::memcpy(p, &header.payload_bytes, 4);
     std::memcpy(p + 4, &header.call_id, 4);
     std::memcpy(p + 8, &header.method_id, 2);
     p[10] = static_cast<uint8_t>(header.kind);
-    if (header.payload_bytes > 0)
+}
+
+}  // namespace
+
+size_t
+FrameBuffer::Append(const FrameHeader &header, const uint8_t *payload)
+{
+    PA_CHECK_EQ(reserved_at_, kNoReservation);
+    const size_t start = bytes_.size();
+    bytes_.resize(start + FrameHeader::kWireBytes +
+                  header.payload_bytes);
+    uint8_t *p = bytes_.data() + start;
+    WriteHeader(p, header);
+    if (header.payload_bytes > 0) {
         std::memcpy(p + FrameHeader::kWireBytes, payload,
                     header.payload_bytes);
+        ++payload_copies_;
+        payload_copy_bytes_ += header.payload_bytes;
+    }
     return FrameHeader::kWireBytes + header.payload_bytes;
+}
+
+uint8_t *
+FrameBuffer::ReserveFrame(const FrameHeader &header,
+                          size_t max_payload_bytes)
+{
+    PA_CHECK_EQ(reserved_at_, kNoReservation);
+    reserved_at_ = bytes_.size();
+    reserved_max_ = max_payload_bytes;
+    bytes_.resize(reserved_at_ + FrameHeader::kWireBytes +
+                  max_payload_bytes);
+    uint8_t *p = bytes_.data() + reserved_at_;
+    FrameHeader h = header;
+    h.payload_bytes = 0;  // backpatched by CommitFrame
+    WriteHeader(p, h);
+    return p + FrameHeader::kWireBytes;
+}
+
+void
+FrameBuffer::CommitFrame(size_t payload_bytes)
+{
+    PA_CHECK(reserved_at_ != kNoReservation);
+    PA_CHECK_LE(payload_bytes, reserved_max_);
+    const uint32_t wire_size = static_cast<uint32_t>(payload_bytes);
+    std::memcpy(bytes_.data() + reserved_at_, &wire_size, 4);
+    // Trimming never reallocates, so bytes serialized into the slot
+    // stay put.
+    bytes_.resize(reserved_at_ + FrameHeader::kWireBytes +
+                  payload_bytes);
+    reserved_at_ = kNoReservation;
+    reserved_max_ = 0;
 }
 
 std::optional<Frame>

@@ -46,6 +46,17 @@ struct Frame
 
 /**
  * Append-only frame buffer (one direction of a connection).
+ *
+ * Two write paths:
+ *   - Append(): copies a finished payload in (counted by
+ *     payload_copies(), so tests can assert a path is copy-free);
+ *   - ReserveFrame()/CommitFrame(): the zero-copy path. Reserve writes
+ *     the header with a payload-capacity upper bound and hands back the
+ *     payload slot; the caller serializes in place and commits the
+ *     actual size, which backpatches payload_bytes and trims the
+ *     stream. At most one reservation may be open, and no other write
+ *     may land between reserve and commit (the returned pointer would
+ *     dangle across a reallocation).
  */
 class FrameBuffer
 {
@@ -53,16 +64,45 @@ class FrameBuffer
     /// Append a frame; returns the total bytes added to the stream.
     size_t Append(const FrameHeader &header, const uint8_t *payload);
 
+    /**
+     * Begin an in-place frame: append @p header (its payload_bytes is
+     * ignored) with room for @p max_payload_bytes of payload.
+     *
+     * @return the payload slot; valid until CommitFrame.
+     */
+    uint8_t *ReserveFrame(const FrameHeader &header,
+                          size_t max_payload_bytes);
+
+    /// Finalize the open reservation at @p payload_bytes (at most the
+    /// reserved capacity): backpatch the header and trim the stream.
+    void CommitFrame(size_t payload_bytes);
+
     /// Scan the next frame starting at @p offset; nullopt when the
     /// stream is exhausted or the remainder is malformed/truncated.
     std::optional<Frame> Next(size_t *offset) const;
 
     size_t bytes() const { return bytes_.size(); }
     const uint8_t *data() const { return bytes_.data(); }
-    void clear() { bytes_.clear(); }
+    void
+    clear()
+    {
+        bytes_.clear();
+        reserved_at_ = kNoReservation;
+    }
+
+    /// Payload memcpys performed by Append (the copying path); the
+    /// reserve/commit path never increments these.
+    uint64_t payload_copies() const { return payload_copies_; }
+    uint64_t payload_copy_bytes() const { return payload_copy_bytes_; }
 
   private:
+    static constexpr size_t kNoReservation = static_cast<size_t>(-1);
+
     std::vector<uint8_t> bytes_;
+    size_t reserved_at_ = kNoReservation;
+    size_t reserved_max_ = 0;
+    uint64_t payload_copies_ = 0;
+    uint64_t payload_copy_bytes_ = 0;
 };
 
 }  // namespace protoacc::rpc

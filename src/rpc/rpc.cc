@@ -15,6 +15,11 @@ CyclesToNs(double cycles, double freq_ghz)
 bool
 RpcServer::HandleFrame(const Frame &frame, FrameBuffer *reply)
 {
+    // Steady-state resource reuse: the previous call's request/response
+    // objects are dead (their serialized reply left the arena before
+    // this call), so reclaim the blocks instead of growing forever.
+    arena_.Reset();
+
     auto it = methods_.find(frame.header.method_id);
     FrameHeader out_header;
     out_header.call_id = frame.header.call_id;
@@ -41,10 +46,15 @@ RpcServer::HandleFrame(const Frame &frame, FrameBuffer *reply)
         proto::Message::Create(&arena_, *pool_, method.response_type);
     method.handler(request, response);
 
-    const std::vector<uint8_t> payload = backend_->Serialize(response);
+    // Zero-copy response: reserve the frame in the reply stream and
+    // serialize straight into it; CommitFrame backpatches
+    // payload_bytes.
+    const size_t size = backend_->SerializedSize(response);
     out_header.kind = FrameKind::kResponse;
-    out_header.payload_bytes = static_cast<uint32_t>(payload.size());
-    reply->Append(out_header, payload.data());
+    uint8_t *dst = reply->ReserveFrame(out_header, size);
+    const size_t written = backend_->SerializeTo(response, dst, size);
+    PA_CHECK_EQ(written, size);
+    reply->CommitFrame(written);
     return true;
 }
 

@@ -62,7 +62,13 @@ class RpcServer
 
     /**
      * Handle one request frame: deserialize, run the handler,
-     * serialize the response into @p reply.
+     * serialize the response in place into @p reply (via
+     * ReserveFrame/CommitFrame — no intermediate payload copy).
+     *
+     * The server arena is Reset() at the start of every call, so
+     * request/response objects (and anything a handler stores in them)
+     * are valid only for the duration of the call, and steady-state
+     * serving performs no per-call arena construction.
      *
      * @return false on decode error or unknown method (an error frame
      *         is appended instead).
@@ -70,6 +76,9 @@ class RpcServer
     bool HandleFrame(const Frame &frame, FrameBuffer *reply);
 
     const CodecBackend &backend() const { return *backend_; }
+    CodecBackend &mutable_backend() { return *backend_; }
+    /// Per-call scratch arena (observable for steady-state tests).
+    const proto::Arena &arena() const { return arena_; }
 
   private:
     struct Method

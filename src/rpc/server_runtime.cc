@@ -1,0 +1,292 @@
+#include "rpc/server_runtime.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "proto/codec_table.h"
+
+namespace protoacc::rpc {
+
+RpcServerRuntime::RpcServerRuntime(const proto::DescriptorPool *pool,
+                                   const BackendFactory &factory,
+                                   const RuntimeConfig &config)
+    : pool_(pool), config_(config)
+{
+    PA_CHECK_GE(config_.num_workers, 1u);
+    PA_CHECK_GE(config_.max_batch, 1u);
+    // Compile the pool's codec tables before any worker thread exists:
+    // lazy first-use compilation is not thread-safe, and pre-compiling
+    // here makes every later access a read of immutable state.
+    proto::GetCodecTables(*pool_);
+    workers_.reserve(config_.num_workers);
+    for (uint32_t i = 0; i < config_.num_workers; ++i)
+        workers_.push_back(
+            std::make_unique<Worker>(pool_, factory(i)));
+}
+
+RpcServerRuntime::~RpcServerRuntime() { Shutdown(); }
+
+void
+RpcServerRuntime::RegisterMethod(uint16_t method_id, int request_type,
+                                 int response_type,
+                                 const Handler &handler)
+{
+    PA_CHECK(!started_);
+    for (auto &w : workers_)
+        w->server.RegisterMethod(method_id, request_type, response_type,
+                                 handler);
+}
+
+void
+RpcServerRuntime::Start()
+{
+    PA_CHECK(!started_);
+    started_ = true;
+    for (auto &w : workers_)
+        w->thread = std::thread([this, worker = w.get()] {
+            WorkerLoop(worker);
+        });
+}
+
+void
+RpcServerRuntime::Submit(const FrameHeader &header,
+                         const uint8_t *payload)
+{
+    // Legal before Start(): frames queue in the inboxes and the workers
+    // pick them up once spawned (a pre-loaded backlog drains in exact
+    // max_batch chunks, which keeps batch boundaries deterministic).
+    Worker &w = *workers_[header.call_id % workers_.size()];
+    {
+        std::lock_guard<std::mutex> lock(w.mu);
+        PA_CHECK(!w.stop);
+        OwnedFrame frame;
+        frame.header = header;
+        if (header.payload_bytes > 0)
+            frame.payload.assign(payload,
+                                 payload + header.payload_bytes);
+        w.inbox.push_back(std::move(frame));
+        ++w.pending;
+    }
+    w.cv.notify_all();
+}
+
+void
+RpcServerRuntime::Drain()
+{
+    PA_CHECK(started_);
+    for (auto &w : workers_) {
+        std::unique_lock<std::mutex> lock(w->mu);
+        w->cv.wait(lock, [&w] { return w->pending == 0; });
+    }
+    ReplayAcceleratorTimeline();
+}
+
+void
+RpcServerRuntime::Shutdown()
+{
+    if (!started_)
+        return;
+    for (auto &w : workers_) {
+        {
+            std::lock_guard<std::mutex> lock(w->mu);
+            w->stop = true;
+        }
+        w->cv.notify_all();
+    }
+    for (auto &w : workers_)
+        if (w->thread.joinable())
+            w->thread.join();
+    started_ = false;
+}
+
+uint32_t
+RpcServerRuntime::num_workers() const
+{
+    return static_cast<uint32_t>(workers_.size());
+}
+
+const FrameBuffer &
+RpcServerRuntime::replies(uint32_t worker) const
+{
+    PA_CHECK_LT(worker, workers_.size());
+    return workers_[worker]->replies;
+}
+
+RuntimeSnapshot
+RpcServerRuntime::Snapshot() const
+{
+    RuntimeSnapshot snap;
+    snap.arena_constructions = workers_.size();
+    for (const auto &w : workers_) {
+        WorkerSnapshot ws;
+        ws.calls = w->calls;
+        ws.failures = w->failures;
+        ws.batches = w->batches;
+        ws.vclock_ns = w->vclock_ns;
+        ws.codec_cycles = w->server.backend().codec_cycles();
+        ws.arena_blocks = w->server.arena().block_count();
+        ws.arena_bytes_reserved = w->server.arena().bytes_reserved();
+        ws.reply_payload_copies = w->replies.payload_copies();
+        snap.calls += ws.calls;
+        snap.failures += ws.failures;
+        snap.modeled_span_ns =
+            std::max(snap.modeled_span_ns, ws.vclock_ns);
+        snap.workers.push_back(ws);
+    }
+    return snap;
+}
+
+std::vector<double>
+RpcServerRuntime::TakeLatencies()
+{
+    std::vector<double> all;
+    for (auto &w : workers_) {
+        all.insert(all.end(), w->latencies_ns.begin(),
+                   w->latencies_ns.end());
+        w->latencies_ns.clear();
+    }
+    return all;
+}
+
+void
+RpcServerRuntime::WorkerLoop(Worker *w)
+{
+    std::vector<OwnedFrame> batch;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(w->mu);
+            w->cv.wait(lock,
+                       [w] { return w->stop || !w->inbox.empty(); });
+            if (w->inbox.empty())
+                return;  // stop requested and fully drained
+            const size_t n = std::min<size_t>(config_.max_batch,
+                                              w->inbox.size());
+            batch.clear();
+            batch.reserve(n);
+            for (size_t i = 0; i < n; ++i) {
+                batch.push_back(std::move(w->inbox.front()));
+                w->inbox.pop_front();
+            }
+        }
+
+        ProcessBatch(w, &batch);
+
+        {
+            std::lock_guard<std::mutex> lock(w->mu);
+            PA_CHECK_GE(w->pending, batch.size());
+            w->pending -= batch.size();
+        }
+        w->cv.notify_all();
+    }
+}
+
+void
+RpcServerRuntime::ProcessBatch(Worker *w,
+                               std::vector<OwnedFrame> *batch)
+{
+    CodecBackend &backend = w->server.mutable_backend();
+    const double freq_ghz = backend.freq_ghz();
+    ++w->batches;
+    if (!config_.record_replies)
+        w->replies.clear();  // recycle the stream between batches
+
+    if (config_.shared_accel == nullptr) {
+        // Each worker is one core running the codec itself: a call's
+        // modeled latency is its own service time; calls on one worker
+        // run back-to-back on its timeline.
+        for (OwnedFrame &f : *batch) {
+            Frame frame;
+            frame.header = f.header;
+            frame.payload = f.payload.data();
+            const double before = backend.codec_cycles();
+            if (!w->server.HandleFrame(frame, &w->replies))
+                ++w->failures;
+            ++w->calls;
+            const double service_ns =
+                (backend.codec_cycles() - before) / freq_ghz;
+            const double latency_ns =
+                service_ns + config_.modeled_handler_ns;
+            w->latencies_ns.push_back(latency_ns);
+            w->vclock_ns += latency_ns;
+        }
+        return;
+    }
+
+    // Shared accelerator: the batch's (de)serialization jobs go through
+    // the doorbell as one batch (two jobs per call: deser + ser) and
+    // complete together at the fence, so every call in the batch
+    // observes the batch's queueing delay + service time. Handler
+    // logic still runs per call on the worker's core. Only the batch's
+    // measured service time is recorded here; the shared timeline is
+    // replayed deterministically in Drain().
+    const double before = backend.codec_cycles();
+    uint64_t failures = 0;
+    for (OwnedFrame &f : *batch) {
+        Frame frame;
+        frame.header = f.header;
+        frame.payload = f.payload.data();
+        if (!w->server.HandleFrame(frame, &w->replies))
+            ++failures;
+    }
+    const double service_cycles = backend.codec_cycles() - before;
+    AccelBatch record;
+    record.jobs = 2 * static_cast<uint32_t>(batch->size());
+    record.service_cycles =
+        static_cast<uint64_t>(std::llround(service_cycles));
+    record.calls = static_cast<uint32_t>(batch->size());
+    w->accel_batches.push_back(record);
+    w->calls += batch->size();
+    w->failures += failures;
+}
+
+void
+RpcServerRuntime::ReplayAcceleratorTimeline()
+{
+    if (config_.shared_accel == nullptr)
+        return;
+    // Closed-loop event simulation over the recorded batches: each
+    // worker's next batch arrives when its previous one completed; the
+    // earliest worker clock submits next (ties break to the lowest
+    // worker index). The replay order depends only on the recorded
+    // batches, never on host thread scheduling, so contended modeled
+    // numbers are deterministic. Runs while quiescent (Drain holds no
+    // locks, and pending == 0 ordered the workers' writes before us).
+    for (;;) {
+        Worker *next = nullptr;
+        size_t next_cursor = 0;
+        for (auto &w : workers_) {
+            if (w->replay_cursor >= w->accel_batches.size())
+                continue;
+            if (next == nullptr || w->vclock_ns < next->vclock_ns) {
+                next = w.get();
+                next_cursor = w->replay_cursor;
+            }
+        }
+        if (next == nullptr)
+            break;
+        const AccelBatch &b = next->accel_batches[next_cursor];
+        next->replay_cursor = next_cursor + 1;
+        const double freq_ghz =
+            next->server.backend().freq_ghz();
+        const uint64_t arrival_cycle = static_cast<uint64_t>(
+            std::llround(next->vclock_ns * freq_ghz));
+        const accel::SharedAccelQueue::Completion done =
+            config_.shared_accel->SubmitBatch(arrival_cycle, b.jobs,
+                                              b.service_cycles);
+        const double batch_ns =
+            static_cast<double>(done.done_cycle - arrival_cycle) /
+            freq_ghz;
+        for (uint32_t i = 0; i < b.calls; ++i)
+            next->latencies_ns.push_back(batch_ns +
+                                         config_.modeled_handler_ns);
+        next->vclock_ns +=
+            batch_ns +
+            config_.modeled_handler_ns * static_cast<double>(b.calls);
+    }
+    for (auto &w : workers_) {
+        w->accel_batches.clear();
+        w->replay_cursor = 0;
+    }
+}
+
+}  // namespace protoacc::rpc

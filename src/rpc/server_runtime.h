@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Concurrent batched RPC serving runtime.
+ *
+ * The single-threaded RpcServer handles one call at a time; this
+ * runtime is the saturated-serving scenario the paper motivates (§1):
+ * incoming request frames are sharded across N worker threads (MPSC
+ * submission queues), each worker owning a full RpcServer — its codec
+ * backend, its per-call-Reset() arena, its append-only reply stream —
+ * so the steady-state path performs zero per-call arena constructions
+ * and zero intermediate payload copies (responses are serialized in
+ * place via FrameBuffer::ReserveFrame/CommitFrame).
+ *
+ * Two timing regimes, both tracked on per-worker virtual timelines:
+ *
+ *  - software backends: each worker models one core running the codec,
+ *    so a call's modeled latency is its codec service time and modeled
+ *    throughput scales with workers;
+ *  - accelerated backends + a SharedAccelQueue: every worker's batch of
+ *    (de)serialization jobs contends for the shared accelerator units
+ *    through the doorbell/completion queue, so modeled latency includes
+ *    queueing delay under load and throughput saturates at the unit
+ *    count. Workers record each batch's measured service time while
+ *    executing, and Drain() replays the recorded batches onto the
+ *    shared timeline as a closed-loop event simulation (earliest
+ *    worker clock submits next, ties to the lowest worker index) — so
+ *    the contention numbers are deterministic, independent of host
+ *    thread scheduling.
+ *
+ * Wall-clock throughput (real threads, real codec execution) and the
+ * modeled numbers are reported side by side by bench/rpc_throughput.
+ */
+#ifndef PROTOACC_RPC_SERVER_RUNTIME_H
+#define PROTOACC_RPC_SERVER_RUNTIME_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "accel/shared_queue.h"
+#include "rpc/rpc.h"
+
+namespace protoacc::rpc {
+
+/// Runtime-wide configuration.
+struct RuntimeConfig
+{
+    uint32_t num_workers = 1;
+    /// Max frames a worker drains from its inbox per wakeup; with a
+    /// shared accelerator the whole drained batch is one doorbell batch
+    /// (§3.5 batching amortizes the fence).
+    uint32_t max_batch = 16;
+    /// Shared accelerator contention model; nullptr = per-core codec
+    /// (software backends, or one private accelerator per worker).
+    accel::SharedAccelQueue *shared_accel = nullptr;
+    /// Modeled application time per call (handler logic on the core),
+    /// added to each call's latency and the worker's timeline.
+    double modeled_handler_ns = 0;
+    /// Keep response frames in the per-worker reply streams. Disable
+    /// for long throughput runs (replies are still fully serialized;
+    /// the stream is just recycled between batches).
+    bool record_replies = true;
+};
+
+/// One worker's counters, observed while the runtime is quiescent.
+struct WorkerSnapshot
+{
+    uint64_t calls = 0;
+    uint64_t failures = 0;
+    uint64_t batches = 0;
+    /// Worker's virtual timeline position (modeled busy time).
+    double vclock_ns = 0;
+    /// Modeled codec cycles accumulated by the worker's backend.
+    double codec_cycles = 0;
+    /// Arena steady-state facts (blocks stays 1 once warmed up).
+    size_t arena_blocks = 0;
+    size_t arena_bytes_reserved = 0;
+    /// Payload memcpys in the reply stream (zero-copy path keeps 0).
+    uint64_t reply_payload_copies = 0;
+};
+
+/// Aggregate runtime counters.
+struct RuntimeSnapshot
+{
+    uint64_t calls = 0;
+    uint64_t failures = 0;
+    /// Arena objects constructed since Start — one per worker, never
+    /// per call (the steady-state reuse guarantee).
+    uint64_t arena_constructions = 0;
+    /// Modeled makespan: slowest worker's virtual timeline.
+    double modeled_span_ns = 0;
+    std::vector<WorkerSnapshot> workers;
+
+    /// Modeled queries/sec across the pool of workers.
+    double
+    modeled_qps() const
+    {
+        return modeled_span_ns > 0
+                   ? static_cast<double>(calls) /
+                         (modeled_span_ns * 1e-9)
+                   : 0;
+    }
+};
+
+/**
+ * Thread-pool serving runtime: shards request frames across per-worker
+ * RpcServers and tracks modeled time per worker.
+ *
+ * Lifecycle: construct → RegisterMethod()* → Start() → Submit()* /
+ * Drain() → Shutdown() (or destruction). Snapshot(), replies() and
+ * TakeLatencies() must only be called while quiescent (after Drain()
+ * with no concurrent Submit), mirroring how a load generator reads its
+ * counters between measurement windows.
+ */
+class RpcServerRuntime
+{
+  public:
+    /// Builds one codec backend per worker (cycle accounting must be
+    /// thread-local, so backends cannot be shared).
+    using BackendFactory =
+        std::function<std::unique_ptr<CodecBackend>(uint32_t worker)>;
+
+    RpcServerRuntime(const proto::DescriptorPool *pool,
+                     const BackendFactory &factory,
+                     const RuntimeConfig &config);
+    ~RpcServerRuntime();
+
+    RpcServerRuntime(const RpcServerRuntime &) = delete;
+    RpcServerRuntime &operator=(const RpcServerRuntime &) = delete;
+
+    /// Register a method on every worker's server. Handlers run
+    /// concurrently on worker threads: they must be thread-safe.
+    /// Call before Start().
+    void RegisterMethod(uint16_t method_id, int request_type,
+                        int response_type, const Handler &handler);
+
+    /// Spawn the worker threads.
+    void Start();
+
+    /// Enqueue one request frame; the payload is copied into the
+    /// owning worker's submission queue (sharded by call id). May be
+    /// called before Start() to pre-load a backlog (which also makes
+    /// worker batch boundaries — inbox drains — deterministic).
+    void Submit(const FrameHeader &header, const uint8_t *payload);
+
+    /// Block until every submitted frame has been handled, then (with
+    /// a shared accelerator) replay the recorded batches onto the
+    /// shared timeline to produce deterministic modeled latencies.
+    void Drain();
+
+    /// Stop accepting work, drain inboxes, join workers. Idempotent.
+    void Shutdown();
+
+    uint32_t num_workers() const;
+
+    /// A worker's reply stream (quiescent only).
+    const FrameBuffer &replies(uint32_t worker) const;
+
+    /// Aggregate counters (quiescent only).
+    RuntimeSnapshot Snapshot() const;
+
+    /// Move out all recorded per-call modeled latencies, ns
+    /// (quiescent only; clears the recording).
+    std::vector<double> TakeLatencies();
+
+  private:
+    struct OwnedFrame
+    {
+        FrameHeader header;
+        std::vector<uint8_t> payload;
+    };
+
+    /// One executed-but-not-yet-replayed accelerator batch.
+    struct AccelBatch
+    {
+        uint32_t jobs = 0;  ///< deser + ser jobs rung in one doorbell
+        uint64_t service_cycles = 0;
+        uint32_t calls = 0;
+    };
+
+    struct Worker
+    {
+        Worker(const proto::DescriptorPool *pool,
+               std::unique_ptr<CodecBackend> backend)
+            : server(pool, std::move(backend))
+        {}
+
+        std::mutex mu;
+        std::condition_variable cv;
+        std::deque<OwnedFrame> inbox;
+        size_t pending = 0;  ///< submitted, not yet fully handled
+        bool stop = false;
+
+        RpcServer server;
+        FrameBuffer replies;
+
+        // Written by the worker thread, published under mu (pending
+        // reaching 0), read while quiescent.
+        uint64_t calls = 0;
+        uint64_t failures = 0;
+        uint64_t batches = 0;
+        double vclock_ns = 0;
+        std::vector<double> latencies_ns;
+        std::vector<AccelBatch> accel_batches;
+        size_t replay_cursor = 0;  ///< first unreplayed accel batch
+
+        std::thread thread;
+    };
+
+    void WorkerLoop(Worker *w);
+    void ProcessBatch(Worker *w, std::vector<OwnedFrame> *batch);
+    void ReplayAcceleratorTimeline();
+
+    const proto::DescriptorPool *pool_;
+    RuntimeConfig config_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    bool started_ = false;
+};
+
+}  // namespace protoacc::rpc
+
+#endif  // PROTOACC_RPC_SERVER_RUNTIME_H

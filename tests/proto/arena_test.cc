@@ -4,7 +4,10 @@
 
 #include "proto/arena.h"
 #include "proto/arena_string.h"
+#include "proto/parser.h"
 #include "proto/repeated.h"
+#include "proto/schema_parser.h"
+#include "proto/serializer.h"
 
 namespace protoacc::proto {
 namespace {
@@ -49,6 +52,74 @@ TEST(Arena, ResetReclaims)
     EXPECT_EQ(arena.allocation_count(), 0u);
     void *p = arena.Allocate(16);
     EXPECT_NE(p, nullptr);
+}
+
+TEST(Arena, ResetRetainsOnlyTheFirstBlock)
+{
+    Arena arena(/*block_size=*/4096);
+    arena.Allocate(3000);
+    arena.Allocate(3000);
+    arena.Allocate(3000);  // three blocks now
+    EXPECT_EQ(arena.block_count(), 3u);
+    arena.Reset();
+    EXPECT_EQ(arena.block_count(), 1u);
+    EXPECT_EQ(arena.bytes_reserved(), 4096u);
+    // Reuse of the retained block reserves nothing new.
+    void *p = arena.Allocate(3000);
+    EXPECT_NE(p, nullptr);
+    EXPECT_EQ(arena.block_count(), 1u);
+    EXPECT_EQ(arena.bytes_reserved(), 4096u);
+}
+
+TEST(Arena, ResetReuseParseLoopReachesSteadyState)
+{
+    // The serving runtime's per-call pattern: Reset, create the request
+    // message, parse into it — forever on one arena. After the first
+    // iteration reserves the working set, no later iteration may add a
+    // block or grow the reservation (the zero-allocation steady state
+    // the runtime's snapshot counters assert).
+    DescriptorPool pool;
+    const auto parsed = ParseSchema(R"(
+        message Item {
+            optional string name = 1;
+            repeated int64 values = 2;
+        }
+    )",
+                                    &pool);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    pool.Compile(HasbitsMode::kSparse);
+    const int item = pool.FindMessage("Item");
+    const auto &d = pool.message(item);
+
+    std::vector<uint8_t> wire;
+    {
+        Arena scratch;
+        Message m = Message::Create(&scratch, pool, item);
+        m.SetString(*d.FindFieldByName("name"), std::string(200, 'n'));
+        for (int64_t v = 0; v < 64; ++v)
+            m.AddRepeatedBits(*d.FindFieldByName("values"),
+                              static_cast<uint64_t>(v * v));
+        wire = Serialize(m, nullptr);
+    }
+
+    Arena arena;
+    size_t warm_blocks = 0;
+    size_t warm_reserved = 0;
+    for (int i = 0; i < 100; ++i) {
+        arena.Reset();
+        Message dest = Message::Create(&arena, pool, item);
+        ASSERT_EQ(ParseFromBuffer(wire.data(), wire.size(), &dest,
+                                  nullptr),
+                  ParseStatus::kOk);
+        if (i == 0) {
+            warm_blocks = arena.block_count();
+            warm_reserved = arena.bytes_reserved();
+            EXPECT_EQ(warm_blocks, 1u);
+        } else {
+            EXPECT_EQ(arena.block_count(), warm_blocks);
+            EXPECT_EQ(arena.bytes_reserved(), warm_reserved);
+        }
+    }
 }
 
 TEST(Arena, BumpAllocationIsSequentialWithinBlock)

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "proto/schema_parser.h"
 #include "rpc/rpc.h"
 
@@ -54,6 +56,119 @@ TEST(FrameBuffer, TruncatedFrameRejected)
     const_cast<uint8_t *>(lying.data())[0] = 0xff;
     size_t offset = 0;
     EXPECT_FALSE(lying.Next(&offset).has_value());
+}
+
+TEST(FrameBuffer, TruncatedHeaderRejected)
+{
+    // A scan offset with fewer than kWireBytes remaining models a
+    // partially delivered header: Next must refuse, not read past the
+    // end.
+    FrameBuffer buf;
+    const uint8_t payload[] = {1, 2, 3, 4, 5};
+    FrameHeader h;
+    h.payload_bytes = 5;
+    buf.Append(h, payload);
+    ASSERT_EQ(buf.bytes(), FrameHeader::kWireBytes + 5);
+    size_t offset = buf.bytes() - FrameHeader::kWireBytes + 1;
+    EXPECT_FALSE(buf.Next(&offset).has_value());
+    // The refusal must not advance the cursor.
+    EXPECT_EQ(offset, buf.bytes() - FrameHeader::kWireBytes + 1);
+
+    size_t at_end = buf.bytes();
+    EXPECT_FALSE(buf.Next(&at_end).has_value());
+}
+
+TEST(FrameBuffer, PayloadBytesOverflowRejected)
+{
+    // A length field of 0xffffffff must be treated as truncation, not
+    // wrap the offset arithmetic into a bogus in-bounds frame.
+    FrameBuffer buf;
+    const uint8_t payload[] = {7, 7, 7, 7};
+    FrameHeader h;
+    h.payload_bytes = 4;
+    buf.Append(h, payload);
+    uint8_t *raw = const_cast<uint8_t *>(buf.data());
+    raw[0] = raw[1] = raw[2] = raw[3] = 0xff;
+    size_t offset = 0;
+    EXPECT_FALSE(buf.Next(&offset).has_value());
+    EXPECT_EQ(offset, 0u);
+}
+
+TEST(FrameBuffer, ErrorFrameRoundTrip)
+{
+    FrameBuffer buf;
+    const uint8_t detail[] = {'b', 'a', 'd'};
+    FrameHeader h;
+    h.payload_bytes = 3;
+    h.call_id = 9;
+    h.method_id = 99;
+    h.kind = FrameKind::kError;
+    buf.Append(h, detail);
+
+    size_t offset = 0;
+    const auto f = buf.Next(&offset);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->header.kind, FrameKind::kError);
+    EXPECT_EQ(f->header.call_id, 9u);
+    EXPECT_EQ(f->header.method_id, 99u);
+    ASSERT_EQ(f->header.payload_bytes, 3u);
+    EXPECT_EQ(0, std::memcmp(f->payload, detail, 3));
+    EXPECT_FALSE(buf.Next(&offset).has_value());
+}
+
+TEST(FrameBuffer, ReserveCommitRoundTrip)
+{
+    FrameBuffer buf;
+    FrameHeader h;
+    h.payload_bytes = 0xdead;  // ignored: CommitFrame backpatches
+    h.call_id = 5;
+    h.kind = FrameKind::kResponse;
+    uint8_t *slot = buf.ReserveFrame(h, 64);
+    ASSERT_NE(slot, nullptr);
+    EXPECT_EQ(buf.bytes(), FrameHeader::kWireBytes + 64);
+    for (int i = 0; i < 10; ++i)
+        slot[i] = static_cast<uint8_t>(i);
+    buf.CommitFrame(10);
+    // Committed size trims the stream and lands in the length field.
+    EXPECT_EQ(buf.bytes(), FrameHeader::kWireBytes + 10);
+
+    size_t offset = 0;
+    const auto f = buf.Next(&offset);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->header.payload_bytes, 10u);
+    EXPECT_EQ(f->header.call_id, 5u);
+    EXPECT_EQ(f->header.kind, FrameKind::kResponse);
+    EXPECT_EQ(f->payload[9], 9);
+
+    // The in-place path performs no payload copies; Append does.
+    EXPECT_EQ(buf.payload_copies(), 0u);
+    const uint8_t tail[] = {1};
+    FrameHeader t;
+    t.payload_bytes = 1;
+    buf.Append(t, tail);
+    EXPECT_EQ(buf.payload_copies(), 1u);
+    EXPECT_EQ(buf.payload_copy_bytes(), 1u);
+}
+
+TEST(FrameBuffer, ReserveCommitEmptyAndFull)
+{
+    FrameBuffer buf;
+    FrameHeader h;
+    uint8_t *slot = buf.ReserveFrame(h, 8);
+    std::memset(slot, 0xab, 8);
+    buf.CommitFrame(8);  // full capacity is legal
+    buf.ReserveFrame(h, 32);
+    buf.CommitFrame(0);  // empty frame is legal
+    EXPECT_EQ(buf.bytes(), 2 * FrameHeader::kWireBytes + 8);
+
+    size_t offset = 0;
+    const auto f1 = buf.Next(&offset);
+    ASSERT_TRUE(f1.has_value());
+    EXPECT_EQ(f1->header.payload_bytes, 8u);
+    const auto f2 = buf.Next(&offset);
+    ASSERT_TRUE(f2.has_value());
+    EXPECT_EQ(f2->header.payload_bytes, 0u);
+    EXPECT_FALSE(buf.Next(&offset).has_value());
 }
 
 TEST(SimulatedChannel, LatencyPlusBandwidth)
