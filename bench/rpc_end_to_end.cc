@@ -63,7 +63,7 @@ Run(const DescriptorPool &pool, int req, int rsp, size_t payload_len,
                           std::string(payload_len, 'x'));
         request.SetInt32(*rd.FindFieldByName("repeat"), 1);
         Message response = Message::Create(&arena, pool, rsp);
-        PA_CHECK(session.Call(1, request, &response));
+        PA_CHECK(StatusOk(session.Call(1, request, &response)));
     }
     const RpcTimeBreakdown &b = session.breakdown();
     return Result{b.total_ns() / 1000.0 / kCalls, b.codec_share()};

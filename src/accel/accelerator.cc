@@ -2,6 +2,14 @@
 
 namespace protoacc::accel {
 
+namespace {
+
+/// Modeled latency for the command router to detect a dead unit and
+/// retire its abandoned job (timeout + status write, not data-dependent).
+constexpr uint64_t kUnitFaultDetectCycles = 64;
+
+}  // namespace
+
 ProtoAccelerator::ProtoAccelerator(sim::MemorySystem *memory,
                                    const AccelConfig &config)
     : config_(config),
@@ -38,7 +46,19 @@ ProtoAccelerator::BlockForDeserCompletion(uint64_t *cycles)
     AccelStatus status = AccelStatus::kOk;
     for (const DeserJob &job : deser_queue_) {
         uint64_t job_cycles = 0;
-        const AccelStatus st = deser_->Run(job, &job_cycles);
+        AccelStatus st;
+        sim::UnitFault fault;
+        if (fault_injector_ != nullptr)
+            fault = fault_injector_->SampleUnitFault();
+        if (fault.kind == sim::UnitFaultKind::kKill) {
+            // The unit died mid-job: the destination object is left
+            // untouched and the fence reports the failure.
+            st = AccelStatus::kUnitFault;
+            job_cycles = kUnitFaultDetectCycles;
+        } else {
+            st = deser_->Run(job, &job_cycles);
+            job_cycles += fault.stall_cycles;
+        }
         total += job_cycles;
         if (st != AccelStatus::kOk && status == AccelStatus::kOk)
             status = st;
@@ -61,7 +81,17 @@ ProtoAccelerator::BlockForSerCompletion(uint64_t *cycles)
     AccelStatus status = AccelStatus::kOk;
     for (const SerJob &job : ser_queue_) {
         uint64_t job_cycles = 0;
-        const AccelStatus st = ser_->Run(job, &job_cycles);
+        AccelStatus st;
+        sim::UnitFault fault;
+        if (fault_injector_ != nullptr)
+            fault = fault_injector_->SampleUnitFault();
+        if (fault.kind == sim::UnitFaultKind::kKill) {
+            st = AccelStatus::kUnitFault;
+            job_cycles = kUnitFaultDetectCycles;
+        } else {
+            st = ser_->Run(job, &job_cycles);
+            job_cycles += fault.stall_cycles;
+        }
         total += job_cycles;
         if (st != AccelStatus::kOk && status == AccelStatus::kOk)
             status = st;

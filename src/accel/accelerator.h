@@ -20,6 +20,7 @@
 #include "accel/deserializer.h"
 #include "accel/ops_unit.h"
 #include "accel/serializer.h"
+#include "sim/fault.h"
 
 namespace protoacc::accel {
 
@@ -69,6 +70,19 @@ class ProtoAccelerator
     void EnqueueOp(const OpsJob &job);
     AccelStatus BlockForOpsCompletion(uint64_t *cycles);
 
+    /**
+     * Attach a fault injector (nullptr detaches). Each queued job draws
+     * one unit-fault sample at fence time: a kill abandons the job (its
+     * destination is left untouched and the fence reports kUnitFault),
+     * a stall adds the drawn cycles to the batch latency. The injector
+     * is not owned and must outlive the accelerator.
+     */
+    void SetFaultInjector(sim::FaultInjector *injector)
+    {
+        fault_injector_ = injector;
+    }
+    sim::FaultInjector *fault_injector() const { return fault_injector_; }
+
     DeserializerUnit &deserializer() { return *deser_; }
     SerializerUnit &serializer() { return *ser_; }
     OpsUnit &ops() { return *ops_; }
@@ -91,6 +105,7 @@ class ProtoAccelerator
     std::vector<DeserJob> deser_queue_;
     std::vector<SerJob> ser_queue_;
     std::vector<OpsJob> ops_queue_;
+    sim::FaultInjector *fault_injector_ = nullptr;
 };
 
 /**

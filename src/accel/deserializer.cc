@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "accel/varint_unit.h"
+#include "proto/parser.h"
 #include "proto/utf8.h"
 #include "common/bits.h"
 #include "proto/arena_string.h"
@@ -27,8 +28,30 @@ AccelStatusName(AccelStatus status)
       case AccelStatus::kUnsupportedWireType: return "unsupported wire type";
       case AccelStatus::kOutputOverflow: return "output overflow";
       case AccelStatus::kInvalidUtf8: return "invalid utf-8";
+      case AccelStatus::kResourceExhausted: return "resource exhausted";
+      case AccelStatus::kDepthExceeded: return "depth exceeded";
+      case AccelStatus::kUnitFault: return "unit fault";
     }
     return "?";
+}
+
+StatusCode
+ToStatusCode(AccelStatus status)
+{
+    switch (status) {
+      case AccelStatus::kOk: return StatusCode::kOk;
+      case AccelStatus::kMalformedInput: return StatusCode::kMalformedInput;
+      case AccelStatus::kTruncated: return StatusCode::kTruncated;
+      case AccelStatus::kUnsupportedWireType:
+        return StatusCode::kInvalidWireType;
+      case AccelStatus::kOutputOverflow: return StatusCode::kOutputOverflow;
+      case AccelStatus::kInvalidUtf8: return StatusCode::kInvalidUtf8;
+      case AccelStatus::kResourceExhausted:
+        return StatusCode::kResourceExhausted;
+      case AccelStatus::kDepthExceeded: return StatusCode::kDepthExceeded;
+      case AccelStatus::kUnitFault: return StatusCode::kAccelFault;
+    }
+    return StatusCode::kInternal;
 }
 
 DeserializerUnit::DeserializerUnit(sim::MemorySystem *memory,
@@ -200,6 +223,25 @@ DeserializerUnit::Run(const DeserJob &job, uint64_t *cycles)
     ++stats_.jobs;
     stats_.wire_bytes += job.src_len;
 
+    // Resource bounds: an oversized buffer is rejected at dispatch,
+    // before any streaming starts, mirroring the software parsers'
+    // up-front payload check. The allocation budget and depth bound
+    // below charge exactly what the software ParseCtl charges so all
+    // three codecs keep identical accept/reject verdicts.
+    if (limits_.max_payload_bytes != 0 &&
+        job.src_len > limits_.max_payload_bytes) {
+        ctx.Tick(2 * kRoccDispatchCycles);
+        stats_.cycles += ctx.cycle;
+        *cycles = ctx.cycle;
+        return AccelStatus::kResourceExhausted;
+    }
+    uint64_t budget = limits_.max_alloc_bytes != 0 ? limits_.max_alloc_bytes
+                                                   : UINT64_MAX;
+    const size_t depth_limit =
+        limits_.max_depth != 0
+            ? limits_.max_depth
+            : static_cast<size_t>(proto::kMaxParseDepth);
+
     // RoCC dispatch (deser_info + do_proto_deser) and first memloader
     // fill: the stream becomes available after the initial access
     // latency; afterwards consumption is bandwidth-bound.
@@ -354,6 +396,12 @@ DeserializerUnit::Run(const DeserJob &job, uint64_t *cycles)
             ctx.Tick(ctx.LoadHeaderLatency(sub.adt.base()));
             sub.header = sub.adt.ReadHeader();
 
+            if (sub.header.object_size > budget) {
+                status = AccelStatus::kResourceExhausted;
+                break;
+            }
+            budget -= sub.header.object_size;
+
             uint8_t *sub_obj = static_cast<uint8_t *>(
                 arena_->Allocate(sub.header.object_size, 8));
             ++stats_.allocations;
@@ -393,6 +441,13 @@ DeserializerUnit::Run(const DeserJob &job, uint64_t *cycles)
             ctx.stack.push_back(sub);
             if (ctx.stack.size() > stats_.max_depth)
                 stats_.max_depth = ctx.stack.size();
+            // Depth bound: the software parser rejects a sub-message at
+            // depth d when d > max_depth (top-level is depth 0); the
+            // equivalent stack occupancy here is depth + 1 frames.
+            if (ctx.stack.size() > depth_limit + 1) {
+                status = AccelStatus::kDepthExceeded;
+                break;
+            }
             continue;
         }
 
@@ -427,6 +482,11 @@ DeserializerUnit::Run(const DeserJob &job, uint64_t *cycles)
                 status = AccelStatus::kInvalidUtf8;
                 break;
             }
+            if (len.value > budget) {
+                status = AccelStatus::kResourceExhausted;
+                break;
+            }
+            budget -= len.value;
             // The copy consumes from the memloader at stream width and
             // issues posted stores in the same cycles; Consume()'s
             // bandwidth bound is the copy's cycle cost.
@@ -502,6 +562,11 @@ DeserializerUnit::Run(const DeserJob &job, uint64_t *cycles)
                     ctx.Consume(vsz);
                     // Fixed elements stream at full memloader width.
                 }
+                if (width > budget) {
+                    status = AccelStatus::kResourceExhausted;
+                    break;
+                }
+                budget -= width;
                 r->Append(arena_, &bits, width);
                 ++elems;
             }
@@ -543,6 +608,11 @@ DeserializerUnit::Run(const DeserJob &job, uint64_t *cycles)
         const uint32_t width = proto::InMemorySize(type);
         if (entry.repeated()) {
             // §4.4.8: unpacked repeated — tagged open-allocation region.
+            if (width > budget) {
+                status = AccelStatus::kResourceExhausted;
+                break;
+            }
+            budget -= width;
             RepeatedField *r;
             std::memcpy(&r, slot, sizeof(r));
             if (r == nullptr) {

@@ -29,6 +29,7 @@
 
 #include "accel/adt.h"
 #include "accel/rocc.h"
+#include "common/status.h"
 #include "proto/arena.h"
 #include "sim/port.h"
 
@@ -43,9 +44,18 @@ enum class AccelStatus {
     kOutputOverflow,
     /// proto3 string field containing malformed UTF-8 (§7).
     kInvalidUtf8,
+    /// A ParseLimits bound tripped (payload size / alloc budget).
+    kResourceExhausted,
+    /// Sub-message nesting exceeded the configured depth bound.
+    kDepthExceeded,
+    /// Injected hardware fault: the unit died mid-job (sim/fault.h).
+    kUnitFault,
 };
 
 const char *AccelStatusName(AccelStatus status);
+
+/// Map into the stack-wide failure taxonomy (common/status.h).
+StatusCode ToStatusCode(AccelStatus status);
 
 /// Timing parameters of the deserializer FSM (cycles per state).
 struct DeserTiming
@@ -138,6 +148,13 @@ class DeserializerUnit
     /// strings and repeated-field storage.
     void AssignArena(proto::Arena *arena) { arena_ = arena; }
 
+    /// Hostile-input resource bounds, enforced with the same charge
+    /// points and ordering as the software parsers so all three codecs
+    /// keep identical accept/reject verdicts. Zero fields mean
+    /// "unlimited / codec default".
+    void SetLimits(const ParseLimits &limits) { limits_ = limits; }
+    const ParseLimits &limits() const { return limits_; }
+
     /**
      * Execute one deserialization job.
      *
@@ -155,6 +172,7 @@ class DeserializerUnit
     sim::MemorySystem *memory_;
     DeserTiming timing_;
     proto::Arena *arena_ = nullptr;
+    ParseLimits limits_;
     sim::Port memloader_port_;
     sim::Port adt_port_;
     sim::Port writer_port_;

@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+namespace protoacc {
+
+const char *
+StatusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kOk: return "ok";
+      case StatusCode::kUnknownMethod: return "unknown method";
+      case StatusCode::kMalformedInput: return "malformed input";
+      case StatusCode::kTruncated: return "truncated";
+      case StatusCode::kInvalidWireType: return "invalid wire type";
+      case StatusCode::kDepthExceeded: return "depth exceeded";
+      case StatusCode::kInvalidUtf8: return "invalid utf-8";
+      case StatusCode::kResourceExhausted: return "resource exhausted";
+      case StatusCode::kOutputOverflow: return "output overflow";
+      case StatusCode::kAccelFault: return "accelerator fault";
+      case StatusCode::kOverloaded: return "overloaded";
+      case StatusCode::kDeadlineExceeded: return "deadline exceeded";
+      case StatusCode::kUnavailable: return "unavailable";
+      case StatusCode::kInternal: return "internal";
+    }
+    return "?";
+}
+
+bool
+StatusIsRetryable(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kAccelFault:
+      case StatusCode::kOverloaded:
+      case StatusCode::kDeadlineExceeded:
+      case StatusCode::kUnavailable:
+        return true;
+      default:
+        return false;
+    }
+}
+
+}  // namespace protoacc

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unified failure taxonomy for the whole serving stack.
+ *
+ * The accelerator sits on the request-serving hot path, so a malformed
+ * wire buffer or a dead (de)serializer unit is an availability event,
+ * not just a parse error. Every layer has its own local status enum
+ * (proto::ParseStatus for the software codecs, accel::AccelStatus for
+ * the device model); this header defines the common code space they all
+ * map into, which is what crosses layer boundaries: CodecBackend
+ * results, RPC error frames on the wire, serving-runtime counters.
+ *
+ * The mapping functions live next to the source enums
+ * (proto/parser.h, accel/deserializer.h) so this header stays at the
+ * bottom of the dependency graph.
+ */
+#ifndef PROTOACC_COMMON_STATUS_H
+#define PROTOACC_COMMON_STATUS_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace protoacc {
+
+/**
+ * One code space for every failure the stack can produce. Values are
+ * wire-stable: error frames carry the raw value in a single byte.
+ */
+enum class StatusCode : uint8_t {
+    kOk = 0,
+    /// RPC method id not registered on the server.
+    kUnknownMethod = 1,
+    /// Wire bytes violate the encoding (bad varint, zero field key...).
+    kMalformedInput = 2,
+    /// Input ended before a declared length/value completed.
+    kTruncated = 3,
+    /// Reserved or unsupported wire type (e.g. deprecated groups).
+    kInvalidWireType = 4,
+    /// Sub-message nesting beyond the parser/stack depth limit.
+    kDepthExceeded = 5,
+    /// proto3 string field containing malformed UTF-8.
+    kInvalidUtf8 = 6,
+    /// A parse resource limit tripped (payload size, alloc budget).
+    kResourceExhausted = 7,
+    /// Serializer output region too small.
+    kOutputOverflow = 8,
+    /// Accelerator unit failed (killed / wedged) before completing.
+    kAccelFault = 9,
+    /// Admission control shed the request (modeled queue wait too long).
+    kOverloaded = 10,
+    /// Modeled completion time exceeded the per-call deadline.
+    kDeadlineExceeded = 11,
+    /// Frame lost or mangled in the channel; no response arrived.
+    kUnavailable = 12,
+    /// Bug sentinel: a layer produced a status it should not have.
+    kInternal = 13,
+};
+
+/// Number of distinct codes (for counter arrays indexed by code).
+inline constexpr size_t kNumStatusCodes = 14;
+
+const char *StatusCodeName(StatusCode code);
+
+inline bool
+StatusOk(StatusCode code)
+{
+    return code == StatusCode::kOk;
+}
+
+/**
+ * True for transient failures where retrying the same request may
+ * succeed: overload, lost frames, deadline misses, and accelerator
+ * unit faults. Deterministic rejections (malformed input, resource
+ * limits, unknown method) are never retryable.
+ */
+bool StatusIsRetryable(StatusCode code);
+
+/**
+ * Parse resource limits, enforced identically by the reference codec,
+ * the table codec and the accelerator's deserializer unit so the three
+ * engines keep byte-identical accept/reject verdicts under limits.
+ *
+ * The allocation budget counts wire-derived bytes all three engines
+ * charge the same way: string/bytes payload length, sub-message
+ * object_size, and element width per repeated element. Zero means
+ * unlimited for the byte limits; zero max_depth means the codec
+ * default (proto::kMaxParseDepth).
+ */
+struct ParseLimits
+{
+    uint64_t max_payload_bytes = 0;
+    uint64_t max_alloc_bytes = 0;
+    uint32_t max_depth = 0;
+};
+
+}  // namespace protoacc
+
+#endif  // PROTOACC_COMMON_STATUS_H

@@ -115,7 +115,25 @@ VarintMemoryValue(FieldType type, uint64_t wire)
     }
 }
 
-ParseStatus ParsePayload(Reader &r, Message msg, int depth);
+/// Limit state for one parse; charges the exact quantities parser.cc's
+/// ParseCtl charges so both software codecs keep identical verdicts.
+struct ParseCtl
+{
+    uint64_t budget = UINT64_MAX;
+    int max_depth = kMaxParseDepth;
+
+    bool
+    Charge(uint64_t n)
+    {
+        if (n > budget)
+            return false;
+        budget -= n;
+        return true;
+    }
+};
+
+ParseStatus ParsePayload(Reader &r, Message msg, int depth,
+                         ParseCtl &ctl);
 
 ParseStatus
 SkipUnknown(Reader &r, WireType wt)
@@ -145,7 +163,8 @@ SkipUnknown(Reader &r, WireType wt)
 }
 
 ParseStatus
-ParseScalar(Reader &r, Message &msg, const FieldDescriptor &f, WireType wt)
+ParseScalar(Reader &r, Message &msg, const FieldDescriptor &f, WireType wt,
+            ParseCtl &ctl)
 {
     uint64_t bits;
     switch (wt) {
@@ -171,15 +190,19 @@ ParseScalar(Reader &r, Message &msg, const FieldDescriptor &f, WireType wt)
       default:
         return ParseStatus::kInvalidWireType;
     }
-    if (f.repeated())
+    if (f.repeated()) {
+        if (!ctl.Charge(InMemorySize(f.type)))
+            return ParseStatus::kResourceExhausted;
         msg.AddRepeatedBits(f, bits);
-    else
+    } else {
         msg.SetScalarBits(f, bits);
+    }
     return ParseStatus::kOk;
 }
 
 ParseStatus
-ParsePackedRepeated(Reader &r, Message &msg, const FieldDescriptor &f)
+ParsePackedRepeated(Reader &r, Message &msg, const FieldDescriptor &f,
+                    ParseCtl &ctl)
 {
     uint64_t len;
     if (!r.ReadVarint(&len, false))
@@ -189,7 +212,7 @@ ParsePackedRepeated(Reader &r, Message &msg, const FieldDescriptor &f)
         return ParseStatus::kTruncated;
     const WireType elem_wt = WireTypeForField(f.type);
     while (!body.at_end()) {
-        const ParseStatus st = ParseScalar(body, msg, f, elem_wt);
+        const ParseStatus st = ParseScalar(body, msg, f, elem_wt, ctl);
         if (st != ParseStatus::kOk)
             return st;
     }
@@ -198,7 +221,7 @@ ParsePackedRepeated(Reader &r, Message &msg, const FieldDescriptor &f)
 
 ParseStatus
 ParseField(Reader &r, Message &msg, const FieldDescriptor &f, WireType wt,
-           int depth)
+           int depth, ParseCtl &ctl)
 {
     if (r.sink() != nullptr)
         r.sink()->OnFieldDispatch();
@@ -221,6 +244,8 @@ ParseField(Reader &r, Message &msg, const FieldDescriptor &f, WireType wt,
             !IsValidUtf8(s.data(), s.size())) {
             return ParseStatus::kInvalidUtf8;
         }
+        if (!ctl.Charge(len))
+            return ParseStatus::kResourceExhausted;
         if (r.sink() != nullptr) {
             // String construction: allocation plus payload copy.
             r.sink()->OnAlloc(len > ArenaString::kInlineCapacity
@@ -244,11 +269,14 @@ ParseField(Reader &r, Message &msg, const FieldDescriptor &f, WireType wt,
         Reader body(nullptr, nullptr, nullptr);
         if (!r.Slice(len, &body))
             return ParseStatus::kTruncated;
+        const auto &sub_desc = msg.pool().message(f.message_type);
+        if (!ctl.Charge(sub_desc.layout().object_size))
+            return ParseStatus::kResourceExhausted;
         Message sub = f.repeated() ? msg.AddRepeatedMessage(f)
                                    : msg.MutableMessage(f);
         if (r.sink() != nullptr)
             r.sink()->OnAlloc(sub.descriptor().layout().object_size);
-        return ParsePayload(body, sub, depth + 1);
+        return ParsePayload(body, sub, depth + 1, ctl);
       }
       default:
         break;
@@ -258,15 +286,15 @@ ParseField(Reader &r, Message &msg, const FieldDescriptor &f, WireType wt,
     // of the schema's packed option, as proto2 parsers must.
     if (f.repeated() && wt == WireType::kLengthDelimited &&
         WireTypeForField(f.type) != WireType::kLengthDelimited) {
-        return ParsePackedRepeated(r, msg, f);
+        return ParsePackedRepeated(r, msg, f, ctl);
     }
-    return ParseScalar(r, msg, f, wt);
+    return ParseScalar(r, msg, f, wt, ctl);
 }
 
 ParseStatus
-ParsePayload(Reader &r, Message msg, int depth)
+ParsePayload(Reader &r, Message msg, int depth, ParseCtl &ctl)
 {
-    if (depth > kMaxParseDepth)
+    if (depth > ctl.max_depth)
         return ParseStatus::kDepthExceeded;
     if (r.sink() != nullptr)
         r.sink()->OnMessageBegin();
@@ -284,7 +312,7 @@ ParsePayload(Reader &r, Message msg, int depth)
         if (f == nullptr) {
             st = SkipUnknown(r, wt);
         } else {
-            st = ParseField(r, msg, *f, wt, depth);
+            st = ParseField(r, msg, *f, wt, depth, ctl);
         }
         if (st != ParseStatus::kOk)
             return st;
@@ -678,11 +706,22 @@ ReferenceSerialize(const Message &msg, CostSink *sink)
 
 ParseStatus
 ReferenceParseFromBuffer(const uint8_t *data, size_t len, Message *msg,
-                         CostSink *sink)
+                         CostSink *sink, const ParseLimits *limits)
 {
     PA_CHECK(msg != nullptr && msg->valid());
+    ParseCtl ctl;
+    if (limits != nullptr) {
+        if (limits->max_payload_bytes != 0 &&
+            len > limits->max_payload_bytes) {
+            return ParseStatus::kResourceExhausted;
+        }
+        if (limits->max_alloc_bytes != 0)
+            ctl.budget = limits->max_alloc_bytes;
+        if (limits->max_depth != 0)
+            ctl.max_depth = static_cast<int>(limits->max_depth);
+    }
     Reader r(data, data + len, sink);
-    return ParsePayload(r, *msg, 0);
+    return ParsePayload(r, *msg, 0, ctl);
 }
 
 }  // namespace protoacc::proto

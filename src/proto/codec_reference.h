@@ -34,9 +34,12 @@ std::vector<uint8_t> ReferenceSerialize(const Message &msg,
                                         CostSink *sink = nullptr);
 
 /// Reference parser: per-tag descriptor lookup, accessor-based stores.
+/// @p limits, when non-null, applies the same payload/alloc/depth bounds
+/// as the table parser (verdicts stay identical across codecs).
 ParseStatus ReferenceParseFromBuffer(const uint8_t *data, size_t len,
                                      Message *msg,
-                                     CostSink *sink = nullptr);
+                                     CostSink *sink = nullptr,
+                                     const ParseLimits *limits = nullptr);
 
 }  // namespace protoacc::proto
 

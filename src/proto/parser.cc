@@ -29,8 +29,29 @@ ParseStatusName(ParseStatus status)
       case ParseStatus::kDepthExceeded: return "depth exceeded";
       case ParseStatus::kInvalidFieldNumber: return "invalid field number";
       case ParseStatus::kInvalidUtf8: return "invalid utf-8";
+      case ParseStatus::kResourceExhausted: return "resource exhausted";
     }
     return "?";
+}
+
+StatusCode
+ToStatusCode(ParseStatus status)
+{
+    switch (status) {
+      case ParseStatus::kOk: return StatusCode::kOk;
+      case ParseStatus::kMalformedVarint:
+      case ParseStatus::kInvalidFieldNumber:
+        return StatusCode::kMalformedInput;
+      case ParseStatus::kTruncated: return StatusCode::kTruncated;
+      case ParseStatus::kInvalidWireType:
+        return StatusCode::kInvalidWireType;
+      case ParseStatus::kDepthExceeded:
+        return StatusCode::kDepthExceeded;
+      case ParseStatus::kInvalidUtf8: return StatusCode::kInvalidUtf8;
+      case ParseStatus::kResourceExhausted:
+        return StatusCode::kResourceExhausted;
+    }
+    return StatusCode::kInternal;
 }
 
 namespace {
@@ -159,8 +180,32 @@ StoreScalarRaw(const Message &msg, const CodecTable &t,
     words[e.hasbit_index >> 5] |= 1u << (e.hasbit_index & 31);
 }
 
+/**
+ * Limit state threaded through one parse: remaining allocation budget
+ * and the effective depth bound. The budget charges exactly the
+ * quantities the reference codec and the accelerator charge (string
+ * payload bytes, sub-message object_size, element width per repeated
+ * element), keeping accept/reject verdicts byte-identical across all
+ * three engines.
+ */
+struct ParseCtl
+{
+    uint64_t budget = UINT64_MAX;
+    int max_depth = kMaxParseDepth;
+
+    bool
+    Charge(uint64_t n)
+    {
+        if (n > budget)
+            return false;
+        budget -= n;
+        return true;
+    }
+};
+
 ParseStatus ParsePayload(Reader &r, const CodecTableSet &set,
-                         const CodecTable &t, Message msg, int depth);
+                         const CodecTable &t, Message msg, int depth,
+                         ParseCtl &ctl);
 
 ParseStatus
 SkipUnknown(Reader &r, WireType wt)
@@ -191,7 +236,7 @@ SkipUnknown(Reader &r, WireType wt)
 
 ParseStatus
 ParseScalar(Reader &r, const CodecTable &t, const CodecEntry &e,
-            Message &msg, WireType wt)
+            Message &msg, WireType wt, ParseCtl &ctl)
 {
     uint64_t bits;
     switch (wt) {
@@ -217,16 +262,19 @@ ParseScalar(Reader &r, const CodecTable &t, const CodecEntry &e,
       default:
         return ParseStatus::kInvalidWireType;
     }
-    if (e.repeated())
+    if (e.repeated()) {
+        if (!ctl.Charge(e.mem_width))
+            return ParseStatus::kResourceExhausted;
         msg.AddRepeatedBits(*e.field, bits);
-    else
+    } else {
         StoreScalarRaw(msg, t, e, bits);
+    }
     return ParseStatus::kOk;
 }
 
 ParseStatus
 ParsePackedRepeated(Reader &r, const CodecTable &t, const CodecEntry &e,
-                    Message &msg)
+                    Message &msg, ParseCtl &ctl)
 {
     uint64_t len;
     if (!r.ReadVarint(&len, false))
@@ -235,7 +283,8 @@ ParsePackedRepeated(Reader &r, const CodecTable &t, const CodecEntry &e,
     if (!r.Slice(len, &body))
         return ParseStatus::kTruncated;
     while (!body.at_end()) {
-        const ParseStatus st = ParseScalar(body, t, e, msg, e.wire_type);
+        const ParseStatus st =
+            ParseScalar(body, t, e, msg, e.wire_type, ctl);
         if (st != ParseStatus::kOk)
             return st;
     }
@@ -244,7 +293,8 @@ ParsePackedRepeated(Reader &r, const CodecTable &t, const CodecEntry &e,
 
 ParseStatus
 ParseField(Reader &r, const CodecTableSet &set, const CodecTable &t,
-           const CodecEntry &e, Message &msg, WireType wt, int depth)
+           const CodecEntry &e, Message &msg, WireType wt, int depth,
+           ParseCtl &ctl)
 {
     if (r.sink() != nullptr)
         r.sink()->OnFieldDispatch();
@@ -264,6 +314,8 @@ ParseField(Reader &r, const CodecTableSet &set, const CodecTable &t,
         // §7: proto3 validates string (not bytes) fields as UTF-8.
         if (e.validate_utf8() && !IsValidUtf8(s.data(), s.size()))
             return ParseStatus::kInvalidUtf8;
+        if (!ctl.Charge(len))
+            return ParseStatus::kResourceExhausted;
         if (r.sink() != nullptr) {
             // String construction: allocation plus payload copy.
             r.sink()->OnAlloc(len > ArenaString::kInlineCapacity
@@ -287,12 +339,14 @@ ParseField(Reader &r, const CodecTableSet &set, const CodecTable &t,
         Reader body(nullptr, nullptr, nullptr);
         if (!r.Slice(len, &body))
             return ParseStatus::kTruncated;
+        const CodecTable &sub_t = set.table(e.sub_table);
+        if (!ctl.Charge(sub_t.object_size))
+            return ParseStatus::kResourceExhausted;
         Message sub = e.repeated() ? msg.AddRepeatedMessage(*e.field)
                                    : msg.MutableMessage(*e.field);
-        const CodecTable &sub_t = set.table(e.sub_table);
         if (r.sink() != nullptr)
             r.sink()->OnAlloc(sub_t.object_size);
-        return ParsePayload(body, set, sub_t, sub, depth + 1);
+        return ParsePayload(body, set, sub_t, sub, depth + 1, ctl);
       }
       default:
         break;
@@ -302,16 +356,16 @@ ParseField(Reader &r, const CodecTableSet &set, const CodecTable &t,
     // of the schema's packed option, as proto2 parsers must.
     if (e.repeated() && wt == WireType::kLengthDelimited &&
         e.wire_type != WireType::kLengthDelimited) {
-        return ParsePackedRepeated(r, t, e, msg);
+        return ParsePackedRepeated(r, t, e, msg, ctl);
     }
-    return ParseScalar(r, t, e, msg, wt);
+    return ParseScalar(r, t, e, msg, wt, ctl);
 }
 
 ParseStatus
 ParsePayload(Reader &r, const CodecTableSet &set, const CodecTable &t,
-             Message msg, int depth)
+             Message msg, int depth, ParseCtl &ctl)
 {
-    if (depth > kMaxParseDepth)
+    if (depth > ctl.max_depth)
         return ParseStatus::kDepthExceeded;
     if (r.sink() != nullptr)
         r.sink()->OnMessageBegin();
@@ -328,7 +382,7 @@ ParsePayload(Reader &r, const CodecTableSet &set, const CodecTable &t,
         if (e == nullptr) {
             st = SkipUnknown(r, wt);
         } else {
-            st = ParseField(r, set, t, *e, msg, wt, depth);
+            st = ParseField(r, set, t, *e, msg, wt, depth, ctl);
         }
         if (st != ParseStatus::kOk)
             return st;
@@ -342,13 +396,23 @@ ParsePayload(Reader &r, const CodecTableSet &set, const CodecTable &t,
 
 ParseStatus
 ParseFromBuffer(const uint8_t *data, size_t len, Message *msg,
-                CostSink *sink)
+                CostSink *sink, const ParseLimits *limits)
 {
     PA_CHECK(msg != nullptr && msg->valid());
+    ParseCtl ctl;
+    if (limits != nullptr) {
+        if (limits->max_payload_bytes > 0 &&
+            len > limits->max_payload_bytes)
+            return ParseStatus::kResourceExhausted;
+        if (limits->max_alloc_bytes > 0)
+            ctl.budget = limits->max_alloc_bytes;
+        if (limits->max_depth > 0)
+            ctl.max_depth = static_cast<int>(limits->max_depth);
+    }
     const CodecTableSet &set = GetCodecTables(msg->pool());
     const CodecTable &t = set.table(msg->descriptor().pool_index());
     Reader r(data, data + len, sink);
-    return ParsePayload(r, set, t, *msg, 0);
+    return ParsePayload(r, set, t, *msg, 0, ctl);
 }
 
 }  // namespace protoacc::proto

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "common/status.h"
 #include "proto/cost_sink.h"
 #include "proto/message.h"
 
@@ -29,9 +30,14 @@ enum class ParseStatus {
     kInvalidFieldNumber,
     /// proto3 string field containing malformed UTF-8 (§7).
     kInvalidUtf8,
+    /// A ParseLimits bound tripped (payload size / alloc budget).
+    kResourceExhausted,
 };
 
 const char *ParseStatusName(ParseStatus status);
+
+/// Map into the stack-wide failure taxonomy (common/status.h).
+StatusCode ToStatusCode(ParseStatus status);
 
 /// Maximum sub-message nesting accepted by the software parser (upstream
 /// protobuf's default recursion limit).
@@ -40,10 +46,12 @@ inline constexpr int kMaxParseDepth = 100;
 /**
  * Parse the wire-format bytes [data, data+len) into @p msg, merging into
  * any already-set fields (proto2 merge semantics). Allocations go to the
- * message's arena.
+ * message's arena. @p limits, when non-null, bounds input size and the
+ * wire-derived allocation budget (kResourceExhausted on violation).
  */
 ParseStatus ParseFromBuffer(const uint8_t *data, size_t len, Message *msg,
-                            CostSink *sink = nullptr);
+                            CostSink *sink = nullptr,
+                            const ParseLimits *limits = nullptr);
 
 }  // namespace protoacc::proto
 

@@ -23,6 +23,17 @@
 
 namespace protoacc::rpc {
 
+/// Why a hybrid engine routed operations to the software codec.
+struct FallbackCounters
+{
+    /// Device op failed (e.g. an injected unit kill) and was re-run in
+    /// software.
+    uint64_t accel_fault = 0;
+    /// Saturation-driven degraded mode: ops executed in software
+    /// because the accelerator path was forced off.
+    uint64_t forced = 0;
+};
+
 /**
  * Abstract serialization engine with cycle accounting.
  */
@@ -62,17 +73,54 @@ class CodecBackend
         return out.size();
     }
 
-    /// Parse @p size bytes at @p data into @p msg; false on error.
-    virtual bool Deserialize(const uint8_t *data, size_t size,
-                             proto::Message *msg) = 0;
+    /// Parse @p size bytes at @p data into @p msg. Returns the specific
+    /// failure class (common/status.h); StatusCode::kOk on success.
+    virtual StatusCode Deserialize(const uint8_t *data, size_t size,
+                                   proto::Message *msg) = 0;
+
+    /// Hostile-input resource bounds applied to every Deserialize.
+    /// Zero-valued fields mean unlimited / codec default.
+    virtual void SetParseLimits(const ParseLimits &limits)
+    {
+        limits_ = limits;
+    }
+    const ParseLimits &parse_limits() const { return limits_; }
+
+    /**
+     * Specific failure class of the most recent codec operation, for
+     * engines that can fail out-of-band of their return value (the
+     * accelerator's serialize path reports 0 bytes and records the
+     * cause here); kOk for engines that cannot fail that way.
+     */
+    virtual StatusCode last_status() const { return StatusCode::kOk; }
 
     /// Modeled cycles spent in serialization/deserialization so far.
     virtual double codec_cycles() const = 0;
+
+    /// Portion of codec_cycles() spent on an accelerator device (same
+    /// clock domain as codec_cycles). Software-only backends return 0;
+    /// the serving runtime uses the split to charge fallback work to
+    /// the worker core instead of the shared accelerator timeline.
+    virtual double accel_cycles() const { return 0; }
+
+    /// Device jobs issued so far (doorbell occupancy for the shared
+    /// accelerator queue replay). Software-only backends return 0.
+    virtual uint64_t accel_jobs() const { return 0; }
+
+    /// Degraded mode: route every op to software (saturation shedding
+    /// of the accelerator path). No-op for non-hybrid backends.
+    virtual void SetForceSoftware(bool /*force*/) {}
+
+    /// Fallback accounting for hybrid engines; zeros otherwise.
+    virtual FallbackCounters fallback_counters() const { return {}; }
 
     /// Clock for converting cycles to time.
     virtual double freq_ghz() const = 0;
 
     virtual const char *name() const = 0;
+
+  protected:
+    ParseLimits limits_;
 };
 
 /**
@@ -113,12 +161,12 @@ class SoftwareBackend : public CodecBackend
         return proto::SerializeToBuffer(msg, buf, cap, &model_);
     }
 
-    bool
+    StatusCode
     Deserialize(const uint8_t *data, size_t size,
                 proto::Message *msg) override
     {
-        return proto::ParseFromBuffer(data, size, msg, &model_) ==
-               proto::ParseStatus::kOk;
+        return proto::ToStatusCode(
+            proto::ParseFromBuffer(data, size, msg, &model_, &limits_));
     }
 
     double codec_cycles() const override { return model_.cycles(); }
@@ -145,19 +193,46 @@ class AcceleratedBackend : public CodecBackend
     std::vector<uint8_t> Serialize(const proto::Message &msg) override;
     size_t SerializeTo(const proto::Message &msg, uint8_t *buf,
                        size_t cap) override;
-    bool Deserialize(const uint8_t *data, size_t size,
-                     proto::Message *msg) override;
+    StatusCode Deserialize(const uint8_t *data, size_t size,
+                           proto::Message *msg) override;
+
+    void
+    SetParseLimits(const ParseLimits &limits) override
+    {
+        limits_ = limits;
+        device_.deserializer().SetLimits(limits);
+    }
+
+    /// Attach a fault injector to the underlying device (nullptr
+    /// detaches); injected unit kills surface as kAccelFault.
+    void SetFaultInjector(sim::FaultInjector *injector)
+    {
+        device_.SetFaultInjector(injector);
+    }
+
+    /// Status of the most recent device operation (serialize or
+    /// deserialize); kOk when it completed. Serialize paths return an
+    /// empty buffer / 0 bytes on failure instead of aborting.
+    StatusCode last_status() const override { return last_status_; }
 
     double codec_cycles() const override
     {
         return static_cast<double>(cycles_);
     }
+    double accel_cycles() const override
+    {
+        return static_cast<double>(cycles_);
+    }
+    uint64_t accel_jobs() const override { return jobs_; }
     double freq_ghz() const override { return config_.freq_ghz; }
     const char *name() const override { return "riscv-boom-accel"; }
 
+    accel::ProtoAccelerator &device() { return device_; }
+
   private:
     /// Run one device serialization; output stays in the ser arena.
-    const accel::SerArena::Output &RunSerialize(const proto::Message &msg);
+    /// Returns nullptr (and sets last_status) when the device faulted.
+    const accel::SerArena::Output *RunSerialize(const proto::Message &msg);
 
     const proto::DescriptorPool &pool_;
     accel::AccelConfig config_;
@@ -168,6 +243,85 @@ class AcceleratedBackend : public CodecBackend
     proto::Arena deser_arena_;
     accel::SerArena ser_arena_;
     uint64_t cycles_ = 0;
+    uint64_t jobs_ = 0;
+    StatusCode last_status_ = StatusCode::kOk;
+};
+
+/**
+ * Degradation-aware engine: the accelerator is primary, the software
+ * table codec is the fallback. An op falls back when the device faults
+ * mid-op (injected unit kill — the op is transparently re-run in
+ * software) or when the accelerator path is forced off (saturation
+ * shedding via SetForceSoftware). Deterministic parse rejections do NOT
+ * fall back: all engines keep identical accept/reject verdicts, so a
+ * software retry of malformed input would only burn cycles to reach the
+ * same answer.
+ *
+ * Cycle accounting: codec_cycles() is reported in the accelerator's
+ * clock domain; software-fallback cycles are converted by frequency
+ * ratio so ns equivalence holds across the mix.
+ */
+class HybridCodecBackend : public CodecBackend
+{
+  public:
+    HybridCodecBackend(std::unique_ptr<AcceleratedBackend> accel,
+                       std::unique_ptr<SoftwareBackend> software)
+        : accel_(std::move(accel)), software_(std::move(software))
+    {}
+
+    std::vector<uint8_t> Serialize(const proto::Message &msg) override;
+    size_t SerializeTo(const proto::Message &msg, uint8_t *buf,
+                       size_t cap) override;
+    StatusCode Deserialize(const uint8_t *data, size_t size,
+                           proto::Message *msg) override;
+
+    void
+    SetParseLimits(const ParseLimits &limits) override
+    {
+        limits_ = limits;
+        accel_->SetParseLimits(limits);
+        software_->SetParseLimits(limits);
+    }
+
+    void SetForceSoftware(bool force) override
+    {
+        force_software_ = force;
+    }
+    bool force_software() const { return force_software_; }
+
+    FallbackCounters fallback_counters() const override
+    {
+        return fallbacks_;
+    }
+
+    StatusCode last_status() const override { return last_status_; }
+
+    /// Software cycles converted into the accelerator clock domain, so
+    /// cycles / freq_ghz() is the modeled time of the mixed execution.
+    double
+    codec_cycles() const override
+    {
+        return accel_->codec_cycles() +
+               software_->codec_cycles() *
+                   (accel_->freq_ghz() / software_->freq_ghz());
+    }
+    double accel_cycles() const override
+    {
+        return accel_->accel_cycles();
+    }
+    uint64_t accel_jobs() const override { return accel_->accel_jobs(); }
+    double freq_ghz() const override { return accel_->freq_ghz(); }
+    const char *name() const override { return "hybrid-accel-sw"; }
+
+    AcceleratedBackend &accel() { return *accel_; }
+    SoftwareBackend &software() { return *software_; }
+
+  private:
+    std::unique_ptr<AcceleratedBackend> accel_;
+    std::unique_ptr<SoftwareBackend> software_;
+    FallbackCounters fallbacks_;
+    bool force_software_ = false;
+    StatusCode last_status_ = StatusCode::kOk;
 };
 
 }  // namespace protoacc::rpc

@@ -15,6 +15,7 @@ WriteHeader(uint8_t *p, const FrameHeader &header)
     std::memcpy(p + 4, &header.call_id, 4);
     std::memcpy(p + 8, &header.method_id, 2);
     p[10] = static_cast<uint8_t>(header.kind);
+    p[11] = static_cast<uint8_t>(header.status);
 }
 
 }  // namespace
@@ -68,6 +69,23 @@ FrameBuffer::CommitFrame(size_t payload_bytes)
     reserved_max_ = 0;
 }
 
+void
+FrameBuffer::CancelFrame()
+{
+    PA_CHECK(reserved_at_ != kNoReservation);
+    bytes_.resize(reserved_at_);
+    reserved_at_ = kNoReservation;
+    reserved_max_ = 0;
+}
+
+void
+FrameBuffer::Truncate(size_t n)
+{
+    PA_CHECK_EQ(reserved_at_, kNoReservation);
+    if (n < bytes_.size())
+        bytes_.resize(n);
+}
+
 std::optional<Frame>
 FrameBuffer::Next(size_t *offset) const
 {
@@ -79,6 +97,11 @@ FrameBuffer::Next(size_t *offset) const
     std::memcpy(&frame.header.call_id, p + 4, 4);
     std::memcpy(&frame.header.method_id, p + 8, 2);
     frame.header.kind = static_cast<FrameKind>(p[10]);
+    // An out-of-range status byte (corrupted in flight) degrades to
+    // kInternal rather than poisoning downstream switches.
+    frame.header.status =
+        p[11] < kNumStatusCodes ? static_cast<StatusCode>(p[11])
+                                : StatusCode::kInternal;
     if (*offset + FrameHeader::kWireBytes + frame.header.payload_bytes >
         bytes_.size()) {
         return std::nullopt;  // truncated

@@ -17,6 +17,8 @@
 #include <optional>
 #include <vector>
 
+#include "common/status.h"
+
 namespace protoacc::rpc {
 
 /// Frame kinds carried on a channel.
@@ -33,8 +35,13 @@ struct FrameHeader
     uint32_t call_id = 0;
     uint16_t method_id = 0;
     FrameKind kind = FrameKind::kRequest;
+    /// Structured failure code (common/status.h), wire-stable single
+    /// byte. kOk on request/response frames; kError frames carry the
+    /// specific cause (unknown method, parse failure class, accelerator
+    /// fault, overload, ...) plus a human-readable detail payload.
+    StatusCode status = StatusCode::kOk;
 
-    static constexpr size_t kWireBytes = 4 + 4 + 2 + 1;
+    static constexpr size_t kWireBytes = 4 + 4 + 2 + 1 + 1;
 };
 
 /// One decoded frame: header plus a view into the transport buffer.
@@ -77,12 +84,23 @@ class FrameBuffer
     /// reserved capacity): backpatch the header and trim the stream.
     void CommitFrame(size_t payload_bytes);
 
+    /// Abandon the open reservation, removing its header and slot from
+    /// the stream (the in-place serialization failed; the caller will
+    /// append an error frame instead).
+    void CancelFrame();
+
     /// Scan the next frame starting at @p offset; nullopt when the
     /// stream is exhausted or the remainder is malformed/truncated.
     std::optional<Frame> Next(size_t *offset) const;
 
     size_t bytes() const { return bytes_.size(); }
     const uint8_t *data() const { return bytes_.data(); }
+    /// Mutable view for in-flight corruption modeling (fault injection).
+    uint8_t *mutable_data() { return bytes_.data(); }
+
+    /// Cut the stream to its first @p n bytes (a frame lost its tail in
+    /// the channel). No reservation may be open.
+    void Truncate(size_t n);
     void
     clear()
     {

@@ -1,5 +1,8 @@
 #include "rpc/rpc.h"
 
+#include <algorithm>
+#include <cstring>
+
 namespace protoacc::rpc {
 
 namespace {
@@ -10,9 +13,23 @@ CyclesToNs(double cycles, double freq_ghz)
     return cycles / freq_ghz;
 }
 
+/// Append an error frame carrying @p code and a human-readable detail
+/// payload; returns @p code so call sites can `return AppendError(...)`.
+StatusCode
+AppendError(FrameBuffer *reply, FrameHeader header, StatusCode code)
+{
+    const char *detail = StatusCodeName(code);
+    header.kind = FrameKind::kError;
+    header.status = code;
+    header.payload_bytes =
+        static_cast<uint32_t>(std::strlen(detail));
+    reply->Append(header, reinterpret_cast<const uint8_t *>(detail));
+    return code;
+}
+
 }  // namespace
 
-bool
+StatusCode
 RpcServer::HandleFrame(const Frame &frame, FrameBuffer *reply)
 {
     // Steady-state resource reuse: the previous call's request/response
@@ -24,23 +41,16 @@ RpcServer::HandleFrame(const Frame &frame, FrameBuffer *reply)
     FrameHeader out_header;
     out_header.call_id = frame.header.call_id;
     out_header.method_id = frame.header.method_id;
-    if (it == methods_.end()) {
-        out_header.kind = FrameKind::kError;
-        out_header.payload_bytes = 0;
-        reply->Append(out_header, nullptr);
-        return false;
-    }
+    if (it == methods_.end())
+        return AppendError(reply, out_header, StatusCode::kUnknownMethod);
     const Method &method = it->second;
 
     proto::Message request =
         proto::Message::Create(&arena_, *pool_, method.request_type);
-    if (!backend_->Deserialize(frame.payload,
-                               frame.header.payload_bytes, &request)) {
-        out_header.kind = FrameKind::kError;
-        out_header.payload_bytes = 0;
-        reply->Append(out_header, nullptr);
-        return false;
-    }
+    const StatusCode parse_status = backend_->Deserialize(
+        frame.payload, frame.header.payload_bytes, &request);
+    if (!StatusOk(parse_status))
+        return AppendError(reply, out_header, parse_status);
 
     proto::Message response =
         proto::Message::Create(&arena_, *pool_, method.response_type);
@@ -53,16 +63,44 @@ RpcServer::HandleFrame(const Frame &frame, FrameBuffer *reply)
     out_header.kind = FrameKind::kResponse;
     uint8_t *dst = reply->ReserveFrame(out_header, size);
     const size_t written = backend_->SerializeTo(response, dst, size);
-    PA_CHECK_EQ(written, size);
+    if (written != size) {
+        // The engine failed mid-serialization (e.g. an injected unit
+        // kill): withdraw the half-built frame and report the cause.
+        reply->CancelFrame();
+        StatusCode cause = backend_->last_status();
+        if (StatusOk(cause))
+            cause = StatusCode::kInternal;
+        return AppendError(reply, out_header, cause);
+    }
     reply->CommitFrame(written);
-    return true;
+    return StatusCode::kOk;
 }
 
 bool
-RpcSession::Call(uint16_t method_id, const proto::Message &request,
-                 proto::Message *response)
+RpcSession::ApplyChannelFault(FrameBuffer *buf)
 {
-    ++breakdown_.calls;
+    if (fault_injector_ == nullptr)
+        return true;
+    switch (fault_injector_->SampleChannelFault()) {
+      case sim::ChannelFaultKind::kDrop:
+        return false;
+      case sim::ChannelFaultKind::kTruncate:
+        buf->Truncate(fault_injector_->TruncatedLength(buf->bytes()));
+        return true;
+      case sim::ChannelFaultKind::kCorrupt:
+        fault_injector_->CorruptBytes(buf->mutable_data(), buf->bytes());
+        return true;
+      case sim::ChannelFaultKind::kNone:
+        break;
+    }
+    return true;
+}
+
+StatusCode
+RpcSession::CallOnce(uint16_t method_id, const proto::Message &request,
+                     proto::Message *response)
+{
+    ++breakdown_.attempts;
 
     // Client serializes the request.
     const double client_before = backend_->codec_cycles();
@@ -70,6 +108,8 @@ RpcSession::Call(uint16_t method_id, const proto::Message &request,
     breakdown_.client_codec_ns +=
         CyclesToNs(backend_->codec_cycles() - client_before,
                    backend_->freq_ghz());
+    if (!StatusOk(backend_->last_status()))
+        return backend_->last_status();
 
     FrameBuffer to_server;
     FrameHeader header;
@@ -79,37 +119,77 @@ RpcSession::Call(uint16_t method_id, const proto::Message &request,
     header.payload_bytes = static_cast<uint32_t>(payload.size());
     to_server.Append(header, payload.data());
     breakdown_.network_ns += channel_.TransferNs(to_server.bytes());
+    if (!ApplyChannelFault(&to_server))
+        return StatusCode::kUnavailable;  // request lost in flight
 
-    // Server handles the frame.
+    // Server handles the frame (a mangled stream never parses into a
+    // frame: from the server's view the request simply never arrived).
     size_t offset = 0;
     const std::optional<Frame> frame = to_server.Next(&offset);
-    PA_CHECK(frame.has_value());
+    if (!frame.has_value())
+        return StatusCode::kUnavailable;
     FrameBuffer to_client;
     const double server_before = server_->backend().codec_cycles();
-    const bool handled = server_->HandleFrame(*frame, &to_client);
+    (void)server_->HandleFrame(*frame, &to_client);
     breakdown_.server_codec_ns +=
         CyclesToNs(server_->backend().codec_cycles() - server_before,
                    server_->backend().freq_ghz());
     breakdown_.network_ns += channel_.TransferNs(to_client.bytes());
-    if (!handled) {
-        ++breakdown_.failures;
-        return false;
-    }
+    if (!ApplyChannelFault(&to_client))
+        return StatusCode::kUnavailable;  // reply lost in flight
 
-    // Client deserializes the response.
+    // Client decodes the reply frame; the structured status on error
+    // frames tells it exactly why the call failed (and whether a retry
+    // can help).
     size_t reply_offset = 0;
     const std::optional<Frame> reply = to_client.Next(&reply_offset);
-    PA_CHECK(reply.has_value());
-    PA_CHECK_EQ(reply->header.call_id, header.call_id);
+    if (!reply.has_value())
+        return StatusCode::kUnavailable;
+    if (reply->header.kind == FrameKind::kError) {
+        return StatusOk(reply->header.status) ? StatusCode::kInternal
+                                              : reply->header.status;
+    }
+    if (reply->header.kind != FrameKind::kResponse ||
+        reply->header.call_id != header.call_id) {
+        return StatusCode::kUnavailable;  // corrupted in flight
+    }
     const double deser_before = backend_->codec_cycles();
-    const bool ok = backend_->Deserialize(
+    const StatusCode decode_status = backend_->Deserialize(
         reply->payload, reply->header.payload_bytes, response);
     breakdown_.client_codec_ns +=
         CyclesToNs(backend_->codec_cycles() - deser_before,
                    backend_->freq_ghz());
-    if (!ok)
+    return decode_status;
+}
+
+StatusCode
+RpcSession::Call(uint16_t method_id, const proto::Message &request,
+                 proto::Message *response)
+{
+    ++breakdown_.calls;
+    const uint32_t max_attempts =
+        std::max<uint32_t>(retry_policy_.max_attempts, 1);
+    double backoff = retry_policy_.initial_backoff_ns;
+    StatusCode status = StatusCode::kInternal;
+    for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+        if (attempt > 0) {
+            // Exponential backoff with uniform jitter: modeled sleep,
+            // accumulated into the breakdown rather than slept.
+            ++breakdown_.retries;
+            const double jitter =
+                1.0 + retry_policy_.jitter_fraction *
+                          (2.0 * rng_.NextDouble() - 1.0);
+            breakdown_.backoff_ns += backoff * jitter;
+            backoff *= retry_policy_.backoff_multiplier;
+        }
+        status = CallOnce(method_id, request, response);
+        if (StatusOk(status) || !StatusIsRetryable(status))
+            break;
+    }
+    last_error_ = status;
+    if (!StatusOk(status))
         ++breakdown_.failures;
-    return ok;
+    return status;
 }
 
 }  // namespace protoacc::rpc

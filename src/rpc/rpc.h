@@ -13,8 +13,10 @@
 #include <map>
 #include <memory>
 
+#include "common/rng.h"
 #include "rpc/codec_backend.h"
 #include "rpc/frame.h"
+#include "sim/fault.h"
 
 namespace protoacc::rpc {
 
@@ -70,10 +72,11 @@ class RpcServer
      * are valid only for the duration of the call, and steady-state
      * serving performs no per-call arena construction.
      *
-     * @return false on decode error or unknown method (an error frame
-     *         is appended instead).
+     * @return the specific failure class on error (an error frame
+     *         carrying the code and a detail string is appended instead
+     *         of a response); StatusCode::kOk on success.
      */
-    bool HandleFrame(const Frame &frame, FrameBuffer *reply);
+    StatusCode HandleFrame(const Frame &frame, FrameBuffer *reply);
 
     const CodecBackend &backend() const { return *backend_; }
     CodecBackend &mutable_backend() { return *backend_; }
@@ -94,13 +97,32 @@ class RpcServer
     proto::Arena arena_;
 };
 
+/**
+ * Client-side retry policy: exponential backoff with jitter, applied
+ * only to transient failures (StatusIsRetryable). max_attempts == 1
+ * disables retry.
+ */
+struct RetryPolicy
+{
+    uint32_t max_attempts = 1;
+    double initial_backoff_ns = 50'000;  ///< first retry delay
+    double backoff_multiplier = 2.0;
+    /// Uniform jitter: each delay is scaled by 1 ± this fraction.
+    double jitter_fraction = 0.25;
+};
+
 /// Per-session modeled time breakdown.
 struct RpcTimeBreakdown
 {
     double client_codec_ns = 0;
     double server_codec_ns = 0;
     double network_ns = 0;
+    /// Modeled time the client spent sleeping between retry attempts.
+    double backoff_ns = 0;
     uint64_t calls = 0;
+    /// Wire attempts, including retries (>= calls).
+    uint64_t attempts = 0;
+    uint64_t retries = 0;
     uint64_t failures = 0;
 
     double
@@ -137,19 +159,53 @@ class RpcSession
     /**
      * Issue one call: serialize @p request, ship it, let the server
      * handle it, ship the response back, deserialize into @p response.
+     * Transient failures (lost frames, accelerator faults, overload)
+     * are retried per the session's RetryPolicy with exponential
+     * backoff and jitter; deterministic rejections are returned
+     * immediately. @return the final attempt's status.
      */
-    bool Call(uint16_t method_id, const proto::Message &request,
-              proto::Message *response);
+    StatusCode Call(uint16_t method_id, const proto::Message &request,
+                    proto::Message *response);
+
+    void set_retry_policy(const RetryPolicy &policy)
+    {
+        retry_policy_ = policy;
+    }
+
+    /// Attach a channel fault injector (nullptr detaches): each frame
+    /// crossing the channel draws one drop/truncate/corrupt sample.
+    void SetFaultInjector(sim::FaultInjector *injector)
+    {
+        fault_injector_ = injector;
+    }
+
+    /// Status of the most recent Call (kOk after a success).
+    StatusCode last_error() const { return last_error_; }
 
     const RpcTimeBreakdown &breakdown() const { return breakdown_; }
     const CodecBackend &backend() const { return *backend_; }
+    CodecBackend &mutable_backend() { return *backend_; }
 
   private:
+    /// One wire attempt of a call (no retry).
+    StatusCode CallOnce(uint16_t method_id,
+                        const proto::Message &request,
+                        proto::Message *response);
+
+    /// Apply one sampled channel fault to an in-flight frame stream.
+    /// @return false when the frame was dropped entirely.
+    bool ApplyChannelFault(FrameBuffer *buf);
+
     const proto::DescriptorPool *pool_;
     std::unique_ptr<CodecBackend> backend_;
     RpcServer *server_;
     SimulatedChannel channel_;
     RpcTimeBreakdown breakdown_;
+    RetryPolicy retry_policy_;
+    sim::FaultInjector *fault_injector_ = nullptr;
+    /// Jitter source; per-session so call sequences stay reproducible.
+    Rng rng_{0x6a177e5u};
+    StatusCode last_error_ = StatusCode::kOk;
     uint32_t next_call_id_ = 1;
 };
 

@@ -19,9 +19,14 @@ RpcServerRuntime::RpcServerRuntime(const proto::DescriptorPool *pool,
     // here makes every later access a read of immutable state.
     proto::GetCodecTables(*pool_);
     workers_.reserve(config_.num_workers);
-    for (uint32_t i = 0; i < config_.num_workers; ++i)
+    for (uint32_t i = 0; i < config_.num_workers; ++i) {
         workers_.push_back(
             std::make_unique<Worker>(pool_, factory(i)));
+        workers_.back()->server.mutable_backend().SetParseLimits(
+            config_.parse_limits);
+        workers_.back()->est_call_ns.store(config_.est_call_ns,
+                                           std::memory_order_relaxed);
+    }
 }
 
 RpcServerRuntime::~RpcServerRuntime() { Shutdown(); }
@@ -48,7 +53,7 @@ RpcServerRuntime::Start()
         });
 }
 
-void
+StatusCode
 RpcServerRuntime::Submit(const FrameHeader &header,
                          const uint8_t *payload)
 {
@@ -59,6 +64,20 @@ RpcServerRuntime::Submit(const FrameHeader &header,
     {
         std::lock_guard<std::mutex> lock(w.mu);
         PA_CHECK(!w.stop);
+        if (config_.admission_max_wait_ns > 0) {
+            // Shed when the modeled backlog wait — queued calls times
+            // the worker's per-call service estimate — already exceeds
+            // the bound; admitting more only makes every queued call
+            // later.
+            const double est =
+                w.est_call_ns.load(std::memory_order_relaxed);
+            const double wait_ns =
+                static_cast<double>(w.pending) * est;
+            if (wait_ns > config_.admission_max_wait_ns) {
+                ++w.shed;
+                return StatusCode::kOverloaded;
+            }
+        }
         OwnedFrame frame;
         frame.header = header;
         if (header.payload_bytes > 0)
@@ -68,6 +87,7 @@ RpcServerRuntime::Submit(const FrameHeader &header,
         ++w.pending;
     }
     w.cv.notify_all();
+    return StatusCode::kOk;
 }
 
 void
@@ -122,6 +142,16 @@ RpcServerRuntime::Snapshot() const
         ws.calls = w->calls;
         ws.failures = w->failures;
         ws.batches = w->batches;
+        ws.failures_by_code = w->failures_by_code;
+        ws.deadline_exceeded = w->deadline_exceeded;
+        {
+            std::lock_guard<std::mutex> lock(w->mu);
+            ws.shed = w->shed;
+        }
+        const FallbackCounters fb =
+            w->server.backend().fallback_counters();
+        ws.fallback_accel_fault = fb.accel_fault;
+        ws.fallback_forced = fb.forced;
         ws.vclock_ns = w->vclock_ns;
         ws.codec_cycles = w->server.backend().codec_cycles();
         ws.arena_blocks = w->server.arena().block_count();
@@ -129,6 +159,12 @@ RpcServerRuntime::Snapshot() const
         ws.reply_payload_copies = w->replies.payload_copies();
         snap.calls += ws.calls;
         snap.failures += ws.failures;
+        for (size_t i = 0; i < kNumStatusCodes; ++i)
+            snap.failures_by_code[i] += ws.failures_by_code[i];
+        snap.shed += ws.shed;
+        snap.deadline_exceeded += ws.deadline_exceeded;
+        snap.fallback_accel_fault += ws.fallback_accel_fault;
+        snap.fallback_forced += ws.fallback_forced;
         snap.modeled_span_ns =
             std::max(snap.modeled_span_ns, ws.vclock_ns);
         snap.workers.push_back(ws);
@@ -153,6 +189,7 @@ RpcServerRuntime::WorkerLoop(Worker *w)
 {
     std::vector<OwnedFrame> batch;
     for (;;) {
+        size_t backlog = 0;
         {
             std::unique_lock<std::mutex> lock(w->mu);
             w->cv.wait(lock,
@@ -167,9 +204,29 @@ RpcServerRuntime::WorkerLoop(Worker *w)
                 batch.push_back(std::move(w->inbox.front()));
                 w->inbox.pop_front();
             }
+            backlog = w->inbox.size();
         }
 
-        ProcessBatch(w, &batch);
+        const double cycles_before =
+            w->server.backend().codec_cycles();
+        ProcessBatch(w, &batch, backlog);
+
+        // Refresh the admission-control estimate from this batch's
+        // measured codec time (service only; queueing is what the
+        // estimate predicts, so it must not feed back into itself).
+        if (!batch.empty()) {
+            const double batch_ns =
+                (w->server.backend().codec_cycles() - cycles_before) /
+                    w->server.backend().freq_ghz() +
+                config_.modeled_handler_ns *
+                    static_cast<double>(batch.size());
+            const double per_call =
+                batch_ns / static_cast<double>(batch.size());
+            const double prev =
+                w->est_call_ns.load(std::memory_order_relaxed);
+            w->est_call_ns.store(0.8 * prev + 0.2 * per_call,
+                                 std::memory_order_relaxed);
+        }
 
         {
             std::lock_guard<std::mutex> lock(w->mu);
@@ -182,13 +239,22 @@ RpcServerRuntime::WorkerLoop(Worker *w)
 
 void
 RpcServerRuntime::ProcessBatch(Worker *w,
-                               std::vector<OwnedFrame> *batch)
+                               std::vector<OwnedFrame> *batch,
+                               size_t backlog)
 {
     CodecBackend &backend = w->server.mutable_backend();
     const double freq_ghz = backend.freq_ghz();
     ++w->batches;
     if (!config_.record_replies)
         w->replies.clear();  // recycle the stream between batches
+
+    // Degraded-mode serving: a deep residual backlog means the
+    // accelerator (shared and contended) is the bottleneck; serve this
+    // batch on the worker's own core instead, and re-enable the device
+    // once the backlog recovers. No-op for non-hybrid backends.
+    if (config_.saturation_fallback_backlog > 0)
+        backend.SetForceSoftware(
+            backlog > config_.saturation_fallback_backlog);
 
     if (config_.shared_accel == nullptr) {
         // Each worker is one core running the codec itself: a call's
@@ -199,13 +265,20 @@ RpcServerRuntime::ProcessBatch(Worker *w,
             frame.header = f.header;
             frame.payload = f.payload.data();
             const double before = backend.codec_cycles();
-            if (!w->server.HandleFrame(frame, &w->replies))
+            const StatusCode st =
+                w->server.HandleFrame(frame, &w->replies);
+            if (!StatusOk(st)) {
                 ++w->failures;
+                ++w->failures_by_code[static_cast<size_t>(st)];
+            }
             ++w->calls;
             const double service_ns =
                 (backend.codec_cycles() - before) / freq_ghz;
             const double latency_ns =
                 service_ns + config_.modeled_handler_ns;
+            if (config_.deadline_ns > 0 &&
+                latency_ns > config_.deadline_ns)
+                ++w->deadline_exceeded;
             w->latencies_ns.push_back(latency_ns);
             w->vclock_ns += latency_ns;
         }
@@ -213,26 +286,36 @@ RpcServerRuntime::ProcessBatch(Worker *w,
     }
 
     // Shared accelerator: the batch's (de)serialization jobs go through
-    // the doorbell as one batch (two jobs per call: deser + ser) and
-    // complete together at the fence, so every call in the batch
-    // observes the batch's queueing delay + service time. Handler
-    // logic still runs per call on the worker's core. Only the batch's
-    // measured service time is recorded here; the shared timeline is
-    // replayed deterministically in Drain().
-    const double before = backend.codec_cycles();
+    // the doorbell as one batch and complete together at the fence, so
+    // every call in the batch observes the batch's queueing delay +
+    // service time. Handler logic still runs per call on the worker's
+    // core. Only the batch's measured service time is recorded here;
+    // the shared timeline is replayed deterministically in Drain().
+    // Work the backend routed to software (fault fallback or forced
+    // degraded mode) is split out via accel_cycles()/accel_jobs() and
+    // charged to the worker core, not the shared accelerator.
+    const double cycles_before = backend.codec_cycles();
+    const double accel_before = backend.accel_cycles();
+    const uint64_t jobs_before = backend.accel_jobs();
     uint64_t failures = 0;
     for (OwnedFrame &f : *batch) {
         Frame frame;
         frame.header = f.header;
         frame.payload = f.payload.data();
-        if (!w->server.HandleFrame(frame, &w->replies))
+        const StatusCode st = w->server.HandleFrame(frame, &w->replies);
+        if (!StatusOk(st)) {
             ++failures;
+            ++w->failures_by_code[static_cast<size_t>(st)];
+        }
     }
-    const double service_cycles = backend.codec_cycles() - before;
+    const double total_cycles = backend.codec_cycles() - cycles_before;
+    const double accel_cycles = backend.accel_cycles() - accel_before;
     AccelBatch record;
-    record.jobs = 2 * static_cast<uint32_t>(batch->size());
+    record.jobs =
+        static_cast<uint32_t>(backend.accel_jobs() - jobs_before);
     record.service_cycles =
-        static_cast<uint64_t>(std::llround(service_cycles));
+        static_cast<uint64_t>(std::llround(accel_cycles));
+    record.sw_ns = (total_cycles - accel_cycles) / freq_ghz;
     record.calls = static_cast<uint32_t>(batch->size());
     w->accel_batches.push_back(record);
     w->calls += batch->size();
@@ -268,17 +351,28 @@ RpcServerRuntime::ReplayAcceleratorTimeline()
         next->replay_cursor = next_cursor + 1;
         const double freq_ghz =
             next->server.backend().freq_ghz();
-        const uint64_t arrival_cycle = static_cast<uint64_t>(
-            std::llround(next->vclock_ns * freq_ghz));
-        const accel::SharedAccelQueue::Completion done =
-            config_.shared_accel->SubmitBatch(arrival_cycle, b.jobs,
-                                              b.service_cycles);
-        const double batch_ns =
-            static_cast<double>(done.done_cycle - arrival_cycle) /
-            freq_ghz;
-        for (uint32_t i = 0; i < b.calls; ++i)
-            next->latencies_ns.push_back(batch_ns +
-                                         config_.modeled_handler_ns);
+        // Batches that fully degraded to software never rang the
+        // doorbell: they occupy only the worker core's time (sw_ns),
+        // never the shared device timeline.
+        double device_ns = 0;
+        if (b.jobs > 0) {
+            const uint64_t arrival_cycle = static_cast<uint64_t>(
+                std::llround(next->vclock_ns * freq_ghz));
+            const accel::SharedAccelQueue::Completion done =
+                config_.shared_accel->SubmitBatch(arrival_cycle, b.jobs,
+                                                  b.service_cycles);
+            device_ns =
+                static_cast<double>(done.done_cycle - arrival_cycle) /
+                freq_ghz;
+        }
+        const double batch_ns = device_ns + b.sw_ns;
+        const double latency_ns = batch_ns + config_.modeled_handler_ns;
+        for (uint32_t i = 0; i < b.calls; ++i) {
+            if (config_.deadline_ns > 0 &&
+                latency_ns > config_.deadline_ns)
+                ++next->deadline_exceeded;
+            next->latencies_ns.push_back(latency_ns);
+        }
         next->vclock_ns +=
             batch_ns +
             config_.modeled_handler_ns * static_cast<double>(b.calls);

@@ -33,6 +33,8 @@
 #ifndef PROTOACC_RPC_SERVER_RUNTIME_H
 #define PROTOACC_RPC_SERVER_RUNTIME_H
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -65,6 +67,32 @@ struct RuntimeConfig
     /// for long throughput runs (replies are still fully serialized;
     /// the stream is just recycled between batches).
     bool record_replies = true;
+
+    // ---- robustness / degraded-mode serving ----
+
+    /// Hostile-input resource bounds, applied to every worker backend
+    /// at construction (zero fields = unlimited / codec default).
+    ParseLimits parse_limits;
+
+    /// Per-call modeled deadline, ns; 0 disables. Calls whose modeled
+    /// latency exceeds it are counted (the client gave up — in the
+    /// model the reply still exists, but the work was wasted).
+    double deadline_ns = 0;
+
+    /// Admission control: Submit sheds (kOverloaded) when the target
+    /// worker's modeled backlog wait — pending calls x the worker's
+    /// EWMA per-call service estimate — exceeds this, ns; 0 disables.
+    double admission_max_wait_ns = 0;
+
+    /// Seed of the per-call service EWMA before any batch completes.
+    double est_call_ns = 2000;
+
+    /// Saturation fallback: when > 0 and a worker's residual inbox
+    /// backlog (frames left after it drained a batch) exceeds this,
+    /// the worker serves its next batch with the accelerator path
+    /// forced off (HybridCodecBackend degrades to software); the
+    /// backlog recovering re-enables the accelerator. 0 disables.
+    uint32_t saturation_fallback_backlog = 0;
 };
 
 /// One worker's counters, observed while the runtime is quiescent.
@@ -73,6 +101,15 @@ struct WorkerSnapshot
     uint64_t calls = 0;
     uint64_t failures = 0;
     uint64_t batches = 0;
+    /// Failures bucketed by StatusCode (indexed by the code's value).
+    std::array<uint64_t, kNumStatusCodes> failures_by_code{};
+    /// Requests shed by admission control (never entered the inbox).
+    uint64_t shed = 0;
+    /// Calls whose modeled latency exceeded the configured deadline.
+    uint64_t deadline_exceeded = 0;
+    /// Hybrid-backend fallback accounting (zeros for other backends).
+    uint64_t fallback_accel_fault = 0;
+    uint64_t fallback_forced = 0;
     /// Worker's virtual timeline position (modeled busy time).
     double vclock_ns = 0;
     /// Modeled codec cycles accumulated by the worker's backend.
@@ -89,6 +126,15 @@ struct RuntimeSnapshot
 {
     uint64_t calls = 0;
     uint64_t failures = 0;
+    /// Failures bucketed by StatusCode across all workers.
+    std::array<uint64_t, kNumStatusCodes> failures_by_code{};
+    /// Requests shed by admission control.
+    uint64_t shed = 0;
+    /// Calls whose modeled latency exceeded the deadline.
+    uint64_t deadline_exceeded = 0;
+    /// Ops degraded to the software codec, by cause.
+    uint64_t fallback_accel_fault = 0;
+    uint64_t fallback_forced = 0;
     /// Arena objects constructed since Start — one per worker, never
     /// per call (the steady-state reuse guarantee).
     uint64_t arena_constructions = 0;
@@ -146,7 +192,10 @@ class RpcServerRuntime
     /// owning worker's submission queue (sharded by call id). May be
     /// called before Start() to pre-load a backlog (which also makes
     /// worker batch boundaries — inbox drains — deterministic).
-    void Submit(const FrameHeader &header, const uint8_t *payload);
+    /// @return kOverloaded when admission control shed the request
+    ///         (the frame was NOT enqueued; the client should back off
+    ///         and retry), kOk otherwise.
+    StatusCode Submit(const FrameHeader &header, const uint8_t *payload);
 
     /// Block until every submitted frame has been handled, then (with
     /// a shared accelerator) replay the recorded batches onto the
@@ -178,8 +227,15 @@ class RpcServerRuntime
     /// One executed-but-not-yet-replayed accelerator batch.
     struct AccelBatch
     {
-        uint32_t jobs = 0;  ///< deser + ser jobs rung in one doorbell
+        /// Jobs that actually ran on the device (fallback ops do not
+        /// ring the doorbell); 0 when the whole batch degraded to
+        /// software.
+        uint32_t jobs = 0;
+        /// Device service time for those jobs.
         uint64_t service_cycles = 0;
+        /// Software-fallback time, charged to the worker core's
+        /// timeline instead of the shared accelerator.
+        double sw_ns = 0;
         uint32_t calls = 0;
     };
 
@@ -195,6 +251,11 @@ class RpcServerRuntime
         std::deque<OwnedFrame> inbox;
         size_t pending = 0;  ///< submitted, not yet fully handled
         bool stop = false;
+        /// Requests shed by admission control (written under mu).
+        uint64_t shed = 0;
+        /// Per-call service estimate feeding admission control; EWMA
+        /// updated by the worker, read by submitters (hence atomic).
+        std::atomic<double> est_call_ns{0};
 
         RpcServer server;
         FrameBuffer replies;
@@ -204,6 +265,8 @@ class RpcServerRuntime
         uint64_t calls = 0;
         uint64_t failures = 0;
         uint64_t batches = 0;
+        std::array<uint64_t, kNumStatusCodes> failures_by_code{};
+        uint64_t deadline_exceeded = 0;
         double vclock_ns = 0;
         std::vector<double> latencies_ns;
         std::vector<AccelBatch> accel_batches;
@@ -213,7 +276,10 @@ class RpcServerRuntime
     };
 
     void WorkerLoop(Worker *w);
-    void ProcessBatch(Worker *w, std::vector<OwnedFrame> *batch);
+    /// @p backlog: frames left in the inbox after this batch was
+    /// extracted (the saturation signal for degraded-mode serving).
+    void ProcessBatch(Worker *w, std::vector<OwnedFrame> *batch,
+                      size_t backlog);
     void ReplayAcceleratorTimeline();
 
     const proto::DescriptorPool *pool_;

@@ -1,0 +1,198 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace protoacc::sim {
+
+const char *
+WireMutationName(WireMutation m)
+{
+    switch (m) {
+      case WireMutation::kBitFlip: return "bit-flip";
+      case WireMutation::kByteSet: return "byte-set";
+      case WireMutation::kTruncate: return "truncate";
+      case WireMutation::kExtend: return "extend";
+      case WireMutation::kOverlongVarint: return "overlong-varint";
+      case WireMutation::kLengthBomb: return "length-bomb";
+      case WireMutation::kZeroKey: return "zero-key";
+      case WireMutation::kDuplicateSplice: return "duplicate-splice";
+      case WireMutation::kNumWireMutations: break;
+    }
+    return "?";
+}
+
+FaultInjector::FaultInjector(uint64_t seed, const FaultConfig &config)
+    : rng_(seed), config_(config)
+{}
+
+FaultStats
+FaultInjector::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+FaultInjector::ApplyOneMutation(std::vector<uint8_t> *buf, WireMutation m)
+{
+    std::vector<uint8_t> &b = *buf;
+    // Position helpers tolerate empty buffers: inserts land at 0.
+    const size_t pos = b.empty() ? 0 : rng_.NextBounded(b.size());
+    const size_t ins = b.empty() ? 0 : rng_.NextBounded(b.size() + 1);
+
+    switch (m) {
+      case WireMutation::kBitFlip:
+        if (!b.empty())
+            b[pos] ^= static_cast<uint8_t>(1u << rng_.NextBounded(8));
+        break;
+      case WireMutation::kByteSet:
+        if (!b.empty())
+            b[pos] = static_cast<uint8_t>(rng_.Next());
+        break;
+      case WireMutation::kTruncate:
+        if (!b.empty())
+            b.resize(rng_.NextBounded(b.size()));
+        break;
+      case WireMutation::kExtend: {
+        const size_t n = 1 + rng_.NextBounded(16);
+        for (size_t i = 0; i < n; ++i)
+            b.push_back(static_cast<uint8_t>(rng_.Next()));
+        break;
+      }
+      case WireMutation::kOverlongVarint: {
+        // 11 continuation bytes then a terminator: one byte past the
+        // 10-byte maximum every decoder in the stack must reject.
+        uint8_t v[12];
+        std::memset(v, 0x80 | static_cast<uint8_t>(rng_.Next() & 0x7f),
+                    11);
+        v[11] = 0x01;
+        b.insert(b.begin() + static_cast<ptrdiff_t>(ins), v, v + 12);
+        break;
+      }
+      case WireMutation::kLengthBomb: {
+        // Length-delimited key (field 1) followed by a ~4 GiB length:
+        // the declared payload vastly exceeds the buffer.
+        const uint8_t v[6] = {0x0a, 0xff, 0xff, 0xff, 0xff, 0x0f};
+        b.insert(b.begin() + static_cast<ptrdiff_t>(ins), v, v + 6);
+        break;
+      }
+      case WireMutation::kZeroKey: {
+        const uint8_t z = 0x00;
+        b.insert(b.begin() + static_cast<ptrdiff_t>(ins), &z, &z + 1);
+        break;
+      }
+      case WireMutation::kDuplicateSplice: {
+        if (b.empty())
+            break;
+        const size_t start = rng_.NextBounded(b.size());
+        const size_t max_len = std::min<size_t>(b.size() - start, 32);
+        const size_t len = 1 + rng_.NextBounded(max_len);
+        std::vector<uint8_t> slice(b.begin() + start,
+                                   b.begin() + start + len);
+        b.insert(b.begin() + static_cast<ptrdiff_t>(ins), slice.begin(),
+                 slice.end());
+        break;
+      }
+      case WireMutation::kNumWireMutations:
+        break;
+    }
+}
+
+std::vector<WireMutation>
+FaultInjector::MutateWire(std::vector<uint8_t> *buf, uint32_t count)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<WireMutation> applied;
+    applied.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+        const auto m = static_cast<WireMutation>(rng_.NextBounded(
+            static_cast<uint64_t>(WireMutation::kNumWireMutations)));
+        ApplyOneMutation(buf, m);
+        applied.push_back(m);
+    }
+    if (count > 0) {
+        ++stats_.buffers_mutated;
+        stats_.wire_mutations += count;
+    }
+    return applied;
+}
+
+bool
+FaultInjector::MaybeMutateWire(std::vector<uint8_t> *buf)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!rng_.NextBool(config_.wire_mutation_rate))
+        return false;
+    const uint32_t count =
+        1 + static_cast<uint32_t>(rng_.NextBounded(
+                std::max<uint32_t>(config_.max_mutations_per_buffer, 1)));
+    for (uint32_t i = 0; i < count; ++i) {
+        const auto m = static_cast<WireMutation>(rng_.NextBounded(
+            static_cast<uint64_t>(WireMutation::kNumWireMutations)));
+        ApplyOneMutation(buf, m);
+    }
+    ++stats_.buffers_mutated;
+    stats_.wire_mutations += count;
+    return true;
+}
+
+UnitFault
+FaultInjector::SampleUnitFault()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    UnitFault fault;
+    if (rng_.NextBool(config_.unit_kill_rate)) {
+        fault.kind = UnitFaultKind::kKill;
+        ++stats_.units_killed;
+    } else if (rng_.NextBool(config_.unit_stall_rate)) {
+        fault.kind = UnitFaultKind::kStall;
+        const uint64_t lo = config_.stall_cycles_min;
+        const uint64_t hi = std::max(config_.stall_cycles_max, lo);
+        fault.stall_cycles = lo + rng_.NextBounded(hi - lo + 1);
+        ++stats_.units_stalled;
+    }
+    return fault;
+}
+
+ChannelFaultKind
+FaultInjector::SampleChannelFault()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (rng_.NextBool(config_.frame_drop_rate)) {
+        ++stats_.frames_dropped;
+        return ChannelFaultKind::kDrop;
+    }
+    if (rng_.NextBool(config_.frame_truncate_rate)) {
+        ++stats_.frames_truncated;
+        return ChannelFaultKind::kTruncate;
+    }
+    if (rng_.NextBool(config_.frame_corrupt_rate)) {
+        ++stats_.frames_corrupted;
+        return ChannelFaultKind::kCorrupt;
+    }
+    return ChannelFaultKind::kNone;
+}
+
+void
+FaultInjector::CorruptBytes(uint8_t *data, size_t len, uint32_t n)
+{
+    if (len == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (uint32_t i = 0; i < n; ++i) {
+        const size_t pos = rng_.NextBounded(len);
+        data[pos] ^= static_cast<uint8_t>(1u << rng_.NextBounded(8));
+    }
+}
+
+size_t
+FaultInjector::TruncatedLength(size_t len)
+{
+    if (len == 0)
+        return 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    return rng_.NextBounded(len);
+}
+
+}  // namespace protoacc::sim

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Deterministic fault injection for the robustness harness.
+ *
+ * One seeded injector produces every class of failure the serving stack
+ * must survive:
+ *
+ *   - hostile wire bytes: seeded structural mutations of serialized
+ *     buffers (bit flips, truncation, overlong varints, length bombs,
+ *     zero keys, duplicated splices) used by the differential fuzz
+ *     harness and the hostile-client model;
+ *   - hardware faults: an accelerator unit dying mid-batch (the job is
+ *     abandoned, the destination object is left untouched) or stalling
+ *     for a bounded number of cycles;
+ *   - channel faults: RPC frames dropped, truncated, or corrupted in
+ *     flight.
+ *
+ * Determinism contract: a given (seed, config, call sequence) produces
+ * the same decisions on every run. Draws are serialized under a mutex so
+ * concurrent callers are safe, but cross-thread interleaving is not
+ * deterministic — components that need replayable decisions own a
+ * private injector (e.g. one per worker, seeded seed + worker_id).
+ */
+#ifndef PROTOACC_SIM_FAULT_H
+#define PROTOACC_SIM_FAULT_H
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace protoacc::sim {
+
+/// Structural mutation classes applied to wire bytes.
+enum class WireMutation {
+    kBitFlip,         ///< flip one bit anywhere in the buffer
+    kByteSet,         ///< overwrite one byte with a random value
+    kTruncate,        ///< cut the buffer at a random point
+    kExtend,          ///< append random trailing garbage
+    kOverlongVarint,  ///< splice in a varint longer than 10 bytes
+    kLengthBomb,      ///< splice a length-delimited key with a huge length
+    kZeroKey,         ///< insert a 0x00 key byte (reserved field number)
+    kDuplicateSplice, ///< re-insert a copy of a random slice
+    kNumWireMutations,
+};
+
+const char *WireMutationName(WireMutation m);
+
+/// Outcome drawn for one accelerator job.
+enum class UnitFaultKind {
+    kNone,
+    /// The unit dies mid-job: work is abandoned, output undefined-but-
+    /// untouched, the fence reports the failure.
+    kKill,
+    /// The unit wedges for a bounded number of cycles, then completes.
+    kStall,
+};
+
+struct UnitFault
+{
+    UnitFaultKind kind = UnitFaultKind::kNone;
+    uint64_t stall_cycles = 0;
+};
+
+/// Outcome drawn for one RPC frame crossing the channel.
+enum class ChannelFaultKind {
+    kNone,
+    kDrop,      ///< the frame never arrives
+    kTruncate,  ///< the tail of the frame is lost
+    kCorrupt,   ///< payload bytes are flipped in flight
+};
+
+/// Per-class injection rates; all default to zero (injector disabled).
+struct FaultConfig
+{
+    /// Probability that MaybeMutateWire touches a buffer at all.
+    double wire_mutation_rate = 0.0;
+    /// Mutations applied per touched buffer: uniform in [1, this].
+    uint32_t max_mutations_per_buffer = 3;
+
+    /// Per-job probability an accelerator unit dies mid-job.
+    double unit_kill_rate = 0.0;
+    /// Per-job probability of a bounded stall instead.
+    double unit_stall_rate = 0.0;
+    uint64_t stall_cycles_min = 100;
+    uint64_t stall_cycles_max = 10000;
+
+    /// Per-frame channel fault probabilities.
+    double frame_drop_rate = 0.0;
+    double frame_truncate_rate = 0.0;
+    double frame_corrupt_rate = 0.0;
+};
+
+/// Decision counters (what the injector actually did).
+struct FaultStats
+{
+    uint64_t buffers_mutated = 0;
+    uint64_t wire_mutations = 0;
+    uint64_t units_killed = 0;
+    uint64_t units_stalled = 0;
+    uint64_t frames_dropped = 0;
+    uint64_t frames_truncated = 0;
+    uint64_t frames_corrupted = 0;
+};
+
+/**
+ * Seeded source of every injected-failure decision. Thread-safe; see
+ * the file comment for the determinism contract.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(uint64_t seed, const FaultConfig &config = {});
+
+    const FaultConfig &config() const { return config_; }
+    FaultStats stats() const;
+
+    /**
+     * Unconditionally apply @p count seeded structural mutations to
+     * @p buf (the differential-fuzz entry point; rates do not apply).
+     * Returns the mutation classes applied, in order.
+     */
+    std::vector<WireMutation> MutateWire(std::vector<uint8_t> *buf,
+                                         uint32_t count);
+
+    /// Rate-gated wire mutation for hostile-client modeling: with
+    /// probability wire_mutation_rate, applies 1..max mutations.
+    /// @return true when the buffer was touched.
+    bool MaybeMutateWire(std::vector<uint8_t> *buf);
+
+    /// Draw the fault outcome for one accelerator job.
+    UnitFault SampleUnitFault();
+
+    /// Draw the fault outcome for one channel frame.
+    ChannelFaultKind SampleChannelFault();
+
+    /// Corrupt @p n bytes of an in-flight frame payload in place.
+    void CorruptBytes(uint8_t *data, size_t len, uint32_t n = 1);
+
+    /// New length for a truncated frame payload: uniform in [0, len).
+    size_t TruncatedLength(size_t len);
+
+  private:
+    void ApplyOneMutation(std::vector<uint8_t> *buf, WireMutation m);
+
+    mutable std::mutex mu_;
+    Rng rng_;
+    FaultConfig config_;
+    FaultStats stats_;
+};
+
+}  // namespace protoacc::sim
+
+#endif  // PROTOACC_SIM_FAULT_H

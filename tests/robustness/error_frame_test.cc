@@ -1,0 +1,297 @@
+/**
+ * Structured error propagation (satellite of the robustness PR): the
+ * server encodes the specific failure class into the error frame
+ * (status byte + detail payload), and the client surfaces exactly that
+ * code from Call() — including through channel faults and retries.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "proto/schema_parser.h"
+#include "rpc/rpc.h"
+
+namespace protoacc::rpc {
+namespace {
+
+using proto::DescriptorPool;
+using proto::Message;
+
+class ErrorFrameTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto parsed = proto::ParseSchema(R"(
+            message Req {
+                optional string text = 1;
+            }
+            message Rsp {
+                optional string text = 1;
+            }
+        )",
+                                               &pool_);
+        ASSERT_TRUE(parsed.ok) << parsed.error;
+        pool_.Compile(proto::HasbitsMode::kSparse);
+        req_ = pool_.FindMessage("Req");
+        rsp_ = pool_.FindMessage("Rsp");
+    }
+
+    std::unique_ptr<SoftwareBackend>
+    Software()
+    {
+        return std::make_unique<SoftwareBackend>(cpu::BoomParams(),
+                                                 pool_);
+    }
+
+    Handler
+    Echo()
+    {
+        return [this](const Message &request, Message response) {
+            const auto &rd = pool_.message(req_);
+            const auto &sd = pool_.message(rsp_);
+            response.SetString(
+                *sd.FindFieldByName("text"),
+                request.GetString(*rd.FindFieldByName("text")));
+        };
+    }
+
+    DescriptorPool pool_;
+    int req_ = -1;
+    int rsp_ = -1;
+};
+
+TEST_F(ErrorFrameTest, ErrorFrameCarriesCodeAndDetailString)
+{
+    RpcServer server(&pool_, Software());
+    server.RegisterMethod(1, req_, rsp_, Echo());
+
+    // Malformed request payload: a truncated string field.
+    const uint8_t bad[] = {0x0a, 0x7F, 'x'};
+    Frame frame;
+    frame.header.call_id = 9;
+    frame.header.method_id = 1;
+    frame.header.kind = FrameKind::kRequest;
+    frame.header.payload_bytes = sizeof(bad);
+    frame.payload = bad;
+
+    FrameBuffer reply;
+    const StatusCode st = server.HandleFrame(frame, &reply);
+    EXPECT_EQ(st, StatusCode::kTruncated);
+
+    size_t offset = 0;
+    const auto out = reply.Next(&offset);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->header.kind, FrameKind::kError);
+    EXPECT_EQ(out->header.call_id, 9u);
+    EXPECT_EQ(out->header.status, StatusCode::kTruncated);
+    // The detail payload is the human-readable code name.
+    const std::string detail(
+        reinterpret_cast<const char *>(out->payload),
+        out->header.payload_bytes);
+    EXPECT_EQ(detail, StatusCodeName(StatusCode::kTruncated));
+}
+
+TEST_F(ErrorFrameTest, EachFailureClassReachesTheClient)
+{
+    // kUnknownMethod: no such method registered.
+    {
+        RpcServer server(&pool_, Software());
+        server.RegisterMethod(1, req_, rsp_, Echo());
+        RpcSession session(&pool_, Software(), &server,
+                           SimulatedChannel{});
+        proto::Arena arena;
+        Message request = Message::Create(&arena, pool_, req_);
+        Message response = Message::Create(&arena, pool_, rsp_);
+        EXPECT_EQ(session.Call(42, request, &response),
+                  StatusCode::kUnknownMethod);
+        EXPECT_EQ(session.last_error(), StatusCode::kUnknownMethod);
+    }
+
+    // kResourceExhausted: the server's parse limits reject the request.
+    {
+        RpcServer server(&pool_, Software());
+        ParseLimits limits;
+        limits.max_payload_bytes = 4;
+        server.mutable_backend().SetParseLimits(limits);
+        server.RegisterMethod(1, req_, rsp_, Echo());
+        RpcSession session(&pool_, Software(), &server,
+                           SimulatedChannel{});
+        proto::Arena arena;
+        Message request = Message::Create(&arena, pool_, req_);
+        request.SetString(
+            *pool_.message(req_).FindFieldByName("text"),
+            std::string(100, 'y'));
+        Message response = Message::Create(&arena, pool_, rsp_);
+        EXPECT_EQ(session.Call(1, request, &response),
+                  StatusCode::kResourceExhausted);
+    }
+
+    // kUnavailable: the channel drops every frame.
+    {
+        RpcServer server(&pool_, Software());
+        server.RegisterMethod(1, req_, rsp_, Echo());
+        RpcSession session(&pool_, Software(), &server,
+                           SimulatedChannel{});
+        sim::FaultConfig config;
+        config.frame_drop_rate = 1.0;
+        sim::FaultInjector injector(13, config);
+        session.SetFaultInjector(&injector);
+        proto::Arena arena;
+        Message request = Message::Create(&arena, pool_, req_);
+        Message response = Message::Create(&arena, pool_, rsp_);
+        EXPECT_EQ(session.Call(1, request, &response),
+                  StatusCode::kUnavailable);
+        EXPECT_EQ(session.breakdown().failures, 1u);
+    }
+}
+
+TEST_F(ErrorFrameTest, DeterministicRejectionsAreNotRetried)
+{
+    RpcServer server(&pool_, Software());
+    server.RegisterMethod(1, req_, rsp_, Echo());
+    RpcSession session(&pool_, Software(), &server,
+                       SimulatedChannel{});
+    RetryPolicy policy;
+    policy.max_attempts = 5;
+    session.set_retry_policy(policy);
+    proto::Arena arena;
+    Message request = Message::Create(&arena, pool_, req_);
+    Message response = Message::Create(&arena, pool_, rsp_);
+    // kUnknownMethod is not retryable: exactly one attempt, no backoff.
+    EXPECT_EQ(session.Call(42, request, &response),
+              StatusCode::kUnknownMethod);
+    EXPECT_EQ(session.breakdown().attempts, 1u);
+    EXPECT_EQ(session.breakdown().retries, 0u);
+    EXPECT_EQ(session.breakdown().backoff_ns, 0.0);
+}
+
+TEST_F(ErrorFrameTest, TransientDropsAreRetriedWithBackoff)
+{
+    RpcServer server(&pool_, Software());
+    server.RegisterMethod(1, req_, rsp_, Echo());
+    RpcSession session(&pool_, Software(), &server,
+                       SimulatedChannel{});
+    sim::FaultConfig config;
+    config.frame_drop_rate = 0.3;
+    sim::FaultInjector injector(21, config);
+    session.SetFaultInjector(&injector);
+    RetryPolicy policy;
+    policy.max_attempts = 10;
+    session.set_retry_policy(policy);
+
+    proto::Arena arena;
+    const auto &rd = pool_.message(req_);
+    for (int i = 0; i < 20; ++i) {
+        Message request = Message::Create(&arena, pool_, req_);
+        request.SetString(*rd.FindFieldByName("text"),
+                          "r-" + std::to_string(i));
+        Message response = Message::Create(&arena, pool_, rsp_);
+        EXPECT_EQ(session.Call(1, request, &response), StatusCode::kOk)
+            << "call " << i;
+    }
+    const RpcTimeBreakdown &b = session.breakdown();
+    EXPECT_EQ(b.calls, 20u);
+    EXPECT_EQ(b.failures, 0u);
+    // A 30% drop rate over 20 calls must have triggered retries, and
+    // every retry models a backoff sleep.
+    EXPECT_GT(b.retries, 0u);
+    EXPECT_GT(b.backoff_ns, 0.0);
+    EXPECT_EQ(b.attempts, b.calls + b.retries);
+}
+
+TEST_F(ErrorFrameTest, ExhaustedRetriesSurfaceTheTransientCode)
+{
+    RpcServer server(&pool_, Software());
+    server.RegisterMethod(1, req_, rsp_, Echo());
+    RpcSession session(&pool_, Software(), &server,
+                       SimulatedChannel{});
+    sim::FaultConfig config;
+    config.frame_drop_rate = 1.0;
+    sim::FaultInjector injector(22, config);
+    session.SetFaultInjector(&injector);
+    RetryPolicy policy;
+    policy.max_attempts = 4;
+    session.set_retry_policy(policy);
+
+    proto::Arena arena;
+    Message request = Message::Create(&arena, pool_, req_);
+    Message response = Message::Create(&arena, pool_, rsp_);
+    EXPECT_EQ(session.Call(1, request, &response),
+              StatusCode::kUnavailable);
+    EXPECT_EQ(session.breakdown().attempts, 4u);
+    EXPECT_EQ(session.breakdown().retries, 3u);
+    EXPECT_GT(session.breakdown().backoff_ns, 0.0);
+}
+
+TEST_F(ErrorFrameTest, AccelFaultSurfacesAndRetriesHelpOnceHealthy)
+{
+    // A dead accelerator on the server rejects every attempt with
+    // kAccelFault — which the client classifies as retryable.
+    auto accel_backend = std::make_unique<AcceleratedBackend>(pool_);
+    AcceleratedBackend *accel = accel_backend.get();
+    RpcServer server(&pool_, std::move(accel_backend));
+    server.RegisterMethod(1, req_, rsp_, Echo());
+    RpcSession session(&pool_, Software(), &server,
+                       SimulatedChannel{});
+    RetryPolicy policy;
+    policy.max_attempts = 3;
+    session.set_retry_policy(policy);
+
+    sim::FaultConfig config;
+    config.unit_kill_rate = 1.0;
+    sim::FaultInjector injector(23, config);
+    accel->SetFaultInjector(&injector);
+
+    proto::Arena arena;
+    Message request = Message::Create(&arena, pool_, req_);
+    request.SetString(*pool_.message(req_).FindFieldByName("text"),
+                      "hello");
+    Message response = Message::Create(&arena, pool_, rsp_);
+    EXPECT_EQ(session.Call(1, request, &response),
+              StatusCode::kAccelFault);
+    EXPECT_TRUE(StatusIsRetryable(StatusCode::kAccelFault));
+    EXPECT_EQ(session.breakdown().attempts, 3u);
+
+    // The device recovers: the same session's next call succeeds.
+    accel->SetFaultInjector(nullptr);
+    EXPECT_EQ(session.Call(1, request, &response), StatusCode::kOk);
+    const auto &sd = pool_.message(rsp_);
+    EXPECT_EQ(response.GetString(*sd.FindFieldByName("text")), "hello");
+}
+
+TEST_F(ErrorFrameTest, CorruptedFramesNeverCrashEitherEndpoint)
+{
+    RpcServer server(&pool_, Software());
+    server.RegisterMethod(1, req_, rsp_, Echo());
+    RpcSession session(&pool_, Software(), &server,
+                       SimulatedChannel{});
+    sim::FaultConfig config;
+    config.frame_corrupt_rate = 0.6;
+    config.frame_truncate_rate = 0.2;
+    sim::FaultInjector injector(24, config);
+    session.SetFaultInjector(&injector);
+    RetryPolicy policy;
+    policy.max_attempts = 2;
+    session.set_retry_policy(policy);
+
+    proto::Arena arena;
+    const auto &rd = pool_.message(req_);
+    uint64_t ok = 0;
+    for (int i = 0; i < 60; ++i) {
+        Message request = Message::Create(&arena, pool_, req_);
+        request.SetString(*rd.FindFieldByName("text"),
+                          "payload-" + std::to_string(i));
+        Message response = Message::Create(&arena, pool_, rsp_);
+        ok += StatusOk(session.Call(1, request, &response));
+    }
+    // Under heavy corruption some calls still land; none may crash.
+    EXPECT_GT(ok, 0u);
+    EXPECT_LT(ok, 60u);
+    EXPECT_EQ(session.breakdown().calls, 60u);
+}
+
+}  // namespace
+}  // namespace protoacc::rpc

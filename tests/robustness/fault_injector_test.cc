@@ -1,0 +1,184 @@
+/**
+ * FaultInjector unit tests: determinism (same seed, same decisions),
+ * rate behavior at the extremes, and the accelerator/channel fault
+ * hooks actually changing component behavior.
+ */
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.h"
+#include "proto/schema_random.h"
+#include "proto/serializer.h"
+#include "rpc/codec_backend.h"
+#include "sim/fault.h"
+
+namespace protoacc::sim {
+namespace {
+
+TEST(FaultInjector, SameSeedSameDecisions)
+{
+    FaultConfig config;
+    config.unit_kill_rate = 0.1;
+    config.unit_stall_rate = 0.2;
+    config.frame_drop_rate = 0.05;
+    config.frame_truncate_rate = 0.05;
+    config.frame_corrupt_rate = 0.1;
+
+    FaultInjector a(1234, config);
+    FaultInjector b(1234, config);
+    std::vector<uint8_t> buf_a(64, 0xAB);
+    std::vector<uint8_t> buf_b(64, 0xAB);
+    for (int i = 0; i < 200; ++i) {
+        const UnitFault fa = a.SampleUnitFault();
+        const UnitFault fb = b.SampleUnitFault();
+        EXPECT_EQ(static_cast<int>(fa.kind), static_cast<int>(fb.kind));
+        EXPECT_EQ(fa.stall_cycles, fb.stall_cycles);
+        EXPECT_EQ(static_cast<int>(a.SampleChannelFault()),
+                  static_cast<int>(b.SampleChannelFault()));
+    }
+    const auto ma = a.MutateWire(&buf_a, 5);
+    const auto mb = b.MutateWire(&buf_b, 5);
+    ASSERT_EQ(ma.size(), mb.size());
+    for (size_t i = 0; i < ma.size(); ++i)
+        EXPECT_EQ(static_cast<int>(ma[i]), static_cast<int>(mb[i]));
+    EXPECT_EQ(buf_a, buf_b);
+}
+
+TEST(FaultInjector, ZeroRatesInjectNothing)
+{
+    FaultInjector injector(1, FaultConfig{});
+    std::vector<uint8_t> buf(32, 0x11);
+    const std::vector<uint8_t> orig = buf;
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(static_cast<int>(injector.SampleUnitFault().kind),
+                  static_cast<int>(UnitFaultKind::kNone));
+        EXPECT_EQ(static_cast<int>(injector.SampleChannelFault()),
+                  static_cast<int>(ChannelFaultKind::kNone));
+        EXPECT_FALSE(injector.MaybeMutateWire(&buf));
+    }
+    EXPECT_EQ(buf, orig);
+    const FaultStats stats = injector.stats();
+    EXPECT_EQ(stats.units_killed, 0u);
+    EXPECT_EQ(stats.frames_dropped, 0u);
+    EXPECT_EQ(stats.buffers_mutated, 0u);
+}
+
+TEST(FaultInjector, CertainRatesAlwaysInject)
+{
+    FaultConfig config;
+    config.unit_kill_rate = 1.0;
+    config.wire_mutation_rate = 1.0;
+    config.frame_drop_rate = 1.0;
+    FaultInjector injector(2, config);
+    std::vector<uint8_t> buf(32, 0x22);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(static_cast<int>(injector.SampleUnitFault().kind),
+                  static_cast<int>(UnitFaultKind::kKill));
+        EXPECT_EQ(static_cast<int>(injector.SampleChannelFault()),
+                  static_cast<int>(ChannelFaultKind::kDrop));
+        EXPECT_TRUE(injector.MaybeMutateWire(&buf));
+    }
+    const FaultStats stats = injector.stats();
+    EXPECT_EQ(stats.units_killed, 50u);
+    EXPECT_EQ(stats.frames_dropped, 50u);
+    EXPECT_EQ(stats.buffers_mutated, 50u);
+    EXPECT_GE(stats.wire_mutations, 50u);
+}
+
+TEST(FaultInjector, StallCyclesStayWithinConfiguredBounds)
+{
+    FaultConfig config;
+    config.unit_stall_rate = 1.0;
+    config.stall_cycles_min = 500;
+    config.stall_cycles_max = 700;
+    FaultInjector injector(3, config);
+    for (int i = 0; i < 100; ++i) {
+        const UnitFault f = injector.SampleUnitFault();
+        ASSERT_EQ(static_cast<int>(f.kind),
+                  static_cast<int>(UnitFaultKind::kStall));
+        EXPECT_GE(f.stall_cycles, 500u);
+        EXPECT_LE(f.stall_cycles, 700u);
+    }
+}
+
+TEST(FaultInjector, MutationsHandleEmptyAndTinyBuffers)
+{
+    FaultInjector injector(4);
+    for (size_t len = 0; len <= 3; ++len) {
+        std::vector<uint8_t> buf(len, 0x5A);
+        injector.MutateWire(&buf, 8);  // must not crash or hang
+    }
+}
+
+/// An injected unit kill must surface as a device-level failure with
+/// the destination object untouched, and detach must restore health.
+TEST(FaultInjectorAccel, UnitKillFailsTheJobAndLeavesDestUntouched)
+{
+    proto::DescriptorPool pool;
+    protoacc::Rng rng(5);
+    proto::SchemaGenOptions opts;
+    opts.max_depth = 1;
+    const int root = proto::GenerateRandomSchema(&pool, &rng, opts);
+    pool.Compile(proto::HasbitsMode::kSparse);
+
+    rpc::AcceleratedBackend backend(pool);
+    proto::Arena arena;
+    proto::Message msg = proto::Message::Create(&arena, pool, root);
+    proto::PopulateRandomMessage(msg, &rng, proto::MessageGenOptions{});
+    const std::vector<uint8_t> wire = proto::Serialize(msg, nullptr);
+
+    FaultConfig config;
+    config.unit_kill_rate = 1.0;
+    FaultInjector injector(6, config);
+    backend.SetFaultInjector(&injector);
+
+    proto::Message dest = proto::Message::Create(&arena, pool, root);
+    EXPECT_EQ(backend.Deserialize(wire.data(), wire.size(), &dest),
+              StatusCode::kAccelFault);
+    EXPECT_EQ(backend.last_status(), StatusCode::kAccelFault);
+    // Serialize path degrades to an empty result, not an abort.
+    EXPECT_TRUE(backend.Serialize(msg).empty());
+    EXPECT_EQ(backend.last_status(), StatusCode::kAccelFault);
+
+    // Detach: the device is healthy again.
+    backend.SetFaultInjector(nullptr);
+    EXPECT_EQ(backend.Deserialize(wire.data(), wire.size(), &dest),
+              StatusCode::kOk);
+    EXPECT_FALSE(backend.Serialize(msg).empty());
+}
+
+/// Stalls complete the job correctly but cost extra modeled cycles.
+TEST(FaultInjectorAccel, StallsAddCyclesButPreserveResults)
+{
+    proto::DescriptorPool pool;
+    protoacc::Rng rng(8);
+    proto::SchemaGenOptions opts;
+    opts.max_depth = 1;
+    const int root = proto::GenerateRandomSchema(&pool, &rng, opts);
+    pool.Compile(proto::HasbitsMode::kSparse);
+
+    proto::Arena arena;
+    proto::Message msg = proto::Message::Create(&arena, pool, root);
+    proto::PopulateRandomMessage(msg, &rng, proto::MessageGenOptions{});
+    const std::vector<uint8_t> wire = proto::Serialize(msg, nullptr);
+
+    rpc::AcceleratedBackend healthy(pool);
+    proto::Message d1 = proto::Message::Create(&arena, pool, root);
+    ASSERT_EQ(healthy.Deserialize(wire.data(), wire.size(), &d1),
+              StatusCode::kOk);
+    const double healthy_cycles = healthy.codec_cycles();
+
+    rpc::AcceleratedBackend stalled(pool);
+    FaultConfig config;
+    config.unit_stall_rate = 1.0;
+    config.stall_cycles_min = 5000;
+    config.stall_cycles_max = 5000;
+    FaultInjector injector(9, config);
+    stalled.SetFaultInjector(&injector);
+    proto::Message d2 = proto::Message::Create(&arena, pool, root);
+    ASSERT_EQ(stalled.Deserialize(wire.data(), wire.size(), &d2),
+              StatusCode::kOk);
+    EXPECT_GE(stalled.codec_cycles(), healthy_cycles + 5000);
+}
+
+}  // namespace
+}  // namespace protoacc::sim

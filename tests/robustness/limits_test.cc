@@ -1,0 +1,183 @@
+/**
+ * Parse resource limits (satellite of the robustness PR): max payload
+ * size, allocation budget, and depth bound must be enforced identically
+ * by the reference parser, the table parser, and the accelerator
+ * deserializer — and must thread through RuntimeConfig so a serving
+ * runtime rejects oversized work with kResourceExhausted end to end.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "proto/schema_parser.h"
+#include "rpc/server_runtime.h"
+#include "tri_codec_rig.h"
+
+namespace protoacc::robustness {
+namespace {
+
+using proto::DescriptorPool;
+using proto::Message;
+
+class ParseLimitsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto parsed = proto::ParseSchema(R"(
+            message Doc {
+                optional string text = 1;
+                optional Doc child = 2;
+                repeated uint64 nums = 3 [packed = true];
+            }
+        )",
+                                               &pool_);
+        ASSERT_TRUE(parsed.ok) << parsed.error;
+        pool_.Compile(proto::HasbitsMode::kSparse);
+        root_ = pool_.FindMessage("Doc");
+        rig_ = std::make_unique<TriCodecRig>(&pool_, root_);
+    }
+
+    /// Doc with a @p text_len-byte string, nested @p depth levels down.
+    std::vector<uint8_t>
+    MakeWire(size_t text_len, int depth = 0)
+    {
+        proto::Arena arena;
+        Message root = Message::Create(&arena, pool_, root_);
+        Message cur = root;
+        const auto &d = pool_.message(root_);
+        for (int i = 0; i < depth; ++i)
+            cur = cur.MutableMessage(*d.FindFieldByName("child"));
+        cur.SetString(*d.FindFieldByName("text"),
+                      std::string(text_len, 'x'));
+        return proto::Serialize(root, nullptr);
+    }
+
+    void
+    ExpectAllEngines(const std::vector<uint8_t> &wire, StatusCode want)
+    {
+        const TriVerdict v = rig_->ParseAll(wire);
+        EXPECT_EQ(v.reference, want)
+            << "reference: " << StatusCodeName(v.reference);
+        EXPECT_EQ(v.table, want)
+            << "table: " << StatusCodeName(v.table);
+        EXPECT_EQ(v.accel, want)
+            << "accel: " << StatusCodeName(v.accel);
+    }
+
+    DescriptorPool pool_;
+    int root_ = -1;
+    std::unique_ptr<TriCodecRig> rig_;
+};
+
+TEST_F(ParseLimitsTest, MaxPayloadBytesBindsExactly)
+{
+    const std::vector<uint8_t> wire = MakeWire(200);
+    ParseLimits limits;
+    limits.max_payload_bytes = wire.size();
+    rig_->SetLimits(limits);
+    ExpectAllEngines(wire, StatusCode::kOk);
+
+    limits.max_payload_bytes = wire.size() - 1;
+    rig_->SetLimits(limits);
+    ExpectAllEngines(wire, StatusCode::kResourceExhausted);
+}
+
+TEST_F(ParseLimitsTest, AllocBudgetRejectsStringHeavyInput)
+{
+    const std::vector<uint8_t> wire = MakeWire(512);
+    ParseLimits limits;
+    limits.max_alloc_bytes = 64;  // far below the 512-byte string
+    rig_->SetLimits(limits);
+    ExpectAllEngines(wire, StatusCode::kResourceExhausted);
+
+    limits.max_alloc_bytes = 1 << 20;
+    rig_->SetLimits(limits);
+    ExpectAllEngines(wire, StatusCode::kOk);
+}
+
+TEST_F(ParseLimitsTest, AllocBudgetCoversSubMessageObjects)
+{
+    // No strings at all: the charge that fires is the nested Doc
+    // objects themselves.
+    const std::vector<uint8_t> wire = MakeWire(0, /*depth=*/8);
+    ParseLimits limits;
+    limits.max_alloc_bytes = 32;
+    rig_->SetLimits(limits);
+    ExpectAllEngines(wire, StatusCode::kResourceExhausted);
+}
+
+TEST_F(ParseLimitsTest, DepthLimitBindsExactly)
+{
+    const std::vector<uint8_t> wire = MakeWire(4, /*depth=*/6);
+    ParseLimits limits;
+    limits.max_depth = 6;
+    rig_->SetLimits(limits);
+    ExpectAllEngines(wire, StatusCode::kOk);
+
+    limits.max_depth = 5;
+    rig_->SetLimits(limits);
+    ExpectAllEngines(wire, StatusCode::kDepthExceeded);
+}
+
+TEST_F(ParseLimitsTest, ZeroLimitsMeanDefaults)
+{
+    rig_->SetLimits(ParseLimits{});
+    ExpectAllEngines(MakeWire(2000, /*depth=*/20), StatusCode::kOk);
+}
+
+/// RuntimeConfig.parse_limits reaches every worker backend: oversized
+/// requests die with kResourceExhausted, counted per cause, and the
+/// client-visible error frame carries the code.
+TEST_F(ParseLimitsTest, LimitsThreadThroughTheServingRuntime)
+{
+    rpc::RuntimeConfig config;
+    config.parse_limits.max_payload_bytes = 64;
+    rpc::RpcServerRuntime runtime(
+        &pool_,
+        [this](uint32_t) {
+            return std::make_unique<rpc::SoftwareBackend>(
+                cpu::BoomParams(), pool_);
+        },
+        config);
+    runtime.RegisterMethod(
+        1, root_, root_,
+        [](const Message &, Message) {});
+    runtime.Start();
+
+    auto submit = [&](uint32_t call_id, const std::vector<uint8_t> &wire) {
+        rpc::FrameHeader h;
+        h.call_id = call_id;
+        h.method_id = 1;
+        h.kind = rpc::FrameKind::kRequest;
+        h.payload_bytes = static_cast<uint32_t>(wire.size());
+        EXPECT_EQ(runtime.Submit(h, wire.data()), StatusCode::kOk);
+    };
+    submit(1, MakeWire(16));   // under the limit
+    submit(2, MakeWire(500));  // over the limit
+    runtime.Drain();
+
+    const rpc::RuntimeSnapshot snap = runtime.Snapshot();
+    EXPECT_EQ(snap.calls, 2u);
+    EXPECT_EQ(snap.failures, 1u);
+    EXPECT_EQ(snap.failures_by_code[static_cast<size_t>(
+                  StatusCode::kResourceExhausted)],
+              1u);
+
+    // Find call 2's reply: it must be an error frame carrying the code.
+    bool found = false;
+    size_t offset = 0;
+    while (const auto frame = runtime.replies(0).Next(&offset)) {
+        if (frame->header.call_id != 2)
+            continue;
+        found = true;
+        EXPECT_EQ(frame->header.kind, rpc::FrameKind::kError);
+        EXPECT_EQ(frame->header.status, StatusCode::kResourceExhausted);
+    }
+    EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace protoacc::robustness

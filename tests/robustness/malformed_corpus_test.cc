@@ -1,0 +1,256 @@
+/**
+ * Hand-built malformed-wire corpus (satellite of the robustness PR):
+ * every canonical hostile encoding — truncated keys, truncated
+ * payloads, overlong varints, zero field keys, invalid wire types,
+ * length bombs, invalid UTF-8, deep nesting through the accelerator's
+ * stack-spill path — must draw the SAME verdict from the accelerator
+ * model as from both software parsers.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "proto/schema_parser.h"
+#include "tri_codec_rig.h"
+
+namespace protoacc::robustness {
+namespace {
+
+void
+AppendVarint(std::vector<uint8_t> *out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out->push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out->push_back(static_cast<uint8_t>(v));
+}
+
+/// Wrap @p inner as the payload of Node.child (field 3).
+std::vector<uint8_t>
+WrapAsChild(const std::vector<uint8_t> &inner)
+{
+    std::vector<uint8_t> out;
+    out.push_back(0x1a);  // field 3, length-delimited
+    AppendVarint(&out, inner.size());
+    out.insert(out.end(), inner.begin(), inner.end());
+    return out;
+}
+
+/// Node.id = 1 nested under @p levels of Node.child.
+std::vector<uint8_t>
+NestedWire(int levels)
+{
+    std::vector<uint8_t> wire = {0x08, 0x01};
+    for (int i = 0; i < levels; ++i)
+        wire = WrapAsChild(wire);
+    return wire;
+}
+
+class MalformedCorpusTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto parsed = proto::ParseSchema(R"(
+            message Node {
+                optional uint32 id = 1;
+                optional string name = 2;
+                optional Node child = 3;
+                repeated uint32 values = 4 [packed = true];
+                optional fixed32 fix = 5;
+            }
+        )",
+                                               &pool_);
+        ASSERT_TRUE(parsed.ok) << parsed.error;
+        pool_.Compile(proto::HasbitsMode::kSparse);
+        root_ = pool_.FindMessage("Node");
+        rig_ = std::make_unique<TriCodecRig>(&pool_, root_);
+    }
+
+    /// Assert all three engines agree with each other AND with the
+    /// expected accept/reject outcome.
+    void
+    ExpectVerdict(const std::string &label,
+                  const std::vector<uint8_t> &wire, bool accept)
+    {
+        const TriVerdict v = rig_->ParseAll(wire);
+        EXPECT_TRUE(v.agree_on_accept())
+            << label << ": ref=" << StatusCodeName(v.reference)
+            << " table=" << StatusCodeName(v.table)
+            << " accel=" << StatusCodeName(v.accel);
+        EXPECT_EQ(StatusOk(v.table), accept)
+            << label << ": table said " << StatusCodeName(v.table);
+        // The two software engines must agree on the exact code.
+        EXPECT_EQ(v.reference, v.table)
+            << label << ": ref=" << StatusCodeName(v.reference)
+            << " table=" << StatusCodeName(v.table);
+    }
+
+    proto::DescriptorPool pool_;
+    int root_ = -1;
+    std::unique_ptr<TriCodecRig> rig_;
+};
+
+TEST_F(MalformedCorpusTest, EmptyBufferIsAValidEmptyMessage)
+{
+    ExpectVerdict("empty", {}, /*accept=*/true);
+}
+
+TEST_F(MalformedCorpusTest, TruncatedKeyVarint)
+{
+    // A key byte with the continuation bit set and nothing after it.
+    ExpectVerdict("truncated-key", {0x80}, /*accept=*/false);
+}
+
+TEST_F(MalformedCorpusTest, TruncatedVarintPayload)
+{
+    // Field 1 (varint) whose value varint never terminates.
+    ExpectVerdict("truncated-varint", {0x08, 0xFF}, /*accept=*/false);
+}
+
+TEST_F(MalformedCorpusTest, TruncatedLengthDelimitedPayload)
+{
+    // Field 2 (string) claims 5 bytes; only 2 are present.
+    ExpectVerdict("truncated-string", {0x12, 0x05, 'a', 'b'},
+                  /*accept=*/false);
+}
+
+TEST_F(MalformedCorpusTest, TruncatedFixedWidthPayload)
+{
+    // Field 5 (fixed32) with only 2 of 4 bytes.
+    ExpectVerdict("truncated-fixed32", {0x2d, 0x01, 0x02},
+                  /*accept=*/false);
+}
+
+TEST_F(MalformedCorpusTest, OverlongVarintBeyondTenBytes)
+{
+    // An 11-byte varint: always invalid regardless of the bits.
+    std::vector<uint8_t> wire = {0x08};
+    for (int i = 0; i < 11; ++i)
+        wire.push_back(0x80);
+    wire.push_back(0x01);
+    ExpectVerdict("overlong-varint", wire, /*accept=*/false);
+}
+
+TEST_F(MalformedCorpusTest, ZeroFieldKey)
+{
+    // Field number 0 is reserved; a 0x00 key byte is hostile.
+    ExpectVerdict("zero-key", {0x00}, /*accept=*/false);
+    ExpectVerdict("zero-key-after-valid", {0x08, 0x07, 0x00},
+                  /*accept=*/false);
+}
+
+TEST_F(MalformedCorpusTest, InvalidWireTypes)
+{
+    // Wire types 6 and 7 do not exist.
+    ExpectVerdict("wire-type-6", {0x0E, 0x01}, /*accept=*/false);
+    ExpectVerdict("wire-type-7", {0x0F, 0x01}, /*accept=*/false);
+    // Deprecated group markers (types 3/4) are also rejected.
+    ExpectVerdict("group-start", {0x0B}, /*accept=*/false);
+}
+
+TEST_F(MalformedCorpusTest, LengthBombIsRejectedBeforeAllocation)
+{
+    // Field 2 claims a ~4 GiB string. Every engine must reject it as
+    // truncated (the bytes are not there) without attempting the
+    // allocation.
+    ExpectVerdict("length-bomb",
+                  {0x12, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F},
+                  /*accept=*/false);
+}
+
+TEST_F(MalformedCorpusTest, InvalidUtf8InStringField)
+{
+    // UTF-8 validation is a proto3 behavior (§7); the proto2 corpus
+    // schema accepts arbitrary string bytes, so this case runs on its
+    // own proto3 pool.
+    proto::DescriptorPool p3;
+    const auto parsed = proto::ParseSchema(R"(
+        syntax = "proto3";
+        message P3 {
+            string name = 2;
+        }
+    )",
+                                           &p3);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    p3.Compile(proto::HasbitsMode::kSparse);
+    TriCodecRig rig(&p3, p3.FindMessage("P3"));
+
+    auto expect_reject = [&](const std::string &label,
+                             const std::vector<uint8_t> &wire) {
+        const TriVerdict v = rig.ParseAll(wire);
+        EXPECT_EQ(v.reference, StatusCode::kInvalidUtf8) << label;
+        EXPECT_EQ(v.table, StatusCode::kInvalidUtf8) << label;
+        EXPECT_EQ(v.accel, StatusCode::kInvalidUtf8) << label;
+    };
+    // 0xC3 0x28: invalid 2-byte sequence.
+    expect_reject("bad-utf8", {0x12, 0x02, 0xC3, 0x28});
+    // Overlong NUL encoding 0xC0 0x80.
+    expect_reject("overlong-utf8", {0x12, 0x02, 0xC0, 0x80});
+    // Valid multi-byte UTF-8 still passes everywhere.
+    const TriVerdict ok = rig.ParseAll({0x12, 0x02, 0xC3, 0xA9});
+    EXPECT_EQ(ok.reference, StatusCode::kOk);
+    EXPECT_EQ(ok.table, StatusCode::kOk);
+    EXPECT_EQ(ok.accel, StatusCode::kOk);
+}
+
+TEST_F(MalformedCorpusTest, TruncatedPackedRepeatedPayload)
+{
+    // Field 4 (packed uint32) claims 3 payload bytes, provides 2.
+    ExpectVerdict("truncated-packed", {0x22, 0x03, 0x01, 0x02},
+                  /*accept=*/false);
+}
+
+TEST_F(MalformedCorpusTest, NestedChildLengthOverrunsParent)
+{
+    // Child message whose inner string length escapes the child's
+    // declared extent (classic cross-boundary confusion).
+    ExpectVerdict("child-overrun",
+                  {0x1a, 0x02, 0x12, 0x7F},
+                  /*accept=*/false);
+}
+
+TEST_F(MalformedCorpusTest, DeepNestingThroughTheSpillPathIsAccepted)
+{
+    // 30 levels exceeds the accelerator's on-chip stack (the spill
+    // path engages) but stays under the 100-level parse depth bound:
+    // everyone accepts.
+    ExpectVerdict("depth-30", NestedWire(30), /*accept=*/true);
+    // 60 levels: still fine.
+    ExpectVerdict("depth-60", NestedWire(60), /*accept=*/true);
+}
+
+TEST_F(MalformedCorpusTest, DepthBombBeyondTheParseBoundIsRejected)
+{
+    // 120 levels exceeds kMaxParseDepth (100): every engine rejects,
+    // and because the cause is unambiguous, with the exact same code.
+    const std::vector<uint8_t> wire = NestedWire(120);
+    const TriVerdict v = rig_->ParseAll(wire);
+    EXPECT_EQ(v.reference, StatusCode::kDepthExceeded);
+    EXPECT_EQ(v.table, StatusCode::kDepthExceeded);
+    EXPECT_EQ(v.accel, StatusCode::kDepthExceeded);
+}
+
+TEST_F(MalformedCorpusTest, WireTypeMismatchOnKnownField)
+{
+    // Field 1 is declared uint32 (varint) but arrives length-delimited,
+    // and field 2 is a string but arrives as a varint. Whatever policy
+    // an engine picks (skip as unknown vs reject), all three must pick
+    // the same answer.
+    const TriVerdict a = rig_->ParseAll({0x0a, 0x01, 0x41});
+    EXPECT_TRUE(a.agree_on_accept())
+        << "ref=" << StatusCodeName(a.reference)
+        << " table=" << StatusCodeName(a.table)
+        << " accel=" << StatusCodeName(a.accel);
+    const TriVerdict b = rig_->ParseAll({0x10, 0x05});
+    EXPECT_TRUE(b.agree_on_accept())
+        << "ref=" << StatusCodeName(b.reference)
+        << " table=" << StatusCodeName(b.table)
+        << " accel=" << StatusCodeName(b.accel);
+}
+
+}  // namespace
+}  // namespace protoacc::robustness

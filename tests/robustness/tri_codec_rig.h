@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Shared rig for the robustness suite: runs one wire buffer through all
+ * three codec engines — the tree-walking reference interpreter, the
+ * table-driven fast path, and the accelerator model — and reports each
+ * engine's verdict as a unified StatusCode.
+ *
+ * The differential invariant the suite enforces: for ANY input bytes
+ * (hostile or not) and any ParseLimits, the three engines must agree on
+ * accept vs reject, and none may crash. Exact rejection codes may differ
+ * between engines (e.g. a flipped byte can read as a truncation to one
+ * scanner and a malformed varint to another); the accept/reject decision
+ * may not.
+ */
+#ifndef PROTOACC_TESTS_ROBUSTNESS_TRI_CODEC_RIG_H
+#define PROTOACC_TESTS_ROBUSTNESS_TRI_CODEC_RIG_H
+
+#include <memory>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "proto/codec_reference.h"
+#include "proto/parser.h"
+#include "proto/schema_random.h"
+#include "proto/serializer.h"
+
+namespace protoacc::robustness {
+
+/// Per-engine verdicts for one (buffer, limits) parse.
+struct TriVerdict
+{
+    StatusCode reference = StatusCode::kOk;
+    StatusCode table = StatusCode::kOk;
+    StatusCode accel = StatusCode::kOk;
+
+    bool
+    agree_on_accept() const
+    {
+        return StatusOk(reference) == StatusOk(table) &&
+               StatusOk(table) == StatusOk(accel);
+    }
+    bool accepted() const { return StatusOk(table); }
+};
+
+/// One compiled schema plus the three engines wired to parse into it.
+class TriCodecRig
+{
+  public:
+    /// Adopts an already-compiled pool; @p root is the message type
+    /// every buffer is parsed as.
+    TriCodecRig(const proto::DescriptorPool *pool, int root)
+        : pool_(pool),
+          root_(root),
+          memory_(sim::MemorySystemConfig{}),
+          accel_(&memory_, accel::AccelConfig{}),
+          adts_(std::make_unique<accel::AdtBuilder>(*pool, &adt_arena_))
+    {
+        accel_.DeserAssignArena(&accel_arena_);
+    }
+
+    /// Apply resource limits to all three engines.
+    void
+    SetLimits(const ParseLimits &limits)
+    {
+        limits_ = limits;
+        accel_.deserializer().SetLimits(limits);
+    }
+
+    StatusCode
+    ParseReference(const uint8_t *data, size_t size)
+    {
+        proto::Arena arena;
+        proto::Message dest =
+            proto::Message::Create(&arena, *pool_, root_);
+        return proto::ToStatusCode(proto::ReferenceParseFromBuffer(
+            data, size, &dest, nullptr, &limits_));
+    }
+
+    StatusCode
+    ParseTable(const uint8_t *data, size_t size)
+    {
+        proto::Arena arena;
+        proto::Message dest =
+            proto::Message::Create(&arena, *pool_, root_);
+        return proto::ToStatusCode(proto::ParseFromBuffer(
+            data, size, &dest, nullptr, &limits_));
+    }
+
+    StatusCode
+    ParseAccel(const uint8_t *data, size_t size)
+    {
+        proto::Arena arena;
+        proto::Message dest =
+            proto::Message::Create(&arena, *pool_, root_);
+        accel_.EnqueueDeser(accel::MakeDeserJob(*adts_, root_, *pool_,
+                                                dest.raw(), data, size));
+        uint64_t cycles = 0;
+        return accel::ToStatusCode(
+            accel_.BlockForDeserCompletion(&cycles));
+    }
+
+    TriVerdict
+    ParseAll(const uint8_t *data, size_t size)
+    {
+        TriVerdict v;
+        v.reference = ParseReference(data, size);
+        v.table = ParseTable(data, size);
+        v.accel = ParseAccel(data, size);
+        return v;
+    }
+
+    TriVerdict
+    ParseAll(const std::vector<uint8_t> &buf)
+    {
+        return ParseAll(buf.data(), buf.size());
+    }
+
+    const proto::DescriptorPool &pool() const { return *pool_; }
+    int root() const { return root_; }
+
+    /// Reclaim the accelerator's deser arena between fuzz rounds (the
+    /// destination objects of completed jobs are dead); long sweeps
+    /// would otherwise grow it without bound.
+    void ResetAccelArena() { accel_arena_.Reset(); }
+
+  private:
+    const proto::DescriptorPool *pool_;
+    int root_;
+    ParseLimits limits_;
+    proto::Arena adt_arena_;
+    proto::Arena accel_arena_;
+    sim::MemorySystem memory_;
+    accel::ProtoAccelerator accel_;
+    std::unique_ptr<accel::AdtBuilder> adts_;
+};
+
+/// Owns a random schema + rig (the fuzz-loop convenience wrapper).
+class RandomSchemaRig
+{
+  public:
+    explicit RandomSchemaRig(uint64_t seed, int max_depth = 3)
+    {
+        protoacc::Rng rng(seed);
+        proto::SchemaGenOptions opts;
+        opts.max_depth = max_depth;
+        root_ = proto::GenerateRandomSchema(&pool_, &rng, opts);
+        pool_.Compile(proto::HasbitsMode::kSparse);
+        rig_ = std::make_unique<TriCodecRig>(&pool_, root_);
+    }
+
+    /// Serialize a randomly populated message of the rig's root type.
+    std::vector<uint8_t>
+    RandomWire(protoacc::Rng *rng) const
+    {
+        proto::Arena arena;
+        proto::Message msg =
+            proto::Message::Create(&arena, pool_, root_);
+        proto::PopulateRandomMessage(msg, rng,
+                                     proto::MessageGenOptions{});
+        return proto::Serialize(msg, nullptr);
+    }
+
+    TriCodecRig &rig() { return *rig_; }
+
+  private:
+    proto::DescriptorPool pool_;
+    int root_ = -1;
+    std::unique_ptr<TriCodecRig> rig_;
+};
+
+}  // namespace protoacc::robustness
+
+#endif  // PROTOACC_TESTS_ROBUSTNESS_TRI_CODEC_RIG_H

@@ -238,7 +238,8 @@ class RpcEndToEndTest : public ::testing::Test
                               "ping-" + std::to_string(i));
             request.SetInt32(*rd.FindFieldByName("repeat"), 3);
             Message response = Message::Create(&arena, pool_, rsp_);
-            EXPECT_TRUE(session.Call(1, request, &response));
+            EXPECT_EQ(session.Call(1, request, &response),
+                      StatusCode::kOk);
             const auto &sd = pool_.message(rsp_);
             EXPECT_EQ(response.GetUint32(*sd.FindFieldByName("length")),
                       3 * (std::string("ping-") + std::to_string(i))
@@ -311,7 +312,9 @@ TEST_F(RpcEndToEndTest, UnknownMethodYieldsErrorFrame)
     proto::Arena arena;
     Message request = Message::Create(&arena, pool_, req_);
     Message response = Message::Create(&arena, pool_, rsp_);
-    EXPECT_FALSE(session.Call(99, request, &response));
+    EXPECT_EQ(session.Call(99, request, &response),
+              StatusCode::kUnknownMethod);
+    EXPECT_EQ(session.last_error(), StatusCode::kUnknownMethod);
     EXPECT_EQ(session.breakdown().failures, 1u);
 }
 
