@@ -1,0 +1,513 @@
+/**
+ * Chaos soak: a seeded closed-loop client driving the serving runtime
+ * while every fault class fires at once — in-flight frame corruption /
+ * truncation / drops, accelerator unit kills, stalls and permanent
+ * wedges (watchdog-recovered), and scheduled worker crashes — with the
+ * client retrying under stable idempotency keys.
+ *
+ * Mode A (CRC on, the shipped configuration) asserts the exactly-once
+ * contract end to end:
+ *   - zero wrong responses (every response echoes its call's payload);
+ *   - zero lost calls (every logical call eventually answered);
+ *   - zero duplicated executions (each idempotency key ran at most
+ *     once, retries served from the dedup cache);
+ * and that the machinery actually engaged: detected corruptions
+ * (crc_rejects), dedup hits, both scheduled worker crashes, and
+ * watchdog resets are all nonzero.
+ *
+ * Mode B re-runs the same seeds with frame CRCs disabled — the
+ * pre-integrity stack — and counts how many corrupted frames were
+ * silently served (wrong or unattributable responses). The pair of
+ * numbers is the headline: same fault schedule, detected vs silent.
+ *
+ * Flags: --calls=N   logical calls per mode (default 1500)
+ *        --seed=S    base seed (default 0xC0FFEE)
+ *        --json=PATH write both modes' counters as JSON
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "proto/schema_parser.h"
+#include "rpc/server_runtime.h"
+#include "sim/fault.h"
+
+using namespace protoacc;
+using proto::DescriptorPool;
+using proto::Message;
+
+namespace {
+
+struct Options
+{
+    uint64_t calls = 1'500;
+    uint64_t seed = 0xC0FFEE;
+    std::string json_path;
+};
+
+Options
+ParseOptions(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--calls=", 0) == 0)
+            opt.calls = std::strtoull(arg.c_str() + 8, nullptr, 10);
+        else if (arg.rfind("--seed=", 0) == 0)
+            opt.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+        else if (arg.rfind("--json=", 0) == 0)
+            opt.json_path = arg.substr(7);
+        else {
+            std::fprintf(stderr,
+                         "usage: chaos_soak [--calls=N] [--seed=S] "
+                         "[--json=PATH]\n");
+            std::exit(1);
+        }
+    }
+    return opt;
+}
+
+struct ModeResult
+{
+    bool crc_enabled = true;
+    uint64_t calls = 0;
+    uint64_t rounds = 0;
+    uint64_t attempts = 0;
+    uint64_t answered = 0;
+    uint64_t wrong_responses = 0;
+    uint64_t unknown_responses = 0;
+    uint64_t lost_calls = 0;
+    uint64_t duplicate_execs = 0;
+    uint64_t error_replies = 0;
+    uint64_t client_reply_drops = 0;
+    uint64_t crc_rejects = 0;
+    uint64_t dedup_hits = 0;
+    uint64_t dedup_insertions = 0;
+    uint64_t workers_crashed = 0;
+    uint64_t redispatched_frames = 0;
+    uint64_t watchdog_resets = 0;
+    uint64_t frames_dropped = 0;
+    uint64_t frames_truncated = 0;
+    uint64_t frames_corrupted = 0;
+    uint64_t units_killed = 0;
+    uint64_t units_wedged = 0;
+
+    /// Corrupted frames that produced an answer instead of a reject:
+    /// the number the integrity work exists to drive to zero.
+    uint64_t
+    silent_corruptions() const
+    {
+        return wrong_responses + unknown_responses;
+    }
+};
+
+constexpr uint32_t kWorkers = 4;
+constexpr uint16_t kMethod = 1;
+constexpr uint32_t kMaxRounds = 80;
+
+ModeResult
+RunMode(const DescriptorPool &pool, int req, int rsp, uint64_t seed,
+        uint64_t calls, bool crc_enabled)
+{
+    ModeResult result;
+    result.crc_enabled = crc_enabled;
+    result.calls = calls;
+
+    const auto &rd = pool.message(req);
+    const auto &sd = pool.message(rsp);
+    const auto *req_text = rd.FindFieldByName("text");
+    const auto *rsp_text = sd.FindFieldByName("text");
+
+    // Per-key execution counters, bumped by the handler itself: the
+    // ground truth the exactly-once assertions check against.
+    std::unique_ptr<std::atomic<uint32_t>[]> execs(
+        new std::atomic<uint32_t>[calls]());
+
+    // Scheduled worker crashes: after_calls counts one worker's own
+    // completions (~calls / kWorkers each), so scale the kill points to
+    // land well inside the run at any --calls.
+    sim::FaultConfig kill_config;
+    kill_config.worker_kills = {
+        {1, std::max<uint64_t>(4, calls / 16)},
+        {2, std::max<uint64_t>(8, calls / 12)},
+    };
+    sim::FaultInjector kill_injector(seed + 1, kill_config);
+
+    // Each worker's device gets a private injector (deterministic per
+    // worker): kills fall back to software, stalls burn cycles, wedges
+    // are caught by the unit watchdog.
+    sim::FaultConfig unit_config;
+    unit_config.unit_kill_rate = 0.004;
+    unit_config.unit_stall_rate = 0.004;
+    unit_config.unit_wedge_rate = 0.004;
+    std::vector<std::unique_ptr<sim::FaultInjector>> unit_injectors;
+    for (uint32_t i = 0; i < kWorkers; ++i)
+        unit_injectors.push_back(std::make_unique<sim::FaultInjector>(
+            seed + 100 + i, unit_config));
+
+    // Channel faults on the request path (applied per frame below).
+    sim::FaultConfig channel_config;
+    channel_config.frame_drop_rate = 0.01;
+    channel_config.frame_truncate_rate = 0.01;
+    channel_config.frame_corrupt_rate = 0.03;
+    sim::FaultInjector channel_injector(seed + 7, channel_config);
+
+    accel::SharedQueueConfig queue_config;
+    queue_config.num_units = 2;
+    queue_config.watchdog_budget_cycles = 2'000'000;
+    accel::SharedAccelQueue shared_queue(queue_config);
+
+    rpc::RuntimeConfig runtime_config;
+    runtime_config.num_workers = kWorkers;
+    runtime_config.max_batch = 8;
+    runtime_config.shared_accel = &shared_queue;
+    runtime_config.dedup_capacity = calls + 16;
+    runtime_config.fault_injector = &kill_injector;
+
+    rpc::RpcServerRuntime runtime(
+        &pool,
+        [&](uint32_t worker) -> std::unique_ptr<rpc::CodecBackend> {
+            accel::AccelConfig accel_config;
+            accel_config.watchdog.budget_cycles = 200'000;
+            auto accel = std::make_unique<rpc::AcceleratedBackend>(
+                pool, accel_config);
+            accel->SetFaultInjector(unit_injectors[worker].get());
+            return std::make_unique<rpc::HybridCodecBackend>(
+                std::move(accel),
+                std::make_unique<rpc::SoftwareBackend>(
+                    cpu::BoomParams(), pool));
+        },
+        runtime_config);
+
+    runtime.RegisterMethod(
+        kMethod, req, rsp,
+        [&](const Message &request, Message response) {
+            const std::string text(request.GetString(*req_text));
+            if (text.rfind("call-", 0) == 0) {
+                const uint64_t idx =
+                    std::strtoull(text.c_str() + 5, nullptr, 10);
+                if (idx < calls)
+                    execs[idx].fetch_add(1, std::memory_order_relaxed);
+            }
+            response.SetString(*rsp_text, text);
+        });
+    runtime.Start();
+
+    // Client state: one logical call per index, answered when a
+    // matching response with the right payload came back. One
+    // deliberate client-side reply drop per call (seeded) forces the
+    // retry + dedup-hit path even for calls the channel never touched.
+    rpc::SoftwareBackend client(cpu::BoomParams(), pool);
+    proto::Arena client_arena;
+    Rng reply_drop_rng(seed + 9);
+    std::vector<bool> answered(calls, false);
+    std::vector<bool> reply_dropped(calls, false);
+    std::vector<size_t> reply_offset(kWorkers, 0);
+    uint64_t unanswered = calls;
+
+    for (uint32_t round = 0; round < kMaxRounds && unanswered > 0;
+         ++round) {
+        ++result.rounds;
+        // Submit one fresh attempt for every outstanding call. The
+        // idempotency key is stable across attempts — that is what the
+        // dedup cache recognizes a retry by.
+        for (uint64_t i = 0; i < calls; ++i) {
+            if (answered[i])
+                continue;
+            ++result.attempts;
+            client_arena.Reset();
+            Message request =
+                Message::Create(&client_arena, pool, req);
+            request.SetString(*req_text,
+                              "call-" + std::to_string(i));
+            const std::vector<uint8_t> payload =
+                client.Serialize(request);
+
+            rpc::FrameBuffer wire;
+            wire.set_crc_enabled(crc_enabled);
+            rpc::FrameHeader header;
+            header.payload_bytes =
+                static_cast<uint32_t>(payload.size());
+            header.call_id = static_cast<uint32_t>(i + 1);
+            header.method_id = kMethod;
+            header.kind = rpc::FrameKind::kRequest;
+            header.idempotency_key = (1ull << 32) | (i + 1);
+            wire.Append(header, payload.data());
+
+            switch (channel_injector.SampleChannelFault()) {
+              case sim::ChannelFaultKind::kDrop:
+                continue;  // never arrives; retried next round
+              case sim::ChannelFaultKind::kTruncate:
+                wire.Truncate(
+                    channel_injector.TruncatedLength(wire.bytes()));
+                break;
+              case sim::ChannelFaultKind::kCorrupt:
+                channel_injector.CorruptBytes(wire.mutable_data(),
+                                              wire.bytes(), 2);
+                break;
+              case sim::ChannelFaultKind::kNone:
+                break;
+            }
+
+            size_t off = 0;
+            for (;;) {
+                const StatusCode st =
+                    runtime.SubmitFromStream(wire, &off);
+                if (off >= wire.bytes() || st == StatusCode::kOk)
+                    break;
+            }
+        }
+
+        runtime.Drain();
+
+        // Harvest every worker's reply stream (dead workers' committed
+        // replies included) from where the last round left off.
+        for (uint32_t w = 0; w < kWorkers; ++w) {
+            const rpc::FrameBuffer &rb = runtime.replies(w);
+            size_t &off = reply_offset[w];
+            for (;;) {
+                StatusCode err = StatusCode::kOk;
+                const std::optional<rpc::Frame> f = rb.Next(&off, &err);
+                if (!f.has_value()) {
+                    if (err == StatusCode::kOk)
+                        break;  // exhausted
+                    continue;   // shouldn't happen: replies are clean
+                }
+                if (f->header.kind == rpc::FrameKind::kError) {
+                    ++result.error_replies;
+                    continue;
+                }
+                const uint64_t idx = f->header.call_id - 1;
+                if (f->header.kind != rpc::FrameKind::kResponse ||
+                    idx >= calls || answered[idx]) {
+                    ++result.unknown_responses;
+                    continue;
+                }
+                if (!reply_dropped[idx] &&
+                    reply_drop_rng.NextBool(0.05)) {
+                    // Modeled reply loss: the server committed this
+                    // answer, the client never saw it — the retry must
+                    // dedup, not re-execute.
+                    reply_dropped[idx] = true;
+                    ++result.client_reply_drops;
+                    continue;
+                }
+                client_arena.Reset();
+                Message response =
+                    Message::Create(&client_arena, pool, rsp);
+                const StatusCode parse = client.Deserialize(
+                    f->payload, f->header.payload_bytes, &response);
+                const std::string expect =
+                    "call-" + std::to_string(idx);
+                if (!StatusOk(parse) ||
+                    std::string(response.GetString(*rsp_text)) !=
+                        expect) {
+                    // A corrupted frame was served as an answer. Mark
+                    // the call answered so the count is one per call.
+                    ++result.wrong_responses;
+                }
+                answered[idx] = true;
+                --unanswered;
+                ++result.answered;
+            }
+        }
+    }
+
+    const rpc::RuntimeSnapshot snap = runtime.Snapshot();
+    runtime.Shutdown();
+
+    result.lost_calls = unanswered;
+    for (uint64_t i = 0; i < calls; ++i) {
+        const uint32_t n =
+            execs[i].load(std::memory_order_relaxed);
+        if (n > 1)
+            result.duplicate_execs += n - 1;
+    }
+    result.crc_rejects = snap.crc_rejects;
+    result.dedup_hits = snap.dedup_hits;
+    result.dedup_insertions = snap.dedup_insertions;
+    result.workers_crashed = snap.workers_crashed;
+    result.redispatched_frames = snap.redispatched_frames;
+    result.watchdog_resets = snap.watchdog_resets;
+    const sim::FaultStats cs = channel_injector.stats();
+    result.frames_dropped = cs.frames_dropped;
+    result.frames_truncated = cs.frames_truncated;
+    result.frames_corrupted = cs.frames_corrupted;
+    for (const auto &inj : unit_injectors) {
+        const sim::FaultStats us = inj->stats();
+        result.units_killed += us.units_killed;
+        result.units_wedged += us.units_wedged;
+    }
+    return result;
+}
+
+void
+PrintMode(const char *title, const ModeResult &r)
+{
+    std::printf(
+        "%s\n"
+        "  calls %llu  rounds %llu  attempts %llu  answered %llu\n"
+        "  faults injected: drop %llu  truncate %llu  corrupt %llu  "
+        "unit-kill %llu  unit-wedge %llu  worker-crash %llu\n"
+        "  recovery: crc-rejects %llu  dedup-hits %llu  "
+        "redispatched %llu  watchdog-resets %llu  reply-drops %llu\n"
+        "  verdict: wrong %llu  unknown %llu  lost %llu  "
+        "dup-execs %llu  (silent corruptions: %llu)\n\n",
+        title, static_cast<unsigned long long>(r.calls),
+        static_cast<unsigned long long>(r.rounds),
+        static_cast<unsigned long long>(r.attempts),
+        static_cast<unsigned long long>(r.answered),
+        static_cast<unsigned long long>(r.frames_dropped),
+        static_cast<unsigned long long>(r.frames_truncated),
+        static_cast<unsigned long long>(r.frames_corrupted),
+        static_cast<unsigned long long>(r.units_killed),
+        static_cast<unsigned long long>(r.units_wedged),
+        static_cast<unsigned long long>(r.workers_crashed),
+        static_cast<unsigned long long>(r.crc_rejects),
+        static_cast<unsigned long long>(r.dedup_hits),
+        static_cast<unsigned long long>(r.redispatched_frames),
+        static_cast<unsigned long long>(r.watchdog_resets),
+        static_cast<unsigned long long>(r.client_reply_drops),
+        static_cast<unsigned long long>(r.wrong_responses),
+        static_cast<unsigned long long>(r.unknown_responses),
+        static_cast<unsigned long long>(r.lost_calls),
+        static_cast<unsigned long long>(r.duplicate_execs),
+        static_cast<unsigned long long>(r.silent_corruptions()));
+}
+
+void
+WriteModeJson(std::FILE *f, const char *name, const ModeResult &r)
+{
+    std::fprintf(
+        f,
+        "  \"%s\": {\n"
+        "    \"crc_enabled\": %s,\n"
+        "    \"calls\": %llu,\n"
+        "    \"rounds\": %llu,\n"
+        "    \"attempts\": %llu,\n"
+        "    \"answered\": %llu,\n"
+        "    \"wrong_responses\": %llu,\n"
+        "    \"unknown_responses\": %llu,\n"
+        "    \"lost_calls\": %llu,\n"
+        "    \"duplicate_execs\": %llu,\n"
+        "    \"silent_corruptions\": %llu,\n"
+        "    \"crc_rejects\": %llu,\n"
+        "    \"dedup_hits\": %llu,\n"
+        "    \"dedup_insertions\": %llu,\n"
+        "    \"client_reply_drops\": %llu,\n"
+        "    \"workers_crashed\": %llu,\n"
+        "    \"redispatched_frames\": %llu,\n"
+        "    \"watchdog_resets\": %llu,\n"
+        "    \"frames_dropped\": %llu,\n"
+        "    \"frames_truncated\": %llu,\n"
+        "    \"frames_corrupted\": %llu,\n"
+        "    \"units_killed\": %llu,\n"
+        "    \"units_wedged\": %llu\n"
+        "  }",
+        name, r.crc_enabled ? "true" : "false",
+        static_cast<unsigned long long>(r.calls),
+        static_cast<unsigned long long>(r.rounds),
+        static_cast<unsigned long long>(r.attempts),
+        static_cast<unsigned long long>(r.answered),
+        static_cast<unsigned long long>(r.wrong_responses),
+        static_cast<unsigned long long>(r.unknown_responses),
+        static_cast<unsigned long long>(r.lost_calls),
+        static_cast<unsigned long long>(r.duplicate_execs),
+        static_cast<unsigned long long>(r.silent_corruptions()),
+        static_cast<unsigned long long>(r.crc_rejects),
+        static_cast<unsigned long long>(r.dedup_hits),
+        static_cast<unsigned long long>(r.dedup_insertions),
+        static_cast<unsigned long long>(r.client_reply_drops),
+        static_cast<unsigned long long>(r.workers_crashed),
+        static_cast<unsigned long long>(r.redispatched_frames),
+        static_cast<unsigned long long>(r.watchdog_resets),
+        static_cast<unsigned long long>(r.frames_dropped),
+        static_cast<unsigned long long>(r.frames_truncated),
+        static_cast<unsigned long long>(r.frames_corrupted),
+        static_cast<unsigned long long>(r.units_killed),
+        static_cast<unsigned long long>(r.units_wedged));
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = ParseOptions(argc, argv);
+
+    DescriptorPool pool;
+    const auto parsed = proto::ParseSchema(R"(
+        message ChaosRequest { optional string text = 1; }
+        message ChaosResponse { optional string text = 1; }
+    )",
+                                           &pool);
+    PA_CHECK(parsed.ok);
+    pool.Compile(proto::HasbitsMode::kSparse);
+    const int req = pool.FindMessage("ChaosRequest");
+    const int rsp = pool.FindMessage("ChaosResponse");
+
+    std::printf("Chaos soak — %llu calls, seed 0x%llx, %u workers\n"
+                "=================================================\n\n",
+                static_cast<unsigned long long>(opt.calls),
+                static_cast<unsigned long long>(opt.seed), kWorkers);
+
+    const ModeResult with_crc =
+        RunMode(pool, req, rsp, opt.seed, opt.calls, true);
+    PrintMode("Mode A — frame CRCs ON (shipped configuration)",
+              with_crc);
+
+    const ModeResult without_crc =
+        RunMode(pool, req, rsp, opt.seed, opt.calls, false);
+    PrintMode("Mode B — frame CRCs OFF (pre-integrity stack, same "
+              "fault schedule)",
+              without_crc);
+
+    if (!opt.json_path.empty()) {
+        std::FILE *f = std::fopen(opt.json_path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         opt.json_path.c_str());
+            return 1;
+        }
+        std::fprintf(f, "{\n");
+        WriteModeJson(f, "crc_on", with_crc);
+        std::fprintf(f, ",\n");
+        WriteModeJson(f, "crc_off", without_crc);
+        std::fprintf(f, "\n}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n\n", opt.json_path.c_str());
+    }
+
+    bool ok = true;
+    auto require = [&ok](bool cond, const char *what) {
+        if (!cond) {
+            std::fprintf(stderr, "FAIL: %s\n", what);
+            ok = false;
+        }
+    };
+    require(with_crc.wrong_responses == 0,
+            "mode A served a wrong response");
+    require(with_crc.unknown_responses == 0,
+            "mode A produced an unattributable response");
+    require(with_crc.lost_calls == 0, "mode A lost a call");
+    require(with_crc.duplicate_execs == 0,
+            "mode A executed a call twice");
+    require(with_crc.crc_rejects > 0,
+            "mode A detected no corruption (faults not exercised)");
+    require(with_crc.dedup_hits > 0,
+            "mode A recorded no dedup hits (retry path not exercised)");
+    require(with_crc.workers_crashed == 2,
+            "mode A: scheduled worker crashes did not fire");
+    require(with_crc.watchdog_resets > 0,
+            "mode A recorded no watchdog resets");
+    require(without_crc.silent_corruptions() > 0,
+            "mode B served no silent corruptions (CRC-off baseline "
+            "should)");
+
+    std::printf("exactly-once under chaos: %s\n",
+                ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

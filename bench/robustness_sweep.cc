@@ -125,14 +125,30 @@ RunDifferentialSweep(uint64_t total_inputs)
             (v.accepted() ? totals.accepted : totals.rejected)++;
             if (!v.agree_on_accept()) {
                 ++totals.disagreements;
+                // Full reproducer: the three seeds pin the schema, the
+                // input mix and the mutation stream; the hex dump is
+                // the exact bytes, replayable without re-deriving them.
                 std::fprintf(
                     stderr,
                     "DISAGREEMENT schema=%llu input=%llu (%zu bytes): "
-                    "ref=%s table=%s accel=%s\n",
+                    "ref=%s table=%s accel=%s\n"
+                    "  seeds: schema=0x%llX rng=0x%llX fault=0x%llX\n"
+                    "  bytes:",
                     static_cast<unsigned long long>(s),
                     static_cast<unsigned long long>(i), buf.size(),
                     StatusCodeName(v.reference),
-                    StatusCodeName(v.table), StatusCodeName(v.accel));
+                    StatusCodeName(v.table), StatusCodeName(v.accel),
+                    static_cast<unsigned long long>(0xD1FF + s),
+                    static_cast<unsigned long long>(0xFEED + s),
+                    static_cast<unsigned long long>(0xFA017 + s));
+                for (size_t b = 0; b < buf.size(); ++b)
+                    std::fprintf(stderr, "%s%02x",
+                                 (b % 32 == 0) ? "\n    " : " ",
+                                 buf[b]);
+                std::fprintf(stderr, "\n");
+                // Fail fast: the first divergence is the reproducer;
+                // grinding on would only bury it in output.
+                return totals;
             }
             if ((i & 0x3FF) == 0x3FF)
                 rig.rig().ResetAccelArena();

@@ -8,6 +8,69 @@ namespace {
 /// retire its abandoned job (timeout + status write, not data-dependent).
 constexpr uint64_t kUnitFaultDetectCycles = 64;
 
+/// With no watchdog, a permanently wedged FSM hangs until the command
+/// router's coarse last-resort timeout abandons the job — long enough
+/// to be an availability event, which is the watchdog's selling point.
+constexpr uint64_t kWedgeHangCycles = 1'000'000;
+
+/**
+ * Run one job through the fault model shared by both fence loops.
+ * @p run executes the job on its unit and returns its AccelStatus with
+ * cycles in its out-param. Returns this job's total cycle charge and
+ * sets @p st to the job's outcome.
+ *
+ * Fault handling:
+ *  - kKill: job abandoned, command router retires it (kUnitFault);
+ *  - kStall within the watchdog budget (or no watchdog): the drawn
+ *    cycles are added and the job completes;
+ *  - kWedge, or a stall beyond the budget, with the watchdog armed:
+ *    the budget elapses, the unit is reset, and the job is replayed —
+ *    jobs are idempotent (inputs untouched, outputs rewritten whole),
+ *    so the replay is a clean run;
+ *  - kWedge with no watchdog: the job hangs to the last-resort timeout
+ *    and is abandoned (kUnitFault), surfacing only via fallback.
+ */
+template <typename RunFn>
+uint64_t
+RunJobWithFaults(RunFn &&run, sim::FaultInjector *injector,
+                 const WatchdogConfig &watchdog, WatchdogStats *stats,
+                 AccelStatus *st)
+{
+    sim::UnitFault fault;
+    if (injector != nullptr)
+        fault = injector->SampleUnitFault();
+
+    if (fault.kind == sim::UnitFaultKind::kKill) {
+        *st = AccelStatus::kUnitFault;
+        return kUnitFaultDetectCycles;
+    }
+
+    const bool armed = watchdog.budget_cycles > 0;
+    const bool wedged = fault.kind == sim::UnitFaultKind::kWedge;
+    const bool stall_blown = fault.kind == sim::UnitFaultKind::kStall &&
+                             armed &&
+                             fault.stall_cycles > watchdog.budget_cycles;
+    if (wedged && !armed) {
+        *st = AccelStatus::kUnitFault;
+        return kWedgeHangCycles;
+    }
+    if (wedged || stall_blown) {
+        // Budget elapses, unit resets, job replays clean.
+        const uint64_t penalty =
+            watchdog.budget_cycles + watchdog.reset_cycles;
+        ++stats->resets;
+        ++stats->replayed_jobs;
+        stats->wasted_cycles += penalty;
+        uint64_t replay_cycles = 0;
+        *st = run(&replay_cycles);
+        return penalty + replay_cycles;
+    }
+
+    uint64_t job_cycles = 0;
+    *st = run(&job_cycles);
+    return job_cycles + fault.stall_cycles;
+}
+
 }  // namespace
 
 ProtoAccelerator::ProtoAccelerator(sim::MemorySystem *memory,
@@ -45,21 +108,10 @@ ProtoAccelerator::BlockForDeserCompletion(uint64_t *cycles)
     uint64_t total = kFenceCycles;
     AccelStatus status = AccelStatus::kOk;
     for (const DeserJob &job : deser_queue_) {
-        uint64_t job_cycles = 0;
         AccelStatus st;
-        sim::UnitFault fault;
-        if (fault_injector_ != nullptr)
-            fault = fault_injector_->SampleUnitFault();
-        if (fault.kind == sim::UnitFaultKind::kKill) {
-            // The unit died mid-job: the destination object is left
-            // untouched and the fence reports the failure.
-            st = AccelStatus::kUnitFault;
-            job_cycles = kUnitFaultDetectCycles;
-        } else {
-            st = deser_->Run(job, &job_cycles);
-            job_cycles += fault.stall_cycles;
-        }
-        total += job_cycles;
+        total += RunJobWithFaults(
+            [this, &job](uint64_t *c) { return deser_->Run(job, c); },
+            fault_injector_, config_.watchdog, &watchdog_stats_, &st);
         if (st != AccelStatus::kOk && status == AccelStatus::kOk)
             status = st;
     }
@@ -80,19 +132,10 @@ ProtoAccelerator::BlockForSerCompletion(uint64_t *cycles)
     uint64_t total = kFenceCycles;
     AccelStatus status = AccelStatus::kOk;
     for (const SerJob &job : ser_queue_) {
-        uint64_t job_cycles = 0;
         AccelStatus st;
-        sim::UnitFault fault;
-        if (fault_injector_ != nullptr)
-            fault = fault_injector_->SampleUnitFault();
-        if (fault.kind == sim::UnitFaultKind::kKill) {
-            st = AccelStatus::kUnitFault;
-            job_cycles = kUnitFaultDetectCycles;
-        } else {
-            st = ser_->Run(job, &job_cycles);
-            job_cycles += fault.stall_cycles;
-        }
-        total += job_cycles;
+        total += RunJobWithFaults(
+            [this, &job](uint64_t *c) { return ser_->Run(job, c); },
+            fault_injector_, config_.watchdog, &watchdog_stats_, &st);
         if (st != AccelStatus::kOk && status == AccelStatus::kOk)
             status = st;
     }

@@ -24,6 +24,33 @@
 
 namespace protoacc::accel {
 
+/**
+ * Cycle-budget watchdog over the (de)serializer FSMs. A permanently
+ * wedged unit (sim::UnitFaultKind::kWedge — an FSM livelock no fence
+ * ever retires) is detected when a job exceeds budget_cycles; the
+ * watchdog resets the unit (reset_cycles: flush the FSM, re-arm the
+ * frontends) and replays the victim job from its descriptor, which is
+ * safe because jobs are idempotent — inputs in memory are untouched
+ * and outputs are rewritten whole.
+ */
+struct WatchdogConfig
+{
+    /// Per-job cycle budget; 0 disables the watchdog (a wedge then
+    /// hangs until the coarse command-router timeout abandons the job).
+    uint64_t budget_cycles = 0;
+    /// Modeled unit-reset cost charged before the replay.
+    uint64_t reset_cycles = 512;
+};
+
+/// What the watchdog did (monotonic per device).
+struct WatchdogStats
+{
+    uint64_t resets = 0;
+    uint64_t replayed_jobs = 0;
+    /// Cycles burned on blown budgets + resets (not useful work).
+    uint64_t wasted_cycles = 0;
+};
+
 /// Accelerator-wide configuration.
 struct AccelConfig
 {
@@ -33,6 +60,7 @@ struct AccelConfig
     DeserTiming deser;
     SerTiming ser;
     OpsTiming ops;
+    WatchdogConfig watchdog;
 };
 
 /**
@@ -83,6 +111,9 @@ class ProtoAccelerator
     }
     sim::FaultInjector *fault_injector() const { return fault_injector_; }
 
+    /// Watchdog activity so far (unit resets, replayed jobs).
+    const WatchdogStats &watchdog_stats() const { return watchdog_stats_; }
+
     DeserializerUnit &deserializer() { return *deser_; }
     SerializerUnit &serializer() { return *ser_; }
     OpsUnit &ops() { return *ops_; }
@@ -106,6 +137,7 @@ class ProtoAccelerator
     std::vector<SerJob> ser_queue_;
     std::vector<OpsJob> ops_queue_;
     sim::FaultInjector *fault_injector_ = nullptr;
+    WatchdogStats watchdog_stats_;
 };
 
 /**

@@ -29,7 +29,18 @@ SharedAccelQueue::SubmitBatch(uint64_t arrival_cycle, uint32_t jobs,
     auto unit = std::min_element(unit_free_.begin(), unit_free_.end());
     const bool contended = *unit > ready;
     const uint64_t start = contended ? *unit : ready;
-    const uint64_t done = start + service_cycles + config_.fence_cycles;
+    // Watchdog: a batch blowing its cycle budget models a wedged unit —
+    // the budget elapses, the unit resets, then the batch replays clean.
+    uint64_t penalty = 0;
+    if (config_.watchdog_budget_cycles > 0 &&
+        service_cycles > config_.watchdog_budget_cycles) {
+        penalty = config_.watchdog_budget_cycles +
+                  config_.watchdog_reset_cycles;
+        ++stats_.watchdog_resets;
+        stats_.watchdog_wasted_cycles += penalty;
+    }
+    const uint64_t done =
+        start + penalty + service_cycles + config_.fence_cycles;
     *unit = done;
 
     Completion c;

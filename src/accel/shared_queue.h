@@ -46,6 +46,15 @@ struct SharedQueueConfig
     /// Cycles for the blocking block_for_*_completion fence, paid once
     /// per batch (§3.5 batching amortizes it).
     uint32_t fence_cycles = kFenceCycles;
+
+    /// Per-batch watchdog budget on the shared units; 0 disables. A
+    /// batch whose service time blows the budget is treated as a
+    /// wedged unit: the watchdog fires at the budget, resets the unit
+    /// (reset_cycles) and the batch replays — so its completion is
+    /// budget + reset + service later than a clean run, and the unit
+    /// stays occupied for that whole window.
+    uint64_t watchdog_budget_cycles = 0;
+    uint64_t watchdog_reset_cycles = 512;
 };
 
 /**
@@ -74,6 +83,10 @@ class SharedAccelQueue
         uint64_t contended_batches = 0;
         /// Latest completion on the shared timeline.
         uint64_t busy_until_cycle = 0;
+        /// Watchdog firings (budget blown => unit reset + replay).
+        uint64_t watchdog_resets = 0;
+        /// Cycles burned on blown budgets + resets.
+        uint64_t watchdog_wasted_cycles = 0;
     };
 
     explicit SharedAccelQueue(const SharedQueueConfig &config = {});

@@ -1,0 +1,65 @@
+#include "common/crc32c.h"
+
+namespace protoacc {
+
+namespace {
+
+/// Slicing tables: kTable[0] is the plain byte-at-a-time table for the
+/// reflected Castagnoli polynomial; kTable[k][b] extends kTable[k-1][b]
+/// by one zero byte, so eight table lookups advance the CRC by eight
+/// input bytes with no serial dependency between the lookups.
+struct SliceTables
+{
+    uint32_t t[8][256];
+
+    constexpr SliceTables() : t{}
+    {
+        constexpr uint32_t kPolyReflected = 0x82F63B78u;
+        for (uint32_t b = 0; b < 256; ++b) {
+            uint32_t crc = b;
+            for (int bit = 0; bit < 8; ++bit)
+                crc = (crc >> 1) ^ ((crc & 1u) ? kPolyReflected : 0u);
+            t[0][b] = crc;
+        }
+        for (int k = 1; k < 8; ++k)
+            for (uint32_t b = 0; b < 256; ++b)
+                t[k][b] = (t[k - 1][b] >> 8) ^ t[0][t[k - 1][b] & 0xFFu];
+    }
+};
+
+constexpr SliceTables kTables;
+
+}  // namespace
+
+uint32_t
+Crc32cExtend(uint32_t crc, const uint8_t *data, size_t len)
+{
+    const auto &t = kTables.t;
+    uint32_t state = ~crc;
+    // Head: bring the pointer to 8-byte alignment so the slice loads
+    // below are cheap on every target.
+    while (len > 0 && (reinterpret_cast<uintptr_t>(data) & 7u) != 0) {
+        state = (state >> 8) ^ t[0][(state ^ *data++) & 0xFFu];
+        --len;
+    }
+    while (len >= 8) {
+        const uint32_t lo = state ^
+                            (static_cast<uint32_t>(data[0]) |
+                             static_cast<uint32_t>(data[1]) << 8 |
+                             static_cast<uint32_t>(data[2]) << 16 |
+                             static_cast<uint32_t>(data[3]) << 24);
+        state = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+                t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^
+                t[3][data[4]] ^ t[2][data[5]] ^ t[1][data[6]] ^
+                t[0][data[7]];
+        data += 8;
+        len -= 8;
+    }
+    while (len > 0) {
+        state = (state >> 8) ^ t[0][(state ^ *data++) & 0xFFu];
+        --len;
+    }
+    return ~state;
+}
+
+}  // namespace protoacc

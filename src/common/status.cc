@@ -20,6 +20,8 @@ StatusCodeName(StatusCode code)
       case StatusCode::kDeadlineExceeded: return "deadline exceeded";
       case StatusCode::kUnavailable: return "unavailable";
       case StatusCode::kInternal: return "internal";
+      case StatusCode::kUnimplemented: return "unimplemented";
+      case StatusCode::kDataLoss: return "data loss";
     }
     return "?";
 }
@@ -32,6 +34,9 @@ StatusIsRetryable(StatusCode code)
       case StatusCode::kOverloaded:
       case StatusCode::kDeadlineExceeded:
       case StatusCode::kUnavailable:
+      // A CRC mismatch means the frame was mangled in flight; the
+      // sender's copy is intact, so resending it may succeed.
+      case StatusCode::kDataLoss:
         return true;
       default:
         return false;

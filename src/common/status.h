@@ -54,10 +54,17 @@ enum class StatusCode : uint8_t {
     kUnavailable = 12,
     /// Bug sentinel: a layer produced a status it should not have.
     kInternal = 13,
+    /// Frame header declares a wire-format version this build does not
+    /// speak; rejected without attempting to parse the frame.
+    kUnimplemented = 14,
+    /// Frame failed its end-to-end integrity check (CRC32C mismatch):
+    /// bytes were corrupted in flight and the corruption was *detected*
+    /// rather than served.
+    kDataLoss = 15,
 };
 
 /// Number of distinct codes (for counter arrays indexed by code).
-inline constexpr size_t kNumStatusCodes = 14;
+inline constexpr size_t kNumStatusCodes = 16;
 
 const char *StatusCodeName(StatusCode code);
 

@@ -35,6 +35,10 @@ BoomParams()
     p.per_bytesize_field = 8.0;
     p.per_bytesize_message = 30.0;
     p.per_hasbits_word = 2.0;
+    // Software slice-by-8 (no CRC32C instruction on this core): table
+    // lookups bound by load-port pressure, ~4 B/cycle sustained.
+    p.crc_setup = 30.0;
+    p.crc_bytes_per_cycle = 4.0;
     return p;
 }
 
@@ -62,6 +66,11 @@ XeonParams()
     p.per_bytesize_field = 1.0;
     p.per_bytesize_message = 12.0;
     p.per_hasbits_word = 0.7;
+    // Hardware crc32 instruction: 8 B/uop pipelined across the
+    // three-cycle latency with software interleaving (~16 B/cycle is
+    // the classic 3-stream bound; we charge a conservative slice of it).
+    p.crc_setup = 15.0;
+    p.crc_bytes_per_cycle = 16.0;
     return p;
 }
 

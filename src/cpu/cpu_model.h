@@ -47,6 +47,8 @@ struct CpuParams
     double per_bytesize_field = 5.0;  ///< size-computation pass
     double per_bytesize_message = 15.0;
     double per_hasbits_word = 1.0;
+    double crc_setup = 20.0;           ///< per-frame CRC32C fixed cost
+    double crc_bytes_per_cycle = 8.0;  ///< CRC32C streaming throughput
 };
 
 /// The paper's baseline RISC-V SoC core ("riscv-boom", §5: SonicBOOM,
@@ -129,6 +131,13 @@ class CpuCostModel : public proto::CostSink
     void OnHasbitsAccess(int words) override
     {
         cycles_ += params_.per_hasbits_word * words;
+    }
+    void
+    OnCrc(size_t bytes) override
+    {
+        cycles_ += params_.crc_setup +
+                   static_cast<double>(bytes) /
+                       params_.crc_bytes_per_cycle;
     }
 
     double cycles() const { return cycles_; }

@@ -54,6 +54,9 @@ class CostSink
     virtual void OnByteSizeMessage() {}
     /// Presence-bit test/set touching @p words 32-bit hasbits words.
     virtual void OnHasbitsAccess(int words) { (void)words; }
+    /// End-to-end integrity check: a CRC32C computed or verified over
+    /// @p bytes of frame data (framing layer, not the codec proper).
+    virtual void OnCrc(size_t bytes) { (void)bytes; }
 };
 
 }  // namespace protoacc::proto

@@ -114,8 +114,23 @@ class CodecBackend
     /// Fallback accounting for hybrid engines; zeros otherwise.
     virtual FallbackCounters fallback_counters() const { return {}; }
 
+    /// Device watchdog activity (unit resets, replayed jobs); zeros for
+    /// software-only backends.
+    virtual accel::WatchdogStats watchdog_stats() const { return {}; }
+
     /// Clock for converting cycles to time.
     virtual double freq_ghz() const = 0;
+
+    /**
+     * Cost sink pricing host-side per-frame work (the CRC32C integrity
+     * check runs on the host core even when the codec proper runs on
+     * the device). Software backends expose their CPU model; the
+     * accelerated backend returns nullptr — its device computes the
+     * frame CRC inline with the streaming (de)serialization, where the
+     * added datapath cost is hidden behind the memory reads the FSMs
+     * already perform.
+     */
+    virtual proto::CostSink *host_cost_sink() { return nullptr; }
 
     virtual const char *name() const = 0;
 
@@ -174,6 +189,7 @@ class SoftwareBackend : public CodecBackend
     {
         return model_.params().freq_ghz;
     }
+    proto::CostSink *host_cost_sink() override { return &model_; }
     const char *name() const override
     {
         return model_.params().name.c_str();
@@ -225,6 +241,10 @@ class AcceleratedBackend : public CodecBackend
     }
     uint64_t accel_jobs() const override { return jobs_; }
     double freq_ghz() const override { return config_.freq_ghz; }
+    accel::WatchdogStats watchdog_stats() const override
+    {
+        return device_.watchdog_stats();
+    }
     const char *name() const override { return "riscv-boom-accel"; }
 
     accel::ProtoAccelerator &device() { return device_; }
@@ -311,6 +331,16 @@ class HybridCodecBackend : public CodecBackend
     }
     uint64_t accel_jobs() const override { return accel_->accel_jobs(); }
     double freq_ghz() const override { return accel_->freq_ghz(); }
+    accel::WatchdogStats watchdog_stats() const override
+    {
+        return accel_->watchdog_stats();
+    }
+    /// Frame CRCs on the hybrid run on the host core (the fallback's
+    /// CPU model prices them); only codec ops ride the device.
+    proto::CostSink *host_cost_sink() override
+    {
+        return software_->host_cost_sink();
+    }
     const char *name() const override { return "hybrid-accel-sw"; }
 
     AcceleratedBackend &accel() { return *accel_; }

@@ -1,0 +1,58 @@
+#include "rpc/dedup_cache.h"
+
+namespace protoacc::rpc {
+
+bool
+DedupCache::Lookup(uint64_t key, FrameHeader *header,
+                   std::vector<uint8_t> *payload)
+{
+    if (key == 0 || capacity_ == 0)
+        return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        ++misses_;
+        return false;
+    }
+    ++hits_;
+    *header = it->second.header;
+    *payload = it->second.payload;
+    return true;
+}
+
+void
+DedupCache::Insert(uint64_t key, const FrameHeader &header,
+                   const uint8_t *payload, size_t payload_bytes)
+{
+    if (key == 0 || capacity_ == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry entry;
+    entry.header = header;
+    entry.payload.assign(payload, payload + payload_bytes);
+    if (!entries_.emplace(key, std::move(entry)).second)
+        return;  // first committed answer wins
+    fifo_.push_back(key);
+    ++insertions_;
+    while (entries_.size() > capacity_) {
+        entries_.erase(fifo_.front());
+        fifo_.pop_front();
+        ++evictions_;
+    }
+}
+
+DedupCache::Stats
+DedupCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Stats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.insertions = insertions_;
+    s.evictions = evictions_;
+    s.entries = entries_.size();
+    s.capacity = capacity_;
+    return s;
+}
+
+}  // namespace protoacc::rpc

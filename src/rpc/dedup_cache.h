@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Bounded server-side dedup/response cache: the exactly-once half of
+ * the retry story.
+ *
+ * PR 3's client retries transient failures, but a retry whose original
+ * request *did* execute (the reply was lost, not the request)
+ * re-executes the handler — observable double execution for any
+ * non-idempotent method. The fix is the classic one: the client stamps
+ * every logical call with an idempotency key that is stable across its
+ * retries, and the server remembers the committed response for recent
+ * keys. A retried key is answered from the cache without touching the
+ * handler.
+ *
+ * The cache is bounded (FIFO eviction) because an unbounded map keyed
+ * by every call ever served is a memory leak with a goatee. The bound
+ * is a correctness window, not just a size knob: a retry arriving
+ * after its entry was evicted will re-execute. Eviction counters are
+ * exported so operators can see when the window is too small for the
+ * retry horizon.
+ */
+#ifndef PROTOACC_RPC_DEDUP_CACHE_H
+#define PROTOACC_RPC_DEDUP_CACHE_H
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "rpc/frame.h"
+
+namespace protoacc::rpc {
+
+/**
+ * Thread-safe bounded map: idempotency key -> committed response frame
+ * (header + payload bytes). Shared by all workers of a runtime so a
+ * retry that hashes to a different worker still hits.
+ */
+class DedupCache
+{
+  public:
+    struct Stats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t insertions = 0;
+        uint64_t evictions = 0;
+        size_t entries = 0;
+        size_t capacity = 0;
+    };
+
+    explicit DedupCache(size_t capacity) : capacity_(capacity) {}
+
+    /**
+     * Look up @p key. On a hit, copies the cached response header and
+     * payload out and returns true. Key 0 (no idempotency key) never
+     * hits and is not counted as a miss.
+     */
+    bool Lookup(uint64_t key, FrameHeader *header,
+                std::vector<uint8_t> *payload);
+
+    /**
+     * Remember the committed response for @p key. Key 0 and keys
+     * already present are ignored (a racing duplicate execution keeps
+     * the first committed answer). Evicts the oldest entry beyond
+     * capacity.
+     */
+    void Insert(uint64_t key, const FrameHeader &header,
+                const uint8_t *payload, size_t payload_bytes);
+
+    Stats stats() const;
+
+  private:
+    struct Entry
+    {
+        FrameHeader header;
+        std::vector<uint8_t> payload;
+    };
+
+    const size_t capacity_;
+    mutable std::mutex mu_;
+    std::unordered_map<uint64_t, Entry> entries_;
+    std::deque<uint64_t> fifo_;  ///< insertion order, for eviction
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t insertions_ = 0;
+    uint64_t evictions_ = 0;
+};
+
+}  // namespace protoacc::rpc
+
+#endif  // PROTOACC_RPC_DEDUP_CACHE_H

@@ -3,22 +3,51 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/crc32c.h"
 
 namespace protoacc::rpc {
 
 namespace {
 
 void
-WriteHeader(uint8_t *p, const FrameHeader &header)
+WriteHeader(uint8_t *p, const FrameHeader &header, bool with_crc)
 {
     std::memcpy(p, &header.payload_bytes, 4);
     std::memcpy(p + 4, &header.call_id, 4);
     std::memcpy(p + 8, &header.method_id, 2);
     p[10] = static_cast<uint8_t>(header.kind);
     p[11] = static_cast<uint8_t>(header.status);
+    p[12] = header.version;
+    // The buffer owns the CRC bit; the remaining flag bits are reserved
+    // and always written as zero at this version.
+    p[13] = with_crc ? FrameHeader::kFlagHasCrc : 0;
+    std::memcpy(p + 14, &header.idempotency_key, 8);
+    std::memset(p + FrameHeader::kCrcOffset, 0, 4);  // sealed later
+}
+
+uint32_t
+FrameCrc(const uint8_t *frame, size_t payload_bytes)
+{
+    // Covers every header byte before the CRC field itself, then the
+    // payload; the CRC field is excluded (it cannot cover itself).
+    const uint32_t head = Crc32c(frame, FrameHeader::kCrcOffset);
+    return Crc32cExtend(head, frame + FrameHeader::kWireBytes,
+                        payload_bytes);
 }
 
 }  // namespace
+
+void
+FrameBuffer::SealFrame(size_t frame_start, size_t payload_bytes)
+{
+    if (!crc_enabled_)
+        return;
+    uint8_t *p = bytes_.data() + frame_start;
+    const uint32_t crc = FrameCrc(p, payload_bytes);
+    std::memcpy(p + FrameHeader::kCrcOffset, &crc, 4);
+    if (cost_sink_ != nullptr)
+        cost_sink_->OnCrc(FrameHeader::kCrcOffset + payload_bytes);
+}
 
 size_t
 FrameBuffer::Append(const FrameHeader &header, const uint8_t *payload)
@@ -28,13 +57,14 @@ FrameBuffer::Append(const FrameHeader &header, const uint8_t *payload)
     bytes_.resize(start + FrameHeader::kWireBytes +
                   header.payload_bytes);
     uint8_t *p = bytes_.data() + start;
-    WriteHeader(p, header);
+    WriteHeader(p, header, crc_enabled_);
     if (header.payload_bytes > 0) {
         std::memcpy(p + FrameHeader::kWireBytes, payload,
                     header.payload_bytes);
         ++payload_copies_;
         payload_copy_bytes_ += header.payload_bytes;
     }
+    SealFrame(start, header.payload_bytes);
     return FrameHeader::kWireBytes + header.payload_bytes;
 }
 
@@ -50,7 +80,7 @@ FrameBuffer::ReserveFrame(const FrameHeader &header,
     uint8_t *p = bytes_.data() + reserved_at_;
     FrameHeader h = header;
     h.payload_bytes = 0;  // backpatched by CommitFrame
-    WriteHeader(p, h);
+    WriteHeader(p, h, crc_enabled_);
     return p + FrameHeader::kWireBytes;
 }
 
@@ -65,6 +95,7 @@ FrameBuffer::CommitFrame(size_t payload_bytes)
     // stay put.
     bytes_.resize(reserved_at_ + FrameHeader::kWireBytes +
                   payload_bytes);
+    SealFrame(reserved_at_, payload_bytes);
     reserved_at_ = kNoReservation;
     reserved_max_ = 0;
 }
@@ -87,8 +118,12 @@ FrameBuffer::Truncate(size_t n)
 }
 
 std::optional<Frame>
-FrameBuffer::Next(size_t *offset) const
+FrameBuffer::Next(size_t *offset, StatusCode *error) const
 {
+    StatusCode scratch;
+    StatusCode &err = error != nullptr ? *error : scratch;
+    err = StatusCode::kOk;
+
     if (*offset + FrameHeader::kWireBytes > bytes_.size())
         return std::nullopt;
     Frame frame;
@@ -102,10 +137,63 @@ FrameBuffer::Next(size_t *offset) const
     frame.header.status =
         p[11] < kNumStatusCodes ? static_cast<StatusCode>(p[11])
                                 : StatusCode::kInternal;
+    frame.header.version = p[12];
+    frame.header.flags = p[13];
+    std::memcpy(&frame.header.idempotency_key, p + 14, 8);
     if (*offset + FrameHeader::kWireBytes + frame.header.payload_bytes >
         bytes_.size()) {
         return std::nullopt;  // truncated
     }
+
+    // Integrity before trust: verify the CRC (when this side has
+    // verification on) over the *raw* bytes, so a flipped bit anywhere
+    // — length, ids, flags, payload — is caught here instead of being
+    // parsed downstream. An enforcing reader also rejects frames whose
+    // CRC flag is *missing*: every writer on this stack stamps a CRC
+    // when the check is on, so a cleared flag bit is itself in-flight
+    // corruption (and must not become a verification bypass). The
+    // verify is priced like the compute: one pass over header+payload.
+    const bool has_crc =
+        (frame.header.flags & FrameHeader::kFlagHasCrc) != 0;
+    bool crc_ok = true;
+    if (crc_enabled_) {
+        if (!has_crc) {
+            crc_ok = false;
+        } else {
+            if (cost_sink_ != nullptr)
+                cost_sink_->OnCrc(FrameHeader::kCrcOffset +
+                                  frame.header.payload_bytes);
+            uint32_t wire_crc;
+            std::memcpy(&wire_crc, p + FrameHeader::kCrcOffset, 4);
+            crc_ok =
+                FrameCrc(p, frame.header.payload_bytes) == wire_crc;
+        }
+    }
+
+    if (frame.header.version != FrameHeader::kFrameVersion) {
+        // A foreign version byte is either a genuinely newer peer or a
+        // corrupted v1 frame. The CRC disambiguates: if the v1-layout
+        // integrity check fails too, report the corruption (retryable
+        // kDataLoss) rather than a permanent version rejection.
+        if (crc_enabled_ && !crc_ok) {
+            err = StatusCode::kDataLoss;
+            *offset +=
+                FrameHeader::kWireBytes + frame.header.payload_bytes;
+        } else {
+            err = StatusCode::kUnimplemented;
+        }
+        return std::nullopt;
+    }
+    if (!crc_ok) {
+        err = StatusCode::kDataLoss;
+        // The length field is covered by the (failed) CRC, so this
+        // advance is best-effort: it lands on the next frame whenever
+        // the corruption hit elsewhere, and the scan bounds-checked it
+        // above either way.
+        *offset += FrameHeader::kWireBytes + frame.header.payload_bytes;
+        return std::nullopt;
+    }
+
     frame.payload = p + FrameHeader::kWireBytes;
     *offset += FrameHeader::kWireBytes + frame.header.payload_bytes;
     return frame;

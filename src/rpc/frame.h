@@ -9,6 +9,27 @@
  * the protobuf payloads: length-prefixed frames with a small fixed
  * header (call id, method id, frame kind), written into and scanned out
  * of transport buffers.
+ *
+ * Wire format v1 (26 bytes, little-endian):
+ *
+ *     offset  field
+ *          0  payload_bytes   u32
+ *          4  call_id         u32
+ *          8  method_id       u16
+ *         10  kind            u8
+ *         11  status          u8
+ *         12  version         u8   (kFrameVersion; unknown => reject)
+ *         13  flags           u8   (bit 0: frame carries a CRC)
+ *         14  idempotency_key u64  (client-assigned; 0 = none)
+ *         22  crc32c          u32  (over header bytes [0,22) + payload)
+ *
+ * The CRC is the end-to-end integrity check: it is computed when a
+ * frame is written (Append/CommitFrame) and verified when it is scanned
+ * back out (Next), so any corruption the channel injects in between is
+ * *detected* (kDataLoss) instead of being parsed and served as a wrong
+ * answer. The version byte is validated before anything else is
+ * trusted; the flags byte gives future versions somewhere to signal
+ * optional header extensions without re-breaking the layout.
  */
 #ifndef PROTOACC_RPC_FRAME_H
 #define PROTOACC_RPC_FRAME_H
@@ -18,6 +39,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "proto/cost_sink.h"
 
 namespace protoacc::rpc {
 
@@ -31,6 +53,13 @@ enum class FrameKind : uint8_t {
 /// Fixed-size frame header preceding each protobuf payload.
 struct FrameHeader
 {
+    /// Current wire-format version; frames declaring any other version
+    /// are rejected as kUnimplemented without touching the payload.
+    static constexpr uint8_t kFrameVersion = 1;
+    /// flags bit 0: the trailing crc32c field is populated and must be
+    /// verified on decode.
+    static constexpr uint8_t kFlagHasCrc = 0x01;
+
     uint32_t payload_bytes = 0;
     uint32_t call_id = 0;
     uint16_t method_id = 0;
@@ -40,8 +69,18 @@ struct FrameHeader
     /// specific cause (unknown method, parse failure class, accelerator
     /// fault, overload, ...) plus a human-readable detail payload.
     StatusCode status = StatusCode::kOk;
+    /// Wire-format version (kFrameVersion on everything this build
+    /// writes; kept as a field so tests can forge foreign versions).
+    uint8_t version = kFrameVersion;
+    /// Decoded flags byte. On the write path the buffer owns the CRC
+    /// bit; other bits are reserved (written as zero, ignored on read).
+    uint8_t flags = 0;
+    /// Client-assigned exactly-once key: stable across retries of one
+    /// logical call, 0 when the caller opted out of dedup.
+    uint64_t idempotency_key = 0;
 
-    static constexpr size_t kWireBytes = 4 + 4 + 2 + 1 + 1;
+    static constexpr size_t kCrcOffset = 4 + 4 + 2 + 1 + 1 + 1 + 1 + 8;
+    static constexpr size_t kWireBytes = kCrcOffset + 4;
 };
 
 /// One decoded frame: header plus a view into the transport buffer.
@@ -64,6 +103,12 @@ struct Frame
  *     stream. At most one reservation may be open, and no other write
  *     may land between reserve and commit (the returned pointer would
  *     dangle across a reallocation).
+ *
+ * Both write paths stamp a CRC32C over header+payload unless
+ * set_crc_enabled(false); Next() verifies it. When a cost sink is
+ * attached (SetCostSink), every CRC computed or verified charges
+ * modeled cycles through proto::CostSink::OnCrc so the integrity check
+ * shows up in the figures instead of being free.
  */
 class FrameBuffer
 {
@@ -81,7 +126,8 @@ class FrameBuffer
                           size_t max_payload_bytes);
 
     /// Finalize the open reservation at @p payload_bytes (at most the
-    /// reserved capacity): backpatch the header and trim the stream.
+    /// reserved capacity): backpatch the header, stamp the CRC and trim
+    /// the stream.
     void CommitFrame(size_t payload_bytes);
 
     /// Abandon the open reservation, removing its header and slot from
@@ -89,9 +135,24 @@ class FrameBuffer
     /// append an error frame instead).
     void CancelFrame();
 
-    /// Scan the next frame starting at @p offset; nullopt when the
-    /// stream is exhausted or the remainder is malformed/truncated.
-    std::optional<Frame> Next(size_t *offset) const;
+    /**
+     * Scan the next frame starting at @p offset; nullopt when the
+     * stream is exhausted or the remainder is unusable.
+     *
+     * When @p error is non-null it reports why a scan returned nullopt:
+     *   - kOk: stream exhausted, or the remainder is truncated
+     *     (@p offset does not advance — more bytes may still arrive);
+     *   - kUnimplemented: the frame declares an unknown wire-format
+     *     version (@p offset does not advance);
+     *   - kDataLoss: the frame failed its CRC check, or declared no
+     *     CRC while this buffer enforces them (a cleared CRC flag must
+     *     not become a verification bypass) — corrupted in flight.
+     *     @p offset advances past the frame so the scan can continue
+     *     behind it.
+     * A returned frame always implies *error == kOk.
+     */
+    std::optional<Frame> Next(size_t *offset,
+                              StatusCode *error = nullptr) const;
 
     size_t bytes() const { return bytes_.size(); }
     const uint8_t *data() const { return bytes_.data(); }
@@ -108,6 +169,16 @@ class FrameBuffer
         reserved_at_ = kNoReservation;
     }
 
+    /// Toggle CRC stamping (write path) and verification (Next). On by
+    /// default; chaos experiments turn it off to measure how many
+    /// corruptions would have been served silently.
+    void set_crc_enabled(bool enabled) { crc_enabled_ = enabled; }
+    bool crc_enabled() const { return crc_enabled_; }
+
+    /// Attach a cycle-cost sink charged via OnCrc for every CRC this
+    /// buffer computes or verifies (nullptr detaches).
+    void SetCostSink(proto::CostSink *sink) { cost_sink_ = sink; }
+
     /// Payload memcpys performed by Append (the copying path); the
     /// reserve/commit path never increments these.
     uint64_t payload_copies() const { return payload_copies_; }
@@ -116,9 +187,15 @@ class FrameBuffer
   private:
     static constexpr size_t kNoReservation = static_cast<size_t>(-1);
 
+    /// Stamp the CRC of the frame starting at @p frame_start (header
+    /// already written, payload in place) and charge the cost sink.
+    void SealFrame(size_t frame_start, size_t payload_bytes);
+
     std::vector<uint8_t> bytes_;
     size_t reserved_at_ = kNoReservation;
     size_t reserved_max_ = 0;
+    bool crc_enabled_ = true;
+    proto::CostSink *cost_sink_ = nullptr;
     uint64_t payload_copies_ = 0;
     uint64_t payload_copy_bytes_ = 0;
 };

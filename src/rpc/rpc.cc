@@ -41,6 +41,28 @@ RpcServer::HandleFrame(const Frame &frame, FrameBuffer *reply)
     FrameHeader out_header;
     out_header.call_id = frame.header.call_id;
     out_header.method_id = frame.header.method_id;
+    out_header.idempotency_key = frame.header.idempotency_key;
+
+    // Exactly-once: a retry of an already-committed call replays the
+    // cached response instead of re-executing the handler. Only
+    // committed successes are cached (below), so transient failures
+    // still re-execute on retry — that is the retry's whole point.
+    if (dedup_ != nullptr &&
+        frame.header.kind == FrameKind::kRequest &&
+        frame.header.idempotency_key != 0) {
+        FrameHeader cached_header;
+        std::vector<uint8_t> cached_payload;
+        if (dedup_->Lookup(frame.header.idempotency_key, &cached_header,
+                           &cached_payload)) {
+            // Re-stamp with this attempt's call id so the client's
+            // reply matching works; everything else is the committed
+            // answer byte for byte.
+            cached_header.call_id = frame.header.call_id;
+            reply->Append(cached_header, cached_payload.data());
+            return StatusCode::kOk;
+        }
+    }
+
     if (it == methods_.end())
         return AppendError(reply, out_header, StatusCode::kUnknownMethod);
     const Method &method = it->second;
@@ -61,6 +83,7 @@ RpcServer::HandleFrame(const Frame &frame, FrameBuffer *reply)
     // payload_bytes.
     const size_t size = backend_->SerializedSize(response);
     out_header.kind = FrameKind::kResponse;
+    const size_t reply_start = reply->bytes();
     uint8_t *dst = reply->ReserveFrame(out_header, size);
     const size_t written = backend_->SerializeTo(response, dst, size);
     if (written != size) {
@@ -73,6 +96,15 @@ RpcServer::HandleFrame(const Frame &frame, FrameBuffer *reply)
         return AppendError(reply, out_header, cause);
     }
     reply->CommitFrame(written);
+    if (dedup_ != nullptr && out_header.idempotency_key != 0) {
+        // Remember the committed answer for this key: the payload sits
+        // in the reply stream right where we reserved it.
+        out_header.payload_bytes = static_cast<uint32_t>(written);
+        dedup_->Insert(out_header.idempotency_key, out_header,
+                       reply->data() + reply_start +
+                           FrameHeader::kWireBytes,
+                       written);
+    }
     return StatusCode::kOk;
 }
 
@@ -97,63 +129,100 @@ RpcSession::ApplyChannelFault(FrameBuffer *buf)
 }
 
 StatusCode
-RpcSession::CallOnce(uint16_t method_id, const proto::Message &request,
+RpcSession::CallOnce(uint16_t method_id, uint32_t call_id,
+                     uint64_t idempotency_key,
+                     const proto::Message &request,
                      proto::Message *response)
 {
     ++breakdown_.attempts;
 
-    // Client serializes the request.
+    // Client serializes and frames the request; the frame CRC is
+    // stamped by Append and charged (OnCrc) to the client's host cost
+    // model inside the same measurement window as the codec work.
     const double client_before = backend_->codec_cycles();
     const std::vector<uint8_t> payload = backend_->Serialize(request);
-    breakdown_.client_codec_ns +=
-        CyclesToNs(backend_->codec_cycles() - client_before,
-                   backend_->freq_ghz());
-    if (!StatusOk(backend_->last_status()))
+    if (!StatusOk(backend_->last_status())) {
+        breakdown_.client_codec_ns +=
+            CyclesToNs(backend_->codec_cycles() - client_before,
+                       backend_->freq_ghz());
         return backend_->last_status();
+    }
 
     FrameBuffer to_server;
+    to_server.set_crc_enabled(crc_enabled_);
+    to_server.SetCostSink(backend_->host_cost_sink());
     FrameHeader header;
-    header.call_id = next_call_id_++;
+    header.call_id = call_id;
     header.method_id = method_id;
     header.kind = FrameKind::kRequest;
     header.payload_bytes = static_cast<uint32_t>(payload.size());
+    header.idempotency_key = idempotency_key;
     to_server.Append(header, payload.data());
+    breakdown_.client_codec_ns +=
+        CyclesToNs(backend_->codec_cycles() - client_before,
+                   backend_->freq_ghz());
     breakdown_.network_ns += channel_.TransferNs(to_server.bytes());
     if (!ApplyChannelFault(&to_server))
         return StatusCode::kUnavailable;  // request lost in flight
 
-    // Server handles the frame (a mangled stream never parses into a
-    // frame: from the server's view the request simply never arrived).
+    // Server scans the stream — CRC verification happens here, priced
+    // on the server's host model — and handles the frame. A mangled
+    // stream either fails the integrity check (detected corruption,
+    // kDataLoss) or never parses into a frame (from the server's view
+    // the request simply never arrived).
+    CodecBackend &server_backend = server_->mutable_backend();
+    to_server.SetCostSink(server_backend.host_cost_sink());
+    const double server_before = server_backend.codec_cycles();
     size_t offset = 0;
-    const std::optional<Frame> frame = to_server.Next(&offset);
-    if (!frame.has_value())
-        return StatusCode::kUnavailable;
+    StatusCode scan_error = StatusCode::kOk;
+    const std::optional<Frame> frame =
+        to_server.Next(&offset, &scan_error);
+    if (!frame.has_value()) {
+        breakdown_.server_codec_ns +=
+            CyclesToNs(server_backend.codec_cycles() - server_before,
+                       server_backend.freq_ghz());
+        if (scan_error == StatusCode::kDataLoss)
+            ++breakdown_.integrity_rejects;
+        return StatusOk(scan_error) ? StatusCode::kUnavailable
+                                    : scan_error;
+    }
     FrameBuffer to_client;
-    const double server_before = server_->backend().codec_cycles();
+    to_client.set_crc_enabled(crc_enabled_);
+    to_client.SetCostSink(server_backend.host_cost_sink());
     (void)server_->HandleFrame(*frame, &to_client);
     breakdown_.server_codec_ns +=
-        CyclesToNs(server_->backend().codec_cycles() - server_before,
-                   server_->backend().freq_ghz());
+        CyclesToNs(server_backend.codec_cycles() - server_before,
+                   server_backend.freq_ghz());
     breakdown_.network_ns += channel_.TransferNs(to_client.bytes());
     if (!ApplyChannelFault(&to_client))
         return StatusCode::kUnavailable;  // reply lost in flight
 
-    // Client decodes the reply frame; the structured status on error
-    // frames tells it exactly why the call failed (and whether a retry
-    // can help).
+    // Client decodes the reply frame — verifying its CRC on the client
+    // host model — and the structured status on error frames tells it
+    // exactly why the call failed (and whether a retry can help).
+    to_client.SetCostSink(backend_->host_cost_sink());
+    const double deser_before = backend_->codec_cycles();
     size_t reply_offset = 0;
-    const std::optional<Frame> reply = to_client.Next(&reply_offset);
-    if (!reply.has_value())
-        return StatusCode::kUnavailable;
+    StatusCode reply_scan_error = StatusCode::kOk;
+    const std::optional<Frame> reply =
+        to_client.Next(&reply_offset, &reply_scan_error);
+    if (!reply.has_value()) {
+        breakdown_.client_codec_ns +=
+            CyclesToNs(backend_->codec_cycles() - deser_before,
+                       backend_->freq_ghz());
+        if (reply_scan_error == StatusCode::kDataLoss)
+            ++breakdown_.integrity_rejects;
+        return StatusOk(reply_scan_error) ? StatusCode::kUnavailable
+                                          : reply_scan_error;
+    }
     if (reply->header.kind == FrameKind::kError) {
         return StatusOk(reply->header.status) ? StatusCode::kInternal
                                               : reply->header.status;
     }
     if (reply->header.kind != FrameKind::kResponse ||
-        reply->header.call_id != header.call_id) {
+        reply->header.call_id != call_id) {
         return StatusCode::kUnavailable;  // corrupted in flight
     }
-    const double deser_before = backend_->codec_cycles();
     const StatusCode decode_status = backend_->Deserialize(
         reply->payload, reply->header.payload_bytes, response);
     breakdown_.client_codec_ns +=
@@ -167,6 +236,13 @@ RpcSession::Call(uint16_t method_id, const proto::Message &request,
                  proto::Message *response)
 {
     ++breakdown_.calls;
+    // One logical call = one call id = one idempotency key, however
+    // many wire attempts it takes: the key (session id in the high
+    // half, so concurrent sessions sharing a server never collide) is
+    // what the dedup cache recognizes a retry by.
+    const uint32_t call_id = next_call_id_++;
+    const uint64_t idempotency_key =
+        (static_cast<uint64_t>(session_id_) << 32) | call_id;
     const uint32_t max_attempts =
         std::max<uint32_t>(retry_policy_.max_attempts, 1);
     double backoff = retry_policy_.initial_backoff_ns;
@@ -182,7 +258,8 @@ RpcSession::Call(uint16_t method_id, const proto::Message &request,
             breakdown_.backoff_ns += backoff * jitter;
             backoff *= retry_policy_.backoff_multiplier;
         }
-        status = CallOnce(method_id, request, response);
+        status = CallOnce(method_id, call_id, idempotency_key, request,
+                          response);
         if (StatusOk(status) || !StatusIsRetryable(status))
             break;
     }

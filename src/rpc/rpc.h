@@ -9,12 +9,14 @@
 #ifndef PROTOACC_RPC_RPC_H
 #define PROTOACC_RPC_RPC_H
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
 
 #include "common/rng.h"
 #include "rpc/codec_backend.h"
+#include "rpc/dedup_cache.h"
 #include "rpc/frame.h"
 #include "sim/fault.h"
 
@@ -78,6 +80,16 @@ class RpcServer
      */
     StatusCode HandleFrame(const Frame &frame, FrameBuffer *reply);
 
+    /**
+     * Attach a dedup/response cache (nullptr detaches). With a cache,
+     * request frames carrying a nonzero idempotency key are looked up
+     * before the handler runs: a hit replays the committed response
+     * (re-stamped with the retry's call id) without re-executing, and
+     * every committed success is inserted. The cache may be shared by
+     * many servers (one per runtime worker) — it locks internally.
+     */
+    void SetDedupCache(DedupCache *cache) { dedup_ = cache; }
+
     const CodecBackend &backend() const { return *backend_; }
     CodecBackend &mutable_backend() { return *backend_; }
     /// Per-call scratch arena (observable for steady-state tests).
@@ -95,6 +107,7 @@ class RpcServer
     std::unique_ptr<CodecBackend> backend_;
     std::map<uint16_t, Method> methods_;
     proto::Arena arena_;
+    DedupCache *dedup_ = nullptr;
 };
 
 /**
@@ -124,6 +137,9 @@ struct RpcTimeBreakdown
     uint64_t attempts = 0;
     uint64_t retries = 0;
     uint64_t failures = 0;
+    /// Frames rejected by the CRC integrity check (detected in-flight
+    /// corruption; each is an attempt that ended in kDataLoss).
+    uint64_t integrity_rejects = 0;
 
     double
     total_ns() const
@@ -153,7 +169,8 @@ class RpcSession
         : pool_(pool),
           backend_(std::move(client_backend)),
           server_(server),
-          channel_(channel)
+          channel_(channel),
+          session_id_(NextSessionId())
     {}
 
     /**
@@ -179,6 +196,12 @@ class RpcSession
         fault_injector_ = injector;
     }
 
+    /// Toggle frame CRCs on this session's buffers (on by default):
+    /// stamping on the frames it writes, verification on the frames it
+    /// scans. Off models the pre-integrity stack for silent-corruption
+    /// measurements.
+    void set_crc_enabled(bool enabled) { crc_enabled_ = enabled; }
+
     /// Status of the most recent Call (kOk after a success).
     StatusCode last_error() const { return last_error_; }
 
@@ -187,14 +210,25 @@ class RpcSession
     CodecBackend &mutable_backend() { return *backend_; }
 
   private:
-    /// One wire attempt of a call (no retry).
-    StatusCode CallOnce(uint16_t method_id,
+    /// One wire attempt of a call (no retry). @p call_id and
+    /// @p idempotency_key are allocated once per logical call by Call()
+    /// and stable across its retries — that stability is what lets the
+    /// server-side dedup cache recognize a retry.
+    StatusCode CallOnce(uint16_t method_id, uint32_t call_id,
+                        uint64_t idempotency_key,
                         const proto::Message &request,
                         proto::Message *response);
 
     /// Apply one sampled channel fault to an in-flight frame stream.
     /// @return false when the frame was dropped entirely.
     bool ApplyChannelFault(FrameBuffer *buf);
+
+    static uint32_t
+    NextSessionId()
+    {
+        static std::atomic<uint32_t> next{1};
+        return next.fetch_add(1, std::memory_order_relaxed);
+    }
 
     const proto::DescriptorPool *pool_;
     std::unique_ptr<CodecBackend> backend_;
@@ -207,6 +241,11 @@ class RpcSession
     Rng rng_{0x6a177e5u};
     StatusCode last_error_ = StatusCode::kOk;
     uint32_t next_call_id_ = 1;
+    /// Process-unique (from a static counter): the high half of every
+    /// idempotency key, so keys never collide across sessions sharing
+    /// one server's dedup cache.
+    uint32_t session_id_;
+    bool crc_enabled_ = true;
 };
 
 }  // namespace protoacc::rpc

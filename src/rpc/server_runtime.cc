@@ -18,14 +18,23 @@ RpcServerRuntime::RpcServerRuntime(const proto::DescriptorPool *pool,
     // lazy first-use compilation is not thread-safe, and pre-compiling
     // here makes every later access a read of immutable state.
     proto::GetCodecTables(*pool_);
+    if (config_.dedup_capacity > 0)
+        dedup_ = std::make_unique<DedupCache>(config_.dedup_capacity);
     workers_.reserve(config_.num_workers);
     for (uint32_t i = 0; i < config_.num_workers; ++i) {
         workers_.push_back(
             std::make_unique<Worker>(pool_, factory(i)));
-        workers_.back()->server.mutable_backend().SetParseLimits(
-            config_.parse_limits);
-        workers_.back()->est_call_ns.store(config_.est_call_ns,
-                                           std::memory_order_relaxed);
+        Worker &w = *workers_.back();
+        w.index = i;
+        w.server.mutable_backend().SetParseLimits(config_.parse_limits);
+        w.server.SetDedupCache(dedup_.get());
+        // Response-frame CRCs are host-side work: price them on the
+        // worker's core model (nullptr for pure-accel backends, whose
+        // device computes them inline with the streaming serialize).
+        w.replies.SetCostSink(
+            w.server.mutable_backend().host_cost_sink());
+        w.est_call_ns.store(config_.est_call_ns,
+                            std::memory_order_relaxed);
     }
 }
 
@@ -36,6 +45,7 @@ RpcServerRuntime::RegisterMethod(uint16_t method_id, int request_type,
                                  int response_type,
                                  const Handler &handler)
 {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
     PA_CHECK(!started_);
     for (auto &w : workers_)
         w->server.RegisterMethod(method_id, request_type, response_type,
@@ -45,12 +55,38 @@ RpcServerRuntime::RegisterMethod(uint16_t method_id, int request_type,
 void
 RpcServerRuntime::Start()
 {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
     PA_CHECK(!started_);
     started_ = true;
-    for (auto &w : workers_)
+    for (auto &w : workers_) {
+        bool dead;
+        {
+            std::lock_guard<std::mutex> wl(w->mu);
+            dead = w->dead;
+            w->stop = false;  // re-arm after a prior Shutdown()
+        }
+        // Crashed workers never come back: a Shutdown() -> Start()
+        // cycle resumes only the survivors (counters intact).
+        if (dead)
+            continue;
         w->thread = std::thread([this, worker = w.get()] {
             WorkerLoop(worker);
         });
+    }
+}
+
+RpcServerRuntime::Worker *
+RpcServerRuntime::PickWorker(uint32_t call_id)
+{
+    const size_t n = workers_.size();
+    const size_t home = call_id % n;
+    for (size_t i = 0; i < n; ++i) {
+        Worker *w = workers_[(home + i) % n].get();
+        std::lock_guard<std::mutex> lock(w->mu);
+        if (!w->dead)
+            return w;
+    }
+    return nullptr;
 }
 
 StatusCode
@@ -60,7 +96,13 @@ RpcServerRuntime::Submit(const FrameHeader &header,
     // Legal before Start(): frames queue in the inboxes and the workers
     // pick them up once spawned (a pre-loaded backlog drains in exact
     // max_batch chunks, which keeps batch boundaries deterministic).
-    Worker &w = *workers_[header.call_id % workers_.size()];
+    // A worker can die between PickWorker and the enqueue below; the
+    // frame then lands in a dead inbox, which Drain() harvests and
+    // re-dispatches — enqueueing is never lossy, just possibly late.
+    Worker *wp = PickWorker(header.call_id);
+    if (wp == nullptr)
+        return StatusCode::kUnavailable;  // every worker has crashed
+    Worker &w = *wp;
     {
         std::lock_guard<std::mutex> lock(w.mu);
         PA_CHECK(!w.stop);
@@ -90,25 +132,106 @@ RpcServerRuntime::Submit(const FrameHeader &header,
     return StatusCode::kOk;
 }
 
+StatusCode
+RpcServerRuntime::SubmitFromStream(const FrameBuffer &ingress,
+                                   size_t *offset)
+{
+    StatusCode scan = StatusCode::kOk;
+    const std::optional<Frame> frame = ingress.Next(offset, &scan);
+    if (frame.has_value())
+        return Submit(frame->header, frame->payload);
+    if (scan == StatusCode::kDataLoss) {
+        // Detected in-flight corruption: count the reject; Next already
+        // advanced past the bad frame, so the scan resumes behind it.
+        crc_rejects_.fetch_add(1, std::memory_order_relaxed);
+        return scan;
+    }
+    if (scan == StatusCode::kUnimplemented) {
+        // Unknown wire version: the frame length cannot be trusted, so
+        // framing cannot be resynchronized past it.
+        *offset = ingress.bytes();
+        return scan;
+    }
+    if (*offset < ingress.bytes()) {
+        // Truncated remainder (a frame lost its tail in the channel).
+        *offset = ingress.bytes();
+        return StatusCode::kUnavailable;
+    }
+    return StatusCode::kOk;  // stream exhausted
+}
+
 void
 RpcServerRuntime::Drain()
 {
-    PA_CHECK(started_);
-    for (auto &w : workers_) {
-        std::unique_lock<std::mutex> lock(w->mu);
-        w->cv.wait(lock, [&w] { return w->pending == 0; });
+    {
+        std::lock_guard<std::mutex> lock(lifecycle_mu_);
+        PA_CHECK(started_);
+    }
+    // A worker dying mid-drain leaves its un-acked frames in a dead
+    // inbox; re-dispatching them can itself land on a worker that later
+    // dies, so loop until a full pass moves nothing.
+    for (;;) {
+        for (auto &w : workers_) {
+            std::unique_lock<std::mutex> lock(w->mu);
+            w->cv.wait(lock,
+                       [&w] { return w->pending == 0 || w->dead; });
+        }
+        if (RedispatchStrandedFrames() == 0)
+            break;
     }
     ReplayAcceleratorTimeline();
+}
+
+size_t
+RpcServerRuntime::RedispatchStrandedFrames()
+{
+    // Runs only from Drain() after every worker is quiescent or dead.
+    // Harvest in worker-index order, inbox order preserved, and target
+    // selection is deterministic (PickWorker) — so the re-dispatch
+    // schedule depends only on the kill events, never on thread timing.
+    std::vector<OwnedFrame> stranded;
+    for (auto &w : workers_) {
+        std::lock_guard<std::mutex> lock(w->mu);
+        if (!w->dead || w->inbox.empty())
+            continue;
+        const size_t harvested = w->inbox.size();
+        while (!w->inbox.empty()) {
+            stranded.push_back(std::move(w->inbox.front()));
+            w->inbox.pop_front();
+        }
+        PA_CHECK_GE(w->pending, harvested);
+        w->pending -= harvested;
+    }
+    size_t moved = 0;
+    for (OwnedFrame &f : stranded) {
+        Worker *target = PickWorker(f.header.call_id);
+        if (target == nullptr)
+            continue;  // no survivors: the call is lost; the client's
+                       // retry needs a restarted runtime
+        {
+            std::lock_guard<std::mutex> lock(target->mu);
+            target->inbox.push_back(std::move(f));
+            ++target->pending;
+        }
+        target->cv.notify_all();
+        ++moved;
+    }
+    redispatched_frames_ += moved;
+    return moved;
 }
 
 void
 RpcServerRuntime::Shutdown()
 {
+    // lifecycle_mu_ serializes concurrent Shutdown() calls (and a
+    // Shutdown racing destruction): the loser of the race observes
+    // started_ == false and returns — Shutdown is idempotent.
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
     if (!started_)
         return;
     for (auto &w : workers_) {
         {
-            std::lock_guard<std::mutex> lock(w->mu);
+            std::lock_guard<std::mutex> wl(w->mu);
             w->stop = true;
         }
         w->cv.notify_all();
@@ -147,16 +270,25 @@ RpcServerRuntime::Snapshot() const
         {
             std::lock_guard<std::mutex> lock(w->mu);
             ws.shed = w->shed;
+            ws.crashed = w->dead;
         }
         const FallbackCounters fb =
             w->server.backend().fallback_counters();
         ws.fallback_accel_fault = fb.accel_fault;
         ws.fallback_forced = fb.forced;
+        const accel::WatchdogStats wd =
+            w->server.backend().watchdog_stats();
+        ws.watchdog_resets = wd.resets;
+        ws.watchdog_replayed_jobs = wd.replayed_jobs;
         ws.vclock_ns = w->vclock_ns;
         ws.codec_cycles = w->server.backend().codec_cycles();
         ws.arena_blocks = w->server.arena().block_count();
         ws.arena_bytes_reserved = w->server.arena().bytes_reserved();
         ws.reply_payload_copies = w->replies.payload_copies();
+        if (ws.crashed)
+            ++snap.workers_crashed;
+        snap.watchdog_resets += ws.watchdog_resets;
+        snap.watchdog_replayed_jobs += ws.watchdog_replayed_jobs;
         snap.calls += ws.calls;
         snap.failures += ws.failures;
         for (size_t i = 0; i < kNumStatusCodes; ++i)
@@ -169,6 +301,17 @@ RpcServerRuntime::Snapshot() const
             std::max(snap.modeled_span_ns, ws.vclock_ns);
         snap.workers.push_back(ws);
     }
+    if (dedup_ != nullptr) {
+        const DedupCache::Stats ds = dedup_->stats();
+        snap.dedup_hits = ds.hits;
+        snap.dedup_insertions = ds.insertions;
+        snap.dedup_evictions = ds.evictions;
+    }
+    snap.crc_rejects = crc_rejects_.load(std::memory_order_relaxed);
+    snap.redispatched_frames = redispatched_frames_;
+    if (config_.shared_accel != nullptr)
+        snap.watchdog_resets +=
+            config_.shared_accel->stats().watchdog_resets;
     return snap;
 }
 
@@ -209,7 +352,27 @@ RpcServerRuntime::WorkerLoop(Worker *w)
 
         const double cycles_before =
             w->server.backend().codec_cycles();
-        ProcessBatch(w, &batch, backlog);
+        const size_t executed = ProcessBatch(w, &batch, backlog);
+
+        if (executed < batch.size()) {
+            // An injected crash killed this worker mid-batch:
+            // acknowledge only the executed prefix, return the
+            // unexecuted tail to the inbox front (original order) for
+            // Drain() to re-dispatch, and exit. The stranded set is
+            // always a submission-order suffix, independent of where
+            // the batch boundary happened to fall — that is what keeps
+            // recovery deterministic.
+            {
+                std::lock_guard<std::mutex> lock(w->mu);
+                PA_CHECK_GE(w->pending, executed);
+                w->pending -= executed;
+                for (size_t i = batch.size(); i > executed; --i)
+                    w->inbox.push_front(std::move(batch[i - 1]));
+                w->dead = true;
+            }
+            w->cv.notify_all();
+            return;
+        }
 
         // Refresh the admission-control estimate from this batch's
         // measured codec time (service only; queueing is what the
@@ -237,7 +400,7 @@ RpcServerRuntime::WorkerLoop(Worker *w)
     }
 }
 
-void
+size_t
 RpcServerRuntime::ProcessBatch(Worker *w,
                                std::vector<OwnedFrame> *batch,
                                size_t backlog)
@@ -256,6 +419,7 @@ RpcServerRuntime::ProcessBatch(Worker *w,
         backend.SetForceSoftware(
             backlog > config_.saturation_fallback_backlog);
 
+    size_t executed = 0;
     if (config_.shared_accel == nullptr) {
         // Each worker is one core running the codec itself: a call's
         // modeled latency is its own service time; calls on one worker
@@ -281,8 +445,16 @@ RpcServerRuntime::ProcessBatch(Worker *w,
                 ++w->deadline_exceeded;
             w->latencies_ns.push_back(latency_ns);
             w->vclock_ns += latency_ns;
+            ++executed;
+            // The crash point is call-count based (deterministic): the
+            // call that just completed committed its reply; everything
+            // after it in the batch is stranded.
+            if (config_.fault_injector != nullptr &&
+                config_.fault_injector->ShouldKillWorker(w->index,
+                                                         w->calls))
+                break;
         }
-        return;
+        return executed;
     }
 
     // Shared accelerator: the batch's (de)serialization jobs go through
@@ -307,6 +479,12 @@ RpcServerRuntime::ProcessBatch(Worker *w,
             ++failures;
             ++w->failures_by_code[static_cast<size_t>(st)];
         }
+        ++w->calls;
+        ++executed;
+        if (config_.fault_injector != nullptr &&
+            config_.fault_injector->ShouldKillWorker(w->index,
+                                                     w->calls))
+            break;  // crash mid-batch: record the partial batch below
     }
     const double total_cycles = backend.codec_cycles() - cycles_before;
     const double accel_cycles = backend.accel_cycles() - accel_before;
@@ -316,10 +494,11 @@ RpcServerRuntime::ProcessBatch(Worker *w,
     record.service_cycles =
         static_cast<uint64_t>(std::llround(accel_cycles));
     record.sw_ns = (total_cycles - accel_cycles) / freq_ghz;
-    record.calls = static_cast<uint32_t>(batch->size());
-    w->accel_batches.push_back(record);
-    w->calls += batch->size();
+    record.calls = static_cast<uint32_t>(executed);
+    if (executed > 0)
+        w->accel_batches.push_back(record);
     w->failures += failures;
+    return executed;
 }
 
 void

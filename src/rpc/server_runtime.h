@@ -45,7 +45,9 @@
 #include <vector>
 
 #include "accel/shared_queue.h"
+#include "rpc/dedup_cache.h"
 #include "rpc/rpc.h"
+#include "sim/fault.h"
 
 namespace protoacc::rpc {
 
@@ -93,6 +95,18 @@ struct RuntimeConfig
     /// forced off (HybridCodecBackend degrades to software); the
     /// backlog recovering re-enables the accelerator. 0 disables.
     uint32_t saturation_fallback_backlog = 0;
+
+    // ---- exactly-once / crash recovery ----
+
+    /// Capacity of the runtime-wide dedup/response cache shared by all
+    /// workers (exactly-once retries — see rpc/dedup_cache.h); 0
+    /// disables dedup.
+    size_t dedup_capacity = 0;
+
+    /// Crash injector consulted after every completed call
+    /// (ShouldKillWorker events — deterministic, call-count-based).
+    /// Not owned; must outlive the runtime. nullptr disables.
+    sim::FaultInjector *fault_injector = nullptr;
 };
 
 /// One worker's counters, observed while the runtime is quiescent.
@@ -119,6 +133,12 @@ struct WorkerSnapshot
     size_t arena_bytes_reserved = 0;
     /// Payload memcpys in the reply stream (zero-copy path keeps 0).
     uint64_t reply_payload_copies = 0;
+    /// True when an injected crash killed this worker (its un-acked
+    /// frames were re-dispatched to survivors at Drain).
+    bool crashed = false;
+    /// Device watchdog activity on this worker's backend.
+    uint64_t watchdog_resets = 0;
+    uint64_t watchdog_replayed_jobs = 0;
 };
 
 /// Aggregate runtime counters.
@@ -140,6 +160,20 @@ struct RuntimeSnapshot
     uint64_t arena_constructions = 0;
     /// Modeled makespan: slowest worker's virtual timeline.
     double modeled_span_ns = 0;
+    /// Exactly-once accounting (zeros when dedup_capacity == 0).
+    uint64_t dedup_hits = 0;
+    uint64_t dedup_insertions = 0;
+    uint64_t dedup_evictions = 0;
+    /// Frames rejected by SubmitFromStream's CRC check (kDataLoss).
+    uint64_t crc_rejects = 0;
+    /// Crash recovery: injected worker deaths and the un-acked frames
+    /// Drain() re-dispatched to surviving workers.
+    uint64_t workers_crashed = 0;
+    uint64_t redispatched_frames = 0;
+    /// Watchdog activity: per-worker device resets/replays summed, plus
+    /// shared-queue resets when a shared accelerator is configured.
+    uint64_t watchdog_resets = 0;
+    uint64_t watchdog_replayed_jobs = 0;
     std::vector<WorkerSnapshot> workers;
 
     /// Modeled queries/sec across the pool of workers.
@@ -189,20 +223,46 @@ class RpcServerRuntime
     void Start();
 
     /// Enqueue one request frame; the payload is copied into the
-    /// owning worker's submission queue (sharded by call id). May be
+    /// owning worker's submission queue (sharded by call id; a dead
+    /// home worker reroutes to the next surviving one). May be
     /// called before Start() to pre-load a backlog (which also makes
     /// worker batch boundaries — inbox drains — deterministic).
     /// @return kOverloaded when admission control shed the request
     ///         (the frame was NOT enqueued; the client should back off
-    ///         and retry), kOk otherwise.
+    ///         and retry), kUnavailable when every worker is dead,
+    ///         kOk otherwise.
     StatusCode Submit(const FrameHeader &header, const uint8_t *payload);
 
-    /// Block until every submitted frame has been handled, then (with
-    /// a shared accelerator) replay the recorded batches onto the
-    /// shared timeline to produce deterministic modeled latencies.
+    /**
+     * Server-side ingress decode path: scan the next frame out of
+     * @p ingress (verifying its CRC — attach the ingress buffer's cost
+     * sink to price it) and Submit it.
+     *
+     * @return Submit's result for a good frame; kDataLoss when the
+     *         frame failed its integrity check (counted in the
+     *         snapshot's crc_rejects; the scan continues behind it);
+     *         kUnimplemented for a foreign frame version (framing
+     *         cannot be resynchronized, so @p offset is consumed to
+     *         the end); kUnavailable when the remainder is truncated
+     *         (@p offset is consumed to the end — the tail is lost);
+     *         kOk with @p offset unchanged when the stream is
+     *         exhausted.
+     */
+    StatusCode SubmitFromStream(const FrameBuffer &ingress,
+                                size_t *offset);
+
+    /// Block until every submitted frame has been handled or its
+    /// worker died; re-dispatch dead workers' un-acked frames to
+    /// survivors (repeating until everything drained — requeued frames
+    /// respect the dedup cache, so an already-committed call replays
+    /// its cached response instead of re-executing); then (with a
+    /// shared accelerator) replay the recorded batches onto the shared
+    /// timeline to produce deterministic modeled latencies.
     void Drain();
 
-    /// Stop accepting work, drain inboxes, join workers. Idempotent.
+    /// Stop accepting work, drain inboxes, join workers. Idempotent
+    /// and safe to call concurrently; a Shutdown() → Start() cycle
+    /// resumes the surviving workers with all counters intact.
     void Shutdown();
 
     uint32_t num_workers() const;
@@ -246,11 +306,16 @@ class RpcServerRuntime
             : server(pool, std::move(backend))
         {}
 
+        uint32_t index = 0;
         std::mutex mu;
         std::condition_variable cv;
         std::deque<OwnedFrame> inbox;
         size_t pending = 0;  ///< submitted, not yet fully handled
         bool stop = false;
+        /// Set (under mu) when an injected crash killed this worker's
+        /// thread; its inbox holds the un-acked frames Drain() will
+        /// re-dispatch. A dead worker never restarts.
+        bool dead = false;
         /// Requests shed by admission control (written under mu).
         uint64_t shed = 0;
         /// Per-call service estimate feeding admission control; EWMA
@@ -278,13 +343,33 @@ class RpcServerRuntime
     void WorkerLoop(Worker *w);
     /// @p backlog: frames left in the inbox after this batch was
     /// extracted (the saturation signal for degraded-mode serving).
-    void ProcessBatch(Worker *w, std::vector<OwnedFrame> *batch,
-                      size_t backlog);
+    /// @return frames executed — less than batch->size() when an
+    /// injected crash killed the worker mid-batch (the caller pushes
+    /// the unexecuted tail back for re-dispatch).
+    size_t ProcessBatch(Worker *w, std::vector<OwnedFrame> *batch,
+                        size_t backlog);
     void ReplayAcceleratorTimeline();
+    /// Home worker for @p call_id, or the next surviving worker when
+    /// the home one is dead; nullptr when every worker is dead.
+    Worker *PickWorker(uint32_t call_id);
+    /// Harvest dead workers' un-acked frames and re-submit them to
+    /// survivors. Returns the number of frames moved.
+    size_t RedispatchStrandedFrames();
 
     const proto::DescriptorPool *pool_;
     RuntimeConfig config_;
     std::vector<std::unique_ptr<Worker>> workers_;
+    /// Runtime-wide response cache shared by every worker's server
+    /// (null when dedup_capacity == 0).
+    std::unique_ptr<DedupCache> dedup_;
+    /// Frames rejected by SubmitFromStream's integrity check.
+    std::atomic<uint64_t> crc_rejects_{0};
+    /// Frames moved off dead workers onto survivors (Drain only, which
+    /// runs quiescent — plain counter).
+    uint64_t redispatched_frames_ = 0;
+    /// Serializes Start()/Shutdown() so concurrent Shutdown() calls
+    /// (and a Shutdown() racing destruction) are safe.
+    std::mutex lifecycle_mu_;
     bool started_ = false;
 };
 

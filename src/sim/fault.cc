@@ -23,7 +23,9 @@ WireMutationName(WireMutation m)
 }
 
 FaultInjector::FaultInjector(uint64_t seed, const FaultConfig &config)
-    : rng_(seed), config_(config)
+    : rng_(seed),
+      config_(config),
+      kill_consumed_(config.worker_kills.size(), false)
 {}
 
 FaultStats
@@ -145,6 +147,12 @@ FaultInjector::SampleUnitFault()
     if (rng_.NextBool(config_.unit_kill_rate)) {
         fault.kind = UnitFaultKind::kKill;
         ++stats_.units_killed;
+    } else if (config_.unit_wedge_rate > 0 &&
+               rng_.NextBool(config_.unit_wedge_rate)) {
+        // Gated on the rate so a wedge-free config draws exactly the
+        // sequence it drew before wedges existed (seed stability).
+        fault.kind = UnitFaultKind::kWedge;
+        ++stats_.units_wedged;
     } else if (rng_.NextBool(config_.unit_stall_rate)) {
         fault.kind = UnitFaultKind::kStall;
         const uint64_t lo = config_.stall_cycles_min;
@@ -153,6 +161,26 @@ FaultInjector::SampleUnitFault()
         ++stats_.units_stalled;
     }
     return fault;
+}
+
+bool
+FaultInjector::ShouldKillWorker(uint32_t worker,
+                                uint64_t calls_completed)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < config_.worker_kills.size(); ++i) {
+        const WorkerKillEvent &ev = config_.worker_kills[i];
+        if (kill_consumed_[i] || ev.worker != worker)
+            continue;
+        // ">=" (not "==") so an event scheduled inside a batch the
+        // worker had already passed when it checked still fires.
+        if (calls_completed >= ev.after_calls) {
+            kill_consumed_[i] = true;
+            ++stats_.workers_killed;
+            return true;
+        }
+    }
+    return false;
 }
 
 ChannelFaultKind

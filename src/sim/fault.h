@@ -55,6 +55,10 @@ enum class UnitFaultKind {
     kKill,
     /// The unit wedges for a bounded number of cycles, then completes.
     kStall,
+    /// The unit wedges *permanently* (FSM livelock): without a watchdog
+    /// the job never completes; a watchdog detects the blown cycle
+    /// budget, resets the unit, and replays the job.
+    kWedge,
 };
 
 struct UnitFault
@@ -71,6 +75,19 @@ enum class ChannelFaultKind {
     kCorrupt,   ///< payload bytes are flipped in flight
 };
 
+/**
+ * One scheduled worker crash: worker @p worker dies immediately after
+ * completing its @p after_calls-th call. Event-based (not rate-based)
+ * so kill points are deterministic regardless of how host threads
+ * interleave — the prerequisite for the Drain() replay staying
+ * reproducible under crash injection.
+ */
+struct WorkerKillEvent
+{
+    uint32_t worker = 0;
+    uint64_t after_calls = 0;
+};
+
 /// Per-class injection rates; all default to zero (injector disabled).
 struct FaultConfig
 {
@@ -85,11 +102,19 @@ struct FaultConfig
     double unit_stall_rate = 0.0;
     uint64_t stall_cycles_min = 100;
     uint64_t stall_cycles_max = 10000;
+    /// Per-job probability of a *permanent* wedge (sampled after kill,
+    /// before stall): the unit's FSM livelocks and only a watchdog
+    /// reset recovers it.
+    double unit_wedge_rate = 0.0;
 
     /// Per-frame channel fault probabilities.
     double frame_drop_rate = 0.0;
     double frame_truncate_rate = 0.0;
     double frame_corrupt_rate = 0.0;
+
+    /// Scheduled worker crashes (see WorkerKillEvent). Each fires at
+    /// most once; no RNG draw is involved.
+    std::vector<WorkerKillEvent> worker_kills;
 };
 
 /// Decision counters (what the injector actually did).
@@ -99,9 +124,11 @@ struct FaultStats
     uint64_t wire_mutations = 0;
     uint64_t units_killed = 0;
     uint64_t units_stalled = 0;
+    uint64_t units_wedged = 0;
     uint64_t frames_dropped = 0;
     uint64_t frames_truncated = 0;
     uint64_t frames_corrupted = 0;
+    uint64_t workers_killed = 0;
 };
 
 /**
@@ -132,6 +159,15 @@ class FaultInjector
     /// Draw the fault outcome for one accelerator job.
     UnitFault SampleUnitFault();
 
+    /**
+     * True exactly once per matching WorkerKillEvent: when @p worker
+     * has completed @p calls_completed calls and an unconsumed event
+     * schedules its death at that point. Pure event lookup — consumes
+     * no RNG draws, so adding kill events never perturbs the other
+     * fault streams.
+     */
+    bool ShouldKillWorker(uint32_t worker, uint64_t calls_completed);
+
     /// Draw the fault outcome for one channel frame.
     ChannelFaultKind SampleChannelFault();
 
@@ -148,6 +184,8 @@ class FaultInjector
     Rng rng_;
     FaultConfig config_;
     FaultStats stats_;
+    /// Which worker_kills entries already fired (parallel vector).
+    std::vector<bool> kill_consumed_;
 };
 
 }  // namespace protoacc::sim

@@ -1,0 +1,152 @@
+#include "rpc/dedup_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace protoacc::rpc {
+namespace {
+
+FrameHeader
+ResponseHeader(uint32_t call_id, uint64_t key, size_t payload_bytes)
+{
+    FrameHeader h;
+    h.call_id = call_id;
+    h.method_id = 1;
+    h.kind = FrameKind::kResponse;
+    h.idempotency_key = key;
+    h.payload_bytes = static_cast<uint32_t>(payload_bytes);
+    return h;
+}
+
+std::vector<uint8_t>
+Payload(const std::string &s)
+{
+    return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+TEST(DedupCacheTest, MissThenHitRoundTripsTheCommittedResponse)
+{
+    DedupCache cache(8);
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+    EXPECT_FALSE(cache.Lookup(42, &header, &payload));
+
+    const std::vector<uint8_t> committed = Payload("answer");
+    cache.Insert(42, ResponseHeader(7, 42, committed.size()),
+                 committed.data(), committed.size());
+
+    ASSERT_TRUE(cache.Lookup(42, &header, &payload));
+    EXPECT_EQ(header.call_id, 7u);
+    EXPECT_EQ(header.idempotency_key, 42u);
+    EXPECT_EQ(payload, committed);
+
+    const DedupCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.insertions, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(DedupCacheTest, KeyZeroIsNeverCachedAndNeverCountsAsMiss)
+{
+    DedupCache cache(8);
+    const std::vector<uint8_t> p = Payload("x");
+    cache.Insert(0, ResponseHeader(1, 0, p.size()), p.data(), p.size());
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+    EXPECT_FALSE(cache.Lookup(0, &header, &payload));
+    const DedupCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.insertions, 0u);
+    EXPECT_EQ(stats.misses, 0u);
+    EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(DedupCacheTest, FirstCommittedAnswerWins)
+{
+    DedupCache cache(8);
+    const std::vector<uint8_t> first = Payload("first");
+    const std::vector<uint8_t> second = Payload("second");
+    cache.Insert(5, ResponseHeader(1, 5, first.size()), first.data(),
+                 first.size());
+    cache.Insert(5, ResponseHeader(2, 5, second.size()), second.data(),
+                 second.size());
+
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(cache.Lookup(5, &header, &payload));
+    EXPECT_EQ(payload, first);
+    EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(DedupCacheTest, FifoEvictionHoldsTheBound)
+{
+    DedupCache cache(2);
+    const std::vector<uint8_t> p = Payload("p");
+    for (uint64_t key = 1; key <= 3; ++key)
+        cache.Insert(key, ResponseHeader(1, key, p.size()), p.data(),
+                     p.size());
+
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+    // Key 1 was the oldest entry — evicted when key 3 arrived.
+    EXPECT_FALSE(cache.Lookup(1, &header, &payload));
+    EXPECT_TRUE(cache.Lookup(2, &header, &payload));
+    EXPECT_TRUE(cache.Lookup(3, &header, &payload));
+
+    const DedupCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_EQ(stats.capacity, 2u);
+}
+
+TEST(DedupCacheTest, CapacityZeroDisablesTheCache)
+{
+    DedupCache cache(0);
+    const std::vector<uint8_t> p = Payload("p");
+    cache.Insert(9, ResponseHeader(1, 9, p.size()), p.data(), p.size());
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+    EXPECT_FALSE(cache.Lookup(9, &header, &payload));
+    EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(DedupCacheTest, ConcurrentInsertAndLookupAreSafe)
+{
+    // Many workers share one runtime-wide cache; hammer it from
+    // several threads (the TSan job runs this) and check the counters
+    // stay coherent.
+    DedupCache cache(64);
+    constexpr int kThreads = 4;
+    constexpr uint64_t kKeysPerThread = 200;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&cache, t] {
+            const std::vector<uint8_t> p =
+                Payload("thread-" + std::to_string(t));
+            for (uint64_t i = 0; i < kKeysPerThread; ++i) {
+                const uint64_t key = i % 50 + 1;  // deliberate overlap
+                FrameHeader header;
+                std::vector<uint8_t> payload;
+                if (!cache.Lookup(key, &header, &payload))
+                    cache.Insert(key,
+                                 ResponseHeader(1, key, p.size()),
+                                 p.data(), p.size());
+            }
+        });
+    for (auto &t : threads)
+        t.join();
+
+    const DedupCache::Stats stats = cache.stats();
+    // 50 distinct keys, first committer wins, capacity never exceeded.
+    EXPECT_EQ(stats.entries, 50u);
+    EXPECT_EQ(stats.insertions, 50u);
+    EXPECT_EQ(stats.evictions, 0u);
+    EXPECT_EQ(stats.hits + stats.misses,
+              static_cast<uint64_t>(kThreads) * kKeysPerThread);
+}
+
+}  // namespace
+}  // namespace protoacc::rpc

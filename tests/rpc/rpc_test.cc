@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 
 #include "proto/schema_parser.h"
@@ -171,6 +172,152 @@ TEST(FrameBuffer, ReserveCommitEmptyAndFull)
     EXPECT_FALSE(buf.Next(&offset).has_value());
 }
 
+TEST(FrameBuffer, UnknownVersionRejectedAsUnimplemented)
+{
+    FrameBuffer buf;
+    const uint8_t payload[] = {1, 2, 3};
+    FrameHeader h;
+    h.payload_bytes = 3;
+    h.call_id = 4;
+    h.version = FrameHeader::kFrameVersion + 1;
+    buf.Append(h, payload);
+
+    size_t offset = 0;
+    StatusCode error = StatusCode::kOk;
+    EXPECT_FALSE(buf.Next(&offset, &error).has_value());
+    EXPECT_EQ(error, StatusCode::kUnimplemented);
+    // A foreign version is a protocol mismatch, not corruption: the
+    // scan refuses without advancing (the layout past the version byte
+    // cannot be trusted).
+    EXPECT_EQ(offset, 0u);
+}
+
+TEST(FrameBuffer, CorruptedFrameRejectedAsDataLossAndScanResyncs)
+{
+    FrameBuffer buf;
+    const uint8_t first[] = {0xaa, 0xbb, 0xcc};
+    const uint8_t second[] = {0x11};
+    FrameHeader h;
+    h.payload_bytes = 3;
+    h.call_id = 1;
+    buf.Append(h, first);
+    h.payload_bytes = 1;
+    h.call_id = 2;
+    buf.Append(h, second);
+
+    // Flip one payload byte of the first frame in flight.
+    buf.mutable_data()[FrameHeader::kWireBytes + 1] ^= 0x40;
+
+    size_t offset = 0;
+    StatusCode error = StatusCode::kOk;
+    EXPECT_FALSE(buf.Next(&offset, &error).has_value());
+    EXPECT_EQ(error, StatusCode::kDataLoss);
+    // The CRC reject advances past the bad frame so the scan resyncs on
+    // the intact one behind it.
+    const auto f = buf.Next(&offset, &error);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(error, StatusCode::kOk);
+    EXPECT_EQ(f->header.call_id, 2u);
+}
+
+TEST(FrameBuffer, StrippedCrcFlagIsNotAVerificationBypass)
+{
+    // Corruption (or an attacker) clearing the has-CRC flag bit must
+    // not cause the enforcing reader to skip verification and accept
+    // the rest of the header on faith.
+    FrameBuffer buf;
+    const uint8_t payload[] = {1, 2, 3};
+    FrameHeader h;
+    h.payload_bytes = 3;
+    h.call_id = 1;
+    buf.Append(h, payload);
+    buf.mutable_data()[13] &= ~FrameHeader::kFlagHasCrc;  // flags byte
+
+    size_t offset = 0;
+    StatusCode error = StatusCode::kOk;
+    EXPECT_FALSE(buf.Next(&offset, &error).has_value());
+    EXPECT_EQ(error, StatusCode::kDataLoss);
+    EXPECT_EQ(offset, FrameHeader::kWireBytes + 3);
+}
+
+TEST(FrameBuffer, CrcDisabledServesCorruptionSilently)
+{
+    // The pre-integrity stack: corruption sails through the scan. This
+    // is the baseline chaos_soak quantifies (BENCH_chaos.json crc_off).
+    FrameBuffer buf;
+    buf.set_crc_enabled(false);
+    const uint8_t payload[] = {0xaa, 0xbb, 0xcc};
+    FrameHeader h;
+    h.payload_bytes = 3;
+    h.call_id = 1;
+    buf.Append(h, payload);
+    buf.mutable_data()[FrameHeader::kWireBytes + 1] ^= 0x40;
+
+    size_t offset = 0;
+    StatusCode error = StatusCode::kOk;
+    const auto f = buf.Next(&offset, &error);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(error, StatusCode::kOk);
+    EXPECT_EQ(f->header.flags & FrameHeader::kFlagHasCrc, 0);
+    EXPECT_EQ(f->payload[1], 0xbb ^ 0x40);  // corruption undetected
+}
+
+TEST(FrameBuffer, IdempotencyKeyAndFlagsRoundTrip)
+{
+    FrameBuffer buf;
+    const uint8_t payload[] = {7};
+    FrameHeader h;
+    h.payload_bytes = 1;
+    h.call_id = 3;
+    h.idempotency_key = 0xDEADBEEF12345678ull;
+    buf.Append(h, payload);
+
+    size_t offset = 0;
+    const auto f = buf.Next(&offset);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->header.idempotency_key, 0xDEADBEEF12345678ull);
+    EXPECT_EQ(f->header.version, FrameHeader::kFrameVersion);
+    EXPECT_NE(f->header.flags & FrameHeader::kFlagHasCrc, 0);
+}
+
+/// Counts OnCrc events (the integrity check's cost hook).
+class CrcCountingSink : public proto::CostSink
+{
+  public:
+    void
+    OnCrc(size_t bytes) override
+    {
+        ++crcs;
+        crc_bytes += bytes;
+    }
+    uint64_t crcs = 0;
+    uint64_t crc_bytes = 0;
+};
+
+TEST(FrameBuffer, CrcChargesTheCostSink)
+{
+    CrcCountingSink sink;
+    FrameBuffer buf;
+    buf.SetCostSink(&sink);
+    const uint8_t payload[] = {1, 2, 3, 4};
+    FrameHeader h;
+    h.payload_bytes = 4;
+    buf.Append(h, payload);  // one CRC stamped
+    EXPECT_EQ(sink.crcs, 1u);
+    // Covers the CRC-protected header prefix plus the payload.
+    EXPECT_EQ(sink.crc_bytes, FrameHeader::kCrcOffset + 4);
+
+    size_t offset = 0;
+    ASSERT_TRUE(buf.Next(&offset).has_value());  // one CRC verified
+    EXPECT_EQ(sink.crcs, 2u);
+
+    // Disabled => no stamp, no verify, no charge.
+    buf.set_crc_enabled(false);
+    buf.Append(h, payload);
+    ASSERT_TRUE(buf.Next(&offset).has_value());
+    EXPECT_EQ(sink.crcs, 2u);
+}
+
 TEST(SimulatedChannel, LatencyPlusBandwidth)
 {
     SimulatedChannel ch{.latency_ns = 1000, .bytes_per_ns = 10};
@@ -316,6 +463,106 @@ TEST_F(RpcEndToEndTest, UnknownMethodYieldsErrorFrame)
               StatusCode::kUnknownMethod);
     EXPECT_EQ(session.last_error(), StatusCode::kUnknownMethod);
     EXPECT_EQ(session.breakdown().failures, 1u);
+}
+
+TEST_F(RpcEndToEndTest, LossyChannelRetriesExecuteExactlyOnce)
+{
+    RpcServer server(&pool_,
+                     std::make_unique<SoftwareBackend>(
+                         cpu::BoomParams()));
+    std::atomic<uint64_t> executions{0};
+    const Handler echo = EchoHandler();
+    server.RegisterMethod(
+        1, req_, rsp_,
+        [echo, &executions](const Message &request, Message response) {
+            executions.fetch_add(1, std::memory_order_relaxed);
+            echo(request, response);
+        });
+    DedupCache dedup(256);
+    server.SetDedupCache(&dedup);
+
+    sim::FaultConfig fault_config;
+    fault_config.frame_drop_rate = 0.25;
+    sim::FaultInjector injector(0x10552, fault_config);
+
+    RpcSession session(&pool_,
+                       std::make_unique<SoftwareBackend>(
+                           cpu::BoomParams()),
+                       &server, SimulatedChannel{});
+    session.SetFaultInjector(&injector);
+    RetryPolicy policy;
+    policy.max_attempts = 16;
+    session.set_retry_policy(policy);
+
+    constexpr int kCalls = 30;
+    proto::Arena arena;
+    const auto &rd = pool_.message(req_);
+    const auto &sd = pool_.message(rsp_);
+    for (int i = 0; i < kCalls; ++i) {
+        Message request = Message::Create(&arena, pool_, req_);
+        request.SetString(*rd.FindFieldByName("text"),
+                          "ping-" + std::to_string(i));
+        request.SetInt32(*rd.FindFieldByName("repeat"), 2);
+        Message response = Message::Create(&arena, pool_, rsp_);
+        ASSERT_EQ(session.Call(1, request, &response), StatusCode::kOk);
+        EXPECT_EQ(response.GetString(*sd.FindFieldByName("text")),
+                  "ping-" + std::to_string(i) + "ping-" +
+                      std::to_string(i));
+    }
+
+    const RpcTimeBreakdown &b = session.breakdown();
+    EXPECT_EQ(b.calls, static_cast<uint64_t>(kCalls));
+    EXPECT_GT(b.attempts, b.calls);  // the channel really was lossy
+    EXPECT_GT(b.retries, 0u);
+    EXPECT_GT(b.backoff_ns, 0.0);
+    // Exactly once: a request lost before the server never executes; a
+    // response lost after execution re-sends, and the retry hits the
+    // dedup cache instead of running the handler again.
+    EXPECT_EQ(executions.load(), static_cast<uint64_t>(kCalls));
+    EXPECT_GT(dedup.stats().hits, 0u);
+}
+
+TEST_F(RpcEndToEndTest, InFlightCorruptionIsDetectedAndRetried)
+{
+    RpcServer server(&pool_,
+                     std::make_unique<SoftwareBackend>(
+                         cpu::BoomParams()));
+    server.RegisterMethod(1, req_, rsp_, EchoHandler());
+
+    sim::FaultConfig fault_config;
+    fault_config.frame_corrupt_rate = 0.5;
+    sim::FaultInjector injector(0xC0DE, fault_config);
+
+    RpcSession session(&pool_,
+                       std::make_unique<SoftwareBackend>(
+                           cpu::BoomParams()),
+                       &server, SimulatedChannel{});
+    session.SetFaultInjector(&injector);
+    RetryPolicy policy;
+    policy.max_attempts = 16;
+    session.set_retry_policy(policy);
+
+    constexpr int kCalls = 20;
+    proto::Arena arena;
+    const auto &rd = pool_.message(req_);
+    const auto &sd = pool_.message(rsp_);
+    for (int i = 0; i < kCalls; ++i) {
+        Message request = Message::Create(&arena, pool_, req_);
+        request.SetString(*rd.FindFieldByName("text"),
+                          "x-" + std::to_string(i));
+        request.SetInt32(*rd.FindFieldByName("repeat"), 1);
+        Message response = Message::Create(&arena, pool_, rsp_);
+        ASSERT_EQ(session.Call(1, request, &response), StatusCode::kOk);
+        // Every served answer is intact: corruption is detected by the
+        // frame CRC (kDataLoss => retry), never parsed and served.
+        EXPECT_EQ(response.GetString(*sd.FindFieldByName("text")),
+                  "x-" + std::to_string(i));
+    }
+
+    const RpcTimeBreakdown &b = session.breakdown();
+    EXPECT_EQ(b.calls, static_cast<uint64_t>(kCalls));
+    EXPECT_GT(b.integrity_rejects, 0u);
+    EXPECT_EQ(b.failures, 0u);
 }
 
 }  // namespace
