@@ -1,0 +1,379 @@
+/**
+ * Availability sweep for the device-health subsystem: intermittent
+ * fault rate x quarantine threshold, on a pool of workers whose private
+ * accelerators wedge intermittently (watchdog-recovered) while the
+ * health policy quarantines repeat offenders, scrubs, self-tests and
+ * reintegrates them.
+ *
+ * Per cell:
+ *   - serving availability: answered calls / submitted calls (software
+ *     fallback keeps serving while a device is fenced, so this should
+ *     stay 1.0 — degraded, never down);
+ *   - accelerated availability: fraction of the pool's modeled time NOT
+ *     spent in quarantine maintenance (scrub + self-test windows);
+ *   - MTTR: mean modeled repair time per completed quarantine episode
+ *     (scrub + self-test cycles per reintegration, at the 2 GHz clock);
+ *   - wasted cycles: total scrub + self-test cycles spent;
+ *   - wrong answers: responses whose payload does not echo the request
+ *     (MUST be zero in every cell — health management may cost time,
+ *     never correctness).
+ *
+ * A software-only baseline row anchors the comparison: the sweep's
+ * serving availability must never fall below it.
+ *
+ * Flags: --calls=N   logical calls per cell (default 600)
+ *        --seed=S    base seed (default 0xAVA11 ~ 0xA0A11)
+ *        --json=PATH write the sweep as JSON
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "proto/schema_parser.h"
+#include "rpc/server_runtime.h"
+#include "sim/fault.h"
+
+using namespace protoacc;
+using proto::DescriptorPool;
+using proto::Message;
+
+namespace {
+
+struct Options
+{
+    uint64_t calls = 600;
+    uint64_t seed = 0xA0A11;
+    std::string json_path;
+};
+
+Options
+ParseOptions(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--calls=", 0) == 0)
+            opt.calls = std::strtoull(arg.c_str() + 8, nullptr, 10);
+        else if (arg.rfind("--seed=", 0) == 0)
+            opt.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+        else if (arg.rfind("--json=", 0) == 0)
+            opt.json_path = arg.substr(7);
+        else {
+            std::fprintf(stderr,
+                         "usage: availability_sweep [--calls=N] "
+                         "[--seed=S] [--json=PATH]\n");
+            std::exit(1);
+        }
+    }
+    return opt;
+}
+
+constexpr uint32_t kWorkers = 2;
+constexpr uint16_t kMethod = 1;
+constexpr double kFreqGhz = 2.0;  // the modeled accelerator clock
+
+struct CellResult
+{
+    double wedge_rate = 0;
+    double quarantine_threshold = 0;
+    bool software_only = false;
+    uint64_t calls = 0;
+    uint64_t answered = 0;
+    uint64_t wrong_answers = 0;
+    uint64_t lost_calls = 0;
+    uint64_t quarantines = 0;
+    uint64_t reintegrations = 0;
+    uint64_t fenced_now = 0;
+    uint64_t watchdog_resets = 0;
+    uint64_t fallback_forced = 0;
+    uint64_t wasted_cycles = 0;  ///< scrub + self-test
+    double serving_availability = 0;
+    double accel_availability = 0;
+    double mttr_ns = 0;
+    double modeled_span_ns = 0;
+};
+
+CellResult
+RunCell(const DescriptorPool &pool, int req, int rsp, uint64_t seed,
+        uint64_t calls, double wedge_rate, double quarantine_threshold,
+        bool software_only)
+{
+    CellResult cell;
+    cell.wedge_rate = wedge_rate;
+    cell.quarantine_threshold = quarantine_threshold;
+    cell.software_only = software_only;
+    cell.calls = calls;
+
+    const auto &rd = pool.message(req);
+    const auto &sd = pool.message(rsp);
+    const auto *req_text = rd.FindFieldByName("text");
+    const auto *rsp_text = sd.FindFieldByName("text");
+
+    sim::FaultConfig fault_config;
+    fault_config.unit_wedge_rate = wedge_rate;
+    fault_config.unit_fault_burst_len = 3;  // correlated, not i.i.d.
+    std::vector<std::unique_ptr<sim::FaultInjector>> injectors;
+    for (uint32_t i = 0; i < kWorkers; ++i)
+        injectors.push_back(std::make_unique<sim::FaultInjector>(
+            seed + 100 + i, fault_config));
+
+    rpc::RuntimeConfig config;
+    config.num_workers = kWorkers;
+    config.max_batch = 8;
+    if (!software_only) {
+        config.health.enabled = true;
+        config.health.quarantine_threshold = quarantine_threshold;
+    }
+
+    rpc::RpcServerRuntime runtime(
+        &pool,
+        [&](uint32_t worker) -> std::unique_ptr<rpc::CodecBackend> {
+            if (software_only)
+                return std::make_unique<rpc::SoftwareBackend>(
+                    cpu::BoomParams(), pool);
+            accel::AccelConfig accel_config;
+            accel_config.watchdog.budget_cycles = 100'000;
+            auto accel = std::make_unique<rpc::AcceleratedBackend>(
+                pool, accel_config);
+            accel->SetFaultInjector(injectors[worker].get());
+            return std::make_unique<rpc::HybridCodecBackend>(
+                std::move(accel),
+                std::make_unique<rpc::SoftwareBackend>(
+                    cpu::BoomParams(), pool));
+        },
+        config);
+
+    runtime.RegisterMethod(
+        kMethod, req, rsp,
+        [&](const Message &request, Message response) {
+            response.SetString(*rsp_text,
+                               request.GetString(*req_text));
+        });
+    runtime.Start();
+
+    rpc::SoftwareBackend client(cpu::BoomParams(), pool);
+    proto::Arena client_arena;
+    constexpr uint64_t kBatchPerRound = 50;
+    for (uint64_t submitted = 0; submitted < calls;) {
+        const uint64_t n = std::min(kBatchPerRound, calls - submitted);
+        for (uint64_t i = 0; i < n; ++i) {
+            const uint64_t idx = submitted + i;
+            client_arena.Reset();
+            Message request = Message::Create(&client_arena, pool, req);
+            request.SetString(*req_text, "call-" + std::to_string(idx));
+            const std::vector<uint8_t> payload =
+                client.Serialize(request);
+            rpc::FrameHeader header;
+            header.payload_bytes = static_cast<uint32_t>(payload.size());
+            header.call_id = static_cast<uint32_t>(idx + 1);
+            header.method_id = kMethod;
+            header.kind = rpc::FrameKind::kRequest;
+            PA_CHECK(StatusOk(runtime.Submit(header, payload.data())));
+        }
+        submitted += n;
+        runtime.Drain();
+    }
+
+    // Verify every reply against its request (wrong answers must be 0).
+    std::vector<bool> answered(calls, false);
+    for (uint32_t w = 0; w < runtime.num_workers(); ++w) {
+        size_t off = 0;
+        while (const auto f = runtime.replies(w).Next(&off)) {
+            if (f->header.kind != rpc::FrameKind::kResponse)
+                continue;
+            const uint64_t idx = f->header.call_id - 1;
+            if (idx >= calls)
+                continue;
+            client_arena.Reset();
+            Message response =
+                Message::Create(&client_arena, pool, rsp);
+            const StatusCode parse = client.Deserialize(
+                f->payload, f->header.payload_bytes, &response);
+            const std::string expect = "call-" + std::to_string(idx);
+            if (!StatusOk(parse) ||
+                std::string(response.GetString(*rsp_text)) != expect) {
+                ++cell.wrong_answers;
+                continue;
+            }
+            if (!answered[idx]) {
+                answered[idx] = true;
+                ++cell.answered;
+            }
+        }
+    }
+    for (uint64_t i = 0; i < calls; ++i)
+        if (!answered[i])
+            ++cell.lost_calls;
+
+    const rpc::RuntimeSnapshot snap = runtime.Snapshot();
+    runtime.Shutdown();
+
+    cell.quarantines = snap.health_quarantines;
+    cell.reintegrations = snap.health_reintegrations;
+    cell.fenced_now = snap.health_fenced_domains;
+    cell.watchdog_resets = snap.watchdog_resets;
+    cell.fallback_forced = snap.fallback_forced;
+    cell.wasted_cycles =
+        snap.health_scrub_cycles + snap.health_self_test_cycles;
+    cell.modeled_span_ns = snap.modeled_span_ns;
+    cell.serving_availability =
+        calls > 0 ? static_cast<double>(cell.answered) /
+                        static_cast<double>(calls)
+                  : 0;
+    const double maintenance_ns =
+        static_cast<double>(cell.wasted_cycles) / kFreqGhz;
+    const double pool_time_ns =
+        snap.modeled_span_ns * static_cast<double>(kWorkers);
+    cell.accel_availability =
+        pool_time_ns > 0
+            ? 1.0 - std::min(1.0, maintenance_ns / pool_time_ns)
+            : 1.0;
+    const uint64_t repaired =
+        snap.health_reintegrations > 0 ? snap.health_reintegrations : 0;
+    cell.mttr_ns = repaired > 0 ? maintenance_ns /
+                                      static_cast<double>(repaired)
+                                : 0;
+    return cell;
+}
+
+void
+PrintCell(const CellResult &c)
+{
+    std::printf(
+        "  wedge %.3f  thresh %.2f%s | serve-avail %.4f  "
+        "accel-avail %.4f  mttr %.0f ns  wasted %llu cyc | "
+        "quar %llu  reint %llu  wd-resets %llu | wrong %llu  lost %llu\n",
+        c.wedge_rate, c.quarantine_threshold,
+        c.software_only ? " (sw baseline)" : "               ",
+        c.serving_availability, c.accel_availability, c.mttr_ns,
+        static_cast<unsigned long long>(c.wasted_cycles),
+        static_cast<unsigned long long>(c.quarantines),
+        static_cast<unsigned long long>(c.reintegrations),
+        static_cast<unsigned long long>(c.watchdog_resets),
+        static_cast<unsigned long long>(c.wrong_answers),
+        static_cast<unsigned long long>(c.lost_calls));
+}
+
+void
+WriteCellJson(std::FILE *f, const CellResult &c, bool last)
+{
+    std::fprintf(
+        f,
+        "    {\"wedge_rate\": %.4f, \"quarantine_threshold\": %.2f, "
+        "\"software_only\": %s, \"calls\": %llu, \"answered\": %llu, "
+        "\"wrong_answers\": %llu, \"lost_calls\": %llu, "
+        "\"serving_availability\": %.6f, \"accel_availability\": %.6f, "
+        "\"mttr_ns\": %.1f, \"wasted_cycles\": %llu, "
+        "\"quarantines\": %llu, \"reintegrations\": %llu, "
+        "\"fenced_now\": %llu, \"watchdog_resets\": %llu, "
+        "\"fallback_forced\": %llu, \"modeled_span_ns\": %.1f}%s\n",
+        c.wedge_rate, c.quarantine_threshold,
+        c.software_only ? "true" : "false",
+        static_cast<unsigned long long>(c.calls),
+        static_cast<unsigned long long>(c.answered),
+        static_cast<unsigned long long>(c.wrong_answers),
+        static_cast<unsigned long long>(c.lost_calls),
+        c.serving_availability, c.accel_availability, c.mttr_ns,
+        static_cast<unsigned long long>(c.wasted_cycles),
+        static_cast<unsigned long long>(c.quarantines),
+        static_cast<unsigned long long>(c.reintegrations),
+        static_cast<unsigned long long>(c.fenced_now),
+        static_cast<unsigned long long>(c.watchdog_resets),
+        static_cast<unsigned long long>(c.fallback_forced),
+        c.modeled_span_ns, last ? "" : ",");
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = ParseOptions(argc, argv);
+
+    DescriptorPool pool;
+    const auto parsed = proto::ParseSchema(R"(
+        message AvailRequest { optional string text = 1; }
+        message AvailResponse { optional string text = 1; }
+    )",
+                                           &pool);
+    PA_CHECK(parsed.ok);
+    pool.Compile(proto::HasbitsMode::kSparse);
+    const int req = pool.FindMessage("AvailRequest");
+    const int rsp = pool.FindMessage("AvailResponse");
+
+    const std::vector<double> wedge_rates = {0.0, 0.01, 0.03, 0.10};
+    const std::vector<double> thresholds = {0.20, 0.45, 0.70};
+
+    std::printf(
+        "Availability sweep — %llu calls/cell, seed 0x%llx, %u workers\n"
+        "============================================================\n",
+        static_cast<unsigned long long>(opt.calls),
+        static_cast<unsigned long long>(opt.seed), kWorkers);
+
+    const CellResult baseline = RunCell(pool, req, rsp, opt.seed,
+                                        opt.calls, 0.0, 0.0, true);
+    PrintCell(baseline);
+
+    std::vector<CellResult> cells;
+    for (const double rate : wedge_rates)
+        for (const double thresh : thresholds) {
+            cells.push_back(RunCell(pool, req, rsp, opt.seed, opt.calls,
+                                    rate, thresh, false));
+            PrintCell(cells.back());
+        }
+
+    if (!opt.json_path.empty()) {
+        std::FILE *f = std::fopen(opt.json_path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         opt.json_path.c_str());
+            return 1;
+        }
+        std::fprintf(f, "{\n  \"baseline\": \n");
+        WriteCellJson(f, baseline, true);
+        std::fprintf(f, "  ,\"cells\": [\n");
+        for (size_t i = 0; i < cells.size(); ++i)
+            WriteCellJson(f, cells[i], i + 1 == cells.size());
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", opt.json_path.c_str());
+    }
+
+    bool ok = true;
+    auto require = [&ok](bool cond, const char *what) {
+        if (!cond) {
+            std::fprintf(stderr, "FAIL: %s\n", what);
+            ok = false;
+        }
+    };
+    for (const CellResult &c : cells) {
+        require(c.wrong_answers == 0,
+                "health management served a wrong answer");
+        require(c.lost_calls == 0, "health management lost a call");
+        require(c.serving_availability >=
+                    baseline.serving_availability,
+                "serving availability fell below the software-fallback "
+                "baseline");
+    }
+    // The sweep must actually exercise the lifecycle: at the highest
+    // fault rate, quarantines fire; at rate 0, none do; and at least
+    // one cell completed a full repair (quarantine -> scrub ->
+    // self-test -> probation -> healthy).
+    require(cells.back().quarantines > 0,
+            "no quarantine fired at the highest fault rate");
+    require(cells.front().quarantines == 0,
+            "a quarantine fired with no faults injected");
+    uint64_t total_reintegrations = 0;
+    for (const CellResult &c : cells)
+        total_reintegrations += c.reintegrations;
+    require(total_reintegrations > 0,
+            "no cell completed a repair (reintegration never "
+            "exercised)");
+
+    std::printf("availability under intermittent faults: %s\n",
+                ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

@@ -76,6 +76,7 @@ RunJobWithFaults(RunFn &&run, sim::FaultInjector *injector,
 ProtoAccelerator::ProtoAccelerator(sim::MemorySystem *memory,
                                    const AccelConfig &config)
     : config_(config),
+      memory_(memory),
       deser_(std::make_unique<DeserializerUnit>(memory, config.deser)),
       ser_(std::make_unique<SerializerUnit>(memory, config.ser)),
       ops_(std::make_unique<OpsUnit>(memory, config.ops))

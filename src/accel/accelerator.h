@@ -114,6 +114,27 @@ class ProtoAccelerator
     /// Watchdog activity so far (unit resets, replayed jobs).
     const WatchdogStats &watchdog_stats() const { return watchdog_stats_; }
 
+    /// Health-domain state scrub across all units: drop any queued
+    /// jobs (they belong to the quarantined epoch) and clear every
+    /// piece of cross-request device state — ADT response buffers,
+    /// pipeline context, port TLBs and the device-side cache hierarchy.
+    /// Anything less leaves a timing channel: a warm L2 line or TLB
+    /// entry from the quarantined epoch makes the next request
+    /// measurably faster than on a fresh device. The modeled cycle
+    /// cost is charged by the health subsystem (rpc/health.h
+    /// ComputeScrubCost).
+    void
+    ScrubUnits()
+    {
+        deser_queue_.clear();
+        ser_queue_.clear();
+        ops_queue_.clear();
+        deser_->ScrubState();
+        ser_->ScrubState();
+        ops_->ScrubState();
+        memory_->Flush();
+    }
+
     DeserializerUnit &deserializer() { return *deser_; }
     SerializerUnit &serializer() { return *ser_; }
     OpsUnit &ops() { return *ops_; }
@@ -130,6 +151,7 @@ class ProtoAccelerator
 
   private:
     AccelConfig config_;
+    sim::MemorySystem *memory_;
     std::unique_ptr<DeserializerUnit> deser_;
     std::unique_ptr<SerializerUnit> ser_;
     std::unique_ptr<OpsUnit> ops_;

@@ -24,6 +24,7 @@
 #ifndef PROTOACC_ACCEL_DESERIALIZER_H
 #define PROTOACC_ACCEL_DESERIALIZER_H
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -108,6 +109,16 @@ class AdtResponseBuffer
 
     uint32_t hit_cycles() const { return hit_cycles_; }
 
+    /// Invalidate every entry (health-domain state scrub): the next
+    /// access to any address misses, exactly as on a fresh device — a
+    /// warm tag surviving a reset would let one request's access
+    /// pattern leak into the next request's timing.
+    void
+    Clear()
+    {
+        std::fill(tags_.begin(), tags_.end(), 0);
+    }
+
   private:
     std::vector<uint64_t> tags_;
     uint32_t hit_cycles_;
@@ -165,6 +176,20 @@ class DeserializerUnit
     const DeserStats &stats() const { return stats_; }
     void ResetStats();
     const sim::Port &memloader_port() const { return memloader_port_; }
+
+    /// Health-domain state scrub: invalidate the ADT response buffer
+    /// and every port TLB (and with them any cross-request warm-up),
+    /// leaving the unit indistinguishable from a freshly constructed
+    /// one. The modeled cycle cost of the scrub is charged by the
+    /// health subsystem (rpc/health.h ComputeScrubCost), not here.
+    void
+    ScrubState()
+    {
+        adt_buffer_.Clear();
+        memloader_port_.FlushTlb();
+        adt_port_.FlushTlb();
+        writer_port_.FlushTlb();
+    }
 
   private:
     struct Context;  // implementation detail in .cc

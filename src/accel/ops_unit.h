@@ -91,6 +91,15 @@ class OpsUnit
     const OpsStats &stats() const { return stats_; }
     void ResetStats();
 
+    /// Health-domain state scrub: invalidate the ADT response buffer
+    /// and the port TLB so no cross-request warm-up survives.
+    void
+    ScrubState()
+    {
+        adt_buffer_.Clear();
+        port_.FlushTlb();
+    }
+
   private:
     struct Walk;  // in .cc
 

@@ -97,6 +97,20 @@ class SerializerUnit
     /// Drain the pipeline at a block_for_ser_completion fence.
     void ResetPipeline();
 
+    /// Health-domain state scrub: drain the pipeline and invalidate the
+    /// ADT response buffer and port TLBs so no cross-request state
+    /// survives. Cycle cost is charged by the health subsystem
+    /// (rpc/health.h).
+    void
+    ScrubState()
+    {
+        ResetPipeline();
+        adt_buffer_.Clear();
+        frontend_port_.FlushTlb();
+        fsu_port_.FlushTlb();
+        memwriter_port_.FlushTlb();
+    }
+
     const SerStats &stats() const { return stats_; }
     void ResetStats();
 

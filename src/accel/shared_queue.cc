@@ -6,11 +6,23 @@
 
 namespace protoacc::accel {
 
+namespace {
+
+/// Wedge hang bound when no watchdog budget is configured (mirrors the
+/// device model's command-router last-resort timeout).
+constexpr uint64_t kWedgeHangCycles = 1'000'000;
+
+}  // namespace
+
 SharedAccelQueue::SharedAccelQueue(const SharedQueueConfig &config)
     : config_(config)
 {
     PA_CHECK_GE(config_.num_units, 1u);
     unit_free_.assign(config_.num_units, 0);
+    unit_fenced_.assign(config_.num_units, false);
+    unit_injectors_.assign(config_.num_units, nullptr);
+    stats_.unit_batches.assign(config_.num_units, 0);
+    stats_.unit_watchdog_resets.assign(config_.num_units, 0);
 }
 
 SharedAccelQueue::Completion
@@ -26,29 +38,67 @@ SharedAccelQueue::SubmitBatch(uint64_t arrival_cycle, uint32_t jobs,
         arrival_cycle +
         static_cast<uint64_t>(config_.dispatch_cycles_per_job) * jobs;
 
-    auto unit = std::min_element(unit_free_.begin(), unit_free_.end());
-    const bool contended = *unit > ready;
-    const uint64_t start = contended ? *unit : ready;
+    // Earliest-free arbitration over the in-service units only: a
+    // fenced (or maintenance-blocked) unit simply never wins, which is
+    // how live traffic routes around a quarantined one.
+    uint32_t unit = config_.num_units;  // sentinel
+    for (uint32_t u = 0; u < config_.num_units; ++u) {
+        if (unit_fenced_[u])
+            continue;
+        if (unit == config_.num_units ||
+            unit_free_[u] < unit_free_[unit])
+            unit = u;
+    }
+    PA_CHECK_LT(unit, config_.num_units);  // last unit is unfenceable
+    const bool contended = unit_free_[unit] > ready;
+    const uint64_t start = contended ? unit_free_[unit] : ready;
+
+    // Injected unit faults on the serving unit: a bounded stall
+    // inflates this batch's service time; a wedge (or a kill — on the
+    // timing-only shared model both wedge the FSM) hangs until the
+    // watchdog budget.
+    uint64_t effective_service = service_cycles;
+    bool injected_wedge = false;
+    if (unit_injectors_[unit] != nullptr) {
+        const sim::UnitFault fault =
+            unit_injectors_[unit]->SampleUnitFault();
+        if (fault.kind == sim::UnitFaultKind::kStall)
+            effective_service += fault.stall_cycles;
+        else if (fault.kind != sim::UnitFaultKind::kNone)
+            injected_wedge = true;
+    }
+
     // Watchdog: a batch blowing its cycle budget models a wedged unit —
     // the budget elapses, the unit resets, then the batch replays clean.
     uint64_t penalty = 0;
+    bool watchdog_fired = false;
     if (config_.watchdog_budget_cycles > 0 &&
-        service_cycles > config_.watchdog_budget_cycles) {
+        (injected_wedge ||
+         effective_service > config_.watchdog_budget_cycles)) {
         penalty = config_.watchdog_budget_cycles +
                   config_.watchdog_reset_cycles;
+        watchdog_fired = true;
         ++stats_.watchdog_resets;
+        ++stats_.unit_watchdog_resets[unit];
         stats_.watchdog_wasted_cycles += penalty;
+    } else if (injected_wedge) {
+        // No watchdog armed: the wedge hangs the unit to the coarse
+        // last-resort timeout before the batch replays.
+        penalty = kWedgeHangCycles;
     }
     const uint64_t done =
-        start + penalty + service_cycles + config_.fence_cycles;
-    *unit = done;
+        start + penalty + effective_service + config_.fence_cycles;
+    unit_free_[unit] = done;
 
     Completion c;
     c.start_cycle = start;
     c.done_cycle = done;
     c.wait_cycles = start - ready;
+    c.unit = unit;
+    c.watchdog_fired = watchdog_fired;
 
     ++stats_.batches;
+    ++stats_.unit_batches[unit];
     stats_.jobs += jobs;
     stats_.total_wait_cycles += c.wait_cycles;
     stats_.total_service_cycles += service_cycles;
@@ -56,6 +106,87 @@ SharedAccelQueue::SubmitBatch(uint64_t arrival_cycle, uint32_t jobs,
         ++stats_.contended_batches;
     stats_.busy_until_cycle = std::max(stats_.busy_until_cycle, done);
     return c;
+}
+
+void
+SharedAccelQueue::SetUnitFaultInjector(uint32_t unit,
+                                       sim::FaultInjector *injector)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    PA_CHECK_LT(unit, config_.num_units);
+    unit_injectors_[unit] = injector;
+}
+
+uint64_t
+SharedAccelQueue::BlockUnit(uint32_t unit, uint64_t cycles)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    PA_CHECK_LT(unit, config_.num_units);
+    unit_free_[unit] += cycles;
+    stats_.health_blocked_cycles += cycles;
+    stats_.busy_until_cycle =
+        std::max(stats_.busy_until_cycle, unit_free_[unit]);
+    return unit_free_[unit];
+}
+
+bool
+SharedAccelQueue::SetUnitFenced(uint32_t unit, bool fenced)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    PA_CHECK_LT(unit, config_.num_units);
+    if (fenced && !unit_fenced_[unit]) {
+        // Refuse to fence the last in-service unit: the fleet must
+        // keep serving, so the final survivor stays on probation.
+        uint32_t available = 0;
+        for (const bool f : unit_fenced_)
+            if (!f)
+                ++available;
+        if (available <= 1)
+            return false;
+    }
+    if (unit_fenced_[unit] != fenced) {
+        unit_fenced_[unit] = fenced;
+        stats_.fenced_units += fenced ? 1u : -1u;
+    }
+    return true;
+}
+
+bool
+SharedAccelQueue::unit_fenced(uint32_t unit) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    PA_CHECK_LT(unit, config_.num_units);
+    return unit_fenced_[unit];
+}
+
+uint32_t
+SharedAccelQueue::available_units() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    uint32_t available = 0;
+    for (const bool f : unit_fenced_)
+        if (!f)
+            ++available;
+    return available;
+}
+
+uint32_t
+SharedAccelQueue::SampleUnitFaults(uint32_t unit, uint32_t n)
+{
+    sim::FaultInjector *injector;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        PA_CHECK_LT(unit, config_.num_units);
+        injector = unit_injectors_[unit];
+    }
+    if (injector == nullptr)
+        return 0;
+    uint32_t faulted = 0;
+    for (uint32_t i = 0; i < n; ++i)
+        if (injector->SampleUnitFault().kind !=
+            sim::UnitFaultKind::kNone)
+            ++faulted;
+    return faulted;
 }
 
 SharedAccelQueue::Stats
@@ -70,7 +201,11 @@ SharedAccelQueue::Reset()
 {
     std::lock_guard<std::mutex> lock(mu_);
     unit_free_.assign(config_.num_units, 0);
+    const uint32_t fenced = stats_.fenced_units;
     stats_ = Stats{};
+    stats_.unit_batches.assign(config_.num_units, 0);
+    stats_.unit_watchdog_resets.assign(config_.num_units, 0);
+    stats_.fenced_units = fenced;
 }
 
 }  // namespace protoacc::accel

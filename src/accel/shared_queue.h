@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "accel/rocc.h"
+#include "sim/fault.h"
 
 namespace protoacc::accel {
 
@@ -70,6 +71,13 @@ class SharedAccelQueue
         uint64_t start_cycle = 0;  ///< when a unit began the batch
         uint64_t done_cycle = 0;   ///< fence return (completion)
         uint64_t wait_cycles = 0;  ///< queueing delay (start - ready)
+        /// Unit that served the batch — the identity the health
+        /// subsystem tracks error history against.
+        uint32_t unit = 0;
+        /// The watchdog fired on this batch (blown budget, or an
+        /// injected wedge on the serving unit): one incident for the
+        /// unit's health domain.
+        bool watchdog_fired = false;
     };
 
     /// Aggregate counters (monotonic until Reset).
@@ -87,6 +95,14 @@ class SharedAccelQueue
         uint64_t watchdog_resets = 0;
         /// Cycles burned on blown budgets + resets.
         uint64_t watchdog_wasted_cycles = 0;
+        /// Per-unit batch and watchdog-reset counts (indexed by unit).
+        std::vector<uint64_t> unit_batches;
+        std::vector<uint64_t> unit_watchdog_resets;
+        /// Cycles units spent blocked for health maintenance
+        /// (scrub + self-test windows, via BlockUnit).
+        uint64_t health_blocked_cycles = 0;
+        /// Units currently fenced out of arbitration.
+        uint32_t fenced_units = 0;
     };
 
     explicit SharedAccelQueue(const SharedQueueConfig &config = {});
@@ -110,7 +126,51 @@ class SharedAccelQueue
     Stats stats() const;
     const SharedQueueConfig &config() const { return config_; }
 
-    /// Clear the timeline and counters (units all free at cycle 0).
+    // ---- health-domain hooks (driven by rpc/health.h via the
+    //      serving runtime's deterministic replay) ----
+
+    /**
+     * Attach a fault injector to unit @p unit (nullptr detaches; not
+     * owned). Each batch the unit serves draws one sample: a wedge (or
+     * a stall beyond the watchdog budget) fires the watchdog — the
+     * batch completes late and the completion reports watchdog_fired —
+     * and a bounded stall inflates service time. Self-test verdicts for
+     * the unit draw from the same injector (SampleUnitFaults), so an
+     * injected permanent fault keeps failing self-tests until the
+     * health policy fences the unit.
+     */
+    void SetUnitFaultInjector(uint32_t unit,
+                              sim::FaultInjector *injector);
+
+    /**
+     * Occupy @p unit for @p cycles of health maintenance (state scrub +
+     * self-test) starting when the unit is next free: live traffic
+     * routes around it to the other units for the duration — the
+     * dispatcher simply never finds it earliest-free.
+     *
+     * @return the cycle at which the maintenance window ends.
+     */
+    uint64_t BlockUnit(uint32_t unit, uint64_t cycles);
+
+    /**
+     * Fence @p unit out of arbitration (or lift the fence). The last
+     * in-service unit cannot be fenced — a fleet must keep serving, so
+     * the final survivor stays on indefinite probation instead.
+     *
+     * @return false when the fence was refused (last available unit).
+     */
+    bool SetUnitFenced(uint32_t unit, bool fenced);
+    bool unit_fenced(uint32_t unit) const;
+    /// Units currently in arbitration.
+    uint32_t available_units() const;
+
+    /// Draw @p n unit-fault samples from @p unit's injector (the
+    /// self-test verdict source). @return how many faulted; 0 when no
+    /// injector is attached (a unit with no fault source passes).
+    uint32_t SampleUnitFaults(uint32_t unit, uint32_t n);
+
+    /// Clear the timeline and counters (units all free at cycle 0);
+    /// fences and injectors are preserved.
     void Reset();
 
   private:
@@ -118,6 +178,10 @@ class SharedAccelQueue
     mutable std::mutex mu_;
     /// Cycle at which each unit next becomes free.
     std::vector<uint64_t> unit_free_;
+    /// Units fenced out of arbitration by the health policy.
+    std::vector<bool> unit_fenced_;
+    /// Per-unit fault sources (not owned; nullptr = fault-free).
+    std::vector<sim::FaultInjector *> unit_injectors_;
     Stats stats_;
 };
 

@@ -123,21 +123,25 @@ RandomStringValue(Rng *rng, uint32_t max_len)
     return s;
 }
 
-}  // namespace
-
 void
-PopulateRandomMessage(Message msg, Rng *rng, const MessageGenOptions &opts)
+PopulateAtDepth(Message msg, Rng *rng, const MessageGenOptions &opts,
+                uint32_t depth)
 {
     for (const auto &f : msg.descriptor().fields()) {
         if (!rng->NextBool(opts.field_present_prob))
             continue;
+        // Depth cap: recursive schemas (Node.child -> Node) would
+        // otherwise never terminate at field_present_prob = 1.0.
+        const bool can_recurse = depth + 1 < opts.max_depth;
         if (f.repeated()) {
+            if (f.type == FieldType::kMessage && !can_recurse)
+                continue;
             const uint64_t n =
                 1 + rng->NextBounded(opts.max_repeated_elems);
             for (uint64_t i = 0; i < n; ++i) {
                 if (f.type == FieldType::kMessage) {
-                    PopulateRandomMessage(msg.AddRepeatedMessage(f), rng,
-                                          opts);
+                    PopulateAtDepth(msg.AddRepeatedMessage(f), rng, opts,
+                                    depth + 1);
                 } else if (IsBytesLike(f.type)) {
                     msg.AddRepeatedString(
                         f, RandomStringValue(rng, opts.max_string_len));
@@ -150,7 +154,9 @@ PopulateRandomMessage(Message msg, Rng *rng, const MessageGenOptions &opts)
             continue;
         }
         if (f.type == FieldType::kMessage) {
-            PopulateRandomMessage(msg.MutableMessage(f), rng, opts);
+            if (can_recurse)
+                PopulateAtDepth(msg.MutableMessage(f), rng, opts,
+                                depth + 1);
         } else if (IsBytesLike(f.type)) {
             msg.SetString(f, RandomStringValue(rng, opts.max_string_len));
         } else {
@@ -158,6 +164,14 @@ PopulateRandomMessage(Message msg, Rng *rng, const MessageGenOptions &opts)
                 f, RandomScalarBits(f.type, rng, opts.small_varint_prob));
         }
     }
+}
+
+}  // namespace
+
+void
+PopulateRandomMessage(Message msg, Rng *rng, const MessageGenOptions &opts)
+{
+    PopulateAtDepth(msg, rng, opts, 0);
 }
 
 }  // namespace protoacc::proto

@@ -51,6 +51,10 @@ struct MessageGenOptions
     uint32_t max_string_len = 64;
     /// Probability a varint value is small (fits in 1-2 bytes).
     double small_varint_prob = 0.6;
+    /// Sub-message nesting cap: below this depth message fields are
+    /// left unset. Required for self-recursive schemas, where
+    /// field_present_prob = 1.0 would otherwise recurse forever.
+    uint32_t max_depth = 8;
 };
 
 /// Populate @p msg (and sub-messages) with random values.

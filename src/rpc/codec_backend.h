@@ -118,6 +118,31 @@ class CodecBackend
     /// software-only backends.
     virtual accel::WatchdogStats watchdog_stats() const { return {}; }
 
+    /**
+     * The engine that talks to an accelerator device, for health-domain
+     * maintenance (self-test vectors must run on the device itself, not
+     * through a hybrid's fallback logic). The accelerated backend
+     * returns itself, the hybrid returns its accelerated half, and
+     * software-only backends return nullptr (nothing to health-manage).
+     */
+    virtual CodecBackend *accel_engine() { return nullptr; }
+
+    /// Device configuration behind this engine (nullptr for
+    /// software-only backends) — sizes the modeled state scrub.
+    virtual const accel::AccelConfig *accel_config() const
+    {
+        return nullptr;
+    }
+
+    /**
+     * Health-domain state scrub of the underlying device: drop queued
+     * jobs and clear all cross-request unit state (ADT response
+     * buffers, pipeline context). No-op for software-only backends. The
+     * modeled cycle cost is charged by the health subsystem
+     * (rpc/health.h ComputeScrubCost), not here.
+     */
+    virtual void ScrubDeviceState() {}
+
     /// Clock for converting cycles to time.
     virtual double freq_ghz() const = 0;
 
@@ -247,6 +272,13 @@ class AcceleratedBackend : public CodecBackend
     }
     const char *name() const override { return "riscv-boom-accel"; }
 
+    CodecBackend *accel_engine() override { return this; }
+    const accel::AccelConfig *accel_config() const override
+    {
+        return &config_;
+    }
+    void ScrubDeviceState() override { device_.ScrubUnits(); }
+
     accel::ProtoAccelerator &device() { return device_; }
 
   private:
@@ -342,6 +374,13 @@ class HybridCodecBackend : public CodecBackend
         return software_->host_cost_sink();
     }
     const char *name() const override { return "hybrid-accel-sw"; }
+
+    CodecBackend *accel_engine() override { return accel_.get(); }
+    const accel::AccelConfig *accel_config() const override
+    {
+        return accel_->accel_config();
+    }
+    void ScrubDeviceState() override { accel_->ScrubDeviceState(); }
 
     AcceleratedBackend &accel() { return *accel_; }
     SoftwareBackend &software() { return *software_; }

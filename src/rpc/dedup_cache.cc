@@ -1,12 +1,91 @@
 #include "rpc/dedup_cache.h"
 
+#include <cstring>
+
+#include "common/crc32c.h"
+
 namespace protoacc::rpc {
+
+namespace {
+
+/// Snapshot image: magic, version, entry count, entries, CRC trailer.
+constexpr uint8_t kMagic[4] = {'P', 'A', 'D', 'C'};
+constexpr uint8_t kSnapshotVersion = 1;
+
+void
+Put32(std::vector<uint8_t> *out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+Put64(std::vector<uint8_t> *out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint32_t
+Get32(const uint8_t *p)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+uint64_t
+Get64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+/// Per-entry fixed part: key u64, tick u64, then the FrameHeader
+/// fields (everything the response path copies back out), then
+/// payload_bytes u32 + payload.
+void
+PutHeader(std::vector<uint8_t> *out, const FrameHeader &h)
+{
+    Put32(out, h.payload_bytes);
+    Put32(out, h.call_id);
+    out->push_back(static_cast<uint8_t>(h.method_id));
+    out->push_back(static_cast<uint8_t>(h.method_id >> 8));
+    out->push_back(static_cast<uint8_t>(h.kind));
+    out->push_back(static_cast<uint8_t>(h.status));
+    out->push_back(h.version);
+    out->push_back(h.flags);
+    Put64(out, h.idempotency_key);
+}
+
+constexpr size_t kHeaderBytes = 4 + 4 + 2 + 1 + 1 + 1 + 1 + 8;
+
+FrameHeader
+GetHeader(const uint8_t *p)
+{
+    FrameHeader h;
+    h.payload_bytes = Get32(p);
+    h.call_id = Get32(p + 4);
+    h.method_id =
+        static_cast<uint16_t>(p[8] | (static_cast<uint16_t>(p[9]) << 8));
+    h.kind = static_cast<FrameKind>(p[10]);
+    h.status = static_cast<StatusCode>(p[11]);
+    h.version = p[12];
+    h.flags = p[13];
+    h.idempotency_key = Get64(p + 14);
+    return h;
+}
+
+}  // namespace
 
 bool
 DedupCache::Lookup(uint64_t key, FrameHeader *header,
                    std::vector<uint8_t> *payload)
 {
-    if (key == 0 || capacity_ == 0)
+    if (key == 0 || config_.capacity == 0)
         return false;
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(key);
@@ -24,21 +103,141 @@ void
 DedupCache::Insert(uint64_t key, const FrameHeader &header,
                    const uint8_t *payload, size_t payload_bytes)
 {
-    if (key == 0 || capacity_ == 0)
+    if (key == 0 || config_.capacity == 0)
         return;
     std::lock_guard<std::mutex> lock(mu_);
     Entry entry;
     entry.header = header;
     entry.payload.assign(payload, payload + payload_bytes);
+    entry.tick = ++insert_tick_;
     if (!entries_.emplace(key, std::move(entry)).second)
         return;  // first committed answer wins
     fifo_.push_back(key);
     ++insertions_;
-    while (entries_.size() > capacity_) {
-        entries_.erase(fifo_.front());
-        fifo_.pop_front();
-        ++evictions_;
+    EvictLocked();
+}
+
+void
+DedupCache::EvictLocked()
+{
+    // Proactive expiry: entries older than the retry horizon can never
+    // be hit again, so drop them regardless of occupancy.
+    if (config_.retry_horizon > 0) {
+        while (!fifo_.empty()) {
+            auto it = entries_.find(fifo_.front());
+            if (it == entries_.end()) {
+                fifo_.pop_front();  // already evicted
+                continue;
+            }
+            if (insert_tick_ - it->second.tick <= config_.retry_horizon)
+                break;  // fifo_ is tick-ordered: the rest are younger
+            entries_.erase(it);
+            fifo_.pop_front();
+            ++evictions_;
+            ++expired_;
+        }
     }
+    // Capacity bound: oldest-first. With the expired entries already
+    // gone, any eviction here hits an entry still inside the retry
+    // window (or of unknown age) — a correctness exposure, counted.
+    while (entries_.size() > config_.capacity) {
+        if (entries_.erase(fifo_.front()) > 0) {
+            ++evictions_;
+            ++unsafe_evictions_;
+        }
+        fifo_.pop_front();
+    }
+}
+
+std::vector<uint8_t>
+DedupCache::Serialize() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<uint8_t> out;
+    out.reserve(64);
+    for (const uint8_t m : kMagic)
+        out.push_back(m);
+    out.push_back(kSnapshotVersion);
+    out.push_back(0);  // reserved
+    out.push_back(0);
+    out.push_back(0);
+    Put64(&out, insert_tick_);
+    // Live entries in insertion order so the restored cache evicts in
+    // the same order the original would have.
+    uint32_t count = 0;
+    for (const uint64_t key : fifo_)
+        if (entries_.count(key) > 0)
+            ++count;
+    Put32(&out, count);
+    for (const uint64_t key : fifo_) {
+        auto it = entries_.find(key);
+        if (it == entries_.end())
+            continue;
+        const Entry &e = it->second;
+        Put64(&out, key);
+        Put64(&out, e.tick);
+        PutHeader(&out, e.header);
+        Put32(&out, static_cast<uint32_t>(e.payload.size()));
+        out.insert(out.end(), e.payload.begin(), e.payload.end());
+    }
+    Put32(&out, Crc32c(out.data(), out.size()));
+    return out;
+}
+
+bool
+DedupCache::Deserialize(const uint8_t *data, size_t size)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    fifo_.clear();
+    // 4 magic + 1 version + 3 reserved + 8 tick + 4 count + 4 crc.
+    constexpr size_t kMinBytes = 4 + 1 + 3 + 8 + 4 + 4;
+    if (data == nullptr || size < kMinBytes)
+        return false;
+    if (std::memcmp(data, kMagic, 4) != 0 || data[4] != kSnapshotVersion)
+        return false;
+    if (Crc32c(data, size - 4) != Get32(data + size - 4))
+        return false;
+    const uint64_t tick = Get64(data + 8);
+    const uint32_t count = Get32(data + 16);
+    size_t off = 20;
+    const size_t body_end = size - 4;
+    for (uint32_t i = 0; i < count; ++i) {
+        // key u64 + tick u64 + header + payload length u32.
+        if (off + 8 + 8 + kHeaderBytes + 4 > body_end) {
+            entries_.clear();
+            fifo_.clear();
+            return false;
+        }
+        const uint64_t key = Get64(data + off);
+        const uint64_t entry_tick = Get64(data + off + 8);
+        const FrameHeader header = GetHeader(data + off + 16);
+        const uint32_t payload_bytes = Get32(data + off + 16 + kHeaderBytes);
+        off += 16 + kHeaderBytes + 4;
+        if (off + payload_bytes > body_end || entry_tick > tick) {
+            entries_.clear();
+            fifo_.clear();
+            return false;
+        }
+        Entry entry;
+        entry.header = header;
+        entry.payload.assign(data + off, data + off + payload_bytes);
+        entry.tick = entry_tick;
+        off += payload_bytes;
+        if (key == 0 || config_.capacity == 0)
+            continue;
+        if (entries_.emplace(key, std::move(entry)).second)
+            fifo_.push_back(key);
+    }
+    if (off != body_end) {
+        entries_.clear();
+        fifo_.clear();
+        return false;
+    }
+    insert_tick_ = tick > insert_tick_ ? tick : insert_tick_;
+    EvictLocked();  // snapshot may exceed this instance's bounds
+    restored_ = true;
+    return true;
 }
 
 DedupCache::Stats
@@ -50,8 +249,11 @@ DedupCache::stats() const
     s.misses = misses_;
     s.insertions = insertions_;
     s.evictions = evictions_;
+    s.unsafe_evictions = unsafe_evictions_;
+    s.expired = expired_;
     s.entries = entries_.size();
-    s.capacity = capacity_;
+    s.capacity = config_.capacity;
+    s.restored = restored_;
     return s;
 }
 

@@ -12,12 +12,34 @@
  * keys. A retried key is answered from the cache without touching the
  * handler.
  *
- * The cache is bounded (FIFO eviction) because an unbounded map keyed
- * by every call ever served is a memory leak with a goatee. The bound
- * is a correctness window, not just a size knob: a retry arriving
- * after its entry was evicted will re-execute. Eviction counters are
- * exported so operators can see when the window is too small for the
- * retry horizon.
+ * The cache is bounded (eviction) because an unbounded map keyed by
+ * every call ever served is a memory leak with a goatee. The bound is
+ * a correctness window, not just a size knob: a retry arriving after
+ * its entry was evicted will re-execute. Two refinements over plain
+ * FIFO close the gap between the size bound and the correctness
+ * window:
+ *
+ *   - **Retry-horizon-aware eviction.** The client's retry policy
+ *     bounds how long after commit a retry can still arrive; an entry
+ *     older than that horizon can never be hit again and is dead
+ *     weight. Age is measured in *insertions* (a monotone logical
+ *     clock every config already controls), so with retry_horizon = H,
+ *     entries more than H insertions old are expired first — and
+ *     proactively, so a burst of fresh traffic does not have to
+ *     displace them one capacity miss at a time. Only when no expired
+ *     entry exists does eviction fall back to oldest-first, and such
+ *     an eviction is *unsafe* (the entry was still inside the retry
+ *     window) and counted separately so operators can see when
+ *     capacity — not the horizon — is the binding constraint.
+ *
+ *   - **Snapshot/restore.** A serving process that restarts loses the
+ *     cache, and every in-flight retry of an already-committed call
+ *     re-executes — exactly the double execution the cache exists to
+ *     prevent. Serialize() emits a self-verifying image (magic,
+ *     version, CRC32C trailer) of the live entries; Deserialize()
+ *     rebuilds the cache from one, rejecting corrupt or foreign bytes
+ *     fail-closed (an empty cache re-executes some calls; a poisoned
+ *     one serves wrong answers).
  */
 #ifndef PROTOACC_RPC_DEDUP_CACHE_H
 #define PROTOACC_RPC_DEDUP_CACHE_H
@@ -31,6 +53,18 @@
 #include "rpc/frame.h"
 
 namespace protoacc::rpc {
+
+/// Sizing and eviction policy of a DedupCache.
+struct DedupConfig
+{
+    /// Maximum live entries; 0 disables the cache entirely.
+    size_t capacity = 0;
+    /// Retry horizon in insertions: an entry more than this many
+    /// insertions old is outside every client's retry window and is
+    /// expired first (and proactively). 0 = unknown horizon — pure
+    /// oldest-first FIFO, the pre-snapshot behavior.
+    uint64_t retry_horizon = 0;
+};
 
 /**
  * Thread-safe bounded map: idempotency key -> committed response frame
@@ -46,11 +80,21 @@ class DedupCache
         uint64_t misses = 0;
         uint64_t insertions = 0;
         uint64_t evictions = 0;
+        /// Evictions of entries still inside the retry horizon (or any
+        /// eviction when the horizon is unknown): each one is a
+        /// potential double execution if its call retries late.
+        uint64_t unsafe_evictions = 0;
+        /// Entries dropped because they aged past the retry horizon
+        /// (provably dead — no correctness exposure).
+        uint64_t expired = 0;
         size_t entries = 0;
         size_t capacity = 0;
+        /// True when the cache was rebuilt from a snapshot.
+        bool restored = false;
     };
 
-    explicit DedupCache(size_t capacity) : capacity_(capacity) {}
+    explicit DedupCache(size_t capacity) : config_{capacity, 0} {}
+    explicit DedupCache(const DedupConfig &config) : config_(config) {}
 
     /**
      * Look up @p key. On a hit, copies the cached response header and
@@ -63,29 +107,56 @@ class DedupCache
     /**
      * Remember the committed response for @p key. Key 0 and keys
      * already present are ignored (a racing duplicate execution keeps
-     * the first committed answer). Evicts the oldest entry beyond
-     * capacity.
+     * the first committed answer). Expires entries beyond the retry
+     * horizon, then evicts oldest-first beyond capacity.
      */
     void Insert(uint64_t key, const FrameHeader &header,
                 const uint8_t *payload, size_t payload_bytes);
 
+    /**
+     * Snapshot the live entries (insertion order, ages preserved) into
+     * a self-verifying byte image for crash-restart durability.
+     */
+    std::vector<uint8_t> Serialize() const;
+
+    /**
+     * Rebuild the cache from a Serialize() image, replacing current
+     * contents. Fail-closed: returns false and leaves the cache empty
+     * when the image is truncated, corrupt (CRC mismatch), or a
+     * foreign format. Entries beyond this cache's capacity or retry
+     * horizon are dropped during the rebuild (the snapshot may come
+     * from a differently sized instance).
+     */
+    bool Deserialize(const uint8_t *data, size_t size);
+
     Stats stats() const;
+    const DedupConfig &config() const { return config_; }
 
   private:
     struct Entry
     {
         FrameHeader header;
         std::vector<uint8_t> payload;
+        /// Value of insert_tick_ when this entry was committed.
+        uint64_t tick = 0;
     };
 
-    const size_t capacity_;
+    /// Drop entries older than the retry horizon, then enforce
+    /// capacity oldest-first. Caller holds mu_.
+    void EvictLocked();
+
+    DedupConfig config_;
     mutable std::mutex mu_;
     std::unordered_map<uint64_t, Entry> entries_;
     std::deque<uint64_t> fifo_;  ///< insertion order, for eviction
+    uint64_t insert_tick_ = 0;   ///< monotone logical clock
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
     uint64_t insertions_ = 0;
     uint64_t evictions_ = 0;
+    uint64_t unsafe_evictions_ = 0;
+    uint64_t expired_ = 0;
+    bool restored_ = false;
 };
 
 }  // namespace protoacc::rpc

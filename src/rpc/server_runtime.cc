@@ -19,11 +19,18 @@ RpcServerRuntime::RpcServerRuntime(const proto::DescriptorPool *pool,
     // here makes every later access a read of immutable state.
     proto::GetCodecTables(*pool_);
     if (config_.dedup_capacity > 0)
-        dedup_ = std::make_unique<DedupCache>(config_.dedup_capacity);
+        dedup_ = std::make_unique<DedupCache>(DedupConfig{
+            config_.dedup_capacity, config_.dedup_retry_horizon});
+    if (config_.health.enabled && config_.shared_accel != nullptr) {
+        const uint32_t units = config_.shared_accel->config().num_units;
+        shared_unit_health_.reserve(units);
+        for (uint32_t u = 0; u < units; ++u)
+            shared_unit_health_.emplace_back(config_.health);
+    }
     workers_.reserve(config_.num_workers);
     for (uint32_t i = 0; i < config_.num_workers; ++i) {
         workers_.push_back(
-            std::make_unique<Worker>(pool_, factory(i)));
+            std::make_unique<Worker>(pool_, factory(i), config_.health));
         Worker &w = *workers_.back();
         w.index = i;
         w.server.mutable_backend().SetParseLimits(config_.parse_limits);
@@ -47,6 +54,11 @@ RpcServerRuntime::RegisterMethod(uint16_t method_id, int request_type,
 {
     std::lock_guard<std::mutex> lock(lifecycle_mu_);
     PA_CHECK(!started_);
+    // The first registered request type doubles as the self-test
+    // vector source, so golden vectors exercise the ADTs live traffic
+    // actually uses.
+    if (self_tester_ == nullptr)
+        self_tester_ = std::make_unique<SelfTester>(pool_, request_type);
     for (auto &w : workers_)
         w->server.RegisterMethod(method_id, request_type, response_type,
                                  handler);
@@ -260,6 +272,17 @@ RpcServerRuntime::Snapshot() const
 {
     RuntimeSnapshot snap;
     snap.arena_constructions = workers_.size();
+    const auto aggregate_health = [&snap](const HealthSnapshot &hs) {
+        snap.health_quarantines += hs.quarantines;
+        snap.health_scrubs_completed += hs.scrubs_completed;
+        snap.health_scrub_cycles += hs.scrub_cycles;
+        snap.health_self_tests_passed += hs.self_tests_passed;
+        snap.health_self_tests_failed += hs.self_tests_failed;
+        snap.health_self_test_cycles += hs.self_test_cycles;
+        snap.health_reintegrations += hs.reintegrations;
+        if (hs.fenced_from_traffic)
+            ++snap.health_fenced_domains;
+    };
     for (const auto &w : workers_) {
         WorkerSnapshot ws;
         ws.calls = w->calls;
@@ -280,6 +303,8 @@ RpcServerRuntime::Snapshot() const
             w->server.backend().watchdog_stats();
         ws.watchdog_resets = wd.resets;
         ws.watchdog_replayed_jobs = wd.replayed_jobs;
+        ws.device_health = w->health.snapshot();
+        aggregate_health(ws.device_health);
         ws.vclock_ns = w->vclock_ns;
         ws.codec_cycles = w->server.backend().codec_cycles();
         ws.arena_blocks = w->server.arena().block_count();
@@ -301,11 +326,18 @@ RpcServerRuntime::Snapshot() const
             std::max(snap.modeled_span_ns, ws.vclock_ns);
         snap.workers.push_back(ws);
     }
+    for (const DeviceHealth &h : shared_unit_health_) {
+        snap.shared_units.push_back(h.snapshot());
+        aggregate_health(snap.shared_units.back());
+    }
     if (dedup_ != nullptr) {
         const DedupCache::Stats ds = dedup_->stats();
         snap.dedup_hits = ds.hits;
         snap.dedup_insertions = ds.insertions;
         snap.dedup_evictions = ds.evictions;
+        snap.dedup_unsafe_evictions = ds.unsafe_evictions;
+        snap.dedup_expired = ds.expired;
+        snap.dedup_restored = ds.restored;
     }
     snap.crc_rejects = crc_rejects_.load(std::memory_order_relaxed);
     snap.redispatched_frames = redispatched_frames_;
@@ -313,6 +345,30 @@ RpcServerRuntime::Snapshot() const
         snap.watchdog_resets +=
             config_.shared_accel->stats().watchdog_resets;
     return snap;
+}
+
+void
+RpcServerRuntime::ReportDeviceIncident(uint32_t worker,
+                                       IncidentKind kind)
+{
+    PA_CHECK_LT(worker, workers_.size());
+    PA_CHECK_LT(static_cast<size_t>(kind), kNumIncidentKinds);
+    workers_[worker]
+        ->reported_incidents[static_cast<size_t>(kind)]
+        .fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<uint8_t>
+RpcServerRuntime::SerializeDedup() const
+{
+    return dedup_ != nullptr ? dedup_->Serialize()
+                             : std::vector<uint8_t>{};
+}
+
+bool
+RpcServerRuntime::RestoreDedup(const uint8_t *data, size_t size)
+{
+    return dedup_ != nullptr && dedup_->Deserialize(data, size);
 }
 
 std::vector<double>
@@ -352,9 +408,11 @@ RpcServerRuntime::WorkerLoop(Worker *w)
 
         const double cycles_before =
             w->server.backend().codec_cycles();
-        const size_t executed = ProcessBatch(w, &batch, backlog);
+        bool killed = false;
+        const size_t executed =
+            ProcessBatch(w, &batch, backlog, &killed);
 
-        if (executed < batch.size()) {
+        if (killed) {
             // An injected crash killed this worker mid-batch:
             // acknowledge only the executed prefix, return the
             // unexecuted tail to the inbox front (original order) for
@@ -400,10 +458,115 @@ RpcServerRuntime::WorkerLoop(Worker *w)
     }
 }
 
+bool
+RpcServerRuntime::HealthPreBatch(Worker *w)
+{
+    if (!config_.health.enabled)
+        return true;
+    CodecBackend &backend = w->server.mutable_backend();
+    if (backend.accel_engine() == nullptr)
+        return true;  // nothing to health-manage
+    // Complete a finished maintenance window first, so a reintegrated
+    // device serves this very batch. Until the worker's timeline
+    // passes the window the state machine stays in kScrubbing — an
+    // interruption (crash, shutdown) leaves the domain fenced.
+    if (w->maintenance_pending &&
+        w->vclock_ns >= w->maintenance_done_ns) {
+        w->maintenance_pending = false;
+        w->health.CompleteScrub(w->maintenance_scrub);
+        const HealthState verdict = w->health.CompleteSelfTest(
+            w->maintenance_test_passed, w->maintenance_test_cycles);
+        if (verdict == HealthState::kProbation)
+            w->health_fenced = false;  // back in service, reduced trust
+        else if (verdict == HealthState::kQuarantined)
+            QuarantineWorkerDevice(w);  // another scrub + test round
+        // kFenced: permanently out; health_fenced stays true and the
+        // worker serves on the software codec from here on.
+    }
+    // Externally attributed incidents (e.g. client-side CRC rejects of
+    // this worker's responses).
+    bool quarantine = false;
+    for (size_t k = 0; k < kNumIncidentKinds; ++k) {
+        uint64_t n = w->reported_incidents[k].exchange(
+            0, std::memory_order_relaxed);
+        while (n-- > 0)
+            quarantine |=
+                w->health.OnIncident(static_cast<IncidentKind>(k));
+    }
+    if (quarantine && !w->health_fenced)
+        QuarantineWorkerDevice(w);
+    return !w->health_fenced;
+}
+
+void
+RpcServerRuntime::QuarantineWorkerDevice(Worker *w)
+{
+    CodecBackend &backend = w->server.mutable_backend();
+    CodecBackend *engine = backend.accel_engine();
+    PA_CHECK(engine != nullptr);
+    w->health_fenced = true;
+    w->health.BeginScrub();
+    // Functional scrub: queued jobs are dropped and every piece of
+    // cross-request unit state (ADT response buffers, pipeline
+    // context) is cleared — request A's bytes cannot reach request B
+    // through the device.
+    backend.ScrubDeviceState();
+    const accel::AccelConfig *accel_config = backend.accel_config();
+    w->maintenance_scrub =
+        accel_config != nullptr
+            ? ComputeScrubCost(*accel_config, config_.health)
+            : ComputeScrubCost(config_.health);
+    // The golden vectors run through the device engine now (the
+    // functional verdict — a device that corrupts data or keeps
+    // faulting fails), but the modeled time is charged as a fenced
+    // maintenance window on the worker's timeline: live batches run on
+    // the software codec until the window passes.
+    uint64_t test_cycles = 0;
+    bool passed = false;
+    if (self_tester_ != nullptr)
+        passed = self_tester_->Run(
+            engine, config_.health.self_test_vectors, &test_cycles);
+    w->maintenance_test_passed = passed;
+    w->maintenance_test_cycles = test_cycles;
+    const double window_ns =
+        static_cast<double>(w->maintenance_scrub.total() + test_cycles) /
+        engine->freq_ghz();
+    w->maintenance_done_ns = w->vclock_ns + window_ns;
+    w->maintenance_pending = true;
+}
+
+void
+RpcServerRuntime::HealthPostBatch(Worker *w, size_t executed)
+{
+    if (!config_.health.enabled)
+        return;
+    CodecBackend &backend = w->server.mutable_backend();
+    if (backend.accel_engine() == nullptr)
+        return;
+    const uint64_t wd = backend.watchdog_stats().resets;
+    const uint64_t faults = backend.fallback_counters().accel_fault;
+    const uint64_t wd_delta = wd - w->wd_resets_seen;
+    const uint64_t fault_delta = faults - w->accel_faults_seen;
+    w->wd_resets_seen = wd;
+    w->accel_faults_seen = faults;
+    bool quarantine = false;
+    for (uint64_t i = 0; i < wd_delta; ++i)
+        quarantine |= w->health.OnIncident(IncidentKind::kWatchdogReset);
+    for (uint64_t i = 0; i < fault_delta; ++i)
+        quarantine |= w->health.OnIncident(IncidentKind::kUnitFault);
+    // Clean calls say nothing about a fenced device (they ran on the
+    // software codec), so successes only count while in service.
+    if (!w->health_fenced)
+        for (uint64_t i = wd_delta + fault_delta; i < executed; ++i)
+            w->health.OnSuccess();
+    if (quarantine && !w->health_fenced)
+        QuarantineWorkerDevice(w);
+}
+
 size_t
 RpcServerRuntime::ProcessBatch(Worker *w,
                                std::vector<OwnedFrame> *batch,
-                               size_t backlog)
+                               size_t backlog, bool *killed)
 {
     CodecBackend &backend = w->server.mutable_backend();
     const double freq_ghz = backend.freq_ghz();
@@ -411,13 +574,20 @@ RpcServerRuntime::ProcessBatch(Worker *w,
     if (!config_.record_replies)
         w->replies.clear();  // recycle the stream between batches
 
+    const bool device_ok = HealthPreBatch(w);
+
     // Degraded-mode serving: a deep residual backlog means the
     // accelerator (shared and contended) is the bottleneck; serve this
     // batch on the worker's own core instead, and re-enable the device
-    // once the backlog recovers. No-op for non-hybrid backends.
-    if (config_.saturation_fallback_backlog > 0)
-        backend.SetForceSoftware(
-            backlog > config_.saturation_fallback_backlog);
+    // once the backlog recovers. A health-fenced device forces the
+    // same degradation until it reintegrates. No-op for non-hybrid
+    // backends.
+    const bool saturated =
+        config_.saturation_fallback_backlog > 0 &&
+        backlog > config_.saturation_fallback_backlog;
+    if (config_.saturation_fallback_backlog > 0 ||
+        (config_.health.enabled && backend.accel_engine() != nullptr))
+        backend.SetForceSoftware(!device_ok || saturated);
 
     size_t executed = 0;
     if (config_.shared_accel == nullptr) {
@@ -451,9 +621,12 @@ RpcServerRuntime::ProcessBatch(Worker *w,
             // after it in the batch is stranded.
             if (config_.fault_injector != nullptr &&
                 config_.fault_injector->ShouldKillWorker(w->index,
-                                                         w->calls))
+                                                         w->calls)) {
+                *killed = true;
                 break;
+            }
         }
+        HealthPostBatch(w, executed);
         return executed;
     }
 
@@ -483,8 +656,10 @@ RpcServerRuntime::ProcessBatch(Worker *w,
         ++executed;
         if (config_.fault_injector != nullptr &&
             config_.fault_injector->ShouldKillWorker(w->index,
-                                                     w->calls))
+                                                     w->calls)) {
+            *killed = true;
             break;  // crash mid-batch: record the partial batch below
+        }
     }
     const double total_cycles = backend.codec_cycles() - cycles_before;
     const double accel_cycles = backend.accel_cycles() - accel_before;
@@ -498,7 +673,53 @@ RpcServerRuntime::ProcessBatch(Worker *w,
     if (executed > 0)
         w->accel_batches.push_back(record);
     w->failures += failures;
+    HealthPostBatch(w, executed);
     return executed;
+}
+
+void
+RpcServerRuntime::ObserveSharedUnit(uint32_t unit, bool watchdog_fired)
+{
+    DeviceHealth &health = shared_unit_health_[unit];
+    if (!watchdog_fired) {
+        health.OnSuccess();
+        return;
+    }
+    if (!health.OnIncident(IncidentKind::kWatchdogReset))
+        return;  // absorbed: the batch already replayed, as before
+    // Quarantine: the modeled scrub + self-test occupy the unit on the
+    // shared timeline (BlockUnit), so live batches route around it —
+    // the earliest-free dispatcher simply never picks it until the
+    // maintenance window passes. The loop covers failing self-tests
+    // re-queueing another scrub + test round, bounded by
+    // max_self_test_failures before the unit is permanently fenced.
+    accel::SharedAccelQueue *queue = config_.shared_accel;
+    for (;;) {
+        health.BeginScrub();
+        const ScrubCost cost = ComputeScrubCost(config_.health);
+        const uint64_t test_cycles =
+            static_cast<uint64_t>(config_.health.self_test_vectors) *
+            config_.health.self_test_cycles_per_vector;
+        queue->BlockUnit(unit, cost.total() + test_cycles);
+        health.CompleteScrub(cost);
+        // The verdict draws from the unit's fault source: an
+        // intermittent fault likely samples clean and reintegrates; a
+        // permanent one keeps failing until the unit is fenced.
+        const bool passed =
+            queue->SampleUnitFaults(
+                unit, config_.health.self_test_vectors) == 0;
+        const HealthState verdict =
+            health.CompleteSelfTest(passed, test_cycles);
+        if (verdict == HealthState::kProbation)
+            return;  // reintegrated with reduced trust
+        if (verdict == HealthState::kFenced) {
+            // Fence from arbitration. Refused for the last in-service
+            // unit, which then keeps serving as the sole survivor (the
+            // snapshot still reports its kFenced history).
+            queue->SetUnitFenced(unit, true);
+            return;
+        }
+    }
 }
 
 void
@@ -543,6 +764,8 @@ RpcServerRuntime::ReplayAcceleratorTimeline()
             device_ns =
                 static_cast<double>(done.done_cycle - arrival_cycle) /
                 freq_ghz;
+            if (!shared_unit_health_.empty())
+                ObserveSharedUnit(done.unit, done.watchdog_fired);
         }
         const double batch_ns = device_ns + b.sw_ns;
         const double latency_ns = batch_ns + config_.modeled_handler_ns;

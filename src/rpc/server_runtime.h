@@ -46,6 +46,7 @@
 
 #include "accel/shared_queue.h"
 #include "rpc/dedup_cache.h"
+#include "rpc/health.h"
 #include "rpc/rpc.h"
 #include "sim/fault.h"
 
@@ -103,10 +104,24 @@ struct RuntimeConfig
     /// disables dedup.
     size_t dedup_capacity = 0;
 
+    /// Retry horizon of the dedup cache, in insertions (see
+    /// DedupConfig::retry_horizon): entries older than this can no
+    /// longer be retried and are expired first. 0 = pure FIFO.
+    uint64_t dedup_retry_horizon = 0;
+
     /// Crash injector consulted after every completed call
     /// (ShouldKillWorker events — deterministic, call-count-based).
     /// Not owned; must outlive the runtime. nullptr disables.
     sim::FaultInjector *fault_injector = nullptr;
+
+    // ---- device health domains ----
+
+    /// Health state machines over every worker's private accelerator
+    /// and every shared-queue unit (rpc/health.h): quarantine, state
+    /// scrub, background self-test, probationary reintegration.
+    /// Disabled by default — every incident then replays as before and
+    /// nothing is ever fenced.
+    HealthConfig health;
 };
 
 /// One worker's counters, observed while the runtime is quiescent.
@@ -139,6 +154,9 @@ struct WorkerSnapshot
     /// Device watchdog activity on this worker's backend.
     uint64_t watchdog_resets = 0;
     uint64_t watchdog_replayed_jobs = 0;
+    /// Health domain of this worker's private accelerator (default
+    /// state when health is disabled or the backend is software-only).
+    HealthSnapshot device_health;
 };
 
 /// Aggregate runtime counters.
@@ -174,6 +192,27 @@ struct RuntimeSnapshot
     /// shared-queue resets when a shared accelerator is configured.
     uint64_t watchdog_resets = 0;
     uint64_t watchdog_replayed_jobs = 0;
+    /// Device-health aggregates across every domain (worker devices
+    /// plus shared-queue units); zeros when health is disabled.
+    uint64_t health_quarantines = 0;
+    uint64_t health_scrubs_completed = 0;
+    uint64_t health_scrub_cycles = 0;
+    uint64_t health_self_tests_passed = 0;
+    uint64_t health_self_tests_failed = 0;
+    uint64_t health_self_test_cycles = 0;
+    uint64_t health_reintegrations = 0;
+    /// Domains currently fenced from traffic — quarantined, mid-scrub,
+    /// mid-self-test, or permanently fenced (fail-closed: an
+    /// interrupted scrub still counts).
+    uint32_t health_fenced_domains = 0;
+    /// Per-unit health domains behind the shared accelerator queue
+    /// (empty when health is disabled or no shared queue is attached).
+    std::vector<HealthSnapshot> shared_units;
+    /// Dedup eviction-policy detail (see DedupCache::Stats).
+    uint64_t dedup_unsafe_evictions = 0;
+    uint64_t dedup_expired = 0;
+    /// True when the dedup cache was rebuilt from a snapshot.
+    bool dedup_restored = false;
     std::vector<WorkerSnapshot> workers;
 
     /// Modeled queries/sec across the pool of workers.
@@ -277,6 +316,25 @@ class RpcServerRuntime
     /// (quiescent only; clears the recording).
     std::vector<double> TakeLatencies();
 
+    /**
+     * Report a device-attributable incident observed outside the
+     * worker — e.g. a client rejected this worker's response frame CRC
+     * (kCrcFailure), implicating the device that serialized it. The
+     * incident is absorbed into the worker's health domain at its next
+     * batch boundary. Thread-safe.
+     */
+    void ReportDeviceIncident(uint32_t worker, IncidentKind kind);
+
+    /// Snapshot the dedup cache for crash-restart durability (empty
+    /// when dedup is disabled). Quiescent only.
+    std::vector<uint8_t> SerializeDedup() const;
+
+    /// Rebuild the dedup cache from a SerializeDedup() image so
+    /// retries of calls committed before a restart still dedup.
+    /// Fail-closed on corrupt images (see DedupCache::Deserialize).
+    /// Quiescent only. @return false when rejected or dedup disabled.
+    bool RestoreDedup(const uint8_t *data, size_t size);
+
   private:
     struct OwnedFrame
     {
@@ -302,8 +360,9 @@ class RpcServerRuntime
     struct Worker
     {
         Worker(const proto::DescriptorPool *pool,
-               std::unique_ptr<CodecBackend> backend)
-            : server(pool, std::move(backend))
+               std::unique_ptr<CodecBackend> backend,
+               const HealthConfig &health_config)
+            : server(pool, std::move(backend)), health(health_config)
         {}
 
         uint32_t index = 0;
@@ -337,17 +396,61 @@ class RpcServerRuntime
         std::vector<AccelBatch> accel_batches;
         size_t replay_cursor = 0;  ///< first unreplayed accel batch
 
+        // ---- device health domain (owned by the worker thread, like
+        //      the counters above; read while quiescent) ----
+
+        /// Health state machine of this worker's private accelerator.
+        DeviceHealth health;
+        /// Monotonic baselines for per-batch incident deltas.
+        uint64_t wd_resets_seen = 0;
+        uint64_t accel_faults_seen = 0;
+        /// Device fenced by the health policy: batches run on the
+        /// software codec until the scrub + self-test reintegrates it.
+        bool health_fenced = false;
+        /// In-flight maintenance (scrub + self-test) window on the
+        /// worker's virtual timeline, with its pre-computed outcome.
+        /// The state machine stays in kScrubbing until the window
+        /// passes — an interruption (crash, shutdown) leaves the
+        /// domain fenced, never healthy (fail closed).
+        bool maintenance_pending = false;
+        double maintenance_done_ns = 0;
+        ScrubCost maintenance_scrub;
+        bool maintenance_test_passed = false;
+        uint64_t maintenance_test_cycles = 0;
+        /// Incidents reported from outside the worker
+        /// (ReportDeviceIncident), drained at batch boundaries.
+        std::array<std::atomic<uint64_t>, kNumIncidentKinds>
+            reported_incidents{};
+
         std::thread thread;
     };
 
     void WorkerLoop(Worker *w);
+    /// Health preamble of one batch (worker thread): absorb externally
+    /// reported incidents and complete a finished maintenance window.
+    /// @return true when the device may serve this batch; false when
+    /// it is fenced (the batch is forced to the software codec).
+    bool HealthPreBatch(Worker *w);
+    /// Feed this batch's incident/success observations into the
+    /// worker's health domain; quarantines the device when the error
+    /// rate crosses the threshold.
+    void HealthPostBatch(Worker *w, size_t executed);
+    /// Quarantine @p w's device now: fence it, scrub its state
+    /// (functional + modeled cost), run the golden self-test, and
+    /// schedule the maintenance window on the worker's timeline.
+    void QuarantineWorkerDevice(Worker *w);
+    /// Shared-queue unit health, driven by the quiescent replay loop.
+    void ObserveSharedUnit(uint32_t unit, bool watchdog_fired);
     /// @p backlog: frames left in the inbox after this batch was
     /// extracted (the saturation signal for degraded-mode serving).
-    /// @return frames executed — less than batch->size() when an
-    /// injected crash killed the worker mid-batch (the caller pushes
-    /// the unexecuted tail back for re-dispatch).
+    /// Sets @p killed when an injected crash killed the worker during
+    /// this batch — reported explicitly, not inferred from a short
+    /// count, so a kill landing exactly on a batch boundary (e.g. with
+    /// max_batch == 1) still takes the worker down.
+    /// @return frames executed; the caller pushes the unexecuted tail
+    /// back for re-dispatch.
     size_t ProcessBatch(Worker *w, std::vector<OwnedFrame> *batch,
-                        size_t backlog);
+                        size_t backlog, bool *killed);
     void ReplayAcceleratorTimeline();
     /// Home worker for @p call_id, or the next surviving worker when
     /// the home one is dead; nullptr when every worker is dead.
@@ -362,6 +465,13 @@ class RpcServerRuntime
     /// Runtime-wide response cache shared by every worker's server
     /// (null when dedup_capacity == 0).
     std::unique_ptr<DedupCache> dedup_;
+    /// Health domains of the shared-queue units (empty unless health
+    /// is enabled and a shared queue is attached). Touched only by the
+    /// quiescent replay loop and Snapshot().
+    std::vector<DeviceHealth> shared_unit_health_;
+    /// Golden-vector source for device self-tests, built from the
+    /// first registered method's request type (null until then).
+    std::unique_ptr<SelfTester> self_tester_;
     /// Frames rejected by SubmitFromStream's integrity check.
     std::atomic<uint64_t> crc_rejects_{0};
     /// Frames moved off dead workers onto survivors (Drain only, which

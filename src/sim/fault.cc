@@ -22,6 +22,17 @@ WireMutationName(WireMutation m)
     return "?";
 }
 
+const char *
+UnitFaultClassName(UnitFaultClass c)
+{
+    switch (c) {
+      case UnitFaultClass::kTransient: return "transient";
+      case UnitFaultClass::kIntermittent: return "intermittent";
+      case UnitFaultClass::kPermanent: return "permanent";
+    }
+    return "?";
+}
+
 FaultInjector::FaultInjector(uint64_t seed, const FaultConfig &config)
     : rng_(seed),
       config_(config),
@@ -143,7 +154,39 @@ UnitFault
 FaultInjector::SampleUnitFault()
 {
     std::lock_guard<std::mutex> lock(mu_);
+    ++unit_jobs_sampled_;
     UnitFault fault;
+    // Permanent failure: past the event point every sample faults the
+    // same way, with no RNG draw (so arming it never perturbs the
+    // sequences other fault classes see before the point).
+    if (config_.permanent_fault_after_jobs > 0 &&
+        unit_jobs_sampled_ > config_.permanent_fault_after_jobs) {
+        fault.kind = config_.permanent_fault_kind;
+        fault.fault_class = UnitFaultClass::kPermanent;
+        ++stats_.permanent_faults;
+        switch (fault.kind) {
+          case UnitFaultKind::kKill: ++stats_.units_killed; break;
+          case UnitFaultKind::kWedge: ++stats_.units_wedged; break;
+          case UnitFaultKind::kStall:
+            fault.stall_cycles = config_.stall_cycles_max;
+            ++stats_.units_stalled;
+            break;
+          case UnitFaultKind::kNone: break;
+        }
+        return fault;
+    }
+    // Burst continuation: repeat the triggering fault, draw-free.
+    if (burst_remaining_ > 0) {
+        --burst_remaining_;
+        ++stats_.burst_faults;
+        switch (burst_fault_.kind) {
+          case UnitFaultKind::kKill: ++stats_.units_killed; break;
+          case UnitFaultKind::kWedge: ++stats_.units_wedged; break;
+          case UnitFaultKind::kStall: ++stats_.units_stalled; break;
+          case UnitFaultKind::kNone: break;
+        }
+        return burst_fault_;
+    }
     if (rng_.NextBool(config_.unit_kill_rate)) {
         fault.kind = UnitFaultKind::kKill;
         ++stats_.units_killed;
@@ -160,7 +203,22 @@ FaultInjector::SampleUnitFault()
         fault.stall_cycles = lo + rng_.NextBounded(hi - lo + 1);
         ++stats_.units_stalled;
     }
+    // Start a correlated burst: the next burst_len - 1 jobs repeat this
+    // fault as kIntermittent continuations.
+    if (fault.kind != UnitFaultKind::kNone &&
+        config_.unit_fault_burst_len > 1) {
+        burst_remaining_ = config_.unit_fault_burst_len - 1;
+        burst_fault_ = fault;
+        burst_fault_.fault_class = UnitFaultClass::kIntermittent;
+    }
     return fault;
+}
+
+uint64_t
+FaultInjector::unit_jobs_sampled() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return unit_jobs_sampled_;
 }
 
 bool

@@ -61,10 +61,28 @@ enum class UnitFaultKind {
     kWedge,
 };
 
+/// How long an injected unit fault afflicts the device — the
+/// distinction a quarantine policy exists to act on.
+enum class UnitFaultClass : uint8_t {
+    /// One-shot: the next job is clean. Replay/reset suffices.
+    kTransient,
+    /// Part of a correlated burst (config.unit_fault_burst_len): the
+    /// fault recurs for a bounded run of jobs, then clears. A scrub +
+    /// self-test passes once the burst has drained.
+    kIntermittent,
+    /// The device is permanently broken (config.permanent_fault_after_
+    /// jobs): every subsequent job faults. Only fencing helps; a
+    /// self-test can never pass again.
+    kPermanent,
+};
+
+const char *UnitFaultClassName(UnitFaultClass c);
+
 struct UnitFault
 {
     UnitFaultKind kind = UnitFaultKind::kNone;
     uint64_t stall_cycles = 0;
+    UnitFaultClass fault_class = UnitFaultClass::kTransient;
 };
 
 /// Outcome drawn for one RPC frame crossing the channel.
@@ -107,6 +125,20 @@ struct FaultConfig
     /// reset recovers it.
     double unit_wedge_rate = 0.0;
 
+    /// Correlated intermittent faults: when a kill/stall/wedge fires,
+    /// the following burst_len - 1 jobs repeat the same fault (class
+    /// kIntermittent) without consuming RNG draws. 1 = independent
+    /// faults, exactly the pre-burst behavior.
+    uint32_t unit_fault_burst_len = 1;
+
+    /// Permanent device failure: after this many unit-fault samples the
+    /// device is broken for good — every later sample returns
+    /// permanent_fault_kind with class kPermanent, consuming no RNG
+    /// draws (event-based, like worker kills, so arming it never
+    /// perturbs the other fault streams). 0 disables.
+    uint64_t permanent_fault_after_jobs = 0;
+    UnitFaultKind permanent_fault_kind = UnitFaultKind::kWedge;
+
     /// Per-frame channel fault probabilities.
     double frame_drop_rate = 0.0;
     double frame_truncate_rate = 0.0;
@@ -125,6 +157,10 @@ struct FaultStats
     uint64_t units_killed = 0;
     uint64_t units_stalled = 0;
     uint64_t units_wedged = 0;
+    /// Faults issued as part of a correlated burst (kIntermittent).
+    uint64_t burst_faults = 0;
+    /// Faults issued after the permanent-failure point (kPermanent).
+    uint64_t permanent_faults = 0;
     uint64_t frames_dropped = 0;
     uint64_t frames_truncated = 0;
     uint64_t frames_corrupted = 0;
@@ -156,8 +192,14 @@ class FaultInjector
     /// @return true when the buffer was touched.
     bool MaybeMutateWire(std::vector<uint8_t> *buf);
 
-    /// Draw the fault outcome for one accelerator job.
+    /// Draw the fault outcome for one accelerator job. Honors the
+    /// intermittent-burst and permanent-failure classes (see
+    /// FaultConfig): burst continuations and post-permanent samples
+    /// consume no RNG draws.
     UnitFault SampleUnitFault();
+
+    /// Unit-fault samples drawn so far (the permanent-failure clock).
+    uint64_t unit_jobs_sampled() const;
 
     /**
      * True exactly once per matching WorkerKillEvent: when @p worker
@@ -186,6 +228,12 @@ class FaultInjector
     FaultStats stats_;
     /// Which worker_kills entries already fired (parallel vector).
     std::vector<bool> kill_consumed_;
+    /// Unit-fault samples drawn (drives permanent_fault_after_jobs).
+    uint64_t unit_jobs_sampled_ = 0;
+    /// Remaining jobs of the current intermittent burst, and the fault
+    /// they repeat.
+    uint32_t burst_remaining_ = 0;
+    UnitFault burst_fault_;
 };
 
 }  // namespace protoacc::sim

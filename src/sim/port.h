@@ -68,6 +68,12 @@ class Port
     const std::string &name() const { return name_; }
     const PortStats &stats() const { return stats_; }
     const Tlb &tlb() const { return tlb_; }
+
+    /// Health-domain state scrub: drop every cached translation so the
+    /// next access misses, exactly as on a fresh port. A warm TLB entry
+    /// surviving a scrub would let one request's address pattern leak
+    /// into the next request's timing.
+    void FlushTlb() { tlb_.Flush(); }
     void
     ResetStats()
     {

@@ -257,6 +257,80 @@ TEST_F(CrashRecoveryTest, RedispatchedRetryHitsDedupInsteadOfRerunning)
     EXPECT_EQ(texts.at(2), "once");
 }
 
+TEST_F(CrashRecoveryTest, DedupSnapshotSurvivesProcessRestart)
+{
+    // A serving process that restarts loses the in-memory dedup cache,
+    // and every in-flight retry of an already-committed call would
+    // re-execute. SerializeDedup() before the restart + RestoreDedup()
+    // after must close that hole: the retry replays from the restored
+    // cache, the handler never runs again.
+    std::atomic<uint32_t> executions{0};
+    const auto counting_handler = [this, &executions](
+                                      const Message &request,
+                                      Message response) {
+        executions.fetch_add(1, std::memory_order_relaxed);
+        const auto &rd = pool_.message(req_);
+        const auto &sd = pool_.message(rsp_);
+        response.SetString(*sd.FindFieldByName("text"),
+                           request.GetString(*rd.FindFieldByName("text")));
+    };
+
+    RuntimeConfig config;
+    config.num_workers = 2;
+    config.dedup_capacity = 64;
+    config.dedup_retry_horizon = 32;
+
+    std::vector<uint8_t> image;
+    const std::vector<uint8_t> wire = RequestWire(1, "committed");
+    FrameHeader h;
+    h.call_id = 1;
+    h.method_id = 1;
+    h.kind = FrameKind::kRequest;
+    h.payload_bytes = static_cast<uint32_t>(wire.size());
+    h.idempotency_key = 0xCAFE01;
+    {
+        RpcServerRuntime first(&pool_, SoftwareFactory(), config);
+        first.RegisterMethod(1, req_, rsp_, counting_handler);
+        first.Start();
+        ASSERT_EQ(first.Submit(h, wire.data()), StatusCode::kOk);
+        first.Drain();
+        ASSERT_EQ(executions.load(), 1u);
+        image = first.SerializeDedup();
+        ASSERT_FALSE(image.empty());
+    }  // the "process" exits
+
+    RpcServerRuntime second(&pool_, SoftwareFactory(), config);
+    second.RegisterMethod(1, req_, rsp_, counting_handler);
+    ASSERT_TRUE(second.RestoreDedup(image.data(), image.size()));
+    second.Start();
+
+    // The client never saw the reply and retries with the same key.
+    h.call_id = 2;
+    ASSERT_EQ(second.Submit(h, wire.data()), StatusCode::kOk);
+    second.Drain();
+
+    EXPECT_EQ(executions.load(), 1u);  // no double execution
+    const RuntimeSnapshot snap = second.Snapshot();
+    EXPECT_TRUE(snap.dedup_restored);
+    EXPECT_EQ(snap.dedup_hits, 1u);
+    const std::map<uint32_t, std::string> texts =
+        HarvestReplies(second);
+    ASSERT_EQ(texts.size(), 1u);
+    EXPECT_EQ(texts.at(2), "committed");
+
+    // A torn snapshot (the restart raced the write) is rejected
+    // fail-closed and the retry re-executes — correct, just slower.
+    RpcServerRuntime third(&pool_, SoftwareFactory(), config);
+    third.RegisterMethod(1, req_, rsp_, counting_handler);
+    EXPECT_FALSE(third.RestoreDedup(image.data(), image.size() / 2));
+    third.Start();
+    h.call_id = 3;
+    ASSERT_EQ(third.Submit(h, wire.data()), StatusCode::kOk);
+    third.Drain();
+    EXPECT_EQ(executions.load(), 2u);
+    EXPECT_FALSE(third.Snapshot().dedup_restored);
+}
+
 TEST_F(CrashRecoveryTest, ModeledNumbersAreDeterministicUnderCrashes)
 {
     // Same seed, same kill schedule, pre-loaded backlog: two runs must

@@ -1,0 +1,823 @@
+/**
+ * Device health domains: quarantine, state scrubbing, background
+ * self-test, and live reintegration (rpc/health.h + the serving
+ * runtime's health hooks).
+ *
+ * Covers the state machine in isolation (EWMA thresholds, probation's
+ * reduced-trust contract, permanent fencing, the fail-closed scrub
+ * contract), the scrub cost model against real device structure sizes,
+ * the golden-vector self-tester, and the runtime integration: a worker
+ * device that misbehaves repeatedly is quarantined, scrubbed,
+ * self-tested and reintegrated while serving continues on the software
+ * codec; a permanently broken device is fenced for good; a worker crash
+ * mid-scrub leaves the domain fenced (never healthy); shared-queue
+ * units quarantine and fence per unit with traffic routing around.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/shared_queue.h"
+#include "proto/schema_parser.h"
+#include "rpc/codec_backend.h"
+#include "rpc/health.h"
+#include "rpc/server_runtime.h"
+#include "sim/fault.h"
+
+namespace protoacc::rpc {
+namespace {
+
+using proto::DescriptorPool;
+using proto::Message;
+
+// ---------------------------------------------------------------------
+// DeviceHealth state machine
+// ---------------------------------------------------------------------
+
+HealthConfig
+EnabledConfig()
+{
+    HealthConfig config;
+    config.enabled = true;
+    return config;
+}
+
+TEST(DeviceHealthTest, DisabledHealthAbsorbsEverything)
+{
+    DeviceHealth health{HealthConfig{}};  // enabled = false
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(health.OnIncident(IncidentKind::kWatchdogReset));
+    EXPECT_EQ(health.state(), HealthState::kHealthy);
+    EXPECT_TRUE(health.InService());
+    EXPECT_EQ(health.snapshot().quarantines, 0u);
+}
+
+TEST(DeviceHealthTest, SingleIncidentReplaysInsteadOfQuarantining)
+{
+    DeviceHealth health{EnabledConfig()};
+    for (int i = 0; i < 10; ++i)
+        health.OnSuccess();
+    // One incident: absorbed (the op already replayed via watchdog /
+    // fallback); the domain is at most suspect, never fenced.
+    EXPECT_FALSE(health.OnIncident(IncidentKind::kWatchdogReset));
+    EXPECT_TRUE(health.InService());
+    EXPECT_EQ(health.state(), HealthState::kSuspect);  // ewma 0.25
+    // Clean ops decay the EWMA back under the suspect line.
+    for (int i = 0; i < 10; ++i)
+        health.OnSuccess();
+    EXPECT_EQ(health.state(), HealthState::kHealthy);
+    const HealthSnapshot snap = health.snapshot();
+    EXPECT_EQ(snap.total_incidents(), 1u);
+    EXPECT_EQ(snap.quarantines, 0u);
+}
+
+TEST(DeviceHealthTest, EarlyIncidentsWaitForMinObservations)
+{
+    // Defaults: alpha 0.25, quarantine at 0.45, min_observations 4.
+    // Three straight incidents push the EWMA past the threshold
+    // (0.578) but only the one at observation >= 4 may quarantine.
+    DeviceHealth health{EnabledConfig()};
+    health.OnSuccess();  // observation 1
+    EXPECT_FALSE(health.OnIncident(IncidentKind::kWatchdogReset));
+    EXPECT_FALSE(health.OnIncident(IncidentKind::kWatchdogReset));
+    EXPECT_TRUE(health.OnIncident(IncidentKind::kWatchdogReset));
+    EXPECT_EQ(health.state(), HealthState::kQuarantined);
+    EXPECT_FALSE(health.InService());
+    const HealthSnapshot snap = health.snapshot();
+    EXPECT_EQ(snap.quarantines, 1u);
+    EXPECT_TRUE(snap.fenced_from_traffic);
+    EXPECT_EQ(snap.incidents[static_cast<size_t>(
+                  IncidentKind::kWatchdogReset)],
+              3u);
+}
+
+TEST(DeviceHealthTest, ScrubAndPassingSelfTestReintegrateViaProbation)
+{
+    HealthConfig config = EnabledConfig();
+    config.probation_ops = 4;
+    DeviceHealth health{config};
+    health.OnSuccess();
+    while (!health.OnIncident(IncidentKind::kUnitFault)) {
+    }
+    ASSERT_EQ(health.state(), HealthState::kQuarantined);
+
+    health.BeginScrub();
+    EXPECT_EQ(health.state(), HealthState::kScrubbing);
+    EXPECT_FALSE(health.InService());  // fail closed while scrubbing
+
+    const ScrubCost cost = ComputeScrubCost(config);
+    health.CompleteScrub(cost);
+    EXPECT_EQ(health.state(), HealthState::kSelfTest);
+    EXPECT_FALSE(health.InService());
+
+    EXPECT_EQ(health.CompleteSelfTest(true, 1000),
+              HealthState::kProbation);
+    EXPECT_TRUE(health.InService());
+    HealthSnapshot snap = health.snapshot();
+    EXPECT_EQ(snap.scrubs_completed, 1u);
+    EXPECT_EQ(snap.scrub_cycles, cost.total());
+    EXPECT_EQ(snap.self_tests_passed, 1u);
+    EXPECT_EQ(snap.self_test_cycles, 1000u);
+    EXPECT_EQ(snap.probation_ops_remaining, 4u);
+
+    // probation_ops clean operations finish the reintegration.
+    for (uint64_t i = 0; i < config.probation_ops; ++i)
+        health.OnSuccess();
+    EXPECT_EQ(health.state(), HealthState::kHealthy);
+    EXPECT_EQ(health.snapshot().reintegrations, 1u);
+}
+
+TEST(DeviceHealthTest, ProbationReQuarantinesOnAnyIncident)
+{
+    // Reduced trust: a domain fresh out of self-test gets no benefit
+    // of the doubt — the very first incident re-quarantines even
+    // though the EWMA restarted at zero.
+    DeviceHealth health{EnabledConfig()};
+    health.OnSuccess();
+    while (!health.OnIncident(IncidentKind::kWatchdogReset)) {
+    }
+    health.BeginScrub();
+    health.CompleteScrub(ComputeScrubCost(EnabledConfig()));
+    ASSERT_EQ(health.CompleteSelfTest(true, 100),
+              HealthState::kProbation);
+
+    EXPECT_TRUE(health.OnIncident(IncidentKind::kCrcFailure));
+    EXPECT_EQ(health.state(), HealthState::kQuarantined);
+    EXPECT_EQ(health.snapshot().quarantines, 2u);
+}
+
+TEST(DeviceHealthTest, RepeatedSelfTestFailuresFencePermanently)
+{
+    // max_self_test_failures = 2 (default): the first failed test
+    // re-queues another scrub + test round, the second fences for
+    // good. Later incidents are still recorded, never acted on.
+    DeviceHealth health{EnabledConfig()};
+    health.OnSuccess();
+    while (!health.OnIncident(IncidentKind::kUnitFault)) {
+    }
+    const ScrubCost cost = ComputeScrubCost(EnabledConfig());
+
+    health.BeginScrub();
+    health.CompleteScrub(cost);
+    EXPECT_EQ(health.CompleteSelfTest(false, 50),
+              HealthState::kQuarantined);
+
+    health.BeginScrub();
+    health.CompleteScrub(cost);
+    EXPECT_EQ(health.CompleteSelfTest(false, 50), HealthState::kFenced);
+    EXPECT_FALSE(health.InService());
+
+    EXPECT_FALSE(health.OnIncident(IncidentKind::kWatchdogReset));
+    EXPECT_EQ(health.state(), HealthState::kFenced);
+    const HealthSnapshot snap = health.snapshot();
+    EXPECT_EQ(snap.self_tests_failed, 2u);
+    EXPECT_EQ(snap.quarantines, 2u);  // initial + the re-queued round
+    EXPECT_TRUE(snap.fenced_from_traffic);
+}
+
+TEST(DeviceHealthTest, PassingSelfTestResetsConsecutiveFailureCount)
+{
+    // fail, pass, fail must NOT fence: only *consecutive* failures
+    // count toward max_self_test_failures.
+    HealthConfig config = EnabledConfig();
+    DeviceHealth health{config};
+    health.OnSuccess();
+    while (!health.OnIncident(IncidentKind::kUnitFault)) {
+    }
+    const ScrubCost cost = ComputeScrubCost(config);
+
+    health.BeginScrub();
+    health.CompleteScrub(cost);
+    ASSERT_EQ(health.CompleteSelfTest(false, 1),
+              HealthState::kQuarantined);
+    health.BeginScrub();
+    health.CompleteScrub(cost);
+    ASSERT_EQ(health.CompleteSelfTest(true, 1), HealthState::kProbation);
+
+    // Back to quarantine (probation incident), then one more failure:
+    // the counter restarted, so this is failure #1, not #3.
+    ASSERT_TRUE(health.OnIncident(IncidentKind::kUnitFault));
+    health.BeginScrub();
+    health.CompleteScrub(cost);
+    EXPECT_EQ(health.CompleteSelfTest(false, 1),
+              HealthState::kQuarantined);
+    EXPECT_NE(health.state(), HealthState::kFenced);
+}
+
+TEST(DeviceHealthTest, InterruptedScrubStaysFencedFailClosed)
+{
+    // The only path back into service runs through CompleteScrub +
+    // a passed CompleteSelfTest. A scrub that never completes (crash,
+    // shutdown) leaves the domain fenced forever.
+    DeviceHealth health{EnabledConfig()};
+    health.OnSuccess();
+    while (!health.OnIncident(IncidentKind::kWatchdogReset)) {
+    }
+    health.BeginScrub();
+    // ... interruption: no CompleteScrub ever arrives ...
+    EXPECT_EQ(health.state(), HealthState::kScrubbing);
+    EXPECT_FALSE(health.InService());
+    EXPECT_TRUE(health.snapshot().fenced_from_traffic);
+    EXPECT_EQ(health.snapshot().scrubs_completed, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Scrub cost model
+// ---------------------------------------------------------------------
+
+TEST(ScrubCostTest, DefaultDeviceScrubPricesEveryStructure)
+{
+    // Default device: 16-entry ADT response buffers and 25-entry
+    // on-chip stacks on both units; default health knobs: 2 cy/ADT
+    // entry, 1 cy/stack entry, 128 spill entries at 8 cy, 64-byte
+    // streaming buffers cleared 16 bytes/cycle.
+    const ScrubCost cost = ComputeScrubCost(HealthConfig{});
+    EXPECT_EQ(cost.adt_buffer_cycles, (16u + 16u) * 2u);
+    EXPECT_EQ(cost.context_stack_cycles, 25u + 25u);
+    EXPECT_EQ(cost.spill_region_cycles, 128u * 8u);
+    EXPECT_EQ(cost.memloader_cycles, 4u);
+    EXPECT_EQ(cost.memwriter_cycles, 4u);
+    EXPECT_EQ(cost.total(), 64u + 50u + 1024u + 4u + 4u);
+}
+
+TEST(ScrubCostTest, ScrubCostTracksActualDeviceStructureSizes)
+{
+    // A device provisioned with bigger ADT buffers / deeper stacks
+    // costs proportionally more to scrub — the cost comes from the
+    // device's own AccelConfig, not a fixed constant.
+    accel::AccelConfig accel;
+    accel.deser.adt_buffer_entries = 64;
+    accel.ser.adt_buffer_entries = 32;
+    accel.deser.on_chip_stack_depth = 50;
+    accel.ser.on_chip_stack_depth = 10;
+    const ScrubCost cost = ComputeScrubCost(accel, HealthConfig{});
+    EXPECT_EQ(cost.adt_buffer_cycles, (64u + 32u) * 2u);
+    EXPECT_EQ(cost.context_stack_cycles, 50u + 10u);
+    // Health knobs scale it too.
+    HealthConfig expensive;
+    expensive.scrub_cycles_per_spill_entry = 16;
+    expensive.spill_region_entries = 256;
+    EXPECT_EQ(ComputeScrubCost(accel, expensive).spill_region_cycles,
+              256u * 16u);
+}
+
+// ---------------------------------------------------------------------
+// Golden-vector self-tester
+// ---------------------------------------------------------------------
+
+class SelfTesterTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto parsed = proto::ParseSchema(R"(
+            message EchoRequest {
+                optional string text = 1;
+                optional uint32 tag = 2;
+            }
+        )",
+                                               &pool_);
+        ASSERT_TRUE(parsed.ok) << parsed.error;
+        pool_.Compile(proto::HasbitsMode::kSparse);
+        req_ = pool_.FindMessage("EchoRequest");
+    }
+
+    DescriptorPool pool_;
+    int req_ = -1;
+};
+
+TEST_F(SelfTesterTest, CleanDevicePassesAndChargesCycles)
+{
+    AcceleratedBackend backend(pool_);
+    SelfTester tester(&pool_, req_);
+    uint64_t cycles = 0;
+    EXPECT_TRUE(tester.Run(&backend, 4, &cycles));
+    EXPECT_GT(cycles, 0u);
+}
+
+TEST_F(SelfTesterTest, FaultingDeviceFailsTheTest)
+{
+    // A unit whose jobs die mid-op cannot produce the golden bytes.
+    sim::FaultConfig fault_config;
+    fault_config.unit_kill_rate = 1.0;
+    sim::FaultInjector injector(0xBAD, fault_config);
+    AcceleratedBackend backend(pool_);
+    backend.SetFaultInjector(&injector);
+    SelfTester tester(&pool_, req_);
+    uint64_t cycles = 0;
+    EXPECT_FALSE(tester.Run(&backend, 4, &cycles));
+}
+
+TEST_F(SelfTesterTest, WatchdogRecoveredWedgePassesTheTest)
+{
+    // A wedge the watchdog recovers still yields byte-correct output:
+    // the self-test verdict is about data integrity, and the policy
+    // layer prices the recovery as incidents separately.
+    sim::FaultConfig fault_config;
+    fault_config.unit_wedge_rate = 1.0;
+    sim::FaultInjector injector(0xBAD, fault_config);
+    accel::AccelConfig accel_config;
+    accel_config.watchdog.budget_cycles = 10'000;
+    AcceleratedBackend backend(pool_, accel_config);
+    backend.SetFaultInjector(&injector);
+    SelfTester tester(&pool_, req_);
+    uint64_t cycles = 0;
+    EXPECT_TRUE(tester.Run(&backend, 2, &cycles));
+    EXPECT_GT(backend.watchdog_stats().resets, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Serving-runtime integration
+// ---------------------------------------------------------------------
+
+class HealthRuntimeTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto parsed = proto::ParseSchema(R"(
+            message EchoRequest {
+                optional string text = 1;
+                optional uint32 tag = 2;
+            }
+            message EchoResponse {
+                optional string text = 1;
+                optional uint32 tag = 2;
+            }
+        )",
+                                               &pool_);
+        ASSERT_TRUE(parsed.ok) << parsed.error;
+        pool_.Compile(proto::HasbitsMode::kSparse);
+        req_ = pool_.FindMessage("EchoRequest");
+        rsp_ = pool_.FindMessage("EchoResponse");
+    }
+
+    Handler
+    EchoHandler()
+    {
+        return [this](const Message &request, Message response) {
+            const auto &rd = pool_.message(req_);
+            const auto &sd = pool_.message(rsp_);
+            response.SetString(
+                *sd.FindFieldByName("text"),
+                request.GetString(*rd.FindFieldByName("text")));
+            response.SetUint32(
+                *sd.FindFieldByName("tag"),
+                request.GetUint32(*rd.FindFieldByName("tag")));
+        };
+    }
+
+    /// Hybrid backend per worker: accelerator primary (with the
+    /// worker-indexed fault injector when armed), software fallback.
+    /// Raw engine pointers are kept so tests can detach injectors
+    /// between measurement windows (quiescent only).
+    RpcServerRuntime::BackendFactory
+    HybridFactory(const accel::AccelConfig &accel_config)
+    {
+        return [this, accel_config](uint32_t worker) {
+            auto accel = std::make_unique<AcceleratedBackend>(
+                pool_, accel_config);
+            if (worker < injectors_.size() &&
+                injectors_[worker] != nullptr)
+                accel->SetFaultInjector(injectors_[worker].get());
+            engines_.resize(
+                std::max<size_t>(engines_.size(), worker + 1));
+            engines_[worker] = accel.get();
+            return std::make_unique<HybridCodecBackend>(
+                std::move(accel),
+                std::make_unique<SoftwareBackend>(cpu::BoomParams(),
+                                                  pool_));
+        };
+    }
+
+    void
+    ArmInjector(uint32_t worker, const sim::FaultConfig &config,
+                uint64_t seed = 0xBADD)
+    {
+        injectors_.resize(
+            std::max<size_t>(injectors_.size(), worker + 1));
+        injectors_[worker] =
+            std::make_unique<sim::FaultInjector>(seed + worker, config);
+    }
+
+    void
+    SubmitEchoes(RpcServerRuntime *runtime, uint32_t calls)
+    {
+        for (uint32_t i = 0; i < calls; ++i) {
+            const uint32_t id = ++next_call_id_;
+            proto::Arena arena;
+            Message request = Message::Create(&arena, pool_, req_);
+            const auto &rd = pool_.message(req_);
+            request.SetString(*rd.FindFieldByName("text"),
+                              "payload-" + std::to_string(id));
+            request.SetUint32(*rd.FindFieldByName("tag"), id);
+            const std::vector<uint8_t> wire =
+                proto::Serialize(request, nullptr);
+            FrameHeader h;
+            h.call_id = id;
+            h.method_id = 1;
+            h.kind = FrameKind::kRequest;
+            h.payload_bytes = static_cast<uint32_t>(wire.size());
+            ASSERT_EQ(runtime->Submit(h, wire.data()), StatusCode::kOk);
+        }
+    }
+
+    /// Decode every reply stream into call_id -> echoed text.
+    std::map<uint32_t, std::string>
+    HarvestReplies(const RpcServerRuntime &runtime)
+    {
+        std::map<uint32_t, std::string> texts;
+        proto::Arena arena;
+        const auto &sd = pool_.message(rsp_);
+        for (uint32_t w = 0; w < runtime.num_workers(); ++w) {
+            size_t offset = 0;
+            while (const auto frame =
+                       runtime.replies(w).Next(&offset)) {
+                Message response =
+                    Message::Create(&arena, pool_, rsp_);
+                const proto::ParseStatus parsed =
+                    proto::ParseFromBuffer(frame->payload,
+                                           frame->header.payload_bytes,
+                                           &response, nullptr);
+                EXPECT_EQ(parsed, proto::ParseStatus::kOk);
+                if (parsed != proto::ParseStatus::kOk)
+                    continue;
+                texts[frame->header.call_id] = std::string(
+                    response.GetString(*sd.FindFieldByName("text")));
+            }
+        }
+        return texts;
+    }
+
+    void
+    ExpectAllEchoed(const RpcServerRuntime &runtime, uint32_t calls)
+    {
+        const std::map<uint32_t, std::string> texts =
+            HarvestReplies(runtime);
+        ASSERT_EQ(texts.size(), calls);
+        for (uint32_t i = 1; i <= calls; ++i)
+            EXPECT_EQ(texts.at(i), "payload-" + std::to_string(i));
+    }
+
+    DescriptorPool pool_;
+    int req_ = -1;
+    int rsp_ = -1;
+    uint32_t next_call_id_ = 0;
+    std::vector<std::unique_ptr<sim::FaultInjector>> injectors_;
+    std::vector<AcceleratedBackend *> engines_;
+};
+
+TEST_F(HealthRuntimeTest, RepeatOffenderDeviceQuarantinesThenReintegrates)
+{
+    // Phase 1: every device op wedges (watchdog recovers each one, so
+    // answers stay correct) — the repeat offender is quarantined and a
+    // maintenance window opens. Phase 2: the fault clears; once the
+    // worker's timeline passes the window the passed self-test
+    // reintegrates the device through probation back to healthy.
+    sim::FaultConfig fault_config;
+    fault_config.unit_wedge_rate = 1.0;
+    ArmInjector(0, fault_config);
+
+    accel::AccelConfig accel_config;
+    accel_config.watchdog.budget_cycles = 2'000;
+    accel_config.watchdog.reset_cycles = 256;
+
+    RuntimeConfig config;
+    config.num_workers = 1;
+    config.health.enabled = true;
+    config.health.probation_ops = 8;
+    RpcServerRuntime runtime(&pool_, HybridFactory(accel_config),
+                             config);
+    runtime.RegisterMethod(1, req_, rsp_, EchoHandler());
+
+    SubmitEchoes(&runtime, 8);  // pre-load: one deterministic batch
+    runtime.Start();
+    runtime.Drain();
+
+    // Every wedge was recovered on-device — but the error rate crossed
+    // the quarantine threshold, so the device is now fenced mid-scrub.
+    RuntimeSnapshot snap = runtime.Snapshot();
+    EXPECT_EQ(snap.failures, 0u);
+    EXPECT_EQ(snap.health_quarantines, 1u);
+    EXPECT_EQ(snap.health_fenced_domains, 1u);
+    EXPECT_EQ(snap.workers[0].device_health.state,
+              HealthState::kScrubbing);
+    EXPECT_TRUE(snap.workers[0].device_health.fenced_from_traffic);
+    EXPECT_EQ(snap.health_scrubs_completed, 0u);  // window still open
+
+    // The fault clears; serving continues (software while fenced) and
+    // the maintenance window completes on the worker's timeline.
+    engines_[0]->SetFaultInjector(nullptr);
+    SubmitEchoes(&runtime, 300);
+    runtime.Drain();
+
+    snap = runtime.Snapshot();
+    EXPECT_EQ(snap.failures, 0u);
+    EXPECT_EQ(snap.health_scrubs_completed, 1u);
+    EXPECT_GT(snap.health_scrub_cycles, 0u);
+    EXPECT_EQ(snap.health_self_tests_passed, 1u);
+    EXPECT_GT(snap.health_self_test_cycles, 0u);
+    EXPECT_EQ(snap.health_reintegrations, 1u);
+    EXPECT_EQ(snap.health_fenced_domains, 0u);
+    EXPECT_EQ(snap.workers[0].device_health.state,
+              HealthState::kHealthy);
+    // Batches served while fenced degraded to the software codec.
+    EXPECT_GT(snap.fallback_forced, 0u);
+    ExpectAllEchoed(runtime, 308);
+}
+
+TEST_F(HealthRuntimeTest, PermanentlyBrokenDeviceIsFencedForGood)
+{
+    // No watchdog: every device op dies (kAccelFault) and falls back
+    // to software. The self-test keeps failing against the broken
+    // engine, so after max_self_test_failures rounds the domain is
+    // permanently fenced — and serving never missed a beat.
+    sim::FaultConfig fault_config;
+    fault_config.unit_kill_rate = 1.0;
+    ArmInjector(0, fault_config);
+
+    RuntimeConfig config;
+    config.num_workers = 1;
+    config.health.enabled = true;
+    RpcServerRuntime runtime(&pool_, HybridFactory({}), config);
+    runtime.RegisterMethod(1, req_, rsp_, EchoHandler());
+
+    SubmitEchoes(&runtime, 8);
+    runtime.Start();
+    runtime.Drain();
+
+    RuntimeSnapshot snap = runtime.Snapshot();
+    EXPECT_EQ(snap.failures, 0u);  // fallback answered every call
+    EXPECT_EQ(snap.health_quarantines, 1u);
+    EXPECT_GT(snap.fallback_accel_fault, 0u);
+
+    // Keep serving until both self-test rounds have failed.
+    for (int round = 0; round < 4; ++round) {
+        SubmitEchoes(&runtime, 16);
+        runtime.Drain();
+    }
+
+    snap = runtime.Snapshot();
+    EXPECT_EQ(snap.failures, 0u);
+    EXPECT_EQ(snap.workers[0].device_health.state, HealthState::kFenced);
+    EXPECT_EQ(snap.health_self_tests_passed, 0u);
+    EXPECT_GE(snap.health_self_tests_failed, 2u);
+    EXPECT_EQ(snap.health_reintegrations, 0u);
+    EXPECT_EQ(snap.health_fenced_domains, 1u);
+    ExpectAllEchoed(runtime, 8 + 4 * 16);
+}
+
+TEST_F(HealthRuntimeTest, KillDuringScrubLeavesDomainFencedFailClosed)
+{
+    // Deterministic fail-closed regression: the device quarantines at
+    // a known call (every op wedges; max_batch = 1 makes each call one
+    // batch), then an injected worker crash lands before the
+    // maintenance window can complete. The domain must still be
+    // fenced — an interrupted scrub never reports healthy.
+    sim::FaultConfig fault_config;
+    fault_config.unit_wedge_rate = 1.0;
+    fault_config.worker_kills = {{0, 5}};
+    ArmInjector(0, fault_config);
+
+    accel::AccelConfig accel_config;
+    accel_config.watchdog.budget_cycles = 10'000;
+
+    RuntimeConfig config;
+    config.num_workers = 1;
+    config.max_batch = 1;
+    config.health.enabled = true;
+    config.fault_injector = injectors_[0].get();
+    RpcServerRuntime runtime(&pool_, HybridFactory(accel_config),
+                             config);
+    runtime.RegisterMethod(1, req_, rsp_, EchoHandler());
+
+    SubmitEchoes(&runtime, 8);
+    runtime.Start();
+    runtime.Drain();
+
+    const RuntimeSnapshot snap = runtime.Snapshot();
+    EXPECT_TRUE(snap.workers[0].crashed);
+    EXPECT_EQ(snap.workers[0].calls, 5u);
+    EXPECT_EQ(snap.health_quarantines, 1u);
+    // The scrub began but never completed: kScrubbing, fenced.
+    EXPECT_EQ(snap.workers[0].device_health.state,
+              HealthState::kScrubbing);
+    EXPECT_TRUE(snap.workers[0].device_health.fenced_from_traffic);
+    EXPECT_EQ(snap.health_fenced_domains, 1u);
+    EXPECT_EQ(snap.health_scrubs_completed, 0u);
+    EXPECT_EQ(snap.health_self_tests_passed, 0u);
+    EXPECT_EQ(snap.health_reintegrations, 0u);
+}
+
+TEST_F(HealthRuntimeTest, ClientReportedCrcFailuresQuarantineTheDevice)
+{
+    // Incidents can be attributed from outside the worker: a client
+    // rejecting this worker's response CRCs implicates the device that
+    // serialized them. Enough reports quarantine it; the clean device
+    // then passes its self-test and reintegrates.
+    RuntimeConfig config;
+    config.num_workers = 1;
+    config.health.enabled = true;
+    config.health.probation_ops = 4;
+    RpcServerRuntime runtime(&pool_, HybridFactory({}), config);
+    runtime.RegisterMethod(1, req_, rsp_, EchoHandler());
+    runtime.Start();
+
+    SubmitEchoes(&runtime, 2);
+    runtime.Drain();
+
+    for (int i = 0; i < 5; ++i)
+        runtime.ReportDeviceIncident(0, IncidentKind::kCrcFailure);
+    SubmitEchoes(&runtime, 1);
+    runtime.Drain();
+
+    RuntimeSnapshot snap = runtime.Snapshot();
+    EXPECT_EQ(snap.health_quarantines, 1u);
+    EXPECT_EQ(snap.workers[0].device_health.incidents[static_cast<size_t>(
+                  IncidentKind::kCrcFailure)],
+              5u);
+    EXPECT_TRUE(snap.workers[0].device_health.fenced_from_traffic);
+
+    // Clean device: the maintenance window passes, the self-test
+    // passes, probation's clean ops finish the reintegration.
+    SubmitEchoes(&runtime, 64);
+    runtime.Drain();
+    snap = runtime.Snapshot();
+    EXPECT_EQ(snap.health_self_tests_passed, 1u);
+    EXPECT_EQ(snap.health_reintegrations, 1u);
+    EXPECT_EQ(snap.workers[0].device_health.state,
+              HealthState::kHealthy);
+    EXPECT_EQ(snap.failures, 0u);
+    ExpectAllEchoed(runtime, 67);
+}
+
+TEST_F(HealthRuntimeTest, SharedUnitWithPermanentFaultIsFencedAndRoutedAround)
+{
+    // Two shared units; unit 1 develops a permanent wedge. Its health
+    // domain quarantines it, both self-test rounds draw faults from
+    // the same (permanent) source, and the unit is fenced out of
+    // arbitration — traffic continues on unit 0 alone.
+    sim::FaultConfig unit_fault;
+    unit_fault.permanent_fault_after_jobs = 1;
+    unit_fault.permanent_fault_kind = sim::UnitFaultKind::kWedge;
+    sim::FaultInjector unit1_injector(0xFE11CE, unit_fault);
+
+    accel::SharedQueueConfig queue_config;
+    queue_config.num_units = 2;
+    queue_config.watchdog_budget_cycles = 2'000'000;
+    queue_config.watchdog_reset_cycles = 1'000;
+    accel::SharedAccelQueue queue(queue_config);
+    queue.SetUnitFaultInjector(1, &unit1_injector);
+
+    RuntimeConfig config;
+    config.num_workers = 2;
+    config.shared_accel = &queue;
+    config.health.enabled = true;
+    config.health.min_observations = 2;
+    RpcServerRuntime runtime(&pool_, HybridFactory({}), config);
+    runtime.RegisterMethod(1, req_, rsp_, EchoHandler());
+    runtime.Start();
+
+    uint32_t total = 0;
+    for (int round = 0; round < 8; ++round) {
+        SubmitEchoes(&runtime, 64);
+        total += 64;
+        runtime.Drain();
+    }
+
+    const RuntimeSnapshot snap = runtime.Snapshot();
+    ASSERT_EQ(snap.shared_units.size(), 2u);
+    EXPECT_EQ(snap.shared_units[1].state, HealthState::kFenced);
+    EXPECT_GE(snap.shared_units[1].quarantines, 1u);
+    EXPECT_GE(snap.shared_units[1].self_tests_failed, 2u);
+    EXPECT_TRUE(snap.shared_units[1].fenced_from_traffic);
+    // Unit 0 keeps serving, untouched by its neighbor's fault.
+    EXPECT_TRUE(snap.shared_units[0].state == HealthState::kHealthy ||
+                snap.shared_units[0].state == HealthState::kSuspect);
+    EXPECT_GE(snap.health_fenced_domains, 1u);
+
+    const accel::SharedAccelQueue::Stats qs = queue.stats();
+    EXPECT_EQ(qs.fenced_units, 1u);
+    EXPECT_EQ(queue.available_units(), 1u);
+    EXPECT_TRUE(queue.unit_fenced(1));
+    EXPECT_GT(qs.health_blocked_cycles, 0u);
+    // Batches submitted after the fence all landed on unit 0.
+    EXPECT_EQ(snap.failures, 0u);
+    ExpectAllEchoed(runtime, total);
+}
+
+TEST_F(HealthRuntimeTest, SharedUnitIntermittentBurstReintegrates)
+{
+    // Unit 1 suffers a correlated intermittent burst: the first wedged
+    // batch quarantines (sensitive thresholds below), the remaining
+    // burst drains into the first (failing) self-test round, the
+    // second round samples clean — the unit passes, reintegrates
+    // through probation and keeps serving instead of being fenced.
+    sim::FaultConfig unit_fault;
+    unit_fault.unit_wedge_rate = 0.02;
+    unit_fault.unit_fault_burst_len = 5;
+    sim::FaultInjector unit1_injector(0x1B257, unit_fault);
+
+    accel::SharedQueueConfig queue_config;
+    queue_config.num_units = 2;
+    queue_config.watchdog_budget_cycles = 2'000'000;
+    queue_config.watchdog_reset_cycles = 1'000;
+    accel::SharedAccelQueue queue(queue_config);
+    queue.SetUnitFaultInjector(1, &unit1_injector);
+
+    RuntimeConfig config;
+    config.num_workers = 2;
+    config.shared_accel = &queue;
+    config.health.enabled = true;
+    // Hair trigger: the first burst fault quarantines immediately, so
+    // the rest of the burst (burst_len - 1 = 4 faults) is consumed
+    // exactly by the first self_test_vectors = 4 verdict samples.
+    config.health.min_observations = 1;
+    config.health.quarantine_threshold = 0.25;
+    config.health.probation_ops = 4;
+    RpcServerRuntime runtime(&pool_, HybridFactory({}), config);
+    runtime.RegisterMethod(1, req_, rsp_, EchoHandler());
+    runtime.Start();
+
+    uint32_t total = 0;
+    RuntimeSnapshot snap;
+    for (int round = 0; round < 40; ++round) {
+        SubmitEchoes(&runtime, 64);
+        total += 64;
+        runtime.Drain();
+        snap = runtime.Snapshot();
+        if (snap.shared_units[1].self_tests_passed >= 1)
+            break;  // burst hit, unit already back from maintenance
+    }
+    // The intermittent fault has cleared; clean rounds finish the
+    // probation reintegration. (A fault drawn mid-probation would
+    // correctly re-quarantine — that path is exercised above in
+    // ProbationReQuarantinesOnAnyIncident.)
+    queue.SetUnitFaultInjector(1, nullptr);
+    // Probation successes only accrue when the dispatcher lands a
+    // batch on unit 1 (the earliest-free policy favors unit 0 under
+    // light load), so keep serving until reintegration shows up.
+    for (int round = 0; round < 64; ++round) {
+        SubmitEchoes(&runtime, 64);
+        total += 64;
+        runtime.Drain();
+        if (runtime.Snapshot().health_reintegrations >= 1)
+            break;
+    }
+
+    snap = runtime.Snapshot();
+    ASSERT_EQ(snap.shared_units.size(), 2u);
+    // The burst quarantined the unit; the first self-test round failed
+    // (burst residue), the second passed — the unit came back instead
+    // of being fenced.
+    EXPECT_GE(snap.shared_units[1].quarantines, 1u);
+    EXPECT_GE(snap.shared_units[1].self_tests_failed, 1u);
+    EXPECT_GE(snap.shared_units[1].self_tests_passed, 1u);
+    EXPECT_NE(snap.shared_units[1].state, HealthState::kFenced);
+    EXPECT_FALSE(snap.shared_units[1].fenced_from_traffic);
+    EXPECT_GE(snap.health_reintegrations, 1u);
+    EXPECT_EQ(queue.stats().fenced_units, 0u);
+    EXPECT_EQ(queue.available_units(), 2u);
+    EXPECT_EQ(snap.failures, 0u);
+    ExpectAllEchoed(runtime, total);
+}
+
+TEST_F(HealthRuntimeTest, HealthDisabledKeepsLegacyBehavior)
+{
+    // With health disabled nothing is tracked, fenced, or scrubbed —
+    // the pre-health serving behavior, bit for bit.
+    sim::FaultConfig fault_config;
+    fault_config.unit_wedge_rate = 1.0;
+    ArmInjector(0, fault_config);
+
+    accel::AccelConfig accel_config;
+    accel_config.watchdog.budget_cycles = 2'000;
+
+    RuntimeConfig config;
+    config.num_workers = 1;
+    RpcServerRuntime runtime(&pool_, HybridFactory(accel_config),
+                             config);
+    runtime.RegisterMethod(1, req_, rsp_, EchoHandler());
+    SubmitEchoes(&runtime, 16);
+    runtime.Start();
+    runtime.Drain();
+
+    const RuntimeSnapshot snap = runtime.Snapshot();
+    EXPECT_GT(snap.watchdog_resets, 0u);  // faults happened...
+    EXPECT_EQ(snap.health_quarantines, 0u);  // ...nothing was fenced
+    EXPECT_EQ(snap.health_fenced_domains, 0u);
+    EXPECT_TRUE(snap.shared_units.empty());
+    EXPECT_EQ(snap.workers[0].device_health.state,
+              HealthState::kHealthy);
+    EXPECT_EQ(snap.failures, 0u);
+    ExpectAllEchoed(runtime, 16);
+}
+
+}  // namespace
+}  // namespace protoacc::rpc

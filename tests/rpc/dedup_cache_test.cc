@@ -113,6 +113,159 @@ TEST(DedupCacheTest, CapacityZeroDisablesTheCache)
     EXPECT_EQ(cache.stats().entries, 0u);
 }
 
+TEST(DedupCacheTest, RetryHorizonExpiresDeadEntriesFirst)
+{
+    // Entries older than the retry horizon can never be hit again —
+    // they are dropped as "expired" (no correctness exposure), not as
+    // unsafe evictions, and proactively, before capacity forces it.
+    DedupConfig config;
+    config.capacity = 8;
+    config.retry_horizon = 2;
+    DedupCache cache(config);
+    const std::vector<uint8_t> p = Payload("p");
+    for (uint64_t key = 1; key <= 5; ++key)
+        cache.Insert(key, ResponseHeader(1, key, p.size()), p.data(),
+                     p.size());
+
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+    // Keys 1 and 2 aged past the 2-insertion horizon; 4 and 5 are
+    // still inside it.
+    EXPECT_FALSE(cache.Lookup(1, &header, &payload));
+    EXPECT_FALSE(cache.Lookup(2, &header, &payload));
+    EXPECT_TRUE(cache.Lookup(4, &header, &payload));
+    EXPECT_TRUE(cache.Lookup(5, &header, &payload));
+
+    const DedupCache::Stats stats = cache.stats();
+    EXPECT_GE(stats.expired, 2u);
+    // Capacity (8) was never the binding constraint: every drop was a
+    // provably dead entry.
+    EXPECT_EQ(stats.unsafe_evictions, 0u);
+}
+
+TEST(DedupCacheTest, CapacityEvictionInsideTheHorizonCountsUnsafe)
+{
+    // The opposite regime: a huge horizon and a tiny cache. Evicting
+    // an entry that a client could still retry is a potential double
+    // execution, and the counter says so.
+    DedupConfig config;
+    config.capacity = 2;
+    config.retry_horizon = 1000;
+    DedupCache cache(config);
+    const std::vector<uint8_t> p = Payload("p");
+    for (uint64_t key = 1; key <= 3; ++key)
+        cache.Insert(key, ResponseHeader(1, key, p.size()), p.data(),
+                     p.size());
+
+    const DedupCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.unsafe_evictions, 1u);
+    EXPECT_EQ(stats.expired, 0u);
+}
+
+TEST(DedupCacheTest, SerializeDeserializeRoundTripsEntries)
+{
+    DedupCache cache(8);
+    const std::vector<uint8_t> a = Payload("answer-a");
+    const std::vector<uint8_t> b = Payload("answer-b");
+    cache.Insert(10, ResponseHeader(1, 10, a.size()), a.data(),
+                 a.size());
+    cache.Insert(20, ResponseHeader(2, 20, b.size()), b.data(),
+                 b.size());
+
+    const std::vector<uint8_t> image = cache.Serialize();
+    EXPECT_FALSE(image.empty());
+
+    DedupCache restored(8);
+    ASSERT_TRUE(restored.Deserialize(image.data(), image.size()));
+    EXPECT_TRUE(restored.stats().restored);
+    EXPECT_EQ(restored.stats().entries, 2u);
+
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(restored.Lookup(10, &header, &payload));
+    EXPECT_EQ(header.call_id, 1u);
+    EXPECT_EQ(payload, a);
+    ASSERT_TRUE(restored.Lookup(20, &header, &payload));
+    EXPECT_EQ(header.call_id, 2u);
+    EXPECT_EQ(payload, b);
+}
+
+TEST(DedupCacheTest, RestorePreservesEntryAgesForTheHorizon)
+{
+    // The snapshot carries each entry's logical age: after a restore,
+    // old entries expire on schedule instead of getting a fresh lease
+    // on life (which would hold dead weight) or dying early (which
+    // would re-execute retries still inside the window).
+    DedupConfig config;
+    config.capacity = 8;
+    config.retry_horizon = 4;
+    DedupCache cache(config);
+    const std::vector<uint8_t> p = Payload("p");
+    cache.Insert(1, ResponseHeader(1, 1, p.size()), p.data(), p.size());
+    cache.Insert(2, ResponseHeader(2, 2, p.size()), p.data(), p.size());
+
+    const std::vector<uint8_t> image = cache.Serialize();
+    DedupCache restored(config);
+    ASSERT_TRUE(restored.Deserialize(image.data(), image.size()));
+
+    // Four more insertions age key 1 (committed at tick 1) past the
+    // 4-insertion horizon; key 2 (tick 2) stays exactly inside it.
+    for (uint64_t key = 3; key <= 6; ++key)
+        restored.Insert(key, ResponseHeader(3, key, p.size()), p.data(),
+                        p.size());
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+    EXPECT_FALSE(restored.Lookup(1, &header, &payload));
+    EXPECT_TRUE(restored.Lookup(2, &header, &payload));
+    EXPECT_GE(restored.stats().expired, 1u);
+}
+
+TEST(DedupCacheTest, DeserializeRejectsCorruptImagesFailClosed)
+{
+    DedupCache cache(8);
+    const std::vector<uint8_t> p = Payload("answer");
+    cache.Insert(7, ResponseHeader(1, 7, p.size()), p.data(), p.size());
+    const std::vector<uint8_t> image = cache.Serialize();
+
+    // A poisoned cache serves wrong answers, so every rejected image
+    // must leave the cache EMPTY, even when it held entries before.
+    const auto expect_rejected_and_empty =
+        [&](const std::vector<uint8_t> &bytes) {
+            DedupCache victim(8);
+            victim.Insert(99, ResponseHeader(9, 99, p.size()), p.data(),
+                          p.size());
+            EXPECT_FALSE(victim.Deserialize(bytes.data(), bytes.size()));
+            FrameHeader header;
+            std::vector<uint8_t> payload;
+            EXPECT_FALSE(victim.Lookup(99, &header, &payload));
+            EXPECT_EQ(victim.stats().entries, 0u);
+            EXPECT_FALSE(victim.stats().restored);
+        };
+
+    // Bit flip in the middle (CRC mismatch).
+    std::vector<uint8_t> corrupt = image;
+    corrupt[corrupt.size() / 2] ^= 0x40;
+    expect_rejected_and_empty(corrupt);
+
+    // Truncation at every prefix length.
+    for (size_t len = 0; len < image.size(); len += 7)
+        expect_rejected_and_empty(
+            std::vector<uint8_t>(image.begin(), image.begin() + len));
+
+    // Foreign magic.
+    std::vector<uint8_t> foreign = image;
+    foreign[0] = 'X';
+    expect_rejected_and_empty(foreign);
+
+    // The pristine image still restores (the helper's mutations never
+    // touched it).
+    DedupCache ok(8);
+    EXPECT_TRUE(ok.Deserialize(image.data(), image.size()));
+    EXPECT_EQ(ok.stats().entries, 1u);
+}
+
 TEST(DedupCacheTest, ConcurrentInsertAndLookupAreSafe)
 {
     // Many workers share one runtime-wide cache; hammer it from
