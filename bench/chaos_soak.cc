@@ -20,6 +20,13 @@
  * silently served (wrong or unattributable responses). The pair of
  * numbers is the headline: same fault schedule, detected vs silent.
  *
+ * Mode C re-runs Mode A's exact fault schedule with the offloaded
+ * datapath enabled (RuntimeConfig::offload): framing, CRC and dedup
+ * probes priced on the device frame engine, batches submitted through
+ * the descriptor ring. The offload path runs the identical functional
+ * code, so every Mode A invariant must hold unchanged — this is the
+ * acceptance check that offload does not reopen any exactly-once hole.
+ *
  * Flags: --calls=N   logical calls per mode (default 1500)
  *        --seed=S    base seed (default 0xC0FFEE)
  *        --json=PATH write both modes' counters as JSON
@@ -73,6 +80,7 @@ ParseOptions(int argc, char **argv)
 struct ModeResult
 {
     bool crc_enabled = true;
+    bool offload = false;
     uint64_t calls = 0;
     uint64_t rounds = 0;
     uint64_t attempts = 0;
@@ -94,6 +102,9 @@ struct ModeResult
     uint64_t frames_corrupted = 0;
     uint64_t units_killed = 0;
     uint64_t units_wedged = 0;
+    uint64_t offload_frame_headers = 0;
+    uint64_t offload_dedup_probes = 0;
+    double offload_frame_cycles = 0;
 
     /// Corrupted frames that produced an answer instead of a reject:
     /// the number the integrity work exists to drive to zero.
@@ -110,10 +121,11 @@ constexpr uint32_t kMaxRounds = 80;
 
 ModeResult
 RunMode(const DescriptorPool &pool, int req, int rsp, uint64_t seed,
-        uint64_t calls, bool crc_enabled)
+        uint64_t calls, bool crc_enabled, bool offload = false)
 {
     ModeResult result;
     result.crc_enabled = crc_enabled;
+    result.offload = offload;
     result.calls = calls;
 
     const auto &rd = pool.message(req);
@@ -166,6 +178,7 @@ RunMode(const DescriptorPool &pool, int req, int rsp, uint64_t seed,
     runtime_config.shared_accel = &shared_queue;
     runtime_config.dedup_capacity = calls + 16;
     runtime_config.fault_injector = &kill_injector;
+    runtime_config.offload.enabled = offload;
 
     rpc::RpcServerRuntime runtime(
         &pool,
@@ -332,6 +345,9 @@ RunMode(const DescriptorPool &pool, int req, int rsp, uint64_t seed,
     result.workers_crashed = snap.workers_crashed;
     result.redispatched_frames = snap.redispatched_frames;
     result.watchdog_resets = snap.watchdog_resets;
+    result.offload_frame_headers = snap.offload_frame_headers;
+    result.offload_dedup_probes = snap.offload_dedup_probes;
+    result.offload_frame_cycles = snap.offload_frame_cycles;
     const sim::FaultStats cs = channel_injector.stats();
     result.frames_dropped = cs.frames_dropped;
     result.frames_truncated = cs.frames_truncated;
@@ -376,6 +392,13 @@ PrintMode(const char *title, const ModeResult &r)
         static_cast<unsigned long long>(r.lost_calls),
         static_cast<unsigned long long>(r.duplicate_execs),
         static_cast<unsigned long long>(r.silent_corruptions()));
+    if (r.offload)
+        std::printf(
+            "  offload: frame-headers %llu  dedup-probes %llu  "
+            "engine-cycles %.0f\n\n",
+            static_cast<unsigned long long>(r.offload_frame_headers),
+            static_cast<unsigned long long>(r.offload_dedup_probes),
+            r.offload_frame_cycles);
 }
 
 void
@@ -385,6 +408,7 @@ WriteModeJson(std::FILE *f, const char *name, const ModeResult &r)
         f,
         "  \"%s\": {\n"
         "    \"crc_enabled\": %s,\n"
+        "    \"offload\": %s,\n"
         "    \"calls\": %llu,\n"
         "    \"rounds\": %llu,\n"
         "    \"attempts\": %llu,\n"
@@ -405,9 +429,13 @@ WriteModeJson(std::FILE *f, const char *name, const ModeResult &r)
         "    \"frames_truncated\": %llu,\n"
         "    \"frames_corrupted\": %llu,\n"
         "    \"units_killed\": %llu,\n"
-        "    \"units_wedged\": %llu\n"
+        "    \"units_wedged\": %llu,\n"
+        "    \"offload_frame_headers\": %llu,\n"
+        "    \"offload_dedup_probes\": %llu,\n"
+        "    \"offload_frame_cycles\": %.0f\n"
         "  }",
         name, r.crc_enabled ? "true" : "false",
+        r.offload ? "true" : "false",
         static_cast<unsigned long long>(r.calls),
         static_cast<unsigned long long>(r.rounds),
         static_cast<unsigned long long>(r.attempts),
@@ -428,7 +456,10 @@ WriteModeJson(std::FILE *f, const char *name, const ModeResult &r)
         static_cast<unsigned long long>(r.frames_truncated),
         static_cast<unsigned long long>(r.frames_corrupted),
         static_cast<unsigned long long>(r.units_killed),
-        static_cast<unsigned long long>(r.units_wedged));
+        static_cast<unsigned long long>(r.units_wedged),
+        static_cast<unsigned long long>(r.offload_frame_headers),
+        static_cast<unsigned long long>(r.offload_dedup_probes),
+        r.offload_frame_cycles);
 }
 
 }  // namespace
@@ -465,6 +496,12 @@ main(int argc, char **argv)
               "fault schedule)",
               without_crc);
 
+    const ModeResult offloaded =
+        RunMode(pool, req, rsp, opt.seed, opt.calls, true, true);
+    PrintMode("Mode C — frame CRCs ON + offloaded datapath (same "
+              "fault schedule)",
+              offloaded);
+
     if (!opt.json_path.empty()) {
         std::FILE *f = std::fopen(opt.json_path.c_str(), "w");
         if (f == nullptr) {
@@ -476,6 +513,8 @@ main(int argc, char **argv)
         WriteModeJson(f, "crc_on", with_crc);
         std::fprintf(f, ",\n");
         WriteModeJson(f, "crc_off", without_crc);
+        std::fprintf(f, ",\n");
+        WriteModeJson(f, "crc_on_offload", offloaded);
         std::fprintf(f, "\n}\n");
         std::fclose(f);
         std::printf("wrote %s\n\n", opt.json_path.c_str());
@@ -506,6 +545,23 @@ main(int argc, char **argv)
     require(without_crc.silent_corruptions() > 0,
             "mode B served no silent corruptions (CRC-off baseline "
             "should)");
+    require(offloaded.wrong_responses == 0,
+            "mode C (offload) served a wrong response");
+    require(offloaded.unknown_responses == 0,
+            "mode C (offload) produced an unattributable response");
+    require(offloaded.lost_calls == 0, "mode C (offload) lost a call");
+    require(offloaded.duplicate_execs == 0,
+            "mode C (offload) executed a call twice");
+    require(offloaded.crc_rejects > 0,
+            "mode C (offload) detected no corruption");
+    require(offloaded.dedup_hits > 0,
+            "mode C (offload) recorded no dedup hits");
+    require(offloaded.workers_crashed == 2,
+            "mode C (offload): scheduled worker crashes did not fire");
+    require(offloaded.offload_frame_headers > 0 &&
+                offloaded.offload_frame_cycles > 0,
+            "mode C: offload frame engine saw no traffic (datapath "
+            "not engaged)");
 
     std::printf("exactly-once under chaos: %s\n",
                 ok ? "PASS" : "FAIL");

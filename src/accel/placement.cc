@@ -1,0 +1,56 @@
+#include "accel/placement.h"
+
+#include <cmath>
+
+namespace protoacc::accel {
+
+namespace {
+
+uint64_t
+NsToCycles(double ns, double freq_ghz)
+{
+    return static_cast<uint64_t>(std::llround(ns * freq_ghz));
+}
+
+}  // namespace
+
+const char *
+PlacementName(Placement placement)
+{
+    switch (placement) {
+      case Placement::kRoCC:
+        return "rocc";
+      case Placement::kPCIe:
+        return "pcie";
+    }
+    return "unknown";
+}
+
+uint64_t
+TransferModel::DoorbellCycles(double freq_ghz) const
+{
+    if (placement == Placement::kRoCC)
+        return 0;
+    return NsToCycles(pcie_doorbell_ns, freq_ghz);
+}
+
+uint64_t
+TransferModel::TransferCycles(uint64_t wire_bytes, double freq_ghz) const
+{
+    if (placement == Placement::kRoCC)
+        return 0;
+    const double move_ns =
+        pcie_dma_latency_ns +
+        static_cast<double>(wire_bytes) / pcie_bytes_per_ns;
+    return NsToCycles(move_ns, freq_ghz);
+}
+
+uint64_t
+TransferModel::CompletionCycles(double freq_ghz) const
+{
+    if (placement == Placement::kRoCC)
+        return 0;
+    return NsToCycles(pcie_completion_ns, freq_ghz);
+}
+
+}  // namespace protoacc::accel

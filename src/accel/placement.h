@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Accelerator placement and interconnect transfer-cost model.
+ *
+ * The paper's accelerator is RoCC-integrated: it sits next to the core,
+ * shares the L2/LLC, and a doorbell is a custom instruction — transfer
+ * cost is effectively the dispatch cycles the rest of the model already
+ * charges. A deployable serving accelerator often cannot live there: it
+ * hangs off PCIe, where every batch pays a doorbell MMIO write, a DMA
+ * round (descriptor/payload fetch + completion writeback) with real
+ * latency, and payload movement at link bandwidth instead of coherent
+ * LLC reads. Whether the framing/CRC/dedup offload is still a win at
+ * that distance is a placement question, and this model makes it
+ * answerable with a bench figure instead of a shrug (ARAPrototyper-style
+ * explicit interconnect costs).
+ *
+ * The model is deliberately interconnect-level only: both placements
+ * are assumed to have the same device-internal datapath (same FSUs,
+ * same frame engine), so the delta between them is purely doorbell +
+ * DMA latency + bandwidth-limited payload movement — the quantities a
+ * deployment actually chooses between.
+ */
+#ifndef PROTOACC_ACCEL_PLACEMENT_H
+#define PROTOACC_ACCEL_PLACEMENT_H
+
+#include <cstdint>
+
+namespace protoacc::accel {
+
+/// Where the accelerator sits relative to the host cores.
+enum class Placement : uint8_t {
+    /// RoCC-integrated (the paper's §4 arrangement): doorbells are
+    /// custom instructions, data moves through the shared cache
+    /// hierarchy — no explicit transfer cost beyond dispatch cycles.
+    kRoCC = 0,
+    /// PCIe-attached: doorbells are MMIO writes, descriptors and
+    /// payloads cross the link by DMA with per-batch latency and
+    /// bandwidth-limited movement, completions come back as a DMA
+    /// write the host observes after a delivery delay.
+    kPCIe,
+};
+
+const char *PlacementName(Placement placement);
+
+/// Interconnect costs of one placement. All times are nanoseconds so
+/// the model composes with any clock; the queue converts to cycles at
+/// its own frequency.
+struct TransferModel
+{
+    Placement placement = Placement::kRoCC;
+
+    // ---- PCIe knobs (ignored under kRoCC) ----
+
+    /// Host-side doorbell: the MMIO write reaching the device and the
+    /// device initiating its descriptor-ring fetch. Paid once per
+    /// batch before the device can start.
+    double pcie_doorbell_ns = 150;
+    /// Per-batch DMA round latency: descriptor + payload fetch request
+    /// to first data, plus the completion record's writeback. The
+    /// device cannot retire the batch before this round has happened,
+    /// however small the payload.
+    double pcie_dma_latency_ns = 700;
+    /// Link payload bandwidth (~PCIe Gen4 x16 effective).
+    double pcie_bytes_per_ns = 25.0;
+    /// Completion delivery: the host observing the completion record
+    /// (poll of the DMA'd write, or MSI-X). Delays the requester, not
+    /// the unit — the device is already free.
+    double pcie_completion_ns = 250;
+
+    /// Cycles the doorbell costs the requester before the device can
+    /// see the batch, at @p freq_ghz.
+    uint64_t DoorbellCycles(double freq_ghz) const;
+    /// Device-side cycles moving @p wire_bytes across the interconnect
+    /// for one batch (DMA latency + bandwidth-limited payload time).
+    /// Zero under kRoCC: data arrives through the cache hierarchy,
+    /// priced by the device's own memory model.
+    uint64_t TransferCycles(uint64_t wire_bytes, double freq_ghz) const;
+    /// Cycles between the device retiring a batch and the requester
+    /// observing the completion.
+    uint64_t CompletionCycles(double freq_ghz) const;
+};
+
+}  // namespace protoacc::accel
+
+#endif  // PROTOACC_ACCEL_PLACEMENT_H

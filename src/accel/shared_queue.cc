@@ -1,6 +1,7 @@
 #include "accel/shared_queue.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 
@@ -20,9 +21,42 @@ SharedAccelQueue::SharedAccelQueue(const SharedQueueConfig &config)
     PA_CHECK_GE(config_.num_units, 1u);
     unit_free_.assign(config_.num_units, 0);
     unit_fenced_.assign(config_.num_units, false);
+    unit_probation_.assign(config_.num_units, false);
     unit_injectors_.assign(config_.num_units, nullptr);
     stats_.unit_batches.assign(config_.num_units, 0);
     stats_.unit_watchdog_resets.assign(config_.num_units, 0);
+}
+
+uint32_t
+SharedAccelQueue::PickUnitLocked()
+{
+    // Earliest-free arbitration over the in-service units only: a
+    // fenced (or maintenance-blocked) unit simply never wins, which is
+    // how live traffic routes around a quarantined one. A probation
+    // unit competes with its free time pushed out by the bias, so a
+    // fully-trusted unit that is nearly as free takes the work while
+    // the probationer re-earns trust on the remainder.
+    const uint64_t bias = config_.probation_bias_cycles;
+    uint32_t unit = config_.num_units;      // biased winner
+    uint32_t unbiased = config_.num_units;  // would-be winner, no bias
+    uint64_t best_score = 0;
+    for (uint32_t u = 0; u < config_.num_units; ++u) {
+        if (unit_fenced_[u])
+            continue;
+        const uint64_t score =
+            unit_free_[u] + (unit_probation_[u] ? bias : 0);
+        if (unit == config_.num_units || score < best_score) {
+            unit = u;
+            best_score = score;
+        }
+        if (unbiased == config_.num_units ||
+            unit_free_[u] < unit_free_[unbiased])
+            unbiased = u;
+    }
+    PA_CHECK_LT(unit, config_.num_units);  // last unit is unfenceable
+    if (unit != unbiased)
+        ++stats_.probation_deflections;
+    return unit;
 }
 
 SharedAccelQueue::Completion
@@ -38,18 +72,77 @@ SharedAccelQueue::SubmitBatch(uint64_t arrival_cycle, uint32_t jobs,
         arrival_cycle +
         static_cast<uint64_t>(config_.dispatch_cycles_per_job) * jobs;
 
-    // Earliest-free arbitration over the in-service units only: a
-    // fenced (or maintenance-blocked) unit simply never wins, which is
-    // how live traffic routes around a quarantined one.
-    uint32_t unit = config_.num_units;  // sentinel
-    for (uint32_t u = 0; u < config_.num_units; ++u) {
-        if (unit_fenced_[u])
-            continue;
-        if (unit == config_.num_units ||
-            unit_free_[u] < unit_free_[unit])
-            unit = u;
+    // The host-driven path blocks on the completion fence, which
+    // occupies the unit until the requester returns.
+    return FinishBatchLocked(PickUnitLocked(), ready, jobs,
+                             service_cycles, config_.fence_cycles, 0);
+}
+
+SharedAccelQueue::Completion
+SharedAccelQueue::SubmitOffloadBatch(uint64_t arrival_cycle,
+                                     const OffloadBatch &batch)
+{
+    PA_CHECK_GE(batch.jobs, 1u);
+    std::lock_guard<std::mutex> lock(mu_);
+
+    const double freq = config_.freq_ghz;
+    const uint32_t calls = std::max<uint32_t>(batch.calls, 1);
+    const double n = static_cast<double>(calls);
+
+    // The device pulls the batch from a descriptor ring: one doorbell,
+    // however many jobs. RoCC models it as a single instruction-pair
+    // issue; PCIe as the MMIO doorbell write.
+    const uint64_t doorbell =
+        config_.transfer.placement == Placement::kRoCC
+            ? static_cast<uint64_t>(kRoccDispatchCycles)
+            : config_.transfer.DoorbellCycles(freq);
+    const uint64_t ready = arrival_cycle + doorbell;
+
+    // Pipelined makespan over the batch's calls: the frame engine,
+    // deserializer and serializer (and, PCIe-attached, the DMA engine)
+    // are independent stages, so steady-state throughput is set by the
+    // slowest stage and only the first call pays the full stage sum.
+    // With uniform per-call stage times t_j this is the classic
+    // (n - 1) * max_j(t_j) + sum_j(t_j).
+    const uint64_t dma = config_.transfer.TransferCycles(
+        batch.wire_bytes, freq);
+    const double stages[] = {
+        static_cast<double>(batch.frame_cycles),
+        static_cast<double>(batch.deser_cycles),
+        static_cast<double>(batch.ser_cycles),
+        static_cast<double>(dma),
+    };
+    double total = 0;
+    double slowest = 0;
+    for (const double s : stages) {
+        total += s;
+        slowest = std::max(slowest, s);
     }
-    PA_CHECK_LT(unit, config_.num_units);  // last unit is unfenceable
+    const uint64_t makespan = static_cast<uint64_t>(
+        std::llround((n - 1.0) * slowest / n + total / n));
+
+    // No completion fence occupies the unit (the egress frame IS the
+    // completion); PCIe delays only the requester's observation of it.
+    const uint64_t completion_tail =
+        config_.transfer.CompletionCycles(freq);
+    const Completion c = FinishBatchLocked(
+        PickUnitLocked(), ready, batch.jobs, makespan, 0,
+        completion_tail);
+
+    ++stats_.offload_batches;
+    stats_.offload_frame_cycles += batch.frame_cycles;
+    stats_.offload_wire_bytes += batch.wire_bytes;
+    stats_.transfer_cycles += doorbell + dma + completion_tail;
+    return c;
+}
+
+SharedAccelQueue::Completion
+SharedAccelQueue::FinishBatchLocked(uint32_t unit, uint64_t ready,
+                                    uint32_t jobs,
+                                    uint64_t service_cycles,
+                                    uint64_t occupancy_tail,
+                                    uint64_t completion_tail)
+{
     const bool contended = unit_free_[unit] > ready;
     const uint64_t start = contended ? unit_free_[unit] : ready;
 
@@ -86,13 +179,13 @@ SharedAccelQueue::SubmitBatch(uint64_t arrival_cycle, uint32_t jobs,
         // last-resort timeout before the batch replays.
         penalty = kWedgeHangCycles;
     }
-    const uint64_t done =
-        start + penalty + effective_service + config_.fence_cycles;
-    unit_free_[unit] = done;
+    const uint64_t busy_end =
+        start + penalty + effective_service + occupancy_tail;
+    unit_free_[unit] = busy_end;
 
     Completion c;
     c.start_cycle = start;
-    c.done_cycle = done;
+    c.done_cycle = busy_end + completion_tail;
     c.wait_cycles = start - ready;
     c.unit = unit;
     c.watchdog_fired = watchdog_fired;
@@ -104,7 +197,8 @@ SharedAccelQueue::SubmitBatch(uint64_t arrival_cycle, uint32_t jobs,
     stats_.total_service_cycles += service_cycles;
     if (contended)
         ++stats_.contended_batches;
-    stats_.busy_until_cycle = std::max(stats_.busy_until_cycle, done);
+    stats_.busy_until_cycle =
+        std::max(stats_.busy_until_cycle, busy_end);
     return c;
 }
 
@@ -157,6 +251,22 @@ SharedAccelQueue::unit_fenced(uint32_t unit) const
     std::lock_guard<std::mutex> lock(mu_);
     PA_CHECK_LT(unit, config_.num_units);
     return unit_fenced_[unit];
+}
+
+void
+SharedAccelQueue::SetUnitProbation(uint32_t unit, bool probation)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    PA_CHECK_LT(unit, config_.num_units);
+    unit_probation_[unit] = probation;
+}
+
+bool
+SharedAccelQueue::unit_probation(uint32_t unit) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    PA_CHECK_LT(unit, config_.num_units);
+    return unit_probation_[unit];
 }
 
 uint32_t

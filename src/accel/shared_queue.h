@@ -30,6 +30,7 @@
 #include <mutex>
 #include <vector>
 
+#include "accel/placement.h"
 #include "accel/rocc.h"
 #include "sim/fault.h"
 
@@ -56,6 +57,48 @@ struct SharedQueueConfig
     /// stays occupied for that whole window.
     uint64_t watchdog_budget_cycles = 0;
     uint64_t watchdog_reset_cycles = 512;
+
+    /// Clock of the shared timeline, used to convert the transfer
+    /// model's nanosecond costs into cycles (matches
+    /// accel::AccelConfig::freq_ghz by default).
+    double freq_ghz = 2.0;
+    /// Interconnect placement of the units (RoCC-integrated vs
+    /// PCIe-attached). Only the offload submit path consults it: the
+    /// classic host-driven path is RoCC by construction (its dispatch
+    /// cycles ARE the RoCC instruction pairs).
+    TransferModel transfer;
+    /// Health-aware dispatch: a probation-state unit (reintegrated
+    /// after scrub + self-test, reduced trust) only wins arbitration
+    /// when it is free this many cycles earlier than the best
+    /// fully-trusted unit — fresh work prefers units without an error
+    /// history while the probationer re-earns trust. 0 disables the
+    /// bias.
+    uint32_t probation_bias_cycles = 64;
+};
+
+/**
+ * One offloaded batch: the full RPC pipeline (frame engine -> deser ->
+ * handler -> ser -> frame engine) runs device-side, so the stage
+ * totals arrive separately and the unit models them as a pipeline over
+ * the batch's calls instead of a host-fenced serial sum.
+ */
+struct OffloadBatch
+{
+    /// Codec jobs that ran on the device (deser + ser count).
+    uint32_t jobs = 0;
+    /// Deserializer-side unit cycles for the whole batch.
+    uint64_t deser_cycles = 0;
+    /// Serializer-side unit cycles for the whole batch.
+    uint64_t ser_cycles = 0;
+    /// Frame-engine stage cycles (header parse/stamp, CRC verify and
+    /// stamp, dedup probes, error synthesis) for the whole batch.
+    uint64_t frame_cycles = 0;
+    /// Request + response bytes crossing the interconnect (PCIe DMA
+    /// pays latency + bandwidth for them; RoCC moves them through the
+    /// cache hierarchy for free at this layer).
+    uint64_t wire_bytes = 0;
+    /// Calls in the batch — the pipelined item count.
+    uint32_t calls = 1;
 };
 
 /**
@@ -95,6 +138,18 @@ class SharedAccelQueue
         uint64_t watchdog_resets = 0;
         /// Cycles burned on blown budgets + resets.
         uint64_t watchdog_wasted_cycles = 0;
+        /// Offloaded-datapath batches (SubmitOffloadBatch).
+        uint64_t offload_batches = 0;
+        /// Frame-engine stage cycles carried by offloaded batches.
+        uint64_t offload_frame_cycles = 0;
+        /// Bytes offloaded batches moved across the interconnect.
+        uint64_t offload_wire_bytes = 0;
+        /// Interconnect cycles the placement added (doorbell + DMA +
+        /// completion delivery; 0 under RoCC).
+        uint64_t transfer_cycles = 0;
+        /// Dispatches steered away from a probation unit that was
+        /// nominally earliest-free (health-aware arbitration).
+        uint64_t probation_deflections = 0;
         /// Per-unit batch and watchdog-reset counts (indexed by unit).
         std::vector<uint64_t> unit_batches;
         std::vector<uint64_t> unit_watchdog_resets;
@@ -122,6 +177,31 @@ class SharedAccelQueue
     {
         return SubmitBatch(arrival_cycle, 1, service_cycles);
     }
+
+    /**
+     * Submit one offloaded batch (see OffloadBatch). Differences from
+     * the host-driven SubmitBatch:
+     *
+     *  - The device pulls work from a descriptor ring: one doorbell
+     *    per batch (RoCC: a single instruction-pair; PCIe: the MMIO
+     *    write) instead of per-job instruction pairs.
+     *  - The frame-engine, deserializer and serializer stages overlap
+     *    across the batch's calls (call k serializes while call k+1
+     *    deserializes), so unit occupancy is the pipelined makespan —
+     *    (n-1) * max-stage + one call through every stage — not the
+     *    serial stage sum the blocking host fences force.
+     *  - Completion is the egress frame / completion record itself:
+     *    no block_for_*_completion fence occupies the unit. A PCIe
+     *    placement instead delays the *requester* by the completion
+     *    delivery latency, and pays the batch's DMA as one more
+     *    pipeline stage.
+     *
+     * Watchdog budget, per-unit fault injection, fencing and
+     * maintenance windows apply exactly as on SubmitBatch — offloaded
+     * frames keep the whole health story.
+     */
+    Completion SubmitOffloadBatch(uint64_t arrival_cycle,
+                                  const OffloadBatch &batch);
 
     Stats stats() const;
     const SharedQueueConfig &config() const { return config_; }
@@ -164,22 +244,47 @@ class SharedAccelQueue
     /// Units currently in arbitration.
     uint32_t available_units() const;
 
+    /**
+     * Mark @p unit as probation-state (reintegrated with reduced
+     * trust) or clear the mark. A probation unit stays in arbitration
+     * but the dispatcher biases against it by probation_bias_cycles —
+     * it serves when it is the clearly better choice (or the only
+     * one), not merely the momentarily earliest-free one.
+     */
+    void SetUnitProbation(uint32_t unit, bool probation);
+    bool unit_probation(uint32_t unit) const;
+
     /// Draw @p n unit-fault samples from @p unit's injector (the
     /// self-test verdict source). @return how many faulted; 0 when no
     /// injector is attached (a unit with no fault source passes).
     uint32_t SampleUnitFaults(uint32_t unit, uint32_t n);
 
     /// Clear the timeline and counters (units all free at cycle 0);
-    /// fences and injectors are preserved.
+    /// fences, probation marks and injectors are preserved.
     void Reset();
 
   private:
+    /// Earliest-free arbitration over in-service units with the
+    /// probation bias applied. Caller holds mu_.
+    uint32_t PickUnitLocked();
+    /// Common completion path: injected faults, watchdog, occupancy
+    /// update and stats. @p occupancy_tail extends the unit's busy
+    /// window past the service (the host-path fence);
+    /// @p completion_tail delays only the requester's observed
+    /// completion (PCIe completion delivery). Caller holds mu_.
+    Completion FinishBatchLocked(uint32_t unit, uint64_t ready,
+                                 uint32_t jobs, uint64_t service_cycles,
+                                 uint64_t occupancy_tail,
+                                 uint64_t completion_tail);
+
     SharedQueueConfig config_;
     mutable std::mutex mu_;
     /// Cycle at which each unit next becomes free.
     std::vector<uint64_t> unit_free_;
     /// Units fenced out of arbitration by the health policy.
     std::vector<bool> unit_fenced_;
+    /// Units on reduced-trust probation (biased against, still serving).
+    std::vector<bool> unit_probation_;
     /// Per-unit fault sources (not owned; nullptr = fault-free).
     std::vector<sim::FaultInjector *> unit_injectors_;
     Stats stats_;

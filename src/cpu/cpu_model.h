@@ -49,6 +49,8 @@ struct CpuParams
     double per_hasbits_word = 1.0;
     double crc_setup = 20.0;           ///< per-frame CRC32C fixed cost
     double crc_bytes_per_cycle = 8.0;  ///< CRC32C streaming throughput
+    double per_frame_header = 8.0;     ///< header parse/stamp + checks
+    double per_dedup_probe = 40.0;     ///< key hash + map probe + lock
 };
 
 /// The paper's baseline RISC-V SoC core ("riscv-boom", §5: SonicBOOM,
@@ -139,6 +141,8 @@ class CpuCostModel : public proto::CostSink
                    static_cast<double>(bytes) /
                        params_.crc_bytes_per_cycle;
     }
+    void OnFrameHeader() override { cycles_ += params_.per_frame_header; }
+    void OnDedupProbe() override { cycles_ += params_.per_dedup_probe; }
 
     double cycles() const { return cycles_; }
     double seconds() const { return cycles_ / (params_.freq_ghz * 1e9); }

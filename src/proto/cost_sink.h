@@ -57,6 +57,12 @@ class CostSink
     /// End-to-end integrity check: a CRC32C computed or verified over
     /// @p bytes of frame data (framing layer, not the codec proper).
     virtual void OnCrc(size_t bytes) { (void)bytes; }
+    /// A frame header was written or parsed/validated (framing layer:
+    /// field extraction, version/kind checks, length sanity).
+    virtual void OnFrameHeader() {}
+    /// A dedup/response-cache probe keyed by an idempotency key (hash +
+    /// lookup; insertion on the commit path charges the same hook).
+    virtual void OnDedupProbe() {}
 };
 
 }  // namespace protoacc::proto

@@ -171,7 +171,10 @@ int DecodeVarintSlow(const uint8_t *p, const uint8_t *end, uint64_t *value);
  * Decode a varint from [@p p, @p end).
  *
  * The 1- and 2-byte encodings (the overwhelmingly common case in fleet
- * traffic, §3) decode branch-minimally inline; longer encodings take the
+ * traffic, §3) decode branch-minimally inline, and 3/4-byte encodings —
+ * the next-most-common class (timestamps, sizes, ids) — fold a single
+ * 32-bit load inline rather than paying the out-of-line 8-byte fold.
+ * Longer encodings and reads near the end of the buffer take the
  * out-of-line tail. 10-byte varints whose final byte carries payload
  * bits above bit 63 are rejected as malformed (they cannot round-trip
  * through a 64-bit value).
@@ -189,6 +192,23 @@ DecodeVarint(const uint8_t *p, const uint8_t *end, uint64_t *value)
     if (end - p >= 2 && p[1] < 0x80) {
         *value = (p[0] & 0x7fu) | (static_cast<uint64_t>(p[1]) << 7);
         return 2;
+    }
+    if (end - p >= 4) {
+        // Bytes 0 and 1 are known continuations here; one 32-bit load
+        // covers the 3- and 4-byte terminators.
+        uint32_t chunk;
+        std::memcpy(&chunk, p, sizeof(chunk));
+        if ((chunk & 0x00800000u) == 0) {  // byte 2 terminates
+            *value = (chunk & 0x7fu) | ((chunk >> 1) & 0x3f80u) |
+                     ((chunk >> 2) & 0x1fc000u);
+            return 3;
+        }
+        if ((chunk & 0x80000000u) == 0) {  // byte 3 terminates
+            *value = (chunk & 0x7fu) | ((chunk >> 1) & 0x3f80u) |
+                     ((chunk >> 2) & 0x1fc000u) |
+                     ((chunk >> 3) & 0x0fe00000u);
+            return 4;
+        }
     }
     return DecodeVarintSlow(p, end, value);
 }

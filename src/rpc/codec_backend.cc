@@ -30,6 +30,7 @@ AcceleratedBackend::RunSerialize(const proto::Message &msg)
     uint64_t cycles = 0;
     const accel::AccelStatus st = device_.BlockForSerCompletion(&cycles);
     cycles_ += cycles;
+    ser_cycles_ += cycles;
     last_status_ = accel::ToStatusCode(st);
     // A killed unit may retire the job without producing an output
     // region; a degraded device must not abort the process.
@@ -75,6 +76,7 @@ AcceleratedBackend::Deserialize(const uint8_t *data, size_t size,
     const accel::AccelStatus st =
         device_.BlockForDeserCompletion(&cycles);
     cycles_ += cycles;
+    deser_cycles_ += cycles;
     last_status_ = accel::ToStatusCode(st);
     return last_status_;
 }

@@ -107,6 +107,14 @@ class CodecBackend
     /// accelerator queue replay). Software-only backends return 0.
     virtual uint64_t accel_jobs() const { return 0; }
 
+    /// accel_cycles() split by unit: the deserializer-side and
+    /// serializer-side totals. The offloaded datapath pipelines the
+    /// two FSUs across a batch's calls, so its queueing model needs
+    /// the per-stage totals, not just the sum. Zero for software-only
+    /// backends; deser + ser == accel_cycles() for device backends.
+    virtual double accel_deser_cycles() const { return 0; }
+    virtual double accel_ser_cycles() const { return 0; }
+
     /// Degraded mode: route every op to software (saturation shedding
     /// of the accelerator path). No-op for non-hybrid backends.
     virtual void SetForceSoftware(bool /*force*/) {}
@@ -265,6 +273,14 @@ class AcceleratedBackend : public CodecBackend
         return static_cast<double>(cycles_);
     }
     uint64_t accel_jobs() const override { return jobs_; }
+    double accel_deser_cycles() const override
+    {
+        return static_cast<double>(deser_cycles_);
+    }
+    double accel_ser_cycles() const override
+    {
+        return static_cast<double>(ser_cycles_);
+    }
     double freq_ghz() const override { return config_.freq_ghz; }
     accel::WatchdogStats watchdog_stats() const override
     {
@@ -295,6 +311,8 @@ class AcceleratedBackend : public CodecBackend
     proto::Arena deser_arena_;
     accel::SerArena ser_arena_;
     uint64_t cycles_ = 0;
+    uint64_t deser_cycles_ = 0;
+    uint64_t ser_cycles_ = 0;
     uint64_t jobs_ = 0;
     StatusCode last_status_ = StatusCode::kOk;
 };
@@ -362,6 +380,14 @@ class HybridCodecBackend : public CodecBackend
         return accel_->accel_cycles();
     }
     uint64_t accel_jobs() const override { return accel_->accel_jobs(); }
+    double accel_deser_cycles() const override
+    {
+        return accel_->accel_deser_cycles();
+    }
+    double accel_ser_cycles() const override
+    {
+        return accel_->accel_ser_cycles();
+    }
     double freq_ghz() const override { return accel_->freq_ghz(); }
     accel::WatchdogStats watchdog_stats() const override
     {

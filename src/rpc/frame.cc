@@ -58,6 +58,8 @@ FrameBuffer::Append(const FrameHeader &header, const uint8_t *payload)
                   header.payload_bytes);
     uint8_t *p = bytes_.data() + start;
     WriteHeader(p, header, crc_enabled_);
+    if (cost_sink_ != nullptr)
+        cost_sink_->OnFrameHeader();
     if (header.payload_bytes > 0) {
         std::memcpy(p + FrameHeader::kWireBytes, payload,
                     header.payload_bytes);
@@ -81,6 +83,8 @@ FrameBuffer::ReserveFrame(const FrameHeader &header,
     FrameHeader h = header;
     h.payload_bytes = 0;  // backpatched by CommitFrame
     WriteHeader(p, h, crc_enabled_);
+    if (cost_sink_ != nullptr)
+        cost_sink_->OnFrameHeader();
     return p + FrameHeader::kWireBytes;
 }
 
@@ -140,6 +144,8 @@ FrameBuffer::Next(size_t *offset, StatusCode *error) const
     frame.header.version = p[12];
     frame.header.flags = p[13];
     std::memcpy(&frame.header.idempotency_key, p + 14, 8);
+    if (cost_sink_ != nullptr)
+        cost_sink_->OnFrameHeader();
     if (*offset + FrameHeader::kWireBytes + frame.header.payload_bytes >
         bytes_.size()) {
         return std::nullopt;  // truncated

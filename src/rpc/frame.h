@@ -176,8 +176,10 @@ class FrameBuffer
     bool crc_enabled() const { return crc_enabled_; }
 
     /// Attach a cycle-cost sink charged via OnCrc for every CRC this
-    /// buffer computes or verifies (nullptr detaches).
+    /// buffer computes or verifies, and via OnFrameHeader for every
+    /// header written or parsed (nullptr detaches).
     void SetCostSink(proto::CostSink *sink) { cost_sink_ = sink; }
+    proto::CostSink *cost_sink() const { return cost_sink_; }
 
     /// Payload memcpys performed by Append (the copying path); the
     /// reserve/commit path never increments these.

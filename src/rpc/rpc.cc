@@ -50,6 +50,11 @@ RpcServer::HandleFrame(const Frame &frame, FrameBuffer *reply)
     if (dedup_ != nullptr &&
         frame.header.kind == FrameKind::kRequest &&
         frame.header.idempotency_key != 0) {
+        // The probe is priced on whatever sink frames this call's reply
+        // — the host model on the software path, the device frame
+        // engine when the datapath is offloaded.
+        if (reply->cost_sink() != nullptr)
+            reply->cost_sink()->OnDedupProbe();
         FrameHeader cached_header;
         std::vector<uint8_t> cached_payload;
         if (dedup_->Lookup(frame.header.idempotency_key, &cached_header,
@@ -99,6 +104,8 @@ RpcServer::HandleFrame(const Frame &frame, FrameBuffer *reply)
     if (dedup_ != nullptr && out_header.idempotency_key != 0) {
         // Remember the committed answer for this key: the payload sits
         // in the reply stream right where we reserved it.
+        if (reply->cost_sink() != nullptr)
+            reply->cost_sink()->OnDedupProbe();
         out_header.payload_bytes = static_cast<uint32_t>(written);
         dedup_->Insert(out_header.idempotency_key, out_header,
                        reply->data() + reply_start +
@@ -210,8 +217,11 @@ RpcSession::CallOnce(uint16_t method_id, uint32_t call_id,
         breakdown_.client_codec_ns +=
             CyclesToNs(backend_->codec_cycles() - deser_before,
                        backend_->freq_ghz());
-        if (reply_scan_error == StatusCode::kDataLoss)
+        if (reply_scan_error == StatusCode::kDataLoss) {
             ++breakdown_.integrity_rejects;
+            if (crc_reject_reporter_)
+                crc_reject_reporter_();
+        }
         return StatusOk(reply_scan_error) ? StatusCode::kUnavailable
                                           : reply_scan_error;
     }

@@ -196,6 +196,19 @@ class RpcSession
         fault_injector_ = injector;
     }
 
+    /// Automatic device-incident reporting: invoked once per *response*
+    /// frame this session rejects on CRC (kDataLoss on the reply scan).
+    /// The server produced that frame, so the reject is attributable to
+    /// its device — bind this to ReportDeviceIncident(worker,
+    /// kCrcFailure) once and every future reject feeds the health EWMA
+    /// without per-event operator wiring. Request-side rejects are
+    /// channel corruption of the client's own frame and do not fire it.
+    /// nullptr detaches.
+    void SetCrcRejectReporter(std::function<void()> reporter)
+    {
+        crc_reject_reporter_ = std::move(reporter);
+    }
+
     /// Toggle frame CRCs on this session's buffers (on by default):
     /// stamping on the frames it writes, verification on the frames it
     /// scans. Off models the pre-integrity stack for silent-corruption
@@ -237,6 +250,7 @@ class RpcSession
     RpcTimeBreakdown breakdown_;
     RetryPolicy retry_policy_;
     sim::FaultInjector *fault_injector_ = nullptr;
+    std::function<void()> crc_reject_reporter_;
     /// Jitter source; per-session so call sequences stay reproducible.
     Rng rng_{0x6a177e5u};
     StatusCode last_error_ = StatusCode::kOk;

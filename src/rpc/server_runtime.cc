@@ -35,11 +35,21 @@ RpcServerRuntime::RpcServerRuntime(const proto::DescriptorPool *pool,
         w.index = i;
         w.server.mutable_backend().SetParseLimits(config_.parse_limits);
         w.server.SetDedupCache(dedup_.get());
-        // Response-frame CRCs are host-side work: price them on the
-        // worker's core model (nullptr for pure-accel backends, whose
-        // device computes them inline with the streaming serialize).
-        w.replies.SetCostSink(
-            w.server.mutable_backend().host_cost_sink());
+        if (config_.offload.enabled) {
+            // Offload datapath: the frame engine fronts this worker's
+            // shard, so egress framing/CRC/dedup work accrues device
+            // cycles — the host cost sink sees none of it.
+            w.frame_engine =
+                accel::FrameEngine(config_.offload.frame_timing);
+            w.replies.SetCostSink(&w.frame_engine);
+        } else {
+            // Response-frame CRCs are host-side work: price them on the
+            // worker's core model (nullptr for pure-accel backends,
+            // whose device computes them inline with the streaming
+            // serialize).
+            w.replies.SetCostSink(
+                w.server.mutable_backend().host_cost_sink());
+        }
         w.est_call_ns.store(config_.est_call_ns,
                             std::memory_order_relaxed);
     }
@@ -307,9 +317,18 @@ RpcServerRuntime::Snapshot() const
         aggregate_health(ws.device_health);
         ws.vclock_ns = w->vclock_ns;
         ws.codec_cycles = w->server.backend().codec_cycles();
+        ws.accel_codec_cycles = w->server.backend().accel_deser_cycles() +
+                                w->server.backend().accel_ser_cycles();
         ws.arena_blocks = w->server.arena().block_count();
         ws.arena_bytes_reserved = w->server.arena().bytes_reserved();
         ws.reply_payload_copies = w->replies.payload_copies();
+        ws.frame_engine_cycles = w->frame_engine.cycles();
+        ws.frame_engine = w->frame_engine.stats();
+        snap.offload_frame_headers += ws.frame_engine.frame_headers;
+        snap.offload_crc_ops += ws.frame_engine.crc_ops;
+        snap.offload_dedup_probes += ws.frame_engine.dedup_probes;
+        snap.offload_error_frames += ws.frame_engine.error_frames;
+        snap.offload_frame_cycles += ws.frame_engine_cycles;
         if (ws.crashed)
             ++snap.workers_crashed;
         snap.watchdog_resets += ws.watchdog_resets;
@@ -574,6 +593,19 @@ RpcServerRuntime::ProcessBatch(Worker *w,
     if (!config_.record_replies)
         w->replies.clear();  // recycle the stream between batches
 
+    // Ingress framing (header parse + CRC verify) happens once per
+    // frame on the serving path: on the device frame engine when the
+    // datapath is offloaded, on the worker's host model when the host
+    // path is asked to price it (charge_ingress_framing), nowhere
+    // otherwise (the pre-offload arrangement — the submitter's sink
+    // priced the scan).
+    accel::FrameEngine *engine =
+        config_.offload.enabled ? &w->frame_engine : nullptr;
+    proto::CostSink *ingress_sink =
+        engine != nullptr ? static_cast<proto::CostSink *>(engine)
+        : config_.charge_ingress_framing ? backend.host_cost_sink()
+                                         : nullptr;
+
     const bool device_ok = HealthPreBatch(w);
 
     // Degraded-mode serving: a deep residual backlog means the
@@ -599,15 +631,30 @@ RpcServerRuntime::ProcessBatch(Worker *w,
             frame.header = f.header;
             frame.payload = f.payload.data();
             const double before = backend.codec_cycles();
+            const double engine_before =
+                engine != nullptr ? engine->cycles() : 0;
+            if (ingress_sink != nullptr) {
+                ingress_sink->OnFrameHeader();
+                ingress_sink->OnCrc(FrameHeader::kCrcOffset +
+                                    f.header.payload_bytes);
+            }
             const StatusCode st =
                 w->server.HandleFrame(frame, &w->replies);
             if (!StatusOk(st)) {
                 ++w->failures;
                 ++w->failures_by_code[static_cast<size_t>(st)];
+                if (engine != nullptr)
+                    engine->ChargeErrorFrame();
             }
             ++w->calls;
-            const double service_ns =
+            double service_ns =
                 (backend.codec_cycles() - before) / freq_ghz;
+            // Frame-engine time shares the device clock domain; with a
+            // private (non-shared) device the framing stage runs in
+            // series with the codec on this worker's timeline.
+            if (engine != nullptr)
+                service_ns +=
+                    (engine->cycles() - engine_before) / freq_ghz;
             const double latency_ns =
                 service_ns + config_.modeled_handler_ns;
             if (config_.deadline_ns > 0 &&
@@ -641,16 +688,30 @@ RpcServerRuntime::ProcessBatch(Worker *w,
     // charged to the worker core, not the shared accelerator.
     const double cycles_before = backend.codec_cycles();
     const double accel_before = backend.accel_cycles();
+    const double deser_before = backend.accel_deser_cycles();
+    const double ser_before = backend.accel_ser_cycles();
+    const double engine_before =
+        engine != nullptr ? engine->cycles() : 0;
     const uint64_t jobs_before = backend.accel_jobs();
+    uint64_t wire_bytes = 0;
+    const size_t reply_bytes_before = w->replies.bytes();
     uint64_t failures = 0;
     for (OwnedFrame &f : *batch) {
         Frame frame;
         frame.header = f.header;
         frame.payload = f.payload.data();
+        if (ingress_sink != nullptr) {
+            ingress_sink->OnFrameHeader();
+            ingress_sink->OnCrc(FrameHeader::kCrcOffset +
+                                f.header.payload_bytes);
+        }
+        wire_bytes += FrameHeader::kWireBytes + f.header.payload_bytes;
         const StatusCode st = w->server.HandleFrame(frame, &w->replies);
         if (!StatusOk(st)) {
             ++failures;
             ++w->failures_by_code[static_cast<size_t>(st)];
+            if (engine != nullptr)
+                engine->ChargeErrorFrame();
         }
         ++w->calls;
         ++executed;
@@ -670,6 +731,19 @@ RpcServerRuntime::ProcessBatch(Worker *w,
         static_cast<uint64_t>(std::llround(accel_cycles));
     record.sw_ns = (total_cycles - accel_cycles) / freq_ghz;
     record.calls = static_cast<uint32_t>(executed);
+    if (engine != nullptr) {
+        // Offload descriptor for the pipelined replay: the per-stage
+        // device split plus the batch's wire traffic (requests in,
+        // replies out) for the PCIe DMA stage.
+        record.deser_cycles = static_cast<uint64_t>(
+            std::llround(backend.accel_deser_cycles() - deser_before));
+        record.ser_cycles = static_cast<uint64_t>(
+            std::llround(backend.accel_ser_cycles() - ser_before));
+        record.frame_cycles = static_cast<uint64_t>(
+            std::llround(engine->cycles() - engine_before));
+        record.wire_bytes =
+            wire_bytes + (w->replies.bytes() - reply_bytes_before);
+    }
     if (executed > 0)
         w->accel_batches.push_back(record);
     w->failures += failures;
@@ -681,19 +755,29 @@ void
 RpcServerRuntime::ObserveSharedUnit(uint32_t unit, bool watchdog_fired)
 {
     DeviceHealth &health = shared_unit_health_[unit];
+    accel::SharedAccelQueue *queue = config_.shared_accel;
+    // Keep the arbiter's probation mark in lockstep with the health
+    // state machine: a probationary unit competes for work with a
+    // dispatch bias until its clean streak reintegrates it.
+    const auto sync_probation = [&] {
+        queue->SetUnitProbation(
+            unit, health.state() == HealthState::kProbation);
+    };
     if (!watchdog_fired) {
         health.OnSuccess();
+        sync_probation();
         return;
     }
-    if (!health.OnIncident(IncidentKind::kWatchdogReset))
+    if (!health.OnIncident(IncidentKind::kWatchdogReset)) {
+        sync_probation();
         return;  // absorbed: the batch already replayed, as before
+    }
     // Quarantine: the modeled scrub + self-test occupy the unit on the
     // shared timeline (BlockUnit), so live batches route around it —
     // the earliest-free dispatcher simply never picks it until the
     // maintenance window passes. The loop covers failing self-tests
     // re-queueing another scrub + test round, bounded by
     // max_self_test_failures before the unit is permanently fenced.
-    accel::SharedAccelQueue *queue = config_.shared_accel;
     for (;;) {
         health.BeginScrub();
         const ScrubCost cost = ComputeScrubCost(config_.health);
@@ -710,13 +794,16 @@ RpcServerRuntime::ObserveSharedUnit(uint32_t unit, bool watchdog_fired)
                 unit, config_.health.self_test_vectors) == 0;
         const HealthState verdict =
             health.CompleteSelfTest(passed, test_cycles);
-        if (verdict == HealthState::kProbation)
+        if (verdict == HealthState::kProbation) {
+            sync_probation();
             return;  // reintegrated with reduced trust
+        }
         if (verdict == HealthState::kFenced) {
             // Fence from arbitration. Refused for the last in-service
             // unit, which then keeps serving as the sole survivor (the
             // snapshot still reports its kFenced history).
             queue->SetUnitFenced(unit, true);
+            sync_probation();
             return;
         }
     }
@@ -758,14 +845,35 @@ RpcServerRuntime::ReplayAcceleratorTimeline()
         if (b.jobs > 0) {
             const uint64_t arrival_cycle = static_cast<uint64_t>(
                 std::llround(next->vclock_ns * freq_ghz));
-            const accel::SharedAccelQueue::Completion done =
-                config_.shared_accel->SubmitBatch(arrival_cycle, b.jobs,
-                                                  b.service_cycles);
+            accel::SharedAccelQueue::Completion done;
+            if (config_.offload.enabled) {
+                // Offloaded datapath: one descriptor-ring doorbell for
+                // the whole batch, stages pipelined across its calls,
+                // wire traffic priced by the placement's transfer
+                // model.
+                accel::OffloadBatch ob;
+                ob.jobs = b.jobs;
+                ob.deser_cycles = b.deser_cycles;
+                ob.ser_cycles = b.ser_cycles;
+                ob.frame_cycles = b.frame_cycles;
+                ob.wire_bytes = b.wire_bytes;
+                ob.calls = b.calls;
+                done = config_.shared_accel->SubmitOffloadBatch(
+                    arrival_cycle, ob);
+            } else {
+                done = config_.shared_accel->SubmitBatch(
+                    arrival_cycle, b.jobs, b.service_cycles);
+            }
             device_ns =
                 static_cast<double>(done.done_cycle - arrival_cycle) /
                 freq_ghz;
             if (!shared_unit_health_.empty())
                 ObserveSharedUnit(done.unit, done.watchdog_fired);
+        } else if (b.frame_cycles > 0) {
+            // The codec degraded to software but the frames still
+            // crossed the worker's frame-engine stage; its time rides
+            // the worker timeline directly (no shared unit involved).
+            device_ns = static_cast<double>(b.frame_cycles) / freq_ghz;
         }
         const double batch_ns = device_ns + b.sw_ns;
         const double latency_ns = batch_ns + config_.modeled_handler_ns;

@@ -44,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "accel/frame_engine.h"
 #include "accel/shared_queue.h"
 #include "rpc/dedup_cache.h"
 #include "rpc/health.h"
@@ -51,6 +52,19 @@
 #include "sim/fault.h"
 
 namespace protoacc::rpc {
+
+/// Full RPC offload datapath: a frame engine (accel/frame_engine.h)
+/// fronts the codec units, so header parse/validate, CRC verify/stamp,
+/// dedup probes and error-frame synthesis are priced at device rates
+/// into device time — zero framing charges reach the host cost sink —
+/// and batches ride the shared queue's pipelined descriptor-ring path
+/// (SubmitOffloadBatch) instead of the host-fenced doorbell.
+struct OffloadConfig
+{
+    bool enabled = false;
+    /// Frame-engine datapath rates (device clock domain).
+    accel::FrameEngineTiming frame_timing;
+};
 
 /// Runtime-wide configuration.
 struct RuntimeConfig
@@ -122,6 +136,20 @@ struct RuntimeConfig
     /// Disabled by default — every incident then replays as before and
     /// nothing is ever fenced.
     HealthConfig health;
+
+    // ---- offloaded RPC datapath ----
+
+    /// Frame-engine offload (see OffloadConfig). Off by default: the
+    /// pre-offload host-path behavior, bit for bit.
+    OffloadConfig offload;
+
+    /// Price the per-frame ingress framing work (header parse + CRC
+    /// verify) on the serving path: charged to the worker's host model
+    /// (host path) so it lands in modeled latency, or to the device
+    /// frame engine (offload — implied, this flag is then redundant).
+    /// Off by default: ingress pricing stays wherever the caller
+    /// attached the ingress buffer's cost sink, as before.
+    bool charge_ingress_framing = false;
 };
 
 /// One worker's counters, observed while the runtime is quiescent.
@@ -143,6 +171,11 @@ struct WorkerSnapshot
     double vclock_ns = 0;
     /// Modeled codec cycles accumulated by the worker's backend.
     double codec_cycles = 0;
+    /// The accelerator-unit share of codec_cycles (deser + ser device
+    /// cycles). codec_cycles - accel_codec_cycles is the host-model
+    /// residue — with a hybrid backend that never falls back, it is
+    /// exactly the framing/CRC/dedup work priced on the host.
+    double accel_codec_cycles = 0;
     /// Arena steady-state facts (blocks stays 1 once warmed up).
     size_t arena_blocks = 0;
     size_t arena_bytes_reserved = 0;
@@ -157,6 +190,10 @@ struct WorkerSnapshot
     /// Health domain of this worker's private accelerator (default
     /// state when health is disabled or the backend is software-only).
     HealthSnapshot device_health;
+    /// Frame-engine (offloaded framing stage) activity; all zeros when
+    /// the offload datapath is disabled.
+    double frame_engine_cycles = 0;
+    accel::FrameEngine::Stats frame_engine;
 };
 
 /// Aggregate runtime counters.
@@ -213,6 +250,15 @@ struct RuntimeSnapshot
     uint64_t dedup_expired = 0;
     /// True when the dedup cache was rebuilt from a snapshot.
     bool dedup_restored = false;
+    /// Offload datapath aggregates across workers (zeros when the
+    /// frame-engine offload is disabled): frames framed/parsed, CRC
+    /// ops, dedup probes and error frames synthesized on-device, and
+    /// the device cycles they cost.
+    uint64_t offload_frame_headers = 0;
+    uint64_t offload_crc_ops = 0;
+    uint64_t offload_dedup_probes = 0;
+    uint64_t offload_error_frames = 0;
+    double offload_frame_cycles = 0;
     std::vector<WorkerSnapshot> workers;
 
     /// Modeled queries/sec across the pool of workers.
@@ -355,6 +401,14 @@ class RpcServerRuntime
         /// timeline instead of the shared accelerator.
         double sw_ns = 0;
         uint32_t calls = 0;
+        /// Per-stage split of service_cycles plus the frame-engine and
+        /// wire-transfer work, recorded only on the offload datapath
+        /// (SubmitOffloadBatch pipelines the stages; the host path
+        /// ignores these).
+        uint64_t deser_cycles = 0;
+        uint64_t ser_cycles = 0;
+        uint64_t frame_cycles = 0;
+        uint64_t wire_bytes = 0;
     };
 
     struct Worker
@@ -383,6 +437,11 @@ class RpcServerRuntime
 
         RpcServer server;
         FrameBuffer replies;
+        /// Device frame-engine stage (offload datapath): the reply
+        /// stream's cost sink when offload is enabled, so egress
+        /// framing, CRC stamping and dedup probes accrue device cycles
+        /// instead of host cycles. Owned by the worker thread.
+        accel::FrameEngine frame_engine;
 
         // Written by the worker thread, published under mu (pending
         // reaching 0), read while quiescent.

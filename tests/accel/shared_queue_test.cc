@@ -99,5 +99,119 @@ TEST(SharedAccelQueue, ConcurrentSubmissionsAreLinearized)
     EXPECT_GE(s.busy_until_cycle, s.total_service_cycles);
 }
 
+TEST(SharedAccelQueue, OffloadBatchOccupiesPipelinedMakespanNotSerialSum)
+{
+    // 8 calls, deser/ser 100 cycles each per call, frame stage 20 per
+    // call, RoCC (no DMA stage): makespan = (n-1)*max + sum-per-call
+    // = 7*100 + 220 = 920 — vs the host-fenced serial 1600 + fence.
+    SharedAccelQueue q;
+    OffloadBatch b;
+    b.jobs = 16;
+    b.deser_cycles = 800;
+    b.ser_cycles = 800;
+    b.frame_cycles = 160;
+    b.calls = 8;
+    const auto c = q.SubmitOffloadBatch(0, b);
+    EXPECT_EQ(c.start_cycle, kRoccDispatchCycles);  // one doorbell
+    EXPECT_EQ(c.done_cycle, c.start_cycle + 920);   // no fence tail
+    const auto s = q.stats();
+    EXPECT_EQ(s.offload_batches, 1u);
+    EXPECT_EQ(s.offload_frame_cycles, 160u);
+
+    SharedAccelQueue host;
+    const auto h = host.SubmitBatch(0, 16, 1600);
+    EXPECT_LT(c.done_cycle, h.done_cycle);
+}
+
+TEST(SharedAccelQueue, OffloadPciePaysDoorbellDmaAndCompletion)
+{
+    SharedQueueConfig cfg;
+    cfg.freq_ghz = 2.0;
+    cfg.transfer.placement = Placement::kPCIe;
+    SharedAccelQueue q(cfg);
+    OffloadBatch b;
+    b.jobs = 2;
+    b.deser_cycles = 100;
+    b.ser_cycles = 100;
+    b.frame_cycles = 20;
+    b.wire_bytes = 25'000;
+    b.calls = 1;
+    // Doorbell 150ns -> 300 cycles; DMA 700ns + 25000B / 25 B/ns =
+    // 1700ns -> 3400 cycles (the slowest stage); completion 250ns ->
+    // 500 cycles delaying only the requester.
+    const auto c = q.SubmitOffloadBatch(0, b);
+    EXPECT_EQ(c.start_cycle, 300u);
+    EXPECT_EQ(c.done_cycle, 300u + (100 + 100 + 20 + 3400) + 500);
+    EXPECT_EQ(q.stats().transfer_cycles, 300u + 3400u + 500u);
+
+    // The unit itself frees at the makespan (no completion tail): a
+    // second batch arriving later must not wait out the delivery.
+    const auto second = q.SubmitOffloadBatch(c.done_cycle, b);
+    EXPECT_EQ(second.wait_cycles, 0u);
+}
+
+TEST(SharedAccelQueue, ProbationBiasSteersTiesToTrustedUnit)
+{
+    SharedQueueConfig cfg;
+    cfg.num_units = 2;
+    SharedAccelQueue q(cfg);
+    q.SetUnitProbation(0, true);
+    // Both units free at 0: unbiased arbitration would pick unit 0
+    // (lowest index); the probation bias hands the work to unit 1.
+    const auto c = q.Submit(0, 500);
+    EXPECT_EQ(c.unit, 1u);
+    EXPECT_EQ(q.stats().probation_deflections, 1u);
+
+    // Clearing the mark restores plain earliest-free arbitration.
+    q.SetUnitProbation(0, false);
+    q.Reset();
+    EXPECT_EQ(q.Submit(0, 500).unit, 0u);
+}
+
+TEST(SharedAccelQueue, ProbationUnitStillServesWhenClearlyBetter)
+{
+    SharedQueueConfig cfg;
+    cfg.num_units = 2;
+    cfg.probation_bias_cycles = 64;
+    SharedAccelQueue q(cfg);
+    q.SetUnitProbation(0, true);
+    // Occupy unit 1 far beyond the bias: the probationer is now the
+    // clearly better choice and must keep serving.
+    q.BlockUnit(1, 10'000);
+    const auto c = q.Submit(0, 500);
+    EXPECT_EQ(c.unit, 0u);
+}
+
+TEST(SharedAccelQueue, ProbationMarksSurviveReset)
+{
+    SharedQueueConfig cfg;
+    cfg.num_units = 2;
+    SharedAccelQueue q(cfg);
+    q.SetUnitProbation(1, true);
+    q.Reset();
+    EXPECT_TRUE(q.unit_probation(1));
+    EXPECT_FALSE(q.unit_probation(0));
+}
+
+TEST(SharedAccelQueue, OffloadBatchKeepsWatchdogCoverage)
+{
+    // A wedged offloaded batch fires the same watchdog machinery as
+    // the host-driven path: exactly-once/health coverage does not
+    // regress when frames move on-device.
+    SharedQueueConfig cfg;
+    cfg.watchdog_budget_cycles = 1'000;
+    cfg.watchdog_reset_cycles = 512;
+    SharedAccelQueue q(cfg);
+    OffloadBatch b;
+    b.jobs = 4;
+    b.deser_cycles = 4'000;  // blows the budget
+    b.ser_cycles = 100;
+    b.calls = 1;
+    const auto c = q.SubmitOffloadBatch(0, b);
+    EXPECT_TRUE(c.watchdog_fired);
+    EXPECT_EQ(q.stats().watchdog_resets, 1u);
+    EXPECT_GE(c.done_cycle, 1'000u + 512u + 4'100u);
+}
+
 }  // namespace
 }  // namespace protoacc::accel

@@ -97,6 +97,40 @@ TEST(Varint, DecodeWithTrailingSlack)
     }
 }
 
+TEST(Varint, ThreeAndFourBytePathsAgreeWithExactFit)
+{
+    // The 3-4 byte terminators have a dedicated 32-bit-load path that
+    // only engages with >= 4 readable bytes; an exact-fit buffer takes
+    // the byte-at-a-time tail instead. Both must agree everywhere in
+    // the 3- and 4-byte ranges' boundaries.
+    for (uint64_t v :
+         {16384ull, 100000ull, (1ull << 21) - 1,  // 3-byte range
+          1ull << 21, 10000000ull, (1ull << 28) - 1}) {  // 4-byte range
+        uint8_t buf[kMaxVarintBytes + 8];
+        std::memset(buf, 0xff, sizeof(buf));
+        const int n = EncodeVarint(v, buf);
+        ASSERT_TRUE(n == 3 || n == 4) << v;
+        uint64_t with_slack = 0;
+        EXPECT_EQ(DecodeVarint(buf, buf + sizeof(buf), &with_slack), n)
+            << v;
+        uint64_t exact_fit = 0;
+        EXPECT_EQ(DecodeVarint(buf, buf + n, &exact_fit), n) << v;
+        EXPECT_EQ(with_slack, v) << v;
+        EXPECT_EQ(exact_fit, v) << v;
+    }
+}
+
+TEST(Varint, ThreeBytePathDoesNotOverreadPastTerminator)
+{
+    // A 3-byte varint followed by a continuation-looking byte: the
+    // 32-bit load sees byte 3 = 0xff but must stop at byte 2's clear
+    // msb and leave the tail for the next field.
+    uint8_t buf[8] = {0x80, 0x80, 0x7f, 0xff, 0xff, 0xff, 0xff, 0xff};
+    uint64_t v = 0;
+    EXPECT_EQ(DecodeVarint(buf, buf + sizeof(buf), &v), 3);
+    EXPECT_EQ(v, 0x7full << 14);
+}
+
 TEST(Varint, DecodeTenByteBoundaries)
 {
     uint8_t buf[kMaxVarintBytes];

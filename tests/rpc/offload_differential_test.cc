@@ -1,0 +1,449 @@
+/**
+ * @file
+ * Differential tests for the offloaded RPC datapath: the frame-engine
+ * path must be byte-identical on the wire and dedup-equivalent to the
+ * host path, across clean traffic, error frames, CRC rejects, retry
+ * replay and mid-pipeline worker kills — offload moves cost accounting
+ * and queueing, never bytes or verdicts.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "proto/schema_parser.h"
+#include "rpc/server_runtime.h"
+
+namespace protoacc::rpc {
+namespace {
+
+using proto::DescriptorPool;
+using proto::Message;
+
+/// Which serving datapath a run models.
+enum class Path
+{
+    kHost,
+    kOffloadRocc,
+    kOffloadPcie,
+};
+
+class OffloadDifferentialTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto parsed = ParseSchema(R"(
+            message EchoRequest {
+                optional string text = 1;
+                optional uint32 tag = 2;
+            }
+            message EchoResponse {
+                optional string text = 1;
+                optional uint32 tag = 2;
+            }
+        )",
+                                        &pool_);
+        ASSERT_TRUE(parsed.ok) << parsed.error;
+        pool_.Compile(proto::HasbitsMode::kSparse);
+        req_ = pool_.FindMessage("EchoRequest");
+        rsp_ = pool_.FindMessage("EchoResponse");
+    }
+
+    Handler
+    EchoHandler()
+    {
+        return [this](const Message &request, Message response) {
+            const auto &rd = pool_.message(req_);
+            const auto &sd = pool_.message(rsp_);
+            response.SetString(
+                *sd.FindFieldByName("text"),
+                request.GetString(*rd.FindFieldByName("text")));
+            response.SetUint32(
+                *sd.FindFieldByName("tag"),
+                request.GetUint32(*rd.FindFieldByName("tag")));
+            executions_.fetch_add(1, std::memory_order_relaxed);
+        };
+    }
+
+    /// Hybrid backends (accelerated primary + software fallback): the
+    /// host cost sink is the fallback's CPU model, which is where host
+    /// framing charges become observable.
+    RpcServerRuntime::BackendFactory
+    HybridFactory()
+    {
+        return [this](uint32_t) {
+            return std::make_unique<HybridCodecBackend>(
+                std::make_unique<AcceleratedBackend>(pool_),
+                std::make_unique<SoftwareBackend>(cpu::BoomParams(),
+                                                  pool_));
+        };
+    }
+
+    std::vector<uint8_t>
+    RequestWire(uint32_t tag, const std::string &text)
+    {
+        proto::Arena arena;
+        Message request = Message::Create(&arena, pool_, req_);
+        const auto &rd = pool_.message(req_);
+        request.SetString(*rd.FindFieldByName("text"), text);
+        request.SetUint32(*rd.FindFieldByName("tag"), tag);
+        return proto::Serialize(request, nullptr);
+    }
+
+    /// Submit @p calls echo requests (call_id 1..calls) before Start,
+    /// so batch boundaries are deterministic across runs.
+    void
+    SubmitEchoes(RpcServerRuntime *runtime, uint32_t calls,
+                 uint16_t method_id = 1, uint64_t key_base = 0)
+    {
+        for (uint32_t i = 1; i <= calls; ++i) {
+            const std::vector<uint8_t> wire =
+                RequestWire(i, "payload-" + std::to_string(i));
+            FrameHeader h;
+            h.call_id = i;
+            h.method_id = method_id;
+            h.kind = FrameKind::kRequest;
+            h.payload_bytes = static_cast<uint32_t>(wire.size());
+            if (key_base != 0)
+                h.idempotency_key = key_base + i;
+            ASSERT_EQ(runtime->Submit(h, wire.data()),
+                      StatusCode::kOk);
+        }
+    }
+
+    RuntimeConfig
+    PathConfig(Path path, accel::SharedAccelQueue *queue)
+    {
+        RuntimeConfig config;
+        config.num_workers = 1;
+        config.max_batch = 8;
+        config.shared_accel = queue;
+        // Symmetric comparison: the host path prices ingress framing
+        // on the host model, the offload paths on the frame engine.
+        config.charge_ingress_framing = true;
+        config.offload.enabled = path != Path::kHost;
+        return config;
+    }
+
+    static accel::SharedQueueConfig
+    QueueConfig(Path path)
+    {
+        accel::SharedQueueConfig qc;
+        if (path == Path::kOffloadPcie)
+            qc.transfer.placement = accel::Placement::kPCIe;
+        return qc;
+    }
+
+    /// One full serving run; returns the concatenated reply streams.
+    struct RunResult
+    {
+        std::vector<uint8_t> wire;
+        RuntimeSnapshot snap;
+        uint64_t executions = 0;
+        double modeled_span_ns = 0;
+    };
+
+    RunResult
+    RunEchoes(Path path, uint32_t calls, uint32_t workers = 1,
+              uint64_t key_base = 0, uint32_t duplicates = 0)
+    {
+        executions_.store(0, std::memory_order_relaxed);
+        accel::SharedQueueConfig qc = QueueConfig(path);
+        accel::SharedAccelQueue queue(qc);
+        RuntimeConfig config = PathConfig(path, &queue);
+        config.num_workers = workers;
+        if (key_base != 0) {
+            config.dedup_capacity = 1024;
+        }
+        RpcServerRuntime runtime(&pool_, HybridFactory(), config);
+        runtime.RegisterMethod(1, req_, rsp_, EchoHandler());
+        SubmitEchoes(&runtime, calls, 1, key_base);
+        runtime.Start();
+        runtime.Drain();
+        // Retry replay: re-submit the first `duplicates` calls with
+        // their original idempotency keys but fresh call ids — the
+        // dedup cache must serve them without re-executing.
+        for (uint32_t i = 1; i <= duplicates; ++i) {
+            const std::vector<uint8_t> wire =
+                RequestWire(i, "payload-" + std::to_string(i));
+            FrameHeader h;
+            h.call_id = 100'000 + i;
+            h.method_id = 1;
+            h.kind = FrameKind::kRequest;
+            h.payload_bytes = static_cast<uint32_t>(wire.size());
+            h.idempotency_key = key_base + i;
+            EXPECT_EQ(runtime.Submit(h, wire.data()), StatusCode::kOk);
+        }
+        if (duplicates > 0)
+            runtime.Drain();
+        RunResult r;
+        for (uint32_t w = 0; w < runtime.num_workers(); ++w) {
+            const FrameBuffer &replies = runtime.replies(w);
+            r.wire.insert(r.wire.end(), replies.data(),
+                          replies.data() + replies.bytes());
+        }
+        r.snap = runtime.Snapshot();
+        r.executions = executions_.load(std::memory_order_relaxed);
+        r.modeled_span_ns = r.snap.modeled_span_ns;
+        return r;
+    }
+
+    DescriptorPool pool_;
+    std::atomic<uint64_t> executions_{0};
+    int req_ = -1;
+    int rsp_ = -1;
+};
+
+TEST_F(OffloadDifferentialTest, WireBytesIdenticalAcrossAllThreePaths)
+{
+    constexpr uint32_t kCalls = 32;
+    const RunResult host = RunEchoes(Path::kHost, kCalls);
+    const RunResult rocc = RunEchoes(Path::kOffloadRocc, kCalls);
+    const RunResult pcie = RunEchoes(Path::kOffloadPcie, kCalls);
+
+    ASSERT_EQ(host.wire.size(), rocc.wire.size());
+    EXPECT_EQ(std::memcmp(host.wire.data(), rocc.wire.data(),
+                          host.wire.size()),
+              0);
+    ASSERT_EQ(host.wire.size(), pcie.wire.size());
+    EXPECT_EQ(std::memcmp(host.wire.data(), pcie.wire.data(),
+                          host.wire.size()),
+              0);
+    EXPECT_EQ(host.snap.calls, kCalls);
+    EXPECT_EQ(rocc.snap.calls, kCalls);
+    EXPECT_EQ(host.snap.failures, 0u);
+    EXPECT_EQ(rocc.snap.failures, 0u);
+}
+
+TEST_F(OffloadDifferentialTest, OffloadChargesZeroHostFramingCycles)
+{
+    constexpr uint32_t kCalls = 24;
+    // Host path: every frame's header/CRC work lands on the host model
+    // (the hybrid's software half — its codec ops all ran on the
+    // device, so any software cycles are framing charges).
+    const RunResult host = RunEchoes(Path::kHost, kCalls);
+    ASSERT_EQ(host.snap.fallback_accel_fault, 0u);
+    ASSERT_EQ(host.snap.fallback_forced, 0u);
+    // codec_cycles = accel + software * ratio; accel-only would make
+    // the worker's codec cycles equal its accel share. Host framing
+    // makes it strictly larger.
+    EXPECT_EQ(host.snap.offload_frame_headers, 0u);
+    EXPECT_EQ(host.snap.offload_crc_ops, 0u);
+    EXPECT_DOUBLE_EQ(host.snap.offload_frame_cycles, 0.0);
+
+    // Offload: the frame engine absorbs all of it; the host sink sees
+    // zero framing ops.
+    const RunResult rocc = RunEchoes(Path::kOffloadRocc, kCalls);
+    ASSERT_EQ(rocc.snap.fallback_accel_fault, 0u);
+    ASSERT_EQ(rocc.snap.fallback_forced, 0u);
+    // Ingress parse + egress stamp: two header ops and two CRC ops per
+    // call, every one on the device.
+    EXPECT_EQ(rocc.snap.offload_frame_headers, 2ull * kCalls);
+    EXPECT_EQ(rocc.snap.offload_crc_ops, 2ull * kCalls);
+    EXPECT_GT(rocc.snap.offload_frame_cycles, 0.0);
+    // With every framing charge moved off the host model, the hybrid's
+    // software half priced nothing: worker codec cycles == accel-only
+    // cycles. The host run carries the framing premium on top.
+    const double host_sw =
+        host.snap.workers[0].codec_cycles -
+        host.snap.workers[0].frame_engine_cycles;  // engine is 0 here
+    const double rocc_sw = rocc.snap.workers[0].codec_cycles;
+    EXPECT_LT(rocc_sw, host_sw);
+}
+
+TEST_F(OffloadDifferentialTest, DedupEquivalentUnderRetryReplay)
+{
+    constexpr uint32_t kCalls = 16;
+    constexpr uint32_t kDuplicates = 6;
+    constexpr uint64_t kKeyBase = 0x5EED0000;
+    const RunResult host =
+        RunEchoes(Path::kHost, kCalls, 1, kKeyBase, kDuplicates);
+    const RunResult rocc =
+        RunEchoes(Path::kOffloadRocc, kCalls, 1, kKeyBase, kDuplicates);
+
+    // Same dedup verdicts: every duplicate was served from the cache
+    // on both paths, and the handler ran exactly once per logical call.
+    EXPECT_EQ(host.snap.dedup_hits, kDuplicates);
+    EXPECT_EQ(rocc.snap.dedup_hits, kDuplicates);
+    EXPECT_EQ(host.snap.dedup_insertions, rocc.snap.dedup_insertions);
+    EXPECT_EQ(host.executions, kCalls);
+    EXPECT_EQ(rocc.executions, kCalls);
+    // The offload path probed the device-resident key mirror: one
+    // lookup per keyed request plus one insert per committed call.
+    EXPECT_EQ(rocc.snap.offload_dedup_probes,
+              static_cast<uint64_t>(kCalls + kDuplicates) + kCalls);
+    EXPECT_EQ(host.snap.offload_dedup_probes, 0u);
+}
+
+TEST_F(OffloadDifferentialTest, ErrorFramesByteIdenticalAndPriced)
+{
+    // Calls to an unregistered method synthesize error frames; the
+    // offload path must produce identical bytes and count the
+    // synthesis on the engine.
+    constexpr uint32_t kCalls = 8;
+    auto run_bad_method = [&](Path path) {
+        accel::SharedQueueConfig qc = QueueConfig(path);
+        accel::SharedAccelQueue queue(qc);
+        RuntimeConfig config = PathConfig(path, &queue);
+        RpcServerRuntime runtime(&pool_, HybridFactory(), config);
+        runtime.RegisterMethod(1, req_, rsp_, EchoHandler());
+        SubmitEchoes(&runtime, kCalls, /*method_id=*/77);
+        runtime.Start();
+        runtime.Drain();
+        RunResult r;
+        const FrameBuffer &replies = runtime.replies(0);
+        r.wire.assign(replies.data(), replies.data() + replies.bytes());
+        // The error frames themselves scan clean, kind/status intact.
+        size_t offset = 0;
+        uint32_t errors = 0;
+        while (const auto f = replies.Next(&offset)) {
+            EXPECT_EQ(f->header.kind, FrameKind::kError);
+            EXPECT_EQ(f->header.status, StatusCode::kUnknownMethod);
+            ++errors;
+        }
+        EXPECT_EQ(errors, kCalls);
+        r.snap = runtime.Snapshot();
+        return r;
+    };
+    const RunResult host = run_bad_method(Path::kHost);
+    const RunResult rocc = run_bad_method(Path::kOffloadRocc);
+
+    ASSERT_EQ(host.wire.size(), rocc.wire.size());
+    EXPECT_EQ(std::memcmp(host.wire.data(), rocc.wire.data(),
+                          host.wire.size()),
+              0);
+    EXPECT_EQ(host.snap.failures, kCalls);
+    EXPECT_EQ(rocc.snap.failures, kCalls);
+    EXPECT_EQ(rocc.snap.offload_error_frames, kCalls);
+    EXPECT_EQ(host.snap.offload_error_frames, 0u);
+}
+
+TEST_F(OffloadDifferentialTest, CrcRejectVerdictsMatchHostPath)
+{
+    // A frame corrupted in flight must be rejected before the device
+    // pipeline on both paths: same reject count, same served calls.
+    auto run_with_corruption = [&](Path path) {
+        accel::SharedQueueConfig qc = QueueConfig(path);
+        accel::SharedAccelQueue queue(qc);
+        RuntimeConfig config = PathConfig(path, &queue);
+        RpcServerRuntime runtime(&pool_, HybridFactory(), config);
+        runtime.RegisterMethod(1, req_, rsp_, EchoHandler());
+        runtime.Start();
+
+        FrameBuffer ingress;
+        for (uint32_t i = 1; i <= 4; ++i) {
+            const std::vector<uint8_t> wire =
+                RequestWire(i, "payload-" + std::to_string(i));
+            FrameHeader h;
+            h.call_id = i;
+            h.method_id = 1;
+            h.kind = FrameKind::kRequest;
+            h.payload_bytes = static_cast<uint32_t>(wire.size());
+            ingress.Append(h, wire.data());
+        }
+        // Flip a payload byte of the second frame.
+        size_t offset = 0;
+        ingress.Next(&offset);  // skip frame 1
+        ingress.mutable_data()[offset + FrameHeader::kWireBytes] ^= 0x20;
+
+        offset = 0;
+        uint32_t rejects = 0;
+        for (;;) {
+            const size_t before = offset;
+            const StatusCode st =
+                runtime.SubmitFromStream(ingress, &offset);
+            if (st == StatusCode::kDataLoss)
+                ++rejects;
+            if (offset == before)
+                break;
+        }
+        runtime.Drain();
+        RunResult r;
+        r.snap = runtime.Snapshot();
+        const FrameBuffer &replies = runtime.replies(0);
+        r.wire.assign(replies.data(), replies.data() + replies.bytes());
+        EXPECT_EQ(rejects, 1u);
+        return r;
+    };
+    const RunResult host = run_with_corruption(Path::kHost);
+    const RunResult rocc = run_with_corruption(Path::kOffloadRocc);
+
+    EXPECT_EQ(host.snap.crc_rejects, 1u);
+    EXPECT_EQ(rocc.snap.crc_rejects, 1u);
+    // The corrupt frame never executed on either path; the three good
+    // frames did.
+    EXPECT_EQ(host.snap.calls, 3u);
+    EXPECT_EQ(rocc.snap.calls, 3u);
+    ASSERT_EQ(host.wire.size(), rocc.wire.size());
+    EXPECT_EQ(std::memcmp(host.wire.data(), rocc.wire.data(),
+                          host.wire.size()),
+              0);
+}
+
+TEST_F(OffloadDifferentialTest, WorkerKillMidPipelineKeepsExactlyOnce)
+{
+    // An injected worker crash mid-batch with the offload datapath on:
+    // stranded frames re-dispatch to survivors, the dedup cache blocks
+    // re-execution, and every call is answered exactly once.
+    constexpr uint32_t kCalls = 48;
+    constexpr uint64_t kKeyBase = 0xD1E00000;
+    sim::FaultConfig fc;
+    fc.worker_kills.push_back({/*worker=*/1, /*after_calls=*/5});
+    sim::FaultInjector injector(0xFEED, fc);
+
+    accel::SharedQueueConfig qc = QueueConfig(Path::kOffloadRocc);
+    accel::SharedAccelQueue queue(qc);
+    RuntimeConfig config = PathConfig(Path::kOffloadRocc, &queue);
+    config.num_workers = 3;
+    config.dedup_capacity = 1024;
+    config.fault_injector = &injector;
+    RpcServerRuntime runtime(&pool_, HybridFactory(), config);
+    runtime.RegisterMethod(1, req_, rsp_, EchoHandler());
+    SubmitEchoes(&runtime, kCalls, 1, kKeyBase);
+    runtime.Start();
+    runtime.Drain();
+
+    const RuntimeSnapshot snap = runtime.Snapshot();
+    EXPECT_EQ(snap.workers_crashed, 1u);
+    EXPECT_GT(snap.redispatched_frames, 0u);
+
+    // Exactly once: every call id answered, none twice, handler ran
+    // once per call (0 wrong / 0 lost / 0 duplicated).
+    std::map<uint32_t, uint32_t> replies_per_call;
+    for (uint32_t w = 0; w < runtime.num_workers(); ++w) {
+        const FrameBuffer &replies = runtime.replies(w);
+        size_t offset = 0;
+        while (const auto f = replies.Next(&offset)) {
+            EXPECT_EQ(f->header.kind, FrameKind::kResponse);
+            ++replies_per_call[f->header.call_id];
+        }
+    }
+    EXPECT_EQ(replies_per_call.size(), kCalls);
+    for (const auto &[call_id, n] : replies_per_call)
+        EXPECT_EQ(n, 1u) << "call " << call_id;
+    EXPECT_EQ(executions_.load(std::memory_order_relaxed), kCalls);
+}
+
+TEST_F(OffloadDifferentialTest, OffloadOutpacesHostAndPciePaysTransfer)
+{
+    // 4 workers contending for one shared unit: the pipelined offload
+    // path must beat the host-fenced path on modeled span, and the
+    // PCIe placement must pay a visible transfer premium over RoCC.
+    constexpr uint32_t kCalls = 128;
+    const RunResult host = RunEchoes(Path::kHost, kCalls, 4);
+    const RunResult rocc = RunEchoes(Path::kOffloadRocc, kCalls, 4);
+    const RunResult pcie = RunEchoes(Path::kOffloadPcie, kCalls, 4);
+
+    EXPECT_LT(rocc.modeled_span_ns, host.modeled_span_ns);
+    EXPECT_GT(pcie.modeled_span_ns, rocc.modeled_span_ns);
+    EXPECT_EQ(host.snap.calls, kCalls);
+    EXPECT_EQ(rocc.snap.calls, kCalls);
+    EXPECT_EQ(pcie.snap.calls, kCalls);
+}
+
+}  // namespace
+}  // namespace protoacc::rpc

@@ -565,5 +565,51 @@ TEST_F(RpcEndToEndTest, InFlightCorruptionIsDetectedAndRetried)
     EXPECT_EQ(b.failures, 0u);
 }
 
+TEST_F(RpcEndToEndTest, ResponseCrcRejectFiresIncidentReporter)
+{
+    // A response frame failing its CRC implicates the server-side
+    // device that serialized it; the session's reject hook is how that
+    // observation feeds ReportDeviceIncident without per-call wiring.
+    RpcServer server(&pool_,
+                     std::make_unique<SoftwareBackend>(
+                         cpu::BoomParams()));
+    server.RegisterMethod(1, req_, rsp_, EchoHandler());
+
+    sim::FaultConfig fault_config;
+    fault_config.frame_corrupt_rate = 0.5;
+    sim::FaultInjector injector(0xC0DE, fault_config);
+
+    RpcSession session(&pool_,
+                       std::make_unique<SoftwareBackend>(
+                           cpu::BoomParams()),
+                       &server, SimulatedChannel{});
+    session.SetFaultInjector(&injector);
+    RetryPolicy policy;
+    policy.max_attempts = 16;
+    session.set_retry_policy(policy);
+    uint64_t reported = 0;
+    session.SetCrcRejectReporter([&reported] { ++reported; });
+
+    constexpr int kCalls = 20;
+    proto::Arena arena;
+    const auto &rd = pool_.message(req_);
+    for (int i = 0; i < kCalls; ++i) {
+        Message request = Message::Create(&arena, pool_, req_);
+        request.SetString(*rd.FindFieldByName("text"),
+                          "x-" + std::to_string(i));
+        request.SetInt32(*rd.FindFieldByName("repeat"), 1);
+        Message response = Message::Create(&arena, pool_, rsp_);
+        ASSERT_EQ(session.Call(1, request, &response), StatusCode::kOk);
+    }
+
+    const RpcTimeBreakdown &b = session.breakdown();
+    // Reply-side rejects fired the reporter; request-side rejects (the
+    // client's own frame mangled en route) must not — they say nothing
+    // about the server's device — so the report count sits strictly
+    // inside the total integrity-reject count for this seed.
+    EXPECT_GT(reported, 0u);
+    EXPECT_LT(reported, b.integrity_rejects);
+}
+
 }  // namespace
 }  // namespace protoacc::rpc
