@@ -4,10 +4,25 @@
  * complementary to the modeled riscv-boom/Xeon/accelerator numbers in
  * the figure benches — and guard against performance regressions in
  * the wire-format primitives and codec.
+ *
+ * Engine selection: --engine=reference|table|generated (default table)
+ * runs every codec benchmark on that software engine, so per-engine
+ * rows come from identical workloads in one binary. The generated
+ * engine requires the build-time codecs (pa_gen_codecs) to cover the
+ * benchmark pools; benchmarks whose pool has no linked codec skip with
+ * an error rather than silently measuring another engine.
  */
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "harness/microbench.h"
+#include "hpb/generator.h"
+#include "profile/fleet_model.h"
+#include "proto/codec_generated.h"
 #include "proto/codec_reference.h"
 #include "proto/parser.h"
 #include "proto/schema_random.h"
@@ -17,6 +32,61 @@ using namespace protoacc;
 using namespace protoacc::proto;
 
 namespace {
+
+SoftwareCodecEngine g_engine = SoftwareCodecEngine::kTable;
+
+// ---------------------------------------------------------------------
+// Engine dispatch. The indirection is outside the measured loops' inner
+// operations only in the sense that it is one predictable branch; all
+// three engines pay it equally.
+// ---------------------------------------------------------------------
+
+ParseStatus
+EngineParse(const uint8_t *data, size_t len, Message *msg)
+{
+    switch (g_engine) {
+    case SoftwareCodecEngine::kReference:
+        return ReferenceParseFromBuffer(data, len, msg);
+    case SoftwareCodecEngine::kGenerated:
+        return GeneratedParseFromBuffer(data, len, msg);
+    case SoftwareCodecEngine::kTable:
+        break;
+    }
+    return ParseFromBuffer(data, len, msg);
+}
+
+size_t
+EngineSerializeTo(const Message &msg, uint8_t *buf, size_t cap)
+{
+    switch (g_engine) {
+    case SoftwareCodecEngine::kReference:
+        return ReferenceSerializeToBuffer(msg, buf, cap);
+    case SoftwareCodecEngine::kGenerated:
+        return GeneratedSerializeToBuffer(msg, buf, cap);
+    case SoftwareCodecEngine::kTable:
+        break;
+    }
+    return SerializeToBuffer(msg, buf, cap);
+}
+
+/// Labels the row with the engine and, for the generated engine,
+/// verifies a codec is linked for @p pool. Returns false (after
+/// SkipWithError) when coverage is missing.
+bool
+PrepareEngine(benchmark::State &state, const DescriptorPool &pool)
+{
+    state.SetLabel(SoftwareCodecEngineName(g_engine));
+    if (g_engine == SoftwareCodecEngine::kGenerated &&
+        GetGeneratedCodec(pool) == nullptr) {
+        state.SkipWithError("no generated codec linked for this pool");
+        return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Wire-format primitives (engine-independent).
+// ---------------------------------------------------------------------
 
 /// Smallest value whose varint encoding takes exactly @p n bytes.
 /// (An earlier version computed 1ull << (7*(n-1)-1), which shifted by -1
@@ -57,17 +127,23 @@ BM_VarintDecode(benchmark::State &state)
 }
 BENCHMARK(BM_VarintDecode)->DenseRange(1, 10);
 
+// ---------------------------------------------------------------------
+// Codec microbenches, engine-selected.
+// ---------------------------------------------------------------------
+
 void
 BM_SerializeMicrobench(benchmark::State &state)
 {
     const auto bench =
         harness::MakeVarintBench(static_cast<int>(state.range(0)),
                                  /*repeated=*/false);
+    if (!PrepareEngine(state, *bench->workload.pool))
+        return;
     std::vector<uint8_t> buf(1 << 16);
     for (auto _ : state) {
         for (const auto &m : bench->workload.messages) {
             benchmark::DoNotOptimize(
-                SerializeToBuffer(m, buf.data(), buf.size()));
+                EngineSerializeTo(m, buf.data(), buf.size()));
         }
     }
     state.SetBytesProcessed(
@@ -82,13 +158,15 @@ BM_ParseMicrobench(benchmark::State &state)
     const auto bench =
         harness::MakeVarintBench(static_cast<int>(state.range(0)),
                                  /*repeated=*/false);
+    if (!PrepareEngine(state, *bench->workload.pool))
+        return;
     for (auto _ : state) {
         Arena arena;
         for (const auto &wire : bench->workload.wires) {
             Message dest = Message::Create(&arena, *bench->workload.pool,
                                            bench->workload.msg_index);
             benchmark::DoNotOptimize(
-                ParseFromBuffer(wire.data(), wire.size(), &dest));
+                EngineParse(wire.data(), wire.size(), &dest));
         }
     }
     state.SetBytesProcessed(
@@ -96,51 +174,6 @@ BM_ParseMicrobench(benchmark::State &state)
         static_cast<int64_t>(bench->workload.total_wire_bytes));
 }
 BENCHMARK(BM_ParseMicrobench)->Arg(1)->Arg(5)->Arg(10);
-
-// Reference-interpreter equivalents of the two microbenches above: the
-// retained seed codec (codec_reference.h), measured so the table-driven
-// fast path's gain is visible inside one binary.
-
-void
-BM_SerializeReference(benchmark::State &state)
-{
-    const auto bench =
-        harness::MakeVarintBench(static_cast<int>(state.range(0)),
-                                 /*repeated=*/false);
-    std::vector<uint8_t> buf(1 << 16);
-    for (auto _ : state) {
-        for (const auto &m : bench->workload.messages) {
-            benchmark::DoNotOptimize(
-                ReferenceSerializeToBuffer(m, buf.data(), buf.size()));
-        }
-    }
-    state.SetBytesProcessed(
-        state.iterations() *
-        static_cast<int64_t>(bench->workload.total_wire_bytes));
-}
-BENCHMARK(BM_SerializeReference)->Arg(1)->Arg(5)->Arg(10);
-
-void
-BM_ParseReference(benchmark::State &state)
-{
-    const auto bench =
-        harness::MakeVarintBench(static_cast<int>(state.range(0)),
-                                 /*repeated=*/false);
-    for (auto _ : state) {
-        Arena arena;
-        for (const auto &wire : bench->workload.wires) {
-            Message dest = Message::Create(&arena, *bench->workload.pool,
-                                           bench->workload.msg_index);
-            benchmark::DoNotOptimize(
-                ReferenceParseFromBuffer(wire.data(), wire.size(),
-                                         &dest));
-        }
-    }
-    state.SetBytesProcessed(
-        state.iterations() *
-        static_cast<int64_t>(bench->workload.total_wire_bytes));
-}
-BENCHMARK(BM_ParseReference)->Arg(1)->Arg(5)->Arg(10);
 
 // The serving runtime's steady-state pattern vs. the naive one: reuse
 // one arena with Reset() per message (bounded reservation, no backing
@@ -153,6 +186,8 @@ BM_ParseArenaResetReuse(benchmark::State &state)
     const auto bench =
         harness::MakeVarintBench(static_cast<int>(state.range(0)),
                                  /*repeated=*/false);
+    if (!PrepareEngine(state, *bench->workload.pool))
+        return;
     Arena arena;
     for (auto _ : state) {
         for (const auto &wire : bench->workload.wires) {
@@ -160,7 +195,7 @@ BM_ParseArenaResetReuse(benchmark::State &state)
             Message dest = Message::Create(&arena, *bench->workload.pool,
                                            bench->workload.msg_index);
             benchmark::DoNotOptimize(
-                ParseFromBuffer(wire.data(), wire.size(), &dest));
+                EngineParse(wire.data(), wire.size(), &dest));
         }
     }
     state.SetBytesProcessed(
@@ -177,13 +212,15 @@ BM_ParseArenaFreshEachMessage(benchmark::State &state)
     const auto bench =
         harness::MakeVarintBench(static_cast<int>(state.range(0)),
                                  /*repeated=*/false);
+    if (!PrepareEngine(state, *bench->workload.pool))
+        return;
     for (auto _ : state) {
         for (const auto &wire : bench->workload.wires) {
             Arena arena;
             Message dest = Message::Create(&arena, *bench->workload.pool,
                                            bench->workload.msg_index);
             benchmark::DoNotOptimize(
-                ParseFromBuffer(wire.data(), wire.size(), &dest));
+                EngineParse(wire.data(), wire.size(), &dest));
         }
     }
     state.SetBytesProcessed(
@@ -200,6 +237,8 @@ BM_ParseRandomSchema(benchmark::State &state)
     const int root = GenerateRandomSchema(&pool, &rng,
                                           SchemaGenOptions{});
     pool.Compile();
+    if (!PrepareEngine(state, pool))
+        return;
     Arena build_arena;
     Message msg = Message::Create(&build_arena, pool, root);
     PopulateRandomMessage(msg, &rng, MessageGenOptions{});
@@ -209,7 +248,7 @@ BM_ParseRandomSchema(benchmark::State &state)
         Arena arena;
         Message dest = Message::Create(&arena, pool, root);
         benchmark::DoNotOptimize(
-            ParseFromBuffer(wire.data(), wire.size(), &dest));
+            EngineParse(wire.data(), wire.size(), &dest));
     }
     state.SetBytesProcessed(state.iterations() *
                             static_cast<int64_t>(wire.size()));
@@ -221,13 +260,15 @@ BM_StringFieldCopy(benchmark::State &state)
 {
     const auto bench = harness::MakeStringBench(
         "s", static_cast<size_t>(state.range(0)));
+    if (!PrepareEngine(state, *bench->workload.pool))
+        return;
     for (auto _ : state) {
         Arena arena;
         for (const auto &wire : bench->workload.wires) {
             Message dest = Message::Create(&arena, *bench->workload.pool,
                                            bench->workload.msg_index);
             benchmark::DoNotOptimize(
-                ParseFromBuffer(wire.data(), wire.size(), &dest));
+                EngineParse(wire.data(), wire.size(), &dest));
         }
     }
     state.SetBytesProcessed(
@@ -236,6 +277,145 @@ BM_StringFieldCopy(benchmark::State &state)
 }
 BENCHMARK(BM_StringFieldCopy)->Arg(8)->Arg(512)->Arg(65536);
 
+// Serialize-side twin of BM_StringFieldCopy, sized around the table
+// writer's short-string (<= 16 B) overlap-copy fast path: 8 and 15 hit
+// the fast path, 512 and 65536 take the memcpy route.
+void
+BM_SerializeString(benchmark::State &state)
+{
+    const auto bench = harness::MakeStringBench(
+        "s", static_cast<size_t>(state.range(0)));
+    if (!PrepareEngine(state, *bench->workload.pool))
+        return;
+    std::vector<uint8_t> buf(bench->workload.total_wire_bytes + 64);
+    for (auto _ : state) {
+        for (const auto &m : bench->workload.messages) {
+            benchmark::DoNotOptimize(
+                EngineSerializeTo(m, buf.data(), buf.size()));
+        }
+    }
+    state.SetBytesProcessed(
+        state.iterations() *
+        static_cast<int64_t>(bench->workload.total_wire_bytes));
+}
+BENCHMARK(BM_SerializeString)->Arg(8)->Arg(15)->Arg(512)->Arg(65536);
+
+// 32 short elements per message: the per-element tag/length/copy
+// sequence dominates, so the writer's <=16 B overlap-copy fast path is
+// resolvable above the per-message fixed costs (unlike the singular
+// string rows above, where it is noise).
+void
+BM_SerializeRepeatedString(benchmark::State &state)
+{
+    const auto bench = harness::MakeRepeatedStringBench(
+        "rs", static_cast<size_t>(state.range(0)), /*count=*/32);
+    if (!PrepareEngine(state, *bench->workload.pool))
+        return;
+    std::vector<uint8_t> buf(bench->workload.total_wire_bytes + 64);
+    for (auto _ : state) {
+        for (const auto &m : bench->workload.messages) {
+            benchmark::DoNotOptimize(
+                EngineSerializeTo(m, buf.data(), buf.size()));
+        }
+    }
+    state.SetBytesProcessed(
+        state.iterations() *
+        static_cast<int64_t>(bench->workload.total_wire_bytes));
+}
+BENCHMARK(BM_SerializeRepeatedString)->Arg(8)->Arg(15)->Arg(512);
+
+// ---------------------------------------------------------------------
+// HyperProtoBench wall-clock rows: the fleet-representative schemas the
+// paper evaluates on (fig12/fig13 model the same workloads in cycles;
+// these rows measure real host time per engine).
+// ---------------------------------------------------------------------
+
+const std::vector<hpb::HpbBenchmark> &
+HpbSuite()
+{
+    static const auto *suite = [] {
+        profile::Fleet fleet{profile::FleetParams{}};
+        return new std::vector<hpb::HpbBenchmark>(
+            hpb::BuildHyperProtoBench(fleet));
+    }();
+    return *suite;
+}
+
+void
+BM_HpbParse(benchmark::State &state)
+{
+    const auto &bench = HpbSuite()[static_cast<size_t>(state.range(0))];
+    const harness::Workload &w = bench.workload;
+    if (!PrepareEngine(state, *w.pool))
+        return;
+    for (auto _ : state) {
+        Arena arena;
+        for (const auto &wire : w.wires) {
+            Message dest =
+                Message::Create(&arena, *w.pool, w.msg_index);
+            benchmark::DoNotOptimize(
+                EngineParse(wire.data(), wire.size(), &dest));
+        }
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<int64_t>(w.total_wire_bytes));
+}
+BENCHMARK(BM_HpbParse)->DenseRange(0, 5);
+
+void
+BM_HpbSerialize(benchmark::State &state)
+{
+    const auto &bench = HpbSuite()[static_cast<size_t>(state.range(0))];
+    const harness::Workload &w = bench.workload;
+    if (!PrepareEngine(state, *w.pool))
+        return;
+    std::vector<uint8_t> buf(1 << 20);
+    for (auto _ : state) {
+        for (const auto &m : w.messages) {
+            benchmark::DoNotOptimize(
+                EngineSerializeTo(m, buf.data(), buf.size()));
+        }
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<int64_t>(w.total_wire_bytes));
+}
+BENCHMARK(BM_HpbSerialize)->DenseRange(0, 5);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Strip --engine= before google-benchmark sees the argv (it rejects
+    // flags it does not know).
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--engine=", 9) == 0) {
+            const std::string name = arg + 9;
+            if (name == "reference") {
+                g_engine = SoftwareCodecEngine::kReference;
+            } else if (name == "table") {
+                g_engine = SoftwareCodecEngine::kTable;
+            } else if (name == "generated") {
+                g_engine = SoftwareCodecEngine::kGenerated;
+            } else {
+                std::fprintf(stderr,
+                             "codec_gbench: unknown engine '%s' "
+                             "(reference|table|generated)\n",
+                             name.c_str());
+                return 2;
+            }
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

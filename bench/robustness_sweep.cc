@@ -4,10 +4,13 @@
  *
  * Part 1 — differential fuzz sweep: >= 100k seeded hostile inputs
  * (structural mutations of valid wires, exhaustive-style truncations,
- * pure garbage) through all three codec engines — reference
- * interpreter, table-driven parser, accelerator model. Invariant: no
- * crash, and all three agree on accept vs reject for every input. Any
- * disagreement prints a reproducer and the run exits nonzero.
+ * pure garbage) through all four codec engines — reference
+ * interpreter, table-driven parser, schema-specialized generated
+ * codecs, accelerator model. Invariant: no crash, and all four agree
+ * on accept vs reject for every input. The sweep's schema seeds are in
+ * the build-time codegen suite (tools/gen_pools), so generated-engine
+ * coverage is required, not best-effort. Any disagreement prints a
+ * reproducer and the run exits nonzero.
  *
  * Part 2 — availability sweep: an echo service on a degradation-aware
  * HybridCodecBackend (accelerator primary, software table codec
@@ -83,6 +86,7 @@ struct FuzzTotals
     uint64_t truncated = 0;
     uint64_t garbage = 0;
     uint64_t disagreements = 0;
+    uint64_t generated_verdicts = 0;
 };
 
 FuzzTotals
@@ -95,6 +99,15 @@ RunDifferentialSweep(uint64_t total_inputs)
         RandomSchemaRig rig(0xD1FF + s);
         protoacc::Rng rng(0xFEED + s);
         sim::FaultInjector injector(0xFA017 + s);
+        if (!rig.rig().has_generated()) {
+            std::fprintf(stderr,
+                         "FAIL: no generated codec linked for sweep "
+                         "schema seed 0x%llX — build-time codegen suite "
+                         "out of sync with the sweep\n",
+                         static_cast<unsigned long long>(0xD1FF + s));
+            ++totals.disagreements;
+            return totals;
+        }
 
         for (uint64_t i = 0; i < per_schema; ++i) {
             // Mix: 70% mutated valid wires, 15% truncated valid wires,
@@ -122,6 +135,7 @@ RunDifferentialSweep(uint64_t total_inputs)
 
             const TriVerdict v = rig.rig().ParseAll(buf);
             ++totals.inputs;
+            totals.generated_verdicts += v.has_generated;
             (v.accepted() ? totals.accepted : totals.rejected)++;
             if (!v.agree_on_accept()) {
                 ++totals.disagreements;
@@ -131,13 +145,14 @@ RunDifferentialSweep(uint64_t total_inputs)
                 std::fprintf(
                     stderr,
                     "DISAGREEMENT schema=%llu input=%llu (%zu bytes): "
-                    "ref=%s table=%s accel=%s\n"
+                    "ref=%s table=%s gen=%s accel=%s\n"
                     "  seeds: schema=0x%llX rng=0x%llX fault=0x%llX\n"
                     "  bytes:",
                     static_cast<unsigned long long>(s),
                     static_cast<unsigned long long>(i), buf.size(),
                     StatusCodeName(v.reference),
-                    StatusCodeName(v.table), StatusCodeName(v.accel),
+                    StatusCodeName(v.table), StatusCodeName(v.generated),
+                    StatusCodeName(v.accel),
                     static_cast<unsigned long long>(0xD1FF + s),
                     static_cast<unsigned long long>(0xFEED + s),
                     static_cast<unsigned long long>(0xFA017 + s));
@@ -262,7 +277,7 @@ main(int argc, char **argv)
         "Robustness sweep\n"
         "================\n\n"
         "Part 1: differential fuzz — %llu hostile inputs through "
-        "reference / table / accelerator engines\n"
+        "reference / table / generated / accelerator engines\n"
         "  (mutated valid wires, truncations, pure garbage; invariant: "
         "no crash, identical accept/reject verdicts)\n\n",
         static_cast<unsigned long long>(opt.inputs));
@@ -272,6 +287,7 @@ main(int argc, char **argv)
                 "%llu, garbage %llu)\n"
                 "  accepted      %10llu  (%.1f%%)\n"
                 "  rejected      %10llu  (%.1f%%)\n"
+                "  gen verdicts  %10llu\n"
                 "  disagreements %10llu\n\n",
                 static_cast<unsigned long long>(fuzz.inputs),
                 static_cast<unsigned long long>(fuzz.mutated),
@@ -281,6 +297,7 @@ main(int argc, char **argv)
                 100.0 * fuzz.accepted / fuzz.inputs,
                 static_cast<unsigned long long>(fuzz.rejected),
                 100.0 * fuzz.rejected / fuzz.inputs,
+                static_cast<unsigned long long>(fuzz.generated_verdicts),
                 static_cast<unsigned long long>(fuzz.disagreements));
     if (fuzz.disagreements > 0) {
         std::fprintf(stderr,

@@ -1,7 +1,8 @@
 /**
  * Concurrent RPC serving throughput: the serving-runtime companion to
  * rpc_end_to_end. Drives the RpcServerRuntime with batches of echo
- * calls across {riscv-boom, Xeon, protoacc} x {worker counts} x {batch
+ * calls across {riscv-boom, riscv-boom-gen, Xeon, protoacc} x {worker
+ * counts} x {batch
  * sizes} and reports, per configuration:
  *
  *   - modeled QPS (calls / slowest worker's virtual timeline) — the
@@ -108,6 +109,16 @@ RunOne(const DescriptorPool &pool, int req, int rsp,
         factory = [&pool](uint32_t) {
             return std::make_unique<AcceleratedBackend>(pool);
         };
+    } else if (system == "riscv-boom-gen") {
+        // Same modeled core as riscv-boom, but the host executes the
+        // schema-specialized generated codecs: modeled QPS matches the
+        // table rows (identical cost events), wall QPS shows the
+        // codegen tier's host-time win.
+        factory = [&pool](uint32_t) {
+            return std::make_unique<SoftwareBackend>(
+                cpu::BoomParams(), pool,
+                proto::SoftwareCodecEngine::kGenerated);
+        };
     } else {
         const cpu::CpuParams params =
             system == "Xeon" ? cpu::XeonParams() : cpu::BoomParams();
@@ -199,15 +210,23 @@ main(int argc, char **argv)
         "  wall QPS is host-machine dependent (threads on this "
         "container may share one core)\n\n",
         opt.calls, opt.payload);
-    std::printf("  %-10s %7s %6s %14s %12s %9s %9s %9s %11s\n", "system",
+    std::printf("  %-14s %7s %6s %14s %12s %9s %9s %9s %11s\n", "system",
                 "workers", "batch", "modeled-QPS", "wall-QPS",
                 "p50(us)", "p95(us)", "p99(us)", "accel-wait");
-    for (const char *system : {"riscv-boom", "Xeon", "protoacc"}) {
+    for (const char *system :
+         {"riscv-boom", "riscv-boom-gen", "Xeon", "protoacc"}) {
+        if (std::string(system) == "riscv-boom-gen" &&
+            proto::GetGeneratedCodec(pool) == nullptr) {
+            std::printf("  %-14s (no generated codec linked; row "
+                        "skipped)\n\n",
+                        system);
+            continue;
+        }
         for (const uint32_t workers : opt.threads) {
             for (const uint32_t batch : opt.batches) {
                 const RunResult r = RunOne(pool, req, rsp, system,
                                            workers, batch, opt);
-                std::printf("  %-10s %7u %6u %14.0f %12.0f %9.2f "
+                std::printf("  %-14s %7u %6u %14.0f %12.0f %9.2f "
                             "%9.2f %9.2f %10.1f%%\n",
                             system, workers, batch, r.modeled_qps,
                             r.wall_qps, r.p50_us, r.p95_us, r.p99_us,

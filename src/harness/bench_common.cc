@@ -1,8 +1,11 @@
 #include "harness/bench_common.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+
+#include "proto/codec_reference.h"
 
 namespace protoacc::harness {
 
@@ -135,6 +138,111 @@ AccelSerialize(const Workload &workload, const accel::AccelConfig &config,
     t.cycles = cycles;
     t.wire_bytes = bytes;
     t.gbps = bytes * 8.0 * config.freq_ghz / cycles;
+    return t;
+}
+
+namespace {
+
+proto::ParseStatus
+EngineParse(proto::SoftwareCodecEngine engine, const uint8_t *data,
+            size_t len, proto::Message *msg)
+{
+    switch (engine) {
+    case proto::SoftwareCodecEngine::kReference:
+        return proto::ReferenceParseFromBuffer(data, len, msg);
+    case proto::SoftwareCodecEngine::kGenerated:
+        return proto::GeneratedParseFromBuffer(data, len, msg);
+    case proto::SoftwareCodecEngine::kTable:
+        break;
+    }
+    return proto::ParseFromBuffer(data, len, msg);
+}
+
+size_t
+EngineSerializeTo(proto::SoftwareCodecEngine engine,
+                  const proto::Message &msg, uint8_t *buf, size_t cap)
+{
+    switch (engine) {
+    case proto::SoftwareCodecEngine::kReference:
+        return proto::ReferenceSerializeToBuffer(msg, buf, cap);
+    case proto::SoftwareCodecEngine::kGenerated:
+        return proto::GeneratedSerializeToBuffer(msg, buf, cap);
+    case proto::SoftwareCodecEngine::kTable:
+        break;
+    }
+    return proto::SerializeToBuffer(msg, buf, cap);
+}
+
+double
+ElapsedNs(std::chrono::steady_clock::time_point start)
+{
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+}
+
+}  // namespace
+
+Throughput
+HostWallDeserialize(proto::SoftwareCodecEngine engine,
+                    const Workload &workload, int repeats)
+{
+    // One untimed warm-up pass: the generated engine's text segment for
+    // a HyperProtoBench pool is megabytes of emitted code, and paying
+    // its first-touch page-ins inside the timed region would bill a
+    // one-time cost to a steady-state throughput number.
+    {
+        proto::Arena arena;
+        for (const auto &wire : workload.wires) {
+            proto::Message dest = proto::Message::Create(
+                &arena, *workload.pool, workload.msg_index);
+            (void)EngineParse(engine, wire.data(), wire.size(), &dest);
+        }
+    }
+    double bytes = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < repeats; ++r) {
+        proto::Arena arena;
+        for (const auto &wire : workload.wires) {
+            proto::Message dest = proto::Message::Create(
+                &arena, *workload.pool, workload.msg_index);
+            const proto::ParseStatus st = EngineParse(
+                engine, wire.data(), wire.size(), &dest);
+            PA_CHECK_EQ(static_cast<int>(st),
+                        static_cast<int>(proto::ParseStatus::kOk));
+            bytes += static_cast<double>(wire.size());
+        }
+    }
+    Throughput t;
+    t.cycles = ElapsedNs(start);
+    t.wire_bytes = bytes;
+    t.gbps = bytes * 8.0 / t.cycles;  // bits per nanosecond == Gbit/s
+    return t;
+}
+
+Throughput
+HostWallSerialize(proto::SoftwareCodecEngine engine,
+                  const Workload &workload, int repeats)
+{
+    double bytes = 0;
+    std::vector<uint8_t> buffer(1 << 22);
+    // Untimed warm-up pass; see HostWallDeserialize.
+    for (const auto &m : workload.messages)
+        (void)EngineSerializeTo(engine, m, buffer.data(), buffer.size());
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < repeats; ++r) {
+        for (const auto &m : workload.messages) {
+            const size_t n = EngineSerializeTo(engine, m, buffer.data(),
+                                               buffer.size());
+            PA_CHECK(n > 0 || proto::ByteSize(m) == 0);
+            bytes += static_cast<double>(n);
+        }
+    }
+    Throughput t;
+    t.cycles = ElapsedNs(start);
+    t.wire_bytes = bytes;
+    t.gbps = bytes * 8.0 / t.cycles;
     return t;
 }
 

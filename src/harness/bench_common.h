@@ -16,6 +16,7 @@
 
 #include "accel/accelerator.h"
 #include "cpu/cpu_model.h"
+#include "proto/codec_generated.h"
 #include "proto/parser.h"
 #include "proto/serializer.h"
 
@@ -63,6 +64,23 @@ Throughput AccelDeserialize(const Workload &workload,
 Throughput AccelSerialize(const Workload &workload,
                           const accel::AccelConfig &config,
                           int repeats = 8);
+
+/**
+ * Host wall-clock deserialization throughput of one software engine
+ * (reference / table / generated), measured with a monotonic clock and
+ * no cost sink: this is the build host's real time, complementary to
+ * the modeled-cycle numbers above. Throughput::cycles carries elapsed
+ * nanoseconds. Requires a linked generated codec when @p engine is
+ * kGenerated (the entry points PA_CHECK).
+ */
+Throughput HostWallDeserialize(proto::SoftwareCodecEngine engine,
+                               const Workload &workload,
+                               int repeats = 8);
+
+/// Host wall-clock serialization (sizing + write) throughput of one
+/// software engine; see HostWallDeserialize.
+Throughput HostWallSerialize(proto::SoftwareCodecEngine engine,
+                             const Workload &workload, int repeats = 8);
 
 /// One row of a figure: benchmark name + per-system throughput.
 struct FigureRow

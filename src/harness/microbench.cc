@@ -151,6 +151,29 @@ MakeStringBench(const std::string &name, size_t payload_len)
 }
 
 std::unique_ptr<Microbench>
+MakeRepeatedStringBench(const std::string &name, size_t payload_len,
+                        int count)
+{
+    auto b = NewBench(name);
+    const int msg = b->pool->AddMessage("M");
+    b->pool->AddField(msg, "rs", 1, FieldType::kString,
+                      Label::kRepeated);
+    b->pool->Compile(proto::HasbitsMode::kSparse);
+    const auto &f = b->pool->message(msg).field(0);
+    for (int i = 0; i < kMicrobenchBatch; ++i) {
+        Message m = Message::Create(b->arena.get(), *b->pool, msg);
+        for (int e = 0; e < count; ++e) {
+            m.AddRepeatedString(
+                f, std::string(payload_len,
+                               static_cast<char>('a' + (i + e) % 26)));
+        }
+        b->workload.messages.push_back(m);
+    }
+    Finish(b.get(), msg);
+    return b;
+}
+
+std::unique_ptr<Microbench>
 MakeSubmessageBench(const std::string &name, FieldType type)
 {
     auto b = NewBench(name);

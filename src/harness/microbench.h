@@ -55,6 +55,16 @@ std::unique_ptr<Microbench> MakeStringBench(const std::string &name,
                                             size_t payload_len);
 
 /**
+ * Repeated-string workload: one repeated string field holding `count`
+ * elements of `payload_len` bytes each. With short payloads the
+ * serialize cost is dominated by the per-element tag/length/copy
+ * sequence, which makes the writer's short-string copy path visible
+ * above the per-message fixed costs.
+ */
+std::unique_ptr<Microbench> MakeRepeatedStringBench(
+    const std::string &name, size_t payload_len, int count);
+
+/**
  * bool-SUB / double-SUB / string-SUB: one sub-message field whose
  * sub-message holds five fields of the named type (one for string).
  */

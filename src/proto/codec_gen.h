@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Schema-specialized C++ code generator (the "protoc trick").
+ *
+ * Renders a compilable C++ translation unit from a compiled
+ * DescriptorPool: per message type, a straight-line parse function
+ * (constant-tag dispatch with expected-next-tag chaining), a sizing
+ * function and a write function, all specialized on the pool's compiled
+ * layout (byte offsets, hasbit words/masks, pre-encoded tag bytes,
+ * element widths). The emitted TU registers a GeneratedPoolCodec
+ * (codec_generated.h) keyed by the pool's structural fingerprint, so a
+ * runtime pool built from the same recipe resolves to it automatically.
+ *
+ * The generator uses the codec tables (codec_table.h) as its IR — the
+ * same compiled form the table interpreter executes — which is how the
+ * three software engines stay wire-, verdict- and cost-event-identical
+ * by construction rather than by convention.
+ *
+ * Driven at build time by tools/codec_gen_main.cc.
+ */
+#ifndef PROTOACC_PROTO_CODEC_GEN_H
+#define PROTOACC_PROTO_CODEC_GEN_H
+
+#include <string>
+#include <string_view>
+
+#include "proto/descriptor.h"
+
+namespace protoacc::proto {
+
+/// File header for an emitted codec TU: banner comment + includes.
+/// Emit once per output file, then any number of GenerateCodecSource
+/// results.
+std::string CodecFilePrologue(std::string_view banner);
+
+/**
+ * Emit the generated codec for @p pool (which must be Compile()d) as a
+ * self-contained namespace: per-message parse/size/write functions, the
+ * four engine entry points, and a static registrar. @p pool_name is a
+ * human-readable label stored in the registered codec for diagnostics
+ * (e.g. "hpb:bench2").
+ */
+std::string GenerateCodecSource(const DescriptorPool &pool,
+                                std::string_view pool_name);
+
+}  // namespace protoacc::proto
+
+#endif  // PROTOACC_PROTO_CODEC_GEN_H

@@ -1,0 +1,641 @@
+/**
+ * @file
+ * Runtime support for schema-specialized generated codecs.
+ *
+ * The code emitted by codec_gen.{h,cc} is straight-line C++ per message
+ * type: constant offsets, pre-encoded tags, inlined hasbit stores. This
+ * header provides the small runtime kernel that code leans on — a
+ * bounded reader/writer pair, arena-backed store/append helpers that
+ * replicate Message's mutation semantics without the checked accessor
+ * layer, and the lenient wire-type fallback paths that keep the
+ * generated engine's accept/reject verdicts byte-identical to the
+ * reference and table engines (parser.cc / codec_reference.cc).
+ *
+ * Everything event-emitting is templated on `S` (sink attached): the
+ * generated functions are instantiated twice, once with the full
+ * CostSink event stream (modeled-cycle parity with the table engine)
+ * and once with every instrumentation branch compiled out (the host
+ * wall-clock fast path).
+ */
+#ifndef PROTOACC_PROTO_CODEC_GEN_SUPPORT_H
+#define PROTOACC_PROTO_CODEC_GEN_SUPPORT_H
+
+#include <cstring>
+#include <vector>
+
+#include "proto/codec_generated.h"
+#include "proto/codec_table.h"
+#include "proto/message.h"
+#include "proto/parser.h"
+#include "proto/utf8.h"
+
+namespace protoacc::proto::gensup {
+
+/**
+ * Limit + allocation state threaded through one generated parse.
+ * Charge points mirror parser.cc's ParseCtl exactly (string payload
+ * bytes, sub-message object_size, element width per repeated element).
+ */
+struct GenParseCtx
+{
+    Arena *arena = nullptr;
+    const DescriptorPool *pool = nullptr;
+    CostSink *sink = nullptr;
+    uint64_t budget = UINT64_MAX;
+    int max_depth = kMaxParseDepth;
+
+    bool
+    Charge(uint64_t n)
+    {
+        if (n > budget)
+            return false;
+        budget -= n;
+        return true;
+    }
+};
+
+/**
+ * Bounded input cursor. Identical event semantics to parser.cc's
+ * Reader; the extra TryTag fast paths implement protoc-style
+ * expected-next-tag chaining (a 1-2 byte constant compare instead of a
+ * full varint decode + dispatch when messages arrive in schema order).
+ */
+template <bool S>
+class GenReader
+{
+  public:
+    GenReader(const uint8_t *p, const uint8_t *end, CostSink *sink)
+        : p_(p), end_(end), sink_(sink)
+    {}
+
+    bool at_end() const { return p_ >= end_; }
+    size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+    const uint8_t *pos() const { return p_; }
+    void Advance(size_t n) { p_ += n; }
+
+    bool
+    ReadTag(uint64_t *v)
+    {
+        const int n = DecodeVarint(p_, end_, v);
+        if (n == 0)
+            return false;
+        p_ += n;
+        if constexpr (S)
+            sink_->OnTagDecode(n);
+        return true;
+    }
+
+    bool
+    ReadVal(uint64_t *v)
+    {
+        const int n = DecodeVarint(p_, end_, v);
+        if (n == 0)
+            return false;
+        p_ += n;
+        if constexpr (S)
+            sink_->OnVarintDecode(n);
+        return true;
+    }
+
+    bool
+    ReadFixed32(uint32_t *v)
+    {
+        if (remaining() < 4)
+            return false;
+        *v = LoadFixed32(p_);
+        p_ += 4;
+        if constexpr (S)
+            sink_->OnFixedCopy(4);
+        return true;
+    }
+
+    bool
+    ReadFixed64(uint64_t *v)
+    {
+        if (remaining() < 8)
+            return false;
+        *v = LoadFixed64(p_);
+        p_ += 8;
+        if constexpr (S)
+            sink_->OnFixedCopy(8);
+        return true;
+    }
+
+    bool
+    Skip(size_t n)
+    {
+        if (remaining() < n)
+            return false;
+        p_ += n;
+        return true;
+    }
+
+    /// Expected-tag chaining: consume a known 1-byte tag if it is next.
+    /// Non-canonical (multi-byte) encodings of the same tag value fail
+    /// the compare and fall back to the generic dispatch decode, which
+    /// handles them exactly as the table engine does.
+    bool
+    TryTag1(uint8_t b)
+    {
+        if (p_ < end_ && *p_ == b) {
+            ++p_;
+            if constexpr (S)
+                sink_->OnTagDecode(1);
+            return true;
+        }
+        return false;
+    }
+
+    /// Expected-tag chaining: consume a known 2-byte tag if it is next.
+    bool
+    TryTag2(uint8_t b0, uint8_t b1)
+    {
+        if (end_ - p_ >= 2 && p_[0] == b0 && p_[1] == b1) {
+            p_ += 2;
+            if constexpr (S)
+                sink_->OnTagDecode(2);
+            return true;
+        }
+        return false;
+    }
+
+    CostSink *sink() const { return sink_; }
+
+  private:
+    const uint8_t *p_;
+    const uint8_t *end_;
+    CostSink *sink_;
+};
+
+// ---------------------------------------------------------------------
+// Raw object mutation (the unchecked forms of Message's accessors; the
+// layout was validated when the pool compiled).
+// ---------------------------------------------------------------------
+
+inline void
+SetHasBit(char *obj, uint32_t word_offset, uint32_t mask)
+{
+    uint32_t w;
+    std::memcpy(&w, obj + word_offset, 4);
+    w |= mask;
+    std::memcpy(obj + word_offset, &w, 4);
+}
+
+inline bool
+TestHasBit(const char *obj, uint32_t word_offset, uint32_t mask)
+{
+    uint32_t w;
+    std::memcpy(&w, obj + word_offset, 4);
+    return (w & mask) != 0;
+}
+
+inline RepeatedField *
+EnsureRepeated(GenParseCtx &c, char *obj, uint32_t off)
+{
+    RepeatedField *r;
+    std::memcpy(&r, obj + off, sizeof(r));
+    if (r == nullptr) {
+        r = RepeatedField::Create(c.arena);
+        std::memcpy(obj + off, &r, sizeof(r));
+    }
+    return r;
+}
+
+/// Message::AddRepeatedBits without the descriptor round-trip.
+inline void
+AppendBits(GenParseCtx &c, char *obj, uint32_t off, uint32_t word_offset,
+           uint32_t mask, uint64_t bits, uint32_t width)
+{
+    EnsureRepeated(c, obj, off)->Append(c.arena, &bits, width);
+    SetHasBit(obj, word_offset, mask);
+}
+
+/// Message::SetString semantics: reuse the existing ArenaString (and
+/// its heap buffer) when present, else create one in the arena.
+inline void
+SetStringValue(GenParseCtx &c, char *obj, uint32_t off, const char *data,
+               size_t len)
+{
+    ArenaString *s;
+    std::memcpy(&s, obj + off, sizeof(s));
+    if (s == nullptr) {
+        s = ArenaString::Create(c.arena, std::string_view(data, len));
+        std::memcpy(obj + off, &s, sizeof(s));
+    } else {
+        s->Assign(c.arena, std::string_view(data, len));
+    }
+}
+
+inline void
+AppendString(GenParseCtx &c, char *obj, uint32_t off, const char *data,
+             size_t len)
+{
+    RepeatedPtrField *r;
+    std::memcpy(&r, obj + off, sizeof(r));
+    if (r == nullptr) {
+        r = RepeatedPtrField::Create(c.arena);
+        std::memcpy(obj + off, &r, sizeof(r));
+    }
+    r->Append(c.arena,
+              ArenaString::Create(c.arena, std::string_view(data, len)));
+}
+
+/// Message::Create without the handle: default-instance memcpy.
+inline char *
+CreateObject(GenParseCtx &c, int msg_index, uint32_t object_size)
+{
+    void *obj = c.arena->Allocate(object_size, 8);
+    std::memcpy(obj, c.pool->message(msg_index).default_instance(),
+                object_size);
+    return static_cast<char *>(obj);
+}
+
+/// Message::MutableMessage minus the hasbit (the caller sets it).
+inline char *
+GetOrCreateSub(GenParseCtx &c, char *obj, uint32_t off, int msg_index,
+               uint32_t object_size)
+{
+    char *sub;
+    std::memcpy(&sub, obj + off, sizeof(sub));
+    if (sub == nullptr) {
+        sub = CreateObject(c, msg_index, object_size);
+        std::memcpy(obj + off, &sub, sizeof(sub));
+    }
+    return sub;
+}
+
+/// Message::AddRepeatedMessage minus the hasbit.
+inline char *
+AppendSub(GenParseCtx &c, char *obj, uint32_t off, int msg_index,
+          uint32_t object_size)
+{
+    RepeatedPtrField *r;
+    std::memcpy(&r, obj + off, sizeof(r));
+    if (r == nullptr) {
+        r = RepeatedPtrField::Create(c.arena);
+        std::memcpy(obj + off, &r, sizeof(r));
+    }
+    char *sub = CreateObject(c, msg_index, object_size);
+    r->Append(c.arena, sub);
+    return sub;
+}
+
+// ---------------------------------------------------------------------
+// Lenient wire-type fallbacks (parser.cc's ParseScalar /
+// ParsePackedRepeated leniency, reached when an incoming tag's wire
+// type differs from the schema's expected encoding).
+// ---------------------------------------------------------------------
+
+/// Per-field constants for the out-of-line lenient paths. The fast
+/// paths inline all of this; only wire-type-mismatch traffic (rare,
+/// hostile or schema-skew inputs) takes the meta-driven route.
+struct GenFieldMeta
+{
+    FieldOp op;
+    uint8_t mem_width;
+    bool repeated;
+    WireType elem_wire_type;
+    uint32_t offset;
+    uint32_t hasbit_word_offset;
+    uint32_t hasbit_mask;
+};
+
+/// parser.cc's VarintMemoryValue.
+inline uint64_t
+GenVarintMemoryValue(FieldOp op, uint64_t wire)
+{
+    switch (op) {
+      case FieldOp::kInt32:
+      case FieldOp::kUint32:
+        return static_cast<uint32_t>(wire);
+      case FieldOp::kSint32:
+        return static_cast<uint32_t>(
+            ZigZagDecode32(static_cast<uint32_t>(wire)));
+      case FieldOp::kSint64:
+        return static_cast<uint64_t>(ZigZagDecode64(wire));
+      case FieldOp::kBool:
+        return wire != 0 ? 1 : 0;
+      default:
+        return wire;
+    }
+}
+
+/// parser.cc's ParseScalar: decode one scalar value by @p wt (any of
+/// the three scalar wire types is accepted regardless of the declared
+/// type) and store/append it.
+template <bool S>
+ParseStatus
+LenientScalarOne(GenParseCtx &c, GenReader<S> &r, char *obj,
+                 const GenFieldMeta &m, WireType wt)
+{
+    uint64_t bits;
+    switch (wt) {
+      case WireType::kVarint: {
+        uint64_t wire;
+        if (!r.ReadVal(&wire))
+            return ParseStatus::kMalformedVarint;
+        bits = GenVarintMemoryValue(m.op, wire);
+        break;
+      }
+      case WireType::kFixed32: {
+        uint32_t v;
+        if (!r.ReadFixed32(&v))
+            return ParseStatus::kTruncated;
+        bits = v;
+        break;
+      }
+      case WireType::kFixed64: {
+        if (!r.ReadFixed64(&bits))
+            return ParseStatus::kTruncated;
+        break;
+      }
+      default:
+        return ParseStatus::kInvalidWireType;
+    }
+    if (m.repeated) {
+        if (!c.Charge(m.mem_width))
+            return ParseStatus::kResourceExhausted;
+        AppendBits(c, obj, m.offset, m.hasbit_word_offset, m.hasbit_mask,
+                   bits, m.mem_width);
+    } else {
+        std::memcpy(obj + m.offset, &bits, m.mem_width);
+        SetHasBit(obj, m.hasbit_word_offset, m.hasbit_mask);
+    }
+    return ParseStatus::kOk;
+}
+
+/// parser.cc's ParsePackedRepeated: a length-delimited run of scalar
+/// elements for a field whose schema says unpacked (or packed — the
+/// packed fast path inlines this shape; the fallback serves unpacked
+/// fields receiving packed data).
+template <bool S>
+ParseStatus
+LenientPacked(GenParseCtx &c, GenReader<S> &r, char *obj,
+              const GenFieldMeta &m)
+{
+    uint64_t len;
+    if (!r.ReadVal(&len))
+        return ParseStatus::kMalformedVarint;
+    if (r.remaining() < len)
+        return ParseStatus::kTruncated;
+    GenReader<S> body(r.pos(), r.pos() + len, r.sink());
+    r.Advance(static_cast<size_t>(len));
+    while (!body.at_end()) {
+        const ParseStatus st =
+            LenientScalarOne(c, body, obj, m, m.elem_wire_type);
+        if (st != ParseStatus::kOk)
+            return st;
+    }
+    return ParseStatus::kOk;
+}
+
+/// The full wire-type-mismatch fallback for one field (the caller has
+/// already emitted OnFieldDispatch). Bytes-like and message fields
+/// require length-delimited encoding; scalars are lenient.
+template <bool S>
+ParseStatus
+LenientField(GenParseCtx &c, GenReader<S> &r, char *obj,
+             const GenFieldMeta &m, uint32_t wt)
+{
+    switch (m.op) {
+      case FieldOp::kString:
+      case FieldOp::kBytes:
+      case FieldOp::kMessage:
+        return ParseStatus::kInvalidWireType;
+      default:
+        break;
+    }
+    const WireType w = static_cast<WireType>(wt);
+    if (m.repeated && w == WireType::kLengthDelimited &&
+        m.elem_wire_type != WireType::kLengthDelimited)
+        return LenientPacked(c, r, obj, m);
+    return LenientScalarOne(c, r, obj, m, w);
+}
+
+/// parser.cc's SkipUnknown.
+template <bool S>
+ParseStatus
+SkipUnknownField(GenReader<S> &r, uint32_t wt)
+{
+    switch (static_cast<WireType>(wt)) {
+      case WireType::kVarint: {
+        uint64_t v;
+        return r.ReadVal(&v) ? ParseStatus::kOk
+                             : ParseStatus::kMalformedVarint;
+      }
+      case WireType::kFixed64:
+        return r.Skip(8) ? ParseStatus::kOk : ParseStatus::kTruncated;
+      case WireType::kFixed32:
+        return r.Skip(4) ? ParseStatus::kOk : ParseStatus::kTruncated;
+      case WireType::kLengthDelimited: {
+        uint64_t len;
+        if (!r.ReadVal(&len))
+            return ParseStatus::kMalformedVarint;
+        return r.Skip(static_cast<size_t>(len))
+                   ? ParseStatus::kOk
+                   : ParseStatus::kTruncated;
+      }
+      default:
+        // Groups (deprecated) and invalid wire types.
+        return ParseStatus::kInvalidWireType;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialization side.
+// ---------------------------------------------------------------------
+
+/// Sizing-pass state: the cost sink plus the pre-order memoized nested
+/// sizes the write pass consumes (same protocol as serializer.cc).
+struct GenSizeCtx
+{
+    CostSink *sink = nullptr;
+    std::vector<size_t> *subs = nullptr;
+};
+
+/// Write-pass cursor over the memoized nested sizes.
+struct GenWriteCtx
+{
+    const std::vector<size_t> *subs = nullptr;
+    size_t cursor = 0;
+};
+
+inline const ArenaString *
+LoadStr(const char *obj, uint32_t off)
+{
+    const ArenaString *s;
+    std::memcpy(&s, obj + off, sizeof(s));
+    return s;
+}
+
+inline const char *
+LoadPtr(const char *obj, uint32_t off)
+{
+    const char *p;
+    std::memcpy(&p, obj + off, sizeof(p));
+    return p;
+}
+
+inline const RepeatedField *
+LoadRep(const char *obj, uint32_t off)
+{
+    const RepeatedField *r;
+    std::memcpy(&r, obj + off, sizeof(r));
+    return r;
+}
+
+inline const RepeatedPtrField *
+LoadRepPtr(const char *obj, uint32_t off)
+{
+    const RepeatedPtrField *r;
+    std::memcpy(&r, obj + off, sizeof(r));
+    return r;
+}
+
+/// Message::set_cached_size on a const view (the slot is mutable by
+/// contract, as in upstream protobuf's ByteSize).
+inline void
+StoreCachedSize(const char *obj, uint32_t off, size_t total)
+{
+    const int32_t v = static_cast<int32_t>(total);
+    std::memcpy(const_cast<char *>(obj) + off, &v, 4);
+}
+
+/**
+ * Forward-order output cursor. Same contract as serializer.cc's
+ * Writer: capacity was established by the sizing pass, bounded writes
+ * only trigger near the buffer end. Tags are written from bytes that
+ * are compile-time constants in the generated code.
+ */
+template <bool S>
+class GenWriter
+{
+  public:
+    GenWriter(uint8_t *buf, size_t cap, CostSink *sink)
+        : p_(buf), end_(buf + cap), sink_(sink)
+    {}
+
+    bool ok() const { return ok_; }
+    size_t written(const uint8_t *start) const
+    {
+        return static_cast<size_t>(p_ - start);
+    }
+    CostSink *sink() const { return sink_; }
+
+    /// Write a pre-encoded tag (1-5 constant bytes).
+    template <typename... B>
+    void
+    WriteTag(B... bytes)
+    {
+        constexpr unsigned n = sizeof...(bytes);
+        static_assert(n >= 1 && n <= 5, "tags are 1-5 bytes");
+        if (!Ensure(n))
+            return;
+        const uint8_t tmp[n] = {static_cast<uint8_t>(bytes)...};
+        std::memcpy(p_, tmp, n);
+        p_ += n;
+        if constexpr (S)
+            sink_->OnTagEncode(n);
+    }
+
+    void
+    WriteVarint(uint64_t v)
+    {
+        int n;
+        if (end_ - p_ >= static_cast<ptrdiff_t>(kMaxVarintBytes)) {
+            n = EncodeVarint(v, p_);
+            p_ += n;
+        } else {
+            uint8_t tmp[kMaxVarintBytes];
+            n = EncodeVarint(v, tmp);
+            if (!Ensure(static_cast<size_t>(n)))
+                return;
+            std::memcpy(p_, tmp, static_cast<size_t>(n));
+            p_ += n;
+        }
+        if constexpr (S)
+            sink_->OnVarintEncode(n);
+    }
+
+    void
+    WriteFixed32(uint32_t v)
+    {
+        if (!Ensure(4))
+            return;
+        StoreFixed32(v, p_);
+        p_ += 4;
+        if constexpr (S)
+            sink_->OnFixedCopy(4);
+    }
+
+    void
+    WriteFixed64(uint64_t v)
+    {
+        if (!Ensure(8))
+            return;
+        StoreFixed64(v, p_);
+        p_ += 8;
+        if constexpr (S)
+            sink_->OnFixedCopy(8);
+    }
+
+    void
+    WriteBytes(const void *data, size_t n)
+    {
+        if (!Ensure(n))
+            return;
+        const char *s = static_cast<const char *>(data);
+        if (n <= 16) {
+            // Short strings dominate fleet traffic (§3.4): copy with
+            // two overlapping fixed-width moves instead of a memcpy
+            // call. Reads stay inside [s, s+n) — source buffers are
+            // sized exactly (ArenaString heap buffers are len+1).
+            if (n >= 8) {
+                std::memcpy(p_, s, 8);
+                std::memcpy(p_ + n - 8, s + n - 8, 8);
+            } else if (n >= 4) {
+                std::memcpy(p_, s, 4);
+                std::memcpy(p_ + n - 4, s + n - 4, 4);
+            } else if (n > 0) {
+                p_[0] = static_cast<uint8_t>(s[0]);
+                p_[n - 1] = static_cast<uint8_t>(s[n - 1]);
+                if (n == 3)
+                    p_[1] = static_cast<uint8_t>(s[1]);
+            }
+        } else {
+            std::memcpy(p_, s, n);
+        }
+        p_ += n;
+        if constexpr (S)
+            sink_->OnMemcpy(n);
+    }
+
+  private:
+    bool
+    Ensure(size_t n)
+    {
+        if (p_ + n > end_) {
+            ok_ = false;
+            return false;
+        }
+        return ok_;
+    }
+
+    uint8_t *p_;
+    uint8_t *end_;
+    CostSink *sink_;
+    bool ok_ = true;
+};
+
+/// Reusable scratch stack for the memoized nested sizes (the generated
+/// engine's analog of serializer.cc's ScratchSizes).
+inline std::vector<size_t> &
+GenScratchSizes()
+{
+    thread_local std::vector<size_t> sizes;
+    return sizes;
+}
+
+}  // namespace protoacc::proto::gensup
+
+#endif  // PROTOACC_PROTO_CODEC_GEN_SUPPORT_H

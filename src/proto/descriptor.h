@@ -26,6 +26,7 @@ namespace protoacc::proto {
 
 class DescriptorPool;
 class CodecTableSet;
+struct GeneratedPoolCodec;
 
 /// Field cardinality qualifiers of proto2.
 enum class Label : uint8_t {
@@ -276,6 +277,28 @@ class DescriptorPool
         codec_tables_ = std::move(tables);
     }
 
+    /**
+     * Cache slot for the schema-specialized generated codec
+     * (codec_generated.h). nullptr is a valid resolution (no codec
+     * linked in for this schema), so a separate resolved flag
+     * distinguishes "not looked up yet" from "none exists". Managed
+     * exclusively by GetGeneratedCodec(); same single-threaded
+     * first-resolution contract as the codec tables cache.
+     */
+    const GeneratedPoolCodec *generated_codec_cache() const
+    {
+        return generated_codec_;
+    }
+    bool generated_codec_resolved() const
+    {
+        return generated_codec_resolved_;
+    }
+    void set_generated_codec_cache(const GeneratedPoolCodec *codec) const
+    {
+        generated_codec_ = codec;
+        generated_codec_resolved_ = true;
+    }
+
   private:
     void CompileMessage(MessageDescriptor &msg, HasbitsMode mode);
     void BuildDefaultInstance(MessageDescriptor &msg);
@@ -284,6 +307,10 @@ class DescriptorPool
     std::unordered_map<std::string, int> by_name_;
     /// shared_ptr so the (header-incomplete) type destructs correctly.
     mutable std::shared_ptr<const CodecTableSet> codec_tables_;
+    /// Generated codecs have static storage duration; a raw pointer
+    /// plus resolved flag suffices.
+    mutable const GeneratedPoolCodec *generated_codec_ = nullptr;
+    mutable bool generated_codec_resolved_ = false;
     bool compiled_ = false;
 };
 

@@ -13,10 +13,14 @@
 
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "accel/accelerator.h"
+#include "common/check.h"
 #include "cpu/cpu_model.h"
+#include "proto/codec_generated.h"
+#include "proto/codec_reference.h"
 #include "proto/codec_table.h"
 #include "proto/parser.h"
 #include "proto/serializer.h"
@@ -185,20 +189,45 @@ class CodecBackend
 class SoftwareBackend : public CodecBackend
 {
   public:
-    explicit SoftwareBackend(const cpu::CpuParams &params)
-        : model_(params)
-    {}
+    explicit SoftwareBackend(const cpu::CpuParams &params,
+                             proto::SoftwareCodecEngine engine =
+                                 proto::SoftwareCodecEngine::kTable)
+        : model_(params), engine_(engine)
+    {
+        // The generated engine dispatches per-pool; without a pool we
+        // cannot verify a codec is linked in, so the first call's
+        // PA_CHECK inside the entry points is the guard.
+        name_ = model_.params().name + EngineSuffix(engine);
+    }
 
     SoftwareBackend(const cpu::CpuParams &params,
-                    const proto::DescriptorPool &pool)
-        : model_(params)
+                    const proto::DescriptorPool &pool,
+                    proto::SoftwareCodecEngine engine =
+                        proto::SoftwareCodecEngine::kTable)
+        : model_(params), engine_(engine)
     {
-        proto::GetCodecTables(pool);
+        if (engine == proto::SoftwareCodecEngine::kTable) {
+            proto::GetCodecTables(pool);
+        } else if (engine == proto::SoftwareCodecEngine::kGenerated) {
+            // Resolve (and fail fast) before any thread touches the
+            // backend: a generated backend over a pool with no emitted
+            // codec is a build wiring bug, not a runtime condition.
+            PA_CHECK(proto::GetGeneratedCodec(pool) != nullptr);
+        }
+        name_ = model_.params().name + EngineSuffix(engine);
     }
 
     std::vector<uint8_t>
     Serialize(const proto::Message &msg) override
     {
+        switch (engine_) {
+        case proto::SoftwareCodecEngine::kReference:
+            return proto::ReferenceSerialize(msg, &model_);
+        case proto::SoftwareCodecEngine::kGenerated:
+            return proto::GeneratedSerialize(msg, &model_);
+        case proto::SoftwareCodecEngine::kTable:
+            break;
+        }
         return proto::Serialize(msg, &model_);
     }
 
@@ -206,13 +235,47 @@ class SoftwareBackend : public CodecBackend
     SerializeTo(const proto::Message &msg, uint8_t *buf,
                 size_t cap) override
     {
+        switch (engine_) {
+        case proto::SoftwareCodecEngine::kReference:
+            return proto::ReferenceSerializeToBuffer(msg, buf, cap,
+                                                     &model_);
+        case proto::SoftwareCodecEngine::kGenerated:
+            return proto::GeneratedSerializeToBuffer(msg, buf, cap,
+                                                     &model_);
+        case proto::SoftwareCodecEngine::kTable:
+            break;
+        }
         return proto::SerializeToBuffer(msg, buf, cap, &model_);
+    }
+
+    size_t
+    SerializedSize(const proto::Message &msg) override
+    {
+        switch (engine_) {
+        case proto::SoftwareCodecEngine::kReference:
+            return proto::ReferenceByteSize(msg, nullptr);
+        case proto::SoftwareCodecEngine::kGenerated:
+            return proto::GeneratedByteSize(msg, nullptr);
+        case proto::SoftwareCodecEngine::kTable:
+            break;
+        }
+        return proto::ByteSize(msg, nullptr);
     }
 
     StatusCode
     Deserialize(const uint8_t *data, size_t size,
                 proto::Message *msg) override
     {
+        switch (engine_) {
+        case proto::SoftwareCodecEngine::kReference:
+            return proto::ToStatusCode(proto::ReferenceParseFromBuffer(
+                data, size, msg, &model_, &limits_));
+        case proto::SoftwareCodecEngine::kGenerated:
+            return proto::ToStatusCode(proto::GeneratedParseFromBuffer(
+                data, size, msg, &model_, &limits_));
+        case proto::SoftwareCodecEngine::kTable:
+            break;
+        }
         return proto::ToStatusCode(
             proto::ParseFromBuffer(data, size, msg, &model_, &limits_));
     }
@@ -223,13 +286,28 @@ class SoftwareBackend : public CodecBackend
         return model_.params().freq_ghz;
     }
     proto::CostSink *host_cost_sink() override { return &model_; }
-    const char *name() const override
-    {
-        return model_.params().name.c_str();
-    }
+    const char *name() const override { return name_.c_str(); }
+
+    proto::SoftwareCodecEngine engine() const { return engine_; }
 
   private:
+    static const char *
+    EngineSuffix(proto::SoftwareCodecEngine engine)
+    {
+        switch (engine) {
+        case proto::SoftwareCodecEngine::kReference:
+            return "+ref";
+        case proto::SoftwareCodecEngine::kGenerated:
+            return "+gen";
+        case proto::SoftwareCodecEngine::kTable:
+            break;
+        }
+        return "";
+    }
+
     cpu::CpuCostModel model_;
+    proto::SoftwareCodecEngine engine_;
+    std::string name_;
 };
 
 /// The accelerator as a codec engine (one device per endpoint).

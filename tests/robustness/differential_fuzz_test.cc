@@ -1,7 +1,10 @@
 /**
  * Differential robustness fuzzing: seeded structural mutations of valid
- * wire buffers go through all three codec engines; no input may crash
- * any engine, and the three accept/reject verdicts must be identical.
+ * wire buffers go through all four codec engines (reference, table,
+ * generated, accelerator); no input may crash any engine, and the
+ * accept/reject verdicts must be identical. The build links the
+ * specialized codecs for every schema seed used here (tools/gen_pools),
+ * so the generated engine is asserted present, not best-effort.
  *
  * This is the bounded ctest tier of the harness — the full >= 100k-input
  * sweep lives in bench/robustness_sweep (same rig, same invariant).
@@ -27,10 +30,14 @@ TEST(DifferentialFuzz, MutatedWiresNeverCrashAndVerdictsAgree)
             const auto kinds = injector.MutateWire(
                 &wire, 1 + static_cast<uint32_t>(rng.NextBounded(3)));
             const TriVerdict v = rig.rig().ParseAll(wire);
+            ASSERT_TRUE(v.has_generated)
+                << "no generated codec linked for schema seed "
+                << schema_seed;
             ASSERT_TRUE(v.agree_on_accept())
                 << "schema " << schema_seed << " trial " << trial
                 << ": ref=" << StatusCodeName(v.reference)
                 << " table=" << StatusCodeName(v.table)
+                << " gen=" << StatusCodeName(v.generated)
                 << " accel=" << StatusCodeName(v.accel) << " after "
                 << kinds.size() << " mutations (first: "
                 << sim::WireMutationName(kinds.front()) << ")";
@@ -54,10 +61,12 @@ TEST(DifferentialFuzz, PureGarbageNeverCrashesAnyEngine)
         for (auto &b : junk)
             b = static_cast<uint8_t>(rng.Next());
         const TriVerdict v = rig.rig().ParseAll(junk);
+        ASSERT_TRUE(v.has_generated);
         ASSERT_TRUE(v.agree_on_accept())
             << "trial " << trial
             << ": ref=" << StatusCodeName(v.reference)
             << " table=" << StatusCodeName(v.table)
+            << " gen=" << StatusCodeName(v.generated)
             << " accel=" << StatusCodeName(v.accel);
     }
 }
@@ -70,17 +79,19 @@ TEST(DifferentialFuzz, EveryTruncationOfAValidWireAgrees)
     ASSERT_GT(wire.size(), 4u);
     for (size_t cut = 0; cut < wire.size(); ++cut) {
         const TriVerdict v = rig.rig().ParseAll(wire.data(), cut);
+        ASSERT_TRUE(v.has_generated);
         ASSERT_TRUE(v.agree_on_accept())
             << "cut " << cut << " of " << wire.size()
             << ": ref=" << StatusCodeName(v.reference)
             << " table=" << StatusCodeName(v.table)
+            << " gen=" << StatusCodeName(v.generated)
             << " accel=" << StatusCodeName(v.accel);
     }
 }
 
 TEST(DifferentialFuzz, VerdictsAgreeUnderResourceLimits)
 {
-    // The limits must bind identically in all three engines: identical
+    // The limits must bind identically in all four engines: identical
     // charge points, identical check order. A divergence here means one
     // engine accepts what another resource-exhausts.
     RandomSchemaRig rig(55);
@@ -97,14 +108,17 @@ TEST(DifferentialFuzz, VerdictsAgreeUnderResourceLimits)
         if (trial % 2 == 1)
             injector.MutateWire(&wire, 1);
         const TriVerdict v = rig.rig().ParseAll(wire);
+        ASSERT_TRUE(v.has_generated);
         ASSERT_TRUE(v.agree_on_accept())
             << "trial " << trial
             << ": ref=" << StatusCodeName(v.reference)
             << " table=" << StatusCodeName(v.table)
+            << " gen=" << StatusCodeName(v.generated)
             << " accel=" << StatusCodeName(v.accel);
         if (v.table == StatusCode::kResourceExhausted) {
-            // When the budget is the cause, all three must say so.
+            // When the budget is the cause, all four must say so.
             EXPECT_EQ(v.reference, StatusCode::kResourceExhausted);
+            EXPECT_EQ(v.generated, StatusCode::kResourceExhausted);
             EXPECT_EQ(v.accel, StatusCode::kResourceExhausted);
             ++exhausted;
         }

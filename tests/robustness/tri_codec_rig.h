@@ -1,12 +1,13 @@
 /**
  * @file
- * Shared rig for the robustness suite: runs one wire buffer through all
- * three codec engines — the tree-walking reference interpreter, the
- * table-driven fast path, and the accelerator model — and reports each
- * engine's verdict as a unified StatusCode.
+ * Shared rig for the robustness suite: runs one wire buffer through the
+ * codec engines — the tree-walking reference interpreter, the
+ * table-driven fast path, the schema-specialized generated codec (when
+ * one is linked in for the rig's pool), and the accelerator model — and
+ * reports each engine's verdict as a unified StatusCode.
  *
  * The differential invariant the suite enforces: for ANY input bytes
- * (hostile or not) and any ParseLimits, the three engines must agree on
+ * (hostile or not) and any ParseLimits, the engines must agree on
  * accept vs reject, and none may crash. Exact rejection codes may differ
  * between engines (e.g. a flipped byte can read as a truncation to one
  * scanner and a malformed varint to another); the accept/reject decision
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "accel/accelerator.h"
+#include "proto/codec_generated.h"
 #include "proto/codec_reference.h"
 #include "proto/parser.h"
 #include "proto/schema_random.h"
@@ -32,12 +34,19 @@ struct TriVerdict
     StatusCode reference = StatusCode::kOk;
     StatusCode table = StatusCode::kOk;
     StatusCode accel = StatusCode::kOk;
+    /// Generated-engine verdict; only meaningful when has_generated.
+    StatusCode generated = StatusCode::kOk;
+    /// True when a generated codec was linked in for the rig's pool and
+    /// therefore @c generated carries a real fourth verdict.
+    bool has_generated = false;
 
     bool
     agree_on_accept() const
     {
         return StatusOk(reference) == StatusOk(table) &&
-               StatusOk(table) == StatusOk(accel);
+               StatusOk(table) == StatusOk(accel) &&
+               (!has_generated ||
+                StatusOk(generated) == StatusOk(table));
     }
     bool accepted() const { return StatusOk(table); }
 };
@@ -56,6 +65,7 @@ class TriCodecRig
           adts_(std::make_unique<accel::AdtBuilder>(*pool, &adt_arena_))
     {
         accel_.DeserAssignArena(&accel_arena_);
+        gen_codec_ = proto::GetGeneratedCodec(*pool);
     }
 
     /// Apply resource limits to all three engines.
@@ -86,6 +96,20 @@ class TriCodecRig
             data, size, &dest, nullptr, &limits_));
     }
 
+    /// Generated-engine verdict. Only callable when has_generated().
+    StatusCode
+    ParseGenerated(const uint8_t *data, size_t size)
+    {
+        proto::Arena arena;
+        proto::Message dest =
+            proto::Message::Create(&arena, *pool_, root_);
+        return proto::ToStatusCode(proto::GeneratedParseFromBuffer(
+            data, size, &dest, nullptr, &limits_));
+    }
+
+    /// True when a build-time codec is linked in for this pool.
+    bool has_generated() const { return gen_codec_ != nullptr; }
+
     StatusCode
     ParseAccel(const uint8_t *data, size_t size)
     {
@@ -106,6 +130,10 @@ class TriCodecRig
         v.reference = ParseReference(data, size);
         v.table = ParseTable(data, size);
         v.accel = ParseAccel(data, size);
+        if (gen_codec_ != nullptr) {
+            v.has_generated = true;
+            v.generated = ParseGenerated(data, size);
+        }
         return v;
     }
 
@@ -126,6 +154,7 @@ class TriCodecRig
   private:
     const proto::DescriptorPool *pool_;
     int root_;
+    const proto::GeneratedPoolCodec *gen_codec_ = nullptr;
     ParseLimits limits_;
     proto::Arena adt_arena_;
     proto::Arena accel_arena_;

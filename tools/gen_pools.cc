@@ -1,0 +1,227 @@
+#include "gen_pools.h"
+
+#include "common/check.h"
+#include "proto/schema_parser.h"
+#include "proto/schema_random.h"
+
+namespace protoacc::genpools {
+
+using proto::DescriptorPool;
+using proto::FieldType;
+using proto::HasbitsMode;
+using proto::Label;
+using proto::Syntax;
+
+NamedPool
+BuildRpcEchoPool()
+{
+    NamedPool p;
+    p.name = "rpc:echo";
+    p.pool = std::make_unique<DescriptorPool>();
+    // Byte-for-byte the schema text of bench/rpc_throughput.cc and
+    // bench/robustness_sweep.cc part 2.
+    const auto parsed = proto::ParseSchema(R"(
+        message EchoRequest { optional string text = 1; }
+        message EchoResponse { optional string text = 1; }
+    )",
+                                           p.pool.get());
+    PA_CHECK(parsed.ok);
+    p.pool->Compile(HasbitsMode::kSparse);
+    p.root = p.pool->FindMessage("EchoRequest");
+    return p;
+}
+
+NamedPool
+BuildRecursivePool()
+{
+    NamedPool p;
+    p.name = "aux:recursive";
+    p.pool = std::make_unique<DescriptorPool>();
+    const int node = p.pool->AddMessage("Node");
+    p.pool->AddField(node, "id", 1, FieldType::kInt32);
+    p.pool->AddMessageField(node, "child", 2, node);
+    p.pool->AddMessageField(node, "kids", 3, node, Label::kRepeated);
+    p.pool->Compile(HasbitsMode::kSparse);
+    p.root = node;
+    return p;
+}
+
+NamedPool
+BuildUtf8Pool()
+{
+    NamedPool p;
+    p.name = "aux:utf8";
+    p.pool = std::make_unique<DescriptorPool>();
+    const int msg = p.pool->AddMessage("U", Syntax::kProto3);
+    p.pool->AddField(msg, "s", 1, FieldType::kString);
+    p.pool->AddField(msg, "b", 2, FieldType::kBytes);
+    p.pool->AddField(msg, "r", 3, FieldType::kString, Label::kRepeated);
+    p.pool->Compile(HasbitsMode::kSparse);
+    p.root = msg;
+    return p;
+}
+
+NamedPool
+BuildEmptyPool()
+{
+    NamedPool p;
+    p.name = "aux:empty";
+    p.pool = std::make_unique<DescriptorPool>();
+    const int empty = p.pool->AddMessage("Empty");
+    const int outer = p.pool->AddMessage("Outer");
+    p.pool->AddMessageField(outer, "sub", 1, empty);
+    p.pool->Compile(HasbitsMode::kSparse);
+    p.root = empty;
+    return p;
+}
+
+NamedPool
+BuildKitchenSinkPool()
+{
+    NamedPool p;
+    p.name = "aux:kitchen-sink";
+    p.pool = std::make_unique<DescriptorPool>();
+
+    const int inner = p.pool->AddMessage("Inner");
+    p.pool->AddField(inner, "x", 1, FieldType::kUint64);
+    p.pool->AddField(inner, "y", 2, FieldType::kString);
+
+    const int msg = p.pool->AddMessage("Sink");
+    // Singular: one of every scalar class, with non-trivial defaults.
+    p.pool->AddField(msg, "d", 1, FieldType::kDouble);
+    p.pool->AddField(msg, "f", 2, FieldType::kFloat);
+    p.pool->AddField(msg, "i32", 3, FieldType::kInt32);
+    p.pool->AddField(msg, "i64", 4, FieldType::kInt64);
+    p.pool->AddField(msg, "u32", 5, FieldType::kUint32);
+    p.pool->AddField(msg, "u64", 6, FieldType::kUint64);
+    p.pool->AddField(msg, "s32", 7, FieldType::kSint32);
+    p.pool->AddField(msg, "s64", 8, FieldType::kSint64);
+    p.pool->AddField(msg, "x32", 9, FieldType::kFixed32);
+    p.pool->AddField(msg, "x64", 10, FieldType::kFixed64);
+    p.pool->AddField(msg, "n32", 11, FieldType::kSfixed32);
+    p.pool->AddField(msg, "n64", 12, FieldType::kSfixed64);
+    p.pool->AddField(msg, "bl", 13, FieldType::kBool);
+    p.pool->AddField(msg, "en", 14, FieldType::kEnum);
+    p.pool->AddField(msg, "str", 15, FieldType::kString);
+    p.pool->AddField(msg, "byt", 16, FieldType::kBytes);
+    p.pool->AddMessageField(msg, "sub", 17, inner);
+    p.pool->SetScalarDefault(msg, 3, static_cast<uint64_t>(-7));
+    p.pool->SetStringDefault(msg, 15, "dft\"\\\x01\xff");
+    // Repeated unpacked / packed; a field-number gap to force the
+    // sparse dispatch fallback; 2- and 3-byte tags for the chaining
+    // paths.
+    p.pool->AddField(msg, "ri", 40, FieldType::kInt64, Label::kRepeated,
+                     /*packed=*/false);
+    p.pool->AddField(msg, "pi", 41, FieldType::kSint32, Label::kRepeated,
+                     /*packed=*/true);
+    p.pool->AddField(msg, "pf", 42, FieldType::kFixed32, Label::kRepeated,
+                     /*packed=*/true);
+    p.pool->AddField(msg, "rs", 43, FieldType::kString, Label::kRepeated);
+    p.pool->AddMessageField(msg, "rm", 44, inner, Label::kRepeated);
+    p.pool->AddField(msg, "far", 5000, FieldType::kUint32);
+    p.pool->AddField(msg, "vfar", 300000, FieldType::kBool);
+    p.pool->Compile(HasbitsMode::kSparse);
+    p.root = msg;
+    return p;
+}
+
+NamedPool
+BuildMicroVarintPool(bool repeated)
+{
+    NamedPool p;
+    p.name = repeated ? "micro:varint-R" : "micro:varint";
+    p.pool = std::make_unique<DescriptorPool>();
+    const int msg = p.pool->AddMessage("M");
+    const Label label = repeated ? Label::kRepeated : Label::kOptional;
+    for (uint32_t f = 1; f <= 5; ++f) {
+        p.pool->AddField(msg, "v" + std::to_string(f), f,
+                         FieldType::kUint64, label,
+                         /*packed=*/repeated);
+    }
+    p.pool->Compile(HasbitsMode::kSparse);
+    p.root = msg;
+    return p;
+}
+
+NamedPool
+BuildMicroStringPool()
+{
+    NamedPool p;
+    p.name = "micro:string";
+    p.pool = std::make_unique<DescriptorPool>();
+    const int msg = p.pool->AddMessage("M");
+    p.pool->AddField(msg, "s", 1, FieldType::kString);
+    p.pool->Compile(HasbitsMode::kSparse);
+    p.root = msg;
+    return p;
+}
+
+NamedPool
+BuildMicroRepeatedStringPool()
+{
+    NamedPool p;
+    p.name = "micro:repeated-string";
+    p.pool = std::make_unique<DescriptorPool>();
+    const int msg = p.pool->AddMessage("M");
+    p.pool->AddField(msg, "rs", 1, FieldType::kString, Label::kRepeated);
+    p.pool->Compile(HasbitsMode::kSparse);
+    p.root = msg;
+    return p;
+}
+
+NamedPool
+BuildFuzzPool(uint64_t seed, int max_depth)
+{
+    NamedPool p;
+    p.name = "fuzz:seed-" + std::to_string(seed);
+    p.pool = std::make_unique<DescriptorPool>();
+    Rng rng(seed);
+    proto::SchemaGenOptions opts;
+    opts.max_depth = max_depth;
+    p.root = proto::GenerateRandomSchema(p.pool.get(), &rng, opts);
+    p.pool->Compile(HasbitsMode::kSparse);
+    return p;
+}
+
+NamedPool
+BuildBenchRandomPool(uint64_t seed)
+{
+    NamedPool p;
+    p.name = "gbench:seed-" + std::to_string(seed);
+    p.pool = std::make_unique<DescriptorPool>();
+    Rng rng(seed);
+    p.root = proto::GenerateRandomSchema(p.pool.get(), &rng,
+                                         proto::SchemaGenOptions{});
+    p.pool->Compile();
+    return p;
+}
+
+std::vector<NamedPool>
+BuildAuxSuite()
+{
+    std::vector<NamedPool> pools;
+    pools.push_back(BuildRpcEchoPool());
+    pools.push_back(BuildRecursivePool());
+    pools.push_back(BuildUtf8Pool());
+    pools.push_back(BuildEmptyPool());
+    pools.push_back(BuildKitchenSinkPool());
+    pools.push_back(BuildMicroVarintPool(false));
+    pools.push_back(BuildMicroVarintPool(true));
+    pools.push_back(BuildMicroStringPool());
+    pools.push_back(BuildMicroRepeatedStringPool());
+    // bench/robustness_sweep.cc part 1: RandomSchemaRig(0xD1FF + s).
+    for (uint64_t s = 0; s < 10; ++s)
+        pools.push_back(BuildFuzzPool(0xD1FF + s));
+    // tests/robustness/differential_fuzz_test.cc schema seeds.
+    for (uint64_t s = 1; s <= 12; ++s)
+        pools.push_back(BuildFuzzPool(1000 + s));
+    pools.push_back(BuildFuzzPool(31));
+    pools.push_back(BuildFuzzPool(55));
+    pools.push_back(BuildFuzzPool(77));
+    // bench/codec_gbench.cc BM_ParseRandomSchema seeds.
+    pools.push_back(BuildBenchRandomPool(3));
+    pools.push_back(BuildBenchRandomPool(17));
+    return pools;
+}
+
+}  // namespace protoacc::genpools

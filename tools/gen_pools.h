@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Deterministic pool recipes shared between build-time codegen and
+ * runtime consumers.
+ *
+ * The generated-codec registry matches pools by structural fingerprint
+ * (proto/codec_generated.h), so a runtime pool picks up its specialized
+ * codec exactly when it was built by the same recipe the generator ran
+ * at build time. This library is that single source of truth: the
+ * codegen driver (codec_gen_main.cc) emits codecs for every pool listed
+ * here, and tests/benches that want generated-engine coverage construct
+ * their pools through the same functions (or through the library
+ * recipes these replicate: harness microbenches, the robustness rigs'
+ * random schemas, the RPC echo schema).
+ */
+#ifndef PROTOACC_TOOLS_GEN_POOLS_H
+#define PROTOACC_TOOLS_GEN_POOLS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "proto/descriptor.h"
+
+namespace protoacc::genpools {
+
+/// One named pool recipe instance. @p root is the message type tests
+/// parse/serialize as (the whole pool gets a codec regardless).
+struct NamedPool
+{
+    std::string name;
+    int root = 0;
+    std::unique_ptr<proto::DescriptorPool> pool;
+};
+
+/// The RPC echo schema (bench/rpc_throughput.cc and
+/// bench/robustness_sweep.cc part 2, via the same ParseSchema text).
+NamedPool BuildRpcEchoPool();
+
+/// Self-recursive schema: Node{id, child: Node, kids: repeated Node} —
+/// exercises the generator's recursion and kMaxParseDepth handling.
+NamedPool BuildRecursivePool();
+
+/// proto3 message with UTF-8-validated string, bytes, repeated string.
+NamedPool BuildUtf8Pool();
+
+/// An empty message (no fields: pure unknown-field skipping) plus an
+/// outer type holding it.
+NamedPool BuildEmptyPool();
+
+/// Every FieldOp x {singular, repeated, packed}, non-trivial defaults,
+/// sparse field numbers and multi-byte tags — the generator's
+/// worst-case single schema.
+NamedPool BuildKitchenSinkPool();
+
+/// harness::MakeVarintBench's schema (five uint64 fields; repeated ->
+/// packed), shared by every varint-N microbench.
+NamedPool BuildMicroVarintPool(bool repeated);
+
+/// harness::MakeStringBench's schema (one string field), shared by all
+/// string payload sizes.
+NamedPool BuildMicroStringPool();
+
+/// src/harness/microbench.cc MakeRepeatedStringBench: one repeated
+/// string field.
+NamedPool BuildMicroRepeatedStringPool();
+
+/// robustness::RandomSchemaRig's schema recipe (seeded random schema,
+/// max_depth defaulting to the rig's 3, HasbitsMode::kSparse).
+NamedPool BuildFuzzPool(uint64_t seed, int max_depth = 3);
+
+/// codec_gbench BM_ParseRandomSchema's schema recipe (default
+/// SchemaGenOptions, default Compile).
+NamedPool BuildBenchRandomPool(uint64_t seed);
+
+/**
+ * The full auxiliary suite the build generates codecs for: the edge
+ * pools, the microbench pools, the RPC echo pool, the robustness-rig
+ * fuzz pools at every seed the checked-in suites use
+ * (bench/robustness_sweep.cc, tests/robustness/differential_fuzz_test.cc)
+ * and the codec_gbench random-schema seeds.
+ */
+std::vector<NamedPool> BuildAuxSuite();
+
+}  // namespace protoacc::genpools
+
+#endif  // PROTOACC_TOOLS_GEN_POOLS_H
