@@ -40,7 +40,7 @@ namespace protoacc::accel {
 /// same clock as AccelConfig::freq_ghz).
 struct FrameEngineTiming
 {
-    /// Header parse or stamp: the 26-byte fixed header is one
+    /// Header parse or stamp: the 28-byte fixed header is one
     /// combinational field extract/insert plus the version/kind/length
     /// checks — a single pipeline stage, vs the branchy byte-poking a
     /// core does.

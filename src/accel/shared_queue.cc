@@ -280,6 +280,22 @@ SharedAccelQueue::available_units() const
     return available;
 }
 
+uint64_t
+SharedAccelQueue::earliest_free_cycle() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t earliest = 0;
+    bool any = false;
+    for (uint32_t u = 0; u < config_.num_units; ++u) {
+        if (unit_fenced_[u])
+            continue;
+        if (!any || unit_free_[u] < earliest)
+            earliest = unit_free_[u];
+        any = true;
+    }
+    return earliest;
+}
+
 uint32_t
 SharedAccelQueue::SampleUnitFaults(uint32_t unit, uint32_t n)
 {

@@ -245,6 +245,16 @@ class SharedAccelQueue
     uint32_t available_units() const;
 
     /**
+     * Earliest cycle at which any in-service unit becomes free — the
+     * contention horizon. A batch arriving at or before this cycle
+     * will wait for a unit; one arriving after it finds a unit idle.
+     * The serving runtime's replay arbiter uses this to decide whether
+     * contending batches need weighted-fair scheduling or plain
+     * arrival-order dispatch suffices. Thread-safe.
+     */
+    uint64_t earliest_free_cycle() const;
+
+    /**
      * Mark @p unit as probation-state (reintegrated with reduced
      * trust) or clear the mark. A probation unit stays in arbitration
      * but the dispatcher biases against it by probation_bias_cycles —

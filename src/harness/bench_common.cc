@@ -300,4 +300,23 @@ Percentile(std::vector<double> values, double p)
     return values[lo] + (values[hi] - values[lo]) * frac;
 }
 
+double
+ExactPercentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0;
+    std::sort(values.begin(), values.end());
+    // Nearest-rank definition: the smallest value with at least p% of
+    // the sample at or below it, i.e. element ceil(p/100 * N), 1-based.
+    // The epsilon keeps an exact-integer rank exact: 99.9/100 * 1000
+    // rounds up to 999.0000000000001, which must stay rank 999.
+    const double n = static_cast<double>(values.size());
+    double rank = std::ceil(p / 100.0 * n - 1e-9);
+    if (rank < 1.0)
+        rank = 1.0;
+    if (rank > n)
+        rank = n;
+    return values[static_cast<size_t>(rank) - 1];
+}
+
 }  // namespace protoacc::harness

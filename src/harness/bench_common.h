@@ -105,6 +105,15 @@ double GeoMean(const std::vector<double> &values);
  */
 double Percentile(std::vector<double> values, double p);
 
+/**
+ * Exact (nearest-rank) percentile of @p values (p in (0,100]); 0 when
+ * empty. Unlike the interpolated Percentile above, this returns a
+ * value that actually occurred — the right statistic for tail SLO
+ * reporting (an interpolated p99 can name a latency no request ever
+ * saw). Sorts a copy.
+ */
+double ExactPercentile(std::vector<double> values, double p);
+
 }  // namespace protoacc::harness
 
 #endif  // PROTOACC_HARNESS_BENCH_COMMON_H

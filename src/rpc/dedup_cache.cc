@@ -9,8 +9,12 @@ namespace protoacc::rpc {
 namespace {
 
 /// Snapshot image: magic, version, entry count, entries, CRC trailer.
+/// Version 2 scopes every entry by tenant (a u16 between the key and
+/// the tick) and stores the header's tenant_id field; v1 images are
+/// rejected fail-closed — their keys are ambiguous across tenants, so
+/// restoring them could replay responses across the isolation boundary.
 constexpr uint8_t kMagic[4] = {'P', 'A', 'D', 'C'};
-constexpr uint8_t kSnapshotVersion = 1;
+constexpr uint8_t kSnapshotVersion = 2;
 
 void
 Put32(std::vector<uint8_t> *out, uint32_t v)
@@ -44,9 +48,9 @@ Get64(const uint8_t *p)
     return v;
 }
 
-/// Per-entry fixed part: key u64, tick u64, then the FrameHeader
-/// fields (everything the response path copies back out), then
-/// payload_bytes u32 + payload.
+/// Per-entry fixed part: key u64, tenant u16, tick u64, then the
+/// FrameHeader fields (everything the response path copies back out),
+/// then payload_bytes u32 + payload.
 void
 PutHeader(std::vector<uint8_t> *out, const FrameHeader &h)
 {
@@ -58,10 +62,12 @@ PutHeader(std::vector<uint8_t> *out, const FrameHeader &h)
     out->push_back(static_cast<uint8_t>(h.status));
     out->push_back(h.version);
     out->push_back(h.flags);
+    out->push_back(static_cast<uint8_t>(h.tenant_id));
+    out->push_back(static_cast<uint8_t>(h.tenant_id >> 8));
     Put64(out, h.idempotency_key);
 }
 
-constexpr size_t kHeaderBytes = 4 + 4 + 2 + 1 + 1 + 1 + 1 + 8;
+constexpr size_t kHeaderBytes = 4 + 4 + 2 + 1 + 1 + 1 + 1 + 2 + 8;
 
 FrameHeader
 GetHeader(const uint8_t *p)
@@ -75,20 +81,23 @@ GetHeader(const uint8_t *p)
     h.status = static_cast<StatusCode>(p[11]);
     h.version = p[12];
     h.flags = p[13];
-    h.idempotency_key = Get64(p + 14);
+    h.tenant_id =
+        static_cast<uint16_t>(p[14] |
+                              (static_cast<uint16_t>(p[15]) << 8));
+    h.idempotency_key = Get64(p + 16);
     return h;
 }
 
 }  // namespace
 
 bool
-DedupCache::Lookup(uint64_t key, FrameHeader *header,
+DedupCache::Lookup(uint16_t tenant, uint64_t key, FrameHeader *header,
                    std::vector<uint8_t> *payload)
 {
     if (key == 0 || config_.capacity == 0)
         return false;
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = entries_.find(key);
+    auto it = entries_.find(TenantKey{tenant, key});
     if (it == entries_.end()) {
         ++misses_;
         return false;
@@ -100,8 +109,9 @@ DedupCache::Lookup(uint64_t key, FrameHeader *header,
 }
 
 void
-DedupCache::Insert(uint64_t key, const FrameHeader &header,
-                   const uint8_t *payload, size_t payload_bytes)
+DedupCache::Insert(uint16_t tenant, uint64_t key,
+                   const FrameHeader &header, const uint8_t *payload,
+                   size_t payload_bytes)
 {
     if (key == 0 || config_.capacity == 0)
         return;
@@ -110,9 +120,10 @@ DedupCache::Insert(uint64_t key, const FrameHeader &header,
     entry.header = header;
     entry.payload.assign(payload, payload + payload_bytes);
     entry.tick = ++insert_tick_;
-    if (!entries_.emplace(key, std::move(entry)).second)
+    const TenantKey tk{tenant, key};
+    if (!entries_.emplace(tk, std::move(entry)).second)
         return;  // first committed answer wins
-    fifo_.push_back(key);
+    fifo_.push_back(tk);
     ++insertions_;
     EvictLocked();
 }
@@ -165,16 +176,18 @@ DedupCache::Serialize() const
     // Live entries in insertion order so the restored cache evicts in
     // the same order the original would have.
     uint32_t count = 0;
-    for (const uint64_t key : fifo_)
+    for (const TenantKey &key : fifo_)
         if (entries_.count(key) > 0)
             ++count;
     Put32(&out, count);
-    for (const uint64_t key : fifo_) {
+    for (const TenantKey &key : fifo_) {
         auto it = entries_.find(key);
         if (it == entries_.end())
             continue;
         const Entry &e = it->second;
-        Put64(&out, key);
+        Put64(&out, key.key);
+        out.push_back(static_cast<uint8_t>(key.tenant));
+        out.push_back(static_cast<uint8_t>(key.tenant >> 8));
         Put64(&out, e.tick);
         PutHeader(&out, e.header);
         Put32(&out, static_cast<uint32_t>(e.payload.size()));
@@ -203,17 +216,21 @@ DedupCache::Deserialize(const uint8_t *data, size_t size)
     size_t off = 20;
     const size_t body_end = size - 4;
     for (uint32_t i = 0; i < count; ++i) {
-        // key u64 + tick u64 + header + payload length u32.
-        if (off + 8 + 8 + kHeaderBytes + 4 > body_end) {
+        // key u64 + tenant u16 + tick u64 + header + payload len u32.
+        if (off + 8 + 2 + 8 + kHeaderBytes + 4 > body_end) {
             entries_.clear();
             fifo_.clear();
             return false;
         }
         const uint64_t key = Get64(data + off);
-        const uint64_t entry_tick = Get64(data + off + 8);
-        const FrameHeader header = GetHeader(data + off + 16);
-        const uint32_t payload_bytes = Get32(data + off + 16 + kHeaderBytes);
-        off += 16 + kHeaderBytes + 4;
+        const uint16_t tenant = static_cast<uint16_t>(
+            data[off + 8] |
+            (static_cast<uint16_t>(data[off + 9]) << 8));
+        const uint64_t entry_tick = Get64(data + off + 10);
+        const FrameHeader header = GetHeader(data + off + 18);
+        const uint32_t payload_bytes =
+            Get32(data + off + 18 + kHeaderBytes);
+        off += 18 + kHeaderBytes + 4;
         if (off + payload_bytes > body_end || entry_tick > tick) {
             entries_.clear();
             fifo_.clear();
@@ -226,8 +243,9 @@ DedupCache::Deserialize(const uint8_t *data, size_t size)
         off += payload_bytes;
         if (key == 0 || config_.capacity == 0)
             continue;
-        if (entries_.emplace(key, std::move(entry)).second)
-            fifo_.push_back(key);
+        if (entries_.emplace(TenantKey{tenant, key}, std::move(entry))
+                .second)
+            fifo_.push_back(TenantKey{tenant, key});
     }
     if (off != body_end) {
         entries_.clear();

@@ -67,9 +67,11 @@ struct DedupConfig
 };
 
 /**
- * Thread-safe bounded map: idempotency key -> committed response frame
- * (header + payload bytes). Shared by all workers of a runtime so a
- * retry that hashes to a different worker still hits.
+ * Thread-safe bounded map: (tenant, idempotency key) -> committed
+ * response frame (header + payload bytes). Shared by all workers of a
+ * runtime so a retry that hashes to a different worker still hits;
+ * scoped by tenant so colliding keys from different tenants can never
+ * replay each other's responses.
  */
 class DedupCache
 {
@@ -97,21 +99,46 @@ class DedupCache
     explicit DedupCache(const DedupConfig &config) : config_(config) {}
 
     /**
-     * Look up @p key. On a hit, copies the cached response header and
-     * payload out and returns true. Key 0 (no idempotency key) never
-     * hits and is not counted as a miss.
+     * Look up @p key within @p tenant's scope. On a hit, copies the
+     * cached response header and payload out and returns true. Key 0
+     * (no idempotency key) never hits and is not counted as a miss.
+     *
+     * Keys are scoped per tenant: the idempotency key is
+     * session_id<<32|call_id, and session/call counters are assigned
+     * client-side, so two *different tenants* can legitimately present
+     * the same 64-bit key. Before tenant scoping that collision
+     * replayed one tenant's cached response to the other — a
+     * cross-tenant data leak, fixed by making (tenant, key) the cache
+     * key.
      */
-    bool Lookup(uint64_t key, FrameHeader *header,
+    bool Lookup(uint16_t tenant, uint64_t key, FrameHeader *header,
                 std::vector<uint8_t> *payload);
 
+    /// Default-tenant lookup (single-tenant callers).
+    bool
+    Lookup(uint64_t key, FrameHeader *header,
+           std::vector<uint8_t> *payload)
+    {
+        return Lookup(0, key, header, payload);
+    }
+
     /**
-     * Remember the committed response for @p key. Key 0 and keys
-     * already present are ignored (a racing duplicate execution keeps
-     * the first committed answer). Expires entries beyond the retry
-     * horizon, then evicts oldest-first beyond capacity.
+     * Remember the committed response for @p key in @p tenant's scope.
+     * Key 0 and keys already present are ignored (a racing duplicate
+     * execution keeps the first committed answer). Expires entries
+     * beyond the retry horizon, then evicts oldest-first beyond
+     * capacity.
      */
-    void Insert(uint64_t key, const FrameHeader &header,
+    void Insert(uint16_t tenant, uint64_t key, const FrameHeader &header,
                 const uint8_t *payload, size_t payload_bytes);
+
+    /// Default-tenant insert (single-tenant callers).
+    void
+    Insert(uint64_t key, const FrameHeader &header,
+           const uint8_t *payload, size_t payload_bytes)
+    {
+        Insert(0, key, header, payload, payload_bytes);
+    }
 
     /**
      * Snapshot the live entries (insertion order, ages preserved) into
@@ -141,14 +168,43 @@ class DedupCache
         uint64_t tick = 0;
     };
 
+    /// Exact composite key: the 64-bit idempotency key is only unique
+    /// *within* a tenant, so the map key carries both halves verbatim
+    /// (no mixing — a hash blend could collide across tenants, which is
+    /// the very bug tenant scoping fixes).
+    struct TenantKey
+    {
+        uint16_t tenant = 0;
+        uint64_t key = 0;
+        bool
+        operator==(const TenantKey &o) const
+        {
+            return tenant == o.tenant && key == o.key;
+        }
+    };
+    struct TenantKeyHash
+    {
+        size_t
+        operator()(const TenantKey &k) const
+        {
+            // splitmix64 over the concatenated bits: cheap, good
+            // avalanche, and exactness lives in operator== anyway.
+            uint64_t x = k.key ^ (static_cast<uint64_t>(k.tenant) << 48);
+            x += 0x9e3779b97f4a7c15ull;
+            x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+            x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+            return static_cast<size_t>(x ^ (x >> 31));
+        }
+    };
+
     /// Drop entries older than the retry horizon, then enforce
     /// capacity oldest-first. Caller holds mu_.
     void EvictLocked();
 
     DedupConfig config_;
     mutable std::mutex mu_;
-    std::unordered_map<uint64_t, Entry> entries_;
-    std::deque<uint64_t> fifo_;  ///< insertion order, for eviction
+    std::unordered_map<TenantKey, Entry, TenantKeyHash> entries_;
+    std::deque<TenantKey> fifo_;  ///< insertion order, for eviction
     uint64_t insert_tick_ = 0;   ///< monotone logical clock
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;

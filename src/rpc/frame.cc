@@ -21,7 +21,8 @@ WriteHeader(uint8_t *p, const FrameHeader &header, bool with_crc)
     // The buffer owns the CRC bit; the remaining flag bits are reserved
     // and always written as zero at this version.
     p[13] = with_crc ? FrameHeader::kFlagHasCrc : 0;
-    std::memcpy(p + 14, &header.idempotency_key, 8);
+    std::memcpy(p + 14, &header.tenant_id, 2);
+    std::memcpy(p + 16, &header.idempotency_key, 8);
     std::memset(p + FrameHeader::kCrcOffset, 0, 4);  // sealed later
 }
 
@@ -143,7 +144,8 @@ FrameBuffer::Next(size_t *offset, StatusCode *error) const
                                 : StatusCode::kInternal;
     frame.header.version = p[12];
     frame.header.flags = p[13];
-    std::memcpy(&frame.header.idempotency_key, p + 14, 8);
+    std::memcpy(&frame.header.tenant_id, p + 14, 2);
+    std::memcpy(&frame.header.idempotency_key, p + 16, 8);
     if (cost_sink_ != nullptr)
         cost_sink_->OnFrameHeader();
     if (*offset + FrameHeader::kWireBytes + frame.header.payload_bytes >
@@ -178,7 +180,7 @@ FrameBuffer::Next(size_t *offset, StatusCode *error) const
 
     if (frame.header.version != FrameHeader::kFrameVersion) {
         // A foreign version byte is either a genuinely newer peer or a
-        // corrupted v1 frame. The CRC disambiguates: if the v1-layout
+        // corrupted v2 frame. The CRC disambiguates: if the v2-layout
         // integrity check fails too, report the corruption (retryable
         // kDataLoss) rather than a permanent version rejection.
         if (crc_enabled_ && !crc_ok) {

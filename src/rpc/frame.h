@@ -10,7 +10,7 @@
  * header (call id, method id, frame kind), written into and scanned out
  * of transport buffers.
  *
- * Wire format v1 (26 bytes, little-endian):
+ * Wire format v2 (28 bytes, little-endian):
  *
  *     offset  field
  *          0  payload_bytes   u32
@@ -20,8 +20,16 @@
  *         11  status          u8
  *         12  version         u8   (kFrameVersion; unknown => reject)
  *         13  flags           u8   (bit 0: frame carries a CRC)
- *         14  idempotency_key u64  (client-assigned; 0 = none)
- *         22  crc32c          u32  (over header bytes [0,22) + payload)
+ *         14  tenant_id       u16  (multi-tenant isolation domain; 0 =
+ *                                   the default tenant)
+ *         16  idempotency_key u64  (client-assigned; 0 = none)
+ *         24  crc32c          u32  (over header bytes [0,24) + payload)
+ *
+ * v2 widens the header by a 16-bit tenant id so every layer downstream
+ * of the wire — admission, dedup scoping, accelerator scheduling —
+ * can attribute the frame to its isolation domain without a lookaside
+ * table. v1 frames (26 bytes, no tenant field) are rejected by the
+ * version check like any other foreign version.
  *
  * The CRC is the end-to-end integrity check: it is computed when a
  * frame is written (Append/CommitFrame) and verified when it is scanned
@@ -55,7 +63,8 @@ struct FrameHeader
 {
     /// Current wire-format version; frames declaring any other version
     /// are rejected as kUnimplemented without touching the payload.
-    static constexpr uint8_t kFrameVersion = 1;
+    /// v2 added the tenant_id field (multi-tenant serving).
+    static constexpr uint8_t kFrameVersion = 2;
     /// flags bit 0: the trailing crc32c field is populated and must be
     /// verified on decode.
     static constexpr uint8_t kFlagHasCrc = 0x01;
@@ -75,11 +84,15 @@ struct FrameHeader
     /// Decoded flags byte. On the write path the buffer owns the CRC
     /// bit; other bits are reserved (written as zero, ignored on read).
     uint8_t flags = 0;
+    /// Isolation domain of the caller. Admission control, dedup
+    /// scoping, and accelerator scheduling all key off this; 0 is the
+    /// default tenant (single-tenant deployments never set it).
+    uint16_t tenant_id = 0;
     /// Client-assigned exactly-once key: stable across retries of one
     /// logical call, 0 when the caller opted out of dedup.
     uint64_t idempotency_key = 0;
 
-    static constexpr size_t kCrcOffset = 4 + 4 + 2 + 1 + 1 + 1 + 1 + 8;
+    static constexpr size_t kCrcOffset = 4 + 4 + 2 + 1 + 1 + 1 + 1 + 2 + 8;
     static constexpr size_t kWireBytes = kCrcOffset + 4;
 };
 

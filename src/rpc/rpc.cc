@@ -27,6 +27,18 @@ AppendError(FrameBuffer *reply, FrameHeader header, StatusCode code)
     return code;
 }
 
+/// splitmix64 finalizer: the backoff-jitter hash. Counter-based (pure
+/// function of its input) so jitter never depends on how many draws
+/// other calls or sessions made before this one.
+uint64_t
+Mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
 }  // namespace
 
 StatusCode
@@ -41,6 +53,7 @@ RpcServer::HandleFrame(const Frame &frame, FrameBuffer *reply)
     FrameHeader out_header;
     out_header.call_id = frame.header.call_id;
     out_header.method_id = frame.header.method_id;
+    out_header.tenant_id = frame.header.tenant_id;
     out_header.idempotency_key = frame.header.idempotency_key;
 
     // Exactly-once: a retry of an already-committed call replays the
@@ -57,7 +70,8 @@ RpcServer::HandleFrame(const Frame &frame, FrameBuffer *reply)
             reply->cost_sink()->OnDedupProbe();
         FrameHeader cached_header;
         std::vector<uint8_t> cached_payload;
-        if (dedup_->Lookup(frame.header.idempotency_key, &cached_header,
+        if (dedup_->Lookup(frame.header.tenant_id,
+                           frame.header.idempotency_key, &cached_header,
                            &cached_payload)) {
             // Re-stamp with this attempt's call id so the client's
             // reply matching works; everything else is the committed
@@ -81,6 +95,9 @@ RpcServer::HandleFrame(const Frame &frame, FrameBuffer *reply)
 
     proto::Message response =
         proto::Message::Create(&arena_, *pool_, method.response_type);
+    if (exec_observer_)
+        exec_observer_(frame.header.tenant_id,
+                       frame.header.idempotency_key);
     method.handler(request, response);
 
     // Zero-copy response: reserve the frame in the reply stream and
@@ -107,7 +124,8 @@ RpcServer::HandleFrame(const Frame &frame, FrameBuffer *reply)
         if (reply->cost_sink() != nullptr)
             reply->cost_sink()->OnDedupProbe();
         out_header.payload_bytes = static_cast<uint32_t>(written);
-        dedup_->Insert(out_header.idempotency_key, out_header,
+        dedup_->Insert(out_header.tenant_id,
+                       out_header.idempotency_key, out_header,
                        reply->data() + reply_start +
                            FrameHeader::kWireBytes,
                        written);
@@ -163,6 +181,7 @@ RpcSession::CallOnce(uint16_t method_id, uint32_t call_id,
     header.method_id = method_id;
     header.kind = FrameKind::kRequest;
     header.payload_bytes = static_cast<uint32_t>(payload.size());
+    header.tenant_id = tenant_id_;
     header.idempotency_key = idempotency_key;
     to_server.Append(header, payload.data());
     breakdown_.client_codec_ns +=
@@ -255,17 +274,42 @@ RpcSession::Call(uint16_t method_id, const proto::Message &request,
         (static_cast<uint64_t>(session_id_) << 32) | call_id;
     const uint32_t max_attempts =
         std::max<uint32_t>(retry_policy_.max_attempts, 1);
+    // Retry budget: each completed call earns a fractional token, each
+    // retry spends a whole one, so at steady state retries add at most
+    // retry_budget_ratio extra load — the client half of retry-storm
+    // containment (the server half is the circuit breaker).
+    if (retry_policy_.retry_budget_ratio > 0)
+        retry_tokens_ =
+            std::min(retry_policy_.retry_budget_cap,
+                     retry_tokens_ + retry_policy_.retry_budget_ratio);
     double backoff = retry_policy_.initial_backoff_ns;
     StatusCode status = StatusCode::kInternal;
     for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
         if (attempt > 0) {
+            if (retry_policy_.retry_budget_ratio > 0) {
+                if (retry_tokens_ < 1.0) {
+                    ++breakdown_.retries_suppressed;
+                    break;  // budget empty: fail rather than amplify
+                }
+                retry_tokens_ -= 1.0;
+            }
             // Exponential backoff with uniform jitter: modeled sleep,
-            // accumulated into the breakdown rather than slept.
+            // accumulated into the breakdown rather than slept. The
+            // jitter is a counter-based hash of (seed, key, attempt) —
+            // deterministic per call, independent of every other
+            // call's retry behavior.
             ++breakdown_.retries;
+            const uint64_t h = Mix64(
+                jitter_seed_ ^ Mix64(idempotency_key + attempt));
+            const double unit =
+                static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
             const double jitter =
-                1.0 + retry_policy_.jitter_fraction *
-                          (2.0 * rng_.NextDouble() - 1.0);
-            breakdown_.backoff_ns += backoff * jitter;
+                1.0 +
+                retry_policy_.jitter_fraction * (2.0 * unit - 1.0);
+            double delay = backoff * jitter;
+            if (retry_policy_.max_backoff_ns > 0)
+                delay = std::min(delay, retry_policy_.max_backoff_ns);
+            breakdown_.backoff_ns += delay;
             backoff *= retry_policy_.backoff_multiplier;
         }
         status = CallOnce(method_id, call_id, idempotency_key, request,

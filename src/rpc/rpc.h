@@ -90,6 +90,19 @@ class RpcServer
      */
     void SetDedupCache(DedupCache *cache) { dedup_ = cache; }
 
+    /// Observer invoked once per *handler execution* with the call's
+    /// (tenant, idempotency key), after dedup lookup and parse but
+    /// before the handler runs. Dedup hits and failed parses do not
+    /// fire it, which makes it ground truth for duplicate-execution
+    /// detection: a soak harness counting executions per key proves
+    /// exactly-once semantics across retries and replays. nullptr
+    /// detaches.
+    void SetExecObserver(
+        std::function<void(uint16_t tenant, uint64_t key)> observer)
+    {
+        exec_observer_ = std::move(observer);
+    }
+
     const CodecBackend &backend() const { return *backend_; }
     CodecBackend &mutable_backend() { return *backend_; }
     /// Per-call scratch arena (observable for steady-state tests).
@@ -108,6 +121,7 @@ class RpcServer
     std::map<uint16_t, Method> methods_;
     proto::Arena arena_;
     DedupCache *dedup_ = nullptr;
+    std::function<void(uint16_t, uint64_t)> exec_observer_;
 };
 
 /**
@@ -122,6 +136,15 @@ struct RetryPolicy
     double backoff_multiplier = 2.0;
     /// Uniform jitter: each delay is scaled by 1 ± this fraction.
     double jitter_fraction = 0.25;
+    /// Backoff delay ceiling; 0 = uncapped.
+    double max_backoff_ns = 0;
+    /// Retry budget: tokens earned per completed call (e.g. 0.1 = at
+    /// most ~10% extra load from retries at steady state). A retry
+    /// spends one token; with an empty budget the call fails instead of
+    /// retrying (counted as retries_suppressed). 0 = unlimited retries,
+    /// the pre-budget behavior.
+    double retry_budget_ratio = 0;
+    double retry_budget_cap = 10;  ///< token accumulation ceiling
 };
 
 /// Per-session modeled time breakdown.
@@ -136,6 +159,9 @@ struct RpcTimeBreakdown
     /// Wire attempts, including retries (>= calls).
     uint64_t attempts = 0;
     uint64_t retries = 0;
+    /// Retries the budget refused: the failure was retryable but the
+    /// session was out of retry tokens (storm containment).
+    uint64_t retries_suppressed = 0;
     uint64_t failures = 0;
     /// Frames rejected by the CRC integrity check (detected in-flight
     /// corruption; each is an attempt that ended in kDataLoss).
@@ -188,6 +214,20 @@ class RpcSession
     {
         retry_policy_ = policy;
     }
+
+    /// Bind this session to an isolation domain: every request frame it
+    /// sends carries this tenant id (wire v2), which scopes server-side
+    /// admission, scheduling, and dedup. Default 0 (the legacy/anonymous
+    /// tenant).
+    void set_tenant(uint16_t tenant) { tenant_id_ = tenant; }
+    uint16_t tenant() const { return tenant_id_; }
+
+    /// Re-seed the backoff jitter hash (default fixed). Jitter is a
+    /// counter-based hash of (seed, idempotency key, attempt) — no
+    /// streaming RNG draws — so concurrent sessions and fault-shuffled
+    /// retry interleavings cannot perturb each other's delays: same
+    /// seed, same per-call jitter, bit-identical replay.
+    void set_jitter_seed(uint64_t seed) { jitter_seed_ = seed; }
 
     /// Attach a channel fault injector (nullptr detaches): each frame
     /// crossing the channel draws one drop/truncate/corrupt sample.
@@ -251,14 +291,20 @@ class RpcSession
     RetryPolicy retry_policy_;
     sim::FaultInjector *fault_injector_ = nullptr;
     std::function<void()> crc_reject_reporter_;
-    /// Jitter source; per-session so call sequences stay reproducible.
-    Rng rng_{0x6a177e5u};
+    /// Jitter hash seed; counter-based (see set_jitter_seed), so no
+    /// draw-order coupling between sessions or retry interleavings.
+    uint64_t jitter_seed_ = 0x6a177e5u;
+    /// Retry-budget token bucket (see RetryPolicy::retry_budget_ratio).
+    double retry_tokens_ = 0;
     StatusCode last_error_ = StatusCode::kOk;
     uint32_t next_call_id_ = 1;
     /// Process-unique (from a static counter): the high half of every
     /// idempotency key, so keys never collide across sessions sharing
     /// one server's dedup cache.
     uint32_t session_id_;
+    /// Isolation domain stamped into every request frame this session
+    /// sends (see set_tenant).
+    uint16_t tenant_id_ = 0;
     bool crc_enabled_ = true;
 };
 

@@ -1,6 +1,7 @@
 #include "rpc/server_runtime.h"
 
 #include <algorithm>
+#include <map>
 #include <cmath>
 
 #include "proto/codec_table.h"
@@ -21,6 +22,18 @@ RpcServerRuntime::RpcServerRuntime(const proto::DescriptorPool *pool,
     if (config_.dedup_capacity > 0)
         dedup_ = std::make_unique<DedupCache>(DedupConfig{
             config_.dedup_capacity, config_.dedup_retry_horizon});
+    // The tenant layer engages only when some tenant feature is
+    // configured; otherwise tenants_ stays null and Submit runs the
+    // exact pre-tenant pipeline.
+    if (!config_.tenants.empty() || config_.breaker.enabled ||
+        config_.brownout.start_wait_ns > 0 ||
+        config_.dwrr_quantum_cycles > 0)
+        tenants_ = std::make_unique<TenantTable>(
+            config_.tenants, config_.breaker, config_.brownout);
+    if (tenants_ != nullptr && config_.dwrr_quantum_cycles > 0 &&
+        config_.shared_accel != nullptr)
+        arbiter_ = std::make_unique<DwrrArbiter>(
+            tenants_.get(), config_.dwrr_quantum_cycles);
     if (config_.health.enabled && config_.shared_accel != nullptr) {
         const uint32_t units = config_.shared_accel->config().num_units;
         shared_unit_health_.reserve(units);
@@ -113,8 +126,35 @@ RpcServerRuntime::PickWorker(uint32_t call_id)
 
 StatusCode
 RpcServerRuntime::Submit(const FrameHeader &header,
-                         const uint8_t *payload)
+                         const uint8_t *payload, double arrival_ns)
 {
+    // Tenant admission pipeline (breaker → bucket → per-tenant wait →
+    // brownout) runs before worker selection; null tenants_ is the
+    // legacy fast path. Every PreAdmit is paired with exactly one
+    // CommitAdmission so breaker windows count each submission once.
+    AdmitTicket ticket;
+    if (tenants_ != nullptr) {
+        double pressure_ns = 0;
+        if (tenants_->brownout().start_wait_ns > 0) {
+            // Global backlog pressure: mean queued calls per worker
+            // times the slowest worker's service estimate.
+            double max_est = 0;
+            for (const auto &w : workers_)
+                max_est = std::max(
+                    max_est,
+                    w->est_call_ns.load(std::memory_order_relaxed));
+            pressure_ns =
+                static_cast<double>(total_pending_.load(
+                    std::memory_order_relaxed)) /
+                static_cast<double>(workers_.size()) * max_est;
+        }
+        ticket = tenants_->PreAdmit(header.tenant_id, arrival_ns,
+                                    pressure_ns);
+        if (ticket.outcome != AdmitOutcome::kAdmitted) {
+            tenants_->CommitAdmission(header.tenant_id, ticket, false);
+            return StatusCode::kOverloaded;
+        }
+    }
     // Legal before Start(): frames queue in the inboxes and the workers
     // pick them up once spawned (a pre-loaded backlog drains in exact
     // max_batch chunks, which keeps batch boundaries deterministic).
@@ -122,9 +162,13 @@ RpcServerRuntime::Submit(const FrameHeader &header,
     // frame then lands in a dead inbox, which Drain() harvests and
     // re-dispatches — enqueueing is never lossy, just possibly late.
     Worker *wp = PickWorker(header.call_id);
-    if (wp == nullptr)
+    if (wp == nullptr) {
+        if (tenants_ != nullptr)
+            tenants_->CommitAdmission(header.tenant_id, ticket, true);
         return StatusCode::kUnavailable;  // every worker has crashed
+    }
     Worker &w = *wp;
+    bool worker_shed = false;
     {
         std::lock_guard<std::mutex> lock(w.mu);
         PA_CHECK(!w.stop);
@@ -139,29 +183,39 @@ RpcServerRuntime::Submit(const FrameHeader &header,
                 static_cast<double>(w.pending) * est;
             if (wait_ns > config_.admission_max_wait_ns) {
                 ++w.shed;
-                return StatusCode::kOverloaded;
+                worker_shed = true;
             }
         }
-        OwnedFrame frame;
-        frame.header = header;
-        if (header.payload_bytes > 0)
-            frame.payload.assign(payload,
-                                 payload + header.payload_bytes);
-        w.inbox.push_back(std::move(frame));
-        ++w.pending;
+        if (!worker_shed) {
+            OwnedFrame frame;
+            frame.header = header;
+            if (header.payload_bytes > 0)
+                frame.payload.assign(payload,
+                                     payload + header.payload_bytes);
+            w.inbox.push_back(std::move(frame));
+            ++w.pending;
+        }
     }
+    if (worker_shed) {
+        if (tenants_ != nullptr)
+            tenants_->CommitAdmission(header.tenant_id, ticket, true);
+        return StatusCode::kOverloaded;
+    }
+    total_pending_.fetch_add(1, std::memory_order_relaxed);
+    if (tenants_ != nullptr)
+        tenants_->CommitAdmission(header.tenant_id, ticket, false);
     w.cv.notify_all();
     return StatusCode::kOk;
 }
 
 StatusCode
 RpcServerRuntime::SubmitFromStream(const FrameBuffer &ingress,
-                                   size_t *offset)
+                                   size_t *offset, double arrival_ns)
 {
     StatusCode scan = StatusCode::kOk;
     const std::optional<Frame> frame = ingress.Next(offset, &scan);
     if (frame.has_value())
-        return Submit(frame->header, frame->payload);
+        return Submit(frame->header, frame->payload, arrival_ns);
     if (scan == StatusCode::kDataLoss) {
         // Detected in-flight corruption: count the reject; Next already
         // advanced past the bad frame, so the scan resumes behind it.
@@ -202,6 +256,19 @@ RpcServerRuntime::Drain()
             break;
     }
     ReplayAcceleratorTimeline();
+    // Fold the workers' measured per-tenant service costs into the
+    // tenant EWMAs, in worker-index order (a deterministic fold
+    // sequence — the EWMA is order-sensitive).
+    if (tenants_ != nullptr) {
+        for (auto &w : workers_) {
+            for (const auto &[tenant, acc] : w->tenant_service)
+                if (acc.second > 0)
+                    tenants_->FoldServiceEstimate(
+                        tenant,
+                        acc.first / static_cast<double>(acc.second));
+            w->tenant_service.clear();
+        }
+    }
 }
 
 size_t
@@ -224,19 +291,42 @@ RpcServerRuntime::RedispatchStrandedFrames()
         PA_CHECK_GE(w->pending, harvested);
         w->pending -= harvested;
     }
+    // Group the stranded frames per surviving target and publish each
+    // target's group in one locked push with a single wakeup at the
+    // end. Pushing frame-by-frame would let a survivor wake mid-
+    // redispatch and split the group into timing-dependent batches —
+    // harmless on the software path (per-call costs only), but a
+    // shared-accelerator doorbell batch's cost depends on its
+    // composition, so the split would leak host thread timing into the
+    // modeled numbers.
     size_t moved = 0;
+    std::vector<std::vector<OwnedFrame>> regrouped(workers_.size());
     for (OwnedFrame &f : stranded) {
         Worker *target = PickWorker(f.header.call_id);
-        if (target == nullptr)
-            continue;  // no survivors: the call is lost; the client's
-                       // retry needs a restarted runtime
-        {
-            std::lock_guard<std::mutex> lock(target->mu);
-            target->inbox.push_back(std::move(f));
-            ++target->pending;
+        if (target == nullptr) {
+            // No survivors: the call is lost; the client's retry needs
+            // a restarted runtime. It will never execute, so it leaves
+            // the pending gauges now.
+            total_pending_.fetch_sub(1, std::memory_order_relaxed);
+            if (tenants_ != nullptr)
+                tenants_->OnWorkerFinished(f.header.tenant_id);
+            continue;
         }
-        target->cv.notify_all();
+        regrouped[target->index].push_back(std::move(f));
         ++moved;
+    }
+    for (size_t i = 0; i < regrouped.size(); ++i) {
+        if (regrouped[i].empty())
+            continue;
+        Worker *w = workers_[i].get();
+        {
+            std::lock_guard<std::mutex> lock(w->mu);
+            for (OwnedFrame &f : regrouped[i]) {
+                w->inbox.push_back(std::move(f));
+                ++w->pending;
+            }
+        }
+        w->cv.notify_all();
     }
     redispatched_frames_ += moved;
     return moved;
@@ -261,6 +351,13 @@ RpcServerRuntime::Shutdown()
     for (auto &w : workers_)
         if (w->thread.joinable())
             w->thread.join();
+    // Re-arm stop so frames may again be pre-loaded before the next
+    // Start() — the windowed preload-submit pattern open-loop benches
+    // use (Submit asserts !stop).
+    for (auto &w : workers_) {
+        std::lock_guard<std::mutex> wl(w->mu);
+        w->stop = false;
+    }
     started_ = false;
 }
 
@@ -363,6 +460,18 @@ RpcServerRuntime::Snapshot() const
     if (config_.shared_accel != nullptr)
         snap.watchdog_resets +=
             config_.shared_accel->stats().watchdog_resets;
+    if (tenants_ != nullptr) {
+        snap.tenants = tenants_->Snapshot();
+        // The aggregate shed counter spans every admission layer:
+        // worker-level sheds are already in the workers' counters, the
+        // tenant-layer sheds (bucket/wait/brownout/breaker) live only
+        // in the tenant counters.
+        for (const TenantSnapshot &t : snap.tenants)
+            snap.shed += t.counters.shed_bucket +
+                         t.counters.shed_wait +
+                         t.counters.shed_brownout +
+                         t.counters.shed_breaker;
+    }
     return snap;
 }
 
@@ -395,11 +504,34 @@ RpcServerRuntime::TakeLatencies()
 {
     std::vector<double> all;
     for (auto &w : workers_) {
-        all.insert(all.end(), w->latencies_ns.begin(),
-                   w->latencies_ns.end());
-        w->latencies_ns.clear();
+        all.reserve(all.size() + w->call_records.size());
+        for (const CallRecord &r : w->call_records)
+            all.push_back(r.latency_ns);
+        w->call_records.clear();
     }
     return all;
+}
+
+std::vector<CallRecord>
+RpcServerRuntime::TakeCallRecords()
+{
+    std::vector<CallRecord> all;
+    for (auto &w : workers_) {
+        all.insert(all.end(), w->call_records.begin(),
+                   w->call_records.end());
+        w->call_records.clear();
+    }
+    return all;
+}
+
+void
+RpcServerRuntime::SetExecObserver(
+    std::function<void(uint16_t tenant, uint64_t key)> observer)
+{
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    PA_CHECK(!started_);
+    for (auto &w : workers_)
+        w->server.SetExecObserver(observer);
 }
 
 void
@@ -414,6 +546,27 @@ RpcServerRuntime::WorkerLoop(Worker *w)
                        [w] { return w->stop || !w->inbox.empty(); });
             if (w->inbox.empty())
                 return;  // stop requested and fully drained
+            if (config_.priority_batching && tenants_ != nullptr &&
+                w->inbox.size() > 1) {
+                // Stable sort: high-priority tenants jump the queue,
+                // FIFO order survives within a priority tier. Sorting
+                // the inbox itself (not just the grab) keeps the kill
+                // path's invariant shape — the stranded set is still a
+                // contiguous suffix of the (now grab-order) inbox.
+                // Priorities are cached per distinct tenant so the
+                // comparator never takes the table mutex.
+                std::map<uint16_t, uint32_t> prio;
+                for (const OwnedFrame &f : w->inbox)
+                    if (prio.find(f.header.tenant_id) == prio.end())
+                        prio[f.header.tenant_id] =
+                            tenants_->PriorityOf(f.header.tenant_id);
+                std::stable_sort(
+                    w->inbox.begin(), w->inbox.end(),
+                    [&prio](const OwnedFrame &a, const OwnedFrame &b) {
+                        return prio.find(a.header.tenant_id)->second >
+                               prio.find(b.header.tenant_id)->second;
+                    });
+            }
             const size_t n = std::min<size_t>(config_.max_batch,
                                               w->inbox.size());
             batch.clear();
@@ -447,6 +600,8 @@ RpcServerRuntime::WorkerLoop(Worker *w)
                     w->inbox.push_front(std::move(batch[i - 1]));
                 w->dead = true;
             }
+            total_pending_.fetch_sub(executed,
+                                     std::memory_order_relaxed);
             w->cv.notify_all();
             return;
         }
@@ -473,6 +628,8 @@ RpcServerRuntime::WorkerLoop(Worker *w)
             PA_CHECK_GE(w->pending, batch.size());
             w->pending -= batch.size();
         }
+        total_pending_.fetch_sub(batch.size(),
+                                 std::memory_order_relaxed);
         w->cv.notify_all();
     }
 }
@@ -660,7 +817,16 @@ RpcServerRuntime::ProcessBatch(Worker *w,
             if (config_.deadline_ns > 0 &&
                 latency_ns > config_.deadline_ns)
                 ++w->deadline_exceeded;
-            w->latencies_ns.push_back(latency_ns);
+            w->call_records.push_back(
+                CallRecord{f.header.tenant_id, latency_ns});
+            if (tenants_ != nullptr) {
+                tenants_->OnWorkerFinished(f.header.tenant_id);
+                tenants_->OnCallLatency(f.header.tenant_id, latency_ns,
+                                        config_.deadline_ns);
+                auto &acc = w->tenant_service[f.header.tenant_id];
+                acc.first += latency_ns;
+                ++acc.second;
+            }
             w->vclock_ns += latency_ns;
             ++executed;
             // The crash point is call-count based (deterministic): the
@@ -686,67 +852,128 @@ RpcServerRuntime::ProcessBatch(Worker *w,
     // Work the backend routed to software (fault fallback or forced
     // degraded mode) is split out via accel_cycles()/accel_jobs() and
     // charged to the worker core, not the shared accelerator.
-    const double cycles_before = backend.codec_cycles();
-    const double accel_before = backend.accel_cycles();
-    const double deser_before = backend.accel_deser_cycles();
-    const double ser_before = backend.accel_ser_cycles();
-    const double engine_before =
-        engine != nullptr ? engine->cycles() : 0;
-    const uint64_t jobs_before = backend.accel_jobs();
-    uint64_t wire_bytes = 0;
-    const size_t reply_bytes_before = w->replies.bytes();
-    uint64_t failures = 0;
-    for (OwnedFrame &f : *batch) {
-        Frame frame;
-        frame.header = f.header;
-        frame.payload = f.payload.data();
-        if (ingress_sink != nullptr) {
-            ingress_sink->OnFrameHeader();
-            ingress_sink->OnCrc(FrameHeader::kCrcOffset +
-                                f.header.payload_bytes);
-        }
-        wire_bytes += FrameHeader::kWireBytes + f.header.payload_bytes;
-        const StatusCode st = w->server.HandleFrame(frame, &w->replies);
-        if (!StatusOk(st)) {
-            ++failures;
-            ++w->failures_by_code[static_cast<size_t>(st)];
-            if (engine != nullptr)
-                engine->ChargeErrorFrame();
-        }
-        ++w->calls;
-        ++executed;
-        if (config_.fault_injector != nullptr &&
-            config_.fault_injector->ShouldKillWorker(w->index,
-                                                     w->calls)) {
-            *killed = true;
-            break;  // crash mid-batch: record the partial batch below
+    //
+    // With the tenant layer engaged, a mixed-tenant drain is first
+    // reordered into per-tenant groups (stable within a group, groups
+    // in first-appearance order — deterministic for a deterministic
+    // submission sequence) and each group becomes its own AccelBatch,
+    // so the replay arbiter can schedule and bill whole batches to one
+    // tenant. The kill invariant survives the reorder: the stranded
+    // set is always a suffix of the order the frames were *executed*
+    // in, which is the reordered order fixed before execution starts.
+    if (tenants_ != nullptr && batch->size() > 1) {
+        std::vector<uint16_t> group_order;
+        for (const OwnedFrame &f : *batch)
+            if (std::find(group_order.begin(), group_order.end(),
+                          f.header.tenant_id) == group_order.end())
+                group_order.push_back(f.header.tenant_id);
+        if (group_order.size() > 1) {
+            std::vector<OwnedFrame> reordered;
+            reordered.reserve(batch->size());
+            for (const uint16_t tenant : group_order)
+                for (OwnedFrame &f : *batch)
+                    if (f.header.tenant_id == tenant)
+                        reordered.push_back(std::move(f));
+            *batch = std::move(reordered);
         }
     }
-    const double total_cycles = backend.codec_cycles() - cycles_before;
-    const double accel_cycles = backend.accel_cycles() - accel_before;
-    AccelBatch record;
-    record.jobs =
-        static_cast<uint32_t>(backend.accel_jobs() - jobs_before);
-    record.service_cycles =
-        static_cast<uint64_t>(std::llround(accel_cycles));
-    record.sw_ns = (total_cycles - accel_cycles) / freq_ghz;
-    record.calls = static_cast<uint32_t>(executed);
-    if (engine != nullptr) {
-        // Offload descriptor for the pipelined replay: the per-stage
-        // device split plus the batch's wire traffic (requests in,
-        // replies out) for the PCIe DMA stage.
-        record.deser_cycles = static_cast<uint64_t>(
-            std::llround(backend.accel_deser_cycles() - deser_before));
-        record.ser_cycles = static_cast<uint64_t>(
-            std::llround(backend.accel_ser_cycles() - ser_before));
-        record.frame_cycles = static_cast<uint64_t>(
-            std::llround(engine->cycles() - engine_before));
-        record.wire_bytes =
-            wire_bytes + (w->replies.bytes() - reply_bytes_before);
+    size_t run_start = 0;
+    while (run_start < batch->size() && !*killed) {
+        size_t run_end = batch->size();
+        if (tenants_ != nullptr) {
+            run_end = run_start + 1;
+            while (run_end < batch->size() &&
+                   (*batch)[run_end].header.tenant_id ==
+                       (*batch)[run_start].header.tenant_id)
+                ++run_end;
+        }
+        const uint16_t run_tenant =
+            (*batch)[run_start].header.tenant_id;
+        const double cycles_before = backend.codec_cycles();
+        const double accel_before = backend.accel_cycles();
+        const double deser_before = backend.accel_deser_cycles();
+        const double ser_before = backend.accel_ser_cycles();
+        const double engine_before =
+            engine != nullptr ? engine->cycles() : 0;
+        const uint64_t jobs_before = backend.accel_jobs();
+        uint64_t wire_bytes = 0;
+        const size_t reply_bytes_before = w->replies.bytes();
+        uint64_t failures = 0;
+        size_t run_executed = 0;
+        for (size_t i = run_start; i < run_end; ++i) {
+            OwnedFrame &f = (*batch)[i];
+            Frame frame;
+            frame.header = f.header;
+            frame.payload = f.payload.data();
+            if (ingress_sink != nullptr) {
+                ingress_sink->OnFrameHeader();
+                ingress_sink->OnCrc(FrameHeader::kCrcOffset +
+                                    f.header.payload_bytes);
+            }
+            wire_bytes +=
+                FrameHeader::kWireBytes + f.header.payload_bytes;
+            const StatusCode st =
+                w->server.HandleFrame(frame, &w->replies);
+            if (!StatusOk(st)) {
+                ++failures;
+                ++w->failures_by_code[static_cast<size_t>(st)];
+                if (engine != nullptr)
+                    engine->ChargeErrorFrame();
+            }
+            ++w->calls;
+            ++run_executed;
+            ++executed;
+            if (tenants_ != nullptr)
+                tenants_->OnWorkerFinished(f.header.tenant_id);
+            if (config_.fault_injector != nullptr &&
+                config_.fault_injector->ShouldKillWorker(w->index,
+                                                         w->calls)) {
+                *killed = true;
+                break;  // crash mid-batch: record the partial run below
+            }
+        }
+        const double total_cycles =
+            backend.codec_cycles() - cycles_before;
+        const double accel_cycles =
+            backend.accel_cycles() - accel_before;
+        AccelBatch record;
+        record.jobs =
+            static_cast<uint32_t>(backend.accel_jobs() - jobs_before);
+        record.service_cycles =
+            static_cast<uint64_t>(std::llround(accel_cycles));
+        record.sw_ns = (total_cycles - accel_cycles) / freq_ghz;
+        record.calls = static_cast<uint32_t>(run_executed);
+        record.tenant = run_tenant;
+        if (engine != nullptr) {
+            // Offload descriptor for the pipelined replay: the
+            // per-stage device split plus the batch's wire traffic
+            // (requests in, replies out) for the PCIe DMA stage.
+            record.deser_cycles = static_cast<uint64_t>(std::llround(
+                backend.accel_deser_cycles() - deser_before));
+            record.ser_cycles = static_cast<uint64_t>(
+                std::llround(backend.accel_ser_cycles() - ser_before));
+            record.frame_cycles = static_cast<uint64_t>(
+                std::llround(engine->cycles() - engine_before));
+            record.wire_bytes =
+                wire_bytes + (w->replies.bytes() - reply_bytes_before);
+        }
+        if (run_executed > 0) {
+            w->accel_batches.push_back(record);
+            if (tenants_ != nullptr) {
+                // Measured service (device + host residue + handler)
+                // for the tenant's EWMA; queueing is added at replay
+                // and must not feed the estimate.
+                auto &acc = w->tenant_service[run_tenant];
+                acc.first +=
+                    total_cycles / freq_ghz +
+                    config_.modeled_handler_ns *
+                        static_cast<double>(run_executed);
+                acc.second += run_executed;
+            }
+        }
+        w->failures += failures;
+        run_start = run_end;
     }
-    if (executed > 0)
-        w->accel_batches.push_back(record);
-    w->failures += failures;
     HealthPostBatch(w, executed);
     return executed;
 }
@@ -823,17 +1050,64 @@ RpcServerRuntime::ReplayAcceleratorTimeline()
     // locks, and pending == 0 ordered the workers' writes before us).
     for (;;) {
         Worker *next = nullptr;
-        size_t next_cursor = 0;
         for (auto &w : workers_) {
             if (w->replay_cursor >= w->accel_batches.size())
                 continue;
-            if (next == nullptr || w->vclock_ns < next->vclock_ns) {
+            if (next == nullptr || w->vclock_ns < next->vclock_ns)
                 next = w.get();
-                next_cursor = w->replay_cursor;
-            }
         }
         if (next == nullptr)
             break;
+        // Weighted-fair arbitration: FIFO (earliest vclock) is the
+        // base order, but when the earliest batch would queue behind
+        // busy units — it arrives at or before the device's earliest
+        // free cycle, so *someone* must wait — and batches from more
+        // than one tenant are contending, the DWRR arbiter picks the
+        // winner by weight instead. An uncontended batch (device idle
+        // at its arrival) is never re-ordered: fairness costs nothing
+        // when there is no queue.
+        if (arbiter_ != nullptr) {
+            const AccelBatch &head =
+                next->accel_batches[next->replay_cursor];
+            const uint64_t min_arrival =
+                static_cast<uint64_t>(std::llround(
+                    next->vclock_ns *
+                    next->server.backend().freq_ghz()));
+            const uint64_t horizon =
+                config_.shared_accel->earliest_free_cycle();
+            if (head.jobs > 0 && min_arrival <= horizon) {
+                std::vector<DwrrArbiter::Candidate> cands;
+                std::vector<Worker *> cand_workers;
+                bool multi_tenant = false;
+                for (auto &w : workers_) {
+                    if (w->replay_cursor >= w->accel_batches.size())
+                        continue;
+                    const AccelBatch &b2 =
+                        w->accel_batches[w->replay_cursor];
+                    if (b2.jobs == 0)
+                        continue;  // software batch: never contends
+                    const uint64_t arrival =
+                        static_cast<uint64_t>(std::llround(
+                            w->vclock_ns *
+                            w->server.backend().freq_ghz()));
+                    if (arrival > horizon)
+                        continue;  // finds an idle unit: no queueing
+                    DwrrArbiter::Candidate c;
+                    c.tenant = b2.tenant;
+                    c.service_cycles = b2.service_cycles;
+                    c.arrival_cycle = arrival;
+                    if (!cands.empty() &&
+                        c.tenant != cands.front().tenant)
+                        multi_tenant = true;
+                    cands.push_back(c);
+                    cand_workers.push_back(w.get());
+                }
+                if (multi_tenant)
+                    next =
+                        cand_workers[arbiter_->PickAndCharge(cands)];
+            }
+        }
+        const size_t next_cursor = next->replay_cursor;
         const AccelBatch &b = next->accel_batches[next_cursor];
         next->replay_cursor = next_cursor + 1;
         const double freq_ghz =
@@ -877,11 +1151,17 @@ RpcServerRuntime::ReplayAcceleratorTimeline()
         }
         const double batch_ns = device_ns + b.sw_ns;
         const double latency_ns = batch_ns + config_.modeled_handler_ns;
+        if (tenants_ != nullptr && b.jobs > 0)
+            tenants_->CreditAccelCycles(b.tenant, b.service_cycles);
         for (uint32_t i = 0; i < b.calls; ++i) {
             if (config_.deadline_ns > 0 &&
                 latency_ns > config_.deadline_ns)
                 ++next->deadline_exceeded;
-            next->latencies_ns.push_back(latency_ns);
+            next->call_records.push_back(
+                CallRecord{b.tenant, latency_ns});
+            if (tenants_ != nullptr)
+                tenants_->OnCallLatency(b.tenant, latency_ns,
+                                        config_.deadline_ns);
         }
         next->vclock_ns +=
             batch_ns +

@@ -49,6 +49,7 @@
 #include "rpc/dedup_cache.h"
 #include "rpc/health.h"
 #include "rpc/rpc.h"
+#include "rpc/tenant.h"
 #include "sim/fault.h"
 
 namespace protoacc::rpc {
@@ -150,6 +151,50 @@ struct RuntimeConfig
     /// Off by default: ingress pricing stays wherever the caller
     /// attached the ingress buffer's cost sink, as before.
     bool charge_ingress_framing = false;
+
+    // ---- multi-tenant serving & overload control ----
+
+    /// Per-tenant serving contracts (rpc/tenant.h). The tenant layer
+    /// engages when any of: this list is non-empty, the breaker is
+    /// enabled, brownout is configured, or a DWRR quantum is set —
+    /// otherwise Submit runs the exact pre-tenant pipeline (zero
+    /// overhead, bit-identical modeled numbers).
+    std::vector<TenantConfig> tenants;
+
+    /// Retry-storm circuit breaker over every tenant's admission
+    /// window (submission-count driven; deterministic).
+    BreakerConfig breaker;
+
+    /// Brownout shedding of low-priority non-SLO tenants under global
+    /// backlog pressure.
+    BrownoutConfig brownout;
+
+    /// DWRR quantum, in accelerator cycles, for weighted-fair
+    /// scheduling of contended shared-accelerator batches at Drain()
+    /// replay. 0 keeps the pure earliest-vclock (FIFO) replay order.
+    uint64_t dwrr_quantum_cycles = 0;
+
+    /// Priority-aware batch formation: before a worker grabs its next
+    /// batch it stable-sorts its inbox by tenant priority (descending),
+    /// so high-priority frames jump low-priority backlog *within* the
+    /// worker while same-priority frames keep FIFO order. This is the
+    /// CPU-stage complement to device-stage DWRR — without it a gold
+    /// batch still queues behind the hostile batch its own worker just
+    /// grabbed (head-of-line blocking DWRR cannot see). Off by default:
+    /// the FIFO grab keeps the crash-recovery invariant that a stranded
+    /// set is a submission-order suffix; with priority batching that
+    /// invariant weakens to a *grab-order* suffix, which is still
+    /// deterministic under the windowed preload-submit pattern but not
+    /// under concurrent submit-while-running with worker kills.
+    bool priority_batching = false;
+};
+
+/// One completed call's modeled latency, tagged with its isolation
+/// domain so per-tenant percentiles can be computed from one run.
+struct CallRecord
+{
+    uint16_t tenant = 0;
+    double latency_ns = 0;
 };
 
 /// One worker's counters, observed while the runtime is quiescent.
@@ -259,6 +304,10 @@ struct RuntimeSnapshot
     uint64_t offload_dedup_probes = 0;
     uint64_t offload_error_frames = 0;
     double offload_frame_cycles = 0;
+    /// Per-tenant contracts, counters and breaker states, id-sorted
+    /// (empty when the tenant layer is disengaged). shed above includes
+    /// every tenant-layer shed; the per-cause split lives here.
+    std::vector<TenantSnapshot> tenants;
     std::vector<WorkerSnapshot> workers;
 
     /// Modeled queries/sec across the pool of workers.
@@ -316,7 +365,13 @@ class RpcServerRuntime
     ///         (the frame was NOT enqueued; the client should back off
     ///         and retry), kUnavailable when every worker is dead,
     ///         kOk otherwise.
-    StatusCode Submit(const FrameHeader &header, const uint8_t *payload);
+    ///
+    /// @p arrival_ns is the modeled arrival time feeding the tenant
+    /// layer's token buckets (ignored when no tenant has a bucket).
+    /// Callers replaying an open-loop trace pass the trace clock;
+    /// the default keeps closed-loop callers bucket-exempt.
+    StatusCode Submit(const FrameHeader &header, const uint8_t *payload,
+                      double arrival_ns = 0);
 
     /**
      * Server-side ingress decode path: scan the next frame out of
@@ -334,7 +389,7 @@ class RpcServerRuntime
      *         exhausted.
      */
     StatusCode SubmitFromStream(const FrameBuffer &ingress,
-                                size_t *offset);
+                                size_t *offset, double arrival_ns = 0);
 
     /// Block until every submitted frame has been handled or its
     /// worker died; re-dispatch dead workers' un-acked frames to
@@ -361,6 +416,17 @@ class RpcServerRuntime
     /// Move out all recorded per-call modeled latencies, ns
     /// (quiescent only; clears the recording).
     std::vector<double> TakeLatencies();
+
+    /// Move out the tenant-tagged per-call records (quiescent only;
+    /// clears the recording — an alternative view of the same data
+    /// TakeLatencies() returns, for per-tenant percentile extraction).
+    std::vector<CallRecord> TakeCallRecords();
+
+    /// Install @p observer on every worker's server (see
+    /// RpcServer::SetExecObserver). Handlers run on worker threads, so
+    /// the observer must be thread-safe. Call before Start().
+    void SetExecObserver(
+        std::function<void(uint16_t tenant, uint64_t key)> observer);
 
     /**
      * Report a device-attributable incident observed outside the
@@ -409,6 +475,11 @@ class RpcServerRuntime
         uint64_t ser_cycles = 0;
         uint64_t frame_cycles = 0;
         uint64_t wire_bytes = 0;
+        /// Isolation domain of every call in this batch (workers split
+        /// mixed-tenant drains into per-tenant sub-batches when the
+        /// tenant layer is engaged, so the replay arbiter can schedule
+        /// and bill whole batches to one tenant).
+        uint16_t tenant = 0;
     };
 
     struct Worker
@@ -451,9 +522,14 @@ class RpcServerRuntime
         std::array<uint64_t, kNumStatusCodes> failures_by_code{};
         uint64_t deadline_exceeded = 0;
         double vclock_ns = 0;
-        std::vector<double> latencies_ns;
+        /// Completed calls' modeled latencies, tenant-tagged.
+        std::vector<CallRecord> call_records;
         std::vector<AccelBatch> accel_batches;
         size_t replay_cursor = 0;  ///< first unreplayed accel batch
+        /// Per-tenant measured service time (ns, calls) accumulated by
+        /// the worker thread, folded into the tenant table's EWMAs at
+        /// Drain() in worker-index order (deterministic fold sequence).
+        std::map<uint16_t, std::pair<double, uint64_t>> tenant_service;
 
         // ---- device health domain (owned by the worker thread, like
         //      the counters above; read while quiescent) ----
@@ -524,6 +600,18 @@ class RpcServerRuntime
     /// Runtime-wide response cache shared by every worker's server
     /// (null when dedup_capacity == 0).
     std::unique_ptr<DedupCache> dedup_;
+    /// Tenant admission/accounting layer; null when disengaged (see
+    /// RuntimeConfig::tenants) — the null check IS the legacy fast
+    /// path.
+    std::unique_ptr<TenantTable> tenants_;
+    /// Weighted-fair replay arbiter; null unless a shared accelerator
+    /// and a DWRR quantum are both configured.
+    std::unique_ptr<DwrrArbiter> arbiter_;
+    /// Calls admitted and not yet executed, across all workers: the
+    /// brownout pressure numerator. Relaxed atomics — an approximate
+    /// read is fine for a pressure signal; exactness comes from the
+    /// deterministic preload-submit pattern benches use.
+    std::atomic<uint64_t> total_pending_{0};
     /// Health domains of the shared-queue units (empty unless health
     /// is enabled and a shared queue is attached). Touched only by the
     /// quiescent replay loop and Snapshot().

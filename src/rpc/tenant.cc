@@ -1,0 +1,365 @@
+#include "rpc/tenant.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace protoacc::rpc {
+
+TenantTable::TenantTable(std::vector<TenantConfig> tenants,
+                         BreakerConfig breaker, BrownoutConfig brownout)
+    : breaker_(breaker), brownout_(brownout)
+{
+    if (breaker_.enabled) {
+        PA_CHECK_GE(breaker_.window, 1u);
+        PA_CHECK_GE(breaker_.probe_interval, 1u);
+        PA_CHECK_GE(breaker_.close_after_probes, 1u);
+    }
+    if (brownout_.start_wait_ns > 0)
+        PA_CHECK_GT(brownout_.full_wait_ns, brownout_.start_wait_ns);
+    for (const TenantConfig &cfg : tenants) {
+        State st;
+        st.config = cfg;
+        max_priority_ = std::max(max_priority_, cfg.priority);
+        tenants_.emplace(cfg.id, std::move(st));
+    }
+}
+
+TenantTable::State &
+TenantTable::StateFor(uint16_t tenant)
+{
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) {
+        // Unconfigured tenants get the permissive default contract:
+        // weight 1, no bucket, no wait bound — single-tenant callers
+        // that never heard of tenancy keep their exact old behavior.
+        State st;
+        st.config.id = tenant;
+        it = tenants_.emplace(tenant, std::move(st)).first;
+    }
+    return it->second;
+}
+
+AdmitTicket
+TenantTable::PreAdmit(uint16_t tenant, double arrival_ns,
+                      double pressure_ns)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    State &st = StateFor(tenant);
+    ++st.counters.submitted;
+    AdmitTicket ticket;
+
+    // Breaker gate first: a tripped tenant is rejected at O(1) before
+    // any bucket/backlog math — that cheapness is the point, a retry
+    // storm must not buy admission-pipeline work with every attempt.
+    if (breaker_.enabled) {
+        if (st.breaker == BreakerState::kOpen) {
+            ++st.counters.shed_breaker;
+            if (st.cooldown_left > 0)
+                --st.cooldown_left;
+            if (st.cooldown_left == 0) {
+                st.breaker = BreakerState::kHalfOpen;
+                st.half_open_seen = 0;
+                st.probe_successes = 0;
+            }
+            ticket.outcome = AdmitOutcome::kShedBreaker;
+            return ticket;
+        }
+        if (st.breaker == BreakerState::kHalfOpen) {
+            const bool is_probe =
+                st.half_open_seen % breaker_.probe_interval == 0;
+            ++st.half_open_seen;
+            if (!is_probe) {
+                ++st.counters.shed_breaker;
+                ticket.outcome = AdmitOutcome::kShedBreaker;
+                return ticket;
+            }
+            ++st.counters.breaker_probes;
+            ticket.probe = true;  // outcome decides reopen vs close
+        }
+    }
+
+    const TenantConfig &cfg = st.config;
+
+    // Token bucket, refilled by the caller's arrival clock (modeled
+    // ns, never wall time — replays must be bit-identical).
+    if (cfg.bucket_rate_per_s > 0) {
+        if (!st.bucket_primed) {
+            st.tokens = cfg.bucket_burst;
+            st.last_refill_ns = arrival_ns;
+            st.bucket_primed = true;
+        } else if (arrival_ns > st.last_refill_ns) {
+            st.tokens = std::min(
+                cfg.bucket_burst,
+                st.tokens + (arrival_ns - st.last_refill_ns) *
+                                cfg.bucket_rate_per_s * 1e-9);
+            st.last_refill_ns = arrival_ns;
+        }
+        if (st.tokens < 1.0) {
+            ++st.counters.shed_bucket;
+            ticket.outcome = AdmitOutcome::kShedBucket;
+            return ticket;
+        }
+    }
+
+    // Per-tenant EWMA wait: this tenant's own queued work against its
+    // own bound. A neighbor's backlog never sheds this tenant here.
+    if (cfg.admission_max_wait_ns > 0 && st.est_call_ns > 0 &&
+        static_cast<double>(st.pending) * st.est_call_ns >
+            cfg.admission_max_wait_ns) {
+        ++st.counters.shed_wait;
+        ticket.outcome = AdmitOutcome::kShedWait;
+        return ticket;
+    }
+
+    // Brownout: under global pressure, shed the lowest priorities
+    // first; SLO tenants never brownout-shed.
+    if (brownout_.start_wait_ns > 0 &&
+        pressure_ns > brownout_.start_wait_ns && !cfg.slo &&
+        max_priority_ > 0) {
+        const double f =
+            std::min(1.0, (pressure_ns - brownout_.start_wait_ns) /
+                              (brownout_.full_wait_ns -
+                               brownout_.start_wait_ns));
+        const double cutoff =
+            f * static_cast<double>(max_priority_);
+        if (static_cast<double>(cfg.priority) < cutoff) {
+            ++st.counters.shed_brownout;
+            ticket.outcome = AdmitOutcome::kShedBrownout;
+            return ticket;
+        }
+    }
+
+    // Admitted by every layer: consume the token now. A worker-level
+    // shed does not refund it — the request did arrive and was
+    // pipeline-processed, which is exactly what the contract meters.
+    if (cfg.bucket_rate_per_s > 0)
+        st.tokens -= 1.0;
+    return ticket;
+}
+
+void
+TenantTable::FeedBreaker(State &st, bool shed, bool probe)
+{
+    switch (st.breaker) {
+      case BreakerState::kClosed:
+        ++st.window_submits;
+        if (shed)
+            ++st.window_sheds;
+        if (st.window_submits >= breaker_.window) {
+            if (static_cast<double>(st.window_sheds) >=
+                breaker_.trip_shed_fraction *
+                    static_cast<double>(st.window_submits)) {
+                st.breaker = BreakerState::kOpen;
+                st.cooldown_left = std::max(breaker_.cooldown, 1u);
+                ++st.counters.breaker_trips;
+            }
+            st.window_submits = 0;
+            st.window_sheds = 0;
+        }
+        break;
+      case BreakerState::kHalfOpen:
+        if (!probe)
+            break;  // non-probe half-open sheds carry no signal
+        if (shed) {
+            // The probe itself was shed downstream: the overload is
+            // not over — reopen for another cooldown.
+            st.breaker = BreakerState::kOpen;
+            st.cooldown_left = std::max(breaker_.cooldown, 1u);
+            ++st.counters.breaker_trips;
+        } else {
+            ++st.probe_successes;
+            if (st.probe_successes >= breaker_.close_after_probes) {
+                st.breaker = BreakerState::kClosed;
+                st.window_submits = 0;
+                st.window_sheds = 0;
+            }
+        }
+        break;
+      case BreakerState::kOpen:
+        break;  // open-state sheds were counted at the gate
+    }
+}
+
+void
+TenantTable::CommitAdmission(uint16_t tenant, const AdmitTicket &ticket,
+                             bool worker_shed)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    State &st = StateFor(tenant);
+    const bool admitted =
+        ticket.outcome == AdmitOutcome::kAdmitted && !worker_shed;
+    if (admitted) {
+        ++st.counters.admitted;
+        ++st.pending;
+    } else if (ticket.outcome == AdmitOutcome::kAdmitted) {
+        ++st.counters.worker_shed;
+    }
+    if (breaker_.enabled &&
+        ticket.outcome != AdmitOutcome::kShedBreaker)
+        FeedBreaker(st, !admitted, ticket.probe);
+}
+
+void
+TenantTable::OnWorkerFinished(uint16_t tenant)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    State &st = StateFor(tenant);
+    if (st.pending > 0)
+        --st.pending;
+}
+
+void
+TenantTable::OnCallLatency(uint16_t tenant, double latency_ns,
+                           double default_deadline_ns)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    State &st = StateFor(tenant);
+    ++st.counters.calls_completed;
+    const double deadline = st.config.deadline_ns > 0
+                                ? st.config.deadline_ns
+                                : default_deadline_ns;
+    if (deadline > 0 && latency_ns > deadline)
+        ++st.counters.deadline_exceeded;
+}
+
+void
+TenantTable::FoldServiceEstimate(uint16_t tenant, double avg_call_ns)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    State &st = StateFor(tenant);
+    st.est_call_ns = st.est_call_ns == 0
+                         ? avg_call_ns
+                         : 0.8 * st.est_call_ns + 0.2 * avg_call_ns;
+}
+
+void
+TenantTable::CreditAccelCycles(uint16_t tenant, uint64_t cycles)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    StateFor(tenant).counters.accel_cycles_granted += cycles;
+}
+
+double
+TenantTable::WeightOf(uint16_t tenant) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = tenants_.find(tenant);
+    return it != tenants_.end() ? it->second.config.weight : 1.0;
+}
+
+uint32_t
+TenantTable::PriorityOf(uint16_t tenant) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = tenants_.find(tenant);
+    return it != tenants_.end() ? it->second.config.priority : 0;
+}
+
+std::vector<TenantSnapshot>
+TenantTable::Snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<TenantSnapshot> out;
+    out.reserve(tenants_.size());
+    for (const auto &[id, st] : tenants_) {
+        TenantSnapshot ts;
+        ts.config = st.config;
+        ts.counters = st.counters;
+        ts.breaker_state = st.breaker;
+        ts.bucket_tokens = st.tokens;
+        ts.est_call_ns = st.est_call_ns;
+        ts.pending = st.pending;
+        out.push_back(ts);
+    }
+    return out;
+}
+
+size_t
+DwrrArbiter::PickAndCharge(const std::vector<Candidate> &ready)
+{
+    PA_CHECK(!ready.empty());
+    // Earliest candidate per ready tenant (arrival, then vector order).
+    std::map<uint16_t, size_t> head;
+    for (size_t i = 0; i < ready.size(); ++i) {
+        auto [it, inserted] = head.emplace(ready[i].tenant, i);
+        if (!inserted &&
+            ready[i].arrival_cycle < ready[it->second].arrival_cycle)
+            it->second = i;
+    }
+
+    // A tenant leaving the ready set loses its banked deficit: credit
+    // must not accumulate across idle gaps.
+    for (auto it = deficit_.begin(); it != deficit_.end();) {
+        if (head.count(it->first) == 0)
+            it = deficit_.erase(it);
+        else
+            ++it;
+    }
+
+    // Billing (CreditAccelCycles) happens in the replay loop for every
+    // device batch — arbitrated or not — so the arbiter only tracks
+    // deficits here.
+    const auto serve = [&](uint16_t tenant) {
+        cursor_ = tenant;
+        have_cursor_ = true;
+        return head.at(tenant);
+    };
+
+    if (head.size() == 1)
+        return serve(head.begin()->first);
+
+    // Collect the id-ordered active list and check for any positive
+    // weight: an all-scavenger ready set falls back to arrival order.
+    std::vector<std::pair<uint16_t, double>> active;
+    active.reserve(head.size());
+    bool any_weighted = false;
+    for (const auto &[tenant, idx] : head) {
+        (void)idx;
+        const double w = table_->WeightOf(tenant);
+        active.emplace_back(tenant, w);
+        any_weighted |= w > 0;
+    }
+    if (!any_weighted) {
+        size_t best = 0;
+        for (size_t i = 1; i < ready.size(); ++i)
+            if (ready[i].arrival_cycle < ready[best].arrival_cycle)
+                best = i;
+        return serve(ready[best].tenant);
+    }
+
+    // DWRR sweep: resume just past the last-served tenant, add one
+    // quantum × weight per visit, serve the first tenant whose head
+    // batch fits its deficit. Weight-0 tenants accrue nothing and are
+    // skipped — they only run via the head.size()==1 path above.
+    // Terminates: some visited tenant has weight > 0, so its deficit
+    // grows by a positive amount every sweep.
+    size_t start = 0;
+    if (have_cursor_) {
+        while (start < active.size() &&
+               active[start].first <= cursor_)
+            ++start;
+        if (start == active.size())
+            start = 0;
+    }
+    const uint64_t quantum = std::max<uint64_t>(quantum_cycles_, 1);
+    for (;;) {
+        for (size_t k = 0; k < active.size(); ++k) {
+            const auto &[tenant, weight] =
+                active[(start + k) % active.size()];
+            if (weight <= 0)
+                continue;
+            double &deficit = deficit_[tenant];
+            deficit += static_cast<double>(quantum) * weight;
+            const size_t idx = head.at(tenant);
+            if (deficit >=
+                static_cast<double>(ready[idx].service_cycles)) {
+                deficit -=
+                    static_cast<double>(ready[idx].service_cycles);
+                return serve(tenant);
+            }
+        }
+    }
+}
+
+}  // namespace protoacc::rpc

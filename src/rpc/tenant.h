@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Multi-tenant admission control and weighted-fair accelerator
+ * scheduling.
+ *
+ * The paper motivates the accelerator with *fleet-scale* serialization
+ * cost: thousands of heterogeneous services sharing the same
+ * infrastructure. RPCAcc (PAPERS.md) shows that once (de)serializer
+ * units are a shared device, the dominant robustness failure is not
+ * single-stream throughput but *contention*: one overloaded, buggy, or
+ * hostile tenant monopolizing the shared units, retry-storming the
+ * admission path, and starving well-behaved neighbors. This module is
+ * the isolation layer between the wire (frame.h carries a 16-bit
+ * tenant id since wire v2) and the shared device:
+ *
+ *   1. **Token-bucket admission** — each tenant gets an arrival-rate
+ *      contract (rate, burst). Requests beyond the contract are shed
+ *      at the door with kOverloaded *before* consuming a worker slot
+ *      or an accelerator cycle. Refill is driven by the caller-supplied
+ *      arrival clock (modeled nanoseconds), not wall time, so replays
+ *      are deterministic.
+ *   2. **Per-tenant EWMA-wait shedding** — the PR 3 global backlog
+ *      estimate becomes per-tenant: a tenant whose *own* queued work
+ *      exceeds its wait bound is shed without touching its neighbors'
+ *      admission decisions.
+ *   3. **Retry-storm circuit breaker** — a tenant whose recent
+ *      submission window is mostly sheds is tripped open: subsequent
+ *      submissions are rejected immediately for a cooldown, then
+ *      half-open probes re-test the tenant before closing. This stops
+ *      the shed→retry→shed amplification loop at O(1) cost per
+ *      rejected call. All breaker state advances on submission counts,
+ *      never wall time, so it replays bit-identically.
+ *   4. **Brownout shedding** — under global pressure, lowest-priority
+ *      non-SLO tenants are shed first, and progressively higher
+ *      priorities as pressure rises, so SLO tenants keep their
+ *      deadlines while best-effort traffic degrades.
+ *   5. **Deficit-weighted round-robin (DWRR)** — when batches from
+ *      multiple tenants contend for the shared accelerator doorbell,
+ *      the replay arbiter serves tenants in proportion to their
+ *      configured weights (quantum × weight deficit accounting)
+ *      instead of pure FIFO, so a flood cannot buy more than its share
+ *      of device cycles.
+ *
+ * Everything here is deterministic given the submission sequence: no
+ * wall clocks, no RNG. The runtime calls PreAdmit/CommitAdmission on
+ * the submission path and folds measured service costs back in at
+ * Drain() in a fixed worker order, so two runs with the same seed
+ * produce bit-identical per-tenant counters.
+ */
+#ifndef PROTOACC_RPC_TENANT_H
+#define PROTOACC_RPC_TENANT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace protoacc::rpc {
+
+/// Per-tenant serving contract. Tenants never configured get
+/// kDefault-like unlimited admission with weight 1 — single-tenant
+/// deployments behave exactly as before this layer existed.
+struct TenantConfig
+{
+    uint16_t id = 0;
+    /// DWRR share of contended accelerator cycles. 0 = pure scavenger:
+    /// served only when no weighted tenant is waiting.
+    double weight = 1.0;
+    /// Brownout tier: under pressure, lower priorities shed first.
+    uint32_t priority = 0;
+    /// SLO tenants are never brownout-shed and report deadline
+    /// attainment against deadline_ns.
+    bool slo = false;
+    /// Per-tenant modeled deadline; 0 falls back to the runtime-wide
+    /// deadline_ns.
+    double deadline_ns = 0;
+    /// Token-bucket admission contract: sustained calls/second and
+    /// burst depth. rate 0 = no bucket (unlimited).
+    double bucket_rate_per_s = 0;
+    double bucket_burst = 0;
+    /// Per-tenant EWMA backlog bound: shed when this tenant's queued
+    /// calls × its EWMA service estimate exceeds this. 0 = unbounded.
+    double admission_max_wait_ns = 0;
+};
+
+/// Retry-storm circuit breaker policy (shared by all tenants of a
+/// table). Counts submissions, never time: deterministic under replay.
+struct BreakerConfig
+{
+    bool enabled = false;
+    /// Closed-state observation window, in submissions.
+    uint32_t window = 64;
+    /// Trip when sheds/window reaches this fraction at window close.
+    double trip_shed_fraction = 0.5;
+    /// Open-state rejections before transitioning to half-open.
+    uint32_t cooldown = 128;
+    /// In half-open, every Nth submission is a probe (others shed).
+    uint32_t probe_interval = 8;
+    /// Admitted probes required to close the breaker.
+    uint32_t close_after_probes = 4;
+};
+
+/// Brownout policy: map global modeled backlog pressure to a priority
+/// cutoff below which non-SLO tenants shed.
+struct BrownoutConfig
+{
+    /// Pressure (max worker backlog × estimate, ns) where brownout
+    /// begins. 0 disables brownout.
+    double start_wait_ns = 0;
+    /// Pressure of full brownout (every priority below the maximum
+    /// sheds). Must exceed start_wait_ns when enabled.
+    double full_wait_ns = 0;
+};
+
+enum class BreakerState : uint8_t { kClosed = 0, kOpen, kHalfOpen };
+
+/// Why an admission attempt was rejected (or not).
+enum class AdmitOutcome : uint8_t {
+    kAdmitted = 0,
+    kShedBucket,    ///< token bucket empty
+    kShedWait,      ///< per-tenant EWMA backlog over bound
+    kShedBrownout,  ///< pressure shed of a low-priority tenant
+    kShedBreaker,   ///< circuit breaker open / non-probe in half-open
+};
+
+/// Per-tenant counters surfaced through RuntimeSnapshot. Plain values;
+/// the table's mutex makes updates atomic and Drain-time reads stable.
+struct TenantCounters
+{
+    uint64_t submitted = 0;
+    uint64_t admitted = 0;
+    uint64_t shed_bucket = 0;
+    uint64_t shed_wait = 0;
+    uint64_t shed_brownout = 0;
+    uint64_t shed_breaker = 0;
+    uint64_t worker_shed = 0;  ///< admitted here, shed at the worker
+    uint64_t breaker_trips = 0;
+    uint64_t breaker_probes = 0;
+    uint64_t calls_completed = 0;
+    uint64_t deadline_exceeded = 0;
+    /// Shared-accelerator service cycles granted to this tenant by the
+    /// replay arbiter.
+    uint64_t accel_cycles_granted = 0;
+};
+
+/// Immutable per-tenant view exported by Snapshot(), sorted by id.
+struct TenantSnapshot
+{
+    TenantConfig config;
+    TenantCounters counters;
+    BreakerState breaker_state = BreakerState::kClosed;
+    double bucket_tokens = 0;
+    double est_call_ns = 0;
+    uint64_t pending = 0;
+};
+
+/// Result of the admission pre-check; must be committed exactly once.
+struct AdmitTicket
+{
+    AdmitOutcome outcome = AdmitOutcome::kAdmitted;
+    /// True when this admission is a half-open breaker probe: a
+    /// downstream (worker-level) shed re-opens the breaker.
+    bool probe = false;
+};
+
+/**
+ * The tenant table: configs, live state, counters. One per runtime,
+ * shared by the submission path (PreAdmit/CommitAdmission under the
+ * table mutex), the workers (OnWorkerFinished), and the Drain-time
+ * replay arbiter (DwrrArbiter reads weights, credits grants).
+ */
+class TenantTable
+{
+  public:
+    TenantTable(std::vector<TenantConfig> tenants, BreakerConfig breaker,
+                BrownoutConfig brownout);
+
+    /**
+     * Run the admission pipeline for one submission of @p tenant:
+     * breaker gate → token bucket (refilled to @p arrival_ns) →
+     * per-tenant EWMA wait → brownout against @p pressure_ns (the
+     * runtime's current global backlog estimate). Does not yet count
+     * the outcome into the breaker window — the caller may still shed
+     * at the worker level — so every PreAdmit must be paired with
+     * exactly one CommitAdmission.
+     */
+    AdmitTicket PreAdmit(uint16_t tenant, double arrival_ns,
+                         double pressure_ns);
+
+    /**
+     * Finalize the submission outcome: @p worker_shed is true when the
+     * runtime shed an admitted ticket at the worker backlog check.
+     * Feeds the breaker window / probe logic and the pending gauge.
+     */
+    void CommitAdmission(uint16_t tenant, const AdmitTicket &ticket,
+                         bool worker_shed);
+
+    /**
+     * A worker finished executing one call of @p tenant: decrements
+     * the pending gauge feeding the per-tenant wait estimate. Called
+     * from worker threads; the latency is not yet known here for
+     * shared-accelerator batches (queueing resolves at replay).
+     */
+    void OnWorkerFinished(uint16_t tenant);
+
+    /**
+     * Account one call's final modeled latency: counts completion and
+     * a deadline miss when @p latency_ns exceeds the tenant's deadline
+     * (falling back to @p default_deadline_ns; 0 = no deadline).
+     * Called from the software path inline and from the Drain() replay
+     * for shared-accelerator batches.
+     */
+    void OnCallLatency(uint16_t tenant, double latency_ns,
+                       double default_deadline_ns);
+
+    /**
+     * Fold a worker's measured per-tenant service estimate into the
+     * tenant EWMA (0.8 × old + 0.2 × new, matching the worker-level
+     * estimator). Called from Drain() in worker-index order so the
+     * fold sequence — and therefore the EWMA value — is deterministic.
+     */
+    void FoldServiceEstimate(uint16_t tenant, double avg_call_ns);
+
+    /// Credit @p cycles of shared-accelerator service to @p tenant
+    /// (called by the Drain() replay loop for every device batch).
+    void CreditAccelCycles(uint16_t tenant, uint64_t cycles);
+
+    /// DWRR weight of @p tenant (1.0 for unconfigured tenants).
+    double WeightOf(uint16_t tenant) const;
+
+    /// Brownout/batching priority of @p tenant (0 for unconfigured
+    /// tenants — the lowest tier).
+    uint32_t PriorityOf(uint16_t tenant) const;
+
+    /// Deterministic snapshot of every tenant seen so far, id-sorted.
+    std::vector<TenantSnapshot> Snapshot() const;
+
+    const BreakerConfig &breaker() const { return breaker_; }
+    const BrownoutConfig &brownout() const { return brownout_; }
+
+  private:
+    struct State
+    {
+        TenantConfig config;
+        TenantCounters counters;
+        /// Token bucket: token count at last_refill_ns.
+        double tokens = 0;
+        double last_refill_ns = 0;
+        bool bucket_primed = false;
+        /// Per-tenant EWMA of measured per-call service time.
+        double est_call_ns = 0;
+        /// Calls admitted and not yet completed.
+        uint64_t pending = 0;
+        /// Breaker machinery (submission-count driven).
+        BreakerState breaker = BreakerState::kClosed;
+        uint32_t window_submits = 0;
+        uint32_t window_sheds = 0;
+        uint32_t cooldown_left = 0;
+        uint32_t half_open_seen = 0;
+        uint32_t probe_successes = 0;
+    };
+
+    State &StateFor(uint16_t tenant);  ///< caller holds mu_
+    void FeedBreaker(State &st, bool shed, bool probe);
+
+    BreakerConfig breaker_;
+    BrownoutConfig brownout_;
+    uint32_t max_priority_ = 0;
+    mutable std::mutex mu_;
+    /// Ordered map: snapshot and fold iteration are id-sorted and
+    /// therefore deterministic.
+    std::map<uint16_t, State> tenants_;
+};
+
+/**
+ * Deficit-weighted round-robin arbiter over contending batches, used
+ * by the Drain()-time accelerator replay. Single-threaded (replay runs
+ * on the draining thread); deterministic: the active list is id-sorted
+ * and the cursor rotates in id order.
+ *
+ * Classic DWRR adapted to a batch device: each ready tenant accrues
+ * `quantum × weight` deficit per visit and is served while its head
+ * batch's service cost fits the deficit. Weight-0 tenants accrue
+ * nothing and are served only when no weighted tenant is ready
+ * (scavenger class) — the arbiter never livelocks because some ready
+ * tenant always accrues positive deficit, or the all-zero fallback
+ * picks the earliest arrival.
+ */
+class DwrrArbiter
+{
+  public:
+    struct Candidate
+    {
+        uint16_t tenant = 0;
+        uint64_t service_cycles = 0;
+        /// Arrival order tiebreak (modeled cycle the batch became
+        /// ready; ties broken by submission order = vector order).
+        uint64_t arrival_cycle = 0;
+    };
+
+    DwrrArbiter(TenantTable *table, uint64_t quantum_cycles)
+        : table_(table), quantum_cycles_(quantum_cycles)
+    {
+    }
+
+    /**
+     * Pick which of @p ready (non-empty) to serve next and charge its
+     * cost against the winner tenant's deficit; returns the index into
+     * @p ready. Tenants absent from @p ready have their deficit reset
+     * (a tenant must not bank credit across idle gaps).
+     */
+    size_t PickAndCharge(const std::vector<Candidate> &ready);
+
+  private:
+    TenantTable *table_;
+    uint64_t quantum_cycles_;
+    /// Live deficit per tenant; erased when the tenant leaves the
+    /// ready set.
+    std::map<uint16_t, double> deficit_;
+    /// Id of the last-served tenant; the scan resumes just past it.
+    uint16_t cursor_ = 0;
+    bool have_cursor_ = false;
+};
+
+}  // namespace protoacc::rpc
+
+#endif  // PROTOACC_RPC_TENANT_H

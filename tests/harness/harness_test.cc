@@ -12,6 +12,38 @@ TEST(GeoMean, Basics)
     EXPECT_DOUBLE_EQ(GeoMean({}), 0.0);
 }
 
+TEST(ExactPercentile, NearestRankOnKnownDistribution)
+{
+    // 1000, 999, ..., 1 (descending, to prove it sorts a copy): the
+    // nearest-rank percentile of 1..1000 is exactly ceil(10 * p).
+    std::vector<double> values;
+    for (int v = 1000; v >= 1; --v)
+        values.push_back(static_cast<double>(v));
+    EXPECT_DOUBLE_EQ(ExactPercentile(values, 50), 500.0);
+    EXPECT_DOUBLE_EQ(ExactPercentile(values, 99), 990.0);
+    EXPECT_DOUBLE_EQ(ExactPercentile(values, 99.9), 999.0);
+    EXPECT_DOUBLE_EQ(ExactPercentile(values, 100), 1000.0);
+    // Below one rank clamps to the minimum.
+    EXPECT_DOUBLE_EQ(ExactPercentile(values, 0), 1.0);
+    // The input order was not destroyed (sorts a copy).
+    EXPECT_DOUBLE_EQ(values.front(), 1000.0);
+}
+
+TEST(ExactPercentile, ReturnsObservedValuesOnly)
+{
+    // Two samples far apart: interpolation invents a latency no
+    // request ever saw; nearest-rank must return a real sample.
+    const std::vector<double> two = {100.0, 10'000.0};
+    EXPECT_DOUBLE_EQ(ExactPercentile(two, 50), 100.0);
+    EXPECT_DOUBLE_EQ(ExactPercentile(two, 99), 10'000.0);
+    const double interpolated = Percentile(two, 50);
+    EXPECT_GT(interpolated, 100.0);  // the interpolated p50 is neither
+    EXPECT_LT(interpolated, 10'000.0);
+
+    EXPECT_DOUBLE_EQ(ExactPercentile({42.0}, 99.9), 42.0);
+    EXPECT_DOUBLE_EQ(ExactPercentile({}, 99), 0.0);
+}
+
 TEST(Microbench, VarintBenchEncodesExactSizes)
 {
     for (int n = 0; n <= 10; ++n) {
