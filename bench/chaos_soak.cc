@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/bench_common.h"
 #include "proto/schema_parser.h"
 #include "rpc/server_runtime.h"
 #include "sim/fault.h"
@@ -105,6 +106,10 @@ struct ModeResult
     uint64_t offload_frame_headers = 0;
     uint64_t offload_dedup_probes = 0;
     double offload_frame_cycles = 0;
+    /// Modeled per-attempt latency tails, exact nearest-rank (the same
+    /// statistic every other BENCH_*.json reports).
+    double p50_us = 0;
+    double p99_us = 0;
 
     /// Corrupted frames that produced an answer instead of a reject:
     /// the number the integrity work exists to drive to zero.
@@ -330,6 +335,9 @@ RunMode(const DescriptorPool &pool, int req, int rsp, uint64_t seed,
     }
 
     const rpc::RuntimeSnapshot snap = runtime.Snapshot();
+    std::vector<double> lat = runtime.TakeLatencies();
+    result.p50_us = harness::ExactPercentile(lat, 50) / 1000.0;
+    result.p99_us = harness::ExactPercentile(lat, 99) / 1000.0;
     runtime.Shutdown();
 
     result.lost_calls = unanswered;
@@ -371,7 +379,9 @@ PrintMode(const char *title, const ModeResult &r)
         "  recovery: crc-rejects %llu  dedup-hits %llu  "
         "redispatched %llu  watchdog-resets %llu  reply-drops %llu\n"
         "  verdict: wrong %llu  unknown %llu  lost %llu  "
-        "dup-execs %llu  (silent corruptions: %llu)\n\n",
+        "dup-execs %llu  (silent corruptions: %llu)\n"
+        "  modeled latency: p50 %.1f us  p99 %.1f us (exact "
+        "nearest-rank)\n\n",
         title, static_cast<unsigned long long>(r.calls),
         static_cast<unsigned long long>(r.rounds),
         static_cast<unsigned long long>(r.attempts),
@@ -391,7 +401,8 @@ PrintMode(const char *title, const ModeResult &r)
         static_cast<unsigned long long>(r.unknown_responses),
         static_cast<unsigned long long>(r.lost_calls),
         static_cast<unsigned long long>(r.duplicate_execs),
-        static_cast<unsigned long long>(r.silent_corruptions()));
+        static_cast<unsigned long long>(r.silent_corruptions()),
+        r.p50_us, r.p99_us);
     if (r.offload)
         std::printf(
             "  offload: frame-headers %llu  dedup-probes %llu  "
@@ -432,7 +443,9 @@ WriteModeJson(std::FILE *f, const char *name, const ModeResult &r)
         "    \"units_wedged\": %llu,\n"
         "    \"offload_frame_headers\": %llu,\n"
         "    \"offload_dedup_probes\": %llu,\n"
-        "    \"offload_frame_cycles\": %.0f\n"
+        "    \"offload_frame_cycles\": %.0f,\n"
+        "    \"p50_us\": %.3f,\n"
+        "    \"p99_us\": %.3f\n"
         "  }",
         name, r.crc_enabled ? "true" : "false",
         r.offload ? "true" : "false",
@@ -459,7 +472,7 @@ WriteModeJson(std::FILE *f, const char *name, const ModeResult &r)
         static_cast<unsigned long long>(r.units_wedged),
         static_cast<unsigned long long>(r.offload_frame_headers),
         static_cast<unsigned long long>(r.offload_dedup_probes),
-        r.offload_frame_cycles);
+        r.offload_frame_cycles, r.p50_us, r.p99_us);
 }
 
 }  // namespace

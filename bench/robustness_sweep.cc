@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/bench_common.h"
 #include "proto/schema_parser.h"
 #include "rpc/rpc.h"
 #include "sim/fault.h"
@@ -185,6 +186,10 @@ struct AvailabilityRow
     uint64_t fallback_accel_fault = 0;
     uint64_t unit_kills = 0;
     uint64_t frames_lost = 0;
+    /// Modeled per-call latency tails (retries included), exact
+    /// nearest-rank — the same statistic every BENCH_*.json reports.
+    double p50_us = 0;
+    double p99_us = 0;
 
     double
     availability() const
@@ -247,14 +252,20 @@ RunAvailability(const DescriptorPool &pool, int req, int rsp,
     row.fault_rate = rate;
     row.calls = calls;
     proto::Arena arena;
+    std::vector<double> call_ns;
+    call_ns.reserve(calls);
     for (uint32_t i = 0; i < calls; ++i) {
         arena.Reset();
         Message request = Message::Create(&arena, pool, req);
         request.SetString(*rd.FindFieldByName("text"),
                           "echo-" + std::to_string(i));
         Message response = Message::Create(&arena, pool, rsp);
+        const double before = session.breakdown().total_ns();
         row.ok += StatusOk(session.Call(1, request, &response));
+        call_ns.push_back(session.breakdown().total_ns() - before);
     }
+    row.p50_us = harness::ExactPercentile(call_ns, 50) / 1000.0;
+    row.p99_us = harness::ExactPercentile(call_ns, 99) / 1000.0;
     row.retries = session.breakdown().retries;
     row.fallback_accel_fault =
         server_backend->fallback_counters().accel_fault;
@@ -325,20 +336,22 @@ main(int argc, char **argv)
         "drop/truncate/corrupt at f/3 each; client retries transient "
         "failures, 4 attempts max)\n\n",
         opt.calls);
-    std::printf("  %10s %12s %8s %10s %12s %12s\n", "fault-rate",
-                "availability", "retries", "unit-kills", "sw-fallback",
-                "frames-lost");
+    std::printf("  %10s %12s %8s %10s %12s %12s %9s %9s\n",
+                "fault-rate", "availability", "retries", "unit-kills",
+                "sw-fallback", "frames-lost", "p50(us)", "p99(us)");
     bool met_bar = true;
     for (const double rate : {0.0, 0.001, 0.01, 0.05, 0.10}) {
         const AvailabilityRow row =
             RunAvailability(pool, req, rsp, rate, opt.calls);
-        std::printf("  %9.1f%% %11.2f%% %8llu %10llu %12llu %12llu\n",
+        std::printf("  %9.1f%% %11.2f%% %8llu %10llu %12llu %12llu "
+                    "%9.1f %9.1f\n",
                     100.0 * rate, 100.0 * row.availability(),
                     static_cast<unsigned long long>(row.retries),
                     static_cast<unsigned long long>(row.unit_kills),
                     static_cast<unsigned long long>(
                         row.fallback_accel_fault),
-                    static_cast<unsigned long long>(row.frames_lost));
+                    static_cast<unsigned long long>(row.frames_lost),
+                    row.p50_us, row.p99_us);
         if (rate == 0.01 &&
             (row.availability() < 0.99 ||
              row.fallback_accel_fault == 0))

@@ -211,8 +211,8 @@ RunOne(const DescriptorPool &pool, int req, int rsp, System system,
 
     RunResult r;
     r.modeled_qps = snap.modeled_qps();
-    r.p50_us = harness::Percentile(lat, 50) / 1000.0;
-    r.p99_us = harness::Percentile(lat, 99) / 1000.0;
+    r.p50_us = harness::ExactPercentile(lat, 50) / 1000.0;
+    r.p99_us = harness::ExactPercentile(lat, 99) / 1000.0;
     double host_framing = 0;
     for (const WorkerSnapshot &ws : snap.workers)
         host_framing += ws.codec_cycles - ws.accel_codec_cycles;

@@ -172,9 +172,9 @@ RunOne(const DescriptorPool &pool, int req, int rsp,
     const double wall_s =
         std::chrono::duration<double>(wall_end - wall_start).count();
     r.wall_qps = wall_s > 0 ? opt.calls / wall_s : 0;
-    r.p50_us = harness::Percentile(lat, 50) / 1000.0;
-    r.p95_us = harness::Percentile(lat, 95) / 1000.0;
-    r.p99_us = harness::Percentile(lat, 99) / 1000.0;
+    r.p50_us = harness::ExactPercentile(lat, 50) / 1000.0;
+    r.p95_us = harness::ExactPercentile(lat, 95) / 1000.0;
+    r.p99_us = harness::ExactPercentile(lat, 99) / 1000.0;
     const auto qs = accel_queue.stats();
     if (qs.total_wait_cycles + qs.total_service_cycles > 0)
         r.accel_wait_share =

@@ -59,6 +59,11 @@ struct FrameEngineTiming
     /// detail-string fetch), on top of the header/CRC the error frame
     /// pays like any other frame.
     uint32_t error_frame_cycles = 4;
+    /// Stream bookkeeping per v4 stream frame: subheader extract,
+    /// offset/window compare, running-CRC fold-register swap. One extra
+    /// stage over a unary frame — the chunk payload CRC itself still
+    /// rides the wide crc_bytes_per_cycle datapath.
+    uint32_t stream_ctrl_cycles = 2;
 };
 
 /**
@@ -77,6 +82,11 @@ class FrameEngine : public proto::CostSink
         uint64_t crc_bytes = 0;
         uint64_t dedup_probes = 0;
         uint64_t error_frames = 0;
+        /// v4 stream data chunks priced through the engine.
+        uint64_t stream_chunks = 0;
+        uint64_t stream_chunk_bytes = 0;
+        /// v4 stream control frames (BEGIN/END/CANCEL/CREDIT).
+        uint64_t stream_ctrl_frames = 0;
     };
 
     FrameEngine() = default;
@@ -126,6 +136,28 @@ class FrameEngine : public proto::CostSink
     {
         cycles_ += timing_.error_frame_cycles;
         ++stats_.error_frames;
+    }
+
+    /// Price one v4 stream data chunk of @p chunk_bytes payload: the
+    /// ingress header/CRC work plus the stream-bookkeeping stage
+    /// (offset check, window update, running-CRC fold).
+    void
+    ChargeStreamChunk(size_t chunk_bytes)
+    {
+        ChargeIngressFrame(chunk_bytes);
+        cycles_ += timing_.stream_ctrl_cycles;
+        ++stats_.stream_chunks;
+        stats_.stream_chunk_bytes += chunk_bytes;
+    }
+
+    /// Price one v4 stream control frame (BEGIN/END/CANCEL/CREDIT) of
+    /// @p subheader_bytes payload.
+    void
+    ChargeStreamControl(size_t subheader_bytes)
+    {
+        ChargeIngressFrame(subheader_bytes);
+        cycles_ += timing_.stream_ctrl_cycles;
+        ++stats_.stream_ctrl_frames;
     }
 
     /// Accumulated device cycles.

@@ -24,6 +24,7 @@
 #include "proto/codec_table.h"
 #include "proto/parser.h"
 #include "proto/serializer.h"
+#include "proto/stream_codec.h"
 
 namespace protoacc::rpc {
 
@@ -155,6 +156,38 @@ class CodecBackend
      */
     virtual void ScrubDeviceState() {}
 
+    /**
+     * Open an incremental decoder over this backend's software engine
+     * for the chunked streaming datapath (rpc/stream.h): wire bytes of
+     * one logical message arrive in fixed-budget chunks and complete
+     * top-level fields are delivered to @p sink as they finish, so
+     * peak memory never scales with the message. Decoded records price
+     * their cycles through the backend's cost model exactly like a
+     * whole-buffer Deserialize of the same bytes.
+     *
+     * Returns nullptr for engines with no incremental path — the
+     * device-only backend, whose modeled FSU consumes whole in-memory
+     * buffers (§3.4's context stack spills to DRAM, it does not
+     * stream); the serving runtime routes streams to the software
+     * engine there, the same degraded-mode route forced fallback uses.
+     */
+    virtual std::unique_ptr<proto::StreamDecoder>
+    CreateStreamDecoder(const proto::DescriptorPool & /*pool*/,
+                        int /*type*/,
+                        const proto::StreamCodecLimits & /*limits*/,
+                        proto::StreamSink * /*sink*/)
+    {
+        return nullptr;
+    }
+
+    /// Mirror of CreateStreamDecoder for the encode direction: append
+    /// fields/records, drain wire bytes in caller-sized chunks.
+    virtual std::unique_ptr<proto::StreamEncoder>
+    CreateStreamEncoder(const proto::StreamCodecLimits & /*limits*/)
+    {
+        return nullptr;
+    }
+
     /// Clock for converting cycles to time.
     virtual double freq_ghz() const = 0;
 
@@ -278,6 +311,22 @@ class SoftwareBackend : public CodecBackend
         }
         return proto::ToStatusCode(
             proto::ParseFromBuffer(data, size, msg, &model_, &limits_));
+    }
+
+    std::unique_ptr<proto::StreamDecoder>
+    CreateStreamDecoder(const proto::DescriptorPool &pool, int type,
+                        const proto::StreamCodecLimits &limits,
+                        proto::StreamSink *sink) override
+    {
+        return std::make_unique<proto::StreamDecoder>(
+            pool, type, engine_, limits, limits_, sink, &model_);
+    }
+
+    std::unique_ptr<proto::StreamEncoder>
+    CreateStreamEncoder(const proto::StreamCodecLimits &limits) override
+    {
+        return std::make_unique<proto::StreamEncoder>(engine_, limits,
+                                                      &model_);
     }
 
     double codec_cycles() const override { return model_.cycles(); }
@@ -471,6 +520,21 @@ class HybridCodecBackend : public CodecBackend
     {
         return accel_->watchdog_stats();
     }
+    /// Streams run on the hybrid's software half (the device FSU has
+    /// no incremental mode), the same route forced fallback takes.
+    std::unique_ptr<proto::StreamDecoder>
+    CreateStreamDecoder(const proto::DescriptorPool &pool, int type,
+                        const proto::StreamCodecLimits &limits,
+                        proto::StreamSink *sink) override
+    {
+        return software_->CreateStreamDecoder(pool, type, limits, sink);
+    }
+    std::unique_ptr<proto::StreamEncoder>
+    CreateStreamEncoder(const proto::StreamCodecLimits &limits) override
+    {
+        return software_->CreateStreamEncoder(limits);
+    }
+
     /// Frame CRCs on the hybrid run on the host core (the fallback's
     /// CPU model prices them); only codec ops ride the device.
     proto::CostSink *host_cost_sink() override

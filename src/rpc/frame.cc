@@ -38,6 +38,77 @@ FrameCrc(const uint8_t *frame, size_t payload_bytes)
 
 }  // namespace
 
+size_t
+PackStreamBegin(const StreamBeginInfo &info, uint8_t *out)
+{
+    std::memcpy(out, &info.total_bytes, 8);
+    std::memcpy(out + 8, &info.chunk_bytes, 4);
+    return StreamBeginInfo::kWireBytes;
+}
+
+size_t
+PackStreamChunk(const StreamChunkInfo &info, uint8_t *out)
+{
+    std::memcpy(out, &info.offset, 8);
+    return StreamChunkInfo::kWireBytes;
+}
+
+size_t
+PackStreamEnd(const StreamEndInfo &info, uint8_t *out)
+{
+    std::memcpy(out, &info.total_bytes, 8);
+    std::memcpy(out + 8, &info.stream_crc, 4);
+    return StreamEndInfo::kWireBytes;
+}
+
+size_t
+PackStreamCredit(const StreamCreditInfo &info, uint8_t *out)
+{
+    std::memcpy(out, &info.acked_bytes, 8);
+    std::memcpy(out + 8, &info.window_bytes, 8);
+    return StreamCreditInfo::kWireBytes;
+}
+
+bool
+UnpackStreamBegin(const uint8_t *payload, size_t len, StreamBeginInfo *out)
+{
+    if (len < StreamBeginInfo::kWireBytes)
+        return false;
+    std::memcpy(&out->total_bytes, payload, 8);
+    std::memcpy(&out->chunk_bytes, payload + 8, 4);
+    return true;
+}
+
+bool
+UnpackStreamChunk(const uint8_t *payload, size_t len, StreamChunkInfo *out)
+{
+    if (len < StreamChunkInfo::kWireBytes)
+        return false;
+    std::memcpy(&out->offset, payload, 8);
+    return true;
+}
+
+bool
+UnpackStreamEnd(const uint8_t *payload, size_t len, StreamEndInfo *out)
+{
+    if (len < StreamEndInfo::kWireBytes)
+        return false;
+    std::memcpy(&out->total_bytes, payload, 8);
+    std::memcpy(&out->stream_crc, payload + 8, 4);
+    return true;
+}
+
+bool
+UnpackStreamCredit(const uint8_t *payload, size_t len,
+                   StreamCreditInfo *out)
+{
+    if (len < StreamCreditInfo::kWireBytes)
+        return false;
+    std::memcpy(&out->acked_bytes, payload, 8);
+    std::memcpy(&out->window_bytes, payload + 8, 8);
+    return true;
+}
+
 void
 FrameBuffer::SealFrame(size_t frame_start, size_t payload_bytes)
 {
@@ -180,7 +251,7 @@ FrameBuffer::Next(size_t *offset, StatusCode *error) const
 
     if (frame.header.version != FrameHeader::kFrameVersion) {
         // A foreign version byte is either a genuinely newer peer or a
-        // corrupted v2 frame. The CRC disambiguates: if the v2-layout
+        // corrupted frame. The CRC disambiguates: if the current-layout
         // integrity check fails too, report the corruption (retryable
         // kDataLoss) rather than a permanent version rejection.
         if (crc_enabled_ && !crc_ok) {

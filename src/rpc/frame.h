@@ -10,7 +10,7 @@
  * header (call id, method id, frame kind), written into and scanned out
  * of transport buffers.
  *
- * Wire format v2 (28 bytes, little-endian):
+ * Wire format v4 (28-byte header, little-endian):
  *
  *     offset  field
  *          0  payload_bytes   u32
@@ -25,11 +25,27 @@
  *         16  idempotency_key u64  (client-assigned; 0 = none)
  *         24  crc32c          u32  (over header bytes [0,24) + payload)
  *
- * v2 widens the header by a 16-bit tenant id so every layer downstream
+ * v2 widened the header by a 16-bit tenant id so every layer downstream
  * of the wire — admission, dedup scoping, accelerator scheduling —
  * can attribute the frame to its isolation domain without a lookaside
  * table. v1 frames (26 bytes, no tenant field) are rejected by the
  * version check like any other foreign version.
+ *
+ * v4 keeps the header layout bit-for-bit and adds the *streaming* frame
+ * kinds (kStreamBegin..kStreamCredit) that chunk one huge logical
+ * message across many frames instead of one request-sized payload. The
+ * stream-specific metadata rides in small fixed payload subheaders
+ * (StreamBeginInfo/StreamChunkInfo/StreamEndInfo/StreamCreditInfo below)
+ * so old readers reject v4 cleanly on the version byte alone. On stream
+ * frames the header's idempotency_key is the *stream key*: stable
+ * across retries of one logical transfer, it is what lets a resumed
+ * stream be recognized and replay only unacknowledged chunks. Each
+ * chunk frame's CRC covers that chunk end-to-end as usual; the END
+ * subheader additionally carries the CRC32C of the entire logical byte
+ * stream, composed chunk-by-chunk with Crc32cExtend, so reassembly
+ * bugs (lost/duplicated/reordered chunk payloads) are caught even when
+ * every individual frame verified clean. (v3 is skipped on the wire:
+ * the name is taken by the dedup snapshot format.)
  *
  * The CRC is the end-to-end integrity check: it is computed when a
  * frame is written (Append/CommitFrame) and verified when it is scanned
@@ -56,15 +72,38 @@ enum class FrameKind : uint8_t {
     kRequest = 0,
     kResponse = 1,
     kError = 2,
+    // ---- v4 streaming kinds. The payload of each begins with the
+    // matching fixed subheader (Pack/Unpack helpers below). ----
+    /// Opens a stream: announces the total logical length (admission
+    /// input) and the sender's nominal chunk size.
+    kStreamBegin = 3,
+    /// One chunk of stream bytes at an explicit offset.
+    kStreamChunk = 4,
+    /// Closes a stream: final length + whole-stream composed CRC32C.
+    kStreamEnd = 5,
+    /// Aborts a stream mid-flight (deadline, caller cancel); the header
+    /// status byte carries the cause. No payload.
+    kStreamCancel = 6,
+    /// Receiver -> sender flow-control grant: cumulative byte credit.
+    kStreamCredit = 7,
 };
+
+/// True for the v4 streaming kinds (any direction).
+inline bool
+IsStreamKind(FrameKind kind)
+{
+    return kind >= FrameKind::kStreamBegin &&
+           kind <= FrameKind::kStreamCredit;
+}
 
 /// Fixed-size frame header preceding each protobuf payload.
 struct FrameHeader
 {
     /// Current wire-format version; frames declaring any other version
     /// are rejected as kUnimplemented without touching the payload.
-    /// v2 added the tenant_id field (multi-tenant serving).
-    static constexpr uint8_t kFrameVersion = 2;
+    /// v2 added the tenant_id field (multi-tenant serving); v4 added
+    /// the streaming frame kinds (header layout unchanged).
+    static constexpr uint8_t kFrameVersion = 4;
     /// flags bit 0: the trailing crc32c field is populated and must be
     /// verified on decode.
     static constexpr uint8_t kFlagHasCrc = 0x01;
@@ -102,6 +141,87 @@ struct Frame
     FrameHeader header;
     const uint8_t *payload = nullptr;
 };
+
+// ---------------------------------------------------------------------
+// v4 stream payload subheaders. Fixed little-endian layouts at the
+// start of the frame payload; chunk data (kStreamChunk only) follows
+// its subheader. Unpack helpers fail (return false) on short payloads
+// — the caller maps that to kMalformedInput.
+// ---------------------------------------------------------------------
+
+/// kStreamBegin payload: the transfer announce.
+struct StreamBeginInfo
+{
+    /// Announced total logical stream length in bytes. Admission
+    /// compares this against ParseLimits::max_payload_bytes and the
+    /// stream memory budgets *before* any chunk is accepted.
+    uint64_t total_bytes = 0;
+    /// Sender's nominal chunk payload size (scheduling/credit hint).
+    uint32_t chunk_bytes = 0;
+
+    static constexpr size_t kWireBytes = 8 + 4;
+};
+
+/// kStreamChunk payload prefix: explicit placement of the chunk.
+struct StreamChunkInfo
+{
+    /// Byte offset of this chunk within the logical stream. Explicit
+    /// (not inferred from arrival order) so duplicated and reordered
+    /// chunks are detectable and resume can skip committed prefixes.
+    uint64_t offset = 0;
+
+    static constexpr size_t kWireBytes = 8;
+};
+
+/// kStreamEnd payload: the close record.
+struct StreamEndInfo
+{
+    /// Final logical length; must equal both the announce and the
+    /// bytes actually committed.
+    uint64_t total_bytes = 0;
+    /// CRC32C over the entire logical byte stream, composed
+    /// chunk-by-chunk with Crc32cExtend on both sides.
+    uint32_t stream_crc = 0;
+
+    static constexpr size_t kWireBytes = 8 + 4;
+};
+
+/// kStreamCredit payload: receiver's flow-control grant, doubling as
+/// the cumulative ack. A credit frame whose header status is not kOk
+/// is a NACK: the receiver detected a gap (lost/reordered chunk) and
+/// the sender must rewind its send cursor to acked_bytes.
+struct StreamCreditInfo
+{
+    /// Committed watermark: every stream byte below this offset has
+    /// been received, verified and consumed exactly once. The resume
+    /// point after any fault.
+    uint64_t acked_bytes = 0;
+    /// *Cumulative* credit: the sender may have sent at most this many
+    /// stream bytes since stream start. Cumulative (not incremental)
+    /// grants are idempotent — a duplicated or reordered credit frame
+    /// folds in as max(), never double-grants.
+    uint64_t window_bytes = 0;
+
+    static constexpr size_t kWireBytes = 8 + 8;
+};
+
+/// Serialize a subheader into @p out (which must have room for the
+/// struct's kWireBytes). Returns bytes written.
+size_t PackStreamBegin(const StreamBeginInfo &info, uint8_t *out);
+size_t PackStreamChunk(const StreamChunkInfo &info, uint8_t *out);
+size_t PackStreamEnd(const StreamEndInfo &info, uint8_t *out);
+size_t PackStreamCredit(const StreamCreditInfo &info, uint8_t *out);
+
+/// Parse a subheader from the first bytes of @p payload; false when
+/// @p len is too short (malformed stream frame).
+bool UnpackStreamBegin(const uint8_t *payload, size_t len,
+                       StreamBeginInfo *out);
+bool UnpackStreamChunk(const uint8_t *payload, size_t len,
+                       StreamChunkInfo *out);
+bool UnpackStreamEnd(const uint8_t *payload, size_t len,
+                     StreamEndInfo *out);
+bool UnpackStreamCredit(const uint8_t *payload, size_t len,
+                        StreamCreditInfo *out);
 
 /**
  * Append-only frame buffer (one direction of a connection).

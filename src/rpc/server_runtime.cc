@@ -128,6 +128,21 @@ StatusCode
 RpcServerRuntime::Submit(const FrameHeader &header,
                          const uint8_t *payload, double arrival_ns)
 {
+    // v4 stream frames route to the attached streaming endpoint inline
+    // (its state machine is ordered and it runs its own admission:
+    // announce bound, memory budgets, brownout). Without an endpoint
+    // the kinds are understood but unserved.
+    if (IsStreamKind(header.kind)) {
+        if (stream_receiver_ == nullptr)
+            return StatusCode::kUnimplemented;
+        Frame frame;
+        frame.header = header;
+        frame.payload = payload;
+        std::lock_guard<std::mutex> lock(stream_mu_);
+        ++stream_frames_;
+        return stream_receiver_->HandleFrame(frame, &stream_replies_,
+                                             arrival_ns);
+    }
     // Tenant admission pipeline (breaker → bucket → per-tenant wait →
     // brownout) runs before worker selection; null tenants_ is the
     // legacy fast path. Every PreAdmit is paired with exactly one
@@ -457,6 +472,19 @@ RpcServerRuntime::Snapshot() const
     }
     snap.crc_rejects = crc_rejects_.load(std::memory_order_relaxed);
     snap.redispatched_frames = redispatched_frames_;
+    // Peak-memory high-water mark: worker arena reservations (arenas
+    // only grow, so bytes_reserved is already a high-water mark) plus
+    // the stream-buffer gauge peak.
+    size_t arena_total = 0;
+    for (const WorkerSnapshot &ws : snap.workers)
+        arena_total += ws.arena_bytes_reserved;
+    snap.stream_buffer_bytes = stream_gauge_.current_bytes();
+    snap.stream_buffer_peak_bytes = stream_gauge_.peak_bytes();
+    snap.peak_memory_bytes = arena_total + snap.stream_buffer_peak_bytes;
+    {
+        std::lock_guard<std::mutex> lock(stream_mu_);
+        snap.stream_frames = stream_frames_;
+    }
     if (config_.shared_accel != nullptr)
         snap.watchdog_resets +=
             config_.shared_accel->stats().watchdog_resets;
@@ -473,6 +501,31 @@ RpcServerRuntime::Snapshot() const
                          t.counters.shed_breaker;
     }
     return snap;
+}
+
+void
+RpcServerRuntime::AttachStreamReceiver(StreamReceiver *receiver)
+{
+    std::lock_guard<std::mutex> lock(stream_mu_);
+    stream_receiver_ = receiver;
+    if (receiver == nullptr)
+        return;
+    // Budget enforcement and peak-memory accounting share one gauge;
+    // completed-stream responses replay from the runtime's dedup cache
+    // (when one is configured) for exactly-once across lost replies.
+    receiver->SetGauge(&stream_gauge_);
+    if (dedup_ != nullptr)
+        receiver->SetDedupCache(dedup_.get());
+    if (tenants_ != nullptr)
+        receiver->SetTenantTable(tenants_.get());
+}
+
+void
+RpcServerRuntime::AdvanceStreamTime(double now_ns)
+{
+    std::lock_guard<std::mutex> lock(stream_mu_);
+    if (stream_receiver_ != nullptr)
+        stream_receiver_->AdvanceTime(now_ns, &stream_replies_);
 }
 
 void

@@ -49,6 +49,7 @@
 #include "rpc/dedup_cache.h"
 #include "rpc/health.h"
 #include "rpc/rpc.h"
+#include "rpc/stream.h"
 #include "rpc/tenant.h"
 #include "sim/fault.h"
 
@@ -309,6 +310,17 @@ struct RuntimeSnapshot
     /// every tenant-layer shed; the per-cause split lives here.
     std::vector<TenantSnapshot> tenants;
     std::vector<WorkerSnapshot> workers;
+    /// Stream-buffer memory gauge (rpc/stream.h): bytes currently
+    /// reserved by live streams and the high-water mark (zeros when no
+    /// stream receiver is attached).
+    size_t stream_buffer_bytes = 0;
+    size_t stream_buffer_peak_bytes = 0;
+    /// Peak-memory high-water mark of the runtime's data buffers:
+    /// worker arena reservations (arenas only grow, so bytes_reserved
+    /// is itself a high-water mark) plus the stream-buffer peak.
+    size_t peak_memory_bytes = 0;
+    /// v4 stream frames routed to the attached stream receiver.
+    uint64_t stream_frames = 0;
 
     /// Modeled queries/sec across the pool of workers.
     double
@@ -446,6 +458,32 @@ class RpcServerRuntime
     /// Fail-closed on corrupt images (see DedupCache::Deserialize).
     /// Quiescent only. @return false when rejected or dedup disabled.
     bool RestoreDedup(const uint8_t *data, size_t size);
+
+    /**
+     * Attach the bounded-memory streaming endpoint (not owned; must
+     * outlive the runtime, or be detached with nullptr first). Once
+     * attached, Submit routes every v4 stream frame (IsStreamKind) to
+     * it inline — streams bypass the per-call worker pipeline because
+     * their admission is the stream layer's own (announce bound,
+     * memory budgets, brownout) and their state machine is ordered.
+     * The receiver is re-pointed at this runtime's shared memory gauge
+     * and its dedup cache (exactly-once response replay), and its
+     * reply/credit frames land in stream_replies(). Call before
+     * streaming traffic arrives.
+     */
+    void AttachStreamReceiver(StreamReceiver *receiver);
+
+    /// Reply/credit/error frames emitted by the attached stream
+    /// receiver (quiescent only — callers pump it between ticks).
+    FrameBuffer &stream_replies() { return stream_replies_; }
+
+    /// Shared stream-buffer gauge feeding the snapshot's peak-memory
+    /// accounting (live even when no receiver is attached).
+    StreamMemoryGauge &stream_gauge() { return stream_gauge_; }
+
+    /// Modeled-time hook for the attached receiver's deadline sweep
+    /// and wedge releases; no-op when no receiver is attached.
+    void AdvanceStreamTime(double now_ns);
 
   private:
     struct OwnedFrame
@@ -621,6 +659,17 @@ class RpcServerRuntime
     std::unique_ptr<SelfTester> self_tester_;
     /// Frames rejected by SubmitFromStream's integrity check.
     std::atomic<uint64_t> crc_rejects_{0};
+    /// Streaming endpoint (not owned; null = streams unimplemented).
+    StreamReceiver *stream_receiver_ = nullptr;
+    /// Shared stream-buffer budget gauge (snapshot peak-memory input).
+    StreamMemoryGauge stream_gauge_;
+    /// The attached receiver's egress (credits/errors/responses).
+    FrameBuffer stream_replies_;
+    /// Serializes stream-frame routing: Submit is thread-safe but the
+    /// receiver's per-stream state machine is single-threaded
+    /// (mutable: Snapshot() is const and reads the routing counter).
+    mutable std::mutex stream_mu_;
+    uint64_t stream_frames_ = 0;  ///< guarded by stream_mu_
     /// Frames moved off dead workers onto survivors (Drain only, which
     /// runs quiescent — plain counter).
     uint64_t redispatched_frames_ = 0;

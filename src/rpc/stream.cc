@@ -1,0 +1,856 @@
+#include "rpc/stream.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "accel/frame_engine.h"
+#include "common/check.h"
+#include "common/crc32c.h"
+
+namespace protoacc::rpc {
+
+namespace {
+
+/// Chunk identity fed to the hash-gated fault verdict: the stream
+/// offset plus the sender's per-attempt call id in the high bits, so a
+/// retransmission of the same offset re-rolls its verdict.
+uint64_t
+ChunkFaultIndex(uint64_t offset, uint32_t call_id)
+{
+    return offset ^ (static_cast<uint64_t>(call_id) << 32);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// StreamReceiver
+// ---------------------------------------------------------------------
+
+struct StreamReceiver::StreamState
+{
+    uint16_t tenant = 0;
+    uint16_t method_id = 0;
+    uint32_t call_id = 0;
+    uint64_t key = 0;
+    uint64_t announced_bytes = 0;
+    /// Committed watermark: stream bytes received, verified, decoded.
+    uint64_t committed = 0;
+    /// Whole-stream CRC composed over committed chunks (Crc32cExtend).
+    uint32_t running_crc = 0;
+    /// Cumulative credit already granted (monotone; credits are
+    /// idempotent max() folds on the sender).
+    uint64_t granted_window = 0;
+    std::unique_ptr<proto::StreamSink> sink;
+    std::unique_ptr<proto::StreamDecoder> decoder;
+    /// Bytes currently reserved against the memory gauge.
+    size_t gauge_bytes = 0;
+    double last_progress_ns = 0;
+    /// Injected receiver-window wedge: credit stops extending at
+    /// wedge_chunk committed chunks until wedge_release_ns.
+    bool wedge_armed = false;
+    bool wedge_holding = false;
+    uint64_t wedge_chunk = 0;
+    double wedge_release_ns = 0;
+    uint64_t chunks_committed = 0;
+};
+
+StreamReceiver::StreamReceiver(const proto::DescriptorPool *pool,
+                               CodecBackend *backend,
+                               const StreamConfig &config,
+                               SinkFactory sinks)
+    : pool_(pool), backend_(backend), config_(config),
+      sinks_(std::move(sinks))
+{
+    PA_CHECK(pool_ != nullptr);
+    PA_CHECK(backend_ != nullptr);
+}
+
+StreamReceiver::~StreamReceiver()
+{
+    // Deterministic teardown: release every live reservation so a
+    // shared gauge never leaks bytes from streams open at shutdown.
+    for (auto &entry : streams_)
+        gauge_->Release(entry.second->gauge_bytes);
+}
+
+void
+StreamReceiver::RegisterMethod(uint16_t method_id, int request_type)
+{
+    method_types_[method_id] = request_type;
+}
+
+void
+StreamReceiver::SetGauge(StreamMemoryGauge *gauge)
+{
+    gauge_ = gauge != nullptr ? gauge : &own_gauge_;
+}
+
+StatusCode
+StreamReceiver::HandleFrame(const Frame &frame, FrameBuffer *out,
+                            double now_ns)
+{
+    switch (frame.header.kind) {
+    case FrameKind::kStreamBegin:
+        return HandleBegin(frame, out, now_ns);
+    case FrameKind::kStreamChunk:
+        return HandleChunk(frame, out, now_ns);
+    case FrameKind::kStreamEnd:
+        return HandleEnd(frame, out, now_ns);
+    case FrameKind::kStreamCancel:
+        return HandleCancel(frame, out);
+    default:
+        // kStreamCredit flows receiver->sender only; anything else is
+        // a protocol violation on this endpoint.
+        ++stats_.malformed_frames;
+        SendError(frame, StatusCode::kMalformedInput, out);
+        return StatusCode::kMalformedInput;
+    }
+}
+
+StatusCode
+StreamReceiver::HandleBegin(const Frame &frame, FrameBuffer *out,
+                            double now_ns)
+{
+    if (engine_ != nullptr)
+        engine_->ChargeStreamControl(frame.header.payload_bytes);
+
+    StreamBeginInfo info;
+    if (frame.header.idempotency_key == 0 ||
+        !UnpackStreamBegin(frame.payload, frame.header.payload_bytes,
+                           &info)) {
+        ++stats_.malformed_frames;
+        SendError(frame, StatusCode::kMalformedInput, out);
+        return StatusCode::kMalformedInput;
+    }
+    const uint64_t key = frame.header.idempotency_key;
+
+    // Duplicate BEGIN on a live stream: the sender restarted (lost our
+    // credit, timeout). Resume, don't restart — re-ack the committed
+    // watermark so only unacknowledged chunks replay.
+    auto it = streams_.find(key);
+    if (it != streams_.end()) {
+        StreamState &st = *it->second;
+        if (info.total_bytes != st.announced_bytes ||
+            frame.header.tenant_id != st.tenant) {
+            ++stats_.malformed_frames;
+            SendError(frame, StatusCode::kMalformedInput, out);
+            return StatusCode::kMalformedInput;
+        }
+        ++stats_.streams_resumed;
+        st.call_id = frame.header.call_id;
+        st.last_progress_ns = now_ns;
+        SendCredit(st, out);
+        return StatusCode::kOk;
+    }
+
+    // BEGIN for a stream that already completed (our response frame was
+    // lost): exactly-once replay of the committed response from the
+    // dedup cache, never a re-execution.
+    if (dedup_ != nullptr) {
+        FrameHeader cached;
+        std::vector<uint8_t> payload;
+        if (dedup_->Lookup(frame.header.tenant_id, key, &cached,
+                           &payload)) {
+            ++stats_.replayed_responses;
+            cached.call_id = frame.header.call_id;
+            out->Append(cached, payload.data());
+            return StatusCode::kOk;
+        }
+    }
+
+    // Admission gate 1: the announce against the hostile-input payload
+    // bound — an oversized transfer sheds at the door, before a single
+    // chunk is buffered.
+    const uint64_t payload_cap = backend_->parse_limits().max_payload_bytes;
+    if (payload_cap != 0 && info.total_bytes > payload_cap) {
+        ++stats_.shed_announce;
+        SendError(frame, StatusCode::kResourceExhausted, out);
+        return StatusCode::kResourceExhausted;
+    }
+
+    auto type_it = method_types_.find(frame.header.method_id);
+    if (type_it == method_types_.end()) {
+        ++stats_.malformed_frames;
+        SendError(frame, StatusCode::kUnimplemented, out);
+        return StatusCode::kUnimplemented;
+    }
+
+    // Admission gate 2: memory budgets. The reservation is the stream's
+    // bounded working set — one record tail plus one chunk of
+    // reassembly slack — not the announced size.
+    const uint64_t chunk_hint =
+        std::max<uint64_t>(config_.chunk_bytes,
+                           std::min<uint64_t>(info.chunk_bytes,
+                                              config_.codec
+                                                  .max_record_bytes));
+    const size_t reserve = config_.codec.max_record_bytes +
+                           static_cast<size_t>(chunk_hint);
+    if (config_.per_stream_budget_bytes != 0 &&
+        reserve > config_.per_stream_budget_bytes) {
+        ++stats_.shed_budget;
+        SendError(frame, StatusCode::kOverloaded, out);
+        return StatusCode::kOverloaded;
+    }
+    // Brownout: when the reservation would push the gauge into the
+    // pressure band, only tenants above the lowest priority tier are
+    // admitted — SLO traffic keeps streaming while best-effort sheds.
+    if (config_.global_budget_bytes != 0 &&
+        config_.brownout_pressure < 1.0) {
+        const double pressure_floor =
+            config_.brownout_pressure *
+            static_cast<double>(config_.global_budget_bytes);
+        const double projected = static_cast<double>(
+            gauge_->current_bytes() + reserve);
+        const uint32_t priority =
+            tenants_ != nullptr
+                ? tenants_->PriorityOf(frame.header.tenant_id)
+                : 0;
+        if (projected > pressure_floor && priority == 0) {
+            ++stats_.shed_brownout;
+            SendError(frame, StatusCode::kOverloaded, out);
+            return StatusCode::kOverloaded;
+        }
+    }
+    if (!gauge_->TryAcquire(reserve, config_.global_budget_bytes)) {
+        ++stats_.shed_budget;
+        SendError(frame, StatusCode::kOverloaded, out);
+        return StatusCode::kOverloaded;
+    }
+
+    auto st = std::make_unique<StreamState>();
+    st->tenant = frame.header.tenant_id;
+    st->method_id = frame.header.method_id;
+    st->call_id = frame.header.call_id;
+    st->key = key;
+    st->announced_bytes = info.total_bytes;
+    st->gauge_bytes = reserve;
+    st->last_progress_ns = now_ns;
+    st->sink = sinks_(frame.header.method_id, frame.header.tenant_id);
+    if (st->sink == nullptr) {
+        gauge_->Release(reserve);
+        ++stats_.malformed_frames;
+        SendError(frame, StatusCode::kUnimplemented, out);
+        return StatusCode::kUnimplemented;
+    }
+    st->decoder = backend_->CreateStreamDecoder(
+        *pool_, type_it->second, config_.codec, st->sink.get());
+    if (st->decoder == nullptr) {
+        // Device-only backend: no incremental path on this endpoint.
+        gauge_->Release(reserve);
+        SendError(frame, StatusCode::kUnimplemented, out);
+        return StatusCode::kUnimplemented;
+    }
+
+    // Arm the injected receiver-window wedge for this stream (pure
+    // hash verdict — same stream wedges at the same chunk every run).
+    if (injector_ != nullptr && injector_->SampleWindowWedge(key)) {
+        const uint64_t total_chunks = std::max<uint64_t>(
+            1, (info.total_bytes + config_.chunk_bytes - 1) /
+                   config_.chunk_bytes);
+        st->wedge_armed = true;
+        st->wedge_chunk = injector_->WindowWedgeChunk(key, total_chunks);
+        ++stats_.wedges_started;
+    }
+
+    ++stats_.streams_opened;
+    StreamState &ref = *st;
+    streams_[key] = std::move(st);
+    SendCredit(ref, out);
+    return StatusCode::kOk;
+}
+
+StatusCode
+StreamReceiver::HandleChunk(const Frame &frame, FrameBuffer *out,
+                            double now_ns)
+{
+    StreamChunkInfo info;
+    if (!UnpackStreamChunk(frame.payload, frame.header.payload_bytes,
+                           &info)) {
+        ++stats_.malformed_frames;
+        SendError(frame, StatusCode::kMalformedInput, out);
+        return StatusCode::kMalformedInput;
+    }
+    const uint8_t *data = frame.payload + StreamChunkInfo::kWireBytes;
+    const size_t len =
+        frame.header.payload_bytes - StreamChunkInfo::kWireBytes;
+    if (engine_ != nullptr)
+        engine_->ChargeStreamChunk(len);
+
+    auto it = streams_.find(frame.header.idempotency_key);
+    if (it == streams_.end()) {
+        // CHUNK before BEGIN (or after completion): protocol violation.
+        ++stats_.malformed_frames;
+        SendError(frame, StatusCode::kMalformedInput, out);
+        return StatusCode::kMalformedInput;
+    }
+    StreamState &st = *it->second;
+
+    if (info.offset + len > st.announced_bytes || len == 0) {
+        ++stats_.malformed_frames;
+        SendError(frame, StatusCode::kMalformedInput, out);
+        return StatusCode::kMalformedInput;
+    }
+
+    if (info.offset < st.committed) {
+        // Duplicate of a committed chunk (retransmit overlap or channel
+        // duplication): exactly-once means ack without re-decoding.
+        ++stats_.duplicate_chunks;
+        SendCredit(st, out);
+        return StatusCode::kOk;
+    }
+    if (info.offset > st.committed) {
+        // Gap — a chunk ahead of the watermark means something in
+        // between was lost or reordered. NACK so the sender rewinds.
+        ++stats_.gap_nacks;
+        SendCredit(st, out, StatusCode::kUnavailable);
+        return StatusCode::kUnavailable;
+    }
+
+    // In-order chunk: decode incrementally, then commit the watermark
+    // and extend the composed stream CRC.
+    const proto::ParseStatus ps = st.decoder->Feed(data, len);
+    if (ps != proto::ParseStatus::kOk) {
+        const StatusCode code = proto::ToStatusCode(ps);
+        SendError(frame, code, out);
+        Cleanup(st.key);
+        return code;
+    }
+    st.running_crc = Crc32cExtend(st.running_crc, data, len);
+    st.committed += len;
+    st.chunks_committed += 1;
+    st.last_progress_ns = now_ns;
+    ++stats_.chunks_committed;
+    stats_.bytes_committed += len;
+
+    if (!RechargeBudget(st)) {
+        ++stats_.budget_cancels;
+        SendError(frame, StatusCode::kResourceExhausted, out);
+        // Notify the sender the stream is dead, then reclaim.
+        FrameHeader cancel;
+        cancel.kind = FrameKind::kStreamCancel;
+        cancel.status = StatusCode::kResourceExhausted;
+        cancel.call_id = st.call_id;
+        cancel.method_id = st.method_id;
+        cancel.tenant_id = st.tenant;
+        cancel.idempotency_key = st.key;
+        cancel.payload_bytes = 0;
+        out->Append(cancel, nullptr);
+        Cleanup(st.key);
+        return StatusCode::kResourceExhausted;
+    }
+
+    // Wedge trigger: at the armed chunk count the window freezes (no
+    // credit extension) until AdvanceTime passes the release point —
+    // the sender must survive a stalled receiver without data loss.
+    if (st.wedge_armed && !st.wedge_holding &&
+        st.chunks_committed >= st.wedge_chunk) {
+        st.wedge_armed = false;
+        st.wedge_holding = true;
+        st.wedge_release_ns = now_ns + config_.wedge_hold_ns;
+    }
+
+    SendCredit(st, out);
+    return StatusCode::kOk;
+}
+
+StatusCode
+StreamReceiver::HandleEnd(const Frame &frame, FrameBuffer *out,
+                          double now_ns)
+{
+    if (engine_ != nullptr)
+        engine_->ChargeStreamControl(frame.header.payload_bytes);
+
+    StreamEndInfo info;
+    if (!UnpackStreamEnd(frame.payload, frame.header.payload_bytes,
+                         &info)) {
+        ++stats_.malformed_frames;
+        SendError(frame, StatusCode::kMalformedInput, out);
+        return StatusCode::kMalformedInput;
+    }
+    auto it = streams_.find(frame.header.idempotency_key);
+    if (it == streams_.end()) {
+        ++stats_.malformed_frames;
+        SendError(frame, StatusCode::kMalformedInput, out);
+        return StatusCode::kMalformedInput;
+    }
+    StreamState &st = *it->second;
+
+    if (info.total_bytes != st.announced_bytes) {
+        // END disagreeing with the announce: the transfer is incoherent
+        // and nothing committed can be trusted to be the whole message.
+        SendError(frame, StatusCode::kMalformedInput, out);
+        Cleanup(st.key);
+        return StatusCode::kMalformedInput;
+    }
+    if (st.committed < st.announced_bytes) {
+        // END ahead of the data (tail chunks still missing): NACK back
+        // to the watermark; the sender rewinds and re-sends the tail
+        // plus a fresh END.
+        ++stats_.gap_nacks;
+        st.last_progress_ns = now_ns;
+        SendCredit(st, out, StatusCode::kUnavailable);
+        return StatusCode::kUnavailable;
+    }
+    if (info.stream_crc != st.running_crc) {
+        // Every chunk frame verified clean individually, yet the
+        // composed whole-stream CRC disagrees: reassembly corruption.
+        ++stats_.stream_crc_mismatches;
+        SendError(frame, StatusCode::kDataLoss, out);
+        Cleanup(st.key);
+        return StatusCode::kDataLoss;
+    }
+    const proto::ParseStatus ps = st.decoder->Finish();
+    if (ps != proto::ParseStatus::kOk) {
+        const StatusCode code = proto::ToStatusCode(ps);
+        SendError(frame, code, out);
+        Cleanup(st.key);
+        return code;
+    }
+
+    // Commit: response echoes the close record (length + composed CRC)
+    // so the sender can verify end-to-end identity, and the response is
+    // remembered for exactly-once replay should it be lost in flight.
+    FrameHeader resp;
+    resp.kind = FrameKind::kResponse;
+    resp.status = StatusCode::kOk;
+    resp.call_id = st.call_id;
+    resp.method_id = st.method_id;
+    resp.tenant_id = st.tenant;
+    resp.idempotency_key = st.key;
+    uint8_t close_record[StreamEndInfo::kWireBytes];
+    StreamEndInfo committed{st.committed, st.running_crc};
+    PackStreamEnd(committed, close_record);
+    resp.payload_bytes = StreamEndInfo::kWireBytes;
+    out->Append(resp, close_record);
+    if (dedup_ != nullptr)
+        dedup_->Insert(st.tenant, st.key, resp, close_record,
+                       StreamEndInfo::kWireBytes);
+
+    ++stats_.streams_completed;
+    Cleanup(st.key);
+    return StatusCode::kOk;
+}
+
+StatusCode
+StreamReceiver::HandleCancel(const Frame &frame, FrameBuffer *out)
+{
+    if (engine_ != nullptr)
+        engine_->ChargeStreamControl(frame.header.payload_bytes);
+    (void)out;
+    auto it = streams_.find(frame.header.idempotency_key);
+    if (it == streams_.end())
+        return StatusCode::kOk;  // cancel of an already-dead stream
+    ++stats_.streams_cancelled;
+    Cleanup(frame.header.idempotency_key);
+    return StatusCode::kOk;
+}
+
+void
+StreamReceiver::SendCredit(StreamState &st, FrameBuffer *out,
+                           StatusCode nack_status)
+{
+    // Cumulative grant: watermark plus one window ahead — unless the
+    // window is wedged, in which case the grant stops extending and the
+    // sender stalls against it.
+    if (!st.wedge_holding) {
+        const uint64_t grant = std::min<uint64_t>(
+            st.announced_bytes,
+            st.committed + config_.credit_window_bytes);
+        st.granted_window = std::max(st.granted_window, grant);
+    }
+    StreamCreditInfo info{st.committed, st.granted_window};
+    uint8_t payload[StreamCreditInfo::kWireBytes];
+    PackStreamCredit(info, payload);
+
+    FrameHeader h;
+    h.kind = FrameKind::kStreamCredit;
+    h.status = nack_status;
+    h.call_id = st.call_id;
+    h.method_id = st.method_id;
+    h.tenant_id = st.tenant;
+    h.idempotency_key = st.key;
+    h.payload_bytes = StreamCreditInfo::kWireBytes;
+    out->Append(h, payload);
+    ++stats_.credits_sent;
+}
+
+void
+StreamReceiver::SendError(const Frame &frame, StatusCode code,
+                          FrameBuffer *out)
+{
+    FrameHeader h;
+    h.kind = FrameKind::kError;
+    h.status = code;
+    h.call_id = frame.header.call_id;
+    h.method_id = frame.header.method_id;
+    h.tenant_id = frame.header.tenant_id;
+    h.idempotency_key = frame.header.idempotency_key;
+    h.payload_bytes = 0;
+    out->Append(h, nullptr);
+    if (engine_ != nullptr)
+        engine_->ChargeErrorFrame();
+}
+
+void
+StreamReceiver::Cleanup(uint64_t key)
+{
+    auto it = streams_.find(key);
+    if (it == streams_.end())
+        return;
+    gauge_->Release(it->second->gauge_bytes);
+    streams_.erase(it);
+}
+
+bool
+StreamReceiver::RechargeBudget(StreamState &st)
+{
+    // The decoder's high-water mark (partial-record tail + scratch
+    // arena) can exceed the admission reservation when records are
+    // larger than the chunk hint; grow the gauge charge to match and
+    // re-check both budgets.
+    const size_t need = st.decoder->peak_buffered_bytes() +
+                        config_.chunk_bytes;
+    if (need <= st.gauge_bytes)
+        return true;
+    if (config_.per_stream_budget_bytes != 0 &&
+        need > config_.per_stream_budget_bytes) {
+        return false;
+    }
+    const size_t growth = need - st.gauge_bytes;
+    if (!gauge_->TryAcquire(growth, config_.global_budget_bytes))
+        return false;
+    st.gauge_bytes = need;
+    return true;
+}
+
+void
+StreamReceiver::AdvanceTime(double now_ns, FrameBuffer *out)
+{
+    // Wedge releases first (they emit the unblocking credit).
+    for (auto &entry : streams_) {
+        StreamState &st = *entry.second;
+        if (st.wedge_holding && now_ns >= st.wedge_release_ns) {
+            st.wedge_holding = false;
+            SendCredit(st, out);
+        }
+    }
+    if (config_.deadline_ns <= 0)
+        return;
+    // Deadline sweep: collect first (Cleanup mutates the map), then
+    // cancel deterministically in key order.
+    std::vector<uint64_t> expired;
+    for (const auto &entry : streams_) {
+        const StreamState &st = *entry.second;
+        if (now_ns - st.last_progress_ns > config_.deadline_ns)
+            expired.push_back(entry.first);
+    }
+    for (uint64_t key : expired) {
+        const StreamState &st = *streams_.at(key);
+        FrameHeader h;
+        h.kind = FrameKind::kStreamCancel;
+        h.status = StatusCode::kDeadlineExceeded;
+        h.call_id = st.call_id;
+        h.method_id = st.method_id;
+        h.tenant_id = st.tenant;
+        h.idempotency_key = st.key;
+        h.payload_bytes = 0;
+        out->Append(h, nullptr);
+        ++stats_.deadline_cancels;
+        Cleanup(key);
+    }
+}
+
+// ---------------------------------------------------------------------
+// StreamSender
+// ---------------------------------------------------------------------
+
+StreamSender::StreamSender(const StreamConfig &config, uint16_t tenant,
+                           uint16_t method_id, uint32_t call_id,
+                           uint64_t stream_key, uint64_t total_bytes,
+                           ByteSource source)
+    : config_(config), tenant_(tenant), method_id_(method_id),
+      call_id_(call_id), stream_key_(stream_key),
+      total_bytes_(total_bytes), source_(std::move(source))
+{
+    PA_CHECK(stream_key_ != 0);
+    PA_CHECK_GT(config_.chunk_bytes, 0u);
+    chunk_buf_.resize(config_.chunk_bytes);
+}
+
+void
+StreamSender::EmitChunk(FrameBuffer *out, uint64_t offset, size_t len)
+{
+    FrameHeader h;
+    h.kind = FrameKind::kStreamChunk;
+    // The per-attempt call id: bumped on every rewind so the channel's
+    // hash-gated fault verdicts re-roll for retransmitted chunks.
+    h.call_id = call_id_ + (stats_.attempts - 1);
+    h.method_id = method_id_;
+    h.tenant_id = tenant_;
+    h.idempotency_key = stream_key_;
+    h.payload_bytes =
+        static_cast<uint32_t>(StreamChunkInfo::kWireBytes + len);
+
+    uint8_t *slot = out->ReserveFrame(h, StreamChunkInfo::kWireBytes +
+                                             len);
+    StreamChunkInfo info{offset};
+    PackStreamChunk(info, slot);
+    const size_t got =
+        source_(offset, slot + StreamChunkInfo::kWireBytes, len);
+    PA_CHECK_EQ(got, len);
+
+    // Compose the whole-stream CRC exactly once per byte: rewinds
+    // re-send bytes already folded in (the source is a pure function of
+    // offset, so the bytes are identical by contract).
+    if (offset == crc_offset_) {
+        crc_ = Crc32cExtend(crc_, slot + StreamChunkInfo::kWireBytes,
+                            len);
+        crc_offset_ += len;
+    }
+    out->CommitFrame(StreamChunkInfo::kWireBytes + len);
+
+    ++stats_.chunks_sent;
+    stats_.bytes_sent += len;
+}
+
+size_t
+StreamSender::Pump(FrameBuffer *out, double now_ns)
+{
+    if (done_)
+        return 0;
+    size_t frames = 0;
+
+    // Retransmit timeout: no ack progress for too long — the credit or
+    // our chunks were lost. Rewind to the committed watermark. Two
+    // cases additionally re-announce: no credit ever arrived (the
+    // BEGIN or its credit was lost), and every byte already acked (the
+    // END's response was lost — the receiver may have completed and
+    // reclaimed the stream, so a bare END would read as garbage; the
+    // fresh BEGIN resumes a live stream or replays the committed
+    // response from the dedup cache).
+    if (begin_sent_ &&
+        now_ns - last_progress_ns_ > config_.retransmit_timeout_ns) {
+        next_offset_ = acked_;
+        end_sent_ = false;
+        if (window_ == 0 || acked_ >= total_bytes_)
+            begin_sent_ = false;
+        ++stats_.retransmits;
+        ++stats_.attempts;
+        last_progress_ns_ = now_ns;
+    }
+
+    if (!begin_sent_) {
+        FrameHeader h;
+        h.kind = FrameKind::kStreamBegin;
+        h.call_id = call_id_ + (stats_.attempts - 1);
+        h.method_id = method_id_;
+        h.tenant_id = tenant_;
+        h.idempotency_key = stream_key_;
+        uint8_t payload[StreamBeginInfo::kWireBytes];
+        StreamBeginInfo info{total_bytes_, config_.chunk_bytes};
+        PackStreamBegin(info, payload);
+        h.payload_bytes = StreamBeginInfo::kWireBytes;
+        out->Append(h, payload);
+        begin_sent_ = true;
+        last_progress_ns_ = now_ns;
+        ++frames;
+    }
+
+    // Data: as many chunks as the cumulative credit window allows.
+    while (next_offset_ < total_bytes_ && next_offset_ < window_) {
+        const size_t len = static_cast<size_t>(
+            std::min<uint64_t>(config_.chunk_bytes,
+                               std::min(total_bytes_ - next_offset_,
+                                        window_ - next_offset_)));
+        EmitChunk(out, next_offset_, len);
+        next_offset_ += len;
+        ++frames;
+    }
+
+    if (next_offset_ >= total_bytes_ && !end_sent_) {
+        FrameHeader h;
+        h.kind = FrameKind::kStreamEnd;
+        h.call_id = call_id_ + (stats_.attempts - 1);
+        h.method_id = method_id_;
+        h.tenant_id = tenant_;
+        h.idempotency_key = stream_key_;
+        uint8_t payload[StreamEndInfo::kWireBytes];
+        StreamEndInfo info{total_bytes_, crc_};
+        PackStreamEnd(info, payload);
+        h.payload_bytes = StreamEndInfo::kWireBytes;
+        out->Append(h, payload);
+        end_sent_ = true;
+        ++frames;
+    }
+
+    // Stall accounting: blocked on credit with data still to send.
+    if (next_offset_ < total_bytes_ && next_offset_ >= window_) {
+        if (stall_started_ns_ < 0) {
+            stall_started_ns_ = now_ns;
+            ++stats_.window_stalls;
+        }
+    }
+    return frames;
+}
+
+void
+StreamSender::HandleFrame(const Frame &frame, double now_ns)
+{
+    if (done_ || frame.header.idempotency_key != stream_key_)
+        return;
+    switch (frame.header.kind) {
+    case FrameKind::kStreamCredit: {
+        StreamCreditInfo info;
+        if (!UnpackStreamCredit(frame.payload,
+                                frame.header.payload_bytes, &info)) {
+            return;
+        }
+        // Cumulative folds: duplicated/stale credits are idempotent.
+        const bool progressed =
+            info.acked_bytes > acked_ || info.window_bytes > window_;
+        acked_ = std::max(acked_, info.acked_bytes);
+        window_ = std::max(window_, info.window_bytes);
+        if (progressed)
+            last_progress_ns_ = now_ns;
+        if (frame.header.status != StatusCode::kOk) {
+            // NACK: the receiver saw a gap. Rewind to its watermark and
+            // retransmit under a fresh attempt id.
+            ++stats_.nacks_received;
+            next_offset_ = acked_;
+            end_sent_ = false;
+            ++stats_.retransmits;
+            ++stats_.attempts;
+            last_progress_ns_ = now_ns;
+        }
+        if (stall_started_ns_ >= 0 && window_ > next_offset_) {
+            stats_.stalled_ns += now_ns - stall_started_ns_;
+            stall_started_ns_ = -1;
+        }
+        break;
+    }
+    case FrameKind::kResponse:
+        done_ = true;
+        final_status_ = frame.header.status;
+        response_.assign(frame.payload,
+                         frame.payload + frame.header.payload_bytes);
+        break;
+    case FrameKind::kError:
+    case FrameKind::kStreamCancel:
+        done_ = true;
+        final_status_ = frame.header.status;
+        break;
+    default:
+        break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// StreamChannel
+// ---------------------------------------------------------------------
+
+void
+StreamChannel::DeliverMangled(const Frame &frame, bool truncate,
+                              const Deliver &deliver)
+{
+    // Re-materialize the frame (correctly sealed), mangle the raw
+    // bytes, then run the mangled image through a real scan so the CRC
+    // machinery — not this model — decides what the receiver sees.
+    scratch_.clear();
+    scratch_.Append(frame.header, frame.payload);
+    if (truncate) {
+        // Lose the frame's tail: half the payload (at least one byte).
+        const size_t keep = FrameHeader::kWireBytes +
+                            frame.header.payload_bytes / 2;
+        scratch_.Truncate(keep);
+    } else {
+        // Flip one payload byte mid-chunk.
+        scratch_.mutable_data()[FrameHeader::kWireBytes +
+                                frame.header.payload_bytes / 2] ^= 0x5a;
+    }
+    size_t offset = 0;
+    StatusCode err = StatusCode::kOk;
+    auto mangled = scratch_.Next(&offset, &err);
+    if (mangled.has_value()) {
+        // The mangle dodged the CRC (cannot happen for a covered byte
+        // flip; kept for safety): deliver what survived.
+        deliver(*mangled);
+        ++stats_.delivered;
+        return;
+    }
+    // Truncation (scan starves) or CRC failure (kDataLoss): the
+    // corruption was *detected*, the frame never reaches the receiver,
+    // and recovery is the stream protocol's job.
+    ++stats_.detected_by_crc;
+}
+
+size_t
+StreamChannel::Pump(const FrameBuffer &wire, const Deliver &deliver)
+{
+    size_t offset = 0;
+    const size_t delivered_before = stats_.delivered;
+    std::optional<Frame> stashed;  // reorder: held back one slot
+    for (;;) {
+        StatusCode err = StatusCode::kOk;
+        auto frame = wire.Next(&offset, &err);
+        if (!frame.has_value())
+            break;
+        ++stats_.frames_pumped;
+
+        sim::ChunkFaultKind verdict = sim::ChunkFaultKind::kNone;
+        StreamChunkInfo info;
+        if (injector_ != nullptr &&
+            frame->header.kind == FrameKind::kStreamChunk &&
+            UnpackStreamChunk(frame->payload,
+                              frame->header.payload_bytes, &info)) {
+            verdict = injector_->SampleChunkFault(
+                frame->header.idempotency_key,
+                ChunkFaultIndex(info.offset, frame->header.call_id));
+        }
+
+        switch (verdict) {
+        case sim::ChunkFaultKind::kNone:
+            deliver(*frame);
+            ++stats_.delivered;
+            break;
+        case sim::ChunkFaultKind::kDrop:
+            ++stats_.dropped;
+            break;
+        case sim::ChunkFaultKind::kTruncate:
+            ++stats_.truncated;
+            DeliverMangled(*frame, /*truncate=*/true, deliver);
+            break;
+        case sim::ChunkFaultKind::kCorrupt:
+            ++stats_.corrupted;
+            DeliverMangled(*frame, /*truncate=*/false, deliver);
+            break;
+        case sim::ChunkFaultKind::kDuplicate:
+            deliver(*frame);
+            deliver(*frame);
+            stats_.delivered += 2;
+            ++stats_.duplicated;
+            break;
+        case sim::ChunkFaultKind::kReorder:
+            // Hold this frame back one delivery slot: it swaps places
+            // with its successor (or arrives last when none follows).
+            if (stashed.has_value()) {
+                deliver(*stashed);
+                ++stats_.delivered;
+            }
+            stashed = *frame;
+            ++stats_.reordered;
+            continue;
+        }
+        if (stashed.has_value()) {
+            deliver(*stashed);
+            ++stats_.delivered;
+            stashed.reset();
+        }
+    }
+    if (stashed.has_value()) {
+        deliver(*stashed);
+        ++stats_.delivered;
+    }
+    return stats_.delivered - delivered_before;
+}
+
+}  // namespace protoacc::rpc

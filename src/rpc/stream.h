@@ -1,0 +1,442 @@
+/**
+ * @file
+ * Bounded-memory streaming datapath over the v4 stream frames.
+ *
+ * The request-sized serving path materializes every message as one
+ * contiguous payload, so a GB-scale message is either a
+ * memory-exhaustion vector or an unconditional kResourceExhausted.
+ * This module serves such messages as *streams* — BEGIN announce,
+ * offset-addressed CHUNKs, END close (frame.h) — under hard memory
+ * budgets, with every mid-stream fault class recoverable and
+ * exactly-once delivery of the logical message:
+ *
+ *  - StreamReceiver is the server side: a per-stream state machine
+ *    (announce admission → in-order chunk commit → close verify) that
+ *    feeds committed bytes straight into the codec backend's
+ *    incremental StreamDecoder, so peak memory per stream is one
+ *    record plus one chunk, never the message. Budgets are enforced
+ *    through a StreamMemoryGauge shared with the serving runtime:
+ *    oversized announces shed at the door, budget pressure brownouts
+ *    low-priority tenants, and a mid-stream budget breach cancels
+ *    deterministically.
+ *
+ *  - Exactly-once resume rides the committed-offset watermark: the
+ *    dedup identity of a chunk is (tenant, stream key, offset), so a
+ *    duplicated or retransmitted chunk below the watermark is acked
+ *    without re-execution, a gap is NACKed (credit frame with non-kOk
+ *    status), and a reopened stream (sender restart, lost response)
+ *    resumes from the watermark — or, when the stream already
+ *    completed, replays the cached final response via the runtime's
+ *    DedupCache without touching the decoder.
+ *
+ *  - StreamSender is the client side: credit-window pacing (stalls in
+ *    modeled time while the receiver's window is closed), timeout and
+ *    NACK-driven rewind to the acked watermark, attempt counting
+ *    folded into the fault hash so retransmissions re-roll their
+ *    fault verdicts.
+ *
+ *  - StreamChannel is the deterministic lossy wire between them:
+ *    chunk-granularity faults (drop/truncate/corrupt/duplicate/
+ *    reorder, hash-gated per chunk identity — sim/fault.h) applied to
+ *    real frame bytes, so corruption and truncation are *detected by
+ *    the real CRC machinery*, not short-circuited.
+ */
+#ifndef PROTOACC_RPC_STREAM_H
+#define PROTOACC_RPC_STREAM_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "rpc/codec_backend.h"
+#include "rpc/dedup_cache.h"
+#include "rpc/frame.h"
+#include "rpc/tenant.h"
+#include "sim/fault.h"
+
+namespace protoacc::accel {
+class FrameEngine;
+}
+
+namespace protoacc::rpc {
+
+/// Streaming datapath configuration (shared by both endpoints).
+struct StreamConfig
+{
+    /// Nominal chunk payload size (stream bytes per kStreamChunk).
+    uint32_t chunk_bytes = 64u << 10;
+    /// Largest single record the incremental codec will buffer.
+    proto::StreamCodecLimits codec;
+    /// Hard cap on one stream's buffered bytes (decoder tail + scratch
+    /// + reassembly slack); breach cancels the stream with
+    /// kResourceExhausted. 0 = unlimited.
+    uint64_t per_stream_budget_bytes = 0;
+    /// Hard cap across all live streams (the StreamMemoryGauge
+    /// budget); a BEGIN that cannot reserve sheds with kOverloaded.
+    /// 0 = unlimited.
+    uint64_t global_budget_bytes = 0;
+    /// Credit granted ahead of the committed watermark. The sender's
+    /// in-flight bytes never exceed this.
+    uint64_t credit_window_bytes = 256u << 10;
+    /// Receiver-side inactivity deadline, modeled ns: a stream with no
+    /// committed progress for this long is cancelled and its state
+    /// reclaimed. 0 disables.
+    double deadline_ns = 0;
+    /// Brownout: when reserving a new stream would push the gauge past
+    /// this fraction of global_budget_bytes, non-top-priority tenants
+    /// shed (kOverloaded) while top-priority streams may use the full
+    /// budget. >= 1.0 disables.
+    double brownout_pressure = 1.0;
+    /// Sender: modeled time without ack progress before rewinding to
+    /// the watermark and retransmitting.
+    double retransmit_timeout_ns = 400000;
+    /// Receiver: how long a fault-injected window wedge withholds
+    /// credit before the window reopens (modeled ns).
+    double wedge_hold_ns = 150000;
+};
+
+/**
+ * Shared memory high-water-mark gauge for stream buffers. The serving
+ * runtime snapshots current/peak alongside its arena bytes so budget
+ * enforcement is observable. Thread-safe.
+ */
+class StreamMemoryGauge
+{
+  public:
+    /// Reserve @p bytes against @p budget (0 = unlimited). False (and
+    /// no state change) when the reservation would exceed the budget.
+    bool
+    TryAcquire(size_t bytes, size_t budget)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (budget != 0 && current_ + bytes > budget)
+            return false;
+        current_ += bytes;
+        if (current_ > peak_)
+            peak_ = current_;
+        return true;
+    }
+
+    void
+    Release(size_t bytes)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        current_ = bytes > current_ ? 0 : current_ - bytes;
+    }
+
+    size_t
+    current_bytes() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return current_;
+    }
+    size_t
+    peak_bytes() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return peak_;
+    }
+
+  private:
+    mutable std::mutex mu_;
+    size_t current_ = 0;
+    size_t peak_ = 0;
+};
+
+/// Receiver-side counters (quiescent reads).
+struct StreamReceiverStats
+{
+    uint64_t streams_opened = 0;
+    uint64_t streams_completed = 0;
+    uint64_t streams_resumed = 0;   ///< duplicate BEGIN on a live stream
+    uint64_t replayed_responses = 0;///< completed-stream BEGIN dedup hit
+    uint64_t streams_cancelled = 0; ///< sender cancel frames honored
+    uint64_t deadline_cancels = 0;  ///< receiver inactivity cancels
+    uint64_t budget_cancels = 0;    ///< mid-stream budget breach
+    uint64_t chunks_committed = 0;
+    uint64_t bytes_committed = 0;
+    uint64_t duplicate_chunks = 0;  ///< offset below watermark: acked, not re-run
+    uint64_t gap_nacks = 0;         ///< offset above watermark: rewind NACK
+    uint64_t shed_announce = 0;     ///< announce over max_payload_bytes
+    uint64_t shed_budget = 0;       ///< global budget reservation failed
+    uint64_t shed_brownout = 0;     ///< pressure shed of low-priority tenant
+    uint64_t malformed_frames = 0;  ///< protocol-violating stream frames
+    uint64_t stream_crc_mismatches = 0;
+    uint64_t wedges_started = 0;    ///< injected receiver-window wedges
+    uint64_t credits_sent = 0;
+};
+
+/**
+ * Server-side stream endpoint: owns every live stream's state and the
+ * per-stream incremental decoders. Single-threaded (streams are
+ * ordered; the runtime routes stream frames to it inline on the
+ * submission path). Reply/credit/error frames are appended to the
+ * FrameBuffer passed to HandleFrame.
+ */
+class StreamReceiver
+{
+  public:
+    /// Builds the application sink receiving one stream's decoded
+    /// fields (method id and tenant identify the stream).
+    using SinkFactory = std::function<std::unique_ptr<proto::StreamSink>(
+        uint16_t method_id, uint16_t tenant)>;
+
+    /**
+     * @param pool    compiled descriptor pool (not owned);
+     * @param backend codec backend whose software engine decodes
+     *                records (not owned; device-only backends have no
+     *                incremental path — CreateStreamDecoder nullptr
+     *                fails the BEGIN with kUnimplemented);
+     * @param config  budgets/window/deadline policy;
+     * @param sinks   application sink factory.
+     */
+    StreamReceiver(const proto::DescriptorPool *pool,
+                   CodecBackend *backend, const StreamConfig &config,
+                   SinkFactory sinks);
+    ~StreamReceiver();
+
+    StreamReceiver(const StreamReceiver &) = delete;
+    StreamReceiver &operator=(const StreamReceiver &) = delete;
+
+    /// Declare @p method_id's logical request type (pool index) —
+    /// the type streamed BEGIN frames of that method decode as.
+    void RegisterMethod(uint16_t method_id, int request_type);
+
+    /// Budget gauge shared with the serving runtime (not owned;
+    /// nullptr = private gauge). Set before the first frame.
+    void SetGauge(StreamMemoryGauge *gauge);
+
+    /// Optional tenant table for brownout priorities (not owned).
+    void SetTenantTable(TenantTable *tenants) { tenants_ = tenants; }
+
+    /// Optional completed-response cache for exactly-once replay of a
+    /// finished stream's response (not owned).
+    void SetDedupCache(DedupCache *dedup) { dedup_ = dedup; }
+
+    /// Optional fault injector driving receiver-window wedges (not
+    /// owned).
+    void SetFaultInjector(sim::FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
+    /// Optional device frame engine pricing stream framing work (not
+    /// owned).
+    void SetFrameEngine(accel::FrameEngine *engine) { engine_ = engine; }
+
+    /**
+     * Process one v4 stream frame at modeled time @p now_ns, appending
+     * any credit/error/response frames to @p out. Returns the frame's
+     * disposition — kOk for accepted protocol steps (including an
+     * idempotently acked duplicate chunk), the specific failure class
+     * otherwise (also carried on the emitted error/NACK frame).
+     */
+    StatusCode HandleFrame(const Frame &frame, FrameBuffer *out,
+                           double now_ns);
+
+    /// Deadline sweep: cancel streams with no progress since
+    /// now_ns - deadline_ns, emitting kStreamCancel frames to @p out.
+    /// Cleanup is deterministic: state destroyed, budget released.
+    void AdvanceTime(double now_ns, FrameBuffer *out);
+
+    const StreamReceiverStats &stats() const { return stats_; }
+    const StreamMemoryGauge &gauge() const { return *gauge_; }
+    /// Live streams (for quiescent assertions).
+    size_t open_streams() const { return streams_.size(); }
+
+  private:
+    struct StreamState;
+
+    StatusCode HandleBegin(const Frame &frame, FrameBuffer *out,
+                           double now_ns);
+    StatusCode HandleChunk(const Frame &frame, FrameBuffer *out,
+                           double now_ns);
+    StatusCode HandleEnd(const Frame &frame, FrameBuffer *out,
+                         double now_ns);
+    StatusCode HandleCancel(const Frame &frame, FrameBuffer *out);
+
+    /// Emit a credit/ack frame for @p st (@p nack_status != kOk marks
+    /// it a rewind NACK). Extends the cumulative grant unless the
+    /// window is wedged.
+    void SendCredit(StreamState &st, FrameBuffer *out,
+                    StatusCode nack_status = StatusCode::kOk);
+    /// Emit an error frame answering @p frame with @p code.
+    void SendError(const Frame &frame, StatusCode code,
+                   FrameBuffer *out);
+    /// Destroy @p key's state and release its budget reservation.
+    void Cleanup(uint64_t key);
+    /// Grow @p st's gauge charge to the decoder's current peak; false
+    /// (stream must cancel) on a budget breach.
+    bool RechargeBudget(StreamState &st);
+
+    const proto::DescriptorPool *pool_;
+    CodecBackend *backend_;
+    StreamConfig config_;
+    SinkFactory sinks_;
+    std::map<uint16_t, int> method_types_;
+    StreamMemoryGauge own_gauge_;
+    StreamMemoryGauge *gauge_ = &own_gauge_;
+    TenantTable *tenants_ = nullptr;
+    DedupCache *dedup_ = nullptr;
+    sim::FaultInjector *injector_ = nullptr;
+    accel::FrameEngine *engine_ = nullptr;
+    /// Live streams by stream key (header idempotency_key).
+    std::map<uint64_t, std::unique_ptr<StreamState>> streams_;
+    StreamReceiverStats stats_;
+};
+
+/// Sender-side counters.
+struct StreamSenderStats
+{
+    uint64_t chunks_sent = 0;
+    uint64_t bytes_sent = 0;       ///< includes retransmitted bytes
+    uint64_t retransmits = 0;      ///< rewinds (NACK- or timeout-driven)
+    uint64_t nacks_received = 0;
+    uint64_t window_stalls = 0;    ///< Pump calls blocked on credit
+    double stalled_ns = 0;         ///< modeled time spent window-blocked
+    uint32_t attempts = 1;         ///< transmission attempt counter
+};
+
+/**
+ * Client-side stream endpoint: chunks a logical byte stream into
+ * credit-paced kStreamChunk frames, rewinds on NACK/timeout, and
+ * completes on the receiver's response frame. Single-threaded.
+ *
+ * The stream bytes are *pulled* from a ByteSource — a pure function of
+ * offset — so the sender holds one chunk of buffer, never the logical
+ * message (the bench's 1 GiB stream is generated on the fly).
+ */
+class StreamSender
+{
+  public:
+    /// Fill [buf, buf+cap) with stream bytes starting at @p offset;
+    /// returns bytes produced (cap except at the stream tail). Must be
+    /// a pure function of offset (rewinds re-read committed ranges).
+    using ByteSource = std::function<size_t(uint64_t offset, uint8_t *buf,
+                                            size_t cap)>;
+
+    /**
+     * @param config      chunking/window/retry policy;
+     * @param tenant      isolation domain stamped on every frame;
+     * @param method_id   target method;
+     * @param call_id     base call id (the attempt counter is folded
+     *                    in so retransmitted chunks re-roll their
+     *                    hash-gated fault verdicts);
+     * @param stream_key  idempotency/stream key (nonzero);
+     * @param total_bytes logical stream length (the BEGIN announce);
+     * @param source      stream byte producer.
+     */
+    StreamSender(const StreamConfig &config, uint16_t tenant,
+                 uint16_t method_id, uint32_t call_id,
+                 uint64_t stream_key, uint64_t total_bytes,
+                 ByteSource source);
+
+    /**
+     * Advance the transfer at modeled time @p now_ns: emit BEGIN (first
+     * call), as many chunks as the credit window allows, END when all
+     * bytes are out, and timeout-driven rewinds. Returns frames
+     * appended to @p out.
+     */
+    size_t Pump(FrameBuffer *out, double now_ns);
+
+    /// Consume one receiver frame (credit/NACK, cancel, response,
+    /// error) at modeled time @p now_ns.
+    void HandleFrame(const Frame &frame, double now_ns);
+
+    /// Transfer finished (successfully or not).
+    bool done() const { return done_; }
+    /// Final status: kOk on response receipt, the failure class on
+    /// cancel/error. Meaningless before done().
+    StatusCode final_status() const { return final_status_; }
+    /// Response payload bytes (the receiver's close record), valid
+    /// when done() with kOk.
+    const std::vector<uint8_t> &response() const { return response_; }
+    const StreamSenderStats &stats() const { return stats_; }
+    uint64_t acked_bytes() const { return acked_; }
+    /// Whole-stream CRC32C composed over bytes sent so far (the full
+    /// stream's CRC once every byte has gone out at least once).
+    uint32_t stream_crc() const { return crc_; }
+
+  private:
+    void EmitChunk(FrameBuffer *out, uint64_t offset, size_t len);
+
+    StreamConfig config_;
+    uint16_t tenant_;
+    uint16_t method_id_;
+    uint32_t call_id_;
+    uint64_t stream_key_;
+    uint64_t total_bytes_;
+    ByteSource source_;
+    std::vector<uint8_t> chunk_buf_;
+    bool begin_sent_ = false;
+    bool end_sent_ = false;
+    bool done_ = false;
+    StatusCode final_status_ = StatusCode::kOk;
+    std::vector<uint8_t> response_;
+    uint64_t next_offset_ = 0;  ///< send cursor
+    uint64_t acked_ = 0;        ///< receiver's committed watermark
+    uint64_t window_ = 0;       ///< cumulative credit (send limit)
+    /// Whole-stream CRC composed as bytes first go out (monotone:
+    /// rewound ranges are never re-folded — the source is pure).
+    uint32_t crc_ = 0;
+    uint64_t crc_offset_ = 0;
+    double last_progress_ns_ = 0;
+    double stall_started_ns_ = -1;
+    StreamSenderStats stats_;
+};
+
+/// Channel counters (valid frames delivered vs faulted).
+struct StreamChannelStats
+{
+    uint64_t frames_pumped = 0;
+    uint64_t delivered = 0;
+    uint64_t dropped = 0;
+    uint64_t truncated = 0;
+    uint64_t corrupted = 0;
+    uint64_t duplicated = 0;
+    uint64_t reordered = 0;
+    /// Mangled frames whose corruption the receiving scan *detected*
+    /// (CRC / truncation check) — must equal truncated + corrupted.
+    uint64_t detected_by_crc = 0;
+};
+
+/**
+ * Deterministic lossy wire for stream frames. Pump() scans every frame
+ * out of a source buffer and delivers the survivors to a callback,
+ * applying the injector's hash-gated chunk faults to kStreamChunk
+ * frames (control frames pass clean — the protocol recovers data-plane
+ * loss; control-plane loss is modeled by the sender's timeout path).
+ * Corrupt/truncate faults mangle real bytes and re-scan them, so the
+ * frame CRC machinery performs the actual detection.
+ */
+class StreamChannel
+{
+  public:
+    using Deliver = std::function<void(const Frame &)>;
+
+    explicit StreamChannel(sim::FaultInjector *injector)
+        : injector_(injector)
+    {}
+
+    /// Pump all frames of @p wire into @p deliver; @p wire should be
+    /// cleared by the caller afterwards. Returns frames delivered.
+    size_t Pump(const FrameBuffer &wire, const Deliver &deliver);
+
+    const StreamChannelStats &stats() const { return stats_; }
+
+  private:
+    /// Deliver a mangled copy of one frame through a real CRC scan.
+    void DeliverMangled(const Frame &frame, bool truncate,
+                        const Deliver &deliver);
+
+    sim::FaultInjector *injector_;
+    FrameBuffer scratch_;
+    StreamChannelStats stats_;
+};
+
+}  // namespace protoacc::rpc
+
+#endif  // PROTOACC_RPC_STREAM_H

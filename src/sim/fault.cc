@@ -33,8 +33,45 @@ UnitFaultClassName(UnitFaultClass c)
     return "?";
 }
 
+const char *
+ChunkFaultKindName(ChunkFaultKind k)
+{
+    switch (k) {
+      case ChunkFaultKind::kNone: return "none";
+      case ChunkFaultKind::kDrop: return "drop";
+      case ChunkFaultKind::kTruncate: return "truncate";
+      case ChunkFaultKind::kCorrupt: return "corrupt";
+      case ChunkFaultKind::kDuplicate: return "duplicate";
+      case ChunkFaultKind::kReorder: return "reorder";
+    }
+    return "?";
+}
+
+namespace {
+
+/// splitmix64 finalizer: the stateless mixer behind the hash-gated
+/// chunk verdicts (same avalanche core Rng seeding uses).
+uint64_t
+Mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from a hash value (53 mantissa bits).
+double
+HashToUnit(uint64_t h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
 FaultInjector::FaultInjector(uint64_t seed, const FaultConfig &config)
     : rng_(seed),
+      seed_(seed),
       config_(config),
       kill_consumed_(config.worker_kills.size(), false)
 {}
@@ -258,6 +295,70 @@ FaultInjector::SampleChannelFault()
         return ChannelFaultKind::kCorrupt;
     }
     return ChannelFaultKind::kNone;
+}
+
+ChunkFaultKind
+FaultInjector::SampleChunkFault(uint64_t stream_key, uint64_t chunk_index)
+{
+    // One hash per chunk identity; successive fault classes carve
+    // disjoint slices of [0, 1), so at most one class fires and raising
+    // one rate never flips another class's verdicts.
+    const uint64_t h =
+        Mix64(Mix64(seed_ ^ 0x73747265616d21ull) ^
+              Mix64(stream_key) ^ Mix64(chunk_index * 0x9e3779b97f4a7c15ull));
+    const double u = HashToUnit(h);
+    double edge = config_.chunk_drop_rate;
+    ChunkFaultKind kind = ChunkFaultKind::kNone;
+    if (u < edge) {
+        kind = ChunkFaultKind::kDrop;
+    } else if (u < (edge += config_.chunk_truncate_rate)) {
+        kind = ChunkFaultKind::kTruncate;
+    } else if (u < (edge += config_.chunk_corrupt_rate)) {
+        kind = ChunkFaultKind::kCorrupt;
+    } else if (u < (edge += config_.chunk_duplicate_rate)) {
+        kind = ChunkFaultKind::kDuplicate;
+    } else if (u < (edge += config_.chunk_reorder_rate)) {
+        kind = ChunkFaultKind::kReorder;
+    }
+    if (kind != ChunkFaultKind::kNone) {
+        std::lock_guard<std::mutex> lock(mu_);
+        switch (kind) {
+          case ChunkFaultKind::kDrop: ++stats_.chunks_dropped; break;
+          case ChunkFaultKind::kTruncate:
+            ++stats_.chunks_truncated;
+            break;
+          case ChunkFaultKind::kCorrupt: ++stats_.chunks_corrupted; break;
+          case ChunkFaultKind::kDuplicate:
+            ++stats_.chunks_duplicated;
+            break;
+          case ChunkFaultKind::kReorder: ++stats_.chunks_reordered; break;
+          case ChunkFaultKind::kNone: break;
+        }
+    }
+    return kind;
+}
+
+bool
+FaultInjector::SampleWindowWedge(uint64_t stream_key)
+{
+    const uint64_t h =
+        Mix64(Mix64(seed_ ^ 0x77656467652121ull) ^ Mix64(stream_key));
+    const bool wedged = HashToUnit(h) < config_.window_wedge_rate;
+    if (wedged) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.windows_wedged;
+    }
+    return wedged;
+}
+
+uint64_t
+FaultInjector::WindowWedgeChunk(uint64_t stream_key, uint64_t total_chunks)
+{
+    if (total_chunks <= 1)
+        return 1;
+    const uint64_t h =
+        Mix64(Mix64(seed_ ^ 0x77656467656174ull) ^ Mix64(stream_key));
+    return 1 + h % (total_chunks - 1);
 }
 
 void

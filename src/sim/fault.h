@@ -93,6 +93,19 @@ enum class ChannelFaultKind {
     kCorrupt,   ///< payload bytes are flipped in flight
 };
 
+/// Outcome drawn for one stream chunk crossing the channel
+/// (chunk-granularity faults of the v4 streaming datapath).
+enum class ChunkFaultKind {
+    kNone,
+    kDrop,       ///< the chunk frame never arrives
+    kTruncate,   ///< the chunk loses its tail in flight
+    kCorrupt,    ///< chunk payload bytes are flipped in flight
+    kDuplicate,  ///< the chunk is delivered twice
+    kReorder,    ///< the chunk is delayed behind its successor
+};
+
+const char *ChunkFaultKindName(ChunkFaultKind k);
+
 /**
  * One scheduled worker crash: worker @p worker dies immediately after
  * completing its @p after_calls-th call. Event-based (not rate-based)
@@ -144,6 +157,27 @@ struct FaultConfig
     double frame_truncate_rate = 0.0;
     double frame_corrupt_rate = 0.0;
 
+    /// Per-chunk stream fault probabilities. Hash-gated, not RNG-gated:
+    /// the decision for chunk (stream_key, chunk_index) is a pure
+    /// function of (seed, stream_key, chunk_index), so enabling stream
+    /// faults never perturbs the injector's other draw streams, and a
+    /// *retransmitted* chunk re-samples the same verdict its original
+    /// did only if it keeps the same index — the sender bumps the
+    /// attempt counter folded into the key so retries get fresh
+    /// verdicts (otherwise a dropped chunk would be dropped forever).
+    double chunk_drop_rate = 0.0;
+    double chunk_truncate_rate = 0.0;
+    double chunk_corrupt_rate = 0.0;
+    double chunk_duplicate_rate = 0.0;
+    double chunk_reorder_rate = 0.0;
+
+    /// Receiver-window wedge: per-stream probability that the receiver
+    /// stops granting credit mid-stream, stalling the sender against a
+    /// closed window until the wedge clears (window_wedge_chunks chunk
+    /// intervals later). Exercises the backpressure deadline path.
+    double window_wedge_rate = 0.0;
+    uint32_t window_wedge_chunks = 4;
+
     /// Scheduled worker crashes (see WorkerKillEvent). Each fires at
     /// most once; no RNG draw is involved.
     std::vector<WorkerKillEvent> worker_kills;
@@ -165,6 +199,12 @@ struct FaultStats
     uint64_t frames_truncated = 0;
     uint64_t frames_corrupted = 0;
     uint64_t workers_killed = 0;
+    uint64_t chunks_dropped = 0;
+    uint64_t chunks_truncated = 0;
+    uint64_t chunks_corrupted = 0;
+    uint64_t chunks_duplicated = 0;
+    uint64_t chunks_reordered = 0;
+    uint64_t windows_wedged = 0;
 };
 
 /**
@@ -213,6 +253,27 @@ class FaultInjector
     /// Draw the fault outcome for one channel frame.
     ChannelFaultKind SampleChannelFault();
 
+    /**
+     * Verdict for one stream chunk: a pure hash of (seed, stream_key,
+     * chunk_index) against the chunk_*_rate config — deterministic per
+     * chunk identity, independent of call order and of every RNG draw
+     * stream. Fold the transmit attempt into @p chunk_index (e.g.
+     * index + attempt << 32) so retransmissions re-roll. Stats are
+     * tallied per call.
+     */
+    ChunkFaultKind SampleChunkFault(uint64_t stream_key,
+                                    uint64_t chunk_index);
+
+    /// Hash-gated per-stream verdict: does this stream's receiver
+    /// wedge its credit window mid-transfer? Same determinism contract
+    /// as SampleChunkFault.
+    bool SampleWindowWedge(uint64_t stream_key);
+
+    /// The hash-chosen chunk index at which a wedged window stops
+    /// granting credit (uniform over [1, total_chunks), so BEGIN
+    /// always gets through). Pure function; no stats, no draws.
+    uint64_t WindowWedgeChunk(uint64_t stream_key, uint64_t total_chunks);
+
     /// Corrupt @p n bytes of an in-flight frame payload in place.
     void CorruptBytes(uint8_t *data, size_t len, uint32_t n = 1);
 
@@ -224,6 +285,9 @@ class FaultInjector
 
     mutable std::mutex mu_;
     Rng rng_;
+    /// Construction seed, kept verbatim for the hash-gated chunk/window
+    /// verdicts (which never touch rng_).
+    uint64_t seed_;
     FaultConfig config_;
     FaultStats stats_;
     /// Which worker_kills entries already fired (parallel vector).

@@ -289,5 +289,98 @@ TEST_F(ServerRuntimeTest, UnknownMethodYieldsErrorFrameThroughRuntime)
     EXPECT_EQ(frame->header.call_id, 1u);
 }
 
+TEST_F(ServerRuntimeTest, StreamingFrameWithoutReceiverIsUnimplemented)
+{
+    RuntimeConfig config;
+    RpcServerRuntime runtime(&pool_, SoftwareFactory(), config);
+    runtime.RegisterMethod(1, req_, rsp_, EchoHandler());
+    runtime.Start();
+    FrameHeader h;
+    h.kind = FrameKind::kStreamBegin;
+    h.idempotency_key = 42;
+    h.method_id = 1;
+    uint8_t payload[StreamBeginInfo::kWireBytes];
+    PackStreamBegin({1024, 128}, payload);
+    h.payload_bytes = StreamBeginInfo::kWireBytes;
+    EXPECT_EQ(runtime.Submit(h, payload), StatusCode::kUnimplemented);
+    runtime.Drain();
+
+    const RuntimeSnapshot snap = runtime.Snapshot();
+    EXPECT_EQ(snap.stream_frames, 0u);
+    EXPECT_EQ(snap.stream_buffer_bytes, 0u);
+    EXPECT_EQ(snap.stream_buffer_peak_bytes, 0u);
+}
+
+TEST_F(ServerRuntimeTest, StreamingSnapshotReportsPeakMemory)
+{
+    RuntimeConfig config;
+    config.num_workers = 2;
+    RpcServerRuntime runtime(&pool_, SoftwareFactory(), config);
+    runtime.RegisterMethod(1, req_, rsp_, EchoHandler());
+
+    // Attach a streaming receiver: stream frames route to it and its
+    // buffer gauge feeds the snapshot's high-water mark.
+    StreamConfig stream_config;
+    stream_config.chunk_bytes = 256;
+    auto backend =
+        std::make_unique<SoftwareBackend>(cpu::BoomParams(), pool_);
+    class NullSink : public proto::StreamSink
+    {
+      public:
+        proto::ParseStatus
+        OnScalar(const proto::FieldDescriptor &, uint64_t) override
+        {
+            return proto::ParseStatus::kOk;
+        }
+    };
+    StreamReceiver receiver(
+        &pool_, backend.get(), stream_config,
+        [](uint16_t, uint16_t) -> std::unique_ptr<proto::StreamSink> {
+            return std::make_unique<NullSink>();
+        });
+    receiver.RegisterMethod(7, req_);
+    runtime.AttachStreamReceiver(&receiver);
+    runtime.Start();
+
+    FrameHeader h;
+    h.kind = FrameKind::kStreamBegin;
+    h.idempotency_key = 42;
+    h.method_id = 7;
+    uint8_t payload[StreamBeginInfo::kWireBytes];
+    PackStreamBegin({64 << 10, 256}, payload);
+    h.payload_bytes = StreamBeginInfo::kWireBytes;
+    ASSERT_EQ(runtime.Submit(h, payload), StatusCode::kOk);
+
+    // A live stream holds a buffer reservation; some ordinary calls run
+    // alongside it so worker arenas contribute too.
+    SubmitEchoes(&runtime, 8);
+    runtime.Drain();
+
+    const RuntimeSnapshot snap = runtime.Snapshot();
+    EXPECT_EQ(snap.stream_frames, 1u);
+    EXPECT_GT(snap.stream_buffer_bytes, 0u);
+    EXPECT_GE(snap.stream_buffer_peak_bytes, snap.stream_buffer_bytes);
+    size_t arena_total = 0;
+    for (const auto &w : snap.workers)
+        arena_total += w.arena_bytes_reserved;
+    EXPECT_GT(arena_total, 0u);
+    EXPECT_EQ(snap.peak_memory_bytes,
+              arena_total + snap.stream_buffer_peak_bytes);
+
+    // Stream teardown releases the reservation; the high-water mark and
+    // the peak-memory aggregate stay sticky.
+    FrameHeader cancel;
+    cancel.kind = FrameKind::kStreamCancel;
+    cancel.idempotency_key = 42;
+    cancel.method_id = 7;
+    cancel.payload_bytes = 0;
+    EXPECT_EQ(runtime.Submit(cancel, nullptr), StatusCode::kOk);
+    const RuntimeSnapshot after = runtime.Snapshot();
+    EXPECT_EQ(after.stream_buffer_bytes, 0u);
+    EXPECT_EQ(after.stream_buffer_peak_bytes,
+              snap.stream_buffer_peak_bytes);
+    EXPECT_GE(after.peak_memory_bytes, after.stream_buffer_peak_bytes);
+}
+
 }  // namespace
 }  // namespace protoacc::rpc
