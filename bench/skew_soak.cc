@@ -1,0 +1,772 @@
+/**
+ * Schema-skew soak: mixed-version schemas must never misparse, and a
+ * serving fleet must survive a live descriptor-table upgrade.
+ *
+ * Phase 1 — cross-version differential sweep. Every ordered
+ * (encode, decode) pair of the three skew-pool versions
+ * (tools/gen_pools.h BuildSkewPool: fields added, removed and widened
+ * across v0 -> v1 -> v2) runs >= --wires random payloads through all
+ * four engines — reference, table, generated, accelerator model. The
+ * contract: identical verdicts, equal in-memory messages, re-serialized
+ * bytes identical across engines, and (for every pair except the lossy
+ * widened-field narrowing v1 -> v2) byte-identical to the original
+ * wire — unknown fields preserved, never dropped, never misparsed.
+ *
+ * Phase 2 — mixed-version serving soak. Clients on v_{N-1}, v_N and
+ * v_{N+1} drive a v_N server (closed loop, stable idempotency keys)
+ * while the shared accelerator's descriptor tables are hot-swapped
+ * under live traffic (epoch-fenced BeginTableSwap), including one swap
+ * with an injected mid-load unit kill (quarantine fail-closed) and the
+ * subsequent RetryTableLoad reintegration. v_{N+1} clients are
+ * rejected with structured kFailedPrecondition until the operator
+ * registers the new version mid-soak; after that their retries serve.
+ * Invariants: zero wrong / lost / duplicated calls, zero silent
+ * misparses, stale_epoch_dispatches == 0 (the epoch fence held), and a
+ * same-seed replay reproduces every logical counter bit-identically.
+ *
+ * Flags: --wires=N  phase-1 inputs across all 9 pairs (default 100000)
+ *        --calls=N  phase-2 logical calls per run (default 1200)
+ *        --seed=S   base seed (default 0x5EED)
+ *        --json=PATH write both phases' counters as JSON
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "gen_pools.h"
+#include "harness/bench_common.h"
+#include "proto/codec_generated.h"
+#include "proto/codec_reference.h"
+#include "proto/parser.h"
+#include "proto/schema_random.h"
+#include "proto/serializer.h"
+#include "rpc/schema_registry.h"
+#include "rpc/server_runtime.h"
+#include "sim/fault.h"
+
+using namespace protoacc;
+using proto::DescriptorPool;
+using proto::Message;
+
+namespace {
+
+struct Options
+{
+    uint64_t wires = 100'000;
+    uint64_t calls = 1'200;
+    uint64_t seed = 0x5EED;
+    std::string json_path;
+};
+
+Options
+ParseOptions(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--wires=", 0) == 0)
+            opt.wires = std::strtoull(arg.c_str() + 8, nullptr, 10);
+        else if (arg.rfind("--calls=", 0) == 0)
+            opt.calls = std::strtoull(arg.c_str() + 8, nullptr, 10);
+        else if (arg.rfind("--seed=", 0) == 0)
+            opt.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+        else if (arg.rfind("--json=", 0) == 0)
+            opt.json_path = arg.substr(7);
+        else {
+            std::fprintf(stderr,
+                         "usage: skew_soak [--wires=N] [--calls=N] "
+                         "[--seed=S] [--json=PATH]\n");
+            std::exit(1);
+        }
+    }
+    return opt;
+}
+
+// ---------------------------------------------------------------------
+// Phase 1: cross-version quad-engine differential sweep
+// ---------------------------------------------------------------------
+
+/// One skew-pool version wired to all four engines as the decoder.
+struct EngineRig
+{
+    explicit EngineRig(int version)
+        : np(genpools::BuildSkewPool(version)),
+          memory(sim::MemorySystemConfig{}),
+          accel(&memory, accel::AccelConfig{}),
+          adts(std::make_unique<accel::AdtBuilder>(*np.pool, &adt_arena))
+    {
+        accel.DeserAssignArena(&deser_arena);
+        accel.SerAssignArena(&ser_arena);
+    }
+
+    genpools::NamedPool np;
+    proto::Arena adt_arena;
+    proto::Arena deser_arena;
+    accel::SerArena ser_arena;
+    sim::MemorySystem memory;
+    accel::ProtoAccelerator accel;
+    std::unique_ptr<accel::AdtBuilder> adts;
+    uint32_t ser_jobs = 0;
+};
+
+struct SweepResult
+{
+    uint64_t wires = 0;
+    uint64_t verdict_disagreements = 0;
+    uint64_t message_mismatches = 0;
+    uint64_t engine_byte_mismatches = 0;
+    uint64_t roundtrip_mismatches = 0;
+    std::string first_failure;
+
+    uint64_t
+    total_mismatches() const
+    {
+        return verdict_disagreements + message_mismatches +
+               engine_byte_mismatches + roundtrip_mismatches;
+    }
+};
+
+void
+NoteFailure(SweepResult *r, uint64_t SweepResult::*counter,
+            const std::string &ctx)
+{
+    ++(r->*counter);
+    if (r->first_failure.empty())
+        r->first_failure = ctx;
+}
+
+/// Parse @p wire with all four engines of @p rig and re-serialize;
+/// count every cross-engine disagreement into @p result. When
+/// @p expect_identity, the re-serialized bytes must equal @p wire.
+void
+QuadCheck(EngineRig *rig, const std::vector<uint8_t> &wire,
+          bool expect_identity, const std::string &ctx,
+          SweepResult *result)
+{
+    const DescriptorPool &pool = *rig->np.pool;
+    const int root = rig->np.root;
+    proto::Arena arena;
+    ++result->wires;
+
+    Message ref_dest = Message::Create(&arena, pool, root);
+    Message tab_dest = Message::Create(&arena, pool, root);
+    Message gen_dest = Message::Create(&arena, pool, root);
+    Message acc_dest = Message::Create(&arena, pool, root);
+
+    const StatusCode ref_st = proto::ToStatusCode(
+        proto::ReferenceParseFromBuffer(wire.data(), wire.size(),
+                                        &ref_dest, nullptr, nullptr));
+    const StatusCode tab_st = proto::ToStatusCode(proto::ParseFromBuffer(
+        wire.data(), wire.size(), &tab_dest, nullptr, nullptr));
+    const StatusCode gen_st = proto::ToStatusCode(
+        proto::GeneratedParseFromBuffer(wire.data(), wire.size(),
+                                        &gen_dest, nullptr, nullptr));
+    rig->accel.EnqueueDeser(accel::MakeDeserJob(*rig->adts, root, pool,
+                                                acc_dest.raw(),
+                                                wire.data(),
+                                                wire.size()));
+    uint64_t cycles = 0;
+    const StatusCode acc_st =
+        accel::ToStatusCode(rig->accel.BlockForDeserCompletion(&cycles));
+
+    if (StatusOk(ref_st) != StatusOk(tab_st) ||
+        StatusOk(tab_st) != StatusOk(gen_st) ||
+        StatusOk(tab_st) != StatusOk(acc_st)) {
+        NoteFailure(result, &SweepResult::verdict_disagreements, ctx);
+        return;
+    }
+    if (!StatusOk(tab_st))
+        return;  // agreed rejection: nothing further to compare
+
+    if (!MessagesEqual(ref_dest, tab_dest) ||
+        !MessagesEqual(tab_dest, gen_dest) ||
+        !MessagesEqual(tab_dest, acc_dest))
+        NoteFailure(result, &SweepResult::message_mismatches, ctx);
+
+    const std::vector<uint8_t> ref_out =
+        proto::ReferenceSerialize(ref_dest, nullptr);
+    const std::vector<uint8_t> tab_out =
+        proto::Serialize(tab_dest, nullptr);
+    const std::vector<uint8_t> gen_out =
+        proto::GeneratedSerialize(gen_dest, nullptr);
+    rig->accel.EnqueueSer(
+        accel::MakeSerJob(*rig->adts, root, pool, acc_dest.raw()));
+    if (rig->accel.BlockForSerCompletion(&cycles) !=
+        accel::AccelStatus::kOk) {
+        NoteFailure(result, &SweepResult::verdict_disagreements, ctx);
+        return;
+    }
+    const auto &acc_raw = rig->ser_arena.output(rig->ser_jobs++);
+    const std::vector<uint8_t> acc_out(acc_raw.data,
+                                       acc_raw.data + acc_raw.size);
+
+    if (ref_out != tab_out || gen_out != tab_out || acc_out != tab_out)
+        NoteFailure(result, &SweepResult::engine_byte_mismatches, ctx);
+    if (expect_identity && tab_out != wire)
+        NoteFailure(result, &SweepResult::roundtrip_mismatches, ctx);
+}
+
+SweepResult
+RunSweep(uint64_t total_wires, uint64_t seed)
+{
+    SweepResult result;
+    const uint64_t per_pair = (total_wires + 8) / 9;
+    for (int decode = 0; decode <= 2; ++decode) {
+        EngineRig rig(decode);
+        for (int encode = 0; encode <= 2; ++encode) {
+            genpools::NamedPool enc = genpools::BuildSkewPool(encode);
+            // The only lossy pair: v1's int64 count read as v2's int32
+            // (agreement required, wire identity not).
+            const bool identity = !(encode == 1 && decode == 2);
+            for (uint64_t s = 0; s < per_pair; ++s) {
+                Rng rng(seed + 1'000'003u * encode +
+                        100'000'007u * decode + s);
+                proto::Arena arena;
+                Message src =
+                    Message::Create(&arena, *enc.pool, enc.root);
+                proto::PopulateRandomMessage(src, &rng,
+                                             proto::MessageGenOptions{});
+                const std::vector<uint8_t> wire =
+                    proto::Serialize(src, nullptr);
+                const std::string ctx =
+                    "encode v" + std::to_string(encode) + " decode v" +
+                    std::to_string(decode) + " seed " +
+                    std::to_string(s);
+                QuadCheck(&rig, wire, identity, ctx, &result);
+                rig.deser_arena.Reset();
+            }
+        }
+    }
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// Phase 2: mixed-version serving soak with live table swaps
+// ---------------------------------------------------------------------
+
+constexpr uint32_t kWorkers = 4;
+constexpr uint16_t kMethod = 1;
+constexpr uint32_t kMaxRounds = 60;
+constexpr uint32_t kUnits = 3;
+/// Descriptor-table image size streamed per unit at each swap (a
+/// three-version Skew family compiles to a few KiB of field tables).
+constexpr uint64_t kTableBytes = 4096;
+/// Round after which the operator registers v_{N+1}: earlier rounds
+/// reject its canary clients with kFailedPrecondition.
+constexpr uint32_t kRegisterRound = 2;
+
+struct SoakResult
+{
+    uint64_t calls = 0;
+    uint64_t rounds = 0;
+    uint64_t attempts = 0;
+    uint64_t answered = 0;
+    uint64_t wrong_responses = 0;
+    uint64_t unknown_responses = 0;
+    uint64_t lost_calls = 0;
+    uint64_t duplicate_execs = 0;
+    uint64_t schema_reject_replies = 0;
+    uint64_t other_error_replies = 0;
+    uint64_t client_reply_drops = 0;
+    uint64_t dedup_hits = 0;
+    uint64_t dedup_insertions = 0;
+    uint64_t schema_rejects = 0;  ///< server-side snapshot counter
+    uint64_t table_swaps = 0;
+    uint64_t table_loads_committed = 0;
+    uint64_t table_loads_aborted = 0;
+    uint64_t table_load_cycles = 0;
+    uint64_t stale_epoch_dispatches = 0;
+    uint64_t retry_reintegrations = 0;
+    uint64_t final_epoch = 0;
+    uint32_t available_units = 0;
+    /// FNV-1a over the per-key execution counts: the exactly-once
+    /// ground truth, folded into the replay fingerprint.
+    uint64_t exec_digest = 0;
+    double p50_us = 0;
+    double p99_us = 0;
+
+    /// Every logical counter a same-seed replay must reproduce exactly
+    /// (modeled latency percentiles excluded: batch formation depends
+    /// on wall-clock worker wakeups, the logical outcome does not).
+    auto
+    Fingerprint() const
+    {
+        return std::make_tuple(
+            calls, rounds, attempts, answered, wrong_responses,
+            unknown_responses, lost_calls, duplicate_execs,
+            schema_reject_replies, other_error_replies,
+            client_reply_drops, dedup_hits, dedup_insertions,
+            schema_rejects, table_swaps, table_loads_committed,
+            table_loads_aborted, table_load_cycles,
+            stale_epoch_dispatches, retry_reintegrations, final_epoch,
+            available_units, exec_digest);
+    }
+};
+
+SoakResult
+RunServingSoak(uint64_t seed, uint64_t calls)
+{
+    SoakResult result;
+    result.calls = calls;
+
+    // Three live schema versions; the server speaks v1 (= v_N).
+    std::vector<genpools::NamedPool> pools;
+    for (int v = 0; v <= 2; ++v)
+        pools.push_back(genpools::BuildSkewPool(v));
+    uint64_t fp[3];
+    for (int v = 0; v <= 2; ++v)
+        fp[v] = proto::SchemaFingerprint(*pools[v].pool);
+
+    rpc::SchemaRegistry registry;
+    registry.Register(*pools[0].pool, "skew-v0");
+    registry.Register(*pools[1].pool, "skew-v1");
+    // fp[2] is deliberately NOT registered yet: the canary version
+    // arrives on the wire before the operator pushes it.
+
+    const DescriptorPool &server_pool = *pools[1].pool;
+    const int root = pools[1].root;
+    const auto &sd = server_pool.message(root);
+    const auto *f_id = sd.FindFieldByName("id");
+    const auto *f_name = sd.FindFieldByName("name");
+
+    std::unique_ptr<std::atomic<uint32_t>[]> execs(
+        new std::atomic<uint32_t>[calls]());
+
+    accel::SharedQueueConfig queue_config;
+    queue_config.num_units = kUnits;
+    accel::SharedAccelQueue shared_queue(queue_config);
+
+    // The mid-load kill at the second swap: a rate-1 injector attached
+    // to one unit only while that swap streams.
+    sim::FaultConfig kill_config;
+    kill_config.unit_kill_rate = 1.0;
+    sim::FaultInjector kill_injector(seed + 13, kill_config);
+
+    rpc::RuntimeConfig runtime_config;
+    runtime_config.num_workers = kWorkers;
+    runtime_config.max_batch = 8;
+    runtime_config.shared_accel = &shared_queue;
+    runtime_config.dedup_capacity = calls + 16;
+    runtime_config.schema_registry = &registry;
+    runtime_config.schema_fingerprint = fp[1];
+
+    rpc::RpcServerRuntime runtime(
+        &server_pool,
+        [&](uint32_t) -> std::unique_ptr<rpc::CodecBackend> {
+            return std::make_unique<rpc::HybridCodecBackend>(
+                std::make_unique<rpc::AcceleratedBackend>(
+                    server_pool, accel::AccelConfig{}),
+                std::make_unique<rpc::SoftwareBackend>(
+                    cpu::BoomParams(), server_pool));
+        },
+        runtime_config);
+
+    runtime.RegisterMethod(
+        kMethod, root, root,
+        [&](const Message &request, Message response) {
+            const std::string text(request.GetString(*f_name));
+            if (text.rfind("call-", 0) == 0) {
+                const uint64_t idx =
+                    std::strtoull(text.c_str() + 5, nullptr, 10);
+                if (idx < calls)
+                    execs[idx].fetch_add(1, std::memory_order_relaxed);
+            }
+            response.SetUint64(*f_id, request.GetUint64(*f_id));
+            response.SetString(*f_name, text);
+        });
+    runtime.Start();
+
+    // Per-version clients: each serializes requests and parses replies
+    // with its OWN schema — the server's reply may carry fields the
+    // older client treats as unknown, and vice versa.
+    std::vector<std::unique_ptr<rpc::SoftwareBackend>> clients;
+    for (int v = 0; v <= 2; ++v)
+        clients.push_back(std::make_unique<rpc::SoftwareBackend>(
+            cpu::BoomParams(), *pools[v].pool));
+
+    proto::Arena client_arena;
+    Rng reply_drop_rng(seed + 9);
+    std::vector<bool> answered(calls, false);
+    std::vector<bool> reply_dropped(calls, false);
+    std::vector<size_t> reply_offset(kWorkers, 0);
+    uint64_t unanswered = calls;
+
+    for (uint32_t round = 0; round < kMaxRounds && unanswered > 0;
+         ++round) {
+        ++result.rounds;
+
+        // Live-upgrade schedule, all at round boundaries (the runtime
+        // is quiescent between Drain and the next Submit):
+        //   round 1: clean table swap across the fleet;
+        //   round 2: the operator registers v_{N+1} — canary retries
+        //            start serving;
+        //   round 3: swap with a mid-load kill on one unit (fenced,
+        //            fail-closed), then RetryTableLoad reintegrates it.
+        if (round == 1 || round == 3) {
+            if (round == 3)
+                shared_queue.SetUnitFaultInjector(kUnits - 1,
+                                                  &kill_injector);
+            const auto swap = shared_queue.BeginTableSwap(
+                shared_queue.stats().busy_until_cycle, kTableBytes);
+            if (round == 3) {
+                shared_queue.SetUnitFaultInjector(kUnits - 1, nullptr);
+                if (swap.loads_aborted > 0 &&
+                    shared_queue.RetryTableLoad(
+                        kUnits - 1, shared_queue.stats().busy_until_cycle,
+                        kTableBytes)) {
+                    shared_queue.SetUnitFenced(kUnits - 1, false);
+                    ++result.retry_reintegrations;
+                }
+            }
+        }
+        if (round == kRegisterRound)
+            registry.Register(*pools[2].pool, "skew-v2");
+
+        for (uint64_t i = 0; i < calls; ++i) {
+            if (answered[i])
+                continue;
+            ++result.attempts;
+            const int v = static_cast<int>(i % 3);
+            const genpools::NamedPool &cp = pools[v];
+            const auto &cd = cp.pool->message(cp.root);
+            client_arena.Reset();
+            Message request =
+                Message::Create(&client_arena, *cp.pool, cp.root);
+            request.SetUint64(*cd.FindFieldByName("id"), i);
+            request.SetString(*cd.FindFieldByName("name"),
+                              "call-" + std::to_string(i));
+            // Version-specific fields ride along so the server-side
+            // parse crosses the skew: v1/v2 payloads carry fields the
+            // v1 server knows (flags) plus, for v2, one it must
+            // preserve as unknown (note) and one it reads narrowed
+            // (count int32 vs int64).
+            if (v >= 1)
+                request.SetUint32(*cd.FindFieldByName("flags"),
+                                  static_cast<uint32_t>(i));
+            if (v == 2)
+                request.SetString(*cd.FindFieldByName("note"),
+                                  "canary-" + std::to_string(i));
+            const std::vector<uint8_t> payload =
+                clients[v]->Serialize(request);
+
+            rpc::FrameBuffer wire;
+            rpc::FrameHeader header;
+            header.payload_bytes =
+                static_cast<uint32_t>(payload.size());
+            header.call_id = static_cast<uint32_t>(i + 1);
+            header.method_id = kMethod;
+            header.kind = rpc::FrameKind::kRequest;
+            header.idempotency_key = (1ull << 32) | (i + 1);
+            header.schema_fp = fp[v];
+            wire.Append(header, payload.data());
+
+            size_t off = 0;
+            while (off < wire.bytes())
+                (void)runtime.SubmitFromStream(wire, &off);
+        }
+
+        runtime.Drain();
+
+        for (uint32_t w = 0; w < kWorkers; ++w) {
+            const rpc::FrameBuffer &rb = runtime.replies(w);
+            size_t &off = reply_offset[w];
+            for (;;) {
+                StatusCode err = StatusCode::kOk;
+                const std::optional<rpc::Frame> f = rb.Next(&off, &err);
+                if (!f.has_value()) {
+                    if (err == StatusCode::kOk)
+                        break;
+                    continue;
+                }
+                if (f->header.kind == rpc::FrameKind::kError) {
+                    // The negotiation rejection: structured, stamped
+                    // with the server's fingerprint, and the call stays
+                    // unanswered until the version is registered.
+                    if (f->header.status ==
+                        StatusCode::kFailedPrecondition)
+                        ++result.schema_reject_replies;
+                    else
+                        ++result.other_error_replies;
+                    continue;
+                }
+                const uint64_t idx = f->header.call_id - 1;
+                if (f->header.kind != rpc::FrameKind::kResponse ||
+                    idx >= calls || answered[idx]) {
+                    ++result.unknown_responses;
+                    continue;
+                }
+                if (!reply_dropped[idx] &&
+                    reply_drop_rng.NextBool(0.05)) {
+                    // Seeded client-side reply loss: the retry must be
+                    // served from the dedup cache, not re-executed.
+                    reply_dropped[idx] = true;
+                    ++result.client_reply_drops;
+                    continue;
+                }
+                const int v = static_cast<int>(idx % 3);
+                client_arena.Reset();
+                Message response = Message::Create(
+                    &client_arena, *pools[v].pool, pools[v].root);
+                const StatusCode parse = clients[v]->Deserialize(
+                    f->payload, f->header.payload_bytes, &response);
+                const auto &cd = pools[v].pool->message(pools[v].root);
+                const std::string expect =
+                    "call-" + std::to_string(idx);
+                if (!StatusOk(parse) ||
+                    std::string(response.GetString(
+                        *cd.FindFieldByName("name"))) != expect ||
+                    response.GetUint64(*cd.FindFieldByName("id")) !=
+                        idx)
+                    ++result.wrong_responses;
+                answered[idx] = true;
+                --unanswered;
+                ++result.answered;
+            }
+        }
+    }
+
+    const rpc::RuntimeSnapshot snap = runtime.Snapshot();
+    std::vector<double> lat = runtime.TakeLatencies();
+    result.p50_us = harness::ExactPercentile(lat, 50) / 1000.0;
+    result.p99_us = harness::ExactPercentile(lat, 99) / 1000.0;
+    runtime.Shutdown();
+
+    result.lost_calls = unanswered;
+    uint64_t digest = 1469598103934665603ull;  // FNV-1a offset basis
+    for (uint64_t i = 0; i < calls; ++i) {
+        const uint32_t n = execs[i].load(std::memory_order_relaxed);
+        if (n > 1)
+            result.duplicate_execs += n - 1;
+        digest = (digest ^ n) * 1099511628211ull;
+    }
+    result.exec_digest = digest;
+    result.dedup_hits = snap.dedup_hits;
+    result.dedup_insertions = snap.dedup_insertions;
+    result.schema_rejects = snap.schema_rejects;
+    const accel::SharedAccelQueue::Stats qs = shared_queue.stats();
+    result.table_swaps = qs.table_swaps;
+    result.table_loads_committed = qs.table_loads_committed;
+    result.table_loads_aborted = qs.table_loads_aborted;
+    result.table_load_cycles = qs.table_load_cycles;
+    result.stale_epoch_dispatches = qs.stale_epoch_dispatches;
+    result.final_epoch = shared_queue.current_epoch();
+    result.available_units = shared_queue.available_units();
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------
+
+void
+PrintSweep(const SweepResult &r)
+{
+    std::printf(
+        "Phase 1 — cross-version quad-engine differential\n"
+        "  wires %llu (9 ordered version pairs)\n"
+        "  verdict disagreements %llu  message mismatches %llu\n"
+        "  engine byte mismatches %llu  round-trip mismatches %llu\n",
+        static_cast<unsigned long long>(r.wires),
+        static_cast<unsigned long long>(r.verdict_disagreements),
+        static_cast<unsigned long long>(r.message_mismatches),
+        static_cast<unsigned long long>(r.engine_byte_mismatches),
+        static_cast<unsigned long long>(r.roundtrip_mismatches));
+    if (!r.first_failure.empty())
+        std::printf("  first failure: %s\n", r.first_failure.c_str());
+    std::printf("\n");
+}
+
+void
+PrintSoak(const char *title, const SoakResult &r)
+{
+    std::printf(
+        "%s\n"
+        "  calls %llu  rounds %llu  attempts %llu  answered %llu\n"
+        "  negotiation: schema-rejects (server) %llu  reject replies "
+        "(client) %llu\n"
+        "  table swaps %llu  loads committed %llu  aborted %llu  "
+        "load-cycles %llu  reintegrations %llu\n"
+        "  epoch %llu  available units %u  stale-epoch dispatches "
+        "%llu\n"
+        "  exactly-once: wrong %llu  unknown %llu  lost %llu  "
+        "dup-execs %llu  dedup-hits %llu  reply-drops %llu\n"
+        "  modeled latency: p50 %.1f us  p99 %.1f us\n\n",
+        title, static_cast<unsigned long long>(r.calls),
+        static_cast<unsigned long long>(r.rounds),
+        static_cast<unsigned long long>(r.attempts),
+        static_cast<unsigned long long>(r.answered),
+        static_cast<unsigned long long>(r.schema_rejects),
+        static_cast<unsigned long long>(r.schema_reject_replies),
+        static_cast<unsigned long long>(r.table_swaps),
+        static_cast<unsigned long long>(r.table_loads_committed),
+        static_cast<unsigned long long>(r.table_loads_aborted),
+        static_cast<unsigned long long>(r.table_load_cycles),
+        static_cast<unsigned long long>(r.retry_reintegrations),
+        static_cast<unsigned long long>(r.final_epoch),
+        r.available_units,
+        static_cast<unsigned long long>(r.stale_epoch_dispatches),
+        static_cast<unsigned long long>(r.wrong_responses),
+        static_cast<unsigned long long>(r.unknown_responses),
+        static_cast<unsigned long long>(r.lost_calls),
+        static_cast<unsigned long long>(r.duplicate_execs),
+        static_cast<unsigned long long>(r.dedup_hits),
+        static_cast<unsigned long long>(r.client_reply_drops),
+        r.p50_us, r.p99_us);
+}
+
+void
+WriteJson(std::FILE *f, const SweepResult &sweep, const SoakResult &r,
+          bool deterministic)
+{
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"sweep\": {\n"
+        "    \"wires\": %llu,\n"
+        "    \"verdict_disagreements\": %llu,\n"
+        "    \"message_mismatches\": %llu,\n"
+        "    \"engine_byte_mismatches\": %llu,\n"
+        "    \"roundtrip_mismatches\": %llu\n"
+        "  },\n"
+        "  \"soak\": {\n"
+        "    \"calls\": %llu,\n"
+        "    \"rounds\": %llu,\n"
+        "    \"attempts\": %llu,\n"
+        "    \"answered\": %llu,\n"
+        "    \"wrong_responses\": %llu,\n"
+        "    \"unknown_responses\": %llu,\n"
+        "    \"lost_calls\": %llu,\n"
+        "    \"duplicate_execs\": %llu,\n"
+        "    \"schema_rejects\": %llu,\n"
+        "    \"schema_reject_replies\": %llu,\n"
+        "    \"client_reply_drops\": %llu,\n"
+        "    \"dedup_hits\": %llu,\n"
+        "    \"dedup_insertions\": %llu,\n"
+        "    \"table_swaps\": %llu,\n"
+        "    \"table_loads_committed\": %llu,\n"
+        "    \"table_loads_aborted\": %llu,\n"
+        "    \"table_load_cycles\": %llu,\n"
+        "    \"retry_reintegrations\": %llu,\n"
+        "    \"final_epoch\": %llu,\n"
+        "    \"available_units\": %u,\n"
+        "    \"stale_epoch_dispatches\": %llu,\n"
+        "    \"p50_us\": %.3f,\n"
+        "    \"p99_us\": %.3f\n"
+        "  },\n"
+        "  \"deterministic_replay\": %s\n"
+        "}\n",
+        static_cast<unsigned long long>(sweep.wires),
+        static_cast<unsigned long long>(sweep.verdict_disagreements),
+        static_cast<unsigned long long>(sweep.message_mismatches),
+        static_cast<unsigned long long>(sweep.engine_byte_mismatches),
+        static_cast<unsigned long long>(sweep.roundtrip_mismatches),
+        static_cast<unsigned long long>(r.calls),
+        static_cast<unsigned long long>(r.rounds),
+        static_cast<unsigned long long>(r.attempts),
+        static_cast<unsigned long long>(r.answered),
+        static_cast<unsigned long long>(r.wrong_responses),
+        static_cast<unsigned long long>(r.unknown_responses),
+        static_cast<unsigned long long>(r.lost_calls),
+        static_cast<unsigned long long>(r.duplicate_execs),
+        static_cast<unsigned long long>(r.schema_rejects),
+        static_cast<unsigned long long>(r.schema_reject_replies),
+        static_cast<unsigned long long>(r.client_reply_drops),
+        static_cast<unsigned long long>(r.dedup_hits),
+        static_cast<unsigned long long>(r.dedup_insertions),
+        static_cast<unsigned long long>(r.table_swaps),
+        static_cast<unsigned long long>(r.table_loads_committed),
+        static_cast<unsigned long long>(r.table_loads_aborted),
+        static_cast<unsigned long long>(r.table_load_cycles),
+        static_cast<unsigned long long>(r.retry_reintegrations),
+        static_cast<unsigned long long>(r.final_epoch),
+        r.available_units,
+        static_cast<unsigned long long>(r.stale_epoch_dispatches),
+        r.p50_us, r.p99_us, deterministic ? "true" : "false");
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = ParseOptions(argc, argv);
+
+    std::printf(
+        "Schema-skew soak — %llu wires, %llu calls, seed 0x%llx\n"
+        "====================================================\n\n",
+        static_cast<unsigned long long>(opt.wires),
+        static_cast<unsigned long long>(opt.calls),
+        static_cast<unsigned long long>(opt.seed));
+
+    const SweepResult sweep = RunSweep(opt.wires, opt.seed);
+    PrintSweep(sweep);
+
+    const SoakResult soak = RunServingSoak(opt.seed, opt.calls);
+    PrintSoak("Phase 2 — mixed-version serving soak with live table "
+              "swaps",
+              soak);
+
+    // Same-seed replay: the soak must be a pure function of the seed.
+    const SoakResult replay = RunServingSoak(opt.seed, opt.calls);
+    const bool deterministic =
+        soak.Fingerprint() == replay.Fingerprint();
+    std::printf("replay: same-seed logical counters bit-identical: "
+                "%s\n\n",
+                deterministic ? "yes" : "NO");
+
+    if (!opt.json_path.empty()) {
+        std::FILE *f = std::fopen(opt.json_path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         opt.json_path.c_str());
+            return 1;
+        }
+        WriteJson(f, sweep, soak, deterministic);
+        std::fclose(f);
+        std::printf("wrote %s\n\n", opt.json_path.c_str());
+    }
+
+    bool ok = true;
+    auto require = [&ok](bool cond, const char *what) {
+        if (!cond) {
+            std::fprintf(stderr, "FAIL: %s\n", what);
+            ok = false;
+        }
+    };
+    require(sweep.wires >= opt.wires, "sweep covered every input");
+    require(sweep.total_mismatches() == 0,
+            "cross-version differential: engines disagreed");
+    require(soak.wrong_responses == 0, "soak served a wrong response");
+    require(soak.unknown_responses == 0,
+            "soak produced an unattributable response");
+    require(soak.lost_calls == 0, "soak lost a call");
+    require(soak.duplicate_execs == 0, "soak executed a call twice");
+    require(soak.other_error_replies == 0,
+            "soak produced a non-negotiation error");
+    require(soak.schema_reject_replies > 0,
+            "canary version was never rejected (negotiation not "
+            "exercised)");
+    require(soak.schema_rejects == soak.schema_reject_replies,
+            "server reject counter disagrees with observed error "
+            "frames");
+    require(soak.dedup_hits > 0,
+            "no dedup hits (retry path not exercised)");
+    require(soak.table_swaps == 2, "both table swaps ran");
+    require(soak.table_loads_aborted > 0,
+            "mid-load kill did not fire (quarantine not exercised)");
+    require(soak.retry_reintegrations == 1,
+            "killed unit was not reintegrated via RetryTableLoad");
+    require(soak.available_units == kUnits,
+            "fleet did not return to full strength");
+    require(soak.stale_epoch_dispatches == 0,
+            "a batch dispatched against a stale table epoch");
+    require(deterministic, "same-seed replay bit-identical");
+
+    std::printf("schema-evolution robustness: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

@@ -16,6 +16,7 @@ constexpr uint32_t kHdrHasbitsOffset = 12;
 constexpr uint32_t kHdrHasbitsWords = 16;
 constexpr uint32_t kHdrMinField = 20;
 constexpr uint32_t kHdrMaxField = 24;
+constexpr uint32_t kHdrUnknownOffset = 28;
 
 // Entry field offsets within a 16 B entry.
 constexpr uint32_t kEntType = 0;
@@ -57,6 +58,7 @@ AdtView::ReadHeader() const
     h.hasbits_words = LoadAt<uint32_t>(base_, kHdrHasbitsWords);
     h.min_field = LoadAt<uint32_t>(base_, kHdrMinField);
     h.max_field = LoadAt<uint32_t>(base_, kHdrMaxField);
+    h.unknown_offset = LoadAt<uint32_t>(base_, kHdrUnknownOffset);
     return h;
 }
 
@@ -147,6 +149,7 @@ AdtBuilder::AdtBuilder(const proto::DescriptorPool &pool,
         StoreAt<uint32_t>(base, kHdrHasbitsWords, layout.hasbits_words);
         StoreAt<uint32_t>(base, kHdrMinField, desc.min_field_number());
         StoreAt<uint32_t>(base, kHdrMaxField, desc.max_field_number());
+        StoreAt<uint32_t>(base, kHdrUnknownOffset, layout.unknown_offset);
 
         const uint32_t range = FieldRange(desc);
         uint8_t *entries = base + kAdtHeaderBytes;

@@ -69,6 +69,10 @@ struct AdtHeader
     uint32_t hasbits_words = 0;
     uint32_t min_field = 0;
     uint32_t max_field = 0;
+    /// Offset of the unknown-field-store pointer slot in the C++
+    /// object (schema-evolution preservation, mirrors
+    /// MessageLayout::unknown_offset).
+    uint32_t unknown_offset = 0;
 };
 
 /**

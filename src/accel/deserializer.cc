@@ -9,6 +9,7 @@
 #include "common/bits.h"
 #include "proto/arena_string.h"
 #include "proto/repeated.h"
+#include "proto/unknown_fields.h"
 
 namespace protoacc::accel {
 
@@ -284,6 +285,7 @@ DeserializerUnit::Run(const DeserJob &job, uint64_t *cycles)
         }
 
         // ---- parseKey state (§4.4.4) ----
+        const uint64_t tag_offset = ctx.consumed;
         ctx.Tick(timing_.parse_key_cycles);
         const VarintDecodeResult key =
             CombinationalVarintDecode(ctx.in(), ctx.in_end(frame));
@@ -357,6 +359,31 @@ DeserializerUnit::Run(const DeserJob &job, uint64_t *cycles)
                 break;
             }
             ctx.Consume(skip);
+            // Preserve the raw record (tag + value bytes, exactly as
+            // seen) for schema-evolution round trips. The byte charge
+            // matches the software parsers' ParseCtl::Charge(rec_len)
+            // so accept/reject verdicts stay identical; the copy rides
+            // the memloader stream already accounted by Consume() and
+            // lands as posted stores.
+            const uint64_t rec_len = ctx.consumed - tag_offset;
+            if (rec_len > budget) {
+                status = AccelStatus::kResourceExhausted;
+                break;
+            }
+            budget -= rec_len;
+            if (proto::UnknownFieldStore::Get(
+                    frame.obj, frame.header.unknown_offset) == nullptr) {
+                ++stats_.allocations;
+                stats_.alloc_bytes += sizeof(proto::UnknownFieldStore);
+            }
+            proto::UnknownFieldStore *store =
+                proto::UnknownFieldStore::GetOrCreate(
+                    frame.obj, frame.header.unknown_offset, arena_,
+                    nullptr);
+            store->Add(arena_, number, job.src + tag_offset,
+                       static_cast<uint32_t>(rec_len), nullptr);
+            stats_.alloc_bytes += rec_len;
+            writer_port_.Write(store, rec_len);
             continue;
         }
 

@@ -7,6 +7,7 @@
 #include "proto/arena_string.h"
 #include "proto/repeated.h"
 #include "proto/serializer.h"
+#include "proto/unknown_fields.h"
 
 namespace protoacc::accel {
 
@@ -188,12 +189,46 @@ struct SerializerImpl
     const SerTiming &timing;
     SerStats &stats;
 
+    /**
+     * Reverse-merge flush of preserved unknown fields: emit, in
+     * reverse stored order, every record with number >= @p limit. The
+     * high-to-low writer reverses output, so this lands the records in
+     * stored (stable, ascending) order on the wire — byte-identical to
+     * the software serializers' forward merge, which emits records
+     * with number strictly below each known field before that field.
+     */
+    bool
+    FlushUnknownsDownTo(const proto::UnknownFieldStore *u, uint32_t *ucur,
+                        uint32_t limit)
+    {
+        while (*ucur > 0 && u->record(*ucur - 1).number >= limit) {
+            const proto::UnknownRecord &r = u->record(*ucur - 1);
+            const uint64_t lat =
+                unit->fsu_port_.Read(u->bytes_of(r), r.size);
+            pipe.FieldOp(lat,
+                         CeilDiv(r.size, timing.out_bytes_per_cycle),
+                         r.size);
+            if (!pipe.WriteRaw(u->bytes_of(r), r.size))
+                return false;
+            --*ucur;
+        }
+        return true;
+    }
+
     AccelStatus
     SerializeMessage(AdtView adt, const uint8_t *obj)
     {
         const AdtHeader header = adt.ReadHeader();
-        if (header.max_field == 0)
-            return AccelStatus::kOk;  // empty message type
+        const proto::UnknownFieldStore *u =
+            proto::UnknownFieldStore::Get(obj, header.unknown_offset);
+        uint32_t ucur = u != nullptr ? u->count() : 0;
+        if (header.max_field == 0) {
+            // Empty message type — but it may still carry unknowns
+            // preserved from a newer schema version.
+            if (u != nullptr && !FlushUnknownsDownTo(u, &ucur, 0))
+                return AccelStatus::kOutputOverflow;
+            return AccelStatus::kOk;
+        }
 
         // §4.5.3: the frontend loads the is_submessage and hasbits bit
         // fields in parallel, then scans field numbers (reverse order).
@@ -231,12 +266,21 @@ struct SerializerImpl
                 continue;
             ++stats.fields;
 
+            // Unknowns with number >= this field land after it on the
+            // wire, so the reverse writer emits them first.
+            if (u != nullptr && !FlushUnknownsDownTo(u, &ucur, number))
+                return AccelStatus::kOutputOverflow;
+
             const uint8_t *slot = obj + entry.offset;
             const AccelStatus st = SerializeField(adt, entry, number,
                                                   slot);
             if (st != AccelStatus::kOk)
                 return st;
         }
+        // Remaining unknowns sit below every emitted field number —
+        // they open the message payload on the wire.
+        if (u != nullptr && !FlushUnknownsDownTo(u, &ucur, 0))
+            return AccelStatus::kOutputOverflow;
         return AccelStatus::kOk;
     }
 

@@ -20,6 +20,7 @@ SharedAccelQueue::SharedAccelQueue(const SharedQueueConfig &config)
 {
     PA_CHECK_GE(config_.num_units, 1u);
     unit_free_.assign(config_.num_units, 0);
+    unit_epoch_.assign(config_.num_units, 0);
     unit_fenced_.assign(config_.num_units, false);
     unit_probation_.assign(config_.num_units, false);
     unit_injectors_.assign(config_.num_units, nullptr);
@@ -41,7 +42,10 @@ SharedAccelQueue::PickUnitLocked()
     uint32_t unbiased = config_.num_units;  // would-be winner, no bias
     uint64_t best_score = 0;
     for (uint32_t u = 0; u < config_.num_units; ++u) {
-        if (unit_fenced_[u])
+        // The epoch fence: a unit whose table memory lags the fleet
+        // epoch must never serve — its descriptors describe the wrong
+        // schema version. Excluded exactly like a fenced unit.
+        if (unit_fenced_[u] || unit_epoch_[u] != current_epoch_)
             continue;
         const uint64_t score =
             unit_free_[u] + (unit_probation_[u] ? bias : 0);
@@ -145,6 +149,12 @@ SharedAccelQueue::FinishBatchLocked(uint32_t unit, uint64_t ready,
 {
     const bool contended = unit_free_[unit] > ready;
     const uint64_t start = contended ? unit_free_[unit] : ready;
+
+    // Correctness tripwire, not a control path: the epoch fence in
+    // PickUnitLocked makes a stale-table dispatch impossible, and the
+    // skew soak asserts this counter stays 0.
+    if (unit_epoch_[unit] != current_epoch_)
+        ++stats_.stale_epoch_dispatches;
 
     // Injected unit faults on the serving unit: a bounded stall
     // inflates this batch's service time; a wedge (or a kill — on the
@@ -287,7 +297,7 @@ SharedAccelQueue::earliest_free_cycle() const
     uint64_t earliest = 0;
     bool any = false;
     for (uint32_t u = 0; u < config_.num_units; ++u) {
-        if (unit_fenced_[u])
+        if (unit_fenced_[u] || unit_epoch_[u] != current_epoch_)
             continue;
         if (!any || unit_free_[u] < earliest)
             earliest = unit_free_[u];
@@ -313,6 +323,119 @@ SharedAccelQueue::SampleUnitFaults(uint32_t unit, uint32_t n)
             sim::UnitFaultKind::kNone)
             ++faulted;
     return faulted;
+}
+
+uint64_t
+SharedAccelQueue::LoadTableLocked(uint32_t unit, uint64_t start_cycle,
+                                  uint64_t load_cycles)
+{
+    // The load begins when the unit drains its in-flight work: those
+    // batches dispatched under the old epoch and complete against it.
+    const uint64_t begin = std::max(unit_free_[unit], start_cycle);
+    const uint64_t end = begin + load_cycles;
+    unit_free_[unit] = end;
+    stats_.table_load_cycles += load_cycles;
+    stats_.busy_until_cycle = std::max(stats_.busy_until_cycle, end);
+    return end;
+}
+
+SharedAccelQueue::TableSwap
+SharedAccelQueue::BeginTableSwap(uint64_t start_cycle,
+                                 uint64_t table_bytes)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++current_epoch_;
+    ++stats_.table_swaps;
+
+    const uint64_t load_cycles = static_cast<uint64_t>(std::ceil(
+        static_cast<double>(table_bytes) *
+        config_.table_load_cycles_per_byte));
+
+    TableSwap swap;
+    swap.epoch = current_epoch_;
+
+    // In-service units only: a fenced unit (or one stranded stale by
+    // an earlier aborted load) is the health policy's problem — it
+    // rejoins through scrub + self-test + RetryTableLoad.
+    std::vector<uint32_t> fleet;
+    for (uint32_t u = 0; u < config_.num_units; ++u)
+        if (!unit_fenced_[u] && unit_epoch_[u] + 1 == current_epoch_)
+            fleet.push_back(u);
+
+    for (size_t i = 0; i < fleet.size(); ++i) {
+        const uint32_t u = fleet[i];
+        bool killed = false;
+        if (unit_injectors_[u] != nullptr)
+            killed = unit_injectors_[u]->SampleUnitFault().kind !=
+                     sim::UnitFaultKind::kNone;
+        const bool last_hope =
+            swap.loads_committed == 0 && i + 1 == fleet.size();
+        if (killed) {
+            // Mid-load kill: half the image streamed, then the unit
+            // died. A partially-written table must never serve, so the
+            // unit keeps its old epoch and is fenced for quarantine.
+            LoadTableLocked(u, start_cycle, load_cycles / 2);
+            ++stats_.table_loads_aborted;
+            ++swap.loads_aborted;
+            if (!last_hope) {
+                if (!unit_fenced_[u]) {
+                    unit_fenced_[u] = true;
+                    ++stats_.fenced_units;
+                }
+                continue;
+            }
+            // The fleet must keep serving: the final survivor pays a
+            // full clean reload on top of the aborted half and commits.
+        }
+        const uint64_t end = LoadTableLocked(u, start_cycle, load_cycles);
+        unit_epoch_[u] = current_epoch_;
+        ++stats_.table_loads_committed;
+        ++swap.loads_committed;
+        swap.done_cycle = std::max(swap.done_cycle, end);
+    }
+    return swap;
+}
+
+bool
+SharedAccelQueue::RetryTableLoad(uint32_t unit, uint64_t start_cycle,
+                                 uint64_t table_bytes)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    PA_CHECK_LT(unit, config_.num_units);
+    if (unit_epoch_[unit] == current_epoch_)
+        return true;  // nothing to reload
+
+    const uint64_t load_cycles = static_cast<uint64_t>(std::ceil(
+        static_cast<double>(table_bytes) *
+        config_.table_load_cycles_per_byte));
+    bool killed = false;
+    if (unit_injectors_[unit] != nullptr)
+        killed = unit_injectors_[unit]->SampleUnitFault().kind !=
+                 sim::UnitFaultKind::kNone;
+    if (killed) {
+        LoadTableLocked(unit, start_cycle, load_cycles / 2);
+        ++stats_.table_loads_aborted;
+        return false;  // still stale — caller keeps the fence up
+    }
+    LoadTableLocked(unit, start_cycle, load_cycles);
+    unit_epoch_[unit] = current_epoch_;
+    ++stats_.table_loads_committed;
+    return true;
+}
+
+uint64_t
+SharedAccelQueue::current_epoch() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_epoch_;
+}
+
+uint64_t
+SharedAccelQueue::unit_epoch(uint32_t unit) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    PA_CHECK_LT(unit, config_.num_units);
+    return unit_epoch_[unit];
 }
 
 SharedAccelQueue::Stats

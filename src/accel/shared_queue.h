@@ -74,6 +74,12 @@ struct SharedQueueConfig
     /// history while the probationer re-earns trust. 0 disables the
     /// bias.
     uint32_t probation_bias_cycles = 64;
+
+    /// Cycles to stream one byte of a descriptor-table image into a
+    /// unit's local table memory during an epoch swap (BeginTableSwap).
+    /// Default matches the memloader width the device model already
+    /// uses: 16 B/cycle.
+    double table_load_cycles_per_byte = 1.0 / 16.0;
 };
 
 /**
@@ -158,6 +164,30 @@ class SharedAccelQueue
         uint64_t health_blocked_cycles = 0;
         /// Units currently fenced out of arbitration.
         uint32_t fenced_units = 0;
+        /// Descriptor-table epoch swaps begun (BeginTableSwap).
+        uint64_t table_swaps = 0;
+        /// Per-unit table loads that committed their epoch.
+        uint64_t table_loads_committed = 0;
+        /// Loads killed mid-stream (unit left on its old epoch and
+        /// fenced for quarantine — fail-closed).
+        uint64_t table_loads_aborted = 0;
+        /// Unit cycles spent streaming table images (committed loads,
+        /// aborted half-loads and forced clean retries alike).
+        uint64_t table_load_cycles = 0;
+        /// Batches that started on a unit whose table epoch lagged the
+        /// current one. The epoch fence makes this impossible by
+        /// construction; the counter exists so soaks can assert it
+        /// stays 0.
+        uint64_t stale_epoch_dispatches = 0;
+    };
+
+    /// Outcome of one epoch-fenced descriptor-table swap.
+    struct TableSwap
+    {
+        uint64_t epoch = 0;           ///< the new table epoch
+        uint32_t loads_committed = 0; ///< units now serving the epoch
+        uint32_t loads_aborted = 0;   ///< killed mid-load, quarantined
+        uint64_t done_cycle = 0;      ///< last committed load's landing
     };
 
     explicit SharedAccelQueue(const SharedQueueConfig &config = {});
@@ -269,6 +299,47 @@ class SharedAccelQueue
     /// injector is attached (a unit with no fault source passes).
     uint32_t SampleUnitFaults(uint32_t unit, uint32_t n);
 
+    // ---- epoch-fenced descriptor-table swap ----
+
+    /**
+     * Swap the fleet's descriptor tables to a new epoch: every
+     * in-service unit streams the @p table_bytes image into its table
+     * memory (priced at table_load_cycles_per_byte) starting when it is
+     * next free at or after @p start_cycle — so in-flight batches
+     * complete against the epoch they dispatched under, and new
+     * dispatches fence behind the load (the unit's free time IS the
+     * load commit point).
+     *
+     * Each unit's load draws one sample from its fault injector: a
+     * kill or wedge mid-load aborts it — the unit burns half the load,
+     * keeps its OLD epoch (a partially-written table never serves) and
+     * is fenced out of arbitration for the health policy to quarantine.
+     * Fail-closed with one exception: the fleet must keep serving, so
+     * if every unit's load would abort, the last one pays the abort
+     * and then a full clean reload, and commits.
+     *
+     * Units already fenced (or on a stale epoch from a previous aborted
+     * load) are skipped — RetryTableLoad reintegrates them.
+     */
+    TableSwap BeginTableSwap(uint64_t start_cycle, uint64_t table_bytes);
+
+    /**
+     * Re-run the priced table load on a unit stranded on a stale epoch
+     * by an aborted load (after the health lifecycle's scrub +
+     * self-test, before the fence lifts). Draws a fault sample like
+     * BeginTableSwap: a faulted retry burns half the load and leaves
+     * the unit stale — the caller must keep it fenced.
+     *
+     * @return true when the load committed the current epoch.
+     */
+    bool RetryTableLoad(uint32_t unit, uint64_t start_cycle,
+                        uint64_t table_bytes);
+
+    /// Fleet-wide table epoch (0 until the first swap).
+    uint64_t current_epoch() const;
+    /// Epoch @p unit's table memory holds.
+    uint64_t unit_epoch(uint32_t unit) const;
+
     /// Clear the timeline and counters (units all free at cycle 0);
     /// fences, probation marks and injectors are preserved.
     void Reset();
@@ -287,10 +358,21 @@ class SharedAccelQueue
                                  uint64_t occupancy_tail,
                                  uint64_t completion_tail);
 
+    /// Priced table-image stream onto one unit starting when it is
+    /// next free at or after @p start_cycle. Caller holds mu_.
+    /// @return the cycle the load (or half-load) ends.
+    uint64_t LoadTableLocked(uint32_t unit, uint64_t start_cycle,
+                             uint64_t load_cycles);
+
     SharedQueueConfig config_;
     mutable std::mutex mu_;
     /// Cycle at which each unit next becomes free.
     std::vector<uint64_t> unit_free_;
+    /// Fleet-wide descriptor-table epoch; bumped by BeginTableSwap.
+    uint64_t current_epoch_ = 0;
+    /// Epoch each unit's table memory holds. A unit lagging
+    /// current_epoch_ never wins arbitration (epoch fence).
+    std::vector<uint64_t> unit_epoch_;
     /// Units fenced out of arbitration by the health policy.
     std::vector<bool> unit_fenced_;
     /// Units on reduced-trust probation (biased against, still serving).

@@ -22,6 +22,7 @@ StatusCodeName(StatusCode code)
       case StatusCode::kInternal: return "internal";
       case StatusCode::kUnimplemented: return "unimplemented";
       case StatusCode::kDataLoss: return "data loss";
+      case StatusCode::kFailedPrecondition: return "failed precondition";
     }
     return "?";
 }

@@ -61,10 +61,15 @@ enum class StatusCode : uint8_t {
     /// bytes were corrupted in flight and the corruption was *detected*
     /// rather than served.
     kDataLoss = 15,
+    /// Schema negotiation failed: the frame carries a schema
+    /// fingerprint this server's registry does not know, so decoding
+    /// it could silently misparse. Rejected before any parse attempt;
+    /// not retryable — the client must re-negotiate schemas.
+    kFailedPrecondition = 16,
 };
 
 /// Number of distinct codes (for counter arrays indexed by code).
-inline constexpr size_t kNumStatusCodes = 16;
+inline constexpr size_t kNumStatusCodes = 17;
 
 const char *StatusCodeName(StatusCode code);
 

@@ -441,9 +441,12 @@ EmitParse(Src &s, const CodecTableSet &set, int k)
     s.P("    uint64_t tag;");
     s.P("    ParseStatus st;");
     s.P("    (void)st;");
+    s.P("    const uint8_t *tag_start;");
     s.P("  dispatch:");
     s.P("    if (r.at_end())");
     s.P("        goto done;");
+    s.P("    tag_start = r.pos();");
+    s.P("    (void)tag_start;");
     s.P("    if (!r.ReadTag(&tag))");
     s.P("        return ParseStatus::kMalformedVarint;");
     s.P("    switch (static_cast<uint32_t>(tag >> 3)) {");
@@ -465,8 +468,10 @@ EmitParse(Src &s, const CodecTableSet &set, int k)
         }
     }
     s.P("      default:");
-    s.P("        st = gensup::SkipUnknownField<S>(r, "
-        "static_cast<uint32_t>(tag & 7u));");
+    s.P("        st = gensup::PreserveUnknownField<S>(c, r, obj, %uu,",
+        t.desc->layout().unknown_offset);
+    s.P("            tag_start, static_cast<uint32_t>(tag >> 3),");
+    s.P("            static_cast<uint32_t>(tag & 7u));");
     s.P("        if (st != ParseStatus::kOk)");
     s.P("            return st;");
     s.P("        goto dispatch;");
@@ -672,6 +677,10 @@ EmitSize(Src &s, const CodecTableSet &set, int k)
     s.P("    size_t total = 0;");
     for (const CodecEntry &e : t.entries)
         EmitSizeField(s, t, k, e);
+    // Preserved unknown records re-emit verbatim; eventless constant
+    // add, matching the table and reference sizing passes.
+    s.P("    total += gensup::UnknownBytes(obj, %uu);",
+        t.desc->layout().unknown_offset);
     s.P("    gensup::StoreCachedSize(obj, %uu, total);",
         t.cached_size_offset);
     s.P("    return total;");
@@ -690,6 +699,9 @@ EmitWriteField(Src &s, const CodecTable &t, int k, const CodecEntry &e)
     const uint32_t mask = HasbitMask(e);
     const std::string tag = TagArgs(e);
     s.P("    // %s.%s", t.desc->name().c_str(), e.field->name.c_str());
+    s.P("    if (u != nullptr)");
+    s.P("        gensup::EmitUnknownBelow<S>(w, u, &ucur, %uu);",
+        e.number);
     s.P("    if constexpr (S)");
     s.P("        w.sink()->OnHasbitsAccess(1);");
 
@@ -834,8 +846,15 @@ EmitWrite(Src &s, const CodecTableSet &set, int k)
     s.P("    (void)wc;");
     s.P("    if constexpr (S)");
     s.P("        w.sink()->OnMessageBegin();");
+    // Forward merge of preserved unknown records with known fields
+    // (same interleaving as the reference and table serializers).
+    s.P("    const UnknownFieldStore *u = gensup::LoadUnknown(obj, %uu);",
+        t.desc->layout().unknown_offset);
+    s.P("    uint32_t ucur = 0;");
     for (const CodecEntry &e : t.entries)
         EmitWriteField(s, t, k, e);
+    s.P("    if (u != nullptr)");
+    s.P("        gensup::EmitUnknownRest<S>(w, u, &ucur);");
     s.P("    if constexpr (S)");
     s.P("        w.sink()->OnMessageEnd();");
     s.P("}");

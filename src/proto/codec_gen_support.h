@@ -441,6 +441,27 @@ SkipUnknownField(GenReader<S> &r, uint32_t wt)
     }
 }
 
+/// parser.cc's unknown-field handling: skip (validating) then preserve
+/// the raw record — identical budget charge and cost events.
+template <bool S>
+ParseStatus
+PreserveUnknownField(GenParseCtx &c, GenReader<S> &r, char *obj,
+                     uint32_t unknown_off, const uint8_t *tag_start,
+                     uint32_t number, uint32_t wt)
+{
+    const ParseStatus st = SkipUnknownField(r, wt);
+    if (st != ParseStatus::kOk)
+        return st;
+    const uint32_t rec_len =
+        static_cast<uint32_t>(r.pos() - tag_start);
+    if (!c.Charge(rec_len))
+        return ParseStatus::kResourceExhausted;
+    UnknownFieldStore *store = UnknownFieldStore::GetOrCreate(
+        obj, unknown_off, c.arena, c.sink);
+    store->Add(c.arena, number, tag_start, rec_len, c.sink);
+    return ParseStatus::kOk;
+}
+
 // ---------------------------------------------------------------------
 // Serialization side.
 // ---------------------------------------------------------------------
@@ -626,6 +647,49 @@ class GenWriter
     CostSink *sink_;
     bool ok_ = true;
 };
+
+/// Unknown-store pointer slot load (layout().unknown_offset).
+inline const UnknownFieldStore *
+LoadUnknown(const char *obj, uint32_t off)
+{
+    const UnknownFieldStore *u;
+    std::memcpy(&u, obj + off, sizeof(u));
+    return u;
+}
+
+/// Sizing contribution of the preserved unknown records (eventless —
+/// the byte total is a stored constant, matching the other engines).
+inline size_t
+UnknownBytes(const char *obj, uint32_t off)
+{
+    const UnknownFieldStore *u = LoadUnknown(obj, off);
+    return u == nullptr ? 0 : u->total_bytes();
+}
+
+/// Forward merge: emit preserved records with field number < @p limit,
+/// advancing @p cursor (records are number-sorted, stable).
+template <bool S>
+inline void
+EmitUnknownBelow(GenWriter<S> &w, const UnknownFieldStore *u,
+                 uint32_t *cursor, uint32_t limit)
+{
+    while (*cursor < u->count() && u->record(*cursor).number < limit) {
+        const UnknownRecord &rec = u->record((*cursor)++);
+        w.WriteBytes(u->bytes_of(rec), rec.size);
+    }
+}
+
+/// Forward merge tail: emit every record not yet emitted.
+template <bool S>
+inline void
+EmitUnknownRest(GenWriter<S> &w, const UnknownFieldStore *u,
+                uint32_t *cursor)
+{
+    while (*cursor < u->count()) {
+        const UnknownRecord &rec = u->record((*cursor)++);
+        w.WriteBytes(u->bytes_of(rec), rec.size);
+    }
+}
 
 /// Reusable scratch stack for the memoized nested sizes (the generated
 /// engine's analog of serializer.cc's ScratchSizes).

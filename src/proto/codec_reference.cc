@@ -299,6 +299,7 @@ ParsePayload(Reader &r, Message msg, int depth, ParseCtl &ctl)
     if (r.sink() != nullptr)
         r.sink()->OnMessageBegin();
     while (!r.at_end()) {
+        const uint8_t *tag_start = r.pos();
         uint64_t tag;
         if (!r.ReadVarint(&tag, true))
             return ParseStatus::kMalformedVarint;
@@ -311,6 +312,21 @@ ParsePayload(Reader &r, Message msg, int depth, ParseCtl &ctl)
         ParseStatus st;
         if (f == nullptr) {
             st = SkipUnknown(r, wt);
+            if (st == ParseStatus::kOk) {
+                // Schema evolution: preserve the validated record (raw
+                // tag + value bytes) so re-serialization is lossless.
+                const uint32_t rec_len =
+                    static_cast<uint32_t>(r.pos() - tag_start);
+                if (!ctl.Charge(rec_len))
+                    return ParseStatus::kResourceExhausted;
+                UnknownFieldStore *store =
+                    UnknownFieldStore::GetOrCreate(
+                        msg.raw(),
+                        msg.descriptor().layout().unknown_offset,
+                        msg.arena(), r.sink());
+                store->Add(msg.arena(), number, tag_start, rec_len,
+                           r.sink());
+            }
         } else {
             st = ParseField(r, msg, *f, wt, depth, ctl);
         }
@@ -398,6 +414,10 @@ MessagePayloadSize(const Message &msg, CostSink *sink)
         if (sink != nullptr)
             sink->OnHasbitsAccess(1);
     }
+    // Preserved unknown records re-emit verbatim; their size
+    // contribution is the raw byte total (no per-record size events:
+    // the length is a stored constant, not a computation).
+    total += UnknownTotalBytes(msg.raw(), desc.layout().unknown_offset);
     msg.set_cached_size(static_cast<int32_t>(total));
     return total;
 }
@@ -560,7 +580,19 @@ SerializePayload(const Message &msg, Writer &w)
 {
     if (w.sink() != nullptr)
         w.sink()->OnMessageBegin();
+    // Forward merge: preserved unknown records interleave with known
+    // fields in ascending field-number order (stores are number-sorted,
+    // stable), reproducing the input byte order for round trips.
+    const UnknownFieldStore *u = msg.unknown_fields();
+    uint32_t ucur = 0;
     for (const auto &f : msg.descriptor().fields()) {
+        if (u != nullptr) {
+            while (ucur < u->count() &&
+                   u->record(ucur).number < f.number) {
+                const UnknownRecord &rec = u->record(ucur++);
+                w.WriteBytes(u->bytes_of(rec), rec.size);
+            }
+        }
         if (w.sink() != nullptr)
             w.sink()->OnHasbitsAccess(1);
         if (f.repeated()) {
@@ -568,6 +600,12 @@ SerializePayload(const Message &msg, Writer &w)
                 SerializeField(msg, f, w);
         } else if (msg.Has(f)) {
             SerializeField(msg, f, w);
+        }
+    }
+    if (u != nullptr) {
+        while (ucur < u->count()) {
+            const UnknownRecord &rec = u->record(ucur++);
+            w.WriteBytes(u->bytes_of(rec), rec.size);
         }
     }
     if (w.sink() != nullptr)

@@ -192,12 +192,20 @@ DescriptorPool::CompileMessage(MessageDescriptor &msg, HasbitsMode mode)
     }
     layout.hasbits_words = static_cast<uint32_t>(CeilDiv(hasbits, 32));
 
-    // Object layout: [cached_size u32][hasbits words][field slots].
+    // Object layout: [cached_size u32][hasbits words][unknown-store
+    // pointer][field slots].
     uint32_t offset = 0;
     layout.cached_size_offset = offset;
     offset += 4;
     layout.hasbits_offset = offset;
     offset += layout.hasbits_words * 4;
+
+    // One 8-byte pointer slot per object for the unknown-field store
+    // (unknown_fields.h). Zero in the default instance == no unknowns;
+    // trivially-destructible arena data keeps objects memcpy-creatable.
+    offset = static_cast<uint32_t>(AlignUp(offset, 8));
+    layout.unknown_offset = offset;
+    offset += 8;
 
     // Place 8-byte slots first, then 4, then 1, to minimize padding
     // (protoc performs the same kind of slot packing).

@@ -103,6 +103,11 @@ struct MessageLayout
     uint32_t hasbits_words = 0;
     /// Offset of the cached serialized-size slot (used by ByteSize).
     uint32_t cached_size_offset = 0;
+    /// Offset of the 8-byte unknown-field-store pointer slot. Every
+    /// compiled type reserves one so fields unknown to this schema
+    /// version can be preserved and re-emitted byte-identically
+    /// (schema-evolution round trips).
+    uint32_t unknown_offset = 0;
     HasbitsMode hasbits_mode = HasbitsMode::kSparse;
 };
 

@@ -247,6 +247,13 @@ Message::set_cached_size(int32_t v) const
                 sizeof(v));
 }
 
+const UnknownFieldStore *
+Message::unknown_fields() const
+{
+    return UnknownFieldStore::Get(obj_,
+                                  descriptor_->layout().unknown_offset);
+}
+
 namespace {
 
 bool
@@ -306,7 +313,9 @@ MessagesEqual(const Message &a, const Message &b)
             return false;
         }
     }
-    return true;
+    // Preserved unknown fields are part of the message's identity: two
+    // objects that re-serialize differently are not equal.
+    return UnknownStoresEqual(a.unknown_fields(), b.unknown_fields());
 }
 
 }  // namespace protoacc::proto

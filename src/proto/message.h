@@ -19,6 +19,7 @@
 #include "proto/arena_string.h"
 #include "proto/descriptor.h"
 #include "proto/repeated.h"
+#include "proto/unknown_fields.h"
 
 namespace protoacc::proto {
 
@@ -195,6 +196,10 @@ class Message
 
     int32_t cached_size() const;
     void set_cached_size(int32_t v) const;
+
+    /// Unknown-field store preserved by the parsers (nullptr when the
+    /// input carried no fields outside this schema version).
+    const UnknownFieldStore *unknown_fields() const;
 
   private:
     char *bytes() const { return static_cast<char *>(obj_); }

@@ -370,6 +370,7 @@ ParsePayload(Reader &r, const CodecTableSet &set, const CodecTable &t,
     if (r.sink() != nullptr)
         r.sink()->OnMessageBegin();
     while (!r.at_end()) {
+        const uint8_t *tag_start = r.pos();
         uint64_t tag;
         if (!r.ReadVarint(&tag, true))
             return ParseStatus::kMalformedVarint;
@@ -381,6 +382,23 @@ ParsePayload(Reader &r, const CodecTableSet &set, const CodecTable &t,
         ParseStatus st;
         if (e == nullptr) {
             st = SkipUnknown(r, wt);
+            if (st == ParseStatus::kOk) {
+                // Schema evolution: preserve the validated record (raw
+                // tag + value bytes, cold path off the table program)
+                // with the exact budget charge and cost events of the
+                // reference interpreter.
+                const uint32_t rec_len =
+                    static_cast<uint32_t>(r.pos() - tag_start);
+                if (!ctl.Charge(rec_len))
+                    return ParseStatus::kResourceExhausted;
+                UnknownFieldStore *store =
+                    UnknownFieldStore::GetOrCreate(
+                        msg.raw(),
+                        msg.descriptor().layout().unknown_offset,
+                        msg.arena(), r.sink());
+                store->Add(msg.arena(), number, tag_start, rec_len,
+                           r.sink());
+            }
         } else {
             st = ParseField(r, set, t, *e, msg, wt, depth, ctl);
         }

@@ -124,6 +124,10 @@ MessagePayloadSize(const Message &msg, const CodecTableSet &set,
         if (sink != nullptr)
             sink->OnHasbitsAccess(1);
     }
+    // Preserved unknown records re-emit verbatim (no per-record size
+    // events; the length is a stored constant — matches the reference).
+    total += UnknownTotalBytes(msg.raw(),
+                               msg.descriptor().layout().unknown_offset);
     msg.set_cached_size(static_cast<int32_t>(total));
     return total;
 }
@@ -368,7 +372,19 @@ SerializePayload(const Message &msg, const CodecTableSet &set,
 {
     if (w.sink() != nullptr)
         w.sink()->OnMessageBegin();
+    // Forward merge of preserved unknown records (number-sorted, stable)
+    // with known fields — identical interleaving to the reference
+    // serializer, so round trips are byte-lossless.
+    const UnknownFieldStore *u = msg.unknown_fields();
+    uint32_t ucur = 0;
     for (const CodecEntry &e : t.entries) {
+        if (u != nullptr) {
+            while (ucur < u->count() &&
+                   u->record(ucur).number < e.field->number) {
+                const UnknownRecord &rec = u->record(ucur++);
+                w.WriteBytes(u->bytes_of(rec), rec.size);
+            }
+        }
         if (w.sink() != nullptr)
             w.sink()->OnHasbitsAccess(1);
         if (e.repeated()) {
@@ -376,6 +392,12 @@ SerializePayload(const Message &msg, const CodecTableSet &set,
                 SerializeField(msg, set, e, w, subs, cursor);
         } else if (HasRaw(msg, t, e)) {
             SerializeField(msg, set, e, w, subs, cursor);
+        }
+    }
+    if (u != nullptr) {
+        while (ucur < u->count()) {
+            const UnknownRecord &rec = u->record(ucur++);
+            w.WriteBytes(u->bytes_of(rec), rec.size);
         }
     }
     if (w.sink() != nullptr)

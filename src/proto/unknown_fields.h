@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unknown-field preservation for schema-evolution round trips.
+ *
+ * A parser working from schema version v_{N-1} that meets a field added
+ * in v_N must not drop it: the record is preserved verbatim (tag bytes
+ * exactly as seen on the wire, plus the value bytes) and re-emitted on
+ * serialization, so an old server echoing a new client's message is
+ * byte-lossless. All four engines (reference, table, generated, accel
+ * model) route preservation through this store so their outputs — and,
+ * for the three software engines, their cost-event streams — stay
+ * identical.
+ *
+ * Invariants:
+ *  - Records are kept sorted by field number with *stable* insertion
+ *    (equal numbers keep arrival order). This makes the forward merge
+ *    (software serializers, ascending field walk) and the reverse merge
+ *    (accel serializer, descending high-to-low writer) provably produce
+ *    the same wire bytes.
+ *  - The store and both of its backing arrays live on the parse arena
+ *    and are trivially destructible, preserving the "objects are
+ *    memcpy-creatable, arenas never run destructors" contract.
+ *  - Cost events are emitted only here (one OnAlloc per store creation,
+ *    one OnAlloc + OnMemcpy per record) so the three software engines
+ *    cannot drift apart.
+ */
+#ifndef PROTOACC_PROTO_UNKNOWN_FIELDS_H
+#define PROTOACC_PROTO_UNKNOWN_FIELDS_H
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "proto/arena.h"
+#include "proto/cost_sink.h"
+
+namespace protoacc::proto {
+
+/// One preserved wire record: the raw bytes [tag varint][value] exactly
+/// as they appeared in the input, addressed into the store's buffer.
+struct UnknownRecord
+{
+    uint32_t number = 0;  ///< field number decoded from the tag
+    uint32_t offset = 0;  ///< start within the store's byte buffer
+    uint32_t size = 0;    ///< raw record size (tag + value bytes)
+};
+
+/**
+ * Arena-backed, trivially-destructible container of preserved unknown
+ * records, sorted by field number (stable for equal numbers).
+ */
+class UnknownFieldStore
+{
+  public:
+    UnknownFieldStore() = default;
+
+    /// Read the store pointer slot of @p obj (layout().unknown_offset).
+    static const UnknownFieldStore *
+    Get(const void *obj, uint32_t slot_offset)
+    {
+        const UnknownFieldStore *store;
+        std::memcpy(&store,
+                    static_cast<const uint8_t *>(obj) + slot_offset,
+                    sizeof(store));
+        return store;
+    }
+
+    /// Fetch or lazily create the store for @p obj, charging one
+    /// OnAlloc(sizeof store) on creation.
+    static UnknownFieldStore *
+    GetOrCreate(void *obj, uint32_t slot_offset, Arena *arena,
+                CostSink *sink)
+    {
+        uint8_t *slot = static_cast<uint8_t *>(obj) + slot_offset;
+        UnknownFieldStore *store;
+        std::memcpy(&store, slot, sizeof(store));
+        if (store == nullptr) {
+            store = arena->New<UnknownFieldStore>();
+            std::memcpy(slot, &store, sizeof(store));
+            if (sink != nullptr)
+                sink->OnAlloc(sizeof(UnknownFieldStore));
+        }
+        return store;
+    }
+
+    /**
+     * Preserve one raw record (@p len bytes at @p rec: tag varint plus
+     * value, byte-for-byte from the wire) under field @p number,
+     * keeping records number-sorted with stable insertion. Charges
+     * OnAlloc(len) + OnMemcpy(len); internal array growth is amortized
+     * into the per-byte charge (identical across engines either way,
+     * since this is the only implementation).
+     */
+    void
+    Add(Arena *arena, uint32_t number, const uint8_t *rec, uint32_t len,
+        CostSink *sink)
+    {
+        if (count_ == record_cap_) {
+            const uint32_t cap = record_cap_ == 0 ? 4 : record_cap_ * 2;
+            auto *grown = static_cast<UnknownRecord *>(
+                arena->Allocate(cap * sizeof(UnknownRecord),
+                                alignof(UnknownRecord)));
+            if (count_ > 0)
+                std::memcpy(grown, records_,
+                            count_ * sizeof(UnknownRecord));
+            records_ = grown;
+            record_cap_ = cap;
+        }
+        if (bytes_size_ + len > bytes_cap_) {
+            uint32_t cap = bytes_cap_ == 0 ? 64 : bytes_cap_ * 2;
+            while (cap < bytes_size_ + len)
+                cap *= 2;
+            auto *grown =
+                static_cast<uint8_t *>(arena->Allocate(cap, 8));
+            if (bytes_size_ > 0)
+                std::memcpy(grown, bytes_, bytes_size_);
+            bytes_ = grown;
+            bytes_cap_ = cap;
+        }
+        std::memcpy(bytes_ + bytes_size_, rec, len);
+        // Stable sorted insert: shift strictly-greater numbers up, so
+        // equal numbers keep arrival order (what both the forward and
+        // the reverse serializer merge rely on).
+        uint32_t i = count_;
+        while (i > 0 && records_[i - 1].number > number) {
+            records_[i] = records_[i - 1];
+            --i;
+        }
+        records_[i] = UnknownRecord{number, bytes_size_, len};
+        bytes_size_ += len;
+        ++count_;
+        if (sink != nullptr) {
+            sink->OnAlloc(len);
+            sink->OnMemcpy(len);
+        }
+    }
+
+    uint32_t count() const { return count_; }
+    /// Sum of raw record bytes — the store's serialized-size
+    /// contribution (records re-emit verbatim).
+    size_t total_bytes() const { return bytes_size_; }
+
+    const UnknownRecord &
+    record(uint32_t i) const
+    {
+        return records_[i];
+    }
+
+    const uint8_t *
+    bytes_of(const UnknownRecord &r) const
+    {
+        return bytes_ + r.offset;
+    }
+
+  private:
+    UnknownRecord *records_ = nullptr;
+    uint32_t count_ = 0;
+    uint32_t record_cap_ = 0;
+    uint8_t *bytes_ = nullptr;
+    uint32_t bytes_size_ = 0;  ///< == total preserved record bytes
+    uint32_t bytes_cap_ = 0;
+};
+
+static_assert(std::is_trivially_destructible_v<UnknownFieldStore>,
+              "unknown stores live on parse arenas");
+
+/// Serialized-size contribution of @p obj's unknown store (0 if none).
+inline size_t
+UnknownTotalBytes(const void *obj, uint32_t slot_offset)
+{
+    const UnknownFieldStore *u =
+        UnknownFieldStore::Get(obj, slot_offset);
+    return u == nullptr ? 0 : u->total_bytes();
+}
+
+/// Structural equality: same records, same numbers, same raw bytes.
+inline bool
+UnknownStoresEqual(const UnknownFieldStore *a, const UnknownFieldStore *b)
+{
+    const uint32_t an = a == nullptr ? 0 : a->count();
+    const uint32_t bn = b == nullptr ? 0 : b->count();
+    if (an != bn)
+        return false;
+    for (uint32_t i = 0; i < an; ++i) {
+        const UnknownRecord &ra = a->record(i);
+        const UnknownRecord &rb = b->record(i);
+        if (ra.number != rb.number || ra.size != rb.size ||
+            std::memcmp(a->bytes_of(ra), b->bytes_of(rb), ra.size) != 0)
+            return false;
+    }
+    return true;
+}
+
+}  // namespace protoacc::proto
+
+#endif  // PROTOACC_PROTO_UNKNOWN_FIELDS_H

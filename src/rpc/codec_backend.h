@@ -127,6 +127,13 @@ class CodecBackend
     /// Fallback accounting for hybrid engines; zeros otherwise.
     virtual FallbackCounters fallback_counters() const { return {}; }
 
+    /// Ops a generated-engine backend executed on the table engine
+    /// because no emitted codec matched the pool's fingerprint (a
+    /// schema drifted from its build-time recipe). A silent tier
+    /// downgrade is a perf regression that looks like correct
+    /// behavior, so it must be countable. Zero for other engines.
+    virtual uint64_t generated_fallbacks() const { return 0; }
+
     /// Device watchdog activity (unit resets, replayed jobs); zeros for
     /// software-only backends.
     virtual accel::WatchdogStats watchdog_stats() const { return {}; }
@@ -242,10 +249,13 @@ class SoftwareBackend : public CodecBackend
         if (engine == proto::SoftwareCodecEngine::kTable) {
             proto::GetCodecTables(pool);
         } else if (engine == proto::SoftwareCodecEngine::kGenerated) {
-            // Resolve (and fail fast) before any thread touches the
-            // backend: a generated backend over a pool with no emitted
-            // codec is a build wiring bug, not a runtime condition.
-            PA_CHECK(proto::GetGeneratedCodec(pool) != nullptr);
+            // Resolve the generated codec (and warm the pool's cache)
+            // up front; when no emitted codec matches the fingerprint,
+            // the backend serves on the table engine instead — every
+            // op through the miss is counted (generated_fallbacks) so
+            // the tier downgrade is observable, not silent.
+            if (proto::GetGeneratedCodec(pool) == nullptr)
+                proto::GetCodecTables(pool);
         }
         name_ = model_.params().name + EngineSuffix(engine);
     }
@@ -257,7 +267,9 @@ class SoftwareBackend : public CodecBackend
         case proto::SoftwareCodecEngine::kReference:
             return proto::ReferenceSerialize(msg, &model_);
         case proto::SoftwareCodecEngine::kGenerated:
-            return proto::GeneratedSerialize(msg, &model_);
+            if (UseGenerated(msg))
+                return proto::GeneratedSerialize(msg, &model_);
+            break;
         case proto::SoftwareCodecEngine::kTable:
             break;
         }
@@ -273,8 +285,10 @@ class SoftwareBackend : public CodecBackend
             return proto::ReferenceSerializeToBuffer(msg, buf, cap,
                                                      &model_);
         case proto::SoftwareCodecEngine::kGenerated:
-            return proto::GeneratedSerializeToBuffer(msg, buf, cap,
-                                                     &model_);
+            if (UseGenerated(msg))
+                return proto::GeneratedSerializeToBuffer(msg, buf, cap,
+                                                         &model_);
+            break;
         case proto::SoftwareCodecEngine::kTable:
             break;
         }
@@ -288,7 +302,9 @@ class SoftwareBackend : public CodecBackend
         case proto::SoftwareCodecEngine::kReference:
             return proto::ReferenceByteSize(msg, nullptr);
         case proto::SoftwareCodecEngine::kGenerated:
-            return proto::GeneratedByteSize(msg, nullptr);
+            if (UseGenerated(msg))
+                return proto::GeneratedByteSize(msg, nullptr);
+            break;
         case proto::SoftwareCodecEngine::kTable:
             break;
         }
@@ -304,13 +320,21 @@ class SoftwareBackend : public CodecBackend
             return proto::ToStatusCode(proto::ReferenceParseFromBuffer(
                 data, size, msg, &model_, &limits_));
         case proto::SoftwareCodecEngine::kGenerated:
-            return proto::ToStatusCode(proto::GeneratedParseFromBuffer(
-                data, size, msg, &model_, &limits_));
+            if (UseGenerated(*msg))
+                return proto::ToStatusCode(
+                    proto::GeneratedParseFromBuffer(data, size, msg,
+                                                    &model_, &limits_));
+            break;
         case proto::SoftwareCodecEngine::kTable:
             break;
         }
         return proto::ToStatusCode(
             proto::ParseFromBuffer(data, size, msg, &model_, &limits_));
+    }
+
+    uint64_t generated_fallbacks() const override
+    {
+        return generated_fallbacks_;
     }
 
     std::unique_ptr<proto::StreamDecoder>
@@ -354,9 +378,23 @@ class SoftwareBackend : public CodecBackend
         return "";
     }
 
+    /// True when @p msg's pool has an emitted codec linked in;
+    /// otherwise counts the tier downgrade and the op runs on the
+    /// table engine (wire- and verdict-identical, just slower host
+    /// wall-clock).
+    bool
+    UseGenerated(const proto::Message &msg)
+    {
+        if (proto::GetGeneratedCodec(msg.pool()) != nullptr)
+            return true;
+        ++generated_fallbacks_;
+        return false;
+    }
+
     cpu::CpuCostModel model_;
     proto::SoftwareCodecEngine engine_;
     std::string name_;
+    uint64_t generated_fallbacks_ = 0;
 };
 
 /// The accelerator as a codec engine (one device per endpoint).
@@ -489,6 +527,11 @@ class HybridCodecBackend : public CodecBackend
     FallbackCounters fallback_counters() const override
     {
         return fallbacks_;
+    }
+
+    uint64_t generated_fallbacks() const override
+    {
+        return software_->generated_fallbacks();
     }
 
     StatusCode last_status() const override { return last_status_; }

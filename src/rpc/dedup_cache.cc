@@ -13,8 +13,12 @@ namespace {
 /// the tick) and stores the header's tenant_id field; v1 images are
 /// rejected fail-closed — their keys are ambiguous across tenants, so
 /// restoring them could replay responses across the isolation boundary.
+/// Version 3 stores the header's schema fingerprint (wire v5): a
+/// replayed response must carry the schema version it was produced
+/// under, so a mixed-version client can tell a stale-schema replay
+/// from a current one. Older images are rejected fail-closed.
 constexpr uint8_t kMagic[4] = {'P', 'A', 'D', 'C'};
-constexpr uint8_t kSnapshotVersion = 2;
+constexpr uint8_t kSnapshotVersion = 3;
 
 void
 Put32(std::vector<uint8_t> *out, uint32_t v)
@@ -65,9 +69,10 @@ PutHeader(std::vector<uint8_t> *out, const FrameHeader &h)
     out->push_back(static_cast<uint8_t>(h.tenant_id));
     out->push_back(static_cast<uint8_t>(h.tenant_id >> 8));
     Put64(out, h.idempotency_key);
+    Put64(out, h.schema_fp);
 }
 
-constexpr size_t kHeaderBytes = 4 + 4 + 2 + 1 + 1 + 1 + 1 + 2 + 8;
+constexpr size_t kHeaderBytes = 4 + 4 + 2 + 1 + 1 + 1 + 1 + 2 + 8 + 8;
 
 FrameHeader
 GetHeader(const uint8_t *p)
@@ -85,6 +90,7 @@ GetHeader(const uint8_t *p)
         static_cast<uint16_t>(p[14] |
                               (static_cast<uint16_t>(p[15]) << 8));
     h.idempotency_key = Get64(p + 16);
+    h.schema_fp = Get64(p + 24);
     return h;
 }
 
@@ -198,19 +204,42 @@ DedupCache::Serialize() const
 }
 
 bool
-DedupCache::Deserialize(const uint8_t *data, size_t size)
+DedupCache::Deserialize(const uint8_t *data, size_t size,
+                        std::string *reject_detail)
 {
     std::lock_guard<std::mutex> lock(mu_);
     entries_.clear();
     fifo_.clear();
     // 4 magic + 1 version + 3 reserved + 8 tick + 4 count + 4 crc.
     constexpr size_t kMinBytes = 4 + 1 + 3 + 8 + 4 + 4;
-    if (data == nullptr || size < kMinBytes)
+    if (data == nullptr || size < kMinBytes) {
+        if (reject_detail != nullptr)
+            *reject_detail = "dedup snapshot truncated: " +
+                             std::to_string(size) + " bytes, need at least " +
+                             std::to_string(kMinBytes);
         return false;
-    if (std::memcmp(data, kMagic, 4) != 0 || data[4] != kSnapshotVersion)
+    }
+    if (std::memcmp(data, kMagic, 4) != 0) {
+        if (reject_detail != nullptr)
+            *reject_detail = "dedup snapshot magic mismatch";
         return false;
-    if (Crc32c(data, size - 4) != Get32(data + size - 4))
+    }
+    if (data[4] != kSnapshotVersion) {
+        // Name both versions: a fleet rolling back after a format bump
+        // hits this, and "snapshot rejected" without the versions makes
+        // that indistinguishable from corruption.
+        if (reject_detail != nullptr)
+            *reject_detail = "dedup snapshot version " +
+                             std::to_string(data[4]) +
+                             " rejected, this build expects version " +
+                             std::to_string(kSnapshotVersion);
         return false;
+    }
+    if (Crc32c(data, size - 4) != Get32(data + size - 4)) {
+        if (reject_detail != nullptr)
+            *reject_detail = "dedup snapshot CRC mismatch";
+        return false;
+    }
     const uint64_t tick = Get64(data + 8);
     const uint32_t count = Get32(data + 16);
     size_t off = 20;
@@ -220,6 +249,9 @@ DedupCache::Deserialize(const uint8_t *data, size_t size)
         if (off + 8 + 2 + 8 + kHeaderBytes + 4 > body_end) {
             entries_.clear();
             fifo_.clear();
+            if (reject_detail != nullptr)
+                *reject_detail = "dedup snapshot entry " +
+                                 std::to_string(i) + " truncated";
             return false;
         }
         const uint64_t key = Get64(data + off);
@@ -234,6 +266,9 @@ DedupCache::Deserialize(const uint8_t *data, size_t size)
         if (off + payload_bytes > body_end || entry_tick > tick) {
             entries_.clear();
             fifo_.clear();
+            if (reject_detail != nullptr)
+                *reject_detail = "dedup snapshot entry " +
+                                 std::to_string(i) + " inconsistent";
             return false;
         }
         Entry entry;
@@ -250,6 +285,8 @@ DedupCache::Deserialize(const uint8_t *data, size_t size)
     if (off != body_end) {
         entries_.clear();
         fifo_.clear();
+        if (reject_detail != nullptr)
+            *reject_detail = "dedup snapshot trailing bytes";
         return false;
     }
     insert_tick_ = tick > insert_tick_ ? tick : insert_tick_;

@@ -47,6 +47,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -153,8 +154,14 @@ class DedupCache
      * foreign format. Entries beyond this cache's capacity or retry
      * horizon are dropped during the rebuild (the snapshot may come
      * from a differently sized instance).
+     *
+     * On rejection @p reject_detail (when non-null) receives a
+     * human-readable cause; a version rejection names both the found
+     * and the expected snapshot version, so an operator can tell a
+     * rollback-after-format-bump from corruption.
      */
-    bool Deserialize(const uint8_t *data, size_t size);
+    bool Deserialize(const uint8_t *data, size_t size,
+                     std::string *reject_detail = nullptr);
 
     Stats stats() const;
     const DedupConfig &config() const { return config_; }

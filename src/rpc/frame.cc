@@ -23,6 +23,7 @@ WriteHeader(uint8_t *p, const FrameHeader &header, bool with_crc)
     p[13] = with_crc ? FrameHeader::kFlagHasCrc : 0;
     std::memcpy(p + 14, &header.tenant_id, 2);
     std::memcpy(p + 16, &header.idempotency_key, 8);
+    std::memcpy(p + 24, &header.schema_fp, 8);
     std::memset(p + FrameHeader::kCrcOffset, 0, 4);  // sealed later
 }
 
@@ -217,6 +218,7 @@ FrameBuffer::Next(size_t *offset, StatusCode *error) const
     frame.header.flags = p[13];
     std::memcpy(&frame.header.tenant_id, p + 14, 2);
     std::memcpy(&frame.header.idempotency_key, p + 16, 8);
+    std::memcpy(&frame.header.schema_fp, p + 24, 8);
     if (cost_sink_ != nullptr)
         cost_sink_->OnFrameHeader();
     if (*offset + FrameHeader::kWireBytes + frame.header.payload_bytes >

@@ -10,7 +10,7 @@
  * header (call id, method id, frame kind), written into and scanned out
  * of transport buffers.
  *
- * Wire format v4 (28-byte header, little-endian):
+ * Wire format v5 (36-byte header, little-endian):
  *
  *     offset  field
  *          0  payload_bytes   u32
@@ -23,7 +23,9 @@
  *         14  tenant_id       u16  (multi-tenant isolation domain; 0 =
  *                                   the default tenant)
  *         16  idempotency_key u64  (client-assigned; 0 = none)
- *         24  crc32c          u32  (over header bytes [0,24) + payload)
+ *         24  schema_fp       u64  (sender's structural schema
+ *                                   fingerprint; 0 = unversioned)
+ *         32  crc32c          u32  (over header bytes [0,32) + payload)
  *
  * v2 widened the header by a 16-bit tenant id so every layer downstream
  * of the wire — admission, dedup scoping, accelerator scheduling —
@@ -46,6 +48,16 @@
  * bugs (lost/duplicated/reordered chunk payloads) are caught even when
  * every individual frame verified clean. (v3 is skipped on the wire:
  * the name is taken by the dedup snapshot format.)
+ *
+ * v5 widens the header by a 64-bit schema fingerprint: the structural
+ * FNV-1a hash of the sender's compiled message schema (the same value
+ * the codegen tier keys generated codecs on). Schema evolution makes
+ * mixed-version fleets routine; the fingerprint lets a server tell
+ * "peer speaks a schema version my registry knows" from "peer speaks a
+ * version I have never seen" *before* parsing, turning a potential
+ * silent misparse into a structured kFailedPrecondition rejection. A
+ * zero fingerprint means the sender did not negotiate (legacy in-build
+ * callers) and is accepted as the server's own version.
  *
  * The CRC is the end-to-end integrity check: it is computed when a
  * frame is written (Append/CommitFrame) and verified when it is scanned
@@ -102,8 +114,9 @@ struct FrameHeader
     /// Current wire-format version; frames declaring any other version
     /// are rejected as kUnimplemented without touching the payload.
     /// v2 added the tenant_id field (multi-tenant serving); v4 added
-    /// the streaming frame kinds (header layout unchanged).
-    static constexpr uint8_t kFrameVersion = 4;
+    /// the streaming frame kinds (header layout unchanged); v5 added
+    /// the schema fingerprint.
+    static constexpr uint8_t kFrameVersion = 5;
     /// flags bit 0: the trailing crc32c field is populated and must be
     /// verified on decode.
     static constexpr uint8_t kFlagHasCrc = 0x01;
@@ -130,8 +143,13 @@ struct FrameHeader
     /// Client-assigned exactly-once key: stable across retries of one
     /// logical call, 0 when the caller opted out of dedup.
     uint64_t idempotency_key = 0;
+    /// Structural fingerprint of the sender's schema version for this
+    /// method's message types (proto::SchemaFingerprint). 0 means the
+    /// sender did not negotiate — accepted as the server's own version.
+    uint64_t schema_fp = 0;
 
-    static constexpr size_t kCrcOffset = 4 + 4 + 2 + 1 + 1 + 1 + 1 + 2 + 8;
+    static constexpr size_t kCrcOffset =
+        4 + 4 + 2 + 1 + 1 + 1 + 1 + 2 + 8 + 8;
     static constexpr size_t kWireBytes = kCrcOffset + 4;
 };
 

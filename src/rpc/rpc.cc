@@ -15,10 +15,15 @@ CyclesToNs(double cycles, double freq_ghz)
 
 /// Append an error frame carrying @p code and a human-readable detail
 /// payload; returns @p code so call sites can `return AppendError(...)`.
+/// @p detail defaults to the code's name; pass a richer string when
+/// the failure has call-specific context (e.g. which schema
+/// fingerprint was rejected).
 StatusCode
-AppendError(FrameBuffer *reply, FrameHeader header, StatusCode code)
+AppendError(FrameBuffer *reply, FrameHeader header, StatusCode code,
+            const char *detail = nullptr)
 {
-    const char *detail = StatusCodeName(code);
+    if (detail == nullptr)
+        detail = StatusCodeName(code);
     header.kind = FrameKind::kError;
     header.status = code;
     header.payload_bytes =
@@ -55,6 +60,26 @@ RpcServer::HandleFrame(const Frame &frame, FrameBuffer *reply)
     out_header.method_id = frame.header.method_id;
     out_header.tenant_id = frame.header.tenant_id;
     out_header.idempotency_key = frame.header.idempotency_key;
+    out_header.schema_fp = schema_fp_;
+
+    // Schema negotiation (wire v5): a sender announcing a schema
+    // version this server's registry has never seen must get a
+    // structured rejection *before* any parse or dedup work — decoding
+    // bytes against the wrong schema could misparse silently, which is
+    // strictly worse than failing. Fingerprint 0 (legacy,
+    // non-negotiating sender) is accepted as the server's own version.
+    if (schemas_ != nullptr && frame.header.schema_fp != 0 &&
+        !schemas_->Knows(frame.header.schema_fp)) {
+        ++schema_rejects_;
+        const std::string detail =
+            "unknown schema fingerprint " +
+            SchemaFingerprintName(frame.header.schema_fp) + " (" +
+            std::to_string(schemas_->size()) +
+            " versions registered); re-negotiate schema version";
+        return AppendError(reply, out_header,
+                           StatusCode::kFailedPrecondition,
+                           detail.c_str());
+    }
 
     // Exactly-once: a retry of an already-committed call replays the
     // cached response instead of re-executing the handler. Only
@@ -183,6 +208,7 @@ RpcSession::CallOnce(uint16_t method_id, uint32_t call_id,
     header.payload_bytes = static_cast<uint32_t>(payload.size());
     header.tenant_id = tenant_id_;
     header.idempotency_key = idempotency_key;
+    header.schema_fp = schema_fp_;
     to_server.Append(header, payload.data());
     breakdown_.client_codec_ns +=
         CyclesToNs(backend_->codec_cycles() - client_before,

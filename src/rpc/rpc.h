@@ -18,6 +18,7 @@
 #include "rpc/codec_backend.h"
 #include "rpc/dedup_cache.h"
 #include "rpc/frame.h"
+#include "rpc/schema_registry.h"
 #include "sim/fault.h"
 
 namespace protoacc::rpc {
@@ -90,6 +91,28 @@ class RpcServer
      */
     void SetDedupCache(DedupCache *cache) { dedup_ = cache; }
 
+    /**
+     * Attach the schema-version registry (nullptr detaches, accepting
+     * every fingerprint — the pre-negotiation behavior). With a
+     * registry, request frames carrying a nonzero schema fingerprint
+     * the registry does not know are rejected kFailedPrecondition
+     * before any parse or dedup work: an unknown schema version must
+     * become a structured error, never a silent misparse. Fingerprint
+     * 0 (non-negotiating legacy sender) is always accepted.
+     */
+    void SetSchemaRegistry(const SchemaRegistry *registry)
+    {
+        schemas_ = registry;
+    }
+
+    /// Fingerprint of the schema this server itself speaks; stamped
+    /// into every response/error frame it writes (0 = unversioned).
+    void set_schema_fingerprint(uint64_t fp) { schema_fp_ = fp; }
+    uint64_t schema_fingerprint() const { return schema_fp_; }
+
+    /// Requests rejected for an unknown schema fingerprint.
+    uint64_t schema_rejects() const { return schema_rejects_; }
+
     /// Observer invoked once per *handler execution* with the call's
     /// (tenant, idempotency key), after dedup lookup and parse but
     /// before the handler runs. Dedup hits and failed parses do not
@@ -121,6 +144,9 @@ class RpcServer
     std::map<uint16_t, Method> methods_;
     proto::Arena arena_;
     DedupCache *dedup_ = nullptr;
+    const SchemaRegistry *schemas_ = nullptr;
+    uint64_t schema_fp_ = 0;
+    uint64_t schema_rejects_ = 0;
     std::function<void(uint16_t, uint64_t)> exec_observer_;
 };
 
@@ -222,6 +248,13 @@ class RpcSession
     void set_tenant(uint16_t tenant) { tenant_id_ = tenant; }
     uint16_t tenant() const { return tenant_id_; }
 
+    /// Announce this session's schema version: every request frame it
+    /// sends carries this structural fingerprint (wire v5), letting the
+    /// server's SchemaRegistry reject versions it has never seen before
+    /// any parse. Default 0 = non-negotiating legacy sender.
+    void set_schema_fingerprint(uint64_t fp) { schema_fp_ = fp; }
+    uint64_t schema_fingerprint() const { return schema_fp_; }
+
     /// Re-seed the backoff jitter hash (default fixed). Jitter is a
     /// counter-based hash of (seed, idempotency key, attempt) — no
     /// streaming RNG draws — so concurrent sessions and fault-shuffled
@@ -305,6 +338,8 @@ class RpcSession
     /// Isolation domain stamped into every request frame this session
     /// sends (see set_tenant).
     uint16_t tenant_id_ = 0;
+    /// Schema fingerprint stamped into every request frame (wire v5).
+    uint64_t schema_fp_ = 0;
     bool crc_enabled_ = true;
 };
 

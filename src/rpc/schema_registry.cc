@@ -1,0 +1,45 @@
+#include "rpc/schema_registry.h"
+
+#include "common/check.h"
+#include "proto/codec_generated.h"
+
+namespace protoacc::rpc {
+
+uint64_t
+SchemaRegistry::Register(const proto::DescriptorPool &pool,
+                         std::string label)
+{
+    PA_CHECK(pool.compiled());
+    const uint64_t fp = proto::SchemaFingerprint(pool);
+    if (Knows(fp))
+        return fp;
+    versions_.push_back(VersionEntry{fp, &pool, std::move(label)});
+    return fp;
+}
+
+bool
+SchemaRegistry::Knows(uint64_t fingerprint) const
+{
+    return Find(fingerprint) != nullptr;
+}
+
+const SchemaRegistry::VersionEntry *
+SchemaRegistry::Find(uint64_t fingerprint) const
+{
+    for (const VersionEntry &v : versions_)
+        if (v.fingerprint == fingerprint)
+            return &v;
+    return nullptr;
+}
+
+std::string
+SchemaFingerprintName(uint64_t fingerprint)
+{
+    static const char kHex[] = "0123456789abcdef";
+    std::string out = "0x";
+    for (int shift = 60; shift >= 0; shift -= 4)
+        out.push_back(kHex[(fingerprint >> shift) & 0xF]);
+    return out;
+}
+
+}  // namespace protoacc::rpc

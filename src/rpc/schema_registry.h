@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Runtime registry of live schema versions for wire negotiation.
+ *
+ * Schema evolution makes mixed-version fleets the steady state: a
+ * server built against schema v_N serves clients still on v_{N-1} and
+ * canaries already on v_{N+1}. The unknown-field store
+ * (proto/unknown_fields.h) makes *compatible* skew lossless — added
+ * fields round-trip byte-identically. What it cannot protect against
+ * is a peer speaking a schema the server has never seen at all, where
+ * decoding would not merely drop fields but silently misparse.
+ *
+ * The registry closes that hole with the same structural FNV-1a
+ * fingerprint the codegen tier keys generated codecs on
+ * (proto::SchemaFingerprint): each live version's compiled pool is
+ * registered once, every wire-v5 frame carries the sender's
+ * fingerprint, and RpcServer rejects a fingerprint the registry does
+ * not know with a structured kFailedPrecondition error — before any
+ * parse attempt — instead of serving a wrong answer. Fingerprint 0
+ * means the sender did not negotiate (legacy callers) and is accepted
+ * as the server's own version.
+ */
+#ifndef PROTOACC_RPC_SCHEMA_REGISTRY_H
+#define PROTOACC_RPC_SCHEMA_REGISTRY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "proto/descriptor.h"
+
+namespace protoacc::rpc {
+
+/**
+ * Immutable-after-setup table of known schema versions, keyed by
+ * structural fingerprint. Registration happens at server bring-up (or
+ * on a config push, before the table swap that activates the version);
+ * the serving path only reads, so no locking is needed.
+ */
+class SchemaRegistry
+{
+  public:
+    /// One live schema version.
+    struct VersionEntry
+    {
+        uint64_t fingerprint = 0;
+        const proto::DescriptorPool *pool = nullptr;
+        /// Operator-facing label, e.g. "echo-v2" (diagnostics only).
+        std::string label;
+    };
+
+    /**
+     * Register @p pool (must be compiled) under @p label and return
+     * its structural fingerprint. Re-registering an already-known
+     * fingerprint is a no-op (first label wins) — two deployment
+     * epochs may legitimately carry the same schema.
+     */
+    uint64_t Register(const proto::DescriptorPool &pool,
+                      std::string label);
+
+    /// True when @p fingerprint names a registered version.
+    bool Knows(uint64_t fingerprint) const;
+
+    /// Entry for @p fingerprint, nullptr when unknown.
+    const VersionEntry *Find(uint64_t fingerprint) const;
+
+    size_t size() const { return versions_.size(); }
+    const std::vector<VersionEntry> &versions() const { return versions_; }
+
+  private:
+    std::vector<VersionEntry> versions_;
+};
+
+/// "0x<16 hex digits>" rendering of a schema fingerprint for error
+/// details and logs.
+std::string SchemaFingerprintName(uint64_t fingerprint);
+
+}  // namespace protoacc::rpc
+
+#endif  // PROTOACC_RPC_SCHEMA_REGISTRY_H

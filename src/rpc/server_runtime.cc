@@ -48,6 +48,8 @@ RpcServerRuntime::RpcServerRuntime(const proto::DescriptorPool *pool,
         w.index = i;
         w.server.mutable_backend().SetParseLimits(config_.parse_limits);
         w.server.SetDedupCache(dedup_.get());
+        w.server.SetSchemaRegistry(config_.schema_registry);
+        w.server.set_schema_fingerprint(config_.schema_fingerprint);
         if (config_.offload.enabled) {
             // Offload datapath: the frame engine fronts this worker's
             // shard, so egress framing/CRC/dedup work accrues device
@@ -421,6 +423,9 @@ RpcServerRuntime::Snapshot() const
             w->server.backend().fallback_counters();
         ws.fallback_accel_fault = fb.accel_fault;
         ws.fallback_forced = fb.forced;
+        ws.generated_fallbacks =
+            w->server.backend().generated_fallbacks();
+        ws.schema_rejects = w->server.schema_rejects();
         const accel::WatchdogStats wd =
             w->server.backend().watchdog_stats();
         ws.watchdog_resets = wd.resets;
@@ -453,6 +458,8 @@ RpcServerRuntime::Snapshot() const
         snap.deadline_exceeded += ws.deadline_exceeded;
         snap.fallback_accel_fault += ws.fallback_accel_fault;
         snap.fallback_forced += ws.fallback_forced;
+        snap.generated_fallbacks += ws.generated_fallbacks;
+        snap.schema_rejects += ws.schema_rejects;
         snap.modeled_span_ns =
             std::max(snap.modeled_span_ns, ws.vclock_ns);
         snap.workers.push_back(ws);

@@ -145,6 +145,22 @@ struct RuntimeConfig
     /// pre-offload host-path behavior, bit for bit.
     OffloadConfig offload;
 
+    // ---- schema evolution / wire negotiation ----
+
+    /// Schema-version registry consulted by every worker's server
+    /// before any parse or dedup work (see RpcServer::
+    /// SetSchemaRegistry): a request whose frame carries a fingerprint
+    /// the registry has never seen gets a structured
+    /// kFailedPrecondition error frame, never a misparse. Not owned;
+    /// must outlive the runtime. nullptr disables (all fingerprints
+    /// accepted — the pre-registry behavior).
+    const SchemaRegistry *schema_registry = nullptr;
+
+    /// Fingerprint of the schema this runtime serves; stamped into
+    /// every reply frame so clients can detect server-side version
+    /// changes (0 = unversioned legacy server).
+    uint64_t schema_fingerprint = 0;
+
     /// Price the per-frame ingress framing work (header parse + CRC
     /// verify) on the serving path: charged to the worker's host model
     /// (host path) so it lands in modeled latency, or to the device
@@ -213,6 +229,12 @@ struct WorkerSnapshot
     /// Hybrid-backend fallback accounting (zeros for other backends).
     uint64_t fallback_accel_fault = 0;
     uint64_t fallback_forced = 0;
+    /// Generated-engine ops downgraded to the table engine on a
+    /// fingerprint miss (zeros for other backends).
+    uint64_t generated_fallbacks = 0;
+    /// Requests rejected for an unknown schema fingerprint (zeros when
+    /// no SchemaRegistry is attached).
+    uint64_t schema_rejects = 0;
     /// Worker's virtual timeline position (modeled busy time).
     double vclock_ns = 0;
     /// Modeled codec cycles accumulated by the worker's backend.
@@ -256,6 +278,14 @@ struct RuntimeSnapshot
     /// Ops degraded to the software codec, by cause.
     uint64_t fallback_accel_fault = 0;
     uint64_t fallback_forced = 0;
+    /// Ops a generated-engine backend ran on the table engine because
+    /// no emitted codec matched the pool's fingerprint — a silent tier
+    /// downgrade (schema drifted from its build recipe) made visible.
+    uint64_t generated_fallbacks = 0;
+    /// Requests rejected across all workers because their frames
+    /// carried a schema fingerprint the attached SchemaRegistry has
+    /// never seen (structured kFailedPrecondition, never a misparse).
+    uint64_t schema_rejects = 0;
     /// Arena objects constructed since Start — one per worker, never
     /// per call (the steady-state reuse guarantee).
     uint64_t arena_constructions = 0;

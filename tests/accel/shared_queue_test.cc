@@ -213,5 +213,124 @@ TEST(SharedAccelQueue, OffloadBatchKeepsWatchdogCoverage)
     EXPECT_GE(c.done_cycle, 1'000u + 512u + 4'100u);
 }
 
+TEST(SharedAccelQueue, TableSwapFencesNewDispatchesBehindLoad)
+{
+    // In-flight work completes against its dispatch epoch; the priced
+    // table load occupies the unit afterwards, so the next dispatch
+    // fences until the load commits.
+    SharedAccelQueue q;
+    const auto c1 = q.Submit(0, 1'000);
+    EXPECT_EQ(q.current_epoch(), 0u);
+
+    // 1600 bytes at the default 16 B/cycle = 100 cycles of load.
+    const auto swap = q.BeginTableSwap(0, 1'600);
+    EXPECT_EQ(swap.epoch, 1u);
+    EXPECT_EQ(swap.loads_committed, 1u);
+    EXPECT_EQ(swap.loads_aborted, 0u);
+    EXPECT_EQ(swap.done_cycle, c1.done_cycle + 100);
+    EXPECT_EQ(q.current_epoch(), 1u);
+    EXPECT_EQ(q.unit_epoch(0), 1u);
+
+    const auto c2 = q.Submit(0, 500);
+    EXPECT_EQ(c2.start_cycle, swap.done_cycle);
+    EXPECT_GT(c2.wait_cycles, 0u);
+
+    const auto s = q.stats();
+    EXPECT_EQ(s.table_swaps, 1u);
+    EXPECT_EQ(s.table_loads_committed, 1u);
+    EXPECT_EQ(s.table_load_cycles, 100u);
+    EXPECT_EQ(s.stale_epoch_dispatches, 0u);
+}
+
+TEST(SharedAccelQueue, MidLoadKillQuarantinesUnitFailClosed)
+{
+    SharedQueueConfig cfg;
+    cfg.num_units = 2;
+    SharedAccelQueue q(cfg);
+    sim::FaultConfig fc;
+    fc.unit_kill_rate = 1.0;
+    sim::FaultInjector inj(7, fc);
+    q.SetUnitFaultInjector(1, &inj);
+
+    const auto swap = q.BeginTableSwap(0, 1'600);
+    EXPECT_EQ(swap.loads_committed, 1u);
+    EXPECT_EQ(swap.loads_aborted, 1u);
+    // The killed unit keeps its old table (a partial image must never
+    // serve) and is fenced for the health policy to quarantine.
+    EXPECT_EQ(q.unit_epoch(0), 1u);
+    EXPECT_EQ(q.unit_epoch(1), 0u);
+    EXPECT_TRUE(q.unit_fenced(1));
+    EXPECT_EQ(q.available_units(), 1u);
+
+    // Live traffic routes around the stale unit: every dispatch lands
+    // on the committed one, and the epoch-fence tripwire stays 0.
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(q.Submit(0, 100).unit, 0u);
+    EXPECT_EQ(q.stats().stale_epoch_dispatches, 0u);
+}
+
+TEST(SharedAccelQueue, LastSurvivorCommitsDespiteKill)
+{
+    // Fail-closed has one exception: the fleet must keep serving, so
+    // when every load would abort, the final survivor pays the aborted
+    // half-load plus a clean reload and commits.
+    SharedAccelQueue q;  // one unit
+    sim::FaultConfig fc;
+    fc.unit_kill_rate = 1.0;
+    sim::FaultInjector inj(7, fc);
+    q.SetUnitFaultInjector(0, &inj);
+
+    const auto swap = q.BeginTableSwap(0, 1'600);
+    EXPECT_EQ(swap.loads_committed, 1u);
+    EXPECT_EQ(swap.loads_aborted, 1u);
+    EXPECT_FALSE(q.unit_fenced(0));
+    EXPECT_EQ(q.unit_epoch(0), 1u);
+    // Half-load burned (50) + clean reload (100).
+    EXPECT_EQ(q.stats().table_load_cycles, 150u);
+    EXPECT_EQ(swap.done_cycle, 150u);
+}
+
+TEST(SharedAccelQueue, RetryTableLoadReintegratesQuarantinedUnit)
+{
+    SharedQueueConfig cfg;
+    cfg.num_units = 2;
+    SharedAccelQueue q(cfg);
+    sim::FaultConfig fc;
+    fc.unit_kill_rate = 1.0;
+    sim::FaultInjector inj(7, fc);
+    q.SetUnitFaultInjector(1, &inj);
+    (void)q.BeginTableSwap(0, 1'600);
+    ASSERT_TRUE(q.unit_fenced(1));
+
+    // A retry while the fault persists fails again: still stale, the
+    // caller keeps the fence up.
+    EXPECT_FALSE(q.RetryTableLoad(1, 0, 1'600));
+    EXPECT_EQ(q.unit_epoch(1), 0u);
+
+    // After scrub + self-test cleared the fault (modeled by detaching
+    // the injector), the retry commits and the fence lifts.
+    q.SetUnitFaultInjector(1, nullptr);
+    EXPECT_TRUE(q.RetryTableLoad(1, 0, 1'600));
+    EXPECT_EQ(q.unit_epoch(1), 1u);
+    EXPECT_TRUE(q.SetUnitFenced(1, false));
+    EXPECT_EQ(q.available_units(), 2u);
+    // A unit already on the current epoch is a no-op retry.
+    EXPECT_TRUE(q.RetryTableLoad(1, 0, 1'600));
+    EXPECT_EQ(q.stats().table_loads_aborted, 2u);
+    EXPECT_EQ(q.stats().table_loads_committed, 2u);
+}
+
+TEST(SharedAccelQueue, EpochsSurviveReset)
+{
+    SharedAccelQueue q;
+    (void)q.BeginTableSwap(0, 16);
+    q.Reset();
+    // Reset clears the timeline, not the schema state: the loaded
+    // table is still resident.
+    EXPECT_EQ(q.current_epoch(), 1u);
+    EXPECT_EQ(q.unit_epoch(0), 1u);
+    EXPECT_EQ(q.stats().stale_epoch_dispatches, 0u);
+}
+
 }  // namespace
 }  // namespace protoacc::accel

@@ -583,6 +583,87 @@ TEST_F(StreamingMalformedTest, UnknownMethodIsUnimplemented)
     EXPECT_EQ(Deliver(wire), StatusCode::kUnimplemented);
 }
 
+TEST_F(StreamingMalformedTest, ForeignVersionOnStreamFrameIsUnimplemented)
+{
+    // A peer speaking a future wire version opens a stream: the version
+    // byte is foreign but the frame is intact (CRC valid as sent). The
+    // framing layer must reject it as kUnimplemented — exactly the
+    // unary path's verdict — never hand the receiver a frame whose
+    // layout it guessed at.
+    FrameBuffer wire;
+    FrameHeader h;
+    h.kind = FrameKind::kStreamBegin;
+    h.idempotency_key = kKey;
+    h.method_id = kMethod;
+    uint8_t payload[StreamBeginInfo::kWireBytes];
+    PackStreamBegin({1024, 128}, payload);
+    h.payload_bytes = StreamBeginInfo::kWireBytes;
+    wire.Append(h, payload);
+
+    uint8_t *raw = wire.mutable_data();
+    raw[12] = FrameHeader::kFrameVersion + 1;
+    const uint32_t crc = Crc32cExtend(
+        Crc32c(raw, FrameHeader::kCrcOffset),
+        raw + FrameHeader::kWireBytes, h.payload_bytes);
+    std::memcpy(raw + FrameHeader::kCrcOffset, &crc, 4);
+
+    size_t off = 0;
+    StatusCode err = StatusCode::kOk;
+    EXPECT_FALSE(wire.Next(&off, &err).has_value());
+    EXPECT_EQ(err, StatusCode::kUnimplemented);
+    EXPECT_EQ(off, 0u);  // permanent rejection: the scan does not skip
+    EXPECT_EQ(rx_->open_streams(), 0u);  // never reached the receiver
+}
+
+TEST_F(StreamingMalformedTest, CorruptedVersionByteOnStreamFrameIsDataLoss)
+{
+    // Same foreign version byte, but the CRC still covers the original
+    // bytes: this is in-flight corruption, not a newer peer, and the
+    // CRC disambiguates — retryable kDataLoss, scan advances past it.
+    FrameBuffer wire;
+    FrameHeader h;
+    h.kind = FrameKind::kStreamChunk;
+    h.idempotency_key = kKey;
+    h.method_id = kMethod;
+    std::vector<uint8_t> payload(StreamChunkInfo::kWireBytes + 32);
+    PackStreamChunk({0}, payload.data());
+    h.payload_bytes = static_cast<uint32_t>(payload.size());
+    wire.Append(h, payload.data());
+
+    wire.mutable_data()[12] = FrameHeader::kFrameVersion + 1;
+
+    size_t off = 0;
+    StatusCode err = StatusCode::kOk;
+    EXPECT_FALSE(wire.Next(&off, &err).has_value());
+    EXPECT_EQ(err, StatusCode::kDataLoss);
+    EXPECT_EQ(off, wire.bytes());  // skipped: the stream can continue
+}
+
+TEST_F(StreamingMalformedTest, ClearedCrcFlagOnStreamFrameIsDataLoss)
+{
+    // A cleared has-CRC flag bit on an enforcing reader is itself
+    // corruption (every writer stamps a CRC): it must surface as
+    // kDataLoss, not silently bypass verification into the receiver.
+    FrameBuffer wire;
+    FrameHeader h;
+    h.kind = FrameKind::kStreamChunk;
+    h.idempotency_key = kKey;
+    h.method_id = kMethod;
+    std::vector<uint8_t> payload(StreamChunkInfo::kWireBytes + 32);
+    PackStreamChunk({0}, payload.data());
+    h.payload_bytes = static_cast<uint32_t>(payload.size());
+    wire.Append(h, payload.data());
+
+    wire.mutable_data()[13] &=
+        static_cast<uint8_t>(~FrameHeader::kFlagHasCrc);
+
+    size_t off = 0;
+    StatusCode err = StatusCode::kOk;
+    EXPECT_FALSE(wire.Next(&off, &err).has_value());
+    EXPECT_EQ(err, StatusCode::kDataLoss);
+    EXPECT_EQ(rx_->stats().malformed_frames, 0u);  // shielded upstream
+}
+
 // ---------------------------------------------------------------------
 // Budgets, brownout, deadline, resume
 // ---------------------------------------------------------------------

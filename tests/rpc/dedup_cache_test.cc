@@ -266,6 +266,32 @@ TEST(DedupCacheTest, DeserializeRejectsCorruptImagesFailClosed)
     EXPECT_EQ(ok.stats().entries, 1u);
 }
 
+TEST(DedupCacheTest, VersionRejectionNamesFoundAndExpectedVersions)
+{
+    // An old-version snapshot rejects fail-closed, and the status
+    // detail must say which version it saw and which this build
+    // expects — "rejected" alone is undebuggable on a fleet where
+    // binaries roll at different times.
+    DedupCache cache(8);
+    const std::vector<uint8_t> p = Payload("answer");
+    cache.Insert(7, ResponseHeader(1, 7, p.size()), p.data(), p.size());
+    std::vector<uint8_t> image = cache.Serialize();
+    image[4] = 2;  // the previous snapshot version
+
+    DedupCache victim(8);
+    std::string detail;
+    EXPECT_FALSE(victim.Deserialize(image.data(), image.size(),
+                                    &detail));
+    EXPECT_NE(detail.find("version 2"), std::string::npos) << detail;
+    EXPECT_NE(detail.find("expects version 3"), std::string::npos)
+        << detail;
+
+    // Every other failure class reports a non-empty detail too.
+    detail.clear();
+    EXPECT_FALSE(victim.Deserialize(image.data(), 3, &detail));
+    EXPECT_NE(detail.find("truncated"), std::string::npos) << detail;
+}
+
 TEST(DedupCacheTest, ConcurrentInsertAndLookupAreSafe)
 {
     // Many workers share one runtime-wide cache; hammer it from

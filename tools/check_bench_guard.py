@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Bench-regression guard over soak/chaos correctness counters.
+
+The soak binaries (chaos_soak, skew_soak, stream_soak, fleet_soak)
+already exit nonzero when their invariants fail, but their verdict and
+their emitted JSON are produced by the same process — a bug in the
+binary's own `require()` wiring could print PASS while the counters
+rot. This script re-checks the emitted BENCH_*.json files from the
+outside: every correctness counter it knows about must be exactly zero,
+and every determinism flag must be true.
+
+Counters that are nonzero *by design* live in control-experiment
+blocks: any object carrying "crc_enabled": false is the
+integrity-disabled baseline (chaos_soak mode B exists to show silent
+corruption happening) and is skipped wholesale.
+
+Usage: check_bench_guard.py FILE.json [FILE.json ...]
+Exit 0 when every file passes, 1 otherwise.
+"""
+
+import json
+import sys
+
+# Any of these, anywhere in a (non-control) object tree, must be 0.
+MUST_BE_ZERO = {
+    "wrong_responses",
+    "unknown_responses",
+    "lost_calls",
+    "duplicate_execs",
+    "silent_corruptions",
+    "stale_epoch_dispatches",
+    "verdict_disagreements",
+    "message_mismatches",
+    "engine_byte_mismatches",
+    "roundtrip_mismatches",
+}
+
+# Any of these must be true (same-seed replay determinism flags).
+MUST_BE_TRUE = {
+    "deterministic_replay",
+    "deterministic_counters",
+}
+
+
+def check(node, path, failures):
+    if isinstance(node, dict):
+        if node.get("crc_enabled") is False:
+            return  # control experiment: nonzero counters are the point
+        for key, value in node.items():
+            child = f"{path}.{key}" if path else key
+            if key in MUST_BE_ZERO and isinstance(value, (int, float)):
+                if value != 0:
+                    failures.append(f"{child} = {value} (expected 0)")
+            elif key in MUST_BE_TRUE and isinstance(value, bool):
+                if not value:
+                    failures.append(f"{child} = false (expected true)")
+            else:
+                check(value, child, failures)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            check(value, f"{path}[{i}]", failures)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    ok = True
+    for name in argv[1:]:
+        try:
+            with open(name, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"{name}: unreadable: {err}", file=sys.stderr)
+            ok = False
+            continue
+        failures = []
+        check(doc, "", failures)
+        if failures:
+            ok = False
+            for failure in failures:
+                print(f"{name}: {failure}", file=sys.stderr)
+        else:
+            print(f"{name}: correctness counters clean")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

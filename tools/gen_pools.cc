@@ -196,6 +196,45 @@ BuildBenchRandomPool(uint64_t seed)
     return p;
 }
 
+NamedPool
+BuildSkewPool(int version)
+{
+    PA_CHECK(version >= 0 && version <= 2);
+    NamedPool p;
+    p.name = "skew:v" + std::to_string(version);
+    p.pool = std::make_unique<DescriptorPool>();
+    const int inner = p.pool->AddMessage("Inner");
+    p.pool->AddField(inner, "a", 1, FieldType::kUint32);
+    const int msg = p.pool->AddMessage("Skew");
+    p.pool->AddField(msg, "id", 1, FieldType::kUint64);
+    p.pool->AddField(msg, "name", 2, FieldType::kString);
+    // v_{N+1} drops score: v_N payloads reach it as unknown field 3,
+    // which every engine must preserve byte-identically.
+    if (version <= 1)
+        p.pool->AddField(msg, "score", 3, FieldType::kInt64);
+    p.pool->AddField(msg, "tags", 4, FieldType::kString,
+                     Label::kRepeated);
+    p.pool->AddMessageField(msg, "sub", 5, inner);
+    if (version >= 1) {
+        // v_N additions: unknown to v_{N-1} decoders.
+        p.pool->AddField(msg, "flags", 6, FieldType::kUint32);
+        p.pool->AddField(msg, "blob", 7, FieldType::kBytes);
+        p.pool->AddField(msg, "extras", 8, FieldType::kSint32,
+                         Label::kRepeated, /*packed=*/true);
+        // The widened-field skew: v_N writes count as int64, v_{N+1}
+        // reads it as int32 — engines must agree on the truncation
+        // (4-engine agreement, not a round-trip-identity case).
+        p.pool->AddField(msg, "count", 9,
+                         version == 1 ? FieldType::kInt64
+                                      : FieldType::kInt32);
+    }
+    if (version >= 2)
+        p.pool->AddField(msg, "note", 10, FieldType::kString);
+    p.pool->Compile(HasbitsMode::kSparse);
+    p.root = p.pool->FindMessage("Skew");
+    return p;
+}
+
 std::vector<NamedPool>
 BuildAuxSuite()
 {
@@ -221,6 +260,9 @@ BuildAuxSuite()
     // bench/codec_gbench.cc BM_ParseRandomSchema seeds.
     pools.push_back(BuildBenchRandomPool(3));
     pools.push_back(BuildBenchRandomPool(17));
+    // Schema-evolution skew family (schema_skew_test, skew_soak).
+    for (int v = 0; v <= 2; ++v)
+        pools.push_back(BuildSkewPool(v));
     return pools;
 }
 

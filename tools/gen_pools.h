@@ -74,6 +74,20 @@ NamedPool BuildFuzzPool(uint64_t seed, int max_depth = 3);
 NamedPool BuildBenchRandomPool(uint64_t seed);
 
 /**
+ * Schema-evolution skew family: three structurally distinct versions
+ * of one logical message (tests/robustness/schema_skew_test.cc and
+ * bench/skew_soak.cc). @p version selects:
+ *   0  v_{N-1}: the base field set;
+ *   1  v_N: adds fields 6-8 (unknown to v_{N-1}) and an int64 count;
+ *   2  v_{N+1}: removes field 3 (v_N payloads carry it as an unknown),
+ *      narrows count to int32 (the widened-skew truncation case) and
+ *      adds field 10.
+ * Each version compiles to a distinct structural fingerprint, so the
+ * registry negotiates them as separate live schema versions.
+ */
+NamedPool BuildSkewPool(int version);
+
+/**
  * The full auxiliary suite the build generates codecs for: the edge
  * pools, the microbench pools, the RPC echo pool, the robustness-rig
  * fuzz pools at every seed the checked-in suites use
